@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/table bench harnesses.
+ *
+ * Every bench binary reproduces one table or figure of the paper and
+ * prints its rows/series. Common conventions:
+ *  - default configuration is the geometry-preserving reduced scale
+ *    (DESIGN.md Section 5); pass --full for the paper's sizes;
+ *  - --workloads=Q1,Q3 narrows the workload list; --all runs every
+ *    mix in the table;
+ *  - every run is deterministic for a given --seed.
+ */
+
+#ifndef BMC_BENCH_BENCH_UTIL_HH
+#define BMC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "sim/functional.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+
+namespace bmc::bench
+{
+
+/** Default workload subsets that keep each bench under ~2 minutes. */
+inline std::vector<std::string>
+defaultWorkloads(unsigned cores)
+{
+    switch (cores) {
+      case 4:
+        return {"Q1", "Q3", "Q5", "Q7", "Q9", "Q11"};
+      case 8:
+        return {"E1", "E3", "E6"};
+      case 16:
+        return {"S1", "S2"};
+      default:
+        return {};
+    }
+}
+
+/** Resolve the workload list from --workloads/--all options. */
+inline std::vector<const trace::WorkloadSpec *>
+selectWorkloads(const Options &opts, unsigned cores)
+{
+    std::vector<std::string> names;
+    const std::string &arg = opts.getString("workloads");
+    if (!arg.empty()) {
+        size_t pos = 0;
+        while (pos != std::string::npos) {
+            const size_t comma = arg.find(',', pos);
+            names.push_back(arg.substr(
+                pos, comma == std::string::npos ? comma : comma - pos));
+            pos = comma == std::string::npos ? comma : comma + 1;
+        }
+    } else if (opts.flag("all")) {
+        for (const auto &w : trace::workloadTable(cores))
+            names.push_back(w.name);
+    } else {
+        names = defaultWorkloads(cores);
+    }
+    std::vector<const trace::WorkloadSpec *> out;
+    for (const auto &n : names)
+        out.push_back(&trace::findWorkload(n));
+    return out;
+}
+
+/** Register the option set shared by all benches. */
+inline void
+addCommonOptions(Options &opts)
+{
+    opts.addFlag("full", false,
+                 "run at the paper's published scale (slower)");
+    opts.addFlag("all", false, "run every workload in the table");
+    opts.addString("workloads", "",
+                   "comma-separated workload list (overrides --all)");
+    opts.addUint("seed", 1, "experiment seed");
+    opts.addUint("instrs", 0,
+                 "instructions per core (0 = preset default)");
+}
+
+/** Build the machine config honouring --full/--seed/--instrs. */
+inline sim::MachineConfig
+configFromOptions(const Options &opts, unsigned cores)
+{
+    sim::MachineConfig cfg = opts.flag("full")
+                                 ? sim::MachineConfig::fullScale(cores)
+                                 : sim::MachineConfig::preset(cores);
+    cfg.seed = opts.getUint("seed");
+    if (const auto instrs = opts.getUint("instrs"); instrs > 0) {
+        cfg.instrPerCore = instrs;
+        cfg.warmupInstrPerCore = instrs;
+    }
+    return cfg;
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("== %s ==\n(reproduces %s of 'Bi-Modal DRAM Cache', "
+                "MICRO 2014)\n\n",
+                what, paper_ref);
+}
+
+} // namespace bmc::bench
+
+#endif // BMC_BENCH_BENCH_UTIL_HH

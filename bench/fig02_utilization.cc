@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 2: distribution of 64 B sub-block utilization inside 512 B
+ * DRAM cache blocks, measured at eviction. The paper's observation:
+ * some workloads use ~100% of every big block while others use <30%,
+ * motivating the bi-modal organization.
+ */
+
+#include "bench/bench_util.hh"
+#include "dramcache/fixed.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+    using namespace bmc::bench;
+
+    Options opts("Figure 2: 512 B block utilization distribution");
+    addCommonOptions(opts);
+    opts.addUint("records", 400000, "trace records per core");
+    opts.parse(argc, argv);
+
+    banner("Figure 2: sub-block utilization of 512 B blocks", "Fig 2");
+
+    const auto workloads = selectWorkloads(opts, 4);
+
+    std::vector<std::string> headers = {"workload"};
+    for (int n = 1; n <= 8; ++n)
+        headers.push_back(std::to_string(n) + "/8");
+    headers.push_back("full-use%");
+    Table table(headers);
+
+    for (const auto *wl : workloads) {
+        sim::MachineConfig cfg = configFromOptions(opts, 4);
+        stats::StatGroup sg("bench");
+        dramcache::FixedOrg::Params p;
+        p.capacityBytes = cfg.dramCacheBytes;
+        p.blockBytes = 512;
+        p.assoc = 4;
+        p.tags = dramcache::FixedOrg::TagStore::Sram;
+        p.layout.pageBytes = 2048;
+        p.layout.channels = cfg.stackedChannels;
+        p.layout.banksPerChannel = cfg.stackedBanksPerChannel;
+        dramcache::FixedOrg org(p, sg);
+
+        auto programs = sim::makeWorkloadPrograms(*wl, cfg);
+        sim::runFunctional(org, programs, cfg, opts.getUint("records"),
+                           sg);
+
+        auto &row = table.row().cell(wl->name);
+        for (unsigned n = 1; n <= 8; ++n)
+            row.pct(org.utilizationFraction(n) * 100.0);
+        row.pct(org.utilizationFraction(8) * 100.0);
+    }
+    table.print();
+
+    std::printf("\npaper shape: streaming mixes sit at 8/8; strided "
+                "and random mixes concentrate at 1-4/8, wasting "
+                "fixed-512B capacity.\n");
+    return 0;
+}

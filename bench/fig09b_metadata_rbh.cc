@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 9(b): row-buffer hit rate of metadata accesses when the
+ * metadata lives in its own DRAM bank (Bi-Modal) versus co-located
+ * with data in the same rows (Loh-Hill-style layout). Paper: the
+ * dedicated bank gains 37% RBH on average because metadata packs
+ * densely (16 sets of tags per 2 KB page instead of 1).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+    using namespace bmc::bench;
+
+    Options opts("Figure 9b: metadata row-buffer hit rate");
+    addCommonOptions(opts);
+    opts.parse(argc, argv);
+
+    banner("Figure 9b: metadata-bank RBH, separate vs co-located",
+           "Fig 9b");
+
+    Table table({"workload", "co-located RBH", "separate-bank RBH",
+                 "gain"});
+
+    auto run_one = [&](const trace::WorkloadSpec &wl,
+                       sim::Scheme scheme) {
+        sim::MachineConfig cfg = configFromOptions(opts, 4);
+        cfg.scheme = scheme;
+        sim::System system(cfg, wl.programs);
+        const auto rs = system.run();
+        return rs.metaRowHitRate;
+    };
+
+    std::vector<double> gains;
+    for (const auto *wl : selectWorkloads(opts, 4)) {
+        // Co-located: Loh-Hill reads tags from the data row.
+        const double colocated = run_one(*wl, sim::Scheme::LohHill);
+        // Separate: Bi-Modal-Only always reads the metadata bank
+        // (no locator hiding the accesses).
+        const double separate = run_one(*wl, sim::Scheme::BiModalOnly);
+        const double gain = (separate - colocated) * 100.0;
+        gains.push_back(gain);
+        table.row()
+            .cell(wl->name)
+            .pct(colocated * 100.0)
+            .pct(separate * 100.0)
+            .pct(gain);
+    }
+    table.print();
+
+    std::printf("\nmean metadata RBH gain: +%.1f points (paper: +37%% "
+                "relative on average)\n",
+                mean(gains));
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot simulator components:
+ * way-locator lookups, size-predictor updates, organization access
+ * paths, the DRAM channel and the event kernel. These guard the
+ * simulator's own performance (host time per simulated access).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/sram_cache.hh"
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "dram/channel.hh"
+#include "dramcache/alloy.hh"
+#include "dramcache/bimodal/bimodal_cache.hh"
+#include "dramcache/bimodal/size_predictor.hh"
+#include "dramcache/bimodal/way_locator.hh"
+#include "trace/generator.hh"
+
+namespace
+{
+
+using namespace bmc;
+
+void
+BM_WayLocatorLookup(benchmark::State &state)
+{
+    stats::StatGroup sg("b");
+    dramcache::WayLocator::Params p;
+    p.indexBits = 14;
+    p.addressBits = 34;
+    dramcache::WayLocator loc(p, sg);
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i)
+        loc.insert(rng.below(1ULL << 24) * 64, rng.chance(0.5),
+                   static_cast<std::uint8_t>(rng.below(18)));
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 64) & ((1ULL << 24) - 1);
+        benchmark::DoNotOptimize(loc.lookup(addr));
+    }
+}
+BENCHMARK(BM_WayLocatorLookup);
+
+void
+BM_SizePredictor(benchmark::State &state)
+{
+    stats::StatGroup sg("b");
+    dramcache::SizePredictor pred({16, 5, 25}, sg);
+    std::uint64_t frame = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pred.predictBig(++frame));
+        pred.train(frame, frame & 7);
+    }
+}
+BENCHMARK(BM_SizePredictor);
+
+template <typename Org, typename Params>
+void
+orgAccessBench(benchmark::State &state, Params p)
+{
+    stats::StatGroup sg("b");
+    Org org(p, sg);
+    Rng rng(3);
+    for (auto _ : state) {
+        const Addr a = rng.below(1ULL << 16) * kLineBytes;
+        benchmark::DoNotOptimize(org.access(a, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_AlloyAccess(benchmark::State &state)
+{
+    dramcache::AlloyCache::Params p;
+    p.capacityBytes = 8 * kMiB;
+    p.layout.channels = 2;
+    p.layout.banksPerChannel = 8;
+    orgAccessBench<dramcache::AlloyCache>(state, p);
+}
+BENCHMARK(BM_AlloyAccess);
+
+void
+BM_BiModalAccess(benchmark::State &state)
+{
+    dramcache::BiModalCache::Params p;
+    p.capacityBytes = 8 * kMiB;
+    p.layout.channels = 2;
+    p.layout.banksPerChannel = 8;
+    p.locatorIndexBits = 12;
+    orgAccessBench<dramcache::BiModalCache>(state, p);
+}
+BENCHMARK(BM_BiModalAccess);
+
+void
+BM_DramChannelRead(benchmark::State &state)
+{
+    EventQueue eq;
+    stats::StatGroup sg("b");
+    auto params = dram::TimingParams::stacked(1, 8);
+    dram::Channel channel(eq, params, 0, sg);
+    Rng rng(7);
+    for (auto _ : state) {
+        dram::Request req;
+        req.loc = {0, static_cast<unsigned>(rng.below(8)),
+                   rng.below(1024)};
+        channel.enqueue(std::move(req));
+        eq.run();
+    }
+}
+BENCHMARK(BM_DramChannelRead);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i)
+            eq.schedule(static_cast<Tick>(i), [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_TraceGenZipf(benchmark::State &state)
+{
+    trace::GenConfig cfg;
+    cfg.footprintBytes = 64 * kMiB;
+    trace::ZipfGen gen(cfg, 0.9, 6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_TraceGenZipf);
+
+void
+BM_SramCacheAccess(benchmark::State &state)
+{
+    stats::StatGroup sg("b");
+    cache::SramCache::Params p;
+    p.sizeBytes = 1 * kMiB;
+    p.assoc = 8;
+    cache::SramCache c(p, sg);
+    Rng rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.access(rng.below(1ULL << 15) * kLineBytes, false));
+    }
+}
+BENCHMARK(BM_SramCacheAccess);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Section II-B's motivating argument: as DRAM caches grow, the SRAM
+ * needed by tags-in-SRAM organizations grows linearly (4 B per block
+ * -> megabytes) and its lookup latency with it, while the Bi-Modal
+ * Cache's SRAM (way locator + predictor) stays nearly flat and
+ * single-cycle. Prints the Table-I style comparison across cache
+ * capacities using the CACTI-calibrated SRAM model.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "dramcache/bimodal/way_locator.hh"
+#include "sram/cacti_lite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+    using namespace bmc::bench;
+
+    Options opts("SRAM budget scalability vs cache capacity");
+    addCommonOptions(opts);
+    opts.parse(argc, argv);
+
+    banner("SRAM budget and latency vs DRAM cache capacity",
+           "Section II-B / Table I scaling argument");
+
+    Table table({"cache", "tags-in-SRAM (64B blk)",
+                 "tags-in-SRAM (2KB blk)", "bimodal SRAM",
+                 "latencies (cyc)"});
+
+    for (const std::uint64_t mib : {128ULL, 256ULL, 512ULL, 1024ULL,
+                                    2048ULL}) {
+        const std::uint64_t capacity = mib * kMiB;
+        // 4 B of metadata per block (the paper's assumption).
+        const std::uint64_t sram64 = capacity / 64 * 4;
+        const std::uint64_t sram2k = capacity / 2048 * 4;
+
+        // Bi-Modal: way locator sized per Table III (K=14, address
+        // bits grow with memory size ~ 32 x capacity) + 16 KB
+        // predictor + ~4% tracker.
+        stats::StatGroup sg("t");
+        dramcache::WayLocator::Params wp;
+        wp.indexBits = 14;
+        wp.addressBits =
+            static_cast<unsigned>(37 + (mib >= 512 ? 1 : 0));
+        dramcache::WayLocator loc(wp, sg);
+        const std::uint64_t bimodal =
+            loc.storageBytes() + 16 * kKiB + (capacity / 2048 / 25) * 4;
+
+        table.row()
+            .cell(std::to_string(mib) + " MiB")
+            .cell(strfmt("%.1f MB / %u cyc",
+                         static_cast<double>(sram64) / 1e6,
+                         sram::CactiLite::latencyCycles(sram64)))
+            .cell(strfmt("%.2f MB / %u cyc",
+                         static_cast<double>(sram2k) / 1e6,
+                         sram::CactiLite::latencyCycles(sram2k)))
+            .cell(strfmt("%.1f KB",
+                         static_cast<double>(bimodal) / 1e3))
+            .cell(strfmt("%u vs %u",
+                         sram::CactiLite::latencyCycles(sram2k),
+                         sram::CactiLite::latencyCycles(
+                             loc.storageBytes())));
+    }
+    table.print();
+
+    std::printf(
+        "\npaper argument: at 1 GB / 1 KB blocks the tag store is\n"
+        "already 4 MB of SRAM (9 cycles); the Bi-Modal SRAM stays\n"
+        "around 100 KB and single-cycle, which is why its metadata\n"
+        "lives in DRAM behind the way locator.\n");
+    return 0;
+}

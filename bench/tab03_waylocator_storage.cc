@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table III: Way Locator storage and lookup latency versus table
+ * size (K) and DRAM cache size. Reproduces the paper's arithmetic:
+ * entries = 2 x 2^K; entry = valid + size + (N-K) tag/set bits + 3
+ * offset bits + 5 way-id bits; latency from the CACTI-calibrated
+ * SRAM model. The paper reports decimal kilobytes.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "dramcache/bimodal/way_locator.hh"
+#include "sram/cacti_lite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+    using namespace bmc::bench;
+
+    Options opts("Table III: way locator storage and latency");
+    addCommonOptions(opts);
+    opts.parse(argc, argv);
+
+    banner("Table III: Way Locator storage & latency", "Table III");
+
+    struct CacheCase
+    {
+        const char *label;
+        unsigned addressBits; //!< log2 of main-memory size
+    };
+    const CacheCase cases[] = {
+        {"128M cache, 4GB mem", 32},
+        {"256M cache, 8GB mem", 33},
+        {"512M cache, 16GB mem", 34},
+    };
+
+    Table table({"K (entries)", "128M/4GB", "256M/8GB", "512M/16GB"});
+
+    for (const unsigned k : {10u, 12u, 14u, 16u}) {
+        auto &row = table.row().cell(
+            strfmt("K=%u (%llu)", k,
+                   static_cast<unsigned long long>(2ULL << k)));
+        for (const auto &c : cases) {
+            stats::StatGroup sg("t");
+            dramcache::WayLocator::Params p;
+            p.indexBits = k;
+            p.addressBits = c.addressBits;
+            p.bigBlockBits = 9;
+            dramcache::WayLocator loc(p, sg);
+            const auto bytes = loc.storageBytes();
+            const unsigned cycles =
+                sram::CactiLite::latencyCycles(bytes);
+            row.cell(strfmt("%.1fKB / %u cyc",
+                            static_cast<double>(bytes) / 1000.0,
+                            cycles));
+        }
+    }
+    table.print();
+
+    std::printf("\npaper values: K=14 -> 77.8/81.9/86.0 KB at 1 "
+                "cycle; K=16 -> 278.5/294.9/311.3 KB at 2 cycles.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table VI: interaction with hardware prefetching. A next-N-lines
+ * prefetcher sits between the LLSC and the DRAM cache in BOTH the
+ * AlloyCache baseline and the Bi-Modal Cache; the Bi-Modal side is
+ * run with prefetches treated as normal accesses (PREF_NORMAL) and
+ * with prefetch misses bypassing the cache (PREF_BYPASS). Paper: the
+ * ANTT gain persists -- 9.8/10.4% at N=1 and 8.7/9.3% at N=3.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+    using namespace bmc::bench;
+
+    Options opts("Table VI: ANTT gain with prefetch-enabled baseline");
+    addCommonOptions(opts);
+    opts.parse(argc, argv);
+
+    banner("Table VI: prefetch interaction (quad-core)", "Table VI");
+
+    Table table({"N", "PREF_NORMAL", "PREF_BYPASS"});
+
+    auto workloads = selectWorkloads(opts, 4);
+    // This bench multiplies ANTT runs per workload; trim the default
+    // list to keep the suite fast (--workloads/--all to widen).
+    if (opts.getString("workloads").empty() && !opts.flag("all") &&
+        workloads.size() > 3) {
+        workloads.resize(3);
+    }
+
+    for (const unsigned n : {1u, 3u}) {
+        std::vector<double> g_normal, g_bypass;
+        for (const auto *wl : workloads) {
+            sim::MachineConfig cfg = configFromOptions(opts, 4);
+            cfg.prefetchDegree = n;
+
+            // Prefetch-enabled baseline (prefetches are normal
+            // accesses in AlloyCache).
+            cfg.scheme = sim::Scheme::Alloy;
+            cfg.prefetchPolicy = cache::PrefetchPolicy::Normal;
+            const double base = sim::runAntt(cfg, *wl).antt;
+
+            cfg.scheme = sim::Scheme::BiModal;
+            cfg.prefetchPolicy = cache::PrefetchPolicy::Normal;
+            const double normal = sim::runAntt(cfg, *wl).antt;
+            cfg.prefetchPolicy = cache::PrefetchPolicy::Bypass;
+            const double bypass = sim::runAntt(cfg, *wl).antt;
+
+            g_normal.push_back((base - normal) / base * 100.0);
+            g_bypass.push_back((base - bypass) / base * 100.0);
+        }
+        table.row()
+            .cell(static_cast<std::uint64_t>(n))
+            .pct(mean(g_normal))
+            .pct(mean(g_bypass));
+    }
+    table.print();
+
+    std::printf("\npaper values: N=1 -> 9.8%% / 10.4%%; N=3 -> 8.7%% "
+                "/ 9.3%%. Shape: gains persist under prefetching.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Domain scenario 2: capacity planning for a stacked-DRAM part.
+ *
+ * A product team choosing how much stacked DRAM to provision sweeps
+ * the cache capacity for a fixed workload and watches hit rate,
+ * latency and off-chip bandwidth saturate. The Bi-Modal Cache's
+ * SRAM budget (way locator + predictor) is also reported per point,
+ * showing that -- unlike tags-in-SRAM designs -- its SRAM cost grows
+ * only logarithmically with capacity (Table III's scaling argument).
+ *
+ *   ./build/examples/capacity_planning [--workload=Q5]
+ */
+
+#include <cstdio>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+
+    Options opts("Sweep DRAM cache capacity for one workload");
+    opts.addString("workload", "Q5", "quad-core workload");
+    opts.addUint("instrs", 800'000, "instructions per core");
+    opts.addUint("seed", 1, "experiment seed");
+    opts.parse(argc, argv);
+
+    const auto &wl = trace::findWorkload(opts.getString("workload"));
+
+    std::printf("capacity sweep, workload %s, Bi-Modal Cache\n"
+                "(workload footprint pinned to the 8 MiB reference point)\n\n",
+                wl.name.c_str());
+
+    Table table({"capacity", "hit%", "avg penalty", "offchip MB",
+                 "locator hit%", "bimodal SRAM KB"});
+
+    for (const std::uint64_t mib : {2ULL, 4ULL, 8ULL, 16ULL, 32ULL}) {
+        sim::MachineConfig cfg = sim::MachineConfig::preset(4);
+        cfg.scheme = sim::Scheme::BiModal;
+        cfg.dramCacheBytes = mib * kMiB;
+        // Pin the workload footprint to the 8 MiB reference point so
+        // the sweep varies ONLY the provisioned capacity.
+        cfg.footprintRefBytes = 8 * kMiB;
+        cfg.instrPerCore = opts.getUint("instrs");
+        cfg.warmupInstrPerCore = opts.getUint("instrs");
+        cfg.seed = opts.getUint("seed");
+        sim::System system(cfg, wl.programs);
+        const auto rs = system.run();
+        table.row()
+            .cell(std::to_string(mib) + " MiB")
+            .pct(rs.cacheHitRate * 100.0)
+            .cell(rs.avgAccessLatency, 1)
+            .cell(static_cast<double>(rs.offchipFetchBytes) / 1e6, 2)
+            .pct(rs.locatorHitRate * 100.0)
+            .cell(static_cast<double>(system.org().sramBytes()) /
+                      1024.0,
+                  1);
+    }
+    table.print();
+
+    std::printf("\nNote: hit rate climbs with capacity while the "
+                "SRAM budget stays nearly flat -- the property that "
+                "lets metadata live in DRAM as caches grow.\n");
+    return 0;
+}

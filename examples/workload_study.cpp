@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Domain scenario 1: an architect comparing DRAM cache organizations
+ * for a target workload portfolio.
+ *
+ * Runs every implemented organization over a set of multiprogrammed
+ * mixes and reports the metrics an architecture study would table:
+ * hit rate, average LLSC miss penalty, off-chip traffic and the
+ * SRAM budget each scheme spends on tags/predictors.
+ *
+ *   ./build/examples/workload_study [--workloads=Q1,Q3,...]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+
+    Options opts("Compare all DRAM cache organizations on a "
+                 "workload portfolio");
+    opts.addString("workloads", "Q1,Q5,Q7",
+                   "comma-separated quad-core workloads");
+    opts.addUint("instrs", 1'000'000, "instructions per core");
+    opts.addUint("seed", 1, "experiment seed");
+    opts.parse(argc, argv);
+
+    std::vector<std::string> names;
+    {
+        const std::string &arg = opts.getString("workloads");
+        size_t pos = 0;
+        while (pos != std::string::npos) {
+            const size_t comma = arg.find(',', pos);
+            names.push_back(arg.substr(pos, comma - pos));
+            pos = comma == std::string::npos ? comma : comma + 1;
+        }
+    }
+
+    const std::vector<std::pair<const char *, sim::Scheme>> schemes = {
+        {"alloy", sim::Scheme::Alloy},
+        {"loh_hill", sim::Scheme::LohHill},
+        {"atcache", sim::Scheme::ATCache},
+        {"footprint", sim::Scheme::Footprint},
+        {"bimodal", sim::Scheme::BiModal},
+    };
+
+    for (const auto &name : names) {
+        const auto &wl = trace::findWorkload(name);
+        std::printf("=== workload %s (%s intensity) ===\n",
+                    wl.name.c_str(),
+                    wl.highIntensity ? "high" : "moderate/low");
+        Table table({"scheme", "hit%", "avg penalty", "offchip MB",
+                     "writeback MB", "SRAM budget KB"});
+        for (const auto &[label, scheme] : schemes) {
+            sim::MachineConfig cfg = sim::MachineConfig::preset(4);
+            cfg.scheme = scheme;
+            cfg.instrPerCore = opts.getUint("instrs");
+            cfg.warmupInstrPerCore = opts.getUint("instrs");
+            cfg.seed = opts.getUint("seed");
+            sim::System system(cfg, wl.programs);
+            const auto rs = system.run();
+            table.row()
+                .cell(label)
+                .pct(rs.cacheHitRate * 100.0)
+                .cell(rs.avgAccessLatency, 1)
+                .cell(static_cast<double>(rs.offchipFetchBytes) / 1e6,
+                      2)
+                .cell(static_cast<double>(rs.writebackBytes) / 1e6, 2)
+                .cell(static_cast<double>(
+                          system.org().sramBytes()) /
+                          1024.0,
+                      1);
+        }
+        table.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "cache/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace bmc::cache
+{
+
+MshrFile::MshrFile(unsigned num_entries, stats::StatGroup &parent)
+    : numEntries_(num_entries), sg_("mshr", &parent),
+      primaryMisses_(sg_, "primary", "misses that issued downstream"),
+      mergedMisses_(sg_, "merged", "misses merged into an entry")
+{
+}
+
+bool
+MshrFile::allocate(Addr block_addr, Callback cb)
+{
+    auto it = entries_.find(block_addr);
+    if (it != entries_.end()) {
+        it->second.push_back(std::move(cb));
+        ++mergedMisses_;
+        return false;
+    }
+    bmc_assert(!full(), "MSHR allocate on a full file");
+    entries_[block_addr].push_back(std::move(cb));
+    ++primaryMisses_;
+    return true;
+}
+
+void
+MshrFile::complete(Addr block_addr, Tick when)
+{
+    auto it = entries_.find(block_addr);
+    bmc_assert(it != entries_.end(),
+               "MSHR complete for unknown block %llx",
+               static_cast<unsigned long long>(block_addr));
+    auto callbacks = std::move(it->second);
+    entries_.erase(it);
+    for (auto &cb : callbacks) {
+        if (cb)
+            cb(when);
+    }
+}
+
+} // namespace bmc::cache

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Miss Status Holding Registers for the shared LLSC.
+ *
+ * Outstanding misses to the same block merge into one downstream
+ * request; the file has a bounded number of entries (Table IV gives
+ * 128/256/512 MSHRs for the 4/8/16-core LLSC configurations), and
+ * full() lets the core model apply back-pressure.
+ */
+
+#ifndef BMC_CACHE_MSHR_HH
+#define BMC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bmc::cache
+{
+
+/** Bounded MSHR file keyed by block address. */
+class MshrFile
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    MshrFile(unsigned num_entries, stats::StatGroup &parent);
+
+    /** True when no new block-miss can be tracked. */
+    bool full() const { return entries_.size() >= numEntries_; }
+
+    /** An entry for @p block_addr is already outstanding. */
+    bool outstanding(Addr block_addr) const
+    {
+        return entries_.count(block_addr) != 0;
+    }
+
+    /**
+     * Register a miss. @return true if this was the primary miss
+     * (caller must issue the downstream request); false if it merged
+     * into an existing entry.
+     */
+    bool allocate(Addr block_addr, Callback cb);
+
+    /** Complete the entry, invoking every merged callback. */
+    void complete(Addr block_addr, Tick when);
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    unsigned numEntries_;
+    std::unordered_map<Addr, std::vector<Callback>> entries_;
+
+    stats::StatGroup sg_;
+    stats::Counter primaryMisses_;
+    stats::Counter mergedMisses_;
+};
+
+} // namespace bmc::cache
+
+#endif // BMC_CACHE_MSHR_HH

@@ -1,0 +1,35 @@
+#include "cache/prefetcher.hh"
+
+#include "cache/sram_cache.hh"
+#include "common/bitops.hh"
+
+namespace bmc::cache
+{
+
+NextNLinePrefetcher::NextNLinePrefetcher(unsigned degree,
+                                         std::uint32_t line_bytes,
+                                         stats::StatGroup &parent)
+    : degree_(degree), lineBytes_(line_bytes), sg_("prefetcher", &parent),
+      issued_(sg_, "issued", "prefetches issued"),
+      filtered_(sg_, "filtered", "prefetches dropped (already cached)")
+{
+}
+
+std::vector<Addr>
+NextNLinePrefetcher::onMiss(Addr miss_addr, const SramCache &llsc)
+{
+    std::vector<Addr> out;
+    const Addr base = roundDown(miss_addr, lineBytes_);
+    for (unsigned i = 1; i <= degree_; ++i) {
+        const Addr candidate = base + static_cast<Addr>(i) * lineBytes_;
+        if (llsc.probe(candidate)) {
+            ++filtered_;
+            continue;
+        }
+        out.push_back(candidate);
+        ++issued_;
+    }
+    return out;
+}
+
+} // namespace bmc::cache

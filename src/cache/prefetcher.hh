@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Next-N-lines prefetcher (Section V-I of the paper).
+ *
+ * Observes misses in the LLSC and proposes prefetches of the next N
+ * spatially-adjacent 64 B blocks, filtered against blocks already
+ * present in the LLSC. The paper evaluates conservative (N = 1) and
+ * aggressive (N = 3) settings, with DRAM-cache-side handling of
+ * PREF_NORMAL (prefetches fill the DRAM cache) vs PREF_BYPASS
+ * (prefetch misses bypass the DRAM cache).
+ */
+
+#ifndef BMC_CACHE_PREFETCHER_HH
+#define BMC_CACHE_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bmc::cache
+{
+
+class SramCache;
+
+/** DRAM-cache handling policy for prefetch requests. */
+enum class PrefetchPolicy : std::uint8_t
+{
+    Off,    //!< prefetcher disabled
+    Normal, //!< prefetches treated exactly like demand accesses
+    Bypass, //!< prefetch DRAM-cache misses bypass the DRAM cache
+};
+
+/** Stateless next-N-line prefetch generator. */
+class NextNLinePrefetcher
+{
+  public:
+    NextNLinePrefetcher(unsigned degree, std::uint32_t line_bytes,
+                        stats::StatGroup &parent);
+
+    /**
+     * Called on an LLSC miss to @p miss_addr; returns the block base
+     * addresses to prefetch (next @c degree lines not in @p llsc).
+     */
+    std::vector<Addr> onMiss(Addr miss_addr, const SramCache &llsc);
+
+    unsigned degree() const { return degree_; }
+    std::uint64_t issued() const { return issued_.value(); }
+
+  private:
+    unsigned degree_;
+    std::uint32_t lineBytes_;
+
+    stats::StatGroup sg_;
+    stats::Counter issued_;
+    stats::Counter filtered_;
+};
+
+} // namespace bmc::cache
+
+#endif // BMC_CACHE_PREFETCHER_HH

@@ -1,0 +1,159 @@
+#include "cache/sram_cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::cache
+{
+
+SramCache::SramCache(const Params &params, stats::StatGroup &parent)
+    : p_(params),
+      numSets_(params.sizeBytes / params.blockBytes / params.assoc),
+      rng_(params.seed),
+      sg_(params.name, &parent),
+      accesses_(sg_, "accesses", "total accesses"),
+      hits_(sg_, "hits", "accesses that hit"),
+      evictions_(sg_, "evictions", "valid blocks evicted"),
+      writebacks_(sg_, "writebacks", "dirty blocks written back"),
+      mruPos_(sg_, "mru_pos", "hit distance from MRU", params.assoc)
+{
+    bmc_assert(isPowerOf2(p_.blockBytes), "block size must be pow2");
+    bmc_assert(numSets_ > 0 && isPowerOf2(numSets_),
+               "set count must be a non-zero power of two "
+               "(size=%llu block=%u assoc=%u)",
+               static_cast<unsigned long long>(p_.sizeBytes),
+               p_.blockBytes, p_.assoc);
+    blocks_.resize(numSets_ * p_.assoc);
+}
+
+std::uint64_t
+SramCache::setIndex(Addr addr) const
+{
+    return (addr / p_.blockBytes) & (numSets_ - 1);
+}
+
+Addr
+SramCache::tagOf(Addr addr) const
+{
+    return addr / p_.blockBytes / numSets_;
+}
+
+Addr
+SramCache::blockBase(Addr tag, std::uint64_t set) const
+{
+    return (tag * numSets_ + set) * p_.blockBytes;
+}
+
+AccessOutcome
+SramCache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Block *ways = &blocks_[set * p_.assoc];
+
+    // Look for a hit and record its MRU-stack position.
+    int hit_way = -1;
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            hit_way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (hit_way >= 0) {
+        unsigned newer = 0;
+        for (unsigned w = 0; w < p_.assoc; ++w) {
+            if (ways[w].valid && static_cast<int>(w) != hit_way &&
+                ways[w].lastUse > ways[hit_way].lastUse) {
+                ++newer;
+            }
+        }
+        mruPos_.sample(newer);
+        ++hits_;
+        ways[hit_way].lastUse = ++useClock_;
+        if (is_write)
+            ways[hit_way].dirty = true;
+        return {true, false, false, invalidAddr};
+    }
+
+    // Miss: pick a victim -- an invalid way if available, else per
+    // the replacement policy.
+    unsigned victim = 0;
+    bool found_invalid = false;
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (!ways[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        if (p_.repl == ReplPolicy::Random) {
+            victim = static_cast<unsigned>(rng_.below(p_.assoc));
+        } else {
+            std::uint64_t oldest = maxTick;
+            for (unsigned w = 0; w < p_.assoc; ++w) {
+                if (ways[w].lastUse < oldest) {
+                    oldest = ways[w].lastUse;
+                    victim = w;
+                }
+            }
+        }
+    }
+
+    AccessOutcome out;
+    out.hit = false;
+    if (ways[victim].valid) {
+        out.evictedValid = true;
+        out.writeback = ways[victim].dirty;
+        out.victimAddr = blockBase(ways[victim].tag, set);
+        ++evictions_;
+        if (ways[victim].dirty)
+            ++writebacks_;
+    }
+
+    ways[victim] = {tag, true, is_write, ++useClock_};
+    return out;
+}
+
+bool
+SramCache::probe(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Block *ways = &blocks_[set * p_.assoc];
+    for (unsigned w = 0; w < p_.assoc; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+SramCache::invalidate(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Block *ways = &blocks_[set * p_.assoc];
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            const bool was_dirty = ways[w].dirty;
+            ways[w] = Block{};
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+double
+SramCache::missRate() const
+{
+    const auto total = accesses_.value();
+    return total ? static_cast<double>(misses()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace bmc::cache

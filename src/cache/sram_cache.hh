@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Generic set-associative SRAM cache model.
+ *
+ * Used for the private L1 data caches and the shared last-level SRAM
+ * cache (LLSC) in front of the DRAM cache (Table IV). The model is
+ * functional (contents + replacement state) with a fixed hit
+ * latency; the timing engine layers queuing and miss handling on
+ * top. Write-back, write-allocate.
+ *
+ * The cache also keeps a hit-position histogram (distance from MRU
+ * in the recency stack), which Fig 5 of the paper uses to motivate
+ * the 2-entry Way Locator.
+ */
+
+#ifndef BMC_CACHE_SRAM_CACHE_HH
+#define BMC_CACHE_SRAM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bmc::cache
+{
+
+/** Victim replacement policy. */
+enum class ReplPolicy : std::uint8_t
+{
+    LRU,
+    Random,
+};
+
+/** Result of a cache access. */
+struct AccessOutcome
+{
+    bool hit = false;
+    /** Valid victim was evicted to make room (miss path only). */
+    bool evictedValid = false;
+    /** The evicted victim was dirty and must be written back. */
+    bool writeback = false;
+    /** Block base address of the evicted victim. */
+    Addr victimAddr = invalidAddr;
+};
+
+/** Set-associative write-back cache. */
+class SramCache
+{
+  public:
+    struct Params
+    {
+        std::string name = "cache";
+        std::uint64_t sizeBytes = 32 * kKiB;
+        std::uint32_t blockBytes = kLineBytes;
+        unsigned assoc = 2;
+        unsigned hitLatency = 2;  //!< CPU cycles
+        ReplPolicy repl = ReplPolicy::LRU;
+        std::uint64_t seed = 7;
+    };
+
+    SramCache(const Params &params, stats::StatGroup &parent);
+
+    /**
+     * Access the cache; allocates on miss, evicting a victim.
+     * @return hit/miss and victim bookkeeping.
+     */
+    AccessOutcome access(Addr addr, bool is_write);
+
+    /** Lookup without any state update. */
+    bool probe(Addr addr) const;
+
+    /** Drop the block containing @p addr if present.
+     *  @return true if the dropped block was dirty. */
+    bool invalidate(Addr addr);
+
+    unsigned hitLatency() const { return p_.hitLatency; }
+    std::uint32_t blockBytes() const { return p_.blockBytes; }
+    std::uint64_t numSets() const { return numSets_; }
+
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const
+    {
+        return accesses_.value() - hits_.value();
+    }
+    double missRate() const;
+
+    /** Fraction of hits at MRU distance @p pos (0 = MRU). */
+    double hitFractionAtMruPos(unsigned pos) const
+    {
+        return mruPos_.fraction(pos);
+    }
+
+  private:
+    struct Block
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0; //!< recency stamp (higher = newer)
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr blockBase(Addr tag, std::uint64_t set) const;
+
+    Params p_;
+    std::uint64_t numSets_;
+    std::vector<Block> blocks_; //!< numSets_ x assoc, row-major
+    std::uint64_t useClock_ = 0;
+    Rng rng_;
+
+    stats::StatGroup sg_;
+    stats::Counter accesses_;
+    stats::Counter hits_;
+    stats::Counter evictions_;
+    stats::Counter writebacks_;
+    stats::Histogram mruPos_;
+};
+
+} // namespace bmc::cache
+
+#endif // BMC_CACHE_SRAM_CACHE_HH

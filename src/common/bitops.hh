@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by address maps, indexing schemes and
+ * predictor hash functions.
+ */
+
+#ifndef BMC_COMMON_BITOPS_HH
+#define BMC_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace bmc
+{
+
+/** Return a mask with the low @p nbits bits set. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1;
+}
+
+/**
+ * Extract the bit field [first, last] (inclusive, last >= first,
+ * bit 0 = LSB) from @p val.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Insert the low bits of @p field into [first, last] of @p val. */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, unsigned last, unsigned first,
+           std::uint64_t field)
+{
+    const std::uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63 - std::countl_zero(v);
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    assert(isPowerOf2(v));
+    return floorLog2(v);
+}
+
+/** ceil(a / b) for integers; @p b must be non-zero. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/**
+ * Mix the bits of a 64-bit value (SplitMix64 finalizer). Used to
+ * build well-distributed indices for predictor and locator tables
+ * from tag+set bits.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Fold a 64-bit value into @p nbits via xor-folding. */
+constexpr std::uint64_t
+foldBits(std::uint64_t v, unsigned nbits)
+{
+    assert(nbits > 0 && nbits < 64);
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & mask(nbits);
+        v >>= nbits;
+    }
+    return r;
+}
+
+} // namespace bmc
+
+#endif // BMC_COMMON_BITOPS_HH

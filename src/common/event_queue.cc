@@ -1,0 +1,41 @@
+#include "common/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace bmc
+{
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    bmc_assert(when >= now_,
+               "scheduling into the past: when=%llu now=%llu",
+               static_cast<unsigned long long>(when),
+               static_cast<unsigned long long>(now_));
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast is UB,
+    // so copy the callback handle (std::function copy) instead.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    ++numExecuted_;
+    e.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick until)
+{
+    while (!heap_.empty() && heap_.top().when <= until)
+        step();
+    return now_;
+}
+
+} // namespace bmc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives one simulated system. Components
+ * schedule closures at absolute ticks; the queue executes them in
+ * (tick, insertion-order) order, so same-tick events are
+ * deterministic. There is no global singleton: every System owns its
+ * queue, which keeps independent experiment runs isolated and
+ * trivially parallelizable by the caller.
+ */
+
+#ifndef BMC_COMMON_EVENT_QUEUE_HH
+#define BMC_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bmc
+{
+
+/** Min-heap driven event queue with a monotonic current tick. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events executed so far. */
+    std::uint64_t numExecuted() const { return numExecuted_; }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Run until the queue drains or @p until is reached.
+     * @return the tick of the last executed event.
+     */
+    Tick run(Tick until = maxTick);
+
+    /** Execute at most one event. @return false if queue was empty. */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numExecuted_ = 0;
+};
+
+} // namespace bmc
+
+#endif // BMC_COMMON_EVENT_QUEUE_HH

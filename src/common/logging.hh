@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated (simulator bug);
+ *             aborts.
+ * fatal()  -- the user asked for something impossible (bad config);
+ *             exits with status 1.
+ * warn()   -- something is suspicious but the simulation continues.
+ * inform() -- plain status output.
+ */
+
+#ifndef BMC_COMMON_LOGGING_HH
+#define BMC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bmc
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace bmc
+
+#define bmc_panic(...) \
+    ::bmc::panicImpl(__FILE__, __LINE__, ::bmc::strfmt(__VA_ARGS__))
+
+#define bmc_fatal(...) \
+    ::bmc::fatalImpl(__FILE__, __LINE__, ::bmc::strfmt(__VA_ARGS__))
+
+#define bmc_warn(...) ::bmc::warnImpl(::bmc::strfmt(__VA_ARGS__))
+
+#define bmc_inform(...) ::bmc::informImpl(::bmc::strfmt(__VA_ARGS__))
+
+/** Fatal-if-false check that stays on in release builds. */
+#define bmc_assert(cond, ...)                                        \
+    do {                                                             \
+        if (!(cond)) {                                               \
+            ::bmc::panicImpl(__FILE__, __LINE__,                     \
+                             std::string("assertion failed: " #cond  \
+                                         " -- ") +                   \
+                                 ::bmc::strfmt(__VA_ARGS__));        \
+        }                                                            \
+    } while (0)
+
+#endif // BMC_COMMON_LOGGING_HH

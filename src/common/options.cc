@@ -1,0 +1,175 @@
+#include "common/options.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bmc
+{
+
+Options::Options(std::string program_desc)
+    : programDesc_(std::move(program_desc))
+{
+    addFlag("help", false, "print this help and exit");
+}
+
+Options &
+Options::addFlag(const std::string &name, bool def,
+                 const std::string &desc)
+{
+    opts_[name] = {Kind::Flag, desc, def ? "1" : "0", def ? "1" : "0"};
+    order_.push_back(name);
+    return *this;
+}
+
+Options &
+Options::addInt(const std::string &name, std::int64_t def,
+                const std::string &desc)
+{
+    opts_[name] = {Kind::Int, desc, std::to_string(def),
+                   std::to_string(def)};
+    order_.push_back(name);
+    return *this;
+}
+
+Options &
+Options::addUint(const std::string &name, std::uint64_t def,
+                 const std::string &desc)
+{
+    opts_[name] = {Kind::Uint, desc, std::to_string(def),
+                   std::to_string(def)};
+    order_.push_back(name);
+    return *this;
+}
+
+Options &
+Options::addDouble(const std::string &name, double def,
+                   const std::string &desc)
+{
+    opts_[name] = {Kind::Double, desc, strfmt("%g", def),
+                   strfmt("%g", def)};
+    order_.push_back(name);
+    return *this;
+}
+
+Options &
+Options::addString(const std::string &name, const std::string &def,
+                   const std::string &desc)
+{
+    opts_[name] = {Kind::String, desc, def, def};
+    order_.push_back(name);
+    return *this;
+}
+
+void
+Options::set(const std::string &name, const std::string &value)
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        bmc_fatal("unknown option --%s", name.c_str());
+    it->second.value = value;
+}
+
+void
+Options::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            bmc_fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            set(arg.substr(0, eq), arg.substr(eq + 1));
+            continue;
+        }
+
+        // --no-flag negation.
+        if (arg.rfind("no-", 0) == 0) {
+            const std::string name = arg.substr(3);
+            auto it = opts_.find(name);
+            if (it != opts_.end() && it->second.kind == Kind::Flag) {
+                it->second.value = "0";
+                continue;
+            }
+        }
+
+        auto it = opts_.find(arg);
+        if (it == opts_.end())
+            bmc_fatal("unknown option --%s", arg.c_str());
+        if (it->second.kind == Kind::Flag) {
+            it->second.value = "1";
+        } else {
+            if (i + 1 >= argc)
+                bmc_fatal("option --%s needs a value", arg.c_str());
+            it->second.value = argv[++i];
+        }
+    }
+
+    if (flag("help")) {
+        std::fputs(helpText().c_str(), stdout);
+        std::exit(0);
+    }
+}
+
+const Options::Opt &
+Options::find(const std::string &name, Kind kind) const
+{
+    auto it = opts_.find(name);
+    if (it == opts_.end())
+        bmc_panic("option --%s was never declared", name.c_str());
+    if (it->second.kind != kind)
+        bmc_panic("option --%s accessed with wrong type", name.c_str());
+    return it->second;
+}
+
+bool
+Options::flag(const std::string &name) const
+{
+    return find(name, Kind::Flag).value == "1";
+}
+
+std::int64_t
+Options::getInt(const std::string &name) const
+{
+    return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr, 0);
+}
+
+std::uint64_t
+Options::getUint(const std::string &name) const
+{
+    return std::strtoull(find(name, Kind::Uint).value.c_str(), nullptr,
+                         0);
+}
+
+double
+Options::getDouble(const std::string &name) const
+{
+    return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+}
+
+const std::string &
+Options::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+std::string
+Options::helpText() const
+{
+    std::ostringstream os;
+    os << programDesc_ << "\n\noptions:\n";
+    for (const auto &name : order_) {
+        const auto &opt = opts_.at(name);
+        os << "  --" << name;
+        if (opt.kind != Kind::Flag)
+            os << "=<value>";
+        os << "  (default: " << opt.def << ")\n      " << opt.desc
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace bmc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal command-line option parser for bench/example binaries.
+ *
+ * Supports "--name=value", "--name value" and boolean "--flag"
+ * (with "--no-flag" negation). Unknown options are fatal so typos
+ * in experiment scripts never silently run the wrong config.
+ */
+
+#ifndef BMC_COMMON_OPTIONS_HH
+#define BMC_COMMON_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bmc
+{
+
+/** Declarative option set with typed accessors. */
+class Options
+{
+  public:
+    /** @param program_desc one-line description printed by --help. */
+    explicit Options(std::string program_desc);
+
+    Options &addFlag(const std::string &name, bool def,
+                     const std::string &desc);
+    Options &addInt(const std::string &name, std::int64_t def,
+                    const std::string &desc);
+    Options &addUint(const std::string &name, std::uint64_t def,
+                     const std::string &desc);
+    Options &addDouble(const std::string &name, double def,
+                       const std::string &desc);
+    Options &addString(const std::string &name, const std::string &def,
+                       const std::string &desc);
+
+    /**
+     * Parse argv. Exits(0) after printing help on --help; calls
+     * fatal() on unknown or malformed options.
+     */
+    void parse(int argc, char **argv);
+
+    bool flag(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    std::uint64_t getUint(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    const std::string &getString(const std::string &name) const;
+
+    /** Render the --help text. */
+    std::string helpText() const;
+
+  private:
+    enum class Kind { Flag, Int, Uint, Double, String };
+
+    struct Opt
+    {
+        Kind kind;
+        std::string desc;
+        std::string value; // textual representation
+        std::string def;
+    };
+
+    const Opt &find(const std::string &name, Kind kind) const;
+    void set(const std::string &name, const std::string &value);
+
+    std::string programDesc_;
+    std::map<std::string, Opt> opts_;
+    std::vector<std::string> order_;
+};
+
+} // namespace bmc
+
+#endif // BMC_COMMON_OPTIONS_HH

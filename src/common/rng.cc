@@ -1,0 +1,114 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/bitops.hh"
+
+namespace bmc
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed_val)
+{
+    seed(seed_val);
+}
+
+void
+Rng::seed(std::uint64_t seed_val)
+{
+    // Expand the single seed with SplitMix64, per xoshiro guidance.
+    std::uint64_t x = seed_val;
+    for (auto &s : s_) {
+        x += 0x9e3779b97f4a7c15ULL;
+        s = mix64(x);
+    }
+    // Avoid the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    assert(bound != 0);
+    // Lemire-style rejection to remove modulo bias.
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::real()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return real() < p;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+{
+    assert(n > 0);
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf_[i] = sum;
+    }
+    for (auto &c : cdf_)
+        c /= sum;
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.real();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace bmc

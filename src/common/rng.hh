@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic random number generation for trace synthesis and
+ * random replacement decisions.
+ *
+ * All randomness in the simulator flows through Rng instances that
+ * are explicitly seeded, so every experiment is exactly reproducible
+ * from its configuration. The generator is xoshiro256**, which is
+ * fast and high quality; a Zipf sampler is provided for hot/cold
+ * page-popularity synthesis.
+ */
+
+#ifndef BMC_COMMON_RNG_HH
+#define BMC_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bmc
+{
+
+/** Seeded xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1);
+
+    /** Re-seed deterministically from a single 64-bit value. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) ; bound must be non-zero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf-distributed sampler over n items with exponent alpha.
+ *
+ * Uses the inverse-CDF over a precomputed cumulative table; O(log n)
+ * per sample. Item 0 is the most popular.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw an item index in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t numItems() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace bmc
+
+#endif // BMC_COMMON_RNG_HH

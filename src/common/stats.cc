@@ -1,0 +1,111 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bmc::stats
+{
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.add(this);
+}
+
+std::string
+Counter::render() const
+{
+    return std::to_string(value_);
+}
+
+std::string
+Average::render() const
+{
+    return strfmt("%.4f (n=%llu)", mean(),
+                  static_cast<unsigned long long>(count_));
+}
+
+Histogram::Histogram(StatGroup &group, std::string name, std::string desc,
+                     unsigned num_buckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      buckets_(num_buckets, 0)
+{
+    bmc_assert(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(unsigned bucket)
+{
+    const unsigned idx =
+        std::min<unsigned>(bucket,
+                           static_cast<unsigned>(buckets_.size()) - 1);
+    ++buckets_[idx];
+    ++total_;
+}
+
+double
+Histogram::fraction(unsigned i) const
+{
+    return total_ == 0
+               ? 0.0
+               : static_cast<double>(buckets_.at(i)) /
+                     static_cast<double>(total_);
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << buckets_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name))
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : stats_)
+        s->reset();
+    for (auto *c : children_)
+        c->resetAll();
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    const std::string full =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto *s : stats_) {
+        os << full << "." << s->name() << " = " << s->render();
+        if (!s->desc().empty())
+            os << "  # " << s->desc();
+        os << "\n";
+    }
+    for (const auto *c : children_)
+        os << c->dump(full);
+    return os.str();
+}
+
+} // namespace bmc::stats

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Lightweight statistics package, loosely modelled on gem5's.
+ *
+ * Components own StatGroup objects; individual statistics register
+ * themselves with their group so that a whole simulation can be
+ * dumped uniformly. Only the handful of stat kinds the experiments
+ * need are provided: scalar counters, ratios of counters, averages
+ * and fixed-bucket histograms.
+ */
+
+#ifndef BMC_COMMON_STATS_HH
+#define BMC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bmc::stats
+{
+
+class StatGroup;
+
+/** Base class for all statistics; registers with a group. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** One-line textual rendering of the value. */
+    virtual std::string render() const = 0;
+
+    /** Reset to the initial value (used between warmup and measure). */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic scalar counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    std::string render() const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running average of observed samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v) { sum_ += v; ++count_; }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::string render() const override;
+    void reset() override { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Histogram over fixed, caller-defined bucket count [0, n). */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup &group, std::string name, std::string desc,
+              unsigned num_buckets);
+
+    /** Count one observation of @p bucket (clamped to the last). */
+    void sample(unsigned bucket);
+
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    std::uint64_t total() const { return total_; }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+    /** Fraction of samples in bucket @p i (0 if empty). */
+    double fraction(unsigned i) const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Named collection of statistics belonging to one component.
+ * Groups can nest to mirror the component hierarchy.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    void add(StatBase *stat) { stats_.push_back(stat); }
+    void addChild(StatGroup *child) { children_.push_back(child); }
+
+    /** Reset every stat in this group and all children. */
+    void resetAll();
+
+    /** Render "group.stat = value  # desc" lines recursively. */
+    std::string dump(const std::string &prefix = "") const;
+
+    const std::vector<StatBase *> &statistics() const { return stats_; }
+
+  private:
+    std::string name_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace bmc::stats
+
+#endif // BMC_COMMON_STATS_HH

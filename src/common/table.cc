@@ -1,0 +1,101 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bmc
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    bmc_assert(!rows_.empty(), "cell() before row()");
+    bmc_assert(rows_.back().size() < headers_.size(),
+               "too many cells in row");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(strfmt("%.*f", precision, v));
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::pct(double v, int precision)
+{
+    return cell(strfmt("%.*f%%", precision, v));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &os) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text = c < row.size() ? row[c] : "";
+            os << text;
+            if (c + 1 < headers_.size())
+                os << std::string(widths[c] - text.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit_row(headers_, os);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row, os);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace bmc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harnesses to emit the rows
+ * and series of each paper table/figure in a uniform format.
+ */
+
+#ifndef BMC_COMMON_TABLE_HH
+#define BMC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace bmc
+{
+
+/**
+ * Simple right-padded text table. Columns are sized to their widest
+ * cell; numeric convenience overloads format with fixed precision.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it. */
+    Table &row();
+
+    Table &cell(const std::string &text);
+    Table &cell(const char *text);
+    /** Format a double with @p precision decimal places. */
+    Table &cell(double v, int precision = 2);
+    Table &cell(std::uint64_t v);
+    Table &cell(int v);
+
+    /** As cell(double) but with a trailing percent sign. */
+    Table &pct(double v, int precision = 1);
+
+    /** Render the whole table including header separator. */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bmc
+
+#endif // BMC_COMMON_TABLE_HH

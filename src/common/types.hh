@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types and unit constants shared by every module.
+ *
+ * The simulator runs on a single global clock domain expressed in CPU
+ * cycles of the 3.2 GHz core clock (Table IV of the paper). DRAM-side
+ * timing parameters are converted into this domain when a
+ * dram::TimingParams preset is constructed.
+ */
+
+#ifndef BMC_COMMON_TYPES_HH
+#define BMC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace bmc
+{
+
+/** Simulated time, in CPU cycles of the global 3.2 GHz clock. */
+using Tick = std::uint64_t;
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Identifier of a core in a multiprogrammed workload. */
+using CoreId = std::uint16_t;
+
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** The fine-grain block size used throughout the paper (64 bytes). */
+constexpr std::uint32_t kLineBytes = 64;
+
+} // namespace bmc
+
+#endif // BMC_COMMON_TYPES_HH

@@ -1,0 +1,34 @@
+#include "dram/address_map.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::dram
+{
+
+AddressMap::AddressMap(std::uint32_t page_bytes, unsigned channels,
+                       unsigned banks)
+    : pageBytes_(page_bytes), channels_(channels), banks_(banks)
+{
+    bmc_assert(isPowerOf2(page_bytes), "page size must be pow2");
+    bmc_assert(channels > 0 && banks > 0, "need channels and banks");
+}
+
+Location
+AddressMap::locate(Addr addr) const
+{
+    const Addr page = addr / pageBytes_;
+    Location loc;
+    loc.channel = static_cast<unsigned>(page % channels_);
+    loc.bank = static_cast<unsigned>((page / channels_) % banks_);
+    loc.row = page / (static_cast<Addr>(channels_) * banks_);
+    return loc;
+}
+
+std::uint32_t
+AddressMap::pageOffset(Addr addr) const
+{
+    return static_cast<std::uint32_t>(addr % pageBytes_);
+}
+
+} // namespace bmc::dram

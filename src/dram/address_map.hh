@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate interleaving.
+ *
+ * Implements the paper's "row-rank-bank-mc-column" interleave
+ * (Table IV): the column bits are least significant, so an entire
+ * DRAM page of consecutive addresses lands in one (channel, bank,
+ * row); successive pages then stripe across memory controllers,
+ * banks and ranks before advancing the row. Ranks are folded into
+ * the bank dimension (a rank contributes banks, its bus-turnaround
+ * cost is not modelled separately).
+ */
+
+#ifndef BMC_DRAM_ADDRESS_MAP_HH
+#define BMC_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/request.hh"
+
+namespace bmc::dram
+{
+
+/** Maps byte addresses to (channel, bank, row) coordinates. */
+class AddressMap
+{
+  public:
+    /**
+     * @param page_bytes bytes per DRAM row
+     * @param channels   number of memory controllers / channels
+     * @param banks      banks per channel (ranks folded in)
+     */
+    AddressMap(std::uint32_t page_bytes, unsigned channels,
+               unsigned banks);
+
+    /** Coordinates of the page containing @p addr. */
+    Location locate(Addr addr) const;
+
+    /** Byte offset of @p addr within its DRAM page. */
+    std::uint32_t pageOffset(Addr addr) const;
+
+    std::uint32_t pageBytes() const { return pageBytes_; }
+    unsigned channels() const { return channels_; }
+    unsigned banks() const { return banks_; }
+
+  private:
+    std::uint32_t pageBytes_;
+    unsigned channels_;
+    unsigned banks_;
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_ADDRESS_MAP_HH

@@ -1,0 +1,262 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bmc::dram
+{
+
+ActivityCounters &
+ActivityCounters::operator+=(const ActivityCounters &o)
+{
+    activates += o.activates;
+    precharges += o.precharges;
+    columnReads += o.columnReads;
+    columnWrites += o.columnWrites;
+    bytesRead += o.bytesRead;
+    bytesWritten += o.bytesWritten;
+    refreshes += o.refreshes;
+    return *this;
+}
+
+Channel::Channel(EventQueue &eq, const TimingParams &params,
+                 unsigned channel_id, stats::StatGroup &parent)
+    : eq_(eq), p_(params), id_(channel_id),
+      banks_(params.banksPerChannel),
+      nextRefreshAt_(params.toTicks(params.tREFI)),
+      sg_("channel" + std::to_string(channel_id), &parent),
+      dataRowHits_(sg_, "data_row_hits",
+                   "row-buffer hits for data accesses"),
+      dataRowMisses_(sg_, "data_row_misses",
+                     "row-buffer misses for data accesses"),
+      metaRowHits_(sg_, "meta_row_hits",
+                   "row-buffer hits for metadata accesses"),
+      metaRowMisses_(sg_, "meta_row_misses",
+                     "row-buffer misses for metadata accesses"),
+      reads_(sg_, "reads", "read requests serviced"),
+      writes_(sg_, "writes", "write requests serviced"),
+      refreshCount_(sg_, "refreshes", "refresh operations"),
+      queueDelay_(sg_, "queue_delay", "ticks from enqueue to issue"),
+      serviceTicks_(sg_, "service_ticks",
+                    "ticks from enqueue to completion")
+{
+    bmc_assert(params.banksPerChannel > 0, "channel needs banks");
+}
+
+double
+Channel::dataRowHitRate() const
+{
+    const auto total = dataRowHits_.value() + dataRowMisses_.value();
+    return total ? static_cast<double>(dataRowHits_.value()) / total
+                 : 0.0;
+}
+
+double
+Channel::metaRowHitRate() const
+{
+    const auto total = metaRowHits_.value() + metaRowMisses_.value();
+    return total ? static_cast<double>(metaRowHits_.value()) / total
+                 : 0.0;
+}
+
+void
+Channel::catchUpRefresh(Tick when)
+{
+    if (!p_.refreshEnabled)
+        return;
+    const Tick trefi = p_.toTicks(p_.tREFI);
+    const Tick trfc = p_.toTicks(p_.tRFC);
+    while (nextRefreshAt_ <= when) {
+        for (auto &bank : banks_) {
+            bank.rowOpen = false;
+            bank.nextActAllowed =
+                std::max(bank.nextActAllowed, nextRefreshAt_ + trfc);
+        }
+        nextRefreshAt_ += trefi;
+        ++refreshCount_;
+        ++activity_.refreshes;
+    }
+}
+
+Tick
+Channel::openRow(BankState &bank, std::uint64_t row, Tick start,
+                 bool &row_hit)
+{
+    if (bank.rowOpen && bank.openRow == row) {
+        row_hit = true;
+        return std::max(start, bank.actAt + p_.toTicks(p_.tRCD));
+    }
+    row_hit = false;
+    Tick act_at = std::max(start, bank.nextActAllowed);
+    if (bank.rowOpen) {
+        // Precharge first: respect tRAS since ACT, tRTP after the
+        // last read column command and tWR after the last write
+        // burst (the row must not close under an in-flight burst).
+        const Tick pre_at =
+            std::max({act_at, bank.actAt + p_.toTicks(p_.tRAS),
+                      bank.lastColAt + p_.toTicks(p_.tRTP),
+                      bank.lastWriteEnd + p_.toTicks(p_.tWR)});
+        act_at = pre_at + p_.toTicks(p_.tRP);
+        ++activity_.precharges;
+    }
+    bank.rowOpen = true;
+    bank.openRow = row;
+    bank.actAt = act_at;
+    ++activity_.activates;
+    return act_at + p_.toTicks(p_.tRCD);
+}
+
+void
+Channel::enqueue(Request req)
+{
+    bmc_assert(req.loc.bank < banks_.size(),
+               "bank %u out of range on channel %u", req.loc.bank, id_);
+    req.enqueueTick = eq_.now();
+
+    // ActivateOnly requests queue like any other and compete
+    // through FR-FCFS: the speculative ACT overlaps a concurrent
+    // metadata read without jumping ahead of demand commands.
+    queue_.push_back(std::move(req));
+    trySchedule();
+}
+
+size_t
+Channel::pickNext() const
+{
+    // FR-FCFS with demand priority: row-hitting demand requests
+    // first, then the oldest demand request, then row-hitting
+    // background traffic, then the oldest background request.
+    // Background traffic (fill remainders, writebacks) is bounded by
+    // the controller's fill-buffer credits, so it cannot grow the
+    // queue without limit even when demand saturates the channel.
+    size_t oldest_hi = queue_.size();
+    size_t oldest_lo = queue_.size();
+    size_t rowhit_lo = queue_.size();
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        const auto &r = queue_[i];
+        const auto &bank = banks_[r.loc.bank];
+        const bool row_hit =
+            bank.rowOpen && bank.openRow == r.loc.row;
+        if (!r.lowPriority) {
+            if (row_hit)
+                return i;
+            if (oldest_hi == queue_.size())
+                oldest_hi = i;
+        } else {
+            if (row_hit && rowhit_lo == queue_.size())
+                rowhit_lo = i;
+            if (oldest_lo == queue_.size())
+                oldest_lo = i;
+        }
+    }
+    if (oldest_hi != queue_.size())
+        return oldest_hi;
+    if (rowhit_lo != queue_.size())
+        return rowhit_lo;
+    return oldest_lo;
+}
+
+void
+Channel::serviceOne(size_t idx)
+{
+    Request req = std::move(queue_[idx]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    const bool low = req.lowPriority;
+    if (low)
+        ++inFlightLow_;
+
+    catchUpRefresh(eq_.now());
+
+    auto &bank = banks_[req.loc.bank];
+
+    if (req.kind == ReqKind::ActivateOnly) {
+        // Open the row (or find it open); uses no data bus and does
+        // not perturb the row-hit statistics.
+        bool spec_hit = false;
+        const Tick ready =
+            openRow(bank, req.loc.row, eq_.now(), spec_hit);
+        ++inFlight_;
+        auto cb = std::move(req.onComplete);
+        eq_.scheduleAt(ready, [this, cb = std::move(cb), ready] {
+            --inFlight_;
+            if (cb)
+                cb(ready);
+            trySchedule();
+        });
+        return;
+    }
+
+    bool row_hit = false;
+    const Tick col_ready =
+        openRow(bank, req.loc.row, eq_.now(), row_hit);
+
+    if (req.isMetadata) {
+        if (row_hit)
+            ++metaRowHits_;
+        else
+            ++metaRowMisses_;
+    } else {
+        if (row_hit)
+            ++dataRowHits_;
+        else
+            ++dataRowMisses_;
+    }
+
+    // The column command respects the tCCD fence; the data burst
+    // begins once CAS latency has elapsed and the bus is free (the
+    // command is implicitly delayed to match the bus). Same-row
+    // requests pipeline: the next CAS may issue tCCD after this one
+    // rather than after the whole transfer.
+    const Tick col_at = std::max(col_ready, bank.nextCasAllowed);
+    const Tick data_start =
+        std::max(col_at + p_.toTicks(p_.tCL), busFreeAt_);
+    const Tick eff_col = data_start - p_.toTicks(p_.tCL);
+    const Tick data_end = data_start + p_.transferTicks(req.bytes);
+    busFreeAt_ = data_end;
+    bank.nextCasAllowed = eff_col + p_.toTicks(p_.tCCD);
+    bank.lastColAt = eff_col;
+
+    if (req.kind == ReqKind::Write) {
+        bank.lastWriteEnd = data_end;
+        ++writes_;
+        ++activity_.columnWrites;
+        activity_.bytesWritten += req.bytes;
+    } else {
+        ++reads_;
+        ++activity_.columnReads;
+        activity_.bytesRead += req.bytes;
+    }
+
+    queueDelay_.sample(static_cast<double>(data_start - req.enqueueTick));
+    serviceTicks_.sample(static_cast<double>(data_end - req.enqueueTick));
+
+    ++inFlight_;
+    auto cb = std::move(req.onComplete);
+    eq_.scheduleAt(data_end,
+                   [this, cb = std::move(cb), data_end, low] {
+                       --inFlight_;
+                       if (low)
+                           --inFlightLow_;
+                       if (cb)
+                           cb(data_end);
+                       trySchedule();
+                   });
+}
+
+void
+Channel::trySchedule()
+{
+    while (!queue_.empty() && inFlight_ < lookahead_) {
+        const size_t idx = pickNext();
+        bmc_assert(idx < queue_.size(), "pickNext out of range");
+        // Commit at most one background request at a time so that a
+        // demand request arriving next cycle never waits behind a
+        // train of already-committed fills/writebacks.
+        if (queue_[idx].lowPriority && inFlightLow_ >= 1)
+            return;
+        serviceOne(idx);
+    }
+}
+
+} // namespace bmc::dram

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Banked DRAM channel with FR-FCFS scheduling, open-page policy and
+ * refresh.
+ *
+ * The channel is the serialization point of the model: each data
+ * transfer reserves the channel data bus, while per-bank row-buffer
+ * state machines (PRE -> ACT -> column) run concurrently so that
+ * bank preparation overlaps transfers on other banks. Scheduling is
+ * First-Ready FCFS [Rixner et al., ISCA'00]: among queued requests,
+ * the oldest row-buffer hit wins; otherwise the oldest request.
+ * Up to @c schedulerLookahead requests may be committed (reserved)
+ * at once, modelling the command pipelining of a real controller.
+ *
+ * Refresh is applied lazily but exactly: before any service, all
+ * refresh intervals (tREFI) that have elapsed are charged, closing
+ * every row and blocking the banks for tRFC, as in Table IV
+ * (tREFI = 7.8 us, tRFC = 280 nCK).
+ */
+
+#ifndef BMC_DRAM_CHANNEL_HH
+#define BMC_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/channel_iface.hh"
+#include "dram/request.hh"
+#include "dram/timing_params.hh"
+
+namespace bmc::dram
+{
+
+/** Activity counters consumed by the energy model (Section V-H). */
+struct ActivityCounters
+{
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t columnReads = 0;
+    std::uint64_t columnWrites = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t refreshes = 0;
+
+    ActivityCounters &operator+=(const ActivityCounters &o);
+};
+
+/** One DRAM channel: N banks sharing a data bus. */
+class Channel : public ChannelIface
+{
+  public:
+    Channel(EventQueue &eq, const TimingParams &params,
+            unsigned channel_id, stats::StatGroup &parent);
+
+    /** Queue a request. ActivateOnly requests are served at once. */
+    void enqueue(Request req) override;
+
+    /** Pending (not yet reserved) request count. */
+    size_t queueDepth() const override { return queue_.size(); }
+
+    const ActivityCounters &activity() const override
+    {
+        return activity_;
+    }
+
+    /** Row-buffer hit rate over data (non-metadata) accesses. */
+    double dataRowHitRate() const override;
+
+    /** Row-buffer hit rate over metadata accesses. */
+    double metaRowHitRate() const override;
+
+    std::uint64_t dataAccesses() const override
+    {
+        return dataRowHits_.value() + dataRowMisses_.value();
+    }
+    std::uint64_t metaAccesses() const override
+    {
+        return metaRowHits_.value() + metaRowMisses_.value();
+    }
+    std::uint64_t dataRowHits() const override
+    {
+        return dataRowHits_.value();
+    }
+    std::uint64_t metaRowHits() const override
+    {
+        return metaRowHits_.value();
+    }
+
+    /** Mean ticks from enqueue to completion (reads and writes). */
+    double avgServiceTicks() const override
+    {
+        return serviceTicks_.mean();
+    }
+
+  private:
+    struct BankState
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Tick nextActAllowed = 0; //!< earliest PRE/ACT sequence start
+        Tick nextCasAllowed = 0; //!< tCCD fence between column cmds
+        Tick actAt = 0;          //!< tick of the row-opening ACT
+        Tick lastColAt = 0;      //!< last column command (tRTP)
+        Tick lastWriteEnd = 0;   //!< last write burst end (tWR)
+    };
+
+    /** Apply all refresshes due at or before @p when. */
+    void catchUpRefresh(Tick when);
+
+    /** FR-FCFS pick: index into queue_, or npos if empty. */
+    size_t pickNext() const;
+
+    /** Reserve resources for one queued request; fire completion. */
+    void serviceOne(size_t idx);
+
+    /** Reserve/launch as much work as lookahead allows. */
+    void trySchedule();
+
+    /** Open @p row on @p bank starting no earlier than @p start.
+     *  @return tick at which column commands may issue. */
+    Tick openRow(BankState &bank, std::uint64_t row, Tick start,
+                 bool &row_hit);
+
+    EventQueue &eq_;
+    TimingParams p_;
+    unsigned id_;
+
+    std::vector<BankState> banks_;
+    std::deque<Request> queue_;
+    Tick busFreeAt_ = 0;
+    unsigned inFlight_ = 0;
+    unsigned inFlightLow_ = 0;
+    unsigned lookahead_ = 8;
+
+    Tick nextRefreshAt_;
+
+    ActivityCounters activity_;
+
+    stats::StatGroup sg_;
+    stats::Counter dataRowHits_;
+    stats::Counter dataRowMisses_;
+    stats::Counter metaRowHits_;
+    stats::Counter metaRowMisses_;
+    stats::Counter reads_;
+    stats::Counter writes_;
+    stats::Counter refreshCount_;
+    stats::Average queueDelay_;
+    stats::Average serviceTicks_;
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_CHANNEL_HH

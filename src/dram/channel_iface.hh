@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Interface shared by the two DRAM channel timing models:
+ *
+ *  - Channel (channel.hh): transaction-granularity reservation model
+ *    -- fast, captures row-buffer state, bank parallelism, bus
+ *    occupancy, refresh and demand priority;
+ *  - CommandChannel (command_channel.hh): command-granularity model
+ *    -- additionally enforces tRRD, tFAW, tCCD, tWTR, tRTP, tCWL and
+ *    single-command-per-cycle arbitration.
+ *
+ * DramSystem selects the implementation via
+ * TimingParams::commandLevel.
+ */
+
+#ifndef BMC_DRAM_CHANNEL_IFACE_HH
+#define BMC_DRAM_CHANNEL_IFACE_HH
+
+#include <cstdint>
+
+#include "dram/request.hh"
+
+namespace bmc::dram
+{
+
+struct ActivityCounters;
+
+/** Common surface of a DRAM channel timing model. */
+class ChannelIface
+{
+  public:
+    virtual ~ChannelIface() = default;
+
+    /** Queue a request; ActivateOnly requests are speculative. */
+    virtual void enqueue(Request req) = 0;
+
+    /** Pending (unreserved/unissued) request count. */
+    virtual size_t queueDepth() const = 0;
+
+    virtual const ActivityCounters &activity() const = 0;
+
+    virtual double dataRowHitRate() const = 0;
+    virtual double metaRowHitRate() const = 0;
+    virtual std::uint64_t dataAccesses() const = 0;
+    virtual std::uint64_t metaAccesses() const = 0;
+    virtual std::uint64_t dataRowHits() const = 0;
+    virtual std::uint64_t metaRowHits() const = 0;
+
+    /** Mean ticks from enqueue to completion. */
+    virtual double avgServiceTicks() const = 0;
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_CHANNEL_IFACE_HH

@@ -1,0 +1,318 @@
+#include "dram/command_channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bmc::dram
+{
+
+CommandChannel::CommandChannel(EventQueue &eq,
+                               const TimingParams &params,
+                               unsigned channel_id,
+                               stats::StatGroup &parent)
+    : eq_(eq), p_(params), id_(channel_id),
+      banks_(params.banksPerChannel),
+      nextRefreshAt_(params.toTicks(params.tREFI)),
+      sg_("cmdchannel" + std::to_string(channel_id), &parent),
+      dataRowHits_(sg_, "data_row_hits",
+                   "row-buffer hits for data accesses"),
+      dataRowMisses_(sg_, "data_row_misses",
+                     "row-buffer misses for data accesses"),
+      metaRowHits_(sg_, "meta_row_hits",
+                   "row-buffer hits for metadata accesses"),
+      metaRowMisses_(sg_, "meta_row_misses",
+                     "row-buffer misses for metadata accesses"),
+      reads_(sg_, "reads", "read requests serviced"),
+      writes_(sg_, "writes", "write requests serviced"),
+      refreshCount_(sg_, "refreshes", "refresh operations"),
+      actCommands_(sg_, "act_commands", "ACT commands issued"),
+      preCommands_(sg_, "pre_commands", "PRE commands issued"),
+      serviceTicks_(sg_, "service_ticks",
+                    "ticks from enqueue to completion")
+{
+    bmc_assert(params.banksPerChannel > 0, "channel needs banks");
+}
+
+double
+CommandChannel::dataRowHitRate() const
+{
+    const auto total = dataAccesses();
+    return total ? static_cast<double>(dataRowHits_.value()) / total
+                 : 0.0;
+}
+
+double
+CommandChannel::metaRowHitRate() const
+{
+    const auto total = metaAccesses();
+    return total ? static_cast<double>(metaRowHits_.value()) / total
+                 : 0.0;
+}
+
+void
+CommandChannel::catchUpRefresh(Tick now)
+{
+    if (!p_.refreshEnabled)
+        return;
+    const Tick trefi = p_.toTicks(p_.tREFI);
+    const Tick trfc = p_.toTicks(p_.tRFC);
+    while (nextRefreshAt_ <= now) {
+        for (auto &bank : banks_) {
+            bank.rowOpen = false;
+            bank.readyForAct =
+                std::max(bank.readyForAct, nextRefreshAt_ + trfc);
+        }
+        nextRefreshAt_ += trefi;
+        ++refreshCount_;
+        ++activity_.refreshes;
+    }
+}
+
+Tick
+CommandChannel::actAllowedAt(const BankState &bank) const
+{
+    Tick t = bank.readyForAct;
+    if (!recentActs_.empty())
+        t = std::max(t, recentActs_.back() + p_.toTicks(p_.tRRD));
+    if (recentActs_.size() >= 4)
+        t = std::max(t, recentActs_.front() + p_.toTicks(p_.tFAW));
+    return t;
+}
+
+Tick
+CommandChannel::casAllowedAt(const BankState &bank,
+                             const Txn &txn) const
+{
+    Tick t = std::max(bank.readyForCas,
+                      lastColIssueAt_ + p_.toTicks(p_.tCCD));
+    if (txn.req.kind == ReqKind::Read) {
+        // tWTR fence after the last write burst.
+        t = std::max(t, lastWriteEndAt_ + p_.toTicks(p_.tWTR));
+        // The read burst must find the data bus free.
+        t = std::max(t,
+                     dataBusFreeAt_ > p_.toTicks(p_.tCL)
+                         ? dataBusFreeAt_ - p_.toTicks(p_.tCL)
+                         : Tick{0});
+    } else {
+        // A write burst cannot start while a read still owns the
+        // bus, and the bus must be free at data time.
+        t = std::max(t, lastReadEndAt_ > p_.toTicks(p_.tCWL)
+                            ? lastReadEndAt_ - p_.toTicks(p_.tCWL)
+                            : Tick{0});
+        t = std::max(t,
+                     dataBusFreeAt_ > p_.toTicks(p_.tCWL)
+                         ? dataBusFreeAt_ - p_.toTicks(p_.tCWL)
+                         : Tick{0});
+    }
+    return t;
+}
+
+void
+CommandChannel::issueAct(Txn &txn, BankState &bank, Tick now)
+{
+    bank.rowOpen = true;
+    bank.openRow = txn.req.loc.row;
+    bank.readyForCas = now + p_.toTicks(p_.tRCD);
+    bank.readyForPre = std::max(bank.readyForPre,
+                                now + p_.toTicks(p_.tRAS));
+    recentActs_.push_back(now);
+    if (recentActs_.size() > 4)
+        recentActs_.pop_front();
+    txn.touchedBank = true;
+    ++actCommands_;
+    ++activity_.activates;
+}
+
+void
+CommandChannel::issuePre(Txn &txn, BankState &bank, Tick now)
+{
+    bank.rowOpen = false;
+    bank.readyForAct = std::max(bank.readyForAct,
+                                now + p_.toTicks(p_.tRP));
+    txn.touchedBank = true;
+    ++preCommands_;
+    ++activity_.precharges;
+}
+
+void
+CommandChannel::issueCas(size_t idx, BankState &bank, Tick now)
+{
+    Txn txn = std::move(queue_[idx]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    const bool is_write = txn.req.kind == ReqKind::Write;
+    const Tick data_start =
+        now + p_.toTicks(is_write ? p_.tCWL : p_.tCL);
+    const Tick data_end = data_start + p_.transferTicks(txn.req.bytes);
+
+    dataBusFreeAt_ = data_end;
+    lastColIssueAt_ = now;
+    if (is_write) {
+        lastWriteEndAt_ = data_end;
+        bank.readyForPre = std::max(bank.readyForPre,
+                                    data_end + p_.toTicks(p_.tWR));
+        ++writes_;
+        ++activity_.columnWrites;
+        activity_.bytesWritten += txn.req.bytes;
+    } else {
+        lastReadEndAt_ = data_end;
+        bank.readyForPre = std::max(bank.readyForPre,
+                                    now + p_.toTicks(p_.tRTP));
+        ++reads_;
+        ++activity_.columnReads;
+        activity_.bytesRead += txn.req.bytes;
+    }
+
+    // A transaction that never needed an ACT/PRE was a row hit.
+    if (txn.req.isMetadata) {
+        if (txn.touchedBank)
+            ++metaRowMisses_;
+        else
+            ++metaRowHits_;
+    } else {
+        if (txn.touchedBank)
+            ++dataRowMisses_;
+        else
+            ++dataRowHits_;
+    }
+    serviceTicks_.sample(
+        static_cast<double>(data_end - txn.req.enqueueTick));
+
+    if (txn.req.onComplete) {
+        auto cb = std::move(txn.req.onComplete);
+        eq_.scheduleAt(data_end,
+                       [cb = std::move(cb), data_end] { cb(data_end); });
+    }
+}
+
+std::vector<size_t>
+CommandChannel::pickOrder() const
+{
+    // FR-FCFS with demand priority: row-hitting demand first, then
+    // oldest demand, then row-hitting background, then oldest
+    // background.
+    std::vector<size_t> order;
+    order.reserve(queue_.size());
+    auto push_matching = [&](bool low, bool want_rowhit) {
+        for (size_t i = 0; i < queue_.size(); ++i) {
+            const auto &txn = queue_[i];
+            if (txn.req.lowPriority != low)
+                continue;
+            const auto &bank = banks_[txn.req.loc.bank];
+            const bool row_hit =
+                bank.rowOpen && bank.openRow == txn.req.loc.row;
+            if (row_hit == want_rowhit)
+                order.push_back(i);
+        }
+    };
+    push_matching(false, true);
+    push_matching(false, false);
+    push_matching(true, true);
+    push_matching(true, false);
+    return order;
+}
+
+void
+CommandChannel::scheduleAt(Tick when)
+{
+    when = std::max(when, eq_.now());
+    if (wakeScheduled_ && wakeAt_ <= when)
+        return;
+    wakeScheduled_ = true;
+    wakeAt_ = when;
+    eq_.scheduleAt(when, [this, when] {
+        if (wakeAt_ == when)
+            wakeScheduled_ = false;
+        schedule();
+    });
+}
+
+void
+CommandChannel::schedule()
+{
+    if (queue_.empty())
+        return;
+
+    const Tick now = eq_.now();
+    catchUpRefresh(now);
+
+    if (cmdBusFreeAt_ > now) {
+        scheduleAt(cmdBusFreeAt_);
+        return;
+    }
+
+    // Find the first issuable command in priority order; remember
+    // the earliest future time anything could issue.
+    Tick earliest = maxTick;
+    for (const size_t idx : pickOrder()) {
+        Txn &txn = queue_[idx];
+        BankState &bank = banks_[txn.req.loc.bank];
+
+        if (bank.rowOpen && bank.openRow == txn.req.loc.row) {
+            if (txn.req.kind == ReqKind::ActivateOnly) {
+                // The row is (now) open: the speculative activate is
+                // satisfied without a command.
+                Txn done_txn = std::move(queue_[idx]);
+                queue_.erase(queue_.begin() +
+                             static_cast<std::ptrdiff_t>(idx));
+                if (done_txn.req.onComplete) {
+                    auto cb = std::move(done_txn.req.onComplete);
+                    const Tick ready =
+                        std::max(now, bank.readyForCas);
+                    eq_.scheduleAt(ready, [cb = std::move(cb),
+                                           ready] { cb(ready); });
+                }
+                scheduleAt(now);
+                return;
+            }
+            const Tick at = casAllowedAt(bank, txn);
+            if (at <= now) {
+                issueCas(idx, bank, now);
+                cmdBusFreeAt_ = now + p_.toTicks(1);
+                scheduleAt(cmdBusFreeAt_);
+                return;
+            }
+            earliest = std::min(earliest, at);
+        } else if (bank.rowOpen) {
+            const Tick at = bank.readyForPre;
+            if (at <= now) {
+                issuePre(txn, bank, now);
+                cmdBusFreeAt_ = now + p_.toTicks(1);
+                scheduleAt(cmdBusFreeAt_);
+                return;
+            }
+            earliest = std::min(earliest, at);
+        } else {
+            const Tick at = actAllowedAt(bank);
+            if (at <= now) {
+                issueAct(txn, bank, now);
+                cmdBusFreeAt_ = now + p_.toTicks(1);
+                scheduleAt(cmdBusFreeAt_);
+                return;
+            }
+            earliest = std::min(earliest, at);
+        }
+    }
+
+    if (earliest != maxTick)
+        scheduleAt(earliest);
+}
+
+void
+CommandChannel::enqueue(Request req)
+{
+    bmc_assert(req.loc.bank < banks_.size(),
+               "bank %u out of range on channel %u", req.loc.bank,
+               id_);
+    req.enqueueTick = eq_.now();
+
+    // ActivateOnly requests queue and compete through FR-FCFS like
+    // any other transaction (see Channel::enqueue).
+    Txn txn;
+    txn.req = std::move(req);
+    queue_.push_back(std::move(txn));
+    schedule();
+}
+
+} // namespace bmc::dram

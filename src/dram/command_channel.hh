@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Command-granularity DRAM channel model.
+ *
+ * Where the reservation-model Channel commits whole transactions,
+ * this model arbitrates individual DRAM commands on a shared command
+ * bus (one command per DRAM clock) and enforces the full first-order
+ * DDR constraint set:
+ *
+ *   ACT:  tRCD to CAS, tRAS to PRE, tRRD between ACTs, at most four
+ *         ACTs per tFAW window;
+ *   PRE:  tRP to the next ACT; delayed by tRAS, tWR (after writes)
+ *         and tRTP (after reads);
+ *   RD:   data after tCL; tCCD between column commands; tWTR after
+ *         the last write burst;
+ *   WR:   data after tCWL; write-recovery tWR before PRE; cannot
+ *         start while a read burst still owns the bus.
+ *
+ * Scheduling remains FR-FCFS with demand-over-background priority,
+ * applied per command: the oldest row-hitting demand transaction
+ * issues its column command first; otherwise the scheduler prepares
+ * (PRE/ACT) the oldest transaction whose bank can accept a command.
+ *
+ * Select with TimingParams::commandLevel = true. The model is ~2-4x
+ * slower to simulate than Channel and is used for validation runs
+ * and the model-fidelity bench.
+ */
+
+#ifndef BMC_DRAM_COMMAND_CHANNEL_HH
+#define BMC_DRAM_COMMAND_CHANNEL_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/channel.hh" // ActivityCounters
+#include "dram/channel_iface.hh"
+#include "dram/timing_params.hh"
+
+namespace bmc::dram
+{
+
+/** DDR command-level channel. */
+class CommandChannel : public ChannelIface
+{
+  public:
+    CommandChannel(EventQueue &eq, const TimingParams &params,
+                   unsigned channel_id, stats::StatGroup &parent);
+
+    void enqueue(Request req) override;
+
+    size_t queueDepth() const override { return queue_.size(); }
+    const ActivityCounters &activity() const override
+    {
+        return activity_;
+    }
+    double dataRowHitRate() const override;
+    double metaRowHitRate() const override;
+    std::uint64_t dataAccesses() const override
+    {
+        return dataRowHits_.value() + dataRowMisses_.value();
+    }
+    std::uint64_t metaAccesses() const override
+    {
+        return metaRowHits_.value() + metaRowMisses_.value();
+    }
+    std::uint64_t dataRowHits() const override
+    {
+        return dataRowHits_.value();
+    }
+    std::uint64_t metaRowHits() const override
+    {
+        return metaRowHits_.value();
+    }
+    double avgServiceTicks() const override
+    {
+        return serviceTicks_.mean();
+    }
+
+  private:
+    struct BankState
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Tick readyForCas = 0; //!< tRCD after ACT
+        Tick readyForPre = 0; //!< tRAS / tWR / tRTP fences
+        Tick readyForAct = 0; //!< tRP after PRE, refresh end
+    };
+
+    struct Txn
+    {
+        Request req;
+        bool touchedBank = false; //!< issued an ACT/PRE (row miss)
+        bool statsCounted = false;
+    };
+
+    /** One scheduling attempt; issues at most one command. */
+    void schedule();
+    /** Arrange the next schedule() call no earlier than @p when. */
+    void scheduleAt(Tick when);
+
+    void catchUpRefresh(Tick now);
+
+    /** Earliest tick an ACT may issue (tRRD + tFAW fences). */
+    Tick actAllowedAt(const BankState &bank) const;
+    /** Earliest tick the column command of @p txn may issue. */
+    Tick casAllowedAt(const BankState &bank, const Txn &txn) const;
+
+    /** Issue helpers; @p now is the command-bus slot. */
+    void issueAct(Txn &txn, BankState &bank, Tick now);
+    void issuePre(Txn &txn, BankState &bank, Tick now);
+    void issueCas(size_t idx, BankState &bank, Tick now);
+
+    /** FR-FCFS pick order over queue indices. */
+    std::vector<size_t> pickOrder() const;
+
+    EventQueue &eq_;
+    TimingParams p_;
+    unsigned id_;
+
+    std::vector<BankState> banks_;
+    std::deque<Txn> queue_;
+
+    Tick cmdBusFreeAt_ = 0;
+    Tick dataBusFreeAt_ = 0;
+    Tick lastColIssueAt_ = 0;
+    Tick lastReadEndAt_ = 0;  //!< read burst end (write turnaround)
+    Tick lastWriteEndAt_ = 0; //!< write burst end (tWTR fence)
+    std::deque<Tick> recentActs_; //!< last 4 ACT issue ticks (tFAW)
+    Tick nextRefreshAt_;
+    bool wakeScheduled_ = false;
+    Tick wakeAt_ = 0;
+
+    ActivityCounters activity_;
+
+    stats::StatGroup sg_;
+    stats::Counter dataRowHits_;
+    stats::Counter dataRowMisses_;
+    stats::Counter metaRowHits_;
+    stats::Counter metaRowMisses_;
+    stats::Counter reads_;
+    stats::Counter writes_;
+    stats::Counter refreshCount_;
+    stats::Counter actCommands_;
+    stats::Counter preCommands_;
+    stats::Average serviceTicks_;
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_COMMAND_CHANNEL_HH

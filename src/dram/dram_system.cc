@@ -1,0 +1,72 @@
+#include "dram/dram_system.hh"
+
+#include "dram/command_channel.hh"
+
+#include "common/logging.hh"
+
+namespace bmc::dram
+{
+
+DramSystem::DramSystem(EventQueue &eq, const TimingParams &params,
+                       const std::string &name,
+                       stats::StatGroup &parent)
+    : params_(params),
+      map_(params.pageBytes, params.numChannels, params.banksPerChannel),
+      sg_(name, &parent)
+{
+    channels_.reserve(params.numChannels);
+    for (unsigned c = 0; c < params.numChannels; ++c) {
+        if (params.commandLevel) {
+            channels_.push_back(
+                std::make_unique<CommandChannel>(eq, params, c, sg_));
+        } else {
+            channels_.push_back(
+                std::make_unique<Channel>(eq, params, c, sg_));
+        }
+    }
+}
+
+void
+DramSystem::enqueue(Request req)
+{
+    bmc_assert(req.loc.channel < channels_.size(),
+               "channel %u out of range", req.loc.channel);
+    channels_[req.loc.channel]->enqueue(std::move(req));
+}
+
+ActivityCounters
+DramSystem::totalActivity() const
+{
+    ActivityCounters total;
+    for (const auto &ch : channels_)
+        total += ch->activity();
+    return total;
+}
+
+double
+DramSystem::dataRowHitRate() const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_) {
+        hits += ch->dataRowHits();
+        total += ch->dataAccesses();
+    }
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+DramSystem::metaRowHitRate() const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t total = 0;
+    for (const auto &ch : channels_) {
+        hits += ch->metaRowHits();
+        total += ch->metaAccesses();
+    }
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace bmc::dram

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A complete DRAM subsystem: a set of identically-parameterized
+ * channels plus aggregate statistics. Instantiated twice per
+ * simulated machine -- once for the die-stacked DRAM cache and once
+ * for the off-chip main memory (different TimingParams presets).
+ */
+
+#ifndef BMC_DRAM_DRAM_SYSTEM_HH
+#define BMC_DRAM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/address_map.hh"
+#include "dram/channel.hh"
+#include "dram/channel_iface.hh"
+#include "dram/request.hh"
+#include "dram/timing_params.hh"
+
+namespace bmc::dram
+{
+
+/** Multi-channel DRAM device group. */
+class DramSystem
+{
+  public:
+    DramSystem(EventQueue &eq, const TimingParams &params,
+               const std::string &name, stats::StatGroup &parent);
+
+    /** Route a request to its channel. */
+    void enqueue(Request req);
+
+    const TimingParams &params() const { return params_; }
+    const AddressMap &addressMap() const { return map_; }
+
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+    ChannelIface &channel(unsigned i) { return *channels_.at(i); }
+    const ChannelIface &channel(unsigned i) const
+    {
+        return *channels_.at(i);
+    }
+
+    /** Sum of per-channel activity counters. */
+    ActivityCounters totalActivity() const;
+
+    /** Aggregate row-buffer hit rate over data accesses. */
+    double dataRowHitRate() const;
+
+    /** Aggregate row-buffer hit rate over metadata accesses. */
+    double metaRowHitRate() const;
+
+  private:
+    TimingParams params_;
+    AddressMap map_;
+    stats::StatGroup sg_;
+    std::vector<std::unique_ptr<ChannelIface>> channels_;
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_DRAM_SYSTEM_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The unit of work queued at a DRAM channel.
+ */
+
+#ifndef BMC_DRAM_REQUEST_HH
+#define BMC_DRAM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace bmc::dram
+{
+
+/** Physical location of data inside one DRAM stack / DIMM. */
+struct Location
+{
+    unsigned channel = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+};
+
+/** What the channel should do for a request. */
+enum class ReqKind : std::uint8_t
+{
+    Read,         //!< open row if needed, column read, bus transfer
+    Write,        //!< open row if needed, column write, bus transfer
+    ActivateOnly, //!< open the row speculatively; no bus transfer
+};
+
+/**
+ * One DRAM transaction.
+ *
+ * @c onComplete fires with the tick at which the last data beat (or
+ * the ACT completion for ActivateOnly) finishes. @c isMetadata tags
+ * requests that belong to a cache-metadata structure so that
+ * row-buffer statistics can be split between metadata and data
+ * traffic (Fig 9b of the paper).
+ */
+struct Request
+{
+    Location loc;
+    ReqKind kind = ReqKind::Read;
+    std::uint32_t bytes = 64;
+    bool isMetadata = false;
+    /** Demand-critical requests win arbitration over background
+     *  traffic (fill remainders, writebacks, tag prefetches). */
+    bool lowPriority = false;
+    CoreId core = 0;
+    Tick enqueueTick = 0;
+    std::function<void(Tick)> onComplete;
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_REQUEST_HH

@@ -1,0 +1,61 @@
+#include "dram/timing_params.hh"
+
+#include "common/bitops.hh"
+
+namespace bmc::dram
+{
+
+Tick
+TimingParams::transferTicks(std::uint32_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    return toTicks(divCeil(bytes, busBytesPerCycle));
+}
+
+TimingParams
+TimingParams::stacked(unsigned channels, unsigned banks)
+{
+    TimingParams p;
+    p.numChannels = channels;
+    p.banksPerChannel = banks;
+    p.pageBytes = 2048;
+    // 1.6 GHz DRAM clock under a 3.2 GHz CPU clock.
+    p.cpuPerDramCycle = 2;
+    // 128-bit bus, DDR: 16 B x 2 transfers per DRAM cycle.
+    p.busBytesPerCycle = 32;
+    p.tCL = p.tRCD = p.tRP = 9;
+    p.tRAS = 24;
+    p.tWR = 12;
+    p.tCCD = 4;
+    p.tRRD = 5;
+    // 7.8 us at 1.6 GHz.
+    p.tREFI = 12480;
+    p.tRFC = 280;
+    return p;
+}
+
+TimingParams
+TimingParams::ddr3_1600h(unsigned channels, unsigned banks)
+{
+    TimingParams p;
+    p.numChannels = channels;
+    p.banksPerChannel = banks;
+    p.pageBytes = 2048;
+    // 800 MHz command clock under a 3.2 GHz CPU clock.
+    p.cpuPerDramCycle = 4;
+    // 64-bit bus, DDR: 8 B x 2 transfers per DRAM cycle (BL=4 moves
+    // 64 B, matching "BL (cycles) = 4" in Table IV).
+    p.busBytesPerCycle = 16;
+    p.tCL = p.tRCD = p.tRP = 9;
+    p.tRAS = 24;
+    p.tWR = 12;
+    p.tCCD = 4;
+    p.tRRD = 5;
+    // 7.8 us at 800 MHz.
+    p.tREFI = 6240;
+    p.tRFC = 280;
+    return p;
+}
+
+} // namespace bmc::dram

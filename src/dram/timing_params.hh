@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DRAM device/interface timing parameters.
+ *
+ * Parameters are specified in DRAM command-clock cycles (nCK) plus a
+ * CPU-cycles-per-DRAM-cycle ratio; toTicks() converts to the global
+ * 3.2 GHz tick domain used by the simulator. Two presets reproduce
+ * Table IV of the paper:
+ *
+ *  - stacked():   die-stacked DRAM cache interface. 1.6 GHz, 128-bit
+ *                 bus, CL-nRCD-nRP = 9-9-9, 2 KB pages.
+ *  - ddr3_1600h(): off-chip DDR3-1600H main memory. 800 MHz command
+ *                 clock, 64-bit bus, CL-nRCD-nRP = 9-9-9,
+ *                 tREFI = 7.8 us, tRFC = 280 nCK.
+ */
+
+#ifndef BMC_DRAM_TIMING_PARAMS_HH
+#define BMC_DRAM_TIMING_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bmc::dram
+{
+
+/** Raw per-device timing and geometry description. */
+struct TimingParams
+{
+    // Geometry
+    unsigned numChannels = 2;     //!< independent channels
+    unsigned banksPerChannel = 8; //!< banks in each channel
+    std::uint32_t pageBytes = 2048; //!< row (page) size per bank
+
+    // Interface
+    unsigned cpuPerDramCycle = 2;   //!< CPU ticks per DRAM clock
+    std::uint32_t busBytesPerCycle = 32; //!< data moved per DRAM cycle
+                                         //!< (double data rate folded in)
+
+    // Core timing, in DRAM clock cycles (nCK)
+    unsigned tCL = 9;   //!< column access (CAS) latency
+    unsigned tRCD = 9;  //!< ACT-to-column delay
+    unsigned tRP = 9;   //!< precharge latency
+    unsigned tRAS = 24; //!< min ACT-to-PRE interval
+    unsigned tWR = 12;  //!< write recovery before PRE
+    unsigned tCCD = 4;  //!< column-to-column delay
+    unsigned tRRD = 5;  //!< ACT-to-ACT (different banks)
+    unsigned tFAW = 24; //!< four-ACT window (command model)
+    unsigned tWTR = 6;  //!< write-to-read turnaround (command model)
+    unsigned tRTP = 6;  //!< read-to-precharge (command model)
+    unsigned tCWL = 7;  //!< write CAS latency (command model)
+
+    /** Select the command-granularity channel model
+     *  (command_channel.hh) instead of the reservation model. */
+    bool commandLevel = false;
+
+    // Refresh
+    std::uint64_t tREFI = 6240; //!< mean refresh interval (nCK)
+    unsigned tRFC = 280;        //!< refresh cycle time (nCK)
+    bool refreshEnabled = true;
+
+    /** Convert a duration in DRAM cycles to CPU ticks. */
+    Tick toTicks(std::uint64_t dram_cycles) const
+    {
+        return dram_cycles * cpuPerDramCycle;
+    }
+
+    /** Ticks needed to move @p bytes over the data bus. */
+    Tick transferTicks(std::uint32_t bytes) const;
+
+    /** Die-stacked DRAM-cache interface preset (Table IV). */
+    static TimingParams stacked(unsigned channels, unsigned banks);
+
+    /** Off-chip DDR3-1600H preset (Table IV). */
+    static TimingParams ddr3_1600h(unsigned channels, unsigned banks);
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_TIMING_PARAMS_HH

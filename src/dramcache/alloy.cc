@@ -1,0 +1,160 @@
+#include "dramcache/alloy.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::dramcache
+{
+
+namespace
+{
+/** 4096 x 2-bit counters = 1 KB, the paper's MAP-I budget. */
+constexpr std::uint64_t kMapiEntries = 4096;
+/** Counter >= threshold predicts hit. */
+constexpr std::uint8_t kMapiThreshold = 2;
+/** MAP-I index granularity: 4 KB region (PC substitute). */
+constexpr unsigned kMapiRegionBits = 12;
+} // anonymous namespace
+
+AlloyCache::AlloyCache(const Params &params, stats::StatGroup &parent)
+    : p_(params), layout_([&] {
+          StackedLayout::Params lp = params.layout;
+          lp.capacityBytes = params.capacityBytes;
+          lp.reserveMetaBank = false;
+          return lp;
+      }()),
+      numBlocks_(layout_.numRows() * kTadsPerRow),
+      tads_(numBlocks_),
+      mapi_(kMapiEntries, kMapiThreshold),
+      stats_(params.name, parent),
+      mapiCorrect_(stats_.group, "mapi_correct",
+                   "MAP-I correct predictions"),
+      mapiWrong_(stats_.group, "mapi_wrong",
+                 "MAP-I wrong predictions"),
+      mapiWasted_(stats_.group, "mapi_wasted_bytes",
+                  "off-chip bytes fetched by wrong miss predictions")
+{
+    bmc_assert(layout_.pageBytes() >= kTadsPerRow * kTadBytes,
+               "TADs do not fit the row");
+}
+
+bool
+AlloyCache::predictMiss(Addr addr) const
+{
+    if (!p_.useMapI)
+        return false;
+    const std::uint64_t idx =
+        mix64(addr >> kMapiRegionBits) % kMapiEntries;
+    return mapi_[idx] < kMapiThreshold;
+}
+
+void
+AlloyCache::trainMapI(Addr addr, bool was_hit)
+{
+    if (!p_.useMapI)
+        return;
+    const std::uint64_t idx =
+        mix64(addr >> kMapiRegionBits) % kMapiEntries;
+    if (was_hit) {
+        if (mapi_[idx] < 3)
+            ++mapi_[idx];
+    } else {
+        if (mapi_[idx] > 0)
+            --mapi_[idx];
+    }
+}
+
+LookupResult
+AlloyCache::access(Addr addr, bool is_write, bool is_prefetch)
+{
+    (void)is_prefetch;
+    ++stats_.accesses;
+
+    const Addr line = addr / kLineBytes;
+    const std::uint64_t idx = line % numBlocks_;
+    const std::uint64_t row = idx / kTadsPerRow;
+    Tad &tad = tads_[idx];
+
+    LookupResult r;
+    r.tagWithData = true;
+    r.predictedMiss = predictMiss(addr);
+
+    // The TAD access always happens: one bigger burst returns tag
+    // and data together.
+    r.data.needed = true;
+    r.data.loc = layout_.rowLocation(row);
+    r.data.bytes = kTadBytes;
+
+    const bool hit = tad.valid && tad.tag == line;
+    trainMapI(addr, hit);
+
+    if (hit) {
+        ++stats_.hits;
+        if (is_write)
+            tad.dirty = true;
+        r.hit = true;
+        if (r.predictedMiss) {
+            // The parallel memory probe fetched a line for nothing.
+            ++mapiWrong_;
+            mapiWasted_ += kLineBytes;
+        } else {
+            ++mapiCorrect_;
+        }
+        return r;
+    }
+
+    // Miss: replace in place (direct mapped).
+    ++stats_.misses;
+    if (r.predictedMiss)
+        ++mapiCorrect_;
+    else
+        ++mapiWrong_;
+
+    if (tad.valid) {
+        ++stats_.evictions;
+        if (tad.dirty) {
+            r.fill.writebacks.push_back(
+                {tad.tag * kLineBytes, kLineBytes});
+            stats_.writebackBytes += kLineBytes;
+        }
+    }
+
+    const Addr base = line * kLineBytes;
+    r.fill.fetches.push_back({base, kLineBytes});
+    r.fill.fillWrite.needed = true;
+    r.fill.fillWrite.loc = layout_.rowLocation(row);
+    r.fill.fillWrite.bytes = kTadBytes;
+    stats_.demandFetchBytes += kLineBytes;
+    stats_.offchipFetchBytes += kLineBytes;
+
+    tad.tag = line;
+    tad.valid = true;
+    tad.dirty = is_write;
+
+    return r;
+}
+
+bool
+AlloyCache::probe(Addr addr) const
+{
+    const Addr line = addr / kLineBytes;
+    const Tad &tad = tads_[line % numBlocks_];
+    return tad.valid && tad.tag == line;
+}
+
+std::uint64_t
+AlloyCache::sramBytes() const
+{
+    return p_.useMapI ? kMapiEntries * 2 / 8 : 0;
+}
+
+double
+AlloyCache::mapiAccuracy() const
+{
+    const auto total = mapiCorrect_.value() + mapiWrong_.value();
+    return total ? static_cast<double>(mapiCorrect_.value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace bmc::dramcache

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * AlloyCache [Qureshi & Loh, MICRO'12] -- the paper's baseline.
+ *
+ * Direct-mapped cache of 64 B blocks stored as TADs (Tag-And-Data,
+ * 72 B): one slightly-larger DRAM burst returns tag and data
+ * together, giving the lowest possible hit latency at the cost of a
+ * high miss rate (no spatial blocks, no associativity). A 2 KB row
+ * holds 28 TADs.
+ *
+ * The MAP-I miss predictor decides whether to probe cache and main
+ * memory in parallel (predicted miss) or serially (predicted hit).
+ * The original indexes its counter table by instruction PC; synthetic
+ * traces carry no PCs, so this implementation indexes by a 4 KB
+ * address region, which captures the same per-stream hit/miss
+ * stability (substitution documented in DESIGN.md). Table size is
+ * the paper's 1 KB (4096 x 2-bit saturating counters).
+ */
+
+#ifndef BMC_DRAMCACHE_ALLOY_HH
+#define BMC_DRAMCACHE_ALLOY_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "dramcache/layout.hh"
+#include "dramcache/org.hh"
+
+namespace bmc::dramcache
+{
+
+/** Direct-mapped TAD organization with MAP-I. */
+class AlloyCache : public DramCacheOrg
+{
+  public:
+    struct Params
+    {
+        std::string name = "alloy";
+        std::uint64_t capacityBytes = 128 * kMiB;
+        StackedLayout::Params layout;
+        bool useMapI = true;
+    };
+
+    /** TADs per 2 KB row: floor(2048 / 72). */
+    static constexpr unsigned kTadsPerRow = 28;
+    /** TAD transfer size (64 B data + 8 B tag). */
+    static constexpr std::uint32_t kTadBytes = 72;
+
+    AlloyCache(const Params &params, stats::StatGroup &parent);
+
+    LookupResult access(Addr addr, bool is_write,
+                        bool is_prefetch = false) override;
+
+    std::string name() const override { return p_.name; }
+    bool probe(Addr addr) const override;
+    const OrgStats &stats() const override { return stats_; }
+    std::uint64_t sramBytes() const override;
+
+    std::uint64_t numBlocks() const { return numBlocks_; }
+
+    /** MAP-I accuracy so far. */
+    double mapiAccuracy() const;
+
+    /** Off-chip bytes fetched by wrong predicted-miss probes. */
+    std::uint64_t mapiWastedBytes() const
+    {
+        return mapiWasted_.value();
+    }
+
+  private:
+    struct Tad
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    bool predictMiss(Addr addr) const;
+    void trainMapI(Addr addr, bool was_hit);
+
+    Params p_;
+    StackedLayout layout_;
+    std::uint64_t numBlocks_;
+    std::vector<Tad> tads_;
+    std::vector<std::uint8_t> mapi_; //!< 2-bit counters
+
+    OrgStats stats_;
+    stats::Counter mapiCorrect_;
+    stats::Counter mapiWrong_;
+    stats::Counter mapiWasted_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_ALLOY_HH

@@ -1,0 +1,191 @@
+#include "dramcache/atcache.hh"
+
+#include "common/logging.hh"
+#include "sram/cacti_lite.hh"
+
+namespace bmc::dramcache
+{
+
+ATCache::ATCache(const Params &params, stats::StatGroup &parent)
+    : p_(params), layout_([&] {
+          StackedLayout::Params lp = params.layout;
+          lp.capacityBytes = params.capacityBytes;
+          lp.reserveMetaBank = false;
+          return lp;
+      }()),
+      numSets_(layout_.numRows()), ways_(numSets_ * kWays),
+      stats_(params.name, parent),
+      tcHits_(stats_.group, "tag_cache_hits", "SRAM tag cache hits"),
+      tcMisses_(stats_.group, "tag_cache_misses",
+                "SRAM tag cache misses"),
+      tcPrefetches_(stats_.group, "tag_cache_prefetches",
+                    "set tags prefetched (PG-1 per miss)")
+{
+    bmc_assert(layout_.pageBytes() >= kTagBytes + kWays * kLineBytes,
+               "set does not fit the row");
+    bmc_assert(params.tagCacheEntries > 0, "tag cache needs entries");
+}
+
+bool
+ATCache::tagCacheLookup(std::uint64_t set)
+{
+    auto it = tcMap_.find(set);
+    if (it == tcMap_.end())
+        return false;
+    tcLru_.splice(tcLru_.begin(), tcLru_, it->second);
+    return true;
+}
+
+void
+ATCache::tagCacheInsert(std::uint64_t set)
+{
+    auto it = tcMap_.find(set);
+    if (it != tcMap_.end()) {
+        tcLru_.splice(tcLru_.begin(), tcLru_, it->second);
+        return;
+    }
+    if (tcMap_.size() >= p_.tagCacheEntries) {
+        const std::uint64_t victim = tcLru_.back();
+        tcLru_.pop_back();
+        tcMap_.erase(victim);
+    }
+    tcLru_.push_front(set);
+    tcMap_[set] = tcLru_.begin();
+}
+
+LookupResult
+ATCache::access(Addr addr, bool is_write, bool is_prefetch)
+{
+    (void)is_prefetch;
+    ++stats_.accesses;
+
+    const Addr line = addr / kLineBytes;
+    const std::uint64_t set = line % numSets_;
+    const Addr tag = line / numSets_;
+    Way *set_ways = &ways_[set * kWays];
+
+    LookupResult r;
+    r.sramCycles = sram::CactiLite::latencyCycles(sramBytes());
+
+    const bool tc_hit = tagCacheLookup(set);
+    if (tc_hit) {
+        ++tcHits_;
+        r.sramTagHit = true;
+    } else {
+        ++tcMisses_;
+        // Demand tag read on the critical path; it shares the data
+        // row, so the following data access is a row hit.
+        r.tag.needed = true;
+        r.tag.loc = layout_.rowLocation(set);
+        r.tag.bytes = kTagBytes;
+        r.tag.sameRowAsData = true;
+        r.tag.parallelData = false;
+        // Prefetch the tags of the next PG-1 sets off the critical
+        // path.
+        for (unsigned i = 1; i < p_.prefetchGranularity; ++i) {
+            const std::uint64_t pset = (set + i) % numSets_;
+            TagAccess bg;
+            bg.needed = true;
+            bg.loc = layout_.rowLocation(pset);
+            bg.bytes = kTagBytes;
+            r.backgroundTags.push_back(bg);
+            tagCacheInsert(pset);
+            ++tcPrefetches_;
+        }
+        tagCacheInsert(set);
+    }
+
+    int hit_way = -1;
+    for (unsigned w = 0; w < kWays; ++w) {
+        if (set_ways[w].valid && set_ways[w].tag == tag) {
+            hit_way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (hit_way >= 0) {
+        ++stats_.hits;
+        Way &way = set_ways[hit_way];
+        way.lastUse = ++useClock_;
+        if (is_write)
+            way.dirty = true;
+        r.hit = true;
+        r.data.needed = true;
+        r.data.loc = layout_.rowLocation(set);
+        r.data.bytes = kLineBytes;
+        return r;
+    }
+
+    ++stats_.misses;
+
+    unsigned victim = 0;
+    bool found_invalid = false;
+    for (unsigned w = 0; w < kWays; ++w) {
+        if (!set_ways[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        std::uint64_t oldest = maxTick;
+        for (unsigned w = 0; w < kWays; ++w) {
+            if (set_ways[w].lastUse < oldest) {
+                oldest = set_ways[w].lastUse;
+                victim = w;
+            }
+        }
+    }
+
+    Way &way = set_ways[victim];
+    if (way.valid) {
+        ++stats_.evictions;
+        if (way.dirty) {
+            r.fill.writebacks.push_back(
+                {(way.tag * numSets_ + set) * kLineBytes, kLineBytes});
+            stats_.writebackBytes += kLineBytes;
+        }
+    }
+
+    r.fill.fetches.push_back({line * kLineBytes, kLineBytes});
+    r.fill.fillWrite.needed = true;
+    r.fill.fillWrite.loc = layout_.rowLocation(set);
+    r.fill.fillWrite.bytes = kLineBytes;
+    stats_.demandFetchBytes += kLineBytes;
+    stats_.offchipFetchBytes += kLineBytes;
+
+    way = {tag, true, is_write, ++useClock_};
+    return r;
+}
+
+bool
+ATCache::probe(Addr addr) const
+{
+    const Addr line = addr / kLineBytes;
+    const std::uint64_t set = line % numSets_;
+    const Addr tag = line / numSets_;
+    const Way *set_ways = &ways_[set * kWays];
+    for (unsigned w = 0; w < kWays; ++w)
+        if (set_ways[w].valid && set_ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+std::uint64_t
+ATCache::sramBytes() const
+{
+    // Each entry caches one set's 64 B tag line plus ~3 B of set id.
+    return static_cast<std::uint64_t>(p_.tagCacheEntries) *
+           (kTagBytes + 3);
+}
+
+double
+ATCache::tagCacheHitRate() const
+{
+    const auto total = tcHits_.value() + tcMisses_.value();
+    return total ? static_cast<double>(tcHits_.value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace bmc::dramcache

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ATCache [Huang & Nagarajan, PACT'14]: tags-in-DRAM with a small
+ * SRAM tag cache.
+ *
+ * The DRAM cache proper is a 16-way, 64 B-block organization with
+ * tags co-located in the set's row (Loh-Hill style layout: 1 tag
+ * line + 16 data lines per set). The SRAM tag cache holds the
+ * complete tag line of recently-accessed sets:
+ *
+ *  - tag-cache hit: the hit/miss question and the way are resolved
+ *    in SRAM, so a hit needs one DRAM data access and a miss goes
+ *    straight to memory;
+ *  - tag-cache miss: the tag line is read from DRAM first (with the
+ *    data row activation implied -- tags share the row), then data.
+ *
+ * On a tag-cache miss the tags of PG consecutive sets are brought in
+ * (the paper's tag-prefetch, PG = 8 per the Bi-Modal paper's
+ * footnote); the extra tag lines are fetched off the critical path.
+ */
+
+#ifndef BMC_DRAMCACHE_ATCACHE_HH
+#define BMC_DRAMCACHE_ATCACHE_HH
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dramcache/layout.hh"
+#include "dramcache/org.hh"
+
+namespace bmc::dramcache
+{
+
+/** Tags-in-DRAM + SRAM tag cache organization. */
+class ATCache : public DramCacheOrg
+{
+  public:
+    struct Params
+    {
+        std::string name = "atcache";
+        std::uint64_t capacityBytes = 128 * kMiB;
+        StackedLayout::Params layout;
+        /** SRAM tag-cache capacity in set-tag entries. */
+        unsigned tagCacheEntries = 512;
+        /** Sets whose tags are fetched together on a miss. */
+        unsigned prefetchGranularity = 8;
+    };
+
+    static constexpr unsigned kWays = 16;
+    static constexpr std::uint32_t kTagBytes = 64; //!< 16 x 4 B
+
+    ATCache(const Params &params, stats::StatGroup &parent);
+
+    LookupResult access(Addr addr, bool is_write,
+                        bool is_prefetch = false) override;
+
+    std::string name() const override { return p_.name; }
+    bool probe(Addr addr) const override;
+    const OrgStats &stats() const override { return stats_; }
+    std::uint64_t sramBytes() const override;
+
+    std::uint64_t numSets() const { return numSets_; }
+    double tagCacheHitRate() const;
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** True if @p set's tags are in the SRAM tag cache (promotes). */
+    bool tagCacheLookup(std::uint64_t set);
+    /** Insert @p set (and PG-1 neighbours handled by caller). */
+    void tagCacheInsert(std::uint64_t set);
+
+    Params p_;
+    StackedLayout layout_;
+    std::uint64_t numSets_;
+    std::vector<Way> ways_;
+    std::uint64_t useClock_ = 0;
+
+    /** LRU tag cache: list front = MRU; map set -> list node. */
+    std::list<std::uint64_t> tcLru_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        tcMap_;
+
+    OrgStats stats_;
+    stats::Counter tcHits_;
+    stats::Counter tcMisses_;
+    stats::Counter tcPrefetches_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_ATCACHE_HH

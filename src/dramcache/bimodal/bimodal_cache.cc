@@ -1,0 +1,573 @@
+#include "dramcache/bimodal/bimodal_cache.hh"
+
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sram/cacti_lite.hh"
+
+namespace bmc::dramcache
+{
+
+namespace
+{
+
+void
+maskToTransfers(Addr base, std::uint64_t mask_bits, unsigned sub_blocks,
+                std::vector<Transfer> &out)
+{
+    unsigned i = 0;
+    while (i < sub_blocks) {
+        if (!(mask_bits & (1ULL << i))) {
+            ++i;
+            continue;
+        }
+        unsigned j = i;
+        while (j + 1 < sub_blocks && (mask_bits & (1ULL << (j + 1))))
+            ++j;
+        out.push_back({base + static_cast<Addr>(i) * kLineBytes,
+                       (j - i + 1) * kLineBytes});
+        i = j + 1;
+    }
+}
+
+} // anonymous namespace
+
+BiModalCache::BiModalCache(const Params &params,
+                           stats::StatGroup &parent)
+    : p_(params),
+      space_(params.setBytes, params.bigBlockBytes, kLineBytes),
+      layout_([&] {
+          StackedLayout::Params lp = params.layout;
+          lp.capacityBytes = params.capacityBytes;
+          lp.reserveMetaBank = true;
+          return lp;
+      }()),
+      numSets_(params.capacityBytes / params.setBytes),
+      bigBits_(log2Exact(params.bigBlockBytes)),
+      rng_(params.seed),
+      sizePred_(params.predictor, parent),
+      global_(space_, params.global, parent),
+      stats_(params.name, parent),
+      bigHits_(stats_.group, "big_hits", "hits served by big blocks"),
+      smallHits_(stats_.group, "small_hits",
+                 "hits served by small blocks"),
+      bigFills_(stats_.group, "big_fills", "misses filled as big"),
+      smallFills_(stats_.group, "small_fills",
+                  "misses filled as small"),
+      setStateChanges_(stats_.group, "set_state_changes",
+                       "per-set (X,Y) transitions"),
+      utilization_(stats_.group, "utilization",
+                   "sub-blocks used at big-block eviction",
+                   space_.smallPerBig()),
+      overfetchBytes_(stats_.group, "overfetch_bytes",
+                      "bytes fetched beyond the demand line")
+{
+    bmc_assert(numSets_ > 0, "capacity too small");
+    bmc_assert(isPowerOf2(params.bigBlockBytes),
+               "big block size must be pow2");
+    bmc_assert(params.setBytes % layout_.pageBytes() == 0 ||
+                   layout_.pageBytes() % params.setBytes == 0,
+               "set size must tile DRAM pages");
+
+    threshold_ = params.predictor.threshold;
+    sets_.resize(numSets_);
+    const unsigned max_small = space_.yFor(space_.minBig());
+    for (auto &set : sets_) {
+        set.x = static_cast<std::uint8_t>(space_.maxBig());
+        set.y = 0;
+        set.big.resize(space_.maxBig());
+        set.small.resize(max_small);
+    }
+
+    if (p_.useWayLocator) {
+        WayLocator::Params wp;
+        wp.indexBits = p_.locatorIndexBits;
+        wp.addressBits = p_.addressBits;
+        wp.bigBlockBits = bigBits_;
+        locator_ = std::make_unique<WayLocator>(wp, stats_.group);
+    }
+}
+
+std::uint64_t
+BiModalCache::rowOf(std::uint64_t set_idx) const
+{
+    if (p_.setBytes >= layout_.pageBytes()) {
+        const std::uint64_t rows_per_set =
+            p_.setBytes / layout_.pageBytes();
+        return set_idx * rows_per_set;
+    }
+    const std::uint64_t sets_per_row =
+        layout_.pageBytes() / p_.setBytes;
+    return set_idx / sets_per_row;
+}
+
+std::uint32_t
+BiModalCache::metaReadBytes(const Set &set) const
+{
+    const std::uint32_t raw = 2 + 4u * (set.x + set.y);
+    return static_cast<std::uint32_t>(roundUp(raw, kLineBytes));
+}
+
+TagAccess
+BiModalCache::makeTagAccess(std::uint64_t set_idx, bool is_write) const
+{
+    TagAccess tag;
+    tag.needed = true;
+    // Up to 18 tags + state: at most two 64 B bursts (Section
+    // III-D.2); an all-big set's 4 tags fit one burst.
+    tag.bytes = is_write
+                    ? kLineBytes
+                    : metaReadBytes(sets_[set_idx]);
+    tag.loc = layout_.metaLocation(rowOf(set_idx) % layout_.numRows(),
+                                   kMetaBytesPerSet);
+    tag.parallelData = p_.parallelTagData;
+    tag.isWrite = is_write;
+    return tag;
+}
+
+void
+BiModalCache::touchMru(Set &set, std::uint8_t way_id)
+{
+    if (set.mru0 == way_id)
+        return;
+    set.mru1 = set.mru0;
+    set.mru0 = way_id;
+}
+
+void
+BiModalCache::dropFromMru(Set &set, std::uint8_t way_id)
+{
+    if (set.mru0 == way_id) {
+        set.mru0 = set.mru1;
+        set.mru1 = 0xFF;
+    } else if (set.mru1 == way_id) {
+        set.mru1 = 0xFF;
+    }
+}
+
+void
+BiModalCache::evictBig(Set &set, std::uint64_t set_idx, unsigned w,
+                       FillPlan &plan)
+{
+    BigWay &way = set.big[w];
+    if (!way.valid)
+        return;
+    ++stats_.evictions;
+
+    const unsigned used = std::popcount(way.usedMask);
+    utilization_.sample(used > 0 ? used - 1 : 0);
+    epochUsedSubBlocks_ += used;
+    ++epochEvictedBig_;
+    stats_.wastedFetchBytes +=
+        static_cast<std::uint64_t>(space_.smallPerBig() - used) *
+        kLineBytes;
+
+    if (sizePred_.isSampledSet(set_idx))
+        sizePred_.train(way.frame, used);
+
+    if (way.dirtyMask) {
+        maskToTransfers(way.frame << bigBits_, way.dirtyMask,
+                        space_.smallPerBig(), plan.writebacks);
+        stats_.writebackBytes +=
+            static_cast<std::uint64_t>(std::popcount(way.dirtyMask)) *
+            kLineBytes;
+    }
+
+    if (locator_)
+        locator_->remove(way.frame << bigBits_, true);
+    dropFromMru(set, bigWayId(w));
+    way = BigWay{};
+}
+
+void
+BiModalCache::evictSmall(Set &set, std::uint64_t set_idx, unsigned w,
+                         FillPlan &plan)
+{
+    (void)set_idx;
+    SmallWay &way = set.small[w];
+    if (!way.valid)
+        return;
+    ++stats_.evictions;
+
+    if (way.dirty) {
+        plan.writebacks.push_back({way.line * kLineBytes, kLineBytes});
+        stats_.writebackBytes += kLineBytes;
+    }
+
+    if (locator_)
+        locator_->remove(way.line * kLineBytes, false);
+    dropFromMru(set, smallWayId(w));
+    way = SmallWay{};
+}
+
+unsigned
+BiModalCache::pickBigVictim(const Set &set)
+{
+    for (unsigned w = 0; w < set.x; ++w)
+        if (!set.big[w].valid)
+            return w;
+    switch (p_.replacement) {
+      case BiModalRepl::PureRandom:
+        return static_cast<unsigned>(rng_.below(set.x));
+      case BiModalRepl::Lru: {
+          unsigned victim = 0;
+          std::uint64_t oldest = maxTick;
+          for (unsigned w = 0; w < set.x; ++w) {
+              if (set.big[w].lastUse < oldest) {
+                  oldest = set.big[w].lastUse;
+                  victim = w;
+              }
+          }
+          return victim;
+      }
+      case BiModalRepl::RandomNotRecent:
+        break;
+    }
+    // Random-not-recent: exclude the two MRU ways when possible.
+    std::vector<unsigned> candidates;
+    for (unsigned w = 0; w < set.x; ++w) {
+        const std::uint8_t id = bigWayId(w);
+        if (id != set.mru0 && id != set.mru1)
+            candidates.push_back(w);
+    }
+    if (candidates.empty())
+        return static_cast<unsigned>(rng_.below(set.x));
+    return candidates[rng_.below(candidates.size())];
+}
+
+unsigned
+BiModalCache::pickSmallVictim(const Set &set)
+{
+    for (unsigned w = 0; w < set.y; ++w)
+        if (!set.small[w].valid)
+            return w;
+    switch (p_.replacement) {
+      case BiModalRepl::PureRandom:
+        return static_cast<unsigned>(rng_.below(set.y));
+      case BiModalRepl::Lru: {
+          unsigned victim = 0;
+          std::uint64_t oldest = maxTick;
+          for (unsigned w = 0; w < set.y; ++w) {
+              if (set.small[w].lastUse < oldest) {
+                  oldest = set.small[w].lastUse;
+                  victim = w;
+              }
+          }
+          return victim;
+      }
+      case BiModalRepl::RandomNotRecent:
+        break;
+    }
+    std::vector<unsigned> candidates;
+    for (unsigned w = 0; w < set.y; ++w) {
+        const std::uint8_t id = smallWayId(w);
+        if (id != set.mru0 && id != set.mru1)
+            candidates.push_back(w);
+    }
+    if (candidates.empty())
+        return static_cast<unsigned>(rng_.below(set.y));
+    return candidates[rng_.below(candidates.size())];
+}
+
+void
+BiModalCache::maybeAdaptThreshold()
+{
+    if (!p_.adaptiveThreshold)
+        return;
+    if (++epochAccessCount_ < p_.global.epochAccesses)
+        return;
+    epochAccessCount_ = 0;
+    if (epochEvictedBig_ >= 64) {
+        const double mean_util =
+            static_cast<double>(epochUsedSubBlocks_) /
+            static_cast<double>(epochEvictedBig_);
+        // Evicted big blocks barely clearing the bar -> demand more
+        // utilization before committing 512 B; comfortably above it
+        // -> relax so more blocks enjoy spatial hits.
+        if (mean_util < threshold_ - 1.0 && threshold_ < 8)
+            ++threshold_;
+        else if (mean_util > threshold_ + 1.5 && threshold_ > 2)
+            --threshold_;
+        sizePred_.setThreshold(threshold_);
+    }
+    epochUsedSubBlocks_ = 0;
+    epochEvictedBig_ = 0;
+}
+
+LookupResult
+BiModalCache::access(Addr addr, bool is_write, bool is_prefetch)
+{
+    (void)is_prefetch; // bypass handling lives in the controller
+    ++stats_.accesses;
+    global_.onAccess();
+    maybeAdaptThreshold();
+
+    const std::uint64_t frame = addr >> bigBits_;
+    const std::uint64_t line = addr / kLineBytes;
+    const unsigned sub = static_cast<unsigned>(
+        line & mask(bigBits_ - 6));
+    const std::uint64_t set_idx = setOf(frame);
+    Set &set = sets_[set_idx];
+    const std::uint64_t data_row = rowOf(set_idx) % layout_.numRows();
+
+    bmc_assert(set.y == space_.yFor(set.x),
+               "set state invariant broken: x=%u y=%u", set.x, set.y);
+
+    LookupResult r;
+    WayLocator::Result loc;
+    if (locator_) {
+        loc = locator_->lookup(addr);
+        r.sramCycles =
+            sram::CactiLite::latencyCycles(locator_->storageBytes());
+    }
+
+    // Search the enabled big and small ways.
+    int big_hit = -1;
+    for (unsigned w = 0; w < set.x; ++w) {
+        if (set.big[w].valid && set.big[w].frame == frame) {
+            big_hit = static_cast<int>(w);
+            break;
+        }
+    }
+    int small_hit = -1;
+    if (big_hit < 0) {
+        for (unsigned w = 0; w < set.y; ++w) {
+            if (set.small[w].valid && set.small[w].line == line) {
+                small_hit = static_cast<int>(w);
+                break;
+            }
+        }
+    }
+
+    if (big_hit >= 0 || small_hit >= 0) {
+        ++stats_.hits;
+        std::uint8_t way_id;
+        bool is_big;
+        bool newly_dirty = false;
+        if (big_hit >= 0) {
+            BigWay &way = set.big[big_hit];
+            way.usedMask |= static_cast<std::uint8_t>(1u << sub);
+            if (is_write) {
+                newly_dirty = !(way.dirtyMask & (1u << sub));
+                way.dirtyMask |= static_cast<std::uint8_t>(1u << sub);
+            }
+            way.lastUse = ++useClock_;
+            way_id = bigWayId(static_cast<unsigned>(big_hit));
+            is_big = true;
+            ++bigHits_;
+        } else {
+            SmallWay &way = set.small[small_hit];
+            if (is_write) {
+                newly_dirty = !way.dirty;
+                way.dirty = true;
+            }
+            way.lastUse = ++useClock_;
+            way_id = smallWayId(static_cast<unsigned>(small_hit));
+            is_big = false;
+            ++smallHits_;
+        }
+        touchMru(set, way_id);
+
+        r.hit = true;
+        r.data.needed = true;
+        r.data.loc = layout_.rowLocation(data_row);
+        r.data.bytes = kLineBytes;
+
+        if (locator_) {
+            if (loc.hit) {
+                bmc_assert(loc.way == way_id && loc.isBig == is_big,
+                           "way locator mispointed (never-wrong "
+                           "invariant violated)");
+                r.sramTagHit = true;
+                // Metadata access eliminated entirely for reads; a
+                // write that dirties a new sub-block updates the
+                // dirty bits off the critical path.
+                if (newly_dirty && p_.backgroundMetaWrites)
+                    r.backgroundTags.push_back(
+                        makeTagAccess(set_idx, true));
+                return r;
+            }
+            locator_->insert(addr, is_big, way_id);
+        }
+
+        // Locator miss (or no locator): read tags from the metadata
+        // bank, activating the data row in parallel.
+        r.tag = makeTagAccess(set_idx);
+        if (newly_dirty && p_.backgroundMetaWrites)
+            r.backgroundTags.push_back(makeTagAccess(set_idx, true));
+        return r;
+    }
+
+    bmc_assert(!loc.hit, "locator hit on a DRAM cache miss");
+
+    // ------------------------------------------------------- miss
+    ++stats_.misses;
+    r.tag = makeTagAccess(set_idx);
+
+    const bool pred_big = sizePred_.predictBig(frame);
+    global_.onMissDemand(pred_big);
+
+    const unsigned xg = global_.xGlob();
+    const unsigned step = space_.smallPerBig();
+
+    bool fill_big;
+    unsigned victim_way = 0;
+
+    if (set.x == xg) {
+        if (pred_big || set.y == 0) {
+            // Table II row 1 / the all-big corner: when the global
+            // state provides no small capacity, a predicted-small
+            // miss still fills big.
+            fill_big = true;
+            victim_way = pickBigVictim(set);
+            evictBig(set, set_idx, victim_way, r.fill);
+        } else {
+            fill_big = false;
+            victim_way = pickSmallVictim(set);
+            evictSmall(set, set_idx, victim_way, r.fill);
+        }
+    } else if (set.x < xg) {
+        // Set holds more small ways than the global target.
+        if (!pred_big) {
+            fill_big = false;
+            victim_way = pickSmallVictim(set);
+            evictSmall(set, set_idx, victim_way, r.fill);
+        } else {
+            // Evict the 8 highest-numbered small ways and re-enable
+            // a big way (Table II row 2).
+            bmc_assert(set.y >= step, "state drift below small step");
+            for (unsigned w = set.y - step; w < set.y; ++w)
+                evictSmall(set, set_idx, w, r.fill);
+            set.y = static_cast<std::uint8_t>(set.y - step);
+            set.x = static_cast<std::uint8_t>(set.x + 1);
+            ++setStateChanges_;
+            fill_big = true;
+            victim_way = set.x - 1u;
+        }
+    } else { // set.x > xg
+        if (pred_big) {
+            fill_big = true;
+            victim_way = pickBigVictim(set);
+            evictBig(set, set_idx, victim_way, r.fill);
+        } else {
+            // Evict the highest big way; its space becomes 8 small
+            // ways (Table II row 3).
+            evictBig(set, set_idx, set.x - 1u, r.fill);
+            set.x = static_cast<std::uint8_t>(set.x - 1);
+            set.y = static_cast<std::uint8_t>(set.y + step);
+            ++setStateChanges_;
+            fill_big = false;
+            victim_way = set.y - step; // first freshly-freed slot
+        }
+    }
+
+    // Fill from off-chip.
+    if (fill_big) {
+        ++bigFills_;
+        // A small way may hold a line of this frame (filled while
+        // the frame was absent as a big block); evict such overlaps
+        // so a line never resides twice in the set.
+        for (unsigned w = 0; w < set.y; ++w) {
+            if (set.small[w].valid &&
+                (set.small[w].line >> (bigBits_ - 6)) == frame) {
+                evictSmall(set, set_idx, w, r.fill);
+            }
+        }
+        const Addr base = frame << bigBits_;
+        r.fill.fetches.push_back({base, p_.bigBlockBytes});
+        r.fill.fillWrite.bytes = p_.bigBlockBytes;
+        stats_.offchipFetchBytes += p_.bigBlockBytes;
+        overfetchBytes_ += p_.bigBlockBytes - kLineBytes;
+
+        BigWay &way = set.big[victim_way];
+        bmc_assert(!way.valid, "filling an occupied big way");
+        way.frame = frame;
+        way.valid = true;
+        way.usedMask = static_cast<std::uint8_t>(1u << sub);
+        way.dirtyMask =
+            is_write ? static_cast<std::uint8_t>(1u << sub) : 0;
+        way.lastUse = ++useClock_;
+        touchMru(set, bigWayId(victim_way));
+        if (locator_)
+            locator_->insert(addr, true, bigWayId(victim_way));
+    } else {
+        ++smallFills_;
+        r.fill.fetches.push_back({line * kLineBytes, kLineBytes});
+        r.fill.fillWrite.bytes = kLineBytes;
+        stats_.offchipFetchBytes += kLineBytes;
+
+        SmallWay &way = set.small[victim_way];
+        bmc_assert(!way.valid, "filling an occupied small way");
+        way.line = line;
+        way.valid = true;
+        way.dirty = is_write;
+        way.lastUse = ++useClock_;
+        touchMru(set, smallWayId(victim_way));
+        if (locator_)
+            locator_->insert(addr, false, smallWayId(victim_way));
+    }
+
+    r.fill.fillWrite.needed = true;
+    r.fill.fillWrite.loc = layout_.rowLocation(data_row);
+    stats_.demandFetchBytes += kLineBytes;
+
+    // The fill rewrites this set's tags in the metadata bank.
+    if (p_.backgroundMetaWrites)
+        r.backgroundTags.push_back(makeTagAccess(set_idx, true));
+
+    return r;
+}
+
+bool
+BiModalCache::probe(Addr addr) const
+{
+    const std::uint64_t frame = addr >> bigBits_;
+    const std::uint64_t line = addr / kLineBytes;
+    const Set &set = sets_[setOf(frame)];
+    for (unsigned w = 0; w < set.x; ++w)
+        if (set.big[w].valid && set.big[w].frame == frame)
+            return true;
+    for (unsigned w = 0; w < set.y; ++w)
+        if (set.small[w].valid && set.small[w].line == line)
+            return true;
+    return false;
+}
+
+std::uint64_t
+BiModalCache::sramBytes() const
+{
+    std::uint64_t bytes = sizePred_.tableBytes();
+    // Tracker vectors: one utilization byte per big way in the
+    // sampled sets (~4% of sets; ~20 KB for a 256 MB cache).
+    bytes += (numSets_ / sizePred_.sampleEvery()) * space_.maxBig();
+    if (locator_)
+        bytes += locator_->storageBytes();
+    return bytes;
+}
+
+double
+BiModalCache::smallAccessFraction() const
+{
+    const auto total = bigHits_.value() + smallHits_.value();
+    return total ? static_cast<double>(smallHits_.value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+BiModalCache::utilizationFraction(unsigned n) const
+{
+    bmc_assert(n >= 1 && n <= space_.smallPerBig(),
+               "utilization bucket %u", n);
+    return utilization_.fraction(n - 1);
+}
+
+std::pair<unsigned, unsigned>
+BiModalCache::setState(std::uint64_t set_idx) const
+{
+    const Set &set = sets_.at(set_idx);
+    return {set.x, set.y};
+}
+
+} // namespace bmc::dramcache

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The Bi-Modal DRAM Cache organization (Section III of the paper).
+ *
+ * Each set holds X big (512 B) and Y small (64 B) blocks inside one
+ * DRAM page, with per-set (X, Y) states drifting toward a demand-
+ * adapted cache-wide global state (Table II). Metadata (per-set
+ * state + up to 18 tags, read in two 64 B bursts) lives in a
+ * dedicated DRAM bank on the adjacent channel so tag reads proceed
+ * in parallel with the data-row activation. The SRAM Way Locator
+ * short-circuits the metadata access entirely for >90% of accesses;
+ * replacement is "random-not-recent" (never one of the set's two
+ * MRU ways). Dirty state is tracked per 64 B sub-block so big-block
+ * evictions write back only dirty lines.
+ *
+ * Feature flags allow the paper's component analysis (Fig 8a):
+ * disable the way locator (Bi-Modal-Only) or disable bi-modality
+ * via the FixedOrg way-locator configuration (Way-Locator-Only).
+ */
+
+#ifndef BMC_DRAMCACHE_BIMODAL_BIMODAL_CACHE_HH
+#define BMC_DRAMCACHE_BIMODAL_BIMODAL_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "dramcache/bimodal/set_state.hh"
+#include "dramcache/bimodal/size_predictor.hh"
+#include "dramcache/bimodal/way_locator.hh"
+#include "dramcache/layout.hh"
+#include "dramcache/org.hh"
+
+namespace bmc::dramcache
+{
+
+/** Victim selection inside a set (ablation knob; the paper uses
+ *  random-not-recent backed by the two MRU ways). */
+enum class BiModalRepl : std::uint8_t
+{
+    RandomNotRecent, //!< the paper's policy
+    PureRandom,      //!< ignore recency entirely
+    Lru,             //!< full LRU (costs recency metadata updates)
+};
+
+/** The paper's contribution: mixed-granularity DRAM cache. */
+class BiModalCache : public DramCacheOrg
+{
+  public:
+    struct Params
+    {
+        std::string name = "bimodal";
+        std::uint64_t capacityBytes = 128 * kMiB;
+        std::uint32_t setBytes = 2048;   //!< one DRAM page
+        std::uint32_t bigBlockBytes = 512;
+        StackedLayout::Params layout;
+        bool useWayLocator = true;       //!< off = Bi-Modal-Only
+        unsigned locatorIndexBits = 14;  //!< K
+        unsigned addressBits = 34;
+        SizePredictor::Params predictor;
+        GlobalStateController::Params global;
+        /** Issue background metadata writes for dirty-bit updates
+         *  and fills (consumes metadata-bank bandwidth off the
+         *  critical path). */
+        bool backgroundMetaWrites = true;
+        /** Overlap the metadata read with the data-row activation
+         *  (Section III-B.2); off = serialized tags-then-data. */
+        bool parallelTagData = true;
+        /** Victim-selection policy ablation. */
+        BiModalRepl replacement = BiModalRepl::RandomNotRecent;
+        /** Extension (paper footnote 9): adapt the utilization
+         *  threshold T at run time from the measured wasted-fetch
+         *  fraction of evicted big blocks. */
+        bool adaptiveThreshold = false;
+        std::uint64_t seed = 11;
+    };
+
+    BiModalCache(const Params &params, stats::StatGroup &parent);
+
+    LookupResult access(Addr addr, bool is_write,
+                        bool is_prefetch = false) override;
+
+    std::string name() const override { return p_.name; }
+    const OrgStats &stats() const override { return stats_; }
+    std::uint64_t sramBytes() const override;
+
+    std::uint64_t numSets() const { return numSets_; }
+    const SetStateSpace &stateSpace() const { return space_; }
+    const WayLocator *wayLocator() const { return locator_.get(); }
+    const SizePredictor &sizePredictor() const { return sizePred_; }
+    const GlobalStateController &globalState() const { return global_; }
+
+    /** Fraction of DRAM cache accesses served by small blocks
+     *  (Fig 10). */
+    double smallAccessFraction() const;
+
+    /** Fig 2 utilization distribution over evicted big blocks. */
+    double utilizationFraction(unsigned n) const;
+
+    /** Current (X, Y) of set @p set_idx (tests / introspection). */
+    std::pair<unsigned, unsigned> setState(std::uint64_t set_idx) const;
+
+    /** Effective utilization threshold (varies when
+     *  adaptiveThreshold is on). */
+    unsigned effectiveThreshold() const { return threshold_; }
+
+    /** Residency check without state update. */
+    bool probe(Addr addr) const override;
+
+    /** Metadata bytes per set as stored in the metadata bank. */
+    static constexpr std::uint32_t kMetaBytesPerSet = 128;
+
+  private:
+    struct BigWay
+    {
+        std::uint64_t frame = 0; //!< addr >> log2(bigBlockBytes)
+        bool valid = false;
+        std::uint8_t usedMask = 0;
+        std::uint8_t dirtyMask = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct SmallWay
+    {
+        std::uint64_t line = 0; //!< addr >> 6
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Set
+    {
+        std::uint8_t x = 0; //!< current big ways
+        std::uint8_t y = 0; //!< current small ways
+        /** Two most-recently-used way ids (locator-backed
+         *  "random-not-recent" replacement); 0xFF = none. */
+        std::uint8_t mru0 = 0xFF;
+        std::uint8_t mru1 = 0xFF;
+        std::vector<BigWay> big;     //!< size maxBig
+        std::vector<SmallWay> small; //!< size yFor(minBig)
+    };
+
+    /** Way-id encoding shared with the locator: big ways are
+     *  [0, maxBig), small ways are maxBig + index. */
+    std::uint8_t bigWayId(unsigned w) const
+    {
+        return static_cast<std::uint8_t>(w);
+    }
+    std::uint8_t smallWayId(unsigned w) const
+    {
+        return static_cast<std::uint8_t>(space_.maxBig() + w);
+    }
+
+    std::uint64_t setOf(std::uint64_t frame) const
+    {
+        return frame % numSets_;
+    }
+    std::uint64_t rowOf(std::uint64_t set_idx) const;
+
+    void touchMru(Set &set, std::uint8_t way_id);
+    void dropFromMru(Set &set, std::uint8_t way_id);
+
+    /** Evict big way @p w of @p set (writebacks into @p plan). */
+    void evictBig(Set &set, std::uint64_t set_idx, unsigned w,
+                  FillPlan &plan);
+    void evictSmall(Set &set, std::uint64_t set_idx, unsigned w,
+                    FillPlan &plan);
+
+    /** Pick a victim among the enabled ways of the given kind per
+     *  the configured policy; prefers invalid ways. */
+    unsigned pickBigVictim(const Set &set);
+    unsigned pickSmallVictim(const Set &set);
+
+    /** Adaptive-T extension: retune the threshold each epoch. */
+    void maybeAdaptThreshold();
+
+    TagAccess makeTagAccess(std::uint64_t set_idx,
+                            bool is_write = false) const;
+
+    /** Metadata bytes that must move for the current state of
+     *  @p set: state word + one 4 B tag per enabled way, rounded to
+     *  64 B bursts ((4,0) -> 1 burst; (3,8)/(2,16) -> 2 bursts). */
+    std::uint32_t metaReadBytes(const Set &set) const;
+
+    Params p_;
+    SetStateSpace space_;
+    StackedLayout layout_;
+    std::uint64_t numSets_;
+    unsigned bigBits_; //!< log2(bigBlockBytes)
+    std::vector<Set> sets_;
+    std::uint64_t useClock_ = 0;
+    Rng rng_;
+
+    std::unique_ptr<WayLocator> locator_;
+    SizePredictor sizePred_;
+    GlobalStateController global_;
+
+    unsigned threshold_ = 5;
+    std::uint64_t epochAccessCount_ = 0;
+    std::uint64_t epochUsedSubBlocks_ = 0;
+    std::uint64_t epochEvictedBig_ = 0;
+
+    OrgStats stats_;
+    stats::Counter bigHits_;
+    stats::Counter smallHits_;
+    stats::Counter bigFills_;
+    stats::Counter smallFills_;
+    stats::Counter setStateChanges_;
+    stats::Histogram utilization_;
+    stats::Counter overfetchBytes_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_BIMODAL_BIMODAL_CACHE_HH

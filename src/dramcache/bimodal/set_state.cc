@@ -1,0 +1,93 @@
+#include "dramcache/bimodal/set_state.hh"
+
+#include "common/logging.hh"
+
+namespace bmc::dramcache
+{
+
+SetStateSpace::SetStateSpace(std::uint32_t set_bytes,
+                             std::uint32_t big_bytes,
+                             std::uint32_t small_bytes)
+    : maxBig_(set_bytes / big_bytes), minBig_(maxBig_ / 2),
+      smallPerBig_(big_bytes / small_bytes)
+{
+    bmc_assert(set_bytes % big_bytes == 0,
+               "set must hold whole big blocks");
+    bmc_assert(big_bytes % small_bytes == 0,
+               "big block must hold whole small blocks");
+    bmc_assert(maxBig_ >= 2, "need at least two big ways");
+    bmc_assert(minBig_ >= 1, "minBig must be positive");
+}
+
+GlobalStateController::GlobalStateController(const SetStateSpace &space,
+                                             const Params &params,
+                                             stats::StatGroup &parent)
+    : space_(space), p_(params), x_(space.maxBig()), y_(0),
+      sg_("global_state", &parent),
+      adaptations_(sg_, "adaptations", "epoch boundaries processed"),
+      growSmall_(sg_, "grow_small",
+                 "transitions that added small-way quota"),
+      growBig_(sg_, "grow_big",
+               "transitions that added big-way quota")
+{
+    bmc_assert(params.epochAccesses > 0, "epoch must be positive");
+}
+
+void
+GlobalStateController::onAccess()
+{
+    if (++accessesInEpoch_ >= p_.epochAccesses) {
+        adapt();
+        accessesInEpoch_ = 0;
+    }
+}
+
+void
+GlobalStateController::onMissDemand(bool predicted_big)
+{
+    if (predicted_big)
+        ++demandBig_;
+    else
+        ++demandSmall_;
+}
+
+void
+GlobalStateController::adapt()
+{
+    ++adaptations_;
+
+    // R = W * Dsmall / Dbig. With zero big demand but non-zero small
+    // demand the ratio is unbounded; saturate so rule 1 fires.
+    double r;
+    if (demandBig_ == 0) {
+        r = demandSmall_ == 0
+                ? 0.0
+                : static_cast<double>(space_.maxAssoc());
+    } else {
+        r = p_.weight * static_cast<double>(demandSmall_) /
+            static_cast<double>(demandBig_);
+    }
+
+    const double cur_ratio =
+        static_cast<double>(y_) / static_cast<double>(x_);
+    const unsigned step = space_.smallPerBig();
+
+    if (r > cur_ratio && space_.legalX(x_ - 1)) {
+        // More small-block demand than the current mix serves.
+        x_ -= 1;
+        y_ += step;
+        ++growSmall_;
+    } else if (y_ >= step &&
+               r < (static_cast<double>(y_ - step) /
+                    static_cast<double>(x_ + 1)) &&
+               space_.legalX(x_ + 1)) {
+        x_ += 1;
+        y_ -= step;
+        ++growBig_;
+    }
+
+    demandBig_ = 0;
+    demandSmall_ = 0;
+}
+
+} // namespace bmc::dramcache

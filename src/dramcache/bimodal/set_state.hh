@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The bi-modal set state machine (Sections III-B.1 and III-B.4).
+ *
+ * Each set of size S holds X big blocks and Y small blocks with
+ * X * big + Y * small == S for the legal states. For a 2 KB set with
+ * 512 B / 64 B blocks the states are {(4,0), (3,8), (2,16)}; for a
+ * 4 KB set, {(8,0) ... (4,32)}. A cache-wide global state
+ * (Xglob, Yglob) is adapted from measured demand every epoch using
+ *     R = W * Dsmall / Dbig   (W = 0.75 by default)
+ * compared against Yglob/Xglob, and each set drifts toward the
+ * global state at miss time following Table II.
+ *
+ * Both classes are pure (no DRAM, no traces) so that the adaptation
+ * rules are unit-testable in isolation.
+ */
+
+#ifndef BMC_DRAMCACHE_BIMODAL_SET_STATE_HH
+#define BMC_DRAMCACHE_BIMODAL_SET_STATE_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace bmc::dramcache
+{
+
+/** Geometry of the legal (X, Y) states for one set size. */
+class SetStateSpace
+{
+  public:
+    SetStateSpace(std::uint32_t set_bytes, std::uint32_t big_bytes,
+                  std::uint32_t small_bytes);
+
+    unsigned maxBig() const { return maxBig_; }
+    /** The paper halves the big ways at most: minBig = maxBig / 2. */
+    unsigned minBig() const { return minBig_; }
+    unsigned smallPerBig() const { return smallPerBig_; }
+
+    /** Small-way count implied by @p x big ways. */
+    unsigned yFor(unsigned x) const
+    {
+        return (maxBig_ - x) * smallPerBig_;
+    }
+
+    /** Highest associativity any state reaches (18 for 2 KB sets). */
+    unsigned maxAssoc() const { return minBig_ + yFor(minBig_); }
+
+    bool legalX(unsigned x) const
+    {
+        return x >= minBig_ && x <= maxBig_;
+    }
+
+  private:
+    unsigned maxBig_;
+    unsigned minBig_;
+    unsigned smallPerBig_;
+};
+
+/** Cache-wide (Xglob, Yglob) demand-driven controller. */
+class GlobalStateController
+{
+  public:
+    struct Params
+    {
+        double weight = 0.75;          //!< W
+        std::uint64_t epochAccesses = 1u << 20; //!< adapt interval
+    };
+
+    GlobalStateController(const SetStateSpace &space,
+                          const Params &params,
+                          stats::StatGroup &parent);
+
+    /** Count one DRAM cache access; adapts at epoch boundaries. */
+    void onAccess();
+
+    /** Count one miss whose predicted fill size is big/small. */
+    void onMissDemand(bool predicted_big);
+
+    unsigned xGlob() const { return x_; }
+    unsigned yGlob() const { return y_; }
+
+    /** Apply the adaptation rules immediately (exposed for tests). */
+    void adapt();
+
+  private:
+    const SetStateSpace &space_;
+    Params p_;
+    unsigned x_;
+    unsigned y_;
+    std::uint64_t accessesInEpoch_ = 0;
+    std::uint64_t demandBig_ = 0;
+    std::uint64_t demandSmall_ = 0;
+
+    stats::StatGroup sg_;
+    stats::Counter adaptations_;
+    stats::Counter growSmall_;
+    stats::Counter growBig_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_BIMODAL_SET_STATE_HH

@@ -1,0 +1,59 @@
+#include "dramcache/bimodal/size_predictor.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::dramcache
+{
+
+SizePredictor::SizePredictor(const Params &params,
+                             stats::StatGroup &parent)
+    : p_(params), table_(1ULL << params.indexBits, 3),
+      sg_("size_predictor", &parent),
+      predBig_(sg_, "pred_big", "predictions of a big fill"),
+      predSmall_(sg_, "pred_small", "predictions of a small fill"),
+      trainBig_(sg_, "train_big",
+                "sampled evictions labelled big (util >= T)"),
+      trainSmall_(sg_, "train_small",
+                  "sampled evictions labelled small (util < T)")
+{
+    bmc_assert(params.indexBits >= 4 && params.indexBits <= 24,
+               "unreasonable predictor index bits");
+    bmc_assert(params.threshold >= 1 && params.threshold <= 8,
+               "threshold out of range");
+    bmc_assert(params.sampleEvery >= 1, "sampleEvery must be >= 1");
+}
+
+std::uint64_t
+SizePredictor::indexOf(std::uint64_t frame_id) const
+{
+    return mix64(frame_id) & mask(p_.indexBits);
+}
+
+bool
+SizePredictor::predictBig(std::uint64_t frame_id)
+{
+    const bool big = table_[indexOf(frame_id)] >= 2;
+    if (big)
+        ++predBig_;
+    else
+        ++predSmall_;
+    return big;
+}
+
+void
+SizePredictor::train(std::uint64_t frame_id, unsigned used_bits)
+{
+    std::uint8_t &ctr = table_[indexOf(frame_id)];
+    if (used_bits >= p_.threshold) {
+        ++trainBig_;
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        ++trainSmall_;
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace bmc::dramcache

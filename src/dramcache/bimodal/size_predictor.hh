@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The block size predictor (Section III-B.3).
+ *
+ * Two components:
+ *
+ *  - Tracker: spatial utilization is measured with an 8-bit vector
+ *    per big way (one bit per 64 B sub-block) in a ~4% sample of the
+ *    sets (set-sampling [Qureshi et al.]); when a sampled big way is
+ *    evicted, the popcount of its vector is compared against the
+ *    threshold T (default 5) to label the block big or small.
+ *
+ *  - Predictor: a 2^P-entry table of 2-bit saturating counters
+ *    indexed by P bits hashed from the tag+set bits. Counters
+ *    saturate at 00 (predict small) / 11 (predict big); they are
+ *    initialized to 11 because the cache starts all-big.
+ *
+ * Storage with P = 16: 2 x 2^16 bits = 16 KB, plus ~20 KB of tracker
+ * vectors for a 256 MB cache -- matching the paper's figures.
+ */
+
+#ifndef BMC_DRAMCACHE_BIMODAL_SIZE_PREDICTOR_HH
+#define BMC_DRAMCACHE_BIMODAL_SIZE_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bmc::dramcache
+{
+
+/** Spatial-utilization-driven big/small predictor. */
+class SizePredictor
+{
+  public:
+    struct Params
+    {
+        unsigned indexBits = 16;  //!< P
+        unsigned threshold = 5;   //!< T, out of smallPerBig (8)
+        unsigned sampleEvery = 25;//!< 1-in-N sets tracked (~4%)
+    };
+
+    SizePredictor(const Params &params, stats::StatGroup &parent);
+
+    /** True if set @p set_idx belongs to the tracked sample. */
+    bool isSampledSet(std::uint64_t set_idx) const
+    {
+        return set_idx % p_.sampleEvery == 0;
+    }
+
+    /** Predict the fill size for the 512 B frame @p frame_id. */
+    bool predictBig(std::uint64_t frame_id);
+
+    /**
+     * Train from an evicted sampled big way.
+     * @param frame_id   the evicted frame
+     * @param used_bits  popcount of its utilization vector
+     */
+    void train(std::uint64_t frame_id, unsigned used_bits);
+
+    unsigned threshold() const { return p_.threshold; }
+    /** Run-time threshold adjustment (adaptive-T extension). */
+    void setThreshold(unsigned t) { p_.threshold = t; }
+    unsigned sampleEvery() const { return p_.sampleEvery; }
+
+    /** Predictor table storage (bytes). */
+    std::uint64_t tableBytes() const { return table_.size() * 2 / 8; }
+
+    std::uint64_t bigPredictions() const { return predBig_.value(); }
+    std::uint64_t smallPredictions() const
+    {
+        return predSmall_.value();
+    }
+
+  private:
+    std::uint64_t indexOf(std::uint64_t frame_id) const;
+
+    Params p_;
+    std::vector<std::uint8_t> table_; //!< 2-bit counters
+
+    stats::StatGroup sg_;
+    stats::Counter predBig_;
+    stats::Counter predSmall_;
+    stats::Counter trainBig_;
+    stats::Counter trainSmall_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_BIMODAL_SIZE_PREDICTOR_HH

@@ -1,0 +1,143 @@
+#include "dramcache/bimodal/way_locator.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::dramcache
+{
+
+WayLocator::WayLocator(const Params &params, stats::StatGroup &parent)
+    : p_(params), entries_(2ULL << params.indexBits),
+      sg_("way_locator", &parent),
+      lookups_(sg_, "lookups", "locator lookups"),
+      hits_(sg_, "hits", "locator hits"),
+      inserts_(sg_, "inserts", "entries inserted"),
+      conflictEvictions_(sg_, "conflict_evictions",
+                         "valid entries displaced by inserts"),
+      removes_(sg_, "removes", "entries removed on block eviction")
+{
+    bmc_assert(params.indexBits >= 4 && params.indexBits < 28,
+               "unreasonable locator index bits %u", params.indexBits);
+    bmc_assert(params.bigBlockBits > 6,
+               "big block must exceed a 64 B line");
+}
+
+std::uint64_t
+WayLocator::bigKey(Addr addr, unsigned big_bits)
+{
+    return addr >> big_bits;
+}
+
+std::uint64_t
+WayLocator::smallKey(Addr addr)
+{
+    return addr >> 6;
+}
+
+std::uint64_t
+WayLocator::indexOf(Addr addr) const
+{
+    // Index from the big-frame bits so that the small blocks of one
+    // frame share an index; mix so neighbouring frames spread.
+    return mix64(addr >> p_.bigBlockBits) & mask(p_.indexBits);
+}
+
+int
+WayLocator::findAt(std::uint64_t index, Addr addr, bool is_big) const
+{
+    const std::uint64_t key =
+        is_big ? bigKey(addr, p_.bigBlockBits) : smallKey(addr);
+    for (int slot = 0; slot < 2; ++slot) {
+        const Entry &e = entries_[index * 2 + slot];
+        if (e.valid && e.isBig == is_big && e.key == key)
+            return slot;
+    }
+    return -1;
+}
+
+WayLocator::Result
+WayLocator::lookup(Addr addr)
+{
+    ++lookups_;
+    const std::uint64_t index = indexOf(addr);
+    // A big-block entry matches any line inside the frame; a small
+    // entry matches only its exact line.
+    for (int slot = 0; slot < 2; ++slot) {
+        Entry &e = entries_[index * 2 + slot];
+        if (!e.valid)
+            continue;
+        const std::uint64_t key =
+            e.isBig ? bigKey(addr, p_.bigBlockBits) : smallKey(addr);
+        if (e.key == key) {
+            e.lastUse = ++useClock_;
+            ++hits_;
+            return {true, e.isBig, e.way};
+        }
+    }
+    return {};
+}
+
+void
+WayLocator::insert(Addr addr, bool is_big, std::uint8_t way)
+{
+    const std::uint64_t index = indexOf(addr);
+    const std::uint64_t key =
+        is_big ? bigKey(addr, p_.bigBlockBits) : smallKey(addr);
+
+    // Update in place when already present.
+    const int existing = findAt(index, addr, is_big);
+    if (existing >= 0) {
+        Entry &e = entries_[index * 2 + existing];
+        e.way = way;
+        e.lastUse = ++useClock_;
+        return;
+    }
+
+    // Replace an invalid slot, else the LRU of the pair.
+    int victim = 0;
+    Entry *pair = &entries_[index * 2];
+    if (!pair[0].valid) {
+        victim = 0;
+    } else if (!pair[1].valid) {
+        victim = 1;
+    } else {
+        victim = pair[0].lastUse <= pair[1].lastUse ? 0 : 1;
+        ++conflictEvictions_;
+    }
+    pair[victim] = {true, is_big, key, way, ++useClock_};
+    ++inserts_;
+}
+
+void
+WayLocator::remove(Addr addr, bool is_big)
+{
+    const std::uint64_t index = indexOf(addr);
+    const int slot = findAt(index, addr, is_big);
+    if (slot >= 0) {
+        entries_[index * 2 + slot] = Entry{};
+        ++removes_;
+    }
+}
+
+std::uint64_t
+WayLocator::storageBytes() const
+{
+    const unsigned tag_set_bits = p_.addressBits - p_.bigBlockBits;
+    bmc_assert(tag_set_bits > p_.indexBits,
+               "index bits exceed tag+set bits");
+    const unsigned entry_bits =
+        1 /*valid*/ + 1 /*size*/ + (tag_set_bits - p_.indexBits) +
+        3 /*offset*/ + 5 /*way id*/;
+    return entries_.size() * entry_bits / 8;
+}
+
+double
+WayLocator::hitRate() const
+{
+    return lookups_.value()
+               ? static_cast<double>(hits_.value()) /
+                     static_cast<double>(lookups_.value())
+               : 0.0;
+}
+
+} // namespace bmc::dramcache

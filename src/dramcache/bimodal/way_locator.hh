@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The SRAM Way Locator (Section III-C of the paper).
+ *
+ * A small 2-way set-associative table indexed by K bits drawn from
+ * the tag+set bits of the incoming address. Each entry holds a valid
+ * bit, a block-size bit (big/small), ALL remaining tag+set bits plus
+ * the 3 leading offset bits, and a way number. Because every address
+ * bit is either used as index or stored and compared, a locator hit
+ * can never be wrong: it either pinpoints the exact resident way or
+ * misses. On a hit the DRAM metadata access is skipped entirely and
+ * a single data access is issued.
+ *
+ * Entries are inserted when the locator misses but the DRAM cache
+ * hits, and removed when the corresponding cache block is evicted.
+ *
+ * Storage arithmetic reproduces Table III:
+ *   entry bits = valid(1) + size(1) + (N - K) + offset(3) + way(5)
+ * with N = addressBits - 9 tag+set bits, and 2 x 2^K entries.
+ * (The paper's KB figures use decimal kilobytes.)
+ */
+
+#ifndef BMC_DRAMCACHE_BIMODAL_WAY_LOCATOR_HH
+#define BMC_DRAMCACHE_BIMODAL_WAY_LOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bmc::dramcache
+{
+
+/** SRAM cache of recent (block -> way) mappings. */
+class WayLocator
+{
+  public:
+    struct Params
+    {
+        unsigned indexBits = 14;   //!< K
+        unsigned addressBits = 32; //!< physical address width N+9
+        /** log2 of the big-block size; index/tag split point. */
+        unsigned bigBlockBits = 9;
+    };
+
+    struct Result
+    {
+        bool hit = false;
+        bool isBig = false;
+        std::uint8_t way = 0;
+    };
+
+    WayLocator(const Params &params, stats::StatGroup &parent);
+
+    /** Look up @p addr; LRU-promotes on hit. */
+    Result lookup(Addr addr);
+
+    /**
+     * Record that the block containing @p addr (big frame or small
+     * line, per @p is_big) resides in @p way. Replaces the LRU entry
+     * of the index pair; updates in place if already present.
+     */
+    void insert(Addr addr, bool is_big, std::uint8_t way);
+
+    /** Remove the entry for an evicted block, if present. */
+    void remove(Addr addr, bool is_big);
+
+    /** Drop every entry (used when a set is reorganized). */
+    void invalidateMatching(Addr addr, bool is_big)
+    {
+        remove(addr, is_big);
+    }
+
+    /** Table III storage arithmetic, in bytes (binary). */
+    std::uint64_t storageBytes() const;
+
+    /** Entry count (2 x 2^K). */
+    std::uint64_t numEntries() const { return entries_.size(); }
+
+    std::uint64_t lookups() const { return lookups_.value(); }
+    std::uint64_t hits() const { return hits_.value(); }
+    double hitRate() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool isBig = false;
+        /** Full block identity: addr >> 9 for big, addr >> 6 for
+         *  small (frame bits + 3 offset bits). */
+        std::uint64_t key = 0;
+        std::uint8_t way = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t indexOf(Addr addr) const;
+    static std::uint64_t bigKey(Addr addr, unsigned big_bits);
+    static std::uint64_t smallKey(Addr addr);
+
+    /** Find the matching entry slot at @p index, or -1. */
+    int findAt(std::uint64_t index, Addr addr, bool is_big) const;
+
+    Params p_;
+    std::vector<Entry> entries_; //!< 2 per index, contiguous pairs
+    std::uint64_t useClock_ = 0;
+
+    stats::StatGroup sg_;
+    stats::Counter lookups_;
+    stats::Counter hits_;
+    stats::Counter inserts_;
+    stats::Counter conflictEvictions_;
+    stats::Counter removes_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_BIMODAL_WAY_LOCATOR_HH

@@ -1,0 +1,305 @@
+#include "dramcache/fixed.hh"
+
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sram/cacti_lite.hh"
+
+namespace bmc::dramcache
+{
+
+namespace
+{
+
+/** Per-block metadata the paper assumes: 4 bytes. */
+constexpr std::uint32_t kTagBytesPerBlock = 4;
+
+/** Coalesce a sub-block mask into contiguous Transfers. */
+void
+maskToTransfers(Addr base, std::uint64_t mask_bits, unsigned sub_blocks,
+                std::vector<Transfer> &out)
+{
+    unsigned i = 0;
+    while (i < sub_blocks) {
+        if (!(mask_bits & (1ULL << i))) {
+            ++i;
+            continue;
+        }
+        unsigned j = i;
+        while (j + 1 < sub_blocks && (mask_bits & (1ULL << (j + 1))))
+            ++j;
+        out.push_back({base + static_cast<Addr>(i) * kLineBytes,
+                       (j - i + 1) * kLineBytes});
+        i = j + 1;
+    }
+}
+
+} // anonymous namespace
+
+FixedOrg::FixedOrg(const Params &params, stats::StatGroup &parent)
+    : p_(params), layout_([&] {
+          StackedLayout::Params lp = params.layout;
+          lp.capacityBytes = params.capacityBytes;
+          lp.reserveMetaBank = params.tags == TagStore::DramSeparate;
+          return lp;
+      }()),
+      numSets_(params.capacityBytes / params.blockBytes / params.assoc),
+      subBlocks_(params.blockBytes / kLineBytes),
+      stats_(params.name, parent),
+      utilization_(stats_.group, "utilization",
+                   "sub-blocks used at eviction (bucket n = n+1 used)",
+                   params.blockBytes / kLineBytes),
+      mruPos_(stats_.group, "mru_pos", "hit distance from set MRU",
+              params.assoc)
+{
+    bmc_assert(isPowerOf2(p_.blockBytes) && p_.blockBytes >= kLineBytes,
+               "bad block size %u", p_.blockBytes);
+    bmc_assert(numSets_ > 0, "capacity too small");
+    bmc_assert(subBlocks_ <= 64, "sub-block mask limited to 64 lines");
+    blocks_.resize(numSets_ * p_.assoc);
+
+    if (p_.useWayLocator) {
+        bmc_assert(p_.tags == TagStore::DramSeparate,
+                   "way locator requires the metadata-bank layout");
+        WayLocator::Params wp;
+        wp.indexBits = p_.locatorIndexBits;
+        wp.addressBits = p_.addressBits;
+        wp.bigBlockBits = log2Exact(p_.blockBytes);
+        locator_ = std::make_unique<WayLocator>(wp, stats_.group);
+    }
+}
+
+std::uint64_t
+FixedOrg::setOf(Addr addr) const
+{
+    return (addr / p_.blockBytes) % numSets_;
+}
+
+Addr
+FixedOrg::tagOf(Addr addr) const
+{
+    return addr / p_.blockBytes / numSets_;
+}
+
+Addr
+FixedOrg::blockBase(Addr tag, std::uint64_t set) const
+{
+    return (tag * numSets_ + set) * p_.blockBytes;
+}
+
+std::uint64_t
+FixedOrg::rowOf(std::uint64_t set) const
+{
+    const std::uint64_t set_bytes =
+        static_cast<std::uint64_t>(p_.blockBytes) * p_.assoc;
+    if (set_bytes <= layout_.pageBytes()) {
+        const std::uint64_t sets_per_row =
+            layout_.pageBytes() / set_bytes;
+        return set / sets_per_row;
+    }
+    return set * (set_bytes / layout_.pageBytes());
+}
+
+TagAccess
+FixedOrg::makeTagAccess(std::uint64_t set) const
+{
+    TagAccess tag;
+    tag.needed = true;
+    tag.bytes = static_cast<std::uint32_t>(
+        roundUp(p_.assoc * kTagBytesPerBlock, kLineBytes));
+    const std::uint64_t row = rowOf(set);
+    if (p_.tags == TagStore::DramColocated) {
+        tag.loc = layout_.rowLocation(row % layout_.numRows());
+        tag.sameRowAsData = true;
+        tag.parallelData = false;
+    } else {
+        // Dedicated metadata bank on the adjacent channel.
+        const std::uint32_t meta_per_row = static_cast<std::uint32_t>(
+            roundUp(p_.assoc * kTagBytesPerBlock, kLineBytes));
+        tag.loc = layout_.metaLocation(row % layout_.numRows(),
+                                       meta_per_row);
+        tag.parallelData = true;
+    }
+    return tag;
+}
+
+void
+FixedOrg::planWriteback(const Block &victim, std::uint64_t set,
+                        FillPlan &plan) const
+{
+    if (victim.dirtyMask == 0)
+        return;
+    maskToTransfers(blockBase(victim.tag, set), victim.dirtyMask,
+                    subBlocks_, plan.writebacks);
+}
+
+LookupResult
+FixedOrg::access(Addr addr, bool is_write, bool is_prefetch)
+{
+    (void)is_prefetch; // the fixed organization has no bypass policy
+    ++stats_.accesses;
+
+    const std::uint64_t set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    const unsigned sub = static_cast<unsigned>(
+        (addr % p_.blockBytes) / kLineBytes);
+    Block *ways = &blocks_[set * p_.assoc];
+    const std::uint64_t data_row = rowOf(set) % layout_.numRows();
+
+    LookupResult r;
+
+    // SRAM tag structure first.
+    WayLocator::Result loc_hit;
+    if (locator_) {
+        loc_hit = locator_->lookup(addr);
+        r.sramCycles = sram::CactiLite::latencyCycles(
+            locator_->storageBytes());
+    } else if (p_.tags == TagStore::Sram) {
+        r.sramCycles = sram::CactiLite::latencyCycles(sramBytes());
+        r.sramTagHit = true;
+    }
+
+    // Search the set.
+    int hit_way = -1;
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            hit_way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (hit_way >= 0) {
+        Block &blk = ways[hit_way];
+        // MRU position for Fig 5.
+        unsigned newer = 0;
+        for (unsigned w = 0; w < p_.assoc; ++w)
+            if (ways[w].valid && static_cast<int>(w) != hit_way &&
+                ways[w].lastUse > blk.lastUse)
+                ++newer;
+        mruPos_.sample(newer);
+
+        blk.lastUse = ++useClock_;
+        blk.usedMask |= 1ULL << sub;
+        if (is_write)
+            blk.dirtyMask |= 1ULL << sub;
+        ++stats_.hits;
+
+        r.hit = true;
+        r.data.needed = true;
+        r.data.loc = layout_.rowLocation(data_row);
+        r.data.bytes = kLineBytes;
+
+        if (locator_) {
+            if (loc_hit.hit) {
+                bmc_assert(loc_hit.way ==
+                               static_cast<std::uint8_t>(hit_way),
+                           "way locator mispointed (never-wrong "
+                           "invariant violated)");
+                r.sramTagHit = true;
+            } else {
+                locator_->insert(addr, true,
+                                 static_cast<std::uint8_t>(hit_way));
+                r.tag = makeTagAccess(set);
+            }
+        } else if (p_.tags != TagStore::Sram) {
+            r.tag = makeTagAccess(set);
+        }
+        return r;
+    }
+
+    bmc_assert(!loc_hit.hit, "locator hit on a cache miss");
+
+    // Miss: the tag question still had to be answered.
+    ++stats_.misses;
+    if (p_.tags != TagStore::Sram)
+        r.tag = makeTagAccess(set);
+
+    // Choose an LRU victim (prefer an invalid way).
+    unsigned victim = 0;
+    bool found_invalid = false;
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (!ways[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        std::uint64_t oldest = maxTick;
+        for (unsigned w = 0; w < p_.assoc; ++w) {
+            if (ways[w].lastUse < oldest) {
+                oldest = ways[w].lastUse;
+                victim = w;
+            }
+        }
+    }
+
+    Block &blk = ways[victim];
+    if (blk.valid) {
+        ++stats_.evictions;
+        const unsigned used = std::popcount(blk.usedMask);
+        utilization_.sample(used > 0 ? used - 1 : 0);
+        stats_.wastedFetchBytes +=
+            static_cast<std::uint64_t>(subBlocks_ - used) * kLineBytes;
+        planWriteback(blk, set, r.fill);
+        stats_.writebackBytes +=
+            static_cast<std::uint64_t>(std::popcount(blk.dirtyMask)) *
+            kLineBytes;
+        if (locator_)
+            locator_->remove(blockBase(blk.tag, set), true);
+    }
+
+    // Fill the whole block from off-chip.
+    const Addr base = blockBase(tag, set);
+    r.fill.fetches.push_back({base, p_.blockBytes});
+    r.fill.fillWrite.needed = true;
+    r.fill.fillWrite.loc = layout_.rowLocation(data_row);
+    r.fill.fillWrite.bytes = p_.blockBytes;
+    stats_.demandFetchBytes += kLineBytes;
+    stats_.offchipFetchBytes += p_.blockBytes;
+
+    blk.tag = tag;
+    blk.valid = true;
+    blk.usedMask = 1ULL << sub;
+    blk.dirtyMask = is_write ? (1ULL << sub) : 0;
+    blk.lastUse = ++useClock_;
+
+    if (locator_)
+        locator_->insert(addr, true, static_cast<std::uint8_t>(victim));
+
+    return r;
+}
+
+bool
+FixedOrg::probe(Addr addr) const
+{
+    const std::uint64_t set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    const Block *ways = &blocks_[set * p_.assoc];
+    for (unsigned w = 0; w < p_.assoc; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+std::uint64_t
+FixedOrg::sramBytes() const
+{
+    std::uint64_t bytes = 0;
+    if (p_.tags == TagStore::Sram) {
+        bytes += numSets_ * p_.assoc * kTagBytesPerBlock;
+    }
+    if (locator_)
+        bytes += locator_->storageBytes();
+    return bytes;
+}
+
+double
+FixedOrg::utilizationFraction(unsigned n) const
+{
+    bmc_assert(n >= 1 && n <= subBlocks_, "utilization bucket %u", n);
+    return utilization_.fraction(n - 1);
+}
+
+} // namespace bmc::dramcache

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Parametric fixed-block-size DRAM cache organization.
+ *
+ * One implementation covers several of the paper's study points:
+ *  - the Fig 1 block-size sweep (64 B ... 4 KB, any associativity);
+ *  - the Fig 2 / Fig 5 trackers (sub-block utilization histogram and
+ *    MRU-position histogram are always collected);
+ *  - the "fixed-512B" comparison organization of Figs 8b and 9a;
+ *  - the Way-Locator-Only configuration of Fig 8a (512 B blocks,
+ *    tags in a dedicated DRAM metadata bank, SRAM way locator, no
+ *    bi-modality);
+ *  - a tags-in-SRAM variant used for latency comparisons.
+ *
+ * Replacement is LRU. Dirty state is tracked per 64 B sub-block so
+ * evictions write back only dirty lines (Section III-B.5 semantics
+ * apply to the fixed organization too, keeping the bandwidth
+ * comparison to Bi-Modal fair).
+ */
+
+#ifndef BMC_DRAMCACHE_FIXED_HH
+#define BMC_DRAMCACHE_FIXED_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dramcache/bimodal/way_locator.hh"
+#include "dramcache/layout.hh"
+#include "dramcache/org.hh"
+
+namespace bmc::dramcache
+{
+
+/** Fixed-granularity set-associative DRAM cache. */
+class FixedOrg : public DramCacheOrg
+{
+  public:
+    /** Where the tags live. */
+    enum class TagStore : std::uint8_t
+    {
+        Sram,          //!< tags-in-SRAM (Footprint-Cache style store)
+        DramColocated, //!< tags share the data row (Loh-Hill style)
+        DramSeparate,  //!< dedicated metadata bank (Bi-Modal style)
+    };
+
+    struct Params
+    {
+        std::string name = "fixed";
+        std::uint64_t capacityBytes = 128 * kMiB;
+        std::uint32_t blockBytes = 512;
+        unsigned assoc = 4;
+        TagStore tags = TagStore::DramSeparate;
+        StackedLayout::Params layout;
+        bool useWayLocator = false;
+        unsigned locatorIndexBits = 14;
+        unsigned addressBits = 34;
+    };
+
+    FixedOrg(const Params &params, stats::StatGroup &parent);
+
+    LookupResult access(Addr addr, bool is_write,
+                        bool is_prefetch = false) override;
+
+    std::string name() const override { return p_.name; }
+    const OrgStats &stats() const override { return stats_; }
+    std::uint64_t sramBytes() const override;
+
+    /** Sub-blocks per block (blockBytes / 64). */
+    unsigned subBlocks() const { return subBlocks_; }
+
+    /** Fraction of evicted blocks that had used exactly @p n
+     *  sub-blocks (n in [1, subBlocks()]): the Fig 2 distribution. */
+    double utilizationFraction(unsigned n) const;
+
+    /** Fraction of hits at MRU distance @p pos: Fig 5. */
+    double mruHitFraction(unsigned pos) const
+    {
+        return mruPos_.fraction(pos);
+    }
+
+    const WayLocator *wayLocator() const { return locator_.get(); }
+
+    std::uint64_t numSets() const { return numSets_; }
+
+    /** True when the block holding @p addr is resident (no state
+     *  change); used by tests and the prefetch filter. */
+    bool probe(Addr addr) const override;
+
+  private:
+    struct Block
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t dirtyMask = 0;
+        std::uint64_t usedMask = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr blockBase(Addr tag, std::uint64_t set) const;
+    /** Stacked-DRAM data row that holds @p set. */
+    std::uint64_t rowOf(std::uint64_t set) const;
+
+    /** Build the tag-access descriptor for a DRAM tag read. */
+    TagAccess makeTagAccess(std::uint64_t set) const;
+
+    /** Append coalesced dirty-sub-block writebacks for a victim. */
+    void planWriteback(const Block &victim, std::uint64_t set,
+                       FillPlan &plan) const;
+
+    Params p_;
+    StackedLayout layout_;
+    std::uint64_t numSets_;
+    unsigned subBlocks_;
+    std::vector<Block> blocks_;
+    std::uint64_t useClock_ = 0;
+
+    std::unique_ptr<WayLocator> locator_;
+
+    OrgStats stats_;
+    stats::Histogram utilization_;
+    stats::Histogram mruPos_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_FIXED_HH

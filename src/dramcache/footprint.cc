@@ -1,0 +1,256 @@
+#include "dramcache/footprint.hh"
+
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sram/cacti_lite.hh"
+
+namespace bmc::dramcache
+{
+
+namespace
+{
+
+void
+maskToTransfers(Addr base, std::uint64_t mask_bits, unsigned sub_blocks,
+                std::vector<Transfer> &out)
+{
+    unsigned i = 0;
+    while (i < sub_blocks) {
+        if (!(mask_bits & (1ULL << i))) {
+            ++i;
+            continue;
+        }
+        unsigned j = i;
+        while (j + 1 < sub_blocks && (mask_bits & (1ULL << (j + 1))))
+            ++j;
+        out.push_back({base + static_cast<Addr>(i) * kLineBytes,
+                       (j - i + 1) * kLineBytes});
+        i = j + 1;
+    }
+}
+
+} // anonymous namespace
+
+FootprintCache::FootprintCache(const Params &params,
+                               stats::StatGroup &parent)
+    : p_(params), layout_([&] {
+          StackedLayout::Params lp = params.layout;
+          lp.capacityBytes = params.capacityBytes;
+          lp.reserveMetaBank = false;
+          lp.pageBytes = std::max(lp.pageBytes, params.pageBlockBytes);
+          return lp;
+      }()),
+      numSets_(params.capacityBytes / params.pageBlockBytes /
+               params.assoc),
+      subBlocks_(params.pageBlockBytes / kLineBytes),
+      pages_(numSets_ * params.assoc),
+      predictor_(1ULL << params.predictorIndexBits),
+      stats_(params.name, parent),
+      subMisses_(stats_.group, "sub_block_misses",
+                 "page present but sub-block not fetched"),
+      singletonBypasses_(stats_.group, "singleton_bypasses",
+                         "pages bypassed as predicted singletons"),
+      predUnknown_(stats_.group, "pred_unknown",
+                   "page misses with no footprint history")
+{
+    bmc_assert(numSets_ > 0, "capacity too small");
+    bmc_assert(subBlocks_ <= 64, "footprint mask limited to 64 lines");
+}
+
+std::uint64_t
+FootprintCache::predIndex(Addr page_num) const
+{
+    return mix64(page_num) & mask(p_.predictorIndexBits);
+}
+
+LookupResult
+FootprintCache::access(Addr addr, bool is_write, bool is_prefetch)
+{
+    (void)is_prefetch;
+    ++stats_.accesses;
+
+    const Addr page_num = addr / p_.pageBlockBytes;
+    const std::uint64_t set = page_num % numSets_;
+    const Addr tag = page_num / numSets_;
+    const unsigned sub = static_cast<unsigned>(
+        (addr % p_.pageBlockBytes) / kLineBytes);
+    Page *set_pages = &pages_[set * p_.assoc];
+
+    // The FPC page maps onto a whole DRAM row.
+    const std::uint64_t rows_per_page =
+        std::max<std::uint64_t>(1,
+                                p_.pageBlockBytes / layout_.pageBytes());
+    const std::uint64_t data_row =
+        (set * p_.assoc) * rows_per_page % layout_.numRows();
+
+    LookupResult r;
+    // Tags in SRAM: lookup latency always paid, then (on hit) one
+    // serial DRAM access -- the "Sequential Tag, then Data" row of
+    // Table I.
+    r.sramCycles = sram::CactiLite::latencyCycles(sramBytes());
+    r.sramTagHit = true;
+
+    int hit_way = -1;
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (set_pages[w].valid && set_pages[w].tag == tag) {
+            hit_way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (hit_way >= 0) {
+        Page &page = set_pages[hit_way];
+        page.lastUse = ++useClock_;
+        page.usedMask |= 1ULL << sub;
+        if (page.validMask & (1ULL << sub)) {
+            ++stats_.hits;
+            if (is_write)
+                page.dirtyMask |= 1ULL << sub;
+            r.hit = true;
+            r.data.needed = true;
+            r.data.loc = layout_.rowLocation(data_row);
+            r.data.bytes = kLineBytes;
+            return r;
+        }
+        // Sub-block miss: fetch just this line into the page.
+        ++stats_.misses;
+        ++subMisses_;
+        page.validMask |= 1ULL << sub;
+        if (is_write)
+            page.dirtyMask |= 1ULL << sub;
+        const Addr base = page_num * p_.pageBlockBytes +
+                          static_cast<Addr>(sub) * kLineBytes;
+        r.fill.fetches.push_back({base, kLineBytes});
+        r.fill.fillWrite.needed = true;
+        r.fill.fillWrite.loc = layout_.rowLocation(data_row);
+        r.fill.fillWrite.bytes = kLineBytes;
+        stats_.demandFetchBytes += kLineBytes;
+        stats_.offchipFetchBytes += kLineBytes;
+        return r;
+    }
+
+    // Page miss (bypassed accesses are counted separately below).
+    const std::uint64_t pidx = predIndex(page_num);
+    const PredEntry &pe = predictor_[pidx];
+
+    std::uint64_t footprint;
+    if (pe.known) {
+        footprint = pe.footprint | (1ULL << sub);
+    } else {
+        ++predUnknown_;
+        footprint = mask(subBlocks_); // conservative: whole page
+    }
+
+    if (p_.bypassSingletons && pe.known &&
+        std::popcount(pe.footprint) <= 1) {
+        // Predicted single-use page: serve from memory, no fill.
+        ++singletonBypasses_;
+        ++stats_.bypasses;
+        // not counted as a cache miss: the access never allocates
+        r.fill.bypass = true;
+        r.fill.fetches.push_back(
+            {roundDown(addr, kLineBytes), kLineBytes});
+        stats_.demandFetchBytes += kLineBytes;
+        stats_.offchipFetchBytes += kLineBytes;
+        return r;
+    }
+
+    ++stats_.misses;
+
+    // Choose an LRU victim and train the predictor with its actual
+    // footprint.
+    unsigned victim = 0;
+    bool found_invalid = false;
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (!set_pages[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        std::uint64_t oldest = maxTick;
+        for (unsigned w = 0; w < p_.assoc; ++w) {
+            if (set_pages[w].lastUse < oldest) {
+                oldest = set_pages[w].lastUse;
+                victim = w;
+            }
+        }
+    }
+
+    Page &page = set_pages[victim];
+    if (page.valid) {
+        ++stats_.evictions;
+        const Addr victim_page = page.tag * numSets_ + set;
+        PredEntry &train = predictor_[predIndex(victim_page)];
+        train.known = true;
+        train.footprint = page.usedMask;
+
+        stats_.wastedFetchBytes +=
+            static_cast<std::uint64_t>(
+                std::popcount(page.validMask & ~page.usedMask)) *
+            kLineBytes;
+        if (page.dirtyMask) {
+            maskToTransfers(victim_page * p_.pageBlockBytes,
+                            page.dirtyMask, subBlocks_,
+                            r.fill.writebacks);
+            stats_.writebackBytes +=
+                static_cast<std::uint64_t>(
+                    std::popcount(page.dirtyMask)) *
+                kLineBytes;
+        }
+    }
+
+    const std::uint32_t fetch_bytes =
+        static_cast<std::uint32_t>(std::popcount(footprint)) *
+        kLineBytes;
+    maskToTransfers(page_num * p_.pageBlockBytes, footprint, subBlocks_,
+                    r.fill.fetches);
+    r.fill.fillWrite.needed = true;
+    r.fill.fillWrite.loc = layout_.rowLocation(data_row);
+    r.fill.fillWrite.bytes = fetch_bytes;
+    stats_.demandFetchBytes += kLineBytes;
+    stats_.offchipFetchBytes += fetch_bytes;
+
+    page.tag = tag;
+    page.valid = true;
+    page.validMask = footprint;
+    page.usedMask = 1ULL << sub;
+    page.dirtyMask = is_write ? (1ULL << sub) : 0;
+    page.lastUse = ++useClock_;
+
+    return r;
+}
+
+bool
+FootprintCache::probe(Addr addr) const
+{
+    const Addr page_num = addr / p_.pageBlockBytes;
+    const std::uint64_t set = page_num % numSets_;
+    const Addr tag = page_num / numSets_;
+    const unsigned sub = static_cast<unsigned>(
+        (addr % p_.pageBlockBytes) / kLineBytes);
+    const Page *set_pages = &pages_[set * p_.assoc];
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (set_pages[w].valid && set_pages[w].tag == tag)
+            return (set_pages[w].validMask >> sub) & 1;
+    }
+    return false;
+}
+
+std::uint64_t
+FootprintCache::sramBytes() const
+{
+    // Per page: ~4 B tag + 32-bit valid/footprint + 32-bit dirty
+    // + recency ~= 16 B, the FPC paper's SRAM tag-store regime.
+    const std::uint64_t num_pages =
+        p_.capacityBytes / p_.pageBlockBytes;
+    const std::uint64_t tag_store = num_pages * 16;
+    const std::uint64_t predictor =
+        predictor_.size() * (subBlocks_ / 8 + 1);
+    return tag_store + predictor;
+}
+
+} // namespace bmc::dramcache

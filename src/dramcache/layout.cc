@@ -1,0 +1,55 @@
+#include "dramcache/layout.hh"
+
+#include "common/logging.hh"
+
+namespace bmc::dramcache
+{
+
+StackedLayout::StackedLayout(const Params &params)
+    : p_(params),
+      dataBanks_(params.banksPerChannel -
+                 (params.reserveMetaBank ? 1 : 0)),
+      numRows_(params.capacityBytes / params.pageBytes)
+{
+    bmc_assert(dataBanks_ > 0, "no data banks left");
+    bmc_assert(params.capacityBytes % params.pageBytes == 0,
+               "capacity must be a whole number of pages");
+}
+
+dram::Location
+StackedLayout::rowLocation(std::uint64_t row_idx) const
+{
+    bmc_assert(row_idx < numRows_, "row index out of range");
+    dram::Location loc;
+    loc.channel = static_cast<unsigned>(row_idx % p_.channels);
+    loc.bank =
+        static_cast<unsigned>((row_idx / p_.channels) % dataBanks_);
+    loc.row = row_idx / (static_cast<std::uint64_t>(p_.channels) *
+                         dataBanks_);
+    return loc;
+}
+
+dram::Location
+StackedLayout::metaLocation(std::uint64_t row_idx,
+                            std::uint32_t meta_bytes_per_row) const
+{
+    bmc_assert(p_.reserveMetaBank,
+               "metaLocation requires a reserved metadata bank");
+    bmc_assert(meta_bytes_per_row > 0 &&
+                   meta_bytes_per_row <= p_.pageBytes,
+               "bad metadata size %u", meta_bytes_per_row);
+
+    const dram::Location data = rowLocation(row_idx);
+    // Index of this data row within its own channel.
+    const std::uint64_t local = row_idx / p_.channels;
+    const std::uint64_t entries_per_page =
+        p_.pageBytes / meta_bytes_per_row;
+
+    dram::Location meta;
+    meta.channel = (data.channel + 1) % p_.channels;
+    meta.bank = p_.banksPerChannel - 1;
+    meta.row = local / entries_per_page;
+    return meta;
+}
+
+} // namespace bmc::dramcache

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Mapping of DRAM-cache sets and metadata onto stacked-DRAM
+ * coordinates.
+ *
+ * Data: cache sets are sized to fit one DRAM page (Section III-B.1)
+ * and stripe channel-first, then across the data banks of a channel,
+ * then rows -- consecutive sets land on different channels/banks so
+ * independent accesses enjoy bank-level parallelism.
+ *
+ * Metadata: when an organization keeps metadata in a dedicated bank
+ * (Section III-B.2), the highest-numbered bank of each channel is
+ * reserved, and the metadata for the data banks of channel c lives
+ * in the metadata bank of channel (c+1) mod C, enabling concurrent
+ * tag and data accesses on different channels.
+ */
+
+#ifndef BMC_DRAMCACHE_LAYOUT_HH
+#define BMC_DRAMCACHE_LAYOUT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/request.hh"
+
+namespace bmc::dramcache
+{
+
+/** Geometry of a stacked-DRAM cache data array. */
+class StackedLayout
+{
+  public:
+    struct Params
+    {
+        std::uint64_t capacityBytes = 128 * kMiB;
+        std::uint32_t pageBytes = 2048;
+        unsigned channels = 2;
+        unsigned banksPerChannel = 8;
+        /** Reserve one bank per channel for metadata. */
+        bool reserveMetaBank = false;
+    };
+
+    explicit StackedLayout(const Params &params);
+
+    /** Number of page-sized data rows in the cache. */
+    std::uint64_t numRows() const { return numRows_; }
+
+    std::uint32_t pageBytes() const { return p_.pageBytes; }
+    unsigned channels() const { return p_.channels; }
+    unsigned dataBanksPerChannel() const { return dataBanks_; }
+
+    /** Stacked-DRAM coordinates of data row @p row_idx. */
+    dram::Location rowLocation(std::uint64_t row_idx) const;
+
+    /**
+     * Coordinates of the metadata for data row @p row_idx, assuming
+     * @p meta_bytes_per_row bytes of metadata per data row packed
+     * densely into the (other channel's) metadata bank.
+     * Only valid when reserveMetaBank is set.
+     */
+    dram::Location metaLocation(std::uint64_t row_idx,
+                                std::uint32_t meta_bytes_per_row) const;
+
+  private:
+    Params p_;
+    unsigned dataBanks_;
+    std::uint64_t numRows_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_LAYOUT_HH

@@ -1,0 +1,228 @@
+#include "dramcache/loh_hill.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sram/cacti_lite.hh"
+
+namespace bmc::dramcache
+{
+
+LohHillCache::LohHillCache(const Params &params,
+                           stats::StatGroup &parent)
+    : p_(params), layout_([&] {
+          StackedLayout::Params lp = params.layout;
+          lp.capacityBytes = params.capacityBytes;
+          lp.reserveMetaBank = false;
+          return lp;
+      }()),
+      numSets_(layout_.numRows()), ways_(numSets_ * kWays),
+      stats_(params.name, parent),
+      mmKnownMiss_(stats_.group, "missmap_known_misses",
+                   "misses resolved by the MissMap without a DRAM "
+                   "tag probe"),
+      mmFlushes_(stats_.group, "missmap_flushes",
+                 "lines flushed by MissMap entry evictions")
+{
+    bmc_assert(layout_.pageBytes() >= kTagBytes + kWays * kLineBytes,
+               "set does not fit the row");
+    if (params.useMissMap)
+        bmc_assert(params.missMapEntries > 0, "MissMap needs entries");
+}
+
+bool
+LohHillCache::evictLine(Addr line, FillPlan &plan)
+{
+    const std::uint64_t set = line % numSets_;
+    const Addr tag = line / numSets_;
+    Way *set_ways = &ways_[set * kWays];
+    for (unsigned w = 0; w < kWays; ++w) {
+        Way &way = set_ways[w];
+        if (way.valid && way.tag == tag) {
+            if (way.dirty) {
+                plan.writebacks.push_back(
+                    {line * kLineBytes, kLineBytes});
+                stats_.writebackBytes += kLineBytes;
+            }
+            way = Way{};
+            ++stats_.evictions;
+            return true;
+        }
+    }
+    return false;
+}
+
+LohHillCache::MissMapEntry &
+LohHillCache::missMapEntry(Addr segment, FillPlan &plan)
+{
+    auto it = mmMap_.find(segment);
+    if (it != mmMap_.end()) {
+        mmLru_.splice(mmLru_.begin(), mmLru_, it->second.lruPos);
+        return it->second;
+    }
+    if (mmMap_.size() >= p_.missMapEntries) {
+        // Evict the LRU segment: the MissMap invariant requires all
+        // of its cached lines to leave the cache with it.
+        const Addr victim = mmLru_.back();
+        mmLru_.pop_back();
+        auto vit = mmMap_.find(victim);
+        bmc_assert(vit != mmMap_.end(), "MissMap LRU desync");
+        std::uint64_t mask_bits = vit->second.presentMask;
+        for (unsigned bit = 0; mask_bits != 0; ++bit) {
+            if (mask_bits & 1ULL) {
+                evictLine(victim * 64 + bit, plan);
+                ++mmFlushes_;
+            }
+            mask_bits >>= 1;
+        }
+        mmMap_.erase(vit);
+    }
+    mmLru_.push_front(segment);
+    auto &entry = mmMap_[segment];
+    entry.presentMask = 0;
+    entry.lruPos = mmLru_.begin();
+    return entry;
+}
+
+void
+LohHillCache::missMapSet(Addr line, bool present)
+{
+    auto it = mmMap_.find(line / 64);
+    if (it == mmMap_.end())
+        return;
+    const std::uint64_t bit = 1ULL << (line % 64);
+    if (present)
+        it->second.presentMask |= bit;
+    else
+        it->second.presentMask &= ~bit;
+}
+
+LookupResult
+LohHillCache::access(Addr addr, bool is_write, bool is_prefetch)
+{
+    (void)is_prefetch;
+    ++stats_.accesses;
+
+    const Addr line = addr / kLineBytes;
+    const std::uint64_t set = line % numSets_;
+    const Addr tag = line / numSets_;
+    Way *set_ways = &ways_[set * kWays];
+
+    LookupResult r;
+    // Compound access: tag read first, data from the same open row.
+    r.tag.needed = true;
+    r.tag.loc = layout_.rowLocation(set);
+    r.tag.bytes = kTagBytes;
+    r.tag.sameRowAsData = true;
+    r.tag.parallelData = false;
+
+    bool known_miss = false;
+    if (p_.useMissMap) {
+        // The MissMap answers "is this line anywhere in the cache"
+        // from SRAM; a clear bit turns the access into a direct
+        // off-chip fetch with no DRAM tag probe.
+        r.sramCycles = sram::CactiLite::latencyCycles(sramBytes());
+        MissMapEntry &entry = missMapEntry(line / 64, r.fill);
+        known_miss = !(entry.presentMask & (1ULL << (line % 64)));
+        if (known_miss) {
+            r.tag.needed = false;
+            r.sramTagHit = true;
+        }
+    }
+
+    int hit_way = -1;
+    for (unsigned w = 0; w < kWays; ++w) {
+        if (set_ways[w].valid && set_ways[w].tag == tag) {
+            hit_way = static_cast<int>(w);
+            break;
+        }
+    }
+
+    bmc_assert(!(p_.useMissMap && known_miss && hit_way >= 0),
+               "MissMap said absent but the line is resident");
+
+    if (hit_way >= 0) {
+        ++stats_.hits;
+        Way &way = set_ways[hit_way];
+        way.lastUse = ++useClock_;
+        if (is_write)
+            way.dirty = true;
+        r.hit = true;
+        r.data.needed = true;
+        r.data.loc = layout_.rowLocation(set);
+        r.data.bytes = kLineBytes;
+        return r;
+    }
+
+    ++stats_.misses;
+
+    unsigned victim = 0;
+    bool found_invalid = false;
+    for (unsigned w = 0; w < kWays; ++w) {
+        if (!set_ways[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        std::uint64_t oldest = maxTick;
+        for (unsigned w = 0; w < kWays; ++w) {
+            if (set_ways[w].lastUse < oldest) {
+                oldest = set_ways[w].lastUse;
+                victim = w;
+            }
+        }
+    }
+
+    Way &way = set_ways[victim];
+    if (way.valid) {
+        ++stats_.evictions;
+        const Addr victim_line = way.tag * numSets_ + set;
+        if (way.dirty) {
+            r.fill.writebacks.push_back(
+                {victim_line * kLineBytes, kLineBytes});
+            stats_.writebackBytes += kLineBytes;
+        }
+        if (p_.useMissMap)
+            missMapSet(victim_line, false);
+    }
+
+    r.fill.fetches.push_back({line * kLineBytes, kLineBytes});
+    r.fill.fillWrite.needed = true;
+    r.fill.fillWrite.loc = layout_.rowLocation(set);
+    r.fill.fillWrite.bytes = kLineBytes;
+    stats_.demandFetchBytes += kLineBytes;
+    stats_.offchipFetchBytes += kLineBytes;
+
+    way = {tag, true, is_write, ++useClock_};
+    if (p_.useMissMap) {
+        missMapSet(line, true);
+        if (known_miss)
+            ++mmKnownMiss_;
+    }
+    return r;
+}
+
+std::uint64_t
+LohHillCache::sramBytes() const
+{
+    // ~12 B per MissMap entry: segment tag + 64 presence bits.
+    return p_.useMissMap
+               ? static_cast<std::uint64_t>(p_.missMapEntries) * 12
+               : 0;
+}
+
+bool
+LohHillCache::probe(Addr addr) const
+{
+    const Addr line = addr / kLineBytes;
+    const std::uint64_t set = line % numSets_;
+    const Addr tag = line / numSets_;
+    const Way *set_ways = &ways_[set * kWays];
+    for (unsigned w = 0; w < kWays; ++w)
+        if (set_ways[w].valid && set_ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+} // namespace bmc::dramcache

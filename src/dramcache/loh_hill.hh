@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Loh-Hill cache [MICRO'11]: 64 B blocks, 29-way sets, tags-in-DRAM.
+ *
+ * Each 2 KB DRAM row is one set: 3 tag blocks (192 B) followed by 29
+ * data blocks (29 x 64 B); 3 + 29 = 32 lines fill the row exactly.
+ * Compound Access Scheduling reads the tags with column accesses
+ * after activating the row; on a match the data column access is a
+ * guaranteed row-buffer hit in the same row. The cost is that every
+ * access -- hit or miss -- pays a multi-burst tag read before data.
+ *
+ * The original's MissMap -- an L3-resident presence map of 4 KB
+ * segments x 64 line bits that lets misses skip the DRAM tag probe
+ * -- is implemented as an opt-in (useMissMap). It is OFF by default
+ * because the Bi-Modal paper's Fig 3 comparison considers the plain
+ * tags-then-data path; turning it on trades a multi-cycle SRAM
+ * lookup on every access for cheap misses, and entry evictions
+ * flush the covered lines (the original's invariant).
+ */
+
+#ifndef BMC_DRAMCACHE_LOH_HILL_HH
+#define BMC_DRAMCACHE_LOH_HILL_HH
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dramcache/layout.hh"
+#include "dramcache/org.hh"
+
+namespace bmc::dramcache
+{
+
+/** 29-way tags-in-DRAM organization. */
+class LohHillCache : public DramCacheOrg
+{
+  public:
+    struct Params
+    {
+        std::string name = "loh_hill";
+        std::uint64_t capacityBytes = 128 * kMiB;
+        StackedLayout::Params layout;
+        /** Enable the original's MissMap (see file comment). */
+        bool useMissMap = false;
+        /** MissMap reach, in 4 KB-segment entries (the original's
+         *  2 MB SRAM tracks ~250K entries at ~8.5 B each). */
+        unsigned missMapEntries = 4096;
+    };
+
+    static constexpr unsigned kWays = 29;
+    static constexpr std::uint32_t kTagBytes = 192; //!< 3 x 64 B
+
+    LohHillCache(const Params &params, stats::StatGroup &parent);
+
+    LookupResult access(Addr addr, bool is_write,
+                        bool is_prefetch = false) override;
+
+    std::string name() const override { return p_.name; }
+    bool probe(Addr addr) const override;
+    const OrgStats &stats() const override { return stats_; }
+    std::uint64_t sramBytes() const override;
+
+    std::uint64_t numSets() const { return numSets_; }
+
+    /** MissMap effectiveness counters (0 when disabled). */
+    std::uint64_t missMapKnownMisses() const
+    {
+        return mmKnownMiss_.value();
+    }
+    std::uint64_t missMapFlushes() const { return mmFlushes_.value(); }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Presence bits for one 4 KB segment (64 lines). */
+    struct MissMapEntry
+    {
+        std::uint64_t presentMask = 0;
+        std::list<Addr>::iterator lruPos;
+    };
+
+    /** Look up and LRU-promote the entry for @p segment, allocating
+     *  (and flushing a victim segment) if absent. */
+    MissMapEntry &missMapEntry(Addr segment, FillPlan &plan);
+    /** Update the presence bit of @p line (must have an entry). */
+    void missMapSet(Addr line, bool present);
+    /** Drop @p line from the cache, scheduling a writeback if
+     *  dirty. @return true if it was resident. */
+    bool evictLine(Addr line, FillPlan &plan);
+
+    Params p_;
+    StackedLayout layout_;
+    std::uint64_t numSets_;
+    std::vector<Way> ways_;
+    std::uint64_t useClock_ = 0;
+
+    std::list<Addr> mmLru_; //!< front = MRU segment
+    std::unordered_map<Addr, MissMapEntry> mmMap_;
+
+    OrgStats stats_;
+    stats::Counter mmKnownMiss_;
+    stats::Counter mmFlushes_;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_LOH_HILL_HH

@@ -1,0 +1,51 @@
+#include "dramcache/org.hh"
+
+namespace bmc::dramcache
+{
+
+OrgStats::OrgStats(const std::string &name, stats::StatGroup &parent)
+    : group(name, &parent),
+      accesses(group, "accesses", "DRAM cache accesses"),
+      hits(group, "hits", "DRAM cache hits"),
+      misses(group, "misses", "DRAM cache misses"),
+      bypasses(group, "bypasses", "accesses that bypassed the cache"),
+      demandFetchBytes(group, "demand_fetch_bytes",
+                       "bytes the LLSC actually demanded"),
+      offchipFetchBytes(group, "offchip_fetch_bytes",
+                        "bytes fetched from main memory"),
+      writebackBytes(group, "writeback_bytes",
+                     "dirty bytes written back to main memory"),
+      evictions(group, "evictions", "blocks evicted"),
+      wastedFetchBytes(group, "wasted_fetch_bytes",
+                       "fetched bytes never referenced before eviction")
+{
+}
+
+double
+OrgStats::hitRate() const
+{
+    const auto total = accesses.value();
+    return total ? static_cast<double>(hits.value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+OrgStats::missRate() const
+{
+    const auto total = accesses.value();
+    return total ? static_cast<double>(misses.value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+OrgStats::wastedFraction() const
+{
+    const auto fetched = offchipFetchBytes.value();
+    return fetched ? static_cast<double>(wastedFetchBytes.value()) /
+                         static_cast<double>(fetched)
+                   : 0.0;
+}
+
+} // namespace bmc::dramcache

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The organization interface every DRAM cache scheme implements.
+ *
+ * An organization is a *functional* model: it owns the cache
+ * contents, replacement state and predictors, and it updates them
+ * atomically at access time. For each access it returns a
+ * LookupResult descriptor that tells the timing engine
+ * (sim::DramCacheController) exactly which DRAM operations the
+ * access requires -- SRAM cycles for tag structures, DRAM tag bytes
+ * and their bank/row, whether tag and data may proceed in parallel
+ * (the Bi-Modal metadata-bank optimization), the data transfer, and
+ * on a miss the off-chip fetch plan and writebacks. The descriptor
+ * fields are precisely the degrees of freedom contrasted in Fig 3 of
+ * the paper.
+ *
+ * The same organizations run without any timing machinery for the
+ * paper's trace-based design-space studies (Figs 1, 2, 5, 9c, 10):
+ * callers simply invoke access() in a loop and read the statistics.
+ */
+
+#ifndef BMC_DRAMCACHE_ORG_HH
+#define BMC_DRAMCACHE_ORG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/request.hh"
+
+namespace bmc::dramcache
+{
+
+/** One contiguous off-chip transfer (fetch or writeback). */
+struct Transfer
+{
+    Addr addr = 0;
+    std::uint32_t bytes = 0;
+};
+
+/** DRAM tag (metadata) access required by this cache access. */
+struct TagAccess
+{
+    bool needed = false;
+    dram::Location loc;
+    std::uint32_t bytes = 0;
+    /**
+     * True when the data row may be activated concurrently with the
+     * tag read (metadata lives in a different bank/channel -- the
+     * Bi-Modal separate-metadata-bank design). False when tags and
+     * data share a row (Loh-Hill/ATCache compound access).
+     */
+    bool parallelData = false;
+    /** Tags sit in the same row as the data: after the tag read the
+     *  data column access is a guaranteed row hit. */
+    bool sameRowAsData = false;
+    /** Metadata update (write) rather than a tag read. */
+    bool isWrite = false;
+};
+
+/** DRAM data access for a hit (or the fill write on a miss). */
+struct DataAccess
+{
+    bool needed = false;
+    dram::Location loc;
+    std::uint32_t bytes = 0;
+};
+
+/** What to do about a miss. */
+struct FillPlan
+{
+    /** Off-chip reads (demand + any overfetch), coalesced. */
+    std::vector<Transfer> fetches;
+    /** Dirty victim bytes to push off-chip, coalesced. */
+    std::vector<Transfer> writebacks;
+    /** Write of the fetched data into the stacked DRAM. */
+    DataAccess fillWrite;
+    /** True when the access bypasses the DRAM cache entirely
+     *  (Footprint Cache singleton bypass, PREF_BYPASS). */
+    bool bypass = false;
+};
+
+/** Full per-access descriptor. */
+struct LookupResult
+{
+    bool hit = false;
+    /** Tag question answered entirely in SRAM (way locator hit,
+     *  ATCache tag-cache hit, or a tags-in-SRAM organization). */
+    bool sramTagHit = false;
+    /** SRAM cycles spent before any DRAM command can issue. */
+    unsigned sramCycles = 0;
+    /** Alloy-style TAD: the data access also returns the tag, no
+     *  separate tag access exists. */
+    bool tagWithData = false;
+    /** Alloy MAP-I predicted this access to miss: the engine probes
+     *  the cache and main memory in parallel. */
+    bool predictedMiss = false;
+
+    TagAccess tag;
+    DataAccess data;
+    FillPlan fill;
+    /** Fire-and-forget metadata traffic that is off the critical
+     *  path: ATCache tag prefetches (PG > 1) and Bi-Modal dirty-bit
+     *  updates on writes. The engine issues these without waiting. */
+    std::vector<TagAccess> backgroundTags;
+};
+
+/** Statistics every organization exposes uniformly. */
+class OrgStats
+{
+  public:
+    OrgStats(const std::string &name, stats::StatGroup &parent);
+
+    stats::StatGroup group;
+    stats::Counter accesses;
+    stats::Counter hits;
+    stats::Counter misses;
+    stats::Counter bypasses;
+    stats::Counter demandFetchBytes;   //!< 64 B per demand miss
+    stats::Counter offchipFetchBytes;  //!< all bytes fetched
+    stats::Counter writebackBytes;
+    stats::Counter evictions;
+    /** Fetched-but-never-referenced bytes, charged at eviction. */
+    stats::Counter wastedFetchBytes;
+
+    double hitRate() const;
+    double missRate() const;
+    /** Wasted / fetched bytes so far. */
+    double wastedFraction() const;
+};
+
+/** Abstract DRAM cache organization. */
+class DramCacheOrg
+{
+  public:
+    virtual ~DramCacheOrg() = default;
+
+    /**
+     * Perform one access at 64 B granularity, updating contents and
+     * predictors, and describe the work the timing engine must do.
+     *
+     * @param addr     byte address (any alignment; truncated to 64 B)
+     * @param is_write true for a store/writeback from the LLSC
+     * @param is_prefetch true when issued by the LLSC prefetcher
+     */
+    virtual LookupResult access(Addr addr, bool is_write,
+                                bool is_prefetch = false) = 0;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Residency check with no state change (prefetch filtering and
+     * the PREF_BYPASS policy). For sub-blocked organizations this
+     * asks about the exact 64 B line.
+     */
+    virtual bool probe(Addr addr) const = 0;
+
+    /** Uniform statistics block. */
+    virtual const OrgStats &stats() const = 0;
+
+    /** SRAM bytes this organization dedicates to tags/predictors
+     *  (for energy and Table-I style comparisons). */
+    virtual std::uint64_t sramBytes() const = 0;
+};
+
+} // namespace bmc::dramcache
+
+#endif // BMC_DRAMCACHE_ORG_HH

@@ -1,0 +1,411 @@
+#include "sim/dramcache_controller.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::sim
+{
+
+DramCacheController::DramCacheController(EventQueue &eq,
+                                         dramcache::DramCacheOrg &org,
+                                         dram::DramSystem &stacked,
+                                         MainMemory &memory,
+                                         const Params &params,
+                                         stats::StatGroup &parent)
+    : eq_(eq), org_(org), stacked_(stacked), memory_(memory),
+      p_(params), sg_("dcc", &parent),
+      accessLatency_(sg_, "access_latency",
+                     "ticks from request to demand data (all)"),
+      hitLatency_(sg_, "hit_latency", "ticks for DRAM cache hits"),
+      missLatency_(sg_, "miss_latency", "ticks for DRAM cache misses"),
+      tagReadTicks_(sg_, "tag_read_ticks",
+                    "DRAM metadata read duration"),
+      dataReadTicks_(sg_, "data_read_ticks",
+                     "stacked data access duration (hits)"),
+      memDemandTicks_(sg_, "mem_demand_ticks",
+                      "off-chip demand fetch duration (misses)"),
+      prefetchBypasses_(sg_, "prefetch_bypasses",
+                        "prefetch misses that bypassed the cache"),
+      speculativeActivates_(sg_, "speculative_activates",
+                            "parallel data-row opens issued"),
+      droppedMetaUpdates_(sg_, "dropped_meta_updates",
+                          "background metadata updates coalesced "
+                          "away under pressure")
+{
+    fillCredits_ = p_.fillBufferEntries;
+}
+
+void
+DramCacheController::issueStackedBg(dram::Request req)
+{
+    constexpr size_t bg_backlog_cap = 1024;
+    if (stackedBgQueue_.size() >= bg_backlog_cap) {
+        stackedBgQueue_.pop_front();
+        ++droppedMetaUpdates_;
+    }
+    stackedBgQueue_.push_back(std::move(req));
+    pumpStackedBg();
+}
+
+void
+DramCacheController::pumpStackedBg()
+{
+    while (stackedBgCredits_ > 0 && !stackedBgQueue_.empty()) {
+        dram::Request req = std::move(stackedBgQueue_.front());
+        stackedBgQueue_.pop_front();
+        --stackedBgCredits_;
+        req.onComplete = [this](Tick) {
+            ++stackedBgCredits_;
+            pumpStackedBg();
+        };
+        stacked_.enqueue(std::move(req));
+    }
+}
+
+void
+DramCacheController::issueLowXfer(Addr addr, std::uint32_t bytes,
+                                  CoreId core, bool is_write)
+{
+    lowQueue_.push_back({addr, bytes, core, is_write});
+    pumpLowXfers();
+}
+
+void
+DramCacheController::pumpLowXfers()
+{
+    while (fillCredits_ > 0 && !lowQueue_.empty()) {
+        const LowXfer xfer = lowQueue_.front();
+        lowQueue_.pop_front();
+        --fillCredits_;
+        auto done = [this](Tick) {
+            ++fillCredits_;
+            pumpLowXfers();
+        };
+        if (xfer.isWrite) {
+            memory_.write(xfer.addr, xfer.bytes, xfer.core,
+                          std::move(done));
+        } else {
+            memory_.read(xfer.addr, xfer.bytes, xfer.core,
+                         std::move(done), true);
+        }
+    }
+}
+
+dram::Request
+DramCacheController::makeStacked(const dram::Location &loc,
+                                 dram::ReqKind kind,
+                                 std::uint32_t bytes, bool is_meta,
+                                 CoreId core) const
+{
+    dram::Request req;
+    req.loc = loc;
+    req.kind = kind;
+    req.bytes = bytes;
+    req.isMetadata = is_meta;
+    req.core = core;
+    return req;
+}
+
+void
+DramCacheController::record(Tick start, Tick done, bool hit)
+{
+    const double lat = static_cast<double>(done - start);
+    accessLatency_.sample(lat);
+    if (hit)
+        hitLatency_.sample(lat);
+    else
+        missLatency_.sample(lat);
+}
+
+void
+DramCacheController::startMiss(Tick when, dramcache::LookupResult r,
+                               Addr addr, CoreId core, Tick start,
+                               Callback cb)
+{
+    // Victim writebacks drain to memory off the critical path,
+    // behind the fill-buffer throttle.
+    for (const auto &wb : r.fill.writebacks) {
+        for (std::uint32_t off = 0; off < wb.bytes; off += kLineBytes) {
+            issueLowXfer(wb.addr + off,
+                         std::min<std::uint32_t>(kLineBytes,
+                                                 wb.bytes - off),
+                         core, true);
+        }
+    }
+
+    if (r.fill.fetches.empty()) {
+        // Nothing to fetch (write-allocate handled by the org means
+        // this should not happen, but stay safe).
+        record(start, when, false);
+        if (cb)
+            cb(when);
+        return;
+    }
+
+    // Demand line first, remainder behind it.
+    const Addr demand = roundDown(addr, kLineBytes);
+    std::vector<dramcache::Transfer> rest;
+    bool demand_found = false;
+    for (const auto &f : r.fill.fetches) {
+        if (!demand_found && demand >= f.addr &&
+            demand + kLineBytes <= f.addr + f.bytes) {
+            demand_found = true;
+            if (demand > f.addr)
+                rest.push_back(
+                    {f.addr,
+                     static_cast<std::uint32_t>(demand - f.addr)});
+            const Addr after = demand + kLineBytes;
+            if (after < f.addr + f.bytes)
+                rest.push_back(
+                    {after, static_cast<std::uint32_t>(
+                                f.addr + f.bytes - after)});
+        } else {
+            rest.push_back(f);
+        }
+    }
+
+    const bool do_fill =
+        !r.fill.bypass && r.fill.fillWrite.needed;
+    const auto fill_loc = r.fill.fillWrite.loc;
+    const auto fill_bytes = r.fill.fillWrite.bytes;
+
+    auto demand_cb = [this, start, cb = std::move(cb), do_fill,
+                      fill_loc, fill_bytes, core,
+                      when](Tick done) {
+        memDemandTicks_.sample(static_cast<double>(done - when));
+        record(start, done, false);
+        if (cb)
+            cb(done);
+        // The fill write into the stacked DRAM happens behind the
+        // demand forward.
+        if (do_fill) {
+            auto fill = makeStacked(fill_loc, dram::ReqKind::Write,
+                                    fill_bytes, false, core);
+            fill.lowPriority = true;
+            issueStackedBg(std::move(fill));
+        }
+    };
+
+    eq_.scheduleAt(when, [this, demand, core, rest = std::move(rest),
+                          demand_found,
+                          demand_cb = std::move(demand_cb)]() mutable {
+        if (demand_found) {
+            memory_.read(demand, kLineBytes, core,
+                         std::move(demand_cb));
+        } else {
+            // Demand line not part of the fetch plan (should not
+            // happen); fall back to fetching it explicitly.
+            memory_.read(demand, kLineBytes, core,
+                         std::move(demand_cb));
+        }
+        // Stream the remainder as line-sized low-priority reads so
+        // demand traffic from other cores can interleave.
+        for (const auto &f : rest) {
+            for (std::uint32_t off = 0; off < f.bytes;
+                 off += kLineBytes) {
+                issueLowXfer(f.addr + off,
+                             std::min<std::uint32_t>(
+                                 kLineBytes, f.bytes - off),
+                             core, false);
+            }
+        }
+    });
+}
+
+void
+DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
+                            CoreId core, Callback cb)
+{
+    const Tick start = eq_.now();
+
+    // PREF_BYPASS: a prefetch that would miss bypasses the cache
+    // entirely (Section V-I).
+    if (is_prefetch &&
+        p_.prefetchPolicy == cache::PrefetchPolicy::Bypass &&
+        !org_.probe(addr)) {
+        ++prefetchBypasses_;
+        memory_.read(roundDown(addr, kLineBytes), kLineBytes, core,
+                     std::move(cb));
+        return;
+    }
+
+    dramcache::LookupResult r =
+        org_.access(addr, is_write, is_prefetch);
+
+    // Off-critical-path metadata traffic (dirty-bit updates, fill
+    // tag rewrites, ATCache tag prefetches).
+    for (const auto &bg : r.backgroundTags) {
+        if (!bg.needed)
+            continue;
+        auto req = makeStacked(bg.loc,
+                               bg.isWrite ? dram::ReqKind::Write
+                                          : dram::ReqKind::Read,
+                               bg.bytes, true, core);
+        req.lowPriority = true;
+        issueStackedBg(std::move(req));
+    }
+
+    const Tick t1 = start + p_.controllerCycles + r.sramCycles;
+
+    // ---------------------------------------------- Alloy TAD path
+    if (r.tagWithData) {
+        const bool parallel_probe = r.predictedMiss;
+        eq_.scheduleAt(t1, [this, r = std::move(r), addr, core, start,
+                            parallel_probe, is_write,
+                            cb = std::move(cb)]() mutable {
+            if (r.hit) {
+                // TAD burst returns the data; a wrong miss
+                // prediction also fetched the line from memory for
+                // nothing (bandwidth already charged by MAP-I stat;
+                // model the traffic too).
+                if (parallel_probe)
+                    memory_.read(roundDown(addr, kLineBytes),
+                                 kLineBytes, core, nullptr);
+                auto req = makeStacked(
+                    r.data.loc,
+                    is_write ? dram::ReqKind::Write
+                             : dram::ReqKind::Read,
+                    r.data.bytes, false, core);
+                req.onComplete = [this, start,
+                                  cb = std::move(cb)](Tick done) {
+                    record(start, done, true);
+                    if (cb)
+                        cb(done);
+                };
+                stacked_.enqueue(std::move(req));
+                return;
+            }
+
+            // Miss. The TAD probe must still complete (a dirty hit
+            // would have to be honoured), and with MAP-I the memory
+            // fetch overlaps it.
+            if (parallel_probe) {
+                auto gate = std::make_shared<std::pair<int, Tick>>(
+                    2, Tick{0});
+                auto arm = [this, gate, start,
+                            cb](Tick done) mutable {
+                    gate->second = std::max(gate->second, done);
+                    if (--gate->first == 0) {
+                        record(start, gate->second, false);
+                        if (cb)
+                            cb(gate->second);
+                    }
+                };
+                auto probe = makeStacked(r.data.loc,
+                                         dram::ReqKind::Read,
+                                         r.data.bytes, false, core);
+                probe.onComplete = arm;
+                stacked_.enqueue(std::move(probe));
+
+                for (const auto &wb : r.fill.writebacks)
+                    issueLowXfer(wb.addr, wb.bytes, core, true);
+                const auto fill_loc = r.fill.fillWrite.loc;
+                const auto fill_bytes = r.fill.fillWrite.bytes;
+                memory_.read(
+                    roundDown(addr, kLineBytes), kLineBytes, core,
+                    [this, arm, fill_loc, fill_bytes,
+                     core](Tick done) mutable {
+                        stacked_.enqueue(makeStacked(
+                            fill_loc, dram::ReqKind::Write,
+                            fill_bytes, false, core));
+                        arm(done);
+                    });
+                return;
+            }
+
+            // Serial: probe, discover the miss, then fetch.
+            auto probe = makeStacked(r.data.loc, dram::ReqKind::Read,
+                                     r.data.bytes, false, core);
+            probe.onComplete = [this, r = std::move(r), addr, core,
+                                start,
+                                cb = std::move(cb)](Tick done) mutable {
+                startMiss(done + p_.tagCompareCycles, std::move(r),
+                          addr, core, start, std::move(cb));
+            };
+            stacked_.enqueue(std::move(probe));
+        });
+        return;
+    }
+
+    // ------------------------------------- SRAM-answered tag paths
+    if (!r.tag.needed) {
+        if (r.hit) {
+            eq_.scheduleAt(t1, [this, r, is_write, core, start,
+                                cb = std::move(cb)]() mutable {
+                auto req = makeStacked(
+                    r.data.loc,
+                    is_write ? dram::ReqKind::Write
+                             : dram::ReqKind::Read,
+                    r.data.bytes, false, core);
+                req.onComplete = [this, start,
+                                  cb = std::move(cb)](Tick done) {
+                    record(start, done, true);
+                    if (cb)
+                        cb(done);
+                };
+                stacked_.enqueue(std::move(req));
+            });
+        } else {
+            startMiss(t1, std::move(r), addr, core, start,
+                      std::move(cb));
+        }
+        return;
+    }
+
+    // --------------------------------------- DRAM tag-read paths
+    eq_.scheduleAt(t1, [this, r = std::move(r), addr, is_write, core,
+                        start, cb = std::move(cb)]() mutable {
+        // Speculative data-row activation in parallel with the tag
+        // read on the metadata bank (Bi-Modal separate-bank design).
+        if (r.tag.parallelData &&
+            (r.hit || r.fill.fillWrite.needed)) {
+            const dram::Location data_loc =
+                r.hit ? r.data.loc : r.fill.fillWrite.loc;
+            ++speculativeActivates_;
+            stacked_.enqueue(makeStacked(data_loc,
+                                         dram::ReqKind::ActivateOnly,
+                                         0, false, core));
+        }
+
+        const Tick tag_issue = eq_.now();
+        auto tag_req = makeStacked(r.tag.loc, dram::ReqKind::Read,
+                                   r.tag.bytes, true, core);
+        tag_req.onComplete = [this, r = std::move(r), addr, is_write,
+                              core, start, tag_issue,
+                              cb = std::move(cb)](Tick done) mutable {
+            tagReadTicks_.sample(
+                static_cast<double>(done - tag_issue));
+            const Tick after_compare = done + p_.tagCompareCycles;
+            if (!r.hit) {
+                startMiss(after_compare, std::move(r), addr, core,
+                          start, std::move(cb));
+                return;
+            }
+            eq_.scheduleAt(after_compare, [this, r, is_write, core,
+                                           start,
+                                           cb = std::move(
+                                               cb)]() mutable {
+                const Tick issue = eq_.now();
+                auto req = makeStacked(
+                    r.data.loc,
+                    is_write ? dram::ReqKind::Write
+                             : dram::ReqKind::Read,
+                    r.data.bytes, false, core);
+                req.onComplete = [this, start, issue,
+                                  cb = std::move(cb)](Tick done2) {
+                    dataReadTicks_.sample(
+                        static_cast<double>(done2 - issue));
+                    record(start, done2, true);
+                    if (cb)
+                        cb(done2);
+                };
+                stacked_.enqueue(std::move(req));
+            });
+        };
+        stacked_.enqueue(std::move(tag_req));
+    });
+}
+
+} // namespace bmc::sim

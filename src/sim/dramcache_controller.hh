@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The DRAM cache controller: one timing engine for every
+ * organization.
+ *
+ * The controller turns an organization's LookupResult descriptor
+ * into DRAM traffic, reproducing the access choreographies of Fig 3:
+ *
+ *  - SRAM tag answer (way locator hit / tags-in-SRAM / tag-cache
+ *    hit): a single stacked-DRAM data access on a hit, or a direct
+ *    off-chip fetch on a miss;
+ *  - tags-in-DRAM, separate metadata bank (Bi-Modal): the tag read
+ *    is issued on the metadata bank while the data row is opened
+ *    speculatively in parallel (ActivateOnly); after tag compare the
+ *    data column access finds its row open;
+ *  - tags-in-DRAM, co-located (Loh-Hill / ATCache miss): compound
+ *    access -- the tag read opens the data row, the data access is a
+ *    guaranteed row hit, but tag and data are serialized;
+ *  - Alloy TAD: one bigger burst returns tag+data; with MAP-I a
+ *    predicted miss probes cache and memory in parallel.
+ *
+ * Misses fetch the demand 64 B line first (critical-line-first); the
+ * rest of the fill streams behind it and the stacked-DRAM fill write
+ * and victim writebacks proceed off the critical path.
+ */
+
+#ifndef BMC_SIM_DRAMCACHE_CONTROLLER_HH
+#define BMC_SIM_DRAMCACHE_CONTROLLER_HH
+
+#include <functional>
+
+#include "cache/prefetcher.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/dram_system.hh"
+#include "dramcache/org.hh"
+#include "sim/main_memory.hh"
+
+namespace bmc::sim
+{
+
+/** Timing engine in front of a DramCacheOrg. */
+class DramCacheController
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    struct Params
+    {
+        /** Fixed pipeline overhead per request (queue + decode). */
+        unsigned controllerCycles = 2;
+        /** Compare latency after a DRAM tag read returns. */
+        unsigned tagCompareCycles = 1;
+        /** Outstanding background line transfers (fill buffers). */
+        unsigned fillBufferEntries = 64;
+        cache::PrefetchPolicy prefetchPolicy =
+            cache::PrefetchPolicy::Off;
+    };
+
+    DramCacheController(EventQueue &eq, dramcache::DramCacheOrg &org,
+                        dram::DramSystem &stacked, MainMemory &memory,
+                        const Params &params,
+                        stats::StatGroup &parent);
+
+    /**
+     * Access the DRAM cache; @p cb fires when the demanded data is
+     * available to the LLSC (the paper's "LLSC miss penalty" clock
+     * stops here).
+     */
+    void access(Addr addr, bool is_write, bool is_prefetch,
+                CoreId core, Callback cb);
+
+    double avgAccessLatency() const { return accessLatency_.mean(); }
+    double avgHitLatency() const { return hitLatency_.mean(); }
+    double avgMissLatency() const { return missLatency_.mean(); }
+    /** Mean ticks of the DRAM tag read (metadata path). */
+    double avgTagReadTicks() const { return tagReadTicks_.mean(); }
+    /** Mean ticks of the stacked data access on hits. */
+    double avgDataReadTicks() const { return dataReadTicks_.mean(); }
+    /** Mean ticks of the off-chip demand fetch on misses. */
+    double avgMemDemandTicks() const { return memDemandTicks_.mean(); }
+    std::uint64_t numAccesses() const
+    {
+        return accessLatency_.count();
+    }
+
+  private:
+    /** Build a stacked-DRAM request. */
+    dram::Request makeStacked(const dram::Location &loc,
+                              dram::ReqKind kind, std::uint32_t bytes,
+                              bool is_meta, CoreId core) const;
+
+    void record(Tick start, Tick done, bool hit);
+
+    /** Launch the demand-first off-chip fetch for a miss. */
+    void startMiss(Tick when, dramcache::LookupResult r, Addr addr,
+                   CoreId core, Tick start, Callback cb);
+
+    /**
+     * Queue a low-priority off-chip line transfer (fill remainder or
+     * writeback) behind the credit throttle. A real controller has
+     * a bounded fill-buffer; modelling it keeps background traffic
+     * from swamping the memory queues when demand misses outpace
+     * channel bandwidth.
+     */
+    void issueLowXfer(Addr addr, std::uint32_t bytes, CoreId core,
+                      bool is_write);
+    void pumpLowXfers();
+
+    /** Queue background stacked-DRAM traffic (metadata writes, tag
+     *  prefetches) behind its own credit pool; drops the oldest
+     *  pending update when the backlog exceeds the cap (a real
+     *  controller coalesces metadata updates under pressure). */
+    void issueStackedBg(dram::Request req);
+    void pumpStackedBg();
+
+    EventQueue &eq_;
+    dramcache::DramCacheOrg &org_;
+    dram::DramSystem &stacked_;
+    MainMemory &memory_;
+    Params p_;
+
+    struct LowXfer
+    {
+        Addr addr;
+        std::uint32_t bytes;
+        CoreId core;
+        bool isWrite;
+    };
+    unsigned fillCredits_ = 64;
+    std::deque<LowXfer> lowQueue_;
+    unsigned stackedBgCredits_ = 64;
+    std::deque<dram::Request> stackedBgQueue_;
+
+    stats::StatGroup sg_;
+    stats::Average accessLatency_;
+    stats::Average hitLatency_;
+    stats::Average missLatency_;
+    stats::Average tagReadTicks_;
+    stats::Average dataReadTicks_;
+    stats::Average memDemandTicks_;
+    stats::Counter prefetchBypasses_;
+    stats::Counter speculativeActivates_;
+    stats::Counter droppedMetaUpdates_;
+};
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_DRAMCACHE_CONTROLLER_HH

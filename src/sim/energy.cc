@@ -1,0 +1,36 @@
+#include "sim/energy.hh"
+
+#include "sram/cacti_lite.hh"
+
+namespace bmc::sim
+{
+
+EnergyBreakdown
+computeEnergy(const dram::ActivityCounters &stacked,
+              const dram::ActivityCounters &offchip,
+              std::uint64_t sram_lookups, std::uint64_t sram_bytes,
+              const EnergyParams &params)
+{
+    EnergyBreakdown e;
+
+    e.stackedPj =
+        static_cast<double>(stacked.activates) * params.stackedActPrePj +
+        static_cast<double>(stacked.bytesRead + stacked.bytesWritten) *
+            params.stackedPerBytePj +
+        static_cast<double>(stacked.refreshes) * params.stackedRefreshPj;
+
+    e.offchipPj =
+        static_cast<double>(offchip.activates) * params.offchipActPrePj +
+        static_cast<double>(offchip.bytesRead + offchip.bytesWritten) *
+            params.offchipPerBytePj +
+        static_cast<double>(offchip.refreshes) * params.offchipRefreshPj;
+
+    if (sram_bytes > 0) {
+        e.sramPj = static_cast<double>(sram_lookups) *
+                   sram::CactiLite::accessEnergyPj(sram_bytes);
+    }
+
+    return e;
+}
+
+} // namespace bmc::sim

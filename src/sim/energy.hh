@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory-system energy model (Section V-H).
+ *
+ * The paper computes energy from "the number of accesses, DRAM cache
+ * hit rate, way locator hit rate, row buffer hit rates in the cache
+ * and main memory, and the amount of data transferred". This model
+ * does the same from measured activity: every ACT/PRE pair, column
+ * access, transferred byte and refresh is counted by the DRAM
+ * channels, and SRAM structures are charged per lookup via the
+ * CactiLite energy estimate.
+ *
+ * Per-operation energies are representative 22 nm-era values; the
+ * experiments report *relative* savings (Fig 11), which depend on
+ * the activity ratios rather than the absolute scale:
+ *  - off-chip I/O costs ~5x more per byte than TSV-stacked transfer;
+ *  - an off-chip row activation costs ~1.5x a stacked one (smaller
+ *    stacked pages/arrays).
+ */
+
+#ifndef BMC_SIM_ENERGY_HH
+#define BMC_SIM_ENERGY_HH
+
+#include <cstdint>
+
+#include "dram/channel.hh"
+
+namespace bmc::sim
+{
+
+/** Per-operation energy costs in picojoules. */
+struct EnergyParams
+{
+    double stackedActPrePj = 2000.0;  //!< per ACT+PRE pair
+    double offchipActPrePj = 3000.0;
+    double stackedPerBytePj = 4.0;    //!< column + TSV transfer
+    double offchipPerBytePj = 20.0;   //!< column + board I/O
+    double stackedRefreshPj = 30000.0;
+    double offchipRefreshPj = 45000.0;
+};
+
+/** Energy totals for a run. */
+struct EnergyBreakdown
+{
+    double stackedPj = 0.0;
+    double offchipPj = 0.0;
+    double sramPj = 0.0;
+
+    double totalPj() const { return stackedPj + offchipPj + sramPj; }
+    double totalMj() const { return totalPj() * 1e-9; }
+};
+
+/**
+ * Fold activity counters into energy.
+ *
+ * @param stacked      stacked-DRAM (cache) activity
+ * @param offchip      main-memory activity
+ * @param sram_lookups number of SRAM structure lookups performed
+ * @param sram_bytes   size of the SRAM structure (for per-access
+ *                     energy via CactiLite)
+ */
+EnergyBreakdown
+computeEnergy(const dram::ActivityCounters &stacked,
+              const dram::ActivityCounters &offchip,
+              std::uint64_t sram_lookups, std::uint64_t sram_bytes,
+              const EnergyParams &params = {});
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_ENERGY_HH

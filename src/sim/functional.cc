@@ -1,0 +1,92 @@
+#include "sim/functional.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "trace/workload.hh"
+
+namespace bmc::sim
+{
+
+std::vector<std::unique_ptr<trace::TraceGenerator>>
+makeWorkloadPrograms(const trace::WorkloadSpec &workload,
+                     const MachineConfig &cfg)
+{
+    std::vector<std::unique_ptr<trace::TraceGenerator>> programs;
+    const unsigned n = static_cast<unsigned>(workload.programs.size());
+    const std::uint64_t footprint_ref =
+        cfg.footprintRefBytes
+            ? cfg.footprintRefBytes
+            : cfg.dramCacheBytes * 4 / std::max(4u, n);
+    for (size_t i = 0; i < workload.programs.size(); ++i) {
+        programs.push_back(trace::makeProgram(
+            workload.programs[i], static_cast<CoreId>(i),
+            footprint_ref, cfg.seed));
+    }
+    return programs;
+}
+
+FunctionalResult
+runFunctional(dramcache::DramCacheOrg &org,
+              std::vector<std::unique_ptr<trace::TraceGenerator>>
+                  &programs,
+              const MachineConfig &cfg,
+              std::uint64_t records_per_core,
+              stats::StatGroup &parent)
+{
+    bmc_assert(!programs.empty(), "no programs");
+
+    stats::StatGroup sg("functional", &parent);
+
+    std::vector<std::unique_ptr<cache::SramCache>> l1;
+    for (size_t c = 0; c < programs.size(); ++c) {
+        cache::SramCache::Params p;
+        p.name = "l1_" + std::to_string(c);
+        p.sizeBytes = cfg.l1Bytes;
+        p.assoc = cfg.l1Assoc;
+        p.seed = cfg.seed + c;
+        l1.push_back(std::make_unique<cache::SramCache>(p, sg));
+    }
+
+    cache::SramCache::Params lp;
+    lp.name = "llsc";
+    lp.sizeBytes = cfg.llscBytes;
+    lp.assoc = cfg.llscAssoc;
+    lp.seed = cfg.seed + 999;
+    cache::SramCache llsc(lp, sg);
+
+    FunctionalResult out;
+    for (std::uint64_t round = 0; round < records_per_core; ++round) {
+        for (size_t c = 0; c < programs.size(); ++c) {
+            const trace::TraceRecord rec = programs[c]->next();
+            ++out.cpuAccesses;
+
+            const auto o1 = l1[c]->access(rec.addr, rec.write);
+            if (o1.writeback) {
+                const auto wb = llsc.access(o1.victimAddr, true);
+                if (wb.writeback) {
+                    org.access(wb.victimAddr, true);
+                    ++out.dramCacheAccesses;
+                }
+            }
+            if (o1.hit)
+                continue;
+
+            const auto o2 = llsc.access(rec.addr, rec.write);
+            if (o2.writeback) {
+                org.access(o2.victimAddr, true);
+                ++out.dramCacheAccesses;
+            }
+            if (o2.hit)
+                continue;
+
+            org.access(rec.addr, rec.write);
+            ++out.dramCacheAccesses;
+        }
+    }
+
+    out.llscMissRate = llsc.missRate();
+    return out;
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fast functional (no-timing) runner for the paper's trace-based
+ * design-space studies (Figs 1, 2, 5, 9c, 10).
+ *
+ * Records from each program are interleaved round-robin, filtered
+ * through functional L1/LLSC models, and the resulting LLSC misses
+ * and dirty writebacks are fed straight into a DramCacheOrg. All
+ * behavioural statistics (hit rates, utilization, way-locator hit
+ * rates, bandwidth) come out of the organization's own counters --
+ * the same counters the timing runs use.
+ */
+
+#ifndef BMC_SIM_FUNCTIONAL_HH
+#define BMC_SIM_FUNCTIONAL_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/sram_cache.hh"
+#include "common/stats.hh"
+#include "dramcache/org.hh"
+#include "sim/schemes.hh"
+#include "trace/generator.hh"
+#include "trace/workload.hh"
+
+namespace bmc::sim
+{
+
+/** Outcome of a functional sweep. */
+struct FunctionalResult
+{
+    std::uint64_t cpuAccesses = 0;
+    std::uint64_t dramCacheAccesses = 0;
+    double llscMissRate = 0.0;
+};
+
+/**
+ * Drive @p org with the LLSC-filtered access stream of @p programs.
+ *
+ * @param org             organization under test (stats accumulate)
+ * @param programs        one generator per simulated core
+ * @param cfg             supplies the L1/LLSC geometry
+ * @param records_per_core how many trace records to draw per core
+ * @param parent          stat group for the hierarchy caches
+ */
+FunctionalResult
+runFunctional(dramcache::DramCacheOrg &org,
+              std::vector<std::unique_ptr<trace::TraceGenerator>>
+                  &programs,
+              const MachineConfig &cfg,
+              std::uint64_t records_per_core,
+              stats::StatGroup &parent);
+
+/** Build the per-core generators for a named workload. */
+std::vector<std::unique_ptr<trace::TraceGenerator>>
+makeWorkloadPrograms(const trace::WorkloadSpec &workload,
+                     const MachineConfig &cfg);
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_FUNCTIONAL_HH

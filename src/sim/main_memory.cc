@@ -1,0 +1,64 @@
+#include "sim/main_memory.hh"
+
+#include "common/logging.hh"
+
+namespace bmc::sim
+{
+
+MainMemory::MainMemory(EventQueue &eq,
+                       const dram::TimingParams &params,
+                       stats::StatGroup &parent)
+    : eq_(eq), dram_(eq, params, "main_memory", parent)
+{
+}
+
+dram::Request
+MainMemory::makeRequest(Addr addr, std::uint32_t bytes, CoreId core,
+                        dram::ReqKind kind) const
+{
+    const auto &map = dram_.addressMap();
+    bmc_assert(map.pageOffset(addr) + bytes <= map.pageBytes(),
+               "memory transfer crosses a DRAM page: addr=%llx "
+               "bytes=%u",
+               static_cast<unsigned long long>(addr), bytes);
+    dram::Request req;
+    req.loc = map.locate(addr);
+    req.kind = kind;
+    req.bytes = bytes;
+    req.core = core;
+    return req;
+}
+
+void
+MainMemory::read(Addr addr, std::uint32_t bytes, CoreId core,
+                 Callback cb, bool low_priority)
+{
+    auto req = makeRequest(addr, bytes, core, dram::ReqKind::Read);
+    req.lowPriority = low_priority;
+    req.onComplete = std::move(cb);
+    dram_.enqueue(std::move(req));
+}
+
+void
+MainMemory::write(Addr addr, std::uint32_t bytes, CoreId core,
+                  Callback cb)
+{
+    auto req = makeRequest(addr, bytes, core, dram::ReqKind::Write);
+    req.lowPriority = true;
+    req.onComplete = std::move(cb);
+    dram_.enqueue(std::move(req));
+}
+
+std::uint64_t
+MainMemory::bytesRead() const
+{
+    return dram_.totalActivity().bytesRead;
+}
+
+std::uint64_t
+MainMemory::bytesWritten() const
+{
+    return dram_.totalActivity().bytesWritten;
+}
+
+} // namespace bmc::sim

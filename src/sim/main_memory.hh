@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Off-chip main memory: DDR3 channels behind the paper's
+ * row-rank-bank-mc-column interleave.
+ */
+
+#ifndef BMC_SIM_MAIN_MEMORY_HH
+#define BMC_SIM_MAIN_MEMORY_HH
+
+#include <functional>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/address_map.hh"
+#include "dram/dram_system.hh"
+
+namespace bmc::sim
+{
+
+/** DDR3-1600H main memory (Table IV). */
+class MainMemory
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    MainMemory(EventQueue &eq, const dram::TimingParams &params,
+               stats::StatGroup &parent);
+
+    /**
+     * Read @p bytes at @p addr; @p cb fires at data arrival.
+     * The transfer must not cross a DRAM page. Pass
+     * @p low_priority for fill remainders that should not delay
+     * demand reads.
+     */
+    void read(Addr addr, std::uint32_t bytes, CoreId core,
+              Callback cb, bool low_priority = false);
+
+    /** Fire-and-forget write (writeback); always low priority.
+     *  An optional callback fires when the burst completes. */
+    void write(Addr addr, std::uint32_t bytes, CoreId core,
+               Callback cb = nullptr);
+
+    dram::DramSystem &dram() { return dram_; }
+    const dram::DramSystem &dram() const { return dram_; }
+
+    std::uint64_t bytesRead() const;
+    std::uint64_t bytesWritten() const;
+
+  private:
+    dram::Request makeRequest(Addr addr, std::uint32_t bytes,
+                              CoreId core, dram::ReqKind kind) const;
+
+    EventQueue &eq_;
+    dram::DramSystem dram_;
+};
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_MAIN_MEMORY_HH

@@ -1,0 +1,104 @@
+#include "sim/mem_hierarchy.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::sim
+{
+
+MemHierarchy::MemHierarchy(EventQueue &eq, const Params &params,
+                           DramCacheController &dcc,
+                           stats::StatGroup &parent)
+    : eq_(eq), p_(params), dcc_(dcc), sg_("hier", &parent),
+      mshrs_(params.llscMshrs, sg_),
+      llscWritebacks_(sg_, "llsc_writebacks",
+                      "dirty LLSC victims pushed to the DRAM cache"),
+      mshrBlocked_(sg_, "mshr_blocked",
+                   "accesses rejected because the MSHR file was full")
+{
+    for (unsigned c = 0; c < params.cores; ++c) {
+        auto l1p = params.l1;
+        l1p.name = "l1_" + std::to_string(c);
+        l1p.seed += c;
+        l1_.push_back(std::make_unique<cache::SramCache>(l1p, sg_));
+    }
+    auto l2p = params.llsc;
+    l2p.name = "llsc";
+    llsc_ = std::make_unique<cache::SramCache>(l2p, sg_);
+
+    if (params.prefetchDegree > 0) {
+        prefetcher_ = std::make_unique<cache::NextNLinePrefetcher>(
+            params.prefetchDegree, params.llsc.blockBytes, sg_);
+    }
+}
+
+void
+MemHierarchy::writebackToDramCache(CoreId core, Addr addr)
+{
+    ++llscWritebacks_;
+    dcc_.access(addr, true, false, core, nullptr);
+}
+
+void
+MemHierarchy::firePrefetches(CoreId core, Addr miss_addr)
+{
+    if (!prefetcher_)
+        return;
+    for (const Addr pf : prefetcher_->onMiss(miss_addr, *llsc_)) {
+        // Allocate in the LLSC (write-allocate on arrival is
+        // approximated at issue time) and send the request through
+        // the DRAM cache marked as a prefetch.
+        const auto out = llsc_->access(pf, false);
+        if (out.writeback)
+            writebackToDramCache(core, out.victimAddr);
+        dcc_.access(pf, false, true, core, nullptr);
+    }
+}
+
+MemHierarchy::Outcome
+MemHierarchy::access(CoreId core, Addr addr, bool is_write,
+                     Callback miss_cb)
+{
+    bmc_assert(core < l1_.size(), "core id out of range");
+
+    // Back-pressure before any functional update so that a blocked
+    // access can be retried verbatim.
+    if (mshrs_.full()) {
+        ++mshrBlocked_;
+        return {Outcome::Kind::Blocked, 0};
+    }
+
+    cache::SramCache &l1 = *l1_[core];
+    const auto o1 = l1.access(addr, is_write);
+    if (o1.writeback) {
+        // L1 dirty victim drains into the LLSC (write-allocate, no
+        // fetch needed: the full line is being written).
+        const auto wb = llsc_->access(o1.victimAddr, true);
+        if (wb.writeback)
+            writebackToDramCache(core, wb.victimAddr);
+    }
+    if (o1.hit)
+        return {Outcome::Kind::Hit, l1.hitLatency()};
+
+    const auto o2 = llsc_->access(addr, is_write);
+    if (o2.writeback)
+        writebackToDramCache(core, o2.victimAddr);
+    if (o2.hit) {
+        return {Outcome::Kind::Hit,
+                l1.hitLatency() + llsc_->hitLatency()};
+    }
+
+    // Demand LLSC miss -> DRAM cache.
+    const Addr block = roundDown(addr, llsc_->blockBytes());
+    const bool primary = mshrs_.allocate(block, std::move(miss_cb));
+    firePrefetches(core, addr);
+    if (primary) {
+        dcc_.access(addr, is_write, false, core,
+                    [this, block](Tick done) {
+                        mshrs_.complete(block, done);
+                    });
+    }
+    return {Outcome::Kind::Miss, 0};
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The SRAM cache hierarchy between the cores and the DRAM cache:
+ * private L1 data caches and the shared last-level SRAM cache
+ * (LLSC), with MSHR-bounded outstanding misses and the optional
+ * next-N-line prefetcher of Section V-I.
+ *
+ * Functional state (contents, replacement) updates atomically at
+ * access time; timing is layered on top: L1/LLSC hits return a fixed
+ * latency, LLSC misses go to the DramCacheController and complete
+ * through a callback. Dirty evictions at any level propagate
+ * downward as write accesses (they count as DRAM cache accesses,
+ * as in the paper).
+ */
+
+#ifndef BMC_SIM_MEM_HIERARCHY_HH
+#define BMC_SIM_MEM_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/mshr.hh"
+#include "cache/prefetcher.hh"
+#include "cache/sram_cache.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "sim/dramcache_controller.hh"
+
+namespace bmc::sim
+{
+
+/** L1 + LLSC stack in front of the DRAM cache. */
+class MemHierarchy
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    struct Params
+    {
+        unsigned cores = 4;
+        cache::SramCache::Params l1;   //!< per-core private L1D
+        cache::SramCache::Params llsc; //!< shared LLSC
+        unsigned llscMshrs = 128;
+        unsigned prefetchDegree = 0;   //!< 0 = no prefetcher
+    };
+
+    /** Result of a core-side access. */
+    struct Outcome
+    {
+        enum class Kind : std::uint8_t
+        {
+            Hit,     //!< completed; @c latency is valid
+            Miss,    //!< async; the callback fires at completion
+            Blocked, //!< MSHR file full; retry later
+        };
+        Kind kind = Kind::Hit;
+        unsigned latency = 0;
+    };
+
+    MemHierarchy(EventQueue &eq, const Params &params,
+                 DramCacheController &dcc, stats::StatGroup &parent);
+
+    /** One 64 B data access from @p core. */
+    Outcome access(CoreId core, Addr addr, bool is_write,
+                   Callback miss_cb);
+
+    cache::SramCache &llsc() { return *llsc_; }
+    const cache::SramCache &llsc() const { return *llsc_; }
+    double llscMissRate() const { return llsc_->missRate(); }
+    std::uint64_t llscMisses() const { return llsc_->misses(); }
+
+  private:
+    /** Push a dirty LLSC victim to the DRAM cache (fire-forget). */
+    void writebackToDramCache(CoreId core, Addr addr);
+
+    /** Issue prefetches triggered by a demand LLSC miss. */
+    void firePrefetches(CoreId core, Addr miss_addr);
+
+    EventQueue &eq_;
+    Params p_;
+    DramCacheController &dcc_;
+
+    stats::StatGroup sg_;
+    std::vector<std::unique_ptr<cache::SramCache>> l1_;
+    std::unique_ptr<cache::SramCache> llsc_;
+    cache::MshrFile mshrs_;
+    std::unique_ptr<cache::NextNLinePrefetcher> prefetcher_;
+
+    stats::Counter llscWritebacks_;
+    stats::Counter mshrBlocked_;
+};
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_MEM_HIERARCHY_HH

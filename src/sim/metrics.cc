@@ -1,0 +1,39 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bmc::sim
+{
+
+MultiprogramMetrics
+computeMetrics(const std::vector<Tick> &mp_cycles,
+               const std::vector<Tick> &sp_cycles)
+{
+    bmc_assert(!mp_cycles.empty() &&
+                   mp_cycles.size() == sp_cycles.size(),
+               "metric inputs must be same-sized and non-empty");
+
+    MultiprogramMetrics m;
+    m.slowdowns.reserve(mp_cycles.size());
+    double sum_slowdown = 0.0;
+    for (size_t i = 0; i < mp_cycles.size(); ++i) {
+        bmc_assert(sp_cycles[i] > 0, "zero standalone cycles");
+        const double s = static_cast<double>(mp_cycles[i]) /
+                         static_cast<double>(sp_cycles[i]);
+        m.slowdowns.push_back(s);
+        sum_slowdown += s;
+        m.stp += 1.0 / s;
+    }
+    const double n = static_cast<double>(m.slowdowns.size());
+    m.antt = sum_slowdown / n;
+    m.hms = n / sum_slowdown;
+    const auto [mn, mx] =
+        std::minmax_element(m.slowdowns.begin(), m.slowdowns.end());
+    m.maxSlowdown = *mx;
+    m.fairness = *mx > 0.0 ? *mn / *mx : 1.0;
+    return m;
+}
+
+} // namespace bmc::sim

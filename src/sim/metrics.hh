@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multiprogram performance metrics [Eyerman & Eeckhout, IEEE Micro
+ * 2008] -- the metric family the paper's ANTT comes from.
+ *
+ * Given per-program cycle counts in the multiprogrammed run (C_MP)
+ * and standalone (C_SP):
+ *
+ *   slowdown_i = C_i^MP / C_i^SP
+ *   ANTT       = arithmetic mean of slowdowns  (lower is better;
+ *                the paper's system-performance metric)
+ *   STP        = sum of 1/slowdown_i           (system throughput,
+ *                a.k.a. weighted speedup; higher is better)
+ *   HMS        = n / sum(slowdown_i)           (harmonic mean of
+ *                speedups; balances throughput and fairness)
+ *   fairness   = min(slowdown) / max(slowdown) (1 = perfectly fair)
+ *   maxSlowdown= worst-treated program's slowdown
+ *
+ * The bench harnesses report ANTT (to match the paper) and the
+ * extended metrics so deviations can be diagnosed (EXPERIMENTS.md's
+ * "ANTT vs absolute speed" note).
+ */
+
+#ifndef BMC_SIM_METRICS_HH
+#define BMC_SIM_METRICS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bmc::sim
+{
+
+/** The Eyerman-Eeckhout multiprogram metric family. */
+struct MultiprogramMetrics
+{
+    std::vector<double> slowdowns;
+    double antt = 0.0;        //!< average normalized turnaround time
+    double stp = 0.0;         //!< system throughput (weighted speedup)
+    double hms = 0.0;         //!< harmonic mean of speedups
+    double fairness = 1.0;    //!< min/max slowdown
+    double maxSlowdown = 0.0; //!< worst-treated program
+};
+
+/**
+ * Compute the metric family from per-program cycles.
+ * @param mp_cycles multiprogrammed-run cycles, one per program
+ * @param sp_cycles standalone cycles, same order
+ */
+MultiprogramMetrics
+computeMetrics(const std::vector<Tick> &mp_cycles,
+               const std::vector<Tick> &sp_cycles);
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_METRICS_HH

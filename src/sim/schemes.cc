@@ -1,0 +1,223 @@
+#include "sim/schemes.hh"
+
+#include "common/logging.hh"
+#include "dramcache/alloy.hh"
+#include "dramcache/atcache.hh"
+#include "dramcache/bimodal/bimodal_cache.hh"
+#include "dramcache/fixed.hh"
+#include "dramcache/footprint.hh"
+#include "dramcache/loh_hill.hh"
+
+namespace bmc::sim
+{
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Alloy:
+        return "alloy";
+      case Scheme::LohHill:
+        return "loh_hill";
+      case Scheme::ATCache:
+        return "atcache";
+      case Scheme::Footprint:
+        return "footprint";
+      case Scheme::Fixed512:
+        return "fixed512";
+      case Scheme::Fixed512Sram:
+        return "fixed512_sram";
+      case Scheme::WayLocatorOnly:
+        return "wayloc_only";
+      case Scheme::BiModalOnly:
+        return "bimodal_only";
+      case Scheme::BiModal:
+        return "bimodal";
+    }
+    return "unknown";
+}
+
+Scheme
+schemeFromName(const std::string &name)
+{
+    for (Scheme s :
+         {Scheme::Alloy, Scheme::LohHill, Scheme::ATCache,
+          Scheme::Footprint, Scheme::Fixed512, Scheme::Fixed512Sram,
+          Scheme::WayLocatorOnly, Scheme::BiModalOnly,
+          Scheme::BiModal}) {
+        if (name == schemeName(s))
+            return s;
+    }
+    bmc_fatal("unknown scheme '%s'", name.c_str());
+}
+
+MachineConfig
+MachineConfig::preset(unsigned num_cores)
+{
+    MachineConfig cfg;
+    cfg.cores = num_cores;
+    switch (num_cores) {
+      case 4:
+        cfg.dramCacheBytes = 32 * kMiB;
+        cfg.stackedChannels = 2;
+        cfg.llscBytes = 1 * kMiB;
+        cfg.llscAssoc = 8;
+        cfg.llscLatency = 7;
+        cfg.llscMshrs = 128;
+        cfg.memChannels = 1;
+        cfg.memBanksPerChannel = 16;
+        break;
+      case 8:
+        cfg.dramCacheBytes = 64 * kMiB;
+        cfg.stackedChannels = 4;
+        cfg.llscBytes = 2 * kMiB;
+        cfg.llscAssoc = 16;
+        cfg.llscLatency = 9;
+        cfg.llscMshrs = 256;
+        cfg.memChannels = 2;
+        cfg.memBanksPerChannel = 16;
+        break;
+      case 16:
+        cfg.dramCacheBytes = 128 * kMiB;
+        cfg.stackedChannels = 8;
+        cfg.llscBytes = 4 * kMiB;
+        cfg.llscAssoc = 32;
+        cfg.llscLatency = 12;
+        cfg.llscMshrs = 512;
+        cfg.memChannels = 4;
+        cfg.memBanksPerChannel = 16;
+        break;
+      default:
+        bmc_fatal("no preset for %u cores", num_cores);
+    }
+    // Scaled caches pair with smaller locator/predictor tables and a
+    // shorter adaptation epoch, preserving the paper's ratios of
+    // table reach to cache blocks and adaptations per access. The
+    // footprint reference is fixed at 12 MiB per program so that the
+    // aggregate footprint:capacity pressure (~3-4x of the touched
+    // region) is constant across core counts, and runs warm within
+    // the default instruction budgets.
+    cfg.footprintRefBytes = 12 * kMiB;
+    cfg.locatorIndexBits = num_cores >= 8 ? 14 : 13;
+    cfg.predictorIndexBits = 12;
+    // Denser sampling so the tracker sees enough evictions to train
+    // the predictor within the shortened runs (the paper's 4%
+    // sampling assumes billions of instructions).
+    cfg.predictorSampleEvery = 4;
+    cfg.adaptEpoch = 1 << 14;
+    cfg.instrPerCore = num_cores >= 16 ? 750'000
+                       : num_cores >= 8 ? 1'500'000
+                                        : 3'000'000;
+    cfg.warmupInstrPerCore = cfg.instrPerCore;
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::fullScale(unsigned num_cores)
+{
+    MachineConfig cfg = preset(num_cores);
+    switch (num_cores) {
+      case 4:
+        cfg.dramCacheBytes = 128 * kMiB;
+        cfg.llscBytes = 4 * kMiB;
+        break;
+      case 8:
+        cfg.dramCacheBytes = 256 * kMiB;
+        cfg.llscBytes = 8 * kMiB;
+        break;
+      case 16:
+        cfg.dramCacheBytes = 512 * kMiB;
+        cfg.llscBytes = 16 * kMiB;
+        break;
+      default:
+        bmc_fatal("no full-scale preset for %u cores", num_cores);
+    }
+    cfg.footprintRefBytes = 0; // paper ratio: capacity * 4 / cores
+    cfg.locatorIndexBits = 14; // Table III's chosen K
+    cfg.predictorIndexBits = 16;
+    cfg.predictorSampleEvery = 25;
+    cfg.adaptEpoch = 1 << 20; // the paper's 1M-access interval
+    cfg.instrPerCore *= 8;
+    cfg.warmupInstrPerCore = cfg.instrPerCore;
+    return cfg;
+}
+
+std::unique_ptr<dramcache::DramCacheOrg>
+buildOrg(const MachineConfig &cfg, stats::StatGroup &parent)
+{
+    dramcache::StackedLayout::Params layout;
+    layout.capacityBytes = cfg.dramCacheBytes;
+    layout.pageBytes = 2048;
+    layout.channels = cfg.stackedChannels;
+    layout.banksPerChannel = cfg.stackedBanksPerChannel;
+
+    switch (cfg.scheme) {
+      case Scheme::Alloy: {
+          dramcache::AlloyCache::Params p;
+          p.capacityBytes = cfg.dramCacheBytes;
+          p.layout = layout;
+          p.useMapI = true;
+          return std::make_unique<dramcache::AlloyCache>(p, parent);
+      }
+      case Scheme::LohHill: {
+          dramcache::LohHillCache::Params p;
+          p.capacityBytes = cfg.dramCacheBytes;
+          p.layout = layout;
+          return std::make_unique<dramcache::LohHillCache>(p, parent);
+      }
+      case Scheme::ATCache: {
+          dramcache::ATCache::Params p;
+          p.capacityBytes = cfg.dramCacheBytes;
+          p.layout = layout;
+          p.prefetchGranularity = 8; // the paper's PG = 8
+          return std::make_unique<dramcache::ATCache>(p, parent);
+      }
+      case Scheme::Footprint: {
+          dramcache::FootprintCache::Params p;
+          p.capacityBytes = cfg.dramCacheBytes;
+          p.layout = layout;
+          p.pageBlockBytes = 2048;
+          return std::make_unique<dramcache::FootprintCache>(p,
+                                                             parent);
+      }
+      case Scheme::Fixed512:
+      case Scheme::Fixed512Sram:
+      case Scheme::WayLocatorOnly: {
+          dramcache::FixedOrg::Params p;
+          p.name = schemeName(cfg.scheme);
+          p.capacityBytes = cfg.dramCacheBytes;
+          p.blockBytes = cfg.bigBlockBytes;
+          p.assoc = cfg.setBytes / cfg.bigBlockBytes;
+          p.layout = layout;
+          p.tags = cfg.scheme == Scheme::Fixed512Sram
+                       ? dramcache::FixedOrg::TagStore::Sram
+                       : dramcache::FixedOrg::TagStore::DramSeparate;
+          p.useWayLocator = cfg.scheme == Scheme::WayLocatorOnly;
+          p.locatorIndexBits = cfg.locatorIndexBits;
+          p.addressBits = cfg.addressBits;
+          return std::make_unique<dramcache::FixedOrg>(p, parent);
+      }
+      case Scheme::BiModalOnly:
+      case Scheme::BiModal: {
+          dramcache::BiModalCache::Params p;
+          p.name = schemeName(cfg.scheme);
+          p.capacityBytes = cfg.dramCacheBytes;
+          p.setBytes = cfg.setBytes;
+          p.bigBlockBytes = cfg.bigBlockBytes;
+          p.layout = layout;
+          p.useWayLocator = cfg.scheme == Scheme::BiModal;
+          p.locatorIndexBits = cfg.locatorIndexBits;
+          p.addressBits = cfg.addressBits;
+          p.predictor.indexBits = cfg.predictorIndexBits;
+          p.predictor.threshold = cfg.predictorThreshold;
+          p.predictor.sampleEvery = cfg.predictorSampleEvery;
+          p.global.epochAccesses = cfg.adaptEpoch;
+          p.global.weight = cfg.adaptWeight;
+          p.seed = cfg.seed + 17;
+          return std::make_unique<dramcache::BiModalCache>(p, parent);
+      }
+    }
+    bmc_fatal("unhandled scheme");
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Scheme registry and machine configuration presets (Table IV).
+ *
+ * A MachineConfig fully describes one simulated machine: core count,
+ * cache hierarchy, DRAM cache geometry, off-chip memory and the DRAM
+ * cache organization under test. Presets follow Table IV; the
+ * default ("fast") presets shrink capacity/footprint/instruction
+ * counts together, preserving the paper's pressure ratios, while
+ * fullScale() restores the published sizes.
+ */
+
+#ifndef BMC_SIM_SCHEMES_HH
+#define BMC_SIM_SCHEMES_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/prefetcher.hh"
+#include "common/types.hh"
+#include "dramcache/org.hh"
+
+namespace bmc::sim
+{
+
+/** Every organization the paper evaluates. */
+enum class Scheme
+{
+    Alloy,          //!< baseline: direct-mapped TAD + MAP-I
+    LohHill,        //!< 29-way tags-in-DRAM
+    ATCache,        //!< tags-in-DRAM + SRAM tag cache
+    Footprint,      //!< 2 KB blocks, tags-in-SRAM, footprint fetch
+    Fixed512,       //!< fixed 512 B blocks, tags-in-DRAM (meta bank)
+    Fixed512Sram,   //!< fixed 512 B blocks, tags-in-SRAM
+    WayLocatorOnly, //!< Fixed512 + way locator (Fig 8a)
+    BiModalOnly,    //!< bi-modality without the way locator (Fig 8a)
+    BiModal,        //!< the full proposal
+};
+
+const char *schemeName(Scheme scheme);
+Scheme schemeFromName(const std::string &name);
+
+/** A complete simulated-machine description. */
+struct MachineConfig
+{
+    unsigned cores = 4;
+
+    // DRAM cache geometry
+    std::uint64_t dramCacheBytes = 8 * kMiB;
+    /** Capacity used to size workload footprints; 0 means "use
+     *  dramCacheBytes". Pin this during capacity sweeps so the
+     *  workload stays constant while the cache grows. */
+    std::uint64_t footprintRefBytes = 0;
+    unsigned stackedChannels = 2;
+    unsigned stackedBanksPerChannel = 8;
+
+    // Bi-Modal knobs
+    std::uint32_t setBytes = 2048;
+    std::uint32_t bigBlockBytes = 512;
+    unsigned locatorIndexBits = 14;   //!< K
+    unsigned addressBits = 40;
+    unsigned predictorIndexBits = 16; //!< P
+    unsigned predictorThreshold = 5;  //!< T
+    unsigned predictorSampleEvery = 25; //!< tracker set-sampling
+    std::uint64_t adaptEpoch = 1 << 16;
+    double adaptWeight = 0.75;        //!< W
+
+    // SRAM hierarchy (Table IV)
+    std::uint64_t l1Bytes = 32 * kKiB;
+    unsigned l1Assoc = 2;
+    unsigned l1Latency = 2;
+    std::uint64_t llscBytes = 1 * kMiB;
+    unsigned llscAssoc = 8;
+    unsigned llscLatency = 7;
+    unsigned llscMshrs = 128;
+
+    // Off-chip memory
+    unsigned memChannels = 1;
+    unsigned memBanksPerChannel = 16;
+
+    /** Use the command-granularity DRAM model for both the stacked
+     *  dies and main memory (slower, higher fidelity). */
+    bool commandLevelDram = false;
+
+    // Cores
+    double cpi = 0.5;
+    unsigned mlp = 8;
+    std::uint64_t instrPerCore = 2'000'000;
+    /** Fast-forward budget before measurement (stats reset and
+     *  per-core cycle counting start once every core is warm). */
+    std::uint64_t warmupInstrPerCore = 1'000'000;
+
+    // Prefetch study (Table VI)
+    cache::PrefetchPolicy prefetchPolicy = cache::PrefetchPolicy::Off;
+    unsigned prefetchDegree = 0;
+
+    Scheme scheme = Scheme::BiModal;
+    std::uint64_t seed = 1;
+
+    /**
+     * Table IV preset for 4, 8 or 16 cores at reduced (fast) scale:
+     * 8/16/32 MB DRAM caches with everything else proportional.
+     */
+    static MachineConfig preset(unsigned num_cores);
+
+    /** The paper's published scale: 128/256/512 MB DRAM caches. */
+    static MachineConfig fullScale(unsigned num_cores);
+};
+
+/** Instantiate the organization selected by @p cfg.scheme. */
+std::unique_ptr<dramcache::DramCacheOrg>
+buildOrg(const MachineConfig &cfg, stats::StatGroup &parent);
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_SCHEMES_HH

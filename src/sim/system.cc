@@ -1,0 +1,210 @@
+#include "sim/system.hh"
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "dramcache/bimodal/bimodal_cache.hh"
+#include "dramcache/fixed.hh"
+
+namespace bmc::sim
+{
+
+System::System(const MachineConfig &cfg,
+               const std::vector<std::string> &programs,
+               std::vector<CoreId> gen_core_ids)
+    : cfg_(cfg), root_("system")
+{
+    bmc_assert(programs.size() == cfg.cores,
+               "%zu programs for %u cores", programs.size(), cfg.cores);
+    if (gen_core_ids.empty()) {
+        for (unsigned c = 0; c < cfg.cores; ++c)
+            gen_core_ids.push_back(static_cast<CoreId>(c));
+    }
+    bmc_assert(gen_core_ids.size() == programs.size(),
+               "generator id list size mismatch");
+
+    auto stacked_params = dram::TimingParams::stacked(
+        cfg.stackedChannels, cfg.stackedBanksPerChannel);
+    stacked_params.commandLevel = cfg.commandLevelDram;
+    stacked_ = std::make_unique<dram::DramSystem>(eq_, stacked_params,
+                                                  "stacked", root_);
+
+    auto mem_params = dram::TimingParams::ddr3_1600h(
+        cfg.memChannels, cfg.memBanksPerChannel);
+    mem_params.commandLevel = cfg.commandLevelDram;
+    memory_ = std::make_unique<MainMemory>(eq_, mem_params, root_);
+
+    org_ = buildOrg(cfg, root_);
+
+    DramCacheController::Params dp;
+    dp.prefetchPolicy = cfg.prefetchPolicy;
+    dcc_ = std::make_unique<DramCacheController>(
+        eq_, *org_, *stacked_, *memory_, dp, root_);
+
+    MemHierarchy::Params hp;
+    hp.cores = cfg.cores;
+    hp.l1.sizeBytes = cfg.l1Bytes;
+    hp.l1.assoc = cfg.l1Assoc;
+    hp.l1.hitLatency = cfg.l1Latency;
+    hp.l1.seed = cfg.seed + 101;
+    hp.llsc.sizeBytes = cfg.llscBytes;
+    hp.llsc.assoc = cfg.llscAssoc;
+    hp.llsc.hitLatency = cfg.llscLatency;
+    hp.llsc.seed = cfg.seed + 201;
+    hp.llscMshrs = cfg.llscMshrs;
+    hp.prefetchDegree =
+        cfg.prefetchPolicy == cache::PrefetchPolicy::Off
+            ? 0
+            : cfg.prefetchDegree;
+    hier_ = std::make_unique<MemHierarchy>(eq_, hp, *dcc_, root_);
+
+    TraceCore::Params cp;
+    cp.cpi = cfg.cpi;
+    cp.maxOutstanding = cfg.mlp;
+    cp.instrBudget = cfg.instrPerCore;
+    cp.warmupInstrs = cfg.warmupInstrPerCore;
+    // Footprints are sized so the MP aggregate stays near the
+    // paper's ~8x capacity regardless of core count: each program
+    // scales against capacity * 4 / cores (the quad-core reference).
+    const std::uint64_t footprint_ref =
+        cfg.footprintRefBytes
+            ? cfg.footprintRefBytes
+            : cfg.dramCacheBytes * 4 / std::max(4u, cfg.cores);
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        auto gen = trace::makeProgram(programs[c], gen_core_ids[c],
+                                      footprint_ref, cfg.seed);
+        cores_.push_back(std::make_unique<TraceCore>(
+            eq_, static_cast<CoreId>(c), std::move(gen), *hier_, cp,
+            root_, [this](CoreId) { ++coresDone_; },
+            [this](CoreId) {
+                // Once every core has retired its warm-up budget,
+                // reset all statistics so measurements cover only
+                // the warm region (the paper's fast-forward).
+                if (++coresWarm_ == cores_.size())
+                    root_.resetAll();
+            }));
+    }
+}
+
+System::~System() = default;
+
+RunStats
+System::run(Tick max_ticks)
+{
+    for (auto &core : cores_)
+        core->start();
+
+    // Drive the event loop until every core has retired its budget.
+    // Cores that finish early keep executing nothing (their final
+    // cycle counts are frozen at finishTick), matching the paper's
+    // methodology of freezing statistics at each core's own finish.
+    std::uint64_t next_report = 10'000'000;
+    while (coresDone_ < cores_.size() && !eq_.empty() &&
+           eq_.now() < max_ticks) {
+        eq_.step();
+        if (eq_.numExecuted() >= next_report) {
+            if (std::getenv("BMC_DEBUG_PROGRESS")) {
+                std::fprintf(stderr,
+                             "[sim] events=%llu tick=%llu done=%u\n",
+                             static_cast<unsigned long long>(
+                                 eq_.numExecuted()),
+                             static_cast<unsigned long long>(eq_.now()),
+                             coresDone_);
+            }
+            next_report += 10'000'000;
+        }
+    }
+    bmc_assert(coresDone_ == cores_.size(),
+               "simulation stalled: %u/%zu cores done at tick %llu",
+               coresDone_, cores_.size(),
+               static_cast<unsigned long long>(eq_.now()));
+
+    return collect();
+}
+
+RunStats
+System::collect() const
+{
+    RunStats out;
+    out.simTicks = eq_.now();
+    for (const auto &core : cores_)
+        out.coreCycles.push_back(core->measuredCycles());
+
+    out.dccAccesses = dcc_->numAccesses();
+    out.avgAccessLatency = dcc_->avgAccessLatency();
+    out.avgHitLatency = dcc_->avgHitLatency();
+    out.avgMissLatency = dcc_->avgMissLatency();
+    out.avgTagReadTicks = dcc_->avgTagReadTicks();
+    out.avgDataReadTicks = dcc_->avgDataReadTicks();
+    out.avgMemDemandTicks = dcc_->avgMemDemandTicks();
+
+    const auto &os = org_->stats();
+    out.cacheHitRate = os.hitRate();
+    out.offchipFetchBytes = os.offchipFetchBytes.value();
+    out.demandFetchBytes = os.demandFetchBytes.value();
+    out.wastedFetchBytes = os.wastedFetchBytes.value();
+    out.writebackBytes = os.writebackBytes.value();
+
+    out.memBytesRead = memory_->bytesRead();
+    out.memBytesWritten = memory_->bytesWritten();
+
+    out.dataRowHitRate = stacked_->dataRowHitRate();
+    out.metaRowHitRate = stacked_->metaRowHitRate();
+
+    if (const auto *bm =
+            dynamic_cast<const dramcache::BiModalCache *>(org_.get())) {
+        if (bm->wayLocator())
+            out.locatorHitRate = bm->wayLocator()->hitRate();
+        out.smallAccessFraction = bm->smallAccessFraction();
+    } else if (const auto *fx =
+                   dynamic_cast<const dramcache::FixedOrg *>(
+                       org_.get())) {
+        if (fx->wayLocator())
+            out.locatorHitRate = fx->wayLocator()->hitRate();
+    }
+
+    out.llscMissRate = hier_->llscMissRate();
+
+    out.energy = computeEnergy(stacked_->totalActivity(),
+                               memory_->dram().totalActivity(),
+                               out.dccAccesses, org_->sramBytes());
+    return out;
+}
+
+AnttResult
+runAntt(const MachineConfig &cfg, const trace::WorkloadSpec &workload)
+{
+    bmc_assert(workload.programs.size() == cfg.cores,
+               "workload %s has %zu programs, config has %u cores",
+               workload.name.c_str(), workload.programs.size(),
+               cfg.cores);
+
+    AnttResult out;
+    {
+        System mp(cfg, workload.programs);
+        out.multiprogram = mp.run();
+    }
+
+    // Standalone runs: same machine, one core. Keep the same seed
+    // AND the multiprogram footprint scaling so the generator
+    // replays the identical access stream.
+    MachineConfig sp_cfg = cfg;
+    sp_cfg.cores = 1;
+    if (sp_cfg.footprintRefBytes == 0) {
+        sp_cfg.footprintRefBytes =
+            cfg.dramCacheBytes * 4 / std::max(4u, cfg.cores);
+    }
+    for (size_t i = 0; i < workload.programs.size(); ++i) {
+        System sp(sp_cfg, {workload.programs[i]},
+                  {static_cast<CoreId>(i)});
+        const RunStats rs = sp.run();
+        out.standaloneCycles.push_back(rs.coreCycles[0]);
+    }
+    out.metrics = computeMetrics(out.multiprogram.coreCycles,
+                                 out.standaloneCycles);
+    out.antt = out.metrics.antt;
+    return out;
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Full-system assembly: event queue, stacked DRAM, off-chip memory,
+ * DRAM cache organization + controller, SRAM hierarchy and trace
+ * cores, wired per a MachineConfig. One System is one timing run.
+ */
+
+#ifndef BMC_SIM_SYSTEM_HH
+#define BMC_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/dram_system.hh"
+#include "dramcache/org.hh"
+#include "sim/dramcache_controller.hh"
+#include "sim/energy.hh"
+#include "sim/main_memory.hh"
+#include "sim/mem_hierarchy.hh"
+#include "sim/metrics.hh"
+#include "sim/schemes.hh"
+#include "sim/trace_core.hh"
+#include "trace/workload.hh"
+
+namespace bmc::sim
+{
+
+/** Scalar results of one timing run. */
+struct RunStats
+{
+    Tick simTicks = 0;
+    std::vector<Tick> coreCycles;
+
+    // DRAM cache behaviour
+    std::uint64_t dccAccesses = 0;
+    double avgAccessLatency = 0.0; //!< the paper's LLSC miss penalty
+    double avgHitLatency = 0.0;
+    double avgMissLatency = 0.0;
+    double avgTagReadTicks = 0.0;
+    double avgDataReadTicks = 0.0;
+    double avgMemDemandTicks = 0.0;
+    double cacheHitRate = 0.0;
+
+    // Bandwidth accounting
+    std::uint64_t offchipFetchBytes = 0;
+    std::uint64_t demandFetchBytes = 0;
+    std::uint64_t wastedFetchBytes = 0;
+    std::uint64_t writebackBytes = 0;
+    std::uint64_t memBytesRead = 0;
+    std::uint64_t memBytesWritten = 0;
+
+    // Row-buffer behaviour (stacked DRAM)
+    double dataRowHitRate = 0.0;
+    double metaRowHitRate = 0.0;
+
+    // Scheme-specific (negative = not applicable)
+    double locatorHitRate = -1.0;
+    double smallAccessFraction = -1.0;
+
+    double llscMissRate = 0.0;
+    EnergyBreakdown energy;
+};
+
+/** One simulated machine executing one program list. */
+class System
+{
+  public:
+    /**
+     * @param cfg          machine description
+     * @param programs     benchmark names, one per core (must match
+     *                     cfg.cores)
+     * @param gen_core_ids seed/base identity for each program's
+     *                     generator. Defaults to 0..n-1; the ANTT
+     *                     runner passes the multiprogram core index
+     *                     so a standalone run replays the identical
+     *                     stream.
+     */
+    System(const MachineConfig &cfg,
+           const std::vector<std::string> &programs,
+           std::vector<CoreId> gen_core_ids = {});
+    ~System();
+
+    /** Run until every core retires its budget. */
+    RunStats run(Tick max_ticks = maxTick);
+
+    dramcache::DramCacheOrg &org() { return *org_; }
+    DramCacheController &controller() { return *dcc_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    /** Render every statistic in the system ("group.stat = value"
+     *  lines), for post-run inspection or regression diffing. */
+    std::string dumpStats() const { return root_.dump(); }
+
+  private:
+    RunStats collect() const;
+
+    MachineConfig cfg_;
+    EventQueue eq_;
+    stats::StatGroup root_;
+    std::unique_ptr<dram::DramSystem> stacked_;
+    std::unique_ptr<MainMemory> memory_;
+    std::unique_ptr<dramcache::DramCacheOrg> org_;
+    std::unique_ptr<DramCacheController> dcc_;
+    std::unique_ptr<MemHierarchy> hier_;
+    std::vector<std::unique_ptr<TraceCore>> cores_;
+    unsigned coresDone_ = 0;
+    unsigned coresWarm_ = 0;
+};
+
+/** ANTT study output (Fig 7 / Fig 8a). */
+struct AnttResult
+{
+    double antt = 0.0;
+    RunStats multiprogram;
+    std::vector<Tick> standaloneCycles;
+    /** Full Eyerman-Eeckhout metric family (STP, HMS, fairness). */
+    MultiprogramMetrics metrics;
+};
+
+/**
+ * Run the workload multiprogrammed and each program standalone on
+ * the same machine, and compute
+ *   ANTT = (1/n) * sum_i C_i^MP / C_i^SP.
+ */
+AnttResult runAntt(const MachineConfig &cfg,
+                   const trace::WorkloadSpec &workload);
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_SYSTEM_HH

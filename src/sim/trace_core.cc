@@ -1,0 +1,128 @@
+#include "sim/trace_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bmc::sim
+{
+
+TraceCore::TraceCore(EventQueue &eq, CoreId id,
+                     std::unique_ptr<trace::TraceGenerator> gen,
+                     MemHierarchy &hierarchy, const Params &params,
+                     stats::StatGroup &parent,
+                     std::function<void(CoreId)> on_done,
+                     std::function<void(CoreId)> on_warm)
+    : eq_(eq), id_(id), gen_(std::move(gen)), hier_(hierarchy),
+      p_(params), onDone_(std::move(on_done)),
+      onWarm_(std::move(on_warm)),
+      sg_("core" + std::to_string(id), &parent),
+      memAccesses_(sg_, "mem_accesses", "memory trace records issued"),
+      llscMissStalls_(sg_, "mlp_stalls",
+                      "times the core hit its MLP limit")
+{
+    bmc_assert(p_.instrBudget > 0, "need a positive budget");
+    bmc_assert(p_.maxOutstanding > 0, "need some MLP");
+}
+
+void
+TraceCore::start()
+{
+    eq_.schedule(0, [this] { resume(); });
+}
+
+void
+TraceCore::finish()
+{
+    done_ = true;
+    finishTick_ = std::max(coreTick_, eq_.now());
+    if (onDone_)
+        onDone_(id_);
+}
+
+void
+TraceCore::issuePending()
+{
+    const auto outcome = hier_.access(
+        id_, pending_.addr, pending_.write,
+        [this](Tick done) { onMissComplete(done); });
+
+    switch (outcome.kind) {
+      case MemHierarchy::Outcome::Kind::Hit:
+        coreTimeF_ += outcome.latency;
+        coreTick_ = static_cast<Tick>(coreTimeF_);
+        hasPending_ = false;
+        ++memAccesses_;
+        break;
+      case MemHierarchy::Outcome::Kind::Miss:
+        ++outstanding_;
+        hasPending_ = false;
+        ++memAccesses_;
+        if (outstanding_ >= p_.maxOutstanding) {
+            blocked_ = true;
+            ++llscMissStalls_;
+        }
+        break;
+      case MemHierarchy::Outcome::Kind::Blocked:
+        // MSHR file full: retry shortly, keeping the record.
+        eq_.schedule(p_.retryDelay, [this] { resume(); });
+        break;
+    }
+}
+
+void
+TraceCore::onMissComplete(Tick done)
+{
+    bmc_assert(outstanding_ > 0, "completion without outstanding");
+    --outstanding_;
+    if (blocked_) {
+        blocked_ = false;
+        // The core sat stalled from coreTick_ until now.
+        if (done > coreTick_) {
+            coreTick_ = done;
+            coreTimeF_ = static_cast<double>(done);
+        }
+        resume();
+    }
+}
+
+void
+TraceCore::resume()
+{
+    for (;;) {
+        if (done_ || blocked_)
+            return;
+
+        if (hasPending_) {
+            if (coreTick_ > eq_.now()) {
+                eq_.scheduleAt(coreTick_, [this] { resume(); });
+                return;
+            }
+            issuePending();
+            if (hasPending_)
+                return; // MSHR retry scheduled
+            continue;
+        }
+
+        if (!warmed_ && instrsRetired_ >= p_.warmupInstrs) {
+            warmed_ = true;
+            warmTick_ = std::max(coreTick_, eq_.now());
+            if (onWarm_)
+                onWarm_(id_);
+        }
+
+        if (instrsRetired_ >= p_.instrBudget + p_.warmupInstrs) {
+            finish();
+            return;
+        }
+
+        pending_ = gen_->next();
+        hasPending_ = true;
+        const std::uint64_t n = pending_.gap + 1ULL;
+        instrsRetired_ += n;
+        coreTimeF_ += static_cast<double>(n) * p_.cpi;
+        coreTick_ = static_cast<Tick>(coreTimeF_);
+    }
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace-driven core model.
+ *
+ * Replaces the paper's OOO gem5 cores with an MLP-limited timing
+ * abstraction: non-memory instructions retire at a base CPI, L1/LLSC
+ * hits add their fixed latencies, and LLSC misses may overlap up to
+ * @c maxOutstanding deep (the memory-level parallelism an OOO window
+ * extracts). When the limit is reached the core stalls until the
+ * oldest miss returns. Memory requests are injected into the event
+ * simulation at the exact tick the core reaches them, so cross-core
+ * contention at the DRAM cache and main memory is captured.
+ */
+
+#ifndef BMC_SIM_TRACE_CORE_HH
+#define BMC_SIM_TRACE_CORE_HH
+
+#include <functional>
+#include <memory>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "sim/mem_hierarchy.hh"
+#include "trace/generator.hh"
+
+namespace bmc::sim
+{
+
+/** One trace-driven core. */
+class TraceCore
+{
+  public:
+    struct Params
+    {
+        double cpi = 0.5;          //!< non-memory CPI (4-wide OOO)
+        unsigned maxOutstanding = 8; //!< MLP limit
+        std::uint64_t instrBudget = 1'000'000;
+        /** Instructions executed before measurement begins (the
+         *  paper's fast-forward warm-up); cycle counts exclude
+         *  them. */
+        std::uint64_t warmupInstrs = 0;
+        unsigned retryDelay = 16;  //!< ticks before MSHR-full retry
+    };
+
+    TraceCore(EventQueue &eq, CoreId id,
+              std::unique_ptr<trace::TraceGenerator> gen,
+              MemHierarchy &hierarchy, const Params &params,
+              stats::StatGroup &parent,
+              std::function<void(CoreId)> on_done,
+              std::function<void(CoreId)> on_warm = nullptr);
+
+    /** Schedule the first resume event. */
+    void start();
+
+    bool done() const { return done_; }
+    Tick finishTick() const { return finishTick_; }
+    /** Local tick at which the warm-up budget was retired. */
+    Tick warmTick() const { return warmTick_; }
+    /** Measured cycles: finish minus warm-up boundary. */
+    Tick measuredCycles() const { return finishTick_ - warmTick_; }
+    std::uint64_t instrsRetired() const { return instrsRetired_; }
+
+  private:
+    void resume();
+    void issuePending();
+    void onMissComplete(Tick done);
+    void finish();
+
+    EventQueue &eq_;
+    CoreId id_;
+    std::unique_ptr<trace::TraceGenerator> gen_;
+    MemHierarchy &hier_;
+    Params p_;
+    std::function<void(CoreId)> onDone_;
+    std::function<void(CoreId)> onWarm_;
+
+    double coreTimeF_ = 0.0;  //!< fractional local clock
+    Tick coreTick_ = 0;       //!< integral local clock
+    unsigned outstanding_ = 0;
+    bool blocked_ = false;    //!< stalled at the MLP limit
+    bool done_ = false;
+    bool warmed_ = false;
+    Tick finishTick_ = 0;
+    Tick warmTick_ = 0;
+    std::uint64_t instrsRetired_ = 0;
+
+    /** Access waiting to be injected at coreTick_. */
+    bool hasPending_ = false;
+    trace::TraceRecord pending_;
+
+    stats::StatGroup sg_;
+    stats::Counter memAccesses_;
+    stats::Counter llscMissStalls_;
+};
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_TRACE_CORE_HH

@@ -1,0 +1,54 @@
+#include "sram/cacti_lite.hh"
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace bmc::sram
+{
+
+unsigned
+CactiLite::latencyCycles(std::uint64_t size_bytes)
+{
+    // Calibration points from the paper (22 nm CACTI).
+    if (size_bytes <= 128 * kKiB)
+        return 1;
+    if (size_bytes <= 512 * kKiB)
+        return 2;
+    if (size_bytes <= 768 * kKiB)
+        return 4;
+    if (size_bytes <= 1 * kMiB)
+        return 6;
+    if (size_bytes <= 2 * kMiB)
+        return 7;
+    if (size_bytes <= 4 * kMiB)
+        return 9;
+    // Extrapolate: +2 cycles per doubling past 4 MB.
+    unsigned lat = 9;
+    std::uint64_t cap = 4 * kMiB;
+    while (cap < size_bytes) {
+        cap *= 2;
+        lat += 2;
+    }
+    return lat;
+}
+
+double
+CactiLite::accessEnergyPj(std::uint64_t size_bytes)
+{
+    // Wire-dominated sqrt(capacity) scaling, anchored at ~10 pJ for a
+    // 64 KB macro at 22 nm (typical CACTI output for a tag array).
+    const double anchor_bytes = 64.0 * static_cast<double>(kKiB);
+    const double anchor_pj = 10.0;
+    return anchor_pj *
+           std::sqrt(static_cast<double>(size_bytes) / anchor_bytes);
+}
+
+SramEstimate
+CactiLite::estimate(std::uint64_t size_bytes)
+{
+    return {size_bytes, latencyCycles(size_bytes),
+            accessEnergyPj(size_bytes)};
+}
+
+} // namespace bmc::sram

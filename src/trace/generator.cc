@@ -1,0 +1,292 @@
+#include "trace/generator.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::trace
+{
+
+TraceGenerator::TraceGenerator(const GenConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    bmc_assert(cfg.footprintBytes >= 4 * kKiB,
+               "footprint too small: %llu",
+               static_cast<unsigned long long>(cfg.footprintBytes));
+}
+
+std::uint32_t
+TraceGenerator::drawGap()
+{
+    // Geometric distribution with the configured mean: memory
+    // accesses arrive as a Bernoulli process over instructions.
+    if (cfg_.meanGap <= 0.0)
+        return 0;
+    const double p = 1.0 / (cfg_.meanGap + 1.0);
+    const double u = rng_.real();
+    const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+    return static_cast<std::uint32_t>(std::min(g, 10000.0));
+}
+
+TraceRecord
+TraceGenerator::next()
+{
+    TraceRecord rec;
+    rec.gap = drawGap();
+    rec.addr = cfg_.base + roundDown(nextOffset(), kLineBytes);
+    rec.write = rng_.chance(cfg_.writeFrac);
+    return rec;
+}
+
+// ---------------------------------------------------------------- Stream
+
+StreamGen::StreamGen(const GenConfig &cfg, double reuse_prob,
+                     std::uint64_t window_bytes)
+    : TraceGenerator(cfg), reuseProb_(reuse_prob),
+      windowBytes_(window_bytes ? window_bytes
+                                : cfg.footprintBytes / 8)
+{
+    // Stagger the start position (deterministically from the seed)
+    // so concurrent streams from different programs do not advance
+    // through aliasing cache sets in lockstep.
+    pos_ = rng_.below(cfg_.footprintBytes / kLineBytes) * kLineBytes;
+}
+
+Addr
+StreamGen::nextOffset()
+{
+    if (reuseProb_ > 0.0 && rng_.chance(reuseProb_)) {
+        // Revisit a line inside the recently-streamed window.
+        const std::uint64_t back =
+            rng_.below(windowBytes_ / kLineBytes) * kLineBytes;
+        return (pos_ + cfg_.footprintBytes - back) %
+               cfg_.footprintBytes;
+    }
+    const Addr off = pos_;
+    pos_ = (pos_ + kLineBytes) % cfg_.footprintBytes;
+    return off;
+}
+
+std::unique_ptr<TraceGenerator>
+StreamGen::clone() const
+{
+    return std::make_unique<StreamGen>(cfg_, reuseProb_, windowBytes_);
+}
+
+// ---------------------------------------------------------------- Stride
+
+StrideGen::StrideGen(const GenConfig &cfg, std::uint32_t stride_bytes)
+    : TraceGenerator(cfg), stride_(stride_bytes)
+{
+    bmc_assert(stride_bytes >= kLineBytes && stride_bytes % kLineBytes == 0,
+               "stride must be a multiple of the line size");
+    pos_ = rng_.below(cfg_.footprintBytes / stride_) * stride_;
+}
+
+Addr
+StrideGen::nextOffset()
+{
+    const Addr off = pos_;
+    pos_ += stride_;
+    if (pos_ >= cfg_.footprintBytes) {
+        // Restart at the next line so successive sweeps cover
+        // different lines of the same 512 B regions only when the
+        // stride divides into them.
+        pos_ = pos_ % cfg_.footprintBytes;
+    }
+    return off;
+}
+
+std::string
+StrideGen::name() const
+{
+    return "stride" + std::to_string(stride_);
+}
+
+std::unique_ptr<TraceGenerator>
+StrideGen::clone() const
+{
+    return std::make_unique<StrideGen>(cfg_, stride_);
+}
+
+// ---------------------------------------------------------------- Random
+
+RandomGen::RandomGen(const GenConfig &cfg) : TraceGenerator(cfg) {}
+
+Addr
+RandomGen::nextOffset()
+{
+    const std::uint64_t lines = cfg_.footprintBytes / kLineBytes;
+    return rng_.below(lines) * kLineBytes;
+}
+
+std::unique_ptr<TraceGenerator>
+RandomGen::clone() const
+{
+    return std::make_unique<RandomGen>(cfg_);
+}
+
+// ---------------------------------------------------------------- Zipf
+
+namespace
+{
+constexpr std::uint64_t kZipfPageBytes = 4 * kKiB;
+// Cap the number of distinct Zipf items so the CDF table stays small;
+// each item then covers a contiguous group of pages.
+constexpr std::uint64_t kZipfMaxItems = 1 << 16;
+} // anonymous namespace
+
+ZipfGen::ZipfGen(const GenConfig &cfg, double alpha, unsigned max_run)
+    : TraceGenerator(cfg), alpha_(alpha), maxRun_(max_run),
+      zipf_(std::min(cfg.footprintBytes / kZipfPageBytes, kZipfMaxItems),
+            alpha)
+{
+    bmc_assert(max_run >= 1, "run length must be positive");
+}
+
+Addr
+ZipfGen::nextOffset()
+{
+    if (runLeft_ == 0) {
+        const std::uint64_t num_pages =
+            cfg_.footprintBytes / kZipfPageBytes;
+        const std::uint64_t items = zipf_.numItems();
+        const std::uint64_t item = zipf_.sample(rng_);
+        // Spread item groups over the footprint deterministically.
+        const std::uint64_t group = num_pages / items;
+        const std::uint64_t page =
+            item * group + (group > 1 ? rng_.below(group) : 0);
+        curPage_ = page * kZipfPageBytes;
+        runLeft_ = 1 + static_cast<unsigned>(rng_.below(maxRun_));
+        // Align run starts to 512 B frames: sequential runs in real
+        // code start at object/stride boundaries, and mid-frame
+        // starts would smear utilization across two frames.
+        runPos_ = rng_.below(kZipfPageBytes / 512) * 512;
+    }
+    const Addr off = curPage_ + (runPos_ % kZipfPageBytes);
+    runPos_ += kLineBytes;
+    --runLeft_;
+    return off % cfg_.footprintBytes;
+}
+
+std::unique_ptr<TraceGenerator>
+ZipfGen::clone() const
+{
+    return std::make_unique<ZipfGen>(cfg_, alpha_, maxRun_);
+}
+
+// ------------------------------------------------------------ ScanReuse
+
+ScanReuseGen::ScanReuseGen(const GenConfig &cfg) : TraceGenerator(cfg)
+{
+    pos_ = rng_.below(cfg_.footprintBytes / kLineBytes) * kLineBytes;
+}
+
+Addr
+ScanReuseGen::nextOffset()
+{
+    const Addr off = pos_;
+    pos_ = (pos_ + kLineBytes) % cfg_.footprintBytes;
+    return off;
+}
+
+std::unique_ptr<TraceGenerator>
+ScanReuseGen::clone() const
+{
+    return std::make_unique<ScanReuseGen>(cfg_);
+}
+
+// ---------------------------------------------------------- PointerChase
+
+PointerChaseGen::PointerChaseGen(const GenConfig &cfg, double cold_frac,
+                                 std::uint64_t hot_bytes)
+    : TraceGenerator(cfg), coldFrac_(cold_frac), hotBytes_(hot_bytes)
+{
+    bmc_assert(hot_bytes >= 4 * kKiB && hot_bytes <= cfg.footprintBytes,
+               "hot region must fit inside the footprint");
+}
+
+Addr
+PointerChaseGen::nextOffset()
+{
+    if (rng_.chance(coldFrac_)) {
+        const std::uint64_t lines = cfg_.footprintBytes / kLineBytes;
+        return rng_.below(lines) * kLineBytes;
+    }
+    const std::uint64_t hot_lines = hotBytes_ / kLineBytes;
+    return rng_.below(hot_lines) * kLineBytes;
+}
+
+std::unique_ptr<TraceGenerator>
+PointerChaseGen::clone() const
+{
+    return std::make_unique<PointerChaseGen>(cfg_, coldFrac_, hotBytes_);
+}
+
+// ------------------------------------------------------------ MultiStream
+
+MultiStreamGen::MultiStreamGen(const GenConfig &cfg, unsigned num_streams)
+    : TraceGenerator(cfg), numStreams_(num_streams)
+{
+    bmc_assert(num_streams >= 1, "need at least one stream");
+    // Each internal stream starts at a seeded random point of its
+    // region so the streams do not alias to one cache set.
+    const Addr span = cfg.footprintBytes / num_streams;
+    for (unsigned i = 0; i < num_streams; ++i) {
+        const Addr jitter =
+            rng_.below(span / kLineBytes) * kLineBytes;
+        pos_.push_back(static_cast<Addr>(i) * span + jitter);
+    }
+}
+
+Addr
+MultiStreamGen::nextOffset()
+{
+    const Addr off = pos_[cur_];
+    pos_[cur_] = (pos_[cur_] + kLineBytes) % cfg_.footprintBytes;
+    cur_ = (cur_ + 1) % numStreams_;
+    return off;
+}
+
+std::unique_ptr<TraceGenerator>
+MultiStreamGen::clone() const
+{
+    return std::make_unique<MultiStreamGen>(cfg_, numStreams_);
+}
+
+// -------------------------------------------------------------- PhaseMix
+
+PhaseMixGen::PhaseMixGen(const GenConfig &cfg,
+                         std::unique_ptr<TraceGenerator> a,
+                         std::unique_ptr<TraceGenerator> b,
+                         std::uint64_t phase_len)
+    : TraceGenerator(cfg), a_(std::move(a)), b_(std::move(b)),
+      phaseLen_(phase_len)
+{
+    bmc_assert(phase_len > 0, "phase length must be positive");
+}
+
+Addr
+PhaseMixGen::nextOffset()
+{
+    TraceGenerator &child =
+        ((count_ / phaseLen_) % 2 == 0) ? *a_ : *b_;
+    ++count_;
+    return child.nextOffset();
+}
+
+std::string
+PhaseMixGen::name() const
+{
+    return "mix(" + a_->name() + "," + b_->name() + ")";
+}
+
+std::unique_ptr<TraceGenerator>
+PhaseMixGen::clone() const
+{
+    return std::make_unique<PhaseMixGen>(cfg_, a_->clone(), b_->clone(),
+                                         phaseLen_);
+}
+
+} // namespace bmc::trace

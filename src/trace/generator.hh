@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Synthetic CPU access-trace generators.
+ *
+ * The paper drives its evaluation with SPEC CPU2000/2006
+ * multiprogrammed traces. Those traces are not redistributable, so
+ * this reproduction replaces them with seeded synthetic generators
+ * that expose, as explicit parameters, exactly the behavioural axes
+ * the paper's mechanisms key off:
+ *
+ *  - spatial utilization of 512 B regions (Fig 2): controlled by the
+ *    access pattern (streaming touches 8/8 sub-blocks, a 256 B
+ *    stride touches 2/8, random touches 1/8, ...);
+ *  - temporal locality / MRU concentration (Fig 5): controlled by
+ *    Zipf page popularity and scan-reuse region sizes;
+ *  - memory intensity (Table V's "*" workloads): controlled by the
+ *    mean instruction gap between memory accesses and the footprint
+ *    relative to cache capacity.
+ *
+ * Every generator is deterministic given its seed; clone() restarts
+ * the identical stream, which the ANTT runner uses to replay a
+ * program standalone and inside a multiprogrammed mix.
+ *
+ * Records are emitted at 64 B line granularity: each record is one
+ * demand access to a line, which is the granularity at which the L1
+ * and LLSC models operate.
+ */
+
+#ifndef BMC_TRACE_GENERATOR_HH
+#define BMC_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace bmc::trace
+{
+
+/** One CPU-level memory access plus the instruction gap before it. */
+struct TraceRecord
+{
+    std::uint32_t gap = 0; //!< non-memory instructions before access
+    Addr addr = 0;         //!< byte address (64 B aligned)
+    bool write = false;
+};
+
+/** Shared knobs for every generator. */
+struct GenConfig
+{
+    Addr base = 0;                  //!< start of this program's region
+    std::uint64_t footprintBytes = 64 * kMiB;
+    double writeFrac = 0.25;        //!< fraction of accesses that write
+    double meanGap = 6.0;           //!< mean instructions between
+                                    //!< memory accesses
+    std::uint64_t seed = 1;
+};
+
+/** Abstract deterministic trace source. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const GenConfig &cfg);
+    virtual ~TraceGenerator() = default;
+
+    /** Produce the next access. Overridable so file-replay sources
+     *  can return recorded gaps/writes verbatim. */
+    virtual TraceRecord next();
+
+    /** A fresh generator that replays this stream from the start. */
+    virtual std::unique_ptr<TraceGenerator> clone() const = 0;
+
+    virtual std::string name() const = 0;
+
+    const GenConfig &config() const { return cfg_; }
+
+    /** Pattern-specific address production (64 B aligned offset
+     *  within [0, footprintBytes)). Exposed so that composite
+     *  generators (PhaseMixGen) can drive children directly. */
+    virtual Addr nextOffset() = 0;
+
+  protected:
+    GenConfig cfg_;
+    Rng rng_;
+
+  private:
+    std::uint32_t drawGap();
+};
+
+/**
+ * Sequential unit-stride stream: 8/8 sub-block utilization.
+ *
+ * An optional medium-range reuse component re-reads a line from the
+ * recently-streamed window with probability @p reuse_prob --
+ * SPEC-like streaming kernels revisit recent data (beyond the LLSC
+ * but within the DRAM cache), which gives even 64 B organizations a
+ * non-trivial hit rate.
+ */
+class StreamGen : public TraceGenerator
+{
+  public:
+    explicit StreamGen(const GenConfig &cfg, double reuse_prob = 0.0,
+                       std::uint64_t window_bytes = 0);
+    std::unique_ptr<TraceGenerator> clone() const override;
+    std::string name() const override { return "stream"; }
+
+  protected:
+    Addr nextOffset() override;
+
+  private:
+    double reuseProb_;
+    std::uint64_t windowBytes_;
+    Addr pos_ = 0;
+};
+
+/** Fixed-stride walker: utilization = 512 / stride sub-blocks. */
+class StrideGen : public TraceGenerator
+{
+  public:
+    StrideGen(const GenConfig &cfg, std::uint32_t stride_bytes);
+    std::unique_ptr<TraceGenerator> clone() const override;
+    std::string name() const override;
+
+  protected:
+    Addr nextOffset() override;
+
+  private:
+    std::uint32_t stride_;
+    Addr pos_ = 0;
+};
+
+/** Uniform random lines: 1/8 utilization, no temporal reuse. */
+class RandomGen : public TraceGenerator
+{
+  public:
+    explicit RandomGen(const GenConfig &cfg);
+    std::unique_ptr<TraceGenerator> clone() const override;
+    std::string name() const override { return "random"; }
+
+  protected:
+    Addr nextOffset() override;
+};
+
+/**
+ * Zipf-popular 4 KB pages with short sequential runs inside a page:
+ * high temporal locality on hot pages, moderate-to-high spatial
+ * utilization (run length is configurable).
+ */
+class ZipfGen : public TraceGenerator
+{
+  public:
+    ZipfGen(const GenConfig &cfg, double alpha, unsigned max_run);
+    std::unique_ptr<TraceGenerator> clone() const override;
+    std::string name() const override { return "zipf"; }
+
+  protected:
+    Addr nextOffset() override;
+
+  private:
+    double alpha_;
+    unsigned maxRun_;
+    ZipfSampler zipf_;
+    Addr curPage_ = 0;
+    unsigned runLeft_ = 0;
+    Addr runPos_ = 0;
+};
+
+/**
+ * Repeated sequential scans over a region that is larger than the
+ * LLSC but fits in the DRAM cache: steady DRAM-cache hits with full
+ * spatial utilization.
+ */
+class ScanReuseGen : public TraceGenerator
+{
+  public:
+    ScanReuseGen(const GenConfig &cfg);
+    std::unique_ptr<TraceGenerator> clone() const override;
+    std::string name() const override { return "scan_reuse"; }
+
+  protected:
+    Addr nextOffset() override;
+
+  private:
+    Addr pos_ = 0;
+};
+
+/**
+ * Pointer-chase style: random walk inside a small hot region (mostly
+ * LLSC-resident) with occasional jumps into a large cold region --
+ * low memory intensity, poor spatial locality on the cold accesses.
+ */
+class PointerChaseGen : public TraceGenerator
+{
+  public:
+    PointerChaseGen(const GenConfig &cfg, double cold_frac,
+                    std::uint64_t hot_bytes);
+    std::unique_ptr<TraceGenerator> clone() const override;
+    std::string name() const override { return "ptr_chase"; }
+
+  protected:
+    Addr nextOffset() override;
+
+  private:
+    double coldFrac_;
+    std::uint64_t hotBytes_;
+};
+
+/** Round-robin over several independent sequential streams. */
+class MultiStreamGen : public TraceGenerator
+{
+  public:
+    MultiStreamGen(const GenConfig &cfg, unsigned num_streams);
+    std::unique_ptr<TraceGenerator> clone() const override;
+    std::string name() const override { return "multi_stream"; }
+
+  protected:
+    Addr nextOffset() override;
+
+  private:
+    unsigned numStreams_;
+    std::vector<Addr> pos_;
+    unsigned cur_ = 0;
+};
+
+/** Alternates between two child patterns in fixed-length phases. */
+class PhaseMixGen : public TraceGenerator
+{
+  public:
+    PhaseMixGen(const GenConfig &cfg,
+                std::unique_ptr<TraceGenerator> a,
+                std::unique_ptr<TraceGenerator> b,
+                std::uint64_t phase_len);
+    std::unique_ptr<TraceGenerator> clone() const override;
+    std::string name() const override;
+
+  protected:
+    Addr nextOffset() override;
+
+  private:
+    std::unique_ptr<TraceGenerator> a_;
+    std::unique_ptr<TraceGenerator> b_;
+    std::uint64_t phaseLen_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace bmc::trace
+
+#endif // BMC_TRACE_GENERATOR_HH

@@ -1,0 +1,219 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::trace
+{
+
+namespace
+{
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+constexpr std::size_t kRecordBytes = 12;
+
+void
+packRecord(const TraceRecord &rec, unsigned char out[kRecordBytes])
+{
+    const std::uint32_t gap = rec.gap;
+    out[0] = static_cast<unsigned char>(gap);
+    out[1] = static_cast<unsigned char>(gap >> 8);
+    out[2] = static_cast<unsigned char>(gap >> 16);
+    out[3] = static_cast<unsigned char>(gap >> 24);
+    out[4] = rec.write ? 1 : 0;
+    // 56-bit line number covers a 2^62-byte address space.
+    const std::uint64_t line = rec.addr / kLineBytes;
+    bmc_assert(line < (1ULL << 56), "address out of format range");
+    for (int i = 0; i < 7; ++i)
+        out[5 + i] = static_cast<unsigned char>(line >> (8 * i));
+}
+
+TraceRecord
+unpackRecord(const unsigned char in[kRecordBytes])
+{
+    TraceRecord rec;
+    rec.gap = static_cast<std::uint32_t>(in[0]) |
+              (static_cast<std::uint32_t>(in[1]) << 8) |
+              (static_cast<std::uint32_t>(in[2]) << 16) |
+              (static_cast<std::uint32_t>(in[3]) << 24);
+    rec.write = (in[4] & 1) != 0;
+    std::uint64_t line = 0;
+    for (int i = 0; i < 7; ++i)
+        line |= static_cast<std::uint64_t>(in[5 + i]) << (8 * i);
+    rec.addr = line * kLineBytes;
+    return rec;
+}
+
+void
+put32(std::FILE *f, std::uint32_t v)
+{
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    std::fwrite(b, 1, 4, f);
+}
+
+void
+put64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    std::fwrite(b, 1, 8, f);
+}
+
+std::uint32_t
+get32(const unsigned char *b)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+get64(const unsigned char *b)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        bmc_fatal("cannot open trace file '%s' for writing",
+                  path.c_str());
+    writeHeader();
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::writeHeader()
+{
+    std::fseek(file_, 0, SEEK_SET);
+    put32(file_, kTraceMagic);
+    put32(file_, kTraceVersion);
+    put64(file_, count_);
+    put64(file_, 0); // base-address hint (reserved)
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    bmc_assert(file_ != nullptr, "append after close");
+    unsigned char buf[kRecordBytes];
+    packRecord(rec, buf);
+    if (std::fwrite(buf, 1, kRecordBytes, file_) != kRecordBytes)
+        bmc_fatal("short write to trace file '%s'", path_.c_str());
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    writeHeader(); // patch the final record count
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+std::shared_ptr<TraceFile>
+TraceFile::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        bmc_fatal("cannot open trace file '%s'", path.c_str());
+
+    unsigned char header[kHeaderBytes];
+    if (std::fread(header, 1, kHeaderBytes, f) != kHeaderBytes) {
+        std::fclose(f);
+        bmc_fatal("trace file '%s' truncated header", path.c_str());
+    }
+    if (get32(header) != kTraceMagic) {
+        std::fclose(f);
+        bmc_fatal("'%s' is not a BMCT trace file", path.c_str());
+    }
+    if (get32(header + 4) != kTraceVersion) {
+        std::fclose(f);
+        bmc_fatal("trace file '%s' has unsupported version %u",
+                  path.c_str(), get32(header + 4));
+    }
+    const std::uint64_t count = get64(header + 8);
+    if (count == 0) {
+        std::fclose(f);
+        bmc_fatal("trace file '%s' holds no records", path.c_str());
+    }
+
+    auto out = std::shared_ptr<TraceFile>(new TraceFile());
+    out->records_.reserve(count);
+    unsigned char buf[kRecordBytes];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(buf, 1, kRecordBytes, f) != kRecordBytes) {
+            std::fclose(f);
+            bmc_fatal("trace file '%s' truncated at record %llu",
+                      path.c_str(),
+                      static_cast<unsigned long long>(i));
+        }
+        out->records_.push_back(unpackRecord(buf));
+    }
+    std::fclose(f);
+    return out;
+}
+
+FileTraceGen::FileTraceGen(std::shared_ptr<TraceFile> file,
+                           const GenConfig &cfg)
+    : TraceGenerator(cfg), file_(std::move(file))
+{
+    bmc_assert(file_ && !file_->records().empty(),
+               "empty trace file");
+}
+
+TraceRecord
+FileTraceGen::nextRecord()
+{
+    TraceRecord rec = file_->records()[pos_];
+    pos_ = (pos_ + 1) % file_->records().size();
+    rec.addr += cfg_.base; // relocate into this program's region
+    return rec;
+}
+
+Addr
+FileTraceGen::nextOffset()
+{
+    // Only used via the base-class path; prefer nextRecord().
+    return file_->records()[pos_].addr % cfg_.footprintBytes;
+}
+
+std::unique_ptr<TraceGenerator>
+FileTraceGen::clone() const
+{
+    return std::make_unique<FileTraceGen>(file_, cfg_);
+}
+
+std::uint64_t
+recordTrace(TraceGenerator &gen, std::uint64_t records,
+            const std::string &path)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < records; ++i) {
+        TraceRecord rec = gen.next();
+        rec.addr -= gen.config().base; // store program-relative
+        writer.append(rec);
+    }
+    writer.close();
+    return writer.recordsWritten();
+}
+
+} // namespace bmc::trace

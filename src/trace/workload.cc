@@ -1,0 +1,355 @@
+#include "trace/workload.hh"
+
+#include "trace/trace_file.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace bmc::trace
+{
+
+namespace
+{
+
+/** Each program lives in its own 64 GB address-space slice. */
+constexpr Addr kProgramSpan = 64 * kGiB;
+
+std::vector<BenchmarkInfo>
+buildRegistry()
+{
+    std::vector<BenchmarkInfo> r;
+
+    auto add = [&r](std::string name, double fp, double gap, double wf,
+                    std::string desc, auto factory) {
+        r.push_back({std::move(name), fp, gap, wf, std::move(desc),
+                     std::move(factory)});
+    };
+
+    add("stream_w", 3.0, 80.0, 0.30,
+        "write-allocating unit-stride stream with medium-range "
+        "reuse; 8/8 utilization, memory-intense",
+        [](const GenConfig &c) {
+            return std::make_unique<StreamGen>(c, 0.30);
+        });
+
+    add("stream_r", 3.0, 90.0, 0.05,
+        "read-mostly unit-stride stream with medium-range reuse; "
+        "8/8 utilization",
+        [](const GenConfig &c) {
+            return std::make_unique<StreamGen>(c, 0.25);
+        });
+
+    add("stride2", 2.0, 60.0, 0.20,
+        "128 B stride; touches 4 of 8 sub-blocks per 512 B region",
+        [](const GenConfig &c) {
+            return std::make_unique<StrideGen>(c, 128);
+        });
+
+    add("stride4", 2.0, 60.0, 0.20,
+        "256 B stride; touches 2 of 8 sub-blocks per 512 B region",
+        [](const GenConfig &c) {
+            return std::make_unique<StrideGen>(c, 256);
+        });
+
+    add("stride8", 3.0, 60.0, 0.15,
+        "512 B stride; 1/8 utilization, memory-intense",
+        [](const GenConfig &c) {
+            return std::make_unique<StrideGen>(c, 512);
+        });
+
+    add("rand_big", 4.0, 60.0, 0.25,
+        "uniform random over 4x-capacity footprint; 1/8 utilization, "
+        "memory-intense",
+        [](const GenConfig &c) { return std::make_unique<RandomGen>(c); });
+
+    add("rand_res", 0.5, 60.0, 0.25,
+        "skewed random reuse over a DRAM-cache-resident footprint "
+        "(SPEC-like resident working set)",
+        [](const GenConfig &c) {
+            return std::make_unique<ZipfGen>(c, 0.7, 2);
+        });
+
+    add("zipf_hot", 2.0, 35.0, 0.25,
+        "highly-skewed page popularity with sequential runs; hot "
+        "pages become fully-utilized big blocks",
+        [](const GenConfig &c) {
+            return std::make_unique<ZipfGen>(c, 0.95, 8);
+        });
+
+    add("zipf_cold", 3.0, 60.0, 0.25,
+        "mildly-skewed page popularity, short runs; mixed "
+        "utilization, memory-intense",
+        [](const GenConfig &c) {
+            return std::make_unique<ZipfGen>(c, 0.6, 3);
+        });
+
+    add("scan_llc", 0.25, 35.0, 0.10,
+        "repeated scans of a region larger than the LLSC but "
+        "DRAM-cache resident; steady DRAM-cache hits",
+        [](const GenConfig &c) {
+            return std::make_unique<ScanReuseGen>(c);
+        });
+
+    add("ptr_chase", 2.0, 80.0, 0.10,
+        "pointer-chase: LLSC-resident hot set with 20% cold random "
+        "jumps; low intensity, poor spatial locality",
+        [](const GenConfig &c) {
+            return std::make_unique<PointerChaseGen>(
+                c, 0.20, std::max<std::uint64_t>(c.footprintBytes / 64,
+                                                 64 * kKiB));
+        });
+
+    add("multi4", 3.0, 90.0, 0.20,
+        "four interleaved sequential streams; bank-parallel, "
+        "memory-intense, 8/8 utilization",
+        [](const GenConfig &c) {
+            return std::make_unique<MultiStreamGen>(c, 4);
+        });
+
+    add("mix_sr", 2.0, 60.0, 0.25,
+        "phase-alternating stream / random; time-varying utilization "
+        "that exercises bi-modal adaptation",
+        [](const GenConfig &c) {
+            auto a = std::make_unique<StreamGen>(c);
+            GenConfig cb = c;
+            cb.seed = c.seed ^ 0x9e37ULL;
+            auto b = std::make_unique<RandomGen>(cb);
+            return std::make_unique<PhaseMixGen>(c, std::move(a),
+                                                 std::move(b), 200000);
+        });
+
+    add("mix_zs", 2.0, 55.0, 0.25,
+        "phase-alternating zipf / 256 B stride; mixed utilization",
+        [](const GenConfig &c) {
+            auto a = std::make_unique<ZipfGen>(c, 0.9, 6);
+            GenConfig cb = c;
+            cb.seed = c.seed ^ 0x79b9ULL;
+            auto b = std::make_unique<StrideGen>(cb, 256);
+            return std::make_unique<PhaseMixGen>(c, std::move(a),
+                                                 std::move(b), 150000);
+        });
+
+    add("wr_log", 2.0, 90.0, 0.70,
+        "write-dominated streaming with light reuse (log/append "
+        "behaviour)",
+        [](const GenConfig &c) {
+            return std::make_unique<StreamGen>(c, 0.15);
+        });
+
+    return r;
+}
+
+std::vector<WorkloadSpec>
+buildQuad()
+{
+    // Mixes span high (marked), moderate and low memory intensity
+    // and deliberately combine full-utilization programs with
+    // sparse-utilization ones, mirroring the behavioural spread of
+    // the paper's Table V quad-core mixes.
+    return {
+        {"Q1", {"stream_w", "stream_r", "multi4", "stream_w"}, true},
+        {"Q2", {"stream_r", "scan_llc", "stream_r", "zipf_hot"}, false},
+        {"Q3", {"rand_big", "rand_big", "stride8", "zipf_cold"}, true},
+        {"Q4", {"scan_llc", "zipf_hot", "scan_llc", "stream_r"}, false},
+        {"Q5", {"zipf_hot", "zipf_hot", "stream_r", "scan_llc"}, false},
+        {"Q6", {"stride2", "stride4", "stream_w", "rand_res"}, false},
+        {"Q7", {"rand_big", "stride4", "ptr_chase", "zipf_cold"}, true},
+        {"Q8", {"stride8", "rand_big", "stride4", "mix_sr"}, true},
+        {"Q9", {"stream_w", "rand_big", "zipf_hot", "stride2"}, true},
+        {"Q10", {"ptr_chase", "rand_res", "scan_llc", "zipf_hot"}, false},
+        {"Q11", {"mix_sr", "mix_zs", "stream_r", "stride4"}, false},
+        {"Q12", {"wr_log", "stream_w", "zipf_cold", "multi4"}, true},
+        {"Q13", {"zipf_hot", "stride2", "scan_llc", "ptr_chase"}, false},
+        {"Q14", {"stream_r", "stream_r", "zipf_hot", "zipf_hot"}, false},
+        {"Q15", {"rand_big", "zipf_cold", "rand_big", "stride8"}, true},
+        {"Q16", {"multi4", "scan_llc", "mix_zs", "stream_w"}, true},
+        {"Q17", {"stream_w", "multi4", "stream_r", "scan_llc"}, true},
+        {"Q18", {"ptr_chase", "ptr_chase", "rand_res", "scan_llc"}, false},
+        {"Q19", {"stride4", "stride8", "rand_big", "rand_res"}, true},
+        {"Q20", {"zipf_hot", "wr_log", "stride2", "mix_sr"}, false},
+        {"Q21", {"mix_sr", "rand_big", "scan_llc", "stream_w"}, true},
+        {"Q22", {"zipf_cold", "zipf_cold", "zipf_hot", "zipf_hot"}, false},
+        {"Q23", {"stride8", "stride4", "stride2", "rand_big"}, true},
+        {"Q24", {"scan_llc", "rand_res", "zipf_hot", "stream_r"}, false},
+    };
+}
+
+std::vector<WorkloadSpec>
+buildEight()
+{
+    return {
+        {"E1",
+         {"stream_w", "stream_r", "multi4", "zipf_hot", "stream_w",
+          "scan_llc", "stride2", "stream_r"},
+         true},
+        {"E2",
+         {"zipf_hot", "scan_llc", "stream_r", "rand_res", "zipf_hot",
+          "ptr_chase", "scan_llc", "stream_r"},
+         false},
+        {"E3",
+         {"rand_big", "stride8", "zipf_cold", "rand_big", "stride4",
+          "mix_sr", "rand_big", "stride8"},
+         true},
+        {"E4",
+         {"stride2", "stride4", "stream_w", "rand_res", "mix_zs",
+          "zipf_hot", "stride2", "scan_llc"},
+         false},
+        {"E5",
+         {"stream_w", "rand_big", "zipf_hot", "stride4", "wr_log",
+          "multi4", "zipf_cold", "mix_sr"},
+         true},
+        {"E6",
+         {"ptr_chase", "rand_res", "scan_llc", "zipf_hot", "ptr_chase",
+          "stream_r", "rand_res", "zipf_hot"},
+         false},
+        {"E7",
+         {"rand_big", "rand_big", "stride8", "zipf_cold", "rand_big",
+          "stride8", "zipf_cold", "rand_big"},
+         true},
+        {"E8",
+         {"mix_sr", "mix_zs", "stream_r", "stride2", "zipf_hot",
+          "scan_llc", "multi4", "wr_log"},
+         false},
+        {"E9",
+         {"stream_w", "stream_w", "stream_r", "stream_r", "multi4",
+          "multi4", "wr_log", "scan_llc"},
+         true},
+        {"E10",
+         {"zipf_hot", "zipf_hot", "zipf_cold", "zipf_cold", "rand_res",
+          "rand_res", "scan_llc", "scan_llc"},
+         false},
+        {"E11",
+         {"rand_big", "stride4", "rand_big", "stride8", "mix_sr",
+          "zipf_cold", "rand_big", "mix_zs"},
+         true},
+        {"E12",
+         {"stream_w", "zipf_hot", "rand_big", "stride2", "scan_llc",
+          "ptr_chase", "multi4", "zipf_cold"},
+         true},
+        {"E13",
+         {"ptr_chase", "scan_llc", "ptr_chase", "rand_res", "zipf_hot",
+          "stream_r", "ptr_chase", "scan_llc"},
+         false},
+        {"E14",
+         {"wr_log", "wr_log", "stream_w", "multi4", "stride8",
+          "rand_big", "zipf_cold", "mix_sr"},
+         true},
+        {"E15",
+         {"stride2", "stride2", "stride4", "stride4", "stride8",
+          "stride8", "stream_r", "zipf_hot"},
+         true},
+        {"E16",
+         {"mix_zs", "mix_sr", "zipf_hot", "scan_llc", "rand_res",
+          "stream_r", "stride2", "ptr_chase"},
+         false},
+    };
+}
+
+std::vector<WorkloadSpec>
+buildSixteen()
+{
+    // 16-core mixes are concatenations of complementary 8-core
+    // behaviour groups.
+    auto eight = buildEight();
+    std::vector<WorkloadSpec> out;
+    auto combine = [&](const char *name, const WorkloadSpec &a,
+                       const WorkloadSpec &b, bool intense) {
+        WorkloadSpec w;
+        w.name = name;
+        w.programs = a.programs;
+        w.programs.insert(w.programs.end(), b.programs.begin(),
+                          b.programs.end());
+        w.highIntensity = intense;
+        out.push_back(std::move(w));
+    };
+    combine("S1", eight[0], eight[2], true);
+    combine("S2", eight[1], eight[3], false);
+    combine("S3", eight[4], eight[6], true);
+    combine("S4", eight[5], eight[7], false);
+    combine("S5", eight[8], eight[10], true);
+    combine("S6", eight[9], eight[12], false);
+    combine("S7", eight[11], eight[14], true);
+    combine("S8", eight[13], eight[15], true);
+    return out;
+}
+
+} // anonymous namespace
+
+const std::vector<BenchmarkInfo> &
+benchmarkRegistry()
+{
+    static const std::vector<BenchmarkInfo> registry = buildRegistry();
+    return registry;
+}
+
+const BenchmarkInfo &
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : benchmarkRegistry())
+        if (b.name == name)
+            return b;
+    bmc_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+const std::vector<WorkloadSpec> &
+workloadTable(unsigned cores)
+{
+    static const std::vector<WorkloadSpec> quad = buildQuad();
+    static const std::vector<WorkloadSpec> eight = buildEight();
+    static const std::vector<WorkloadSpec> sixteen = buildSixteen();
+    switch (cores) {
+      case 4:
+        return quad;
+      case 8:
+        return eight;
+      case 16:
+        return sixteen;
+      default:
+        bmc_fatal("no workload table for %u cores", cores);
+    }
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (unsigned cores : {4u, 8u, 16u})
+        for (const auto &w : workloadTable(cores))
+            if (w.name == name)
+                return w;
+    bmc_fatal("unknown workload '%s'", name.c_str());
+}
+
+std::unique_ptr<TraceGenerator>
+makeProgram(const std::string &bench, CoreId core,
+            std::uint64_t dram_cache_bytes, std::uint64_t seed)
+{
+    // "file:<path>" replays a recorded binary trace (trace_file.hh)
+    // instead of a synthetic archetype.
+    if (bench.rfind("file:", 0) == 0) {
+        const std::string path = bench.substr(5);
+        GenConfig cfg;
+        cfg.base = static_cast<Addr>(core) * kProgramSpan;
+        cfg.footprintBytes = dram_cache_bytes * 8;
+        cfg.seed = seed;
+        return std::make_unique<FileTraceGen>(TraceFile::load(path),
+                                              cfg);
+    }
+
+    const BenchmarkInfo &info = findBenchmark(bench);
+    GenConfig cfg;
+    cfg.base = static_cast<Addr>(core) * kProgramSpan;
+    cfg.footprintBytes = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            info.footprintFactor * static_cast<double>(dram_cache_bytes)),
+        1 * kMiB);
+    // Keep footprints line-aligned powers-of-two-ish (round to 64 B).
+    cfg.footprintBytes = roundDown(cfg.footprintBytes, kLineBytes);
+    cfg.writeFrac = info.writeFrac;
+    cfg.meanGap = info.meanGap;
+    cfg.seed = mix64(seed ^ (0x1234ULL + core) * 0x9e3779b97f4a7c15ULL);
+    return info.make(cfg);
+}
+
+} // namespace bmc::trace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Named synthetic benchmarks and multiprogrammed workload mixes.
+ *
+ * Stands in for Table V of the paper (SPEC 2000/2006 mixes). Each
+ * benchmark is an access-pattern archetype with a footprint sized
+ * relative to the DRAM cache capacity, so that scaled-down
+ * experiment configurations preserve the paper's footprint:capacity
+ * pressure (~4-8x for the memory-intense programs). Workload mixes
+ * are composed to span high / moderate / low memory intensity, as
+ * the paper's mixes were.
+ */
+
+#ifndef BMC_TRACE_WORKLOAD_HH
+#define BMC_TRACE_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hh"
+
+namespace bmc::trace
+{
+
+/** A named synthetic benchmark archetype. */
+struct BenchmarkInfo
+{
+    std::string name;
+    /** Footprint as a multiple of DRAM cache capacity. */
+    double footprintFactor;
+    /** Mean non-memory instructions between accesses. */
+    double meanGap;
+    double writeFrac;
+    /** Short description of the behaviour it models. */
+    std::string desc;
+    std::function<std::unique_ptr<TraceGenerator>(const GenConfig &)>
+        make;
+};
+
+/** All registered benchmarks. */
+const std::vector<BenchmarkInfo> &benchmarkRegistry();
+
+/** Find a benchmark by name; fatal if unknown. */
+const BenchmarkInfo &findBenchmark(const std::string &name);
+
+/** A multiprogrammed mix: one benchmark per core. */
+struct WorkloadSpec
+{
+    std::string name;            //!< Q*/E*/S* identifier
+    std::vector<std::string> programs;
+    bool highIntensity = false;  //!< the paper's "*" marking
+};
+
+/**
+ * The workload table for a core count (4, 8 or 16), mirroring the
+ * structure of the paper's Table V (fewer mixes; documented in
+ * DESIGN.md).
+ */
+const std::vector<WorkloadSpec> &workloadTable(unsigned cores);
+
+/** Look up one workload by name across all tables. */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+/**
+ * Instantiate the generator for one program of a workload.
+ *
+ * @param bench            benchmark name
+ * @param core             core index (determines the disjoint
+ *                         address-space base)
+ * @param dram_cache_bytes capacity used to scale the footprint
+ * @param seed             experiment seed (combined with core)
+ */
+std::unique_ptr<TraceGenerator>
+makeProgram(const std::string &bench, CoreId core,
+            std::uint64_t dram_cache_bytes, std::uint64_t seed);
+
+} // namespace bmc::trace
+
+#endif // BMC_TRACE_WORKLOAD_HH

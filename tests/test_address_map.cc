@@ -1,0 +1,87 @@
+/** @file Tests for DRAM address interleaving. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "dram/address_map.hh"
+
+namespace bmc::dram
+{
+namespace
+{
+
+TEST(AddressMap, PageLocalAddressesShareLocation)
+{
+    AddressMap map(2048, 2, 8);
+    const Location a = map.locate(0x10000);
+    const Location b = map.locate(0x10000 + 2047);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+}
+
+TEST(AddressMap, ConsecutivePagesStripeChannelsFirst)
+{
+    AddressMap map(2048, 2, 8);
+    const Location p0 = map.locate(0);
+    const Location p1 = map.locate(2048);
+    EXPECT_NE(p0.channel, p1.channel);
+    EXPECT_EQ(p0.bank, p1.bank);
+    EXPECT_EQ(p0.row, p1.row);
+}
+
+TEST(AddressMap, BanksAdvanceAfterChannels)
+{
+    AddressMap map(2048, 2, 8);
+    const Location p2 = map.locate(2 * 2048);
+    EXPECT_EQ(p2.channel, 0u);
+    EXPECT_EQ(p2.bank, 1u);
+    EXPECT_EQ(p2.row, 0u);
+}
+
+TEST(AddressMap, RowAdvancesLast)
+{
+    AddressMap map(2048, 2, 8);
+    const Addr one_row_span = 2048ULL * 2 * 8;
+    const Location p = map.locate(one_row_span);
+    EXPECT_EQ(p.channel, 0u);
+    EXPECT_EQ(p.bank, 0u);
+    EXPECT_EQ(p.row, 1u);
+}
+
+TEST(AddressMap, PageOffset)
+{
+    AddressMap map(2048, 1, 1);
+    EXPECT_EQ(map.pageOffset(0), 0u);
+    EXPECT_EQ(map.pageOffset(100), 100u);
+    EXPECT_EQ(map.pageOffset(2048 + 5), 5u);
+}
+
+class MapCoverage
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(MapCoverage, AllBanksUsedUniformly)
+{
+    const auto [channels, banks] = GetParam();
+    AddressMap map(2048, channels, banks);
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (Addr page = 0; page < channels * banks * 4; ++page) {
+        const Location loc = map.locate(page * 2048);
+        EXPECT_LT(loc.channel, channels);
+        EXPECT_LT(loc.bank, banks);
+        seen.insert({loc.channel, loc.bank});
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(channels) * banks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MapCoverage,
+    ::testing::Values(std::pair{1u, 8u}, std::pair{2u, 8u},
+                      std::pair{4u, 16u}, std::pair{8u, 8u}));
+
+} // anonymous namespace
+} // namespace bmc::dram

@@ -1,0 +1,334 @@
+/** @file Tests for the Bi-Modal Cache organization: Table II
+ *  transitions, predictor-driven fills, locator integration, dirty
+ *  sub-block writebacks and the paper's invariants. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dramcache/bimodal/bimodal_cache.hh"
+
+namespace bmc::dramcache
+{
+namespace
+{
+
+BiModalCache::Params
+params(std::uint64_t capacity = 1 * kMiB, bool locator = true,
+       std::uint64_t epoch = 1000)
+{
+    BiModalCache::Params p;
+    p.name = "bm";
+    p.capacityBytes = capacity;
+    p.setBytes = 2048;
+    p.bigBlockBytes = 512;
+    p.layout.pageBytes = 2048;
+    p.layout.channels = 2;
+    p.layout.banksPerChannel = 8;
+    p.useWayLocator = locator;
+    p.locatorIndexBits = 10;
+    p.addressBits = 34;
+    p.predictor.indexBits = 16; // avoid aliasing in unit tests
+    p.predictor.sampleEvery = 1; // track every set in unit tests
+    p.global.epochAccesses = epoch;
+    return p;
+}
+
+/** Frame-aligned address of frame f within set s of @p org. */
+Addr
+frameAddr(const BiModalCache &org, std::uint64_t set,
+          std::uint64_t k)
+{
+    return (k * org.numSets() + set) * 512;
+}
+
+TEST(BiModal, StartsAllBig)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(), sg);
+    for (std::uint64_t s = 0; s < org.numSets(); s += 17) {
+        const auto [x, y] = org.setState(s);
+        EXPECT_EQ(x, 4u);
+        EXPECT_EQ(y, 0u);
+    }
+    EXPECT_EQ(org.stateSpace().maxAssoc(), 18u);
+}
+
+TEST(BiModal, FirstFillIsBig512)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(), sg);
+    const auto r = org.access(0x10040, false);
+    EXPECT_FALSE(r.hit);
+    ASSERT_EQ(r.fill.fetches.size(), 1u);
+    EXPECT_EQ(r.fill.fetches[0].addr, 0x10000u);
+    EXPECT_EQ(r.fill.fetches[0].bytes, 512u);
+}
+
+TEST(BiModal, SpatialHitsAfterBigFill)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(), sg);
+    org.access(0x10000, false);
+    for (Addr off = kLineBytes; off < 512; off += kLineBytes) {
+        const auto r = org.access(0x10000 + off, false);
+        EXPECT_TRUE(r.hit);
+        EXPECT_EQ(r.data.bytes, kLineBytes);
+    }
+}
+
+TEST(BiModal, MetadataDescriptorMatchesPaper)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(1 * kMiB, false), sg);
+    // After converting to (2,16), 18 tags need two bursts.
+    auto r = org.access(0x0, false);
+    EXPECT_TRUE(r.tag.needed);
+    EXPECT_EQ(r.tag.bytes, kLineBytes)
+        << "an all-big (4,0) set's tags fit one 64 B burst";
+    EXPECT_TRUE(r.tag.parallelData)
+        << "tag read overlaps the data-row activation";
+    EXPECT_FALSE(r.tag.sameRowAsData)
+        << "metadata lives in its own bank";
+
+    // Drive one set into the (2,16) state and confirm the read
+    // grows to the paper's two bursts (128 B).
+    Rng rng(101);
+    for (int i = 0; i < 60000; ++i)
+        org.access(rng.below(1ULL << 15) * kLineBytes, false);
+    bool saw_two_burst = false;
+    for (int i = 0; i < 2000 && !saw_two_burst; ++i) {
+        const auto r2 =
+            org.access(rng.below(1ULL << 15) * kLineBytes, false);
+        if (r2.tag.needed &&
+            r2.tag.bytes == BiModalCache::kMetaBytesPerSet)
+            saw_two_burst = true;
+    }
+    EXPECT_TRUE(saw_two_burst);
+}
+
+TEST(BiModal, LocatorHitEliminatesMetadataRead)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(), sg);
+    org.access(0x10000, false);
+    const auto r = org.access(0x10040, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.sramTagHit);
+    EXPECT_FALSE(r.tag.needed);
+    EXPECT_TRUE(r.backgroundTags.empty()) << "clean read: no update";
+}
+
+TEST(BiModal, WriteHitUpdatesDirtyBitsOffCriticalPath)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(), sg);
+    org.access(0x10000, false);
+    auto r = org.access(0x10040, true);
+    EXPECT_TRUE(r.sramTagHit);
+    ASSERT_EQ(r.backgroundTags.size(), 1u);
+    EXPECT_TRUE(r.backgroundTags[0].isWrite);
+    // Re-dirtying the same sub-block needs no further update.
+    r = org.access(0x10040, true);
+    EXPECT_TRUE(r.backgroundTags.empty());
+}
+
+TEST(BiModal, DirtySubBlocksOnlyWrittenBack)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(64 * kKiB, false), sg);
+    const std::uint64_t set = 3;
+    org.access(frameAddr(org, set, 0) + 0 * kLineBytes, true);
+    org.access(frameAddr(org, set, 0) + 3 * kLineBytes, true);
+    org.access(frameAddr(org, set, 0) + 5 * kLineBytes, false);
+    // Evict frame 0 by filling the other three big ways and then
+    // missing again (random-not-recent may pick any non-MRU way, so
+    // loop until frame 0 is gone).
+    std::uint64_t k = 1;
+    LookupResult evict;
+    while (org.probe(frameAddr(org, set, 0))) {
+        evict = org.access(frameAddr(org, set, k++), false);
+    }
+    std::uint64_t wb = 0;
+    for (const auto &w : evict.fill.writebacks)
+        wb += w.bytes;
+    EXPECT_EQ(wb, 2 * kLineBytes);
+}
+
+TEST(BiModal, GlobalAdaptsToSparseDemand)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(64 * kKiB, false, 500), sg);
+    Rng rng(7);
+    // Random single-line traffic over a large footprint: big blocks
+    // evict with utilization 1, training the predictor small and
+    // driving the global state toward (2,16).
+    for (int i = 0; i < 60000; ++i) {
+        const Addr a = rng.below(1ULL << 15) * kLineBytes;
+        org.access(a, false);
+    }
+    EXPECT_EQ(org.globalState().xGlob(), 2u);
+    EXPECT_EQ(org.globalState().yGlob(), 16u);
+    EXPECT_GT(org.stats().hits.value(), 0u);
+    // Sets followed the global state.
+    unsigned converted = 0;
+    for (std::uint64_t s = 0; s < org.numSets(); ++s)
+        converted += org.setState(s).first < 4;
+    EXPECT_GT(converted, org.numSets() / 2);
+    // And most fills became small.
+    EXPECT_GT(org.smallAccessFraction(), 0.0);
+}
+
+TEST(BiModal, TableIIConvertBigWayToSmalls)
+{
+    // Force the global state small-ward, then miss with a small
+    // prediction in an all-big set: the highest big way converts to
+    // 8 small slots (Table II row 3, predicted-small column).
+    stats::StatGroup sg("t");
+    BiModalCache org(params(64 * kKiB, false, 100), sg);
+    Rng rng(11);
+    for (int i = 0; i < 30000; ++i)
+        org.access(rng.below(1ULL << 15) * kLineBytes, false);
+    ASSERT_EQ(org.globalState().xGlob(), 2u);
+    // Find a still-all-big set, if any; otherwise states converted.
+    bool found_transition = false;
+    for (std::uint64_t s = 0; s < org.numSets(); ++s) {
+        const auto [x, y] = org.setState(s);
+        if (x < 4) {
+            found_transition = true;
+            EXPECT_EQ(y, (4 - x) * 8u);
+        }
+    }
+    EXPECT_TRUE(found_transition);
+}
+
+TEST(BiModal, SmallFillFetches64B)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(64 * kKiB, false, 100), sg);
+    Rng rng(13);
+    for (int i = 0; i < 30000; ++i)
+        org.access(rng.below(1ULL << 15) * kLineBytes, false);
+    // Now predicted-small misses fetch single lines.
+    std::uint64_t before = org.stats().offchipFetchBytes.value();
+    const auto r = org.access((1ULL << 16) * kLineBytes + 0x40, false);
+    const std::uint64_t fetched =
+        org.stats().offchipFetchBytes.value() - before;
+    if (!r.fill.fetches.empty() &&
+        r.fill.fetches[0].bytes == kLineBytes) {
+        EXPECT_EQ(fetched, kLineBytes);
+    }
+    SUCCEED();
+}
+
+TEST(BiModal, BigFillEvictsOverlappingSmalls)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(64 * kKiB, false, 100), sg);
+    Rng rng(17);
+    // Drive to the small-heavy regime.
+    for (int i = 0; i < 30000; ++i)
+        org.access(rng.below(1ULL << 15) * kLineBytes, false);
+    // Then a frame whose lines were cached small gets re-fetched
+    // big after heavy full-frame use; probe never double-counts --
+    // the internal never-wrong assert would fire on duplicates.
+    for (int round = 0; round < 3; ++round) {
+        for (Addr off = 0; off < 512; off += kLineBytes)
+            org.access((1ULL << 20) + off, false);
+    }
+    SUCCEED();
+}
+
+TEST(BiModal, Fig10SmallAccessFractionTracksWorkload)
+{
+    // A fully-streaming workload keeps small-access fraction ~0.
+    stats::StatGroup sg("t");
+    BiModalCache org(params(64 * kKiB, false, 1000), sg);
+    for (Addr a = 0; a < 2 * kMiB; a += kLineBytes)
+        org.access(a, false);
+    EXPECT_LT(org.smallAccessFraction(), 0.05);
+}
+
+TEST(BiModal, UtilizationHistogramFig2)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(64 * kKiB, false), sg);
+    // Stream fully through twice the capacity: evicted big blocks
+    // all have 8/8 utilization.
+    for (Addr a = 0; a < 2 * kMiB; a += kLineBytes)
+        org.access(a, false);
+    EXPECT_GT(org.utilizationFraction(8), 0.95);
+}
+
+TEST(BiModal, StatsConservation)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(), sg);
+    Rng rng(23);
+    for (int i = 0; i < 50000; ++i)
+        org.access(rng.below(1ULL << 16) * kLineBytes,
+                   rng.chance(0.25));
+    const auto &s = org.stats();
+    EXPECT_EQ(s.hits.value() + s.misses.value(), s.accesses.value());
+    EXPECT_GE(s.offchipFetchBytes.value(), s.misses.value() * 64);
+}
+
+TEST(BiModal, ProbeAgreesWithHits)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(), sg);
+    org.access(0x20000, false);
+    EXPECT_TRUE(org.probe(0x20000));
+    EXPECT_TRUE(org.probe(0x20000 + 448)); // same frame
+    EXPECT_FALSE(org.probe(0x20000 + 512));
+}
+
+TEST(BiModal, LocatorNeverWrongUnderStress)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(256 * kKiB, true, 200), sg);
+    Rng rng(29);
+    // Mixed streaming/random traffic exercises big/small fills, set
+    // state changes and locator insert/remove; the internal assert
+    // enforces the never-wrong property on every hit.
+    for (int i = 0; i < 300000; ++i) {
+        Addr a;
+        if (rng.chance(0.5)) {
+            a = (i % (1 << 14)) * kLineBytes; // cyclic stream
+        } else {
+            a = rng.below(1ULL << 15) * kLineBytes;
+        }
+        org.access(a, rng.chance(0.3));
+    }
+    ASSERT_NE(org.wayLocator(), nullptr);
+    EXPECT_GT(org.wayLocator()->hitRate(), 0.05);
+}
+
+TEST(BiModal, SramBudgetIsSmall)
+{
+    stats::StatGroup sg("t");
+    BiModalCache org(params(), sg);
+    // Way locator + predictor + tracker must stay well under the
+    // multi-megabyte tags-in-SRAM alternative.
+    EXPECT_LT(org.sramBytes(), 256 * kKiB);
+    EXPECT_GT(org.sramBytes(), 0u);
+}
+
+TEST(BiModal, BiggerSetGeometry4KB)
+{
+    auto p = params(1 * kMiB, false);
+    p.setBytes = 4096;
+    stats::StatGroup sg("t");
+    BiModalCache org(p, sg);
+    EXPECT_EQ(org.stateSpace().maxBig(), 8u);
+    EXPECT_EQ(org.stateSpace().maxAssoc(), 36u);
+    // Functional sanity at the larger geometry.
+    Rng rng(31);
+    for (int i = 0; i < 50000; ++i)
+        org.access(rng.below(1ULL << 15) * kLineBytes,
+                   rng.chance(0.2));
+    const auto &s = org.stats();
+    EXPECT_EQ(s.hits.value() + s.misses.value(), s.accesses.value());
+}
+
+} // anonymous namespace
+} // namespace bmc::dramcache

@@ -1,0 +1,123 @@
+/** @file Unit tests for common/bitops.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace bmc
+{
+namespace
+{
+
+TEST(Bitops, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0ULL);
+    EXPECT_EQ(mask(1), 1ULL);
+    EXPECT_EQ(mask(8), 0xFFULL);
+    EXPECT_EQ(mask(63), 0x7FFFFFFFFFFFFFFFULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(mask(100), ~0ULL);
+}
+
+TEST(Bitops, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xABCD, 7, 0), 0xCDULL);
+    EXPECT_EQ(bits(0xABCD, 15, 8), 0xABULL);
+    EXPECT_EQ(bits(0xABCD, 3, 0), 0xDULL);
+    EXPECT_EQ(bits(0xF0, 7, 4), 0xFULL);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(bits(0b1010, 1, 1), 1ULL);
+}
+
+TEST(Bitops, InsertBitsRoundTrip)
+{
+    const std::uint64_t v = insertBits(0, 15, 8, 0xAB);
+    EXPECT_EQ(bits(v, 15, 8), 0xABULL);
+    EXPECT_EQ(bits(v, 7, 0), 0ULL);
+    // Overwrite preserves surrounding bits.
+    const std::uint64_t w = insertBits(0xFFFF, 11, 4, 0);
+    EXPECT_EQ(w, 0xF00FULL);
+}
+
+TEST(Bitops, PowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(Bitops, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(log2Exact(512), 9u);
+    EXPECT_EQ(log2Exact(1ULL << 33), 33u);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0ULL);
+    EXPECT_EQ(divCeil(1, 4), 1ULL);
+    EXPECT_EQ(divCeil(4, 4), 1ULL);
+    EXPECT_EQ(divCeil(5, 4), 2ULL);
+    EXPECT_EQ(divCeil(72, 32), 3ULL);
+}
+
+TEST(Bitops, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 64), 0ULL);
+    EXPECT_EQ(roundUp(1, 64), 64ULL);
+    EXPECT_EQ(roundUp(64, 64), 64ULL);
+    EXPECT_EQ(roundUp(65, 64), 128ULL);
+    EXPECT_EQ(roundDown(63, 64), 0ULL);
+    EXPECT_EQ(roundDown(64, 64), 64ULL);
+    EXPECT_EQ(roundDown(130, 64), 128ULL);
+}
+
+TEST(Bitops, Mix64IsBijectiveOnSamples)
+{
+    // mix64 is a bijection; distinct inputs must map to distinct
+    // outputs, and outputs should differ from inputs (diffusion).
+    std::uint64_t prev = mix64(0);
+    for (std::uint64_t i = 1; i < 1000; ++i) {
+        const std::uint64_t m = mix64(i);
+        EXPECT_NE(m, prev);
+        EXPECT_NE(m, i);
+        prev = m;
+    }
+}
+
+TEST(Bitops, FoldBitsStaysInRange)
+{
+    for (unsigned nbits = 4; nbits <= 20; nbits += 4) {
+        for (std::uint64_t v :
+             {0ULL, 1ULL, 0xDEADBEEFULL, ~0ULL, 1ULL << 63}) {
+            EXPECT_LE(foldBits(v, nbits), mask(nbits));
+        }
+    }
+}
+
+class BitsRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitsRoundTrip, ExtractInsertIdentity)
+{
+    const unsigned first = GetParam();
+    const unsigned last = first + 7;
+    const std::uint64_t pattern = 0x5A;
+    const std::uint64_t v = insertBits(0, last, first, pattern);
+    EXPECT_EQ(bits(v, last, first), pattern);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOffsets, BitsRoundTrip,
+                         ::testing::Values(0u, 4u, 9u, 16u, 31u, 40u,
+                                           55u));
+
+} // anonymous namespace
+} // namespace bmc

@@ -1,0 +1,61 @@
+/** @file Tests for the CactiLite SRAM model (paper calibration). */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+#include "sram/cacti_lite.hh"
+
+namespace bmc::sram
+{
+namespace
+{
+
+TEST(CactiLite, PaperCalibrationPoints)
+{
+    // Table III: way locator sizes up to ~86 KB are 1 cycle, the
+    // 278-311 KB range is 2 cycles.
+    EXPECT_EQ(CactiLite::latencyCycles(6 * kKiB), 1u);
+    EXPECT_EQ(CactiLite::latencyCycles(78 * kKiB), 1u);
+    EXPECT_EQ(CactiLite::latencyCycles(86 * kKiB), 1u);
+    EXPECT_EQ(CactiLite::latencyCycles(279 * kKiB), 2u);
+    EXPECT_EQ(CactiLite::latencyCycles(312 * kKiB), 2u);
+    // Section III-C: 1/2/4 MB tag stores cost 6/7/9 cycles.
+    EXPECT_EQ(CactiLite::latencyCycles(1 * kMiB), 6u);
+    EXPECT_EQ(CactiLite::latencyCycles(2 * kMiB), 7u);
+    EXPECT_EQ(CactiLite::latencyCycles(4 * kMiB), 9u);
+}
+
+TEST(CactiLite, MonotonicInSize)
+{
+    unsigned prev = 0;
+    for (std::uint64_t size = 1 * kKiB; size <= 64 * kMiB; size *= 2) {
+        const unsigned lat = CactiLite::latencyCycles(size);
+        EXPECT_GE(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST(CactiLite, ExtrapolatesPast4MiB)
+{
+    EXPECT_EQ(CactiLite::latencyCycles(8 * kMiB), 11u);
+    EXPECT_EQ(CactiLite::latencyCycles(16 * kMiB), 13u);
+}
+
+TEST(CactiLite, EnergyScalesWithSqrtSize)
+{
+    const double e64 = CactiLite::accessEnergyPj(64 * kKiB);
+    const double e256 = CactiLite::accessEnergyPj(256 * kKiB);
+    EXPECT_NEAR(e256 / e64, 2.0, 1e-9);
+    EXPECT_GT(e64, 0.0);
+}
+
+TEST(CactiLite, EstimateBundlesFields)
+{
+    const auto est = CactiLite::estimate(128 * kKiB);
+    EXPECT_EQ(est.sizeBytes, 128 * kKiB);
+    EXPECT_EQ(est.latencyCycles, 1u);
+    EXPECT_GT(est.accessEnergyPj, 0.0);
+}
+
+} // anonymous namespace
+} // namespace bmc::sram

@@ -1,0 +1,210 @@
+/** @file Timing tests for the command-granularity DRAM channel. */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/command_channel.hh"
+#include "dram/dram_system.hh"
+
+namespace bmc::dram
+{
+namespace
+{
+
+class CommandChannelTest : public ::testing::Test
+{
+  protected:
+    CommandChannelTest() : sg_("test")
+    {
+        params_ = TimingParams::stacked(1, 8);
+        params_.refreshEnabled = false;
+        params_.commandLevel = true;
+        channel_ =
+            std::make_unique<CommandChannel>(eq_, params_, 0, sg_);
+    }
+
+    Tick
+    readLatency(unsigned bank, std::uint64_t row,
+                std::uint32_t bytes = 64, bool write = false)
+    {
+        Tick done = 0;
+        Request req;
+        req.loc = {0, bank, row};
+        req.kind = write ? ReqKind::Write : ReqKind::Read;
+        req.bytes = bytes;
+        const Tick start = eq_.now();
+        req.onComplete = [&](Tick t) { done = t; };
+        channel_->enqueue(std::move(req));
+        eq_.run();
+        return done - start;
+    }
+
+    EventQueue eq_;
+    stats::StatGroup sg_;
+    TimingParams params_;
+    std::unique_ptr<CommandChannel> channel_;
+};
+
+TEST_F(CommandChannelTest, ColdReadLatency)
+{
+    // ACT at t=0, RD at tRCD, data at +tCL, burst.
+    const Tick expected = params_.toTicks(params_.tRCD + params_.tCL) +
+                          params_.transferTicks(64);
+    EXPECT_EQ(readLatency(0, 5), expected);
+}
+
+TEST_F(CommandChannelTest, RowHitReuse)
+{
+    readLatency(0, 5);
+    const Tick hit = readLatency(0, 5);
+    EXPECT_EQ(hit,
+              params_.toTicks(params_.tCL) + params_.transferTicks(64));
+    EXPECT_EQ(channel_->dataRowHits(), 1u);
+}
+
+TEST_F(CommandChannelTest, RowConflictNeedsPreActCas)
+{
+    readLatency(0, 5);
+    const Tick conflict = readLatency(0, 6);
+    const Tick min_expected =
+        params_.toTicks(params_.tRP + params_.tRCD + params_.tCL) +
+        params_.transferTicks(64);
+    EXPECT_GE(conflict, min_expected);
+    EXPECT_EQ(channel_->activity().precharges, 1u);
+}
+
+TEST_F(CommandChannelTest, FourActivateWindow)
+{
+    // Five cold reads to five banks: the 5th ACT must respect tFAW
+    // from the 1st; with tRRD * 4 < tFAW the 5th completion shifts.
+    std::vector<Tick> done(5, 0);
+    for (unsigned b = 0; b < 5; ++b) {
+        Request req;
+        req.loc = {0, b, 1};
+        req.onComplete = [&done, b](Tick t) { done[b] = t; };
+        channel_->enqueue(std::move(req));
+    }
+    eq_.run();
+    // First ACT at ~0; the 5th no earlier than tFAW.
+    const Tick faw = params_.toTicks(params_.tFAW);
+    const Tick fifth_min = faw +
+                           params_.toTicks(params_.tRCD + params_.tCL) +
+                           params_.transferTicks(64);
+    EXPECT_GE(done[4], fifth_min);
+}
+
+TEST_F(CommandChannelTest, ActToActRespectsTrrd)
+{
+    Tick done0 = 0, done1 = 0;
+    for (unsigned b = 0; b < 2; ++b) {
+        Request req;
+        req.loc = {0, b, 1};
+        req.onComplete = [&, b](Tick t) { (b ? done1 : done0) = t; };
+        channel_->enqueue(std::move(req));
+    }
+    eq_.run();
+    // Bank 1's ACT is delayed by at least tRRD relative to bank 0's.
+    EXPECT_GE(done1, done0);
+    EXPECT_GE(done1 - done0, params_.toTicks(params_.tRRD) -
+                                 params_.transferTicks(64));
+}
+
+TEST_F(CommandChannelTest, WriteToReadTurnaround)
+{
+    // Write then read to the same open row: the read column command
+    // must wait tWTR after the write burst ends.
+    readLatency(0, 7);            // open the row
+    readLatency(0, 7, 64, true);  // write burst
+    const Tick read_lat = readLatency(0, 7);
+    const Tick plain_hit =
+        params_.toTicks(params_.tCL) + params_.transferTicks(64);
+    EXPECT_GE(read_lat, plain_hit + params_.toTicks(params_.tWTR) -
+                            params_.toTicks(1));
+}
+
+TEST_F(CommandChannelTest, DemandBeatsBackground)
+{
+    Tick demand_done = 0;
+    Tick last_low = 0;
+    for (int i = 0; i < 10; ++i) {
+        Request low;
+        low.loc = {0, static_cast<unsigned>(i % 4), 100};
+        low.lowPriority = true;
+        low.onComplete = [&](Tick t) { last_low = std::max(last_low, t); };
+        channel_->enqueue(std::move(low));
+    }
+    Request demand;
+    demand.loc = {0, 6, 42};
+    demand.onComplete = [&](Tick t) { demand_done = t; };
+    channel_->enqueue(std::move(demand));
+    eq_.run();
+    EXPECT_LT(demand_done, last_low);
+}
+
+TEST_F(CommandChannelTest, StatsConservation)
+{
+    for (int i = 0; i < 50; ++i)
+        readLatency(static_cast<unsigned>(i % 8),
+                    static_cast<std::uint64_t>(i % 3), 64, i % 4 == 0);
+    EXPECT_EQ(channel_->dataAccesses(), 50u);
+    EXPECT_EQ(channel_->activity().columnReads +
+                  channel_->activity().columnWrites,
+              50u);
+}
+
+TEST(CommandChannelSystem, DramSystemSelectsModelByFlag)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    auto params = TimingParams::stacked(2, 8);
+    params.commandLevel = true;
+    DramSystem sys(eq, params, "stacked", sg);
+
+    Tick done = 0;
+    Request req;
+    req.loc = {1, 3, 9};
+    req.onComplete = [&](Tick t) { done = t; };
+    sys.enqueue(std::move(req));
+    eq.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(sys.totalActivity().columnReads, 1u);
+}
+
+TEST(CommandChannelCompare, ModelsAgreeOnUnloadedLatency)
+{
+    // Both models must produce identical unloaded row-hit and
+    // row-miss read latencies; the command model only diverges under
+    // load (tFAW/tWTR and command-bus pressure).
+    auto run = [](bool command_level) {
+        EventQueue eq;
+        stats::StatGroup sg("t");
+        auto params = TimingParams::stacked(1, 8);
+        params.refreshEnabled = false;
+        params.commandLevel = command_level;
+        DramSystem sys(eq, params, "s", sg);
+        std::pair<Tick, Tick> out{0, 0};
+        Tick done = 0;
+        Request a;
+        a.loc = {0, 0, 4};
+        a.onComplete = [&](Tick t) { done = t; };
+        sys.enqueue(std::move(a));
+        eq.run();
+        out.first = done;
+        const Tick start = eq.now();
+        Request b;
+        b.loc = {0, 0, 4};
+        b.onComplete = [&](Tick t) { done = t; };
+        sys.enqueue(std::move(b));
+        eq.run();
+        out.second = done - start;
+        return out;
+    };
+    const auto reservation = run(false);
+    const auto command = run(true);
+    EXPECT_EQ(reservation.first, command.first) << "cold miss";
+    EXPECT_EQ(reservation.second, command.second) << "row hit";
+}
+
+} // anonymous namespace
+} // namespace bmc::dram

@@ -1,0 +1,238 @@
+/** @file Timing tests for the banked DRAM channel model. */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/channel.hh"
+
+namespace bmc::dram
+{
+namespace
+{
+
+/** Fixture with one stacked-DRAM channel and no refresh noise. */
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    ChannelTest() : sg_("test")
+    {
+        params_ = TimingParams::stacked(1, 8);
+        params_.refreshEnabled = false;
+        channel_ = std::make_unique<Channel>(eq_, params_, 0, sg_);
+    }
+
+    /** Issue a read and run to completion; returns service ticks. */
+    Tick
+    readLatency(unsigned bank, std::uint64_t row,
+                std::uint32_t bytes = 64, bool meta = false)
+    {
+        Tick done = 0;
+        Request req;
+        req.loc = {0, bank, row};
+        req.kind = ReqKind::Read;
+        req.bytes = bytes;
+        req.isMetadata = meta;
+        const Tick start = eq_.now();
+        req.onComplete = [&](Tick t) { done = t; };
+        channel_->enqueue(std::move(req));
+        eq_.run();
+        return done - start;
+    }
+
+    EventQueue eq_;
+    stats::StatGroup sg_;
+    TimingParams params_;
+    std::unique_ptr<Channel> channel_;
+};
+
+TEST_F(ChannelTest, ColdReadPaysActPlusCasPlusBurst)
+{
+    // Closed bank: ACT (tRCD) + CAS (tCL) + 64 B burst.
+    const Tick expected = params_.toTicks(params_.tRCD + params_.tCL) +
+                          params_.transferTicks(64);
+    EXPECT_EQ(readLatency(0, 5), expected);
+}
+
+TEST_F(ChannelTest, RowHitSkipsActivation)
+{
+    readLatency(0, 5);
+    const Tick hit = readLatency(0, 5);
+    const Tick expected =
+        params_.toTicks(params_.tCL) + params_.transferTicks(64);
+    EXPECT_EQ(hit, expected);
+}
+
+TEST_F(ChannelTest, RowConflictPaysPrecharge)
+{
+    readLatency(0, 5);
+    const Tick conflict = readLatency(0, 6);
+    // PRE may additionally wait for tRAS since the prior ACT.
+    const Tick min_expected =
+        params_.toTicks(params_.tRP + params_.tRCD + params_.tCL) +
+        params_.transferTicks(64);
+    EXPECT_GE(conflict, min_expected);
+}
+
+TEST_F(ChannelTest, RowHitStatsSplitByMetadata)
+{
+    readLatency(0, 5);
+    readLatency(0, 5);
+    readLatency(1, 9, 64, true);
+    readLatency(1, 9, 64, true);
+    EXPECT_EQ(channel_->dataAccesses(), 2u);
+    EXPECT_EQ(channel_->metaAccesses(), 2u);
+    EXPECT_DOUBLE_EQ(channel_->dataRowHitRate(), 0.5);
+    EXPECT_DOUBLE_EQ(channel_->metaRowHitRate(), 0.5);
+}
+
+TEST_F(ChannelTest, LargerBurstsTakeLonger)
+{
+    const Tick small = readLatency(0, 1);
+    const Tick big = readLatency(1, 1, 512);
+    EXPECT_EQ(big - small, params_.transferTicks(512) -
+                               params_.transferTicks(64));
+}
+
+TEST_F(ChannelTest, BankParallelismBeatsSameBankSerialization)
+{
+    // Two reads to different banks overlap bank preparation; two
+    // row-conflicting reads to one bank cannot.
+    Tick done_parallel = 0;
+    for (unsigned bank : {0u, 1u}) {
+        Request req;
+        req.loc = {0, bank, 3};
+        req.onComplete = [&](Tick t) {
+            done_parallel = std::max(done_parallel, t);
+        };
+        channel_->enqueue(std::move(req));
+    }
+    eq_.run();
+
+    Channel other(eq_, params_, 1, sg_);
+    Tick done_serial = 0;
+    const Tick base = eq_.now();
+    for (std::uint64_t row : {3ULL, 4ULL}) {
+        Request req;
+        req.loc = {0, 2, row};
+        req.onComplete = [&](Tick t) {
+            done_serial = std::max(done_serial, t);
+        };
+        other.enqueue(std::move(req));
+    }
+    eq_.run();
+    EXPECT_LT(done_parallel, done_serial - base);
+}
+
+TEST_F(ChannelTest, ActivateOnlyOpensIdleBankRow)
+{
+    Request act;
+    act.loc = {0, 4, 7};
+    act.kind = ReqKind::ActivateOnly;
+    channel_->enqueue(std::move(act));
+    eq_.run();
+    // A subsequent read to the same row must be a row hit.
+    readLatency(4, 7);
+    EXPECT_EQ(channel_->dataRowHits(), 1u);
+}
+
+TEST_F(ChannelTest, ActivateOnlyQueuesBehindRowHitDemand)
+{
+    // A speculative activate of a different row competes through
+    // FR-FCFS: the pending row-hit read is served first (unharmed),
+    // then the activate opens its row for the later data access.
+    readLatency(4, 7);
+    Tick read_done = 0;
+    Request busy;
+    busy.loc = {0, 4, 7};
+    busy.onComplete = [&](Tick t) { read_done = t; };
+    channel_->enqueue(std::move(busy));
+    Request act;
+    act.loc = {0, 4, 9};
+    act.kind = ReqKind::ActivateOnly;
+    Tick act_done = 0;
+    act.onComplete = [&](Tick t) { act_done = t; };
+    channel_->enqueue(std::move(act));
+    eq_.run();
+    // The row-7 read was a row hit despite the pending activate...
+    EXPECT_EQ(channel_->dataRowHits(), 1u);
+    EXPECT_LT(read_done, act_done);
+    // ...and row 9 is open afterwards: reading it is a row hit.
+    readLatency(4, 9);
+    EXPECT_EQ(channel_->dataRowHits(), 2u);
+}
+
+TEST_F(ChannelTest, DemandBeatsLowPriority)
+{
+    // Fill the queue with low-priority requests, then add a demand
+    // read; the demand read must complete before the later
+    // low-priority ones despite arriving last.
+    Tick demand_done = 0;
+    Tick last_low_done = 0;
+    for (int i = 0; i < 12; ++i) {
+        Request low;
+        low.loc = {0, static_cast<unsigned>(i % 4), 100};
+        low.lowPriority = true;
+        low.onComplete = [&](Tick t) {
+            last_low_done = std::max(last_low_done, t);
+        };
+        channel_->enqueue(std::move(low));
+    }
+    Request demand;
+    demand.loc = {0, 6, 42};
+    demand.onComplete = [&](Tick t) { demand_done = t; };
+    channel_->enqueue(std::move(demand));
+    eq_.run();
+    EXPECT_LT(demand_done, last_low_done);
+}
+
+TEST(ChannelRefresh, RefreshClosesRowsAndCharges)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    TimingParams params = TimingParams::stacked(1, 4);
+    Channel ch(eq, params, 0, sg);
+
+    // Open a row, then access it again after tREFI has elapsed: the
+    // refresh must have closed it (row miss).
+    Tick done = 0;
+    Request r1;
+    r1.loc = {0, 0, 3};
+    r1.onComplete = [&](Tick t) { done = t; };
+    ch.enqueue(std::move(r1));
+    eq.run();
+
+    const Tick after_refresh =
+        params.toTicks(params.tREFI) + params.toTicks(params.tRFC);
+    eq.scheduleAt(after_refresh, [] {});
+    eq.run();
+
+    Request r2;
+    r2.loc = {0, 0, 3};
+    ch.enqueue(std::move(r2));
+    eq.run();
+    EXPECT_EQ(ch.dataRowHits(), 0u);
+    EXPECT_GE(ch.activity().refreshes, 1u);
+}
+
+TEST(ChannelWrites, WritesCountedSeparately)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    TimingParams params = TimingParams::stacked(1, 4);
+    params.refreshEnabled = false;
+    Channel ch(eq, params, 0, sg);
+
+    Request w;
+    w.loc = {0, 0, 1};
+    w.kind = ReqKind::Write;
+    w.bytes = 128;
+    ch.enqueue(std::move(w));
+    eq.run();
+    EXPECT_EQ(ch.activity().columnWrites, 1u);
+    EXPECT_EQ(ch.activity().bytesWritten, 128u);
+    EXPECT_EQ(ch.activity().bytesRead, 0u);
+}
+
+} // anonymous namespace
+} // namespace bmc::dram

@@ -1,0 +1,201 @@
+/** @file Tests for the parametric fixed-block organization,
+ *  including the Fig 1 / Fig 2 / Fig 5 trackers and the
+ *  Way-Locator-Only configuration. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dramcache/fixed.hh"
+
+namespace bmc::dramcache
+{
+namespace
+{
+
+FixedOrg::Params
+params(std::uint32_t block = 512, unsigned assoc = 4,
+       FixedOrg::TagStore tags = FixedOrg::TagStore::DramSeparate,
+       bool locator = false, std::uint64_t capacity = 1 * kMiB)
+{
+    FixedOrg::Params p;
+    p.name = "fx";
+    p.capacityBytes = capacity;
+    p.blockBytes = block;
+    p.assoc = assoc;
+    p.tags = tags;
+    p.layout.pageBytes = 2048;
+    p.layout.channels = 2;
+    p.layout.banksPerChannel = 8;
+    p.useWayLocator = locator;
+    p.locatorIndexBits = 8;
+    p.addressBits = 32;
+    return p;
+}
+
+TEST(Fixed, MissFillsWholeBlock)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512), sg);
+    const auto r = org.access(0x10040, false);
+    EXPECT_FALSE(r.hit);
+    ASSERT_EQ(r.fill.fetches.size(), 1u);
+    EXPECT_EQ(r.fill.fetches[0].addr, 0x10000u);
+    EXPECT_EQ(r.fill.fetches[0].bytes, 512u);
+    EXPECT_EQ(r.fill.fillWrite.bytes, 512u);
+}
+
+TEST(Fixed, SpatialHitsWithinBlock)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512), sg);
+    org.access(0x10000, false);
+    for (Addr off = kLineBytes; off < 512; off += kLineBytes)
+        EXPECT_TRUE(org.access(0x10000 + off, false).hit);
+}
+
+TEST(Fixed, SeparateTagsParallelData)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512, 4, FixedOrg::TagStore::DramSeparate), sg);
+    const auto r = org.access(0x0, false);
+    EXPECT_TRUE(r.tag.needed);
+    EXPECT_TRUE(r.tag.parallelData);
+    EXPECT_FALSE(r.tag.sameRowAsData);
+    EXPECT_EQ(r.tag.bytes, kLineBytes); // 4 tags round to one burst
+}
+
+TEST(Fixed, ColocatedTagsShareRow)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512, 4, FixedOrg::TagStore::DramColocated),
+                 sg);
+    const auto r = org.access(0x0, false);
+    EXPECT_TRUE(r.tag.needed);
+    EXPECT_TRUE(r.tag.sameRowAsData);
+    EXPECT_FALSE(r.tag.parallelData);
+}
+
+TEST(Fixed, SramTagsNeedNoDramTagAccess)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512, 4, FixedOrg::TagStore::Sram), sg);
+    const auto r = org.access(0x0, false);
+    EXPECT_FALSE(r.tag.needed);
+    EXPECT_TRUE(r.sramTagHit);
+    EXPECT_GT(r.sramCycles, 0u);
+    EXPECT_GT(org.sramBytes(), 0u);
+}
+
+TEST(Fixed, UtilizationHistogramFig2)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512, 1, FixedOrg::TagStore::Sram, false,
+                        64 * kKiB),
+                 sg);
+    // Touch 2 of 8 sub-blocks of one block, then evict it with a
+    // conflicting block (direct-mapped).
+    org.access(0x0, false);
+    org.access(0x100, false);
+    org.access(64 * kKiB, false); // conflict
+    EXPECT_DOUBLE_EQ(org.utilizationFraction(2), 1.0);
+    EXPECT_DOUBLE_EQ(org.utilizationFraction(8), 0.0);
+    // Wasted bytes = 6 unused sub-blocks.
+    EXPECT_EQ(org.stats().wastedFetchBytes.value(), 6u * kLineBytes);
+}
+
+TEST(Fixed, DirtySubBlockWritebacksCoalesce)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512, 1, FixedOrg::TagStore::Sram, false,
+                        64 * kKiB),
+                 sg);
+    org.access(0x0, true);              // sub 0 dirty
+    org.access(0x40, true);             // sub 1 dirty
+    org.access(0x180, true);            // sub 6 dirty
+    const auto r = org.access(64 * kKiB, false);
+    ASSERT_EQ(r.fill.writebacks.size(), 2u) << "0-1 coalesce, 6 apart";
+    EXPECT_EQ(r.fill.writebacks[0].bytes, 2 * kLineBytes);
+    EXPECT_EQ(r.fill.writebacks[1].bytes, kLineBytes);
+}
+
+TEST(Fixed, MruHistogramFig5)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(64, 8, FixedOrg::TagStore::Sram, false,
+                        64 * kKiB),
+                 sg);
+    const Addr set_span = org.numSets() * 64;
+    for (int i = 0; i < 8; ++i)
+        org.access(static_cast<Addr>(i) * set_span, false);
+    org.access(7 * set_span, false); // MRU hit
+    EXPECT_DOUBLE_EQ(org.mruHitFraction(0), 1.0);
+    org.access(0, false); // deepest hit
+    EXPECT_DOUBLE_EQ(org.mruHitFraction(7), 0.5);
+}
+
+TEST(Fixed, BlockSizeSweepMissRateFallsForStreams)
+{
+    // The Fig 1 property: for a streaming access pattern the miss
+    // rate roughly halves as the block size doubles.
+    double prev_miss = 1.1;
+    for (std::uint32_t block : {64u, 128u, 256u, 512u, 1024u}) {
+        stats::StatGroup sg("t");
+        FixedOrg org(params(block, 4, FixedOrg::TagStore::Sram, false,
+                            256 * kKiB),
+                     sg);
+        for (Addr a = 0; a < 4 * kMiB; a += kLineBytes)
+            org.access(a, false);
+        const double miss = org.stats().missRate();
+        EXPECT_LT(miss, prev_miss);
+        EXPECT_NEAR(miss, 64.0 / block, 0.02);
+        prev_miss = miss;
+    }
+}
+
+TEST(FixedWithLocator, LocatorHitsOnReuse)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512, 4, FixedOrg::TagStore::DramSeparate,
+                        true),
+                 sg);
+    auto r = org.access(0x0, false); // miss, inserted
+    EXPECT_FALSE(r.sramTagHit);
+    r = org.access(0x40, false); // hit via locator (same frame)
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.sramTagHit);
+    EXPECT_FALSE(r.tag.needed) << "metadata access eliminated";
+    ASSERT_NE(org.wayLocator(), nullptr);
+    EXPECT_EQ(org.wayLocator()->hits(), 1u);
+}
+
+TEST(FixedWithLocator, EvictionRemovesLocatorEntry)
+{
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512, 1, FixedOrg::TagStore::DramSeparate,
+                        true, 64 * kKiB),
+                 sg);
+    org.access(0x0, false);
+    org.access(64 * kKiB, false); // evicts block 0
+    const auto r = org.access(0x0, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.sramTagHit);
+}
+
+TEST(FixedWithLocator, NeverWrongUnderRandomStress)
+{
+    // The org itself asserts the never-wrong invariant internally;
+    // drive a random mixed workload to exercise it.
+    stats::StatGroup sg("t");
+    FixedOrg org(params(512, 4, FixedOrg::TagStore::DramSeparate,
+                        true, 256 * kKiB),
+                 sg);
+    Rng rng(5);
+    for (int i = 0; i < 200000; ++i) {
+        const Addr a = rng.below(2 * kMiB / kLineBytes) * kLineBytes;
+        org.access(a, rng.chance(0.3));
+    }
+    SUCCEED();
+}
+
+} // anonymous namespace
+} // namespace bmc::dramcache

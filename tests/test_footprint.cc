@@ -1,0 +1,155 @@
+/** @file Tests for the Footprint Cache organization. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/footprint.hh"
+
+namespace bmc::dramcache
+{
+namespace
+{
+
+FootprintCache::Params
+params(std::uint64_t capacity = 1 * kMiB, bool bypass = true)
+{
+    FootprintCache::Params p;
+    p.capacityBytes = capacity;
+    p.pageBlockBytes = 2048;
+    p.assoc = 4;
+    p.layout.pageBytes = 2048;
+    p.layout.channels = 2;
+    p.layout.banksPerChannel = 8;
+    p.predictorIndexBits = 14;
+    p.bypassSingletons = bypass;
+    return p;
+}
+
+TEST(Footprint, UnknownPageFetchesWholePage)
+{
+    stats::StatGroup sg("t");
+    FootprintCache fpc(params(), sg);
+    const auto r = fpc.access(0x4000, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.sramTagHit) << "tags in SRAM";
+    EXPECT_GT(r.sramCycles, 0u);
+    std::uint64_t fetched = 0;
+    for (const auto &f : r.fill.fetches)
+        fetched += f.bytes;
+    EXPECT_EQ(fetched, 2048u) << "conservative full-page first fetch";
+}
+
+TEST(Footprint, HitOnFetchedSubBlock)
+{
+    stats::StatGroup sg("t");
+    FootprintCache fpc(params(), sg);
+    fpc.access(0x4000, false);
+    const auto r = fpc.access(0x4000 + 512, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.data.bytes, kLineBytes);
+}
+
+TEST(Footprint, PredictorLearnsFootprintAtEviction)
+{
+    stats::StatGroup sg("t");
+    FootprintCache fpc(params(64 * kKiB, false), sg);
+    const Addr page = 0x0;
+    // Touch only sub-blocks 0 and 1 of the page.
+    fpc.access(page, false);
+    fpc.access(page + kLineBytes, false);
+    // Evict it by filling the set (assoc 4 -> 4 conflicting pages).
+    const Addr set_span = fpc.numSets() * 2048;
+    for (int i = 1; i <= 4; ++i)
+        fpc.access(page + static_cast<Addr>(i) * set_span, false);
+    ASSERT_FALSE(fpc.probe(page));
+    // Re-allocate the page: only the learned footprint (2 lines,
+    // plus the demanded line which is inside it) is fetched.
+    const auto r = fpc.access(page, false);
+    std::uint64_t fetched = 0;
+    for (const auto &f : r.fill.fetches)
+        fetched += f.bytes;
+    EXPECT_EQ(fetched, 2 * kLineBytes);
+}
+
+TEST(Footprint, SubBlockMissFetchesOneLine)
+{
+    stats::StatGroup sg("t");
+    FootprintCache fpc(params(64 * kKiB, false), sg);
+    const Addr page = 0x0;
+    fpc.access(page, false);
+    fpc.access(page + kLineBytes, false);
+    const Addr set_span = fpc.numSets() * 2048;
+    for (int i = 1; i <= 4; ++i)
+        fpc.access(page + static_cast<Addr>(i) * set_span, false);
+    fpc.access(page, false); // refetch with footprint {0,1}
+    // Access an un-fetched sub-block: page-hit but data absent.
+    const auto r = fpc.access(page + 10 * kLineBytes, false);
+    EXPECT_FALSE(r.hit);
+    ASSERT_EQ(r.fill.fetches.size(), 1u);
+    EXPECT_EQ(r.fill.fetches[0].bytes, kLineBytes);
+    EXPECT_EQ(fpc.subBlockMisses(), 1u);
+    // And it is now resident.
+    EXPECT_TRUE(fpc.probe(page + 10 * kLineBytes));
+}
+
+TEST(Footprint, SingletonBypass)
+{
+    stats::StatGroup sg("t");
+    FootprintCache fpc(params(64 * kKiB, true), sg);
+    const Addr page = 0x0;
+    // Train a single-line footprint.
+    fpc.access(page, false);
+    const Addr set_span = fpc.numSets() * 2048;
+    for (int i = 1; i <= 4; ++i)
+        fpc.access(page + static_cast<Addr>(i) * set_span, false);
+    // Re-access: predicted singleton -> bypass, no allocation.
+    const auto r = fpc.access(page, false);
+    EXPECT_TRUE(r.fill.bypass);
+    EXPECT_FALSE(fpc.probe(page));
+    EXPECT_EQ(fpc.stats().bypasses.value(), 1u);
+}
+
+TEST(Footprint, DirtySubBlocksWrittenBackOnly)
+{
+    stats::StatGroup sg("t");
+    FootprintCache fpc(params(64 * kKiB, false), sg);
+    const Addr page = 0x0;
+    fpc.access(page, true);                  // dirty sub 0
+    fpc.access(page + 5 * kLineBytes, true); // dirty sub 5
+    fpc.access(page + 6 * kLineBytes, false);
+    const Addr set_span = fpc.numSets() * 2048;
+    LookupResult evict;
+    for (int i = 1; i <= 4; ++i)
+        evict = fpc.access(page + static_cast<Addr>(i) * set_span,
+                           false);
+    std::uint64_t wb = 0;
+    for (const auto &w : evict.fill.writebacks)
+        wb += w.bytes;
+    EXPECT_EQ(wb, 2 * kLineBytes);
+}
+
+TEST(Footprint, WastedBytesChargedAtEviction)
+{
+    stats::StatGroup sg("t");
+    FootprintCache fpc(params(64 * kKiB, false), sg);
+    const Addr page = 0x0;
+    fpc.access(page, false); // full-page fetch, one line used
+    const Addr set_span = fpc.numSets() * 2048;
+    for (int i = 1; i <= 4; ++i)
+        fpc.access(page + static_cast<Addr>(i) * set_span, false);
+    // 32 lines fetched, 1 used -> 31 wasted.
+    EXPECT_EQ(fpc.stats().wastedFetchBytes.value(),
+              31u * kLineBytes);
+}
+
+TEST(Footprint, StatsConservation)
+{
+    stats::StatGroup sg("t");
+    FootprintCache fpc(params(), sg);
+    for (Addr a = 0; a < 3000 * kLineBytes; a += 2 * kLineBytes)
+        fpc.access(a, a % 3 == 0);
+    const auto &s = fpc.stats();
+    EXPECT_EQ(s.hits.value() + s.misses.value(), s.accesses.value());
+}
+
+} // anonymous namespace
+} // namespace bmc::dramcache

@@ -1,0 +1,102 @@
+/** @file Tests for the stacked-DRAM set/metadata layout. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dramcache/layout.hh"
+
+namespace bmc::dramcache
+{
+namespace
+{
+
+StackedLayout::Params
+params(bool meta_bank, std::uint64_t capacity = 8 * kMiB)
+{
+    StackedLayout::Params p;
+    p.capacityBytes = capacity;
+    p.pageBytes = 2048;
+    p.channels = 2;
+    p.banksPerChannel = 8;
+    p.reserveMetaBank = meta_bank;
+    return p;
+}
+
+TEST(Layout, RowCount)
+{
+    StackedLayout layout(params(false));
+    EXPECT_EQ(layout.numRows(), 8 * kMiB / 2048);
+}
+
+TEST(Layout, MetaBankReducesDataBanks)
+{
+    EXPECT_EQ(StackedLayout(params(false)).dataBanksPerChannel(), 8u);
+    EXPECT_EQ(StackedLayout(params(true)).dataBanksPerChannel(), 7u);
+}
+
+TEST(Layout, RowsStripeChannelsFirst)
+{
+    StackedLayout layout(params(true));
+    const auto r0 = layout.rowLocation(0);
+    const auto r1 = layout.rowLocation(1);
+    const auto r2 = layout.rowLocation(2);
+    EXPECT_EQ(r0.channel, 0u);
+    EXPECT_EQ(r1.channel, 1u);
+    EXPECT_EQ(r2.channel, 0u);
+    EXPECT_EQ(r2.bank, 1u);
+}
+
+TEST(Layout, DataNeverUsesMetadataBank)
+{
+    StackedLayout layout(params(true));
+    for (std::uint64_t r = 0; r < layout.numRows(); ++r)
+        EXPECT_LT(layout.rowLocation(r).bank, 7u);
+}
+
+TEST(Layout, MetadataOnAdjacentChannelReservedBank)
+{
+    StackedLayout layout(params(true));
+    for (std::uint64_t r = 0; r < 64; ++r) {
+        const auto data = layout.rowLocation(r);
+        const auto meta = layout.metaLocation(r, 128);
+        EXPECT_EQ(meta.channel, (data.channel + 1) % 2);
+        EXPECT_EQ(meta.bank, 7u);
+    }
+}
+
+TEST(Layout, MetadataPacksManySetsPerRow)
+{
+    StackedLayout layout(params(true));
+    // 2048/128 = 16 data rows of one channel share a metadata row.
+    std::set<std::uint64_t> meta_rows;
+    for (std::uint64_t r = 0; r < 64; r += 2) // channel-0 rows
+        meta_rows.insert(layout.metaLocation(r, 128).row);
+    EXPECT_EQ(meta_rows.size(), 2u); // 32 rows / 16 per page
+}
+
+TEST(Layout, MetadataDensityBeatsColocated)
+{
+    // The paper's Section III-B.2 argument: a dedicated metadata
+    // page holds 2048/128 = 16 sets' tags, versus 1 set per page
+    // when co-located. Verify the packing arithmetic.
+    StackedLayout layout(params(true));
+    const auto m0 = layout.metaLocation(0, 128);
+    const auto m30 = layout.metaLocation(30, 128);
+    EXPECT_EQ(m0.row, m30.row); // both in the first metadata page
+}
+
+TEST(LayoutDeath, MetaLocationRequiresReservedBank)
+{
+    StackedLayout layout(params(false));
+    EXPECT_DEATH(layout.metaLocation(0, 128), "reserved metadata");
+}
+
+TEST(LayoutDeath, RowOutOfRange)
+{
+    StackedLayout layout(params(true));
+    EXPECT_DEATH(layout.rowLocation(layout.numRows()), "out of range");
+}
+
+} // anonymous namespace
+} // namespace bmc::dramcache

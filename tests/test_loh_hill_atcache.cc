@@ -1,0 +1,144 @@
+/** @file Tests for the Loh-Hill and ATCache organizations. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/atcache.hh"
+#include "dramcache/loh_hill.hh"
+
+namespace bmc::dramcache
+{
+namespace
+{
+
+template <typename P>
+P
+layoutParams(std::uint64_t capacity = 1 * kMiB)
+{
+    P p;
+    p.capacityBytes = capacity;
+    p.layout.pageBytes = 2048;
+    p.layout.channels = 2;
+    p.layout.banksPerChannel = 8;
+    return p;
+}
+
+TEST(LohHill, CompoundAccessDescriptor)
+{
+    stats::StatGroup sg("t");
+    LohHillCache cache(layoutParams<LohHillCache::Params>(), sg);
+    const auto r = cache.access(0x1000, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.tag.needed);
+    EXPECT_EQ(r.tag.bytes, LohHillCache::kTagBytes);
+    EXPECT_TRUE(r.tag.sameRowAsData);
+    EXPECT_FALSE(r.tag.parallelData);
+    EXPECT_EQ(r.sramCycles, 0u) << "no SRAM structures";
+}
+
+TEST(LohHill, HitAfterFill)
+{
+    stats::StatGroup sg("t");
+    LohHillCache cache(layoutParams<LohHillCache::Params>(), sg);
+    cache.access(0x1000, false);
+    const auto r = cache.access(0x1000, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.tag.needed) << "tags always read from DRAM";
+    EXPECT_EQ(r.data.bytes, kLineBytes);
+}
+
+TEST(LohHill, TwentyNineWaysPerSet)
+{
+    stats::StatGroup sg("t");
+    LohHillCache cache(layoutParams<LohHillCache::Params>(), sg);
+    const Addr set_span = cache.numSets() * kLineBytes;
+    // 29 conflicting blocks all fit; the 30th evicts the LRU.
+    for (unsigned i = 0; i < LohHillCache::kWays; ++i)
+        cache.access(i * set_span, false);
+    for (unsigned i = 0; i < LohHillCache::kWays; ++i)
+        EXPECT_TRUE(cache.probe(i * set_span)) << i;
+    cache.access(29 * set_span, false);
+    EXPECT_FALSE(cache.probe(0)) << "LRU way evicted";
+    EXPECT_TRUE(cache.probe(29 * set_span));
+}
+
+TEST(LohHill, LruRespectsRecency)
+{
+    stats::StatGroup sg("t");
+    LohHillCache cache(layoutParams<LohHillCache::Params>(), sg);
+    const Addr set_span = cache.numSets() * kLineBytes;
+    for (unsigned i = 0; i < LohHillCache::kWays; ++i)
+        cache.access(i * set_span, false);
+    cache.access(0, false); // promote way 0
+    cache.access(29 * set_span, false);
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(1 * set_span));
+}
+
+TEST(ATCache, TagCacheHitSkipsDramTags)
+{
+    stats::StatGroup sg("t");
+    ATCache cache(layoutParams<ATCache::Params>(), sg);
+    // First access: tag-cache miss -> DRAM tag read on critical path.
+    auto r = cache.access(0x2000, false);
+    EXPECT_FALSE(r.sramTagHit);
+    EXPECT_TRUE(r.tag.needed);
+    EXPECT_TRUE(r.tag.sameRowAsData);
+    // Second access to the same set: tags are cached in SRAM.
+    r = cache.access(0x2000, false);
+    EXPECT_TRUE(r.sramTagHit);
+    EXPECT_FALSE(r.tag.needed);
+    EXPECT_GT(r.sramCycles, 0u);
+}
+
+TEST(ATCache, PrefetchesPgMinusOneSetTags)
+{
+    stats::StatGroup sg("t");
+    auto p = layoutParams<ATCache::Params>();
+    p.prefetchGranularity = 8;
+    ATCache cache(p, sg);
+    const auto r = cache.access(0x2000, false);
+    EXPECT_EQ(r.backgroundTags.size(), 7u);
+    // Consecutive lines map to consecutive sets, and the tags of the
+    // next 7 sets were just prefetched: the next-line access must be
+    // a tag-cache hit with no critical-path DRAM tag read.
+    const auto r2 = cache.access(0x2000 + kLineBytes, false);
+    EXPECT_TRUE(r2.sramTagHit);
+    EXPECT_FALSE(r2.tag.needed);
+}
+
+TEST(ATCache, TagCacheCapacityEviction)
+{
+    stats::StatGroup sg("t");
+    auto p = layoutParams<ATCache::Params>();
+    p.tagCacheEntries = 4;
+    p.prefetchGranularity = 1; // no prefetch noise
+    ATCache cache(p, sg);
+    // Touch 5 distinct sets; the first set's tags must be evicted.
+    const Addr set_stride = kLineBytes; // consecutive lines map to
+                                        // consecutive sets
+    for (int i = 0; i < 5; ++i)
+        cache.access(static_cast<Addr>(i) * set_stride, false);
+    const auto r = cache.access(0x0, false);
+    EXPECT_FALSE(r.sramTagHit) << "set 0 tags were evicted";
+}
+
+TEST(ATCache, SixteenWaySets)
+{
+    stats::StatGroup sg("t");
+    auto p = layoutParams<ATCache::Params>();
+    p.prefetchGranularity = 1;
+    ATCache cache(p, sg);
+    const Addr set_span = cache.numSets() * kLineBytes;
+    for (unsigned i = 0; i < ATCache::kWays; ++i)
+        cache.access(i * set_span, false);
+    for (unsigned i = 0; i < ATCache::kWays; ++i)
+        EXPECT_TRUE(cache.probe(i * set_span));
+    cache.access(16 * set_span, false);
+    int resident = 0;
+    for (unsigned i = 0; i <= ATCache::kWays; ++i)
+        resident += cache.probe(i * set_span);
+    EXPECT_EQ(resident, static_cast<int>(ATCache::kWays));
+}
+
+} // anonymous namespace
+} // namespace bmc::dramcache

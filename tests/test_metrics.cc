@@ -1,0 +1,60 @@
+/** @file Tests for the Eyerman-Eeckhout multiprogram metrics. */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace bmc::sim
+{
+namespace
+{
+
+TEST(Metrics, IdenticalRunsAreUnity)
+{
+    const std::vector<Tick> cycles{100, 200, 300};
+    const auto m = computeMetrics(cycles, cycles);
+    EXPECT_DOUBLE_EQ(m.antt, 1.0);
+    EXPECT_DOUBLE_EQ(m.stp, 3.0);
+    EXPECT_DOUBLE_EQ(m.hms, 1.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 1.0);
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 1.0);
+}
+
+TEST(Metrics, KnownValues)
+{
+    // Slowdowns 2 and 4.
+    const auto m = computeMetrics({200, 400}, {100, 100});
+    EXPECT_DOUBLE_EQ(m.antt, 3.0);
+    EXPECT_DOUBLE_EQ(m.stp, 0.5 + 0.25);
+    EXPECT_DOUBLE_EQ(m.hms, 2.0 / 6.0);
+    EXPECT_DOUBLE_EQ(m.fairness, 0.5);
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 4.0);
+}
+
+TEST(Metrics, AnttIsArithmeticHmsIsHarmonic)
+{
+    // ANTT >= 1/HMS' relationships: arithmetic mean of slowdowns
+    // dominates the harmonic-mean-of-speedups reciprocal.
+    const auto m = computeMetrics({150, 450, 250}, {100, 150, 125});
+    double sum = 0;
+    for (const double s : m.slowdowns)
+        sum += s;
+    EXPECT_NEAR(m.antt, sum / 3.0, 1e-12);
+    EXPECT_LE(m.hms, 1.0 / m.antt + 1e-12);
+}
+
+TEST(Metrics, FairnessDetectsStarvation)
+{
+    const auto fair = computeMetrics({200, 210}, {100, 100});
+    const auto unfair = computeMetrics({110, 900}, {100, 100});
+    EXPECT_GT(fair.fairness, 0.9);
+    EXPECT_LT(unfair.fairness, 0.2);
+}
+
+TEST(MetricsDeath, MismatchedSizesPanic)
+{
+    EXPECT_DEATH(computeMetrics({1, 2}, {1}), "same-sized");
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

@@ -1,0 +1,120 @@
+/** @file Tests for the opt-in Loh-Hill MissMap. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dramcache/loh_hill.hh"
+
+namespace bmc::dramcache
+{
+namespace
+{
+
+LohHillCache::Params
+params(bool missmap, unsigned entries = 64)
+{
+    LohHillCache::Params p;
+    p.capacityBytes = 1 * kMiB;
+    p.layout.pageBytes = 2048;
+    p.layout.channels = 2;
+    p.layout.banksPerChannel = 8;
+    p.useMissMap = missmap;
+    p.missMapEntries = entries;
+    return p;
+}
+
+TEST(MissMap, KnownMissSkipsDramTagProbe)
+{
+    stats::StatGroup sg("t");
+    LohHillCache cache(params(true), sg);
+    const auto r = cache.access(0x4000, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.tag.needed) << "miss known from SRAM";
+    EXPECT_TRUE(r.sramTagHit);
+    EXPECT_GT(r.sramCycles, 0u);
+    EXPECT_EQ(cache.missMapKnownMisses(), 1u);
+}
+
+TEST(MissMap, PresentLineStillProbesTagsForWay)
+{
+    stats::StatGroup sg("t");
+    LohHillCache cache(params(true), sg);
+    cache.access(0x4000, false);
+    const auto r = cache.access(0x4000, false);
+    EXPECT_TRUE(r.hit);
+    // The MissMap only answers presence; the way still comes from
+    // the in-row tag read.
+    EXPECT_TRUE(r.tag.needed);
+}
+
+TEST(MissMap, DisabledKeepsPlainBehaviour)
+{
+    stats::StatGroup sg("t");
+    LohHillCache cache(params(false), sg);
+    const auto r = cache.access(0x4000, false);
+    EXPECT_TRUE(r.tag.needed);
+    EXPECT_EQ(r.sramCycles, 0u);
+    EXPECT_EQ(cache.sramBytes(), 0u);
+    EXPECT_EQ(cache.missMapKnownMisses(), 0u);
+}
+
+TEST(MissMap, EntryEvictionFlushesCoveredLines)
+{
+    stats::StatGroup sg("t");
+    // Tiny MissMap: 4 segments.
+    LohHillCache cache(params(true, 4), sg);
+    // Touch one line in each of 4 segments (4 KB apart).
+    for (int i = 0; i < 4; ++i)
+        cache.access(static_cast<Addr>(i) * 4096, false);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(cache.probe(static_cast<Addr>(i) * 4096));
+    // A fifth segment evicts the LRU entry (segment 0): its line
+    // must leave the cache with it.
+    cache.access(4 * 4096, false);
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_GE(cache.missMapFlushes(), 1u);
+}
+
+TEST(MissMap, FlushWritesBackDirtyLines)
+{
+    stats::StatGroup sg("t");
+    LohHillCache cache(params(true, 2), sg);
+    cache.access(0x0, true); // dirty line in segment 0
+    cache.access(1 * 4096, false);
+    const auto r = cache.access(2 * 4096, false); // evicts segment 0
+    std::uint64_t wb = 0;
+    for (const auto &w : r.fill.writebacks)
+        wb += w.bytes;
+    EXPECT_EQ(wb, kLineBytes);
+}
+
+TEST(MissMap, NeverClaimsAbsentForResidentLines)
+{
+    // Property: random traffic; the internal assert fires if the
+    // MissMap ever says "absent" for a cached line.
+    stats::StatGroup sg("t");
+    LohHillCache cache(params(true, 128), sg);
+    Rng rng(83);
+    for (int i = 0; i < 150000; ++i) {
+        Addr a;
+        if (rng.chance(0.5))
+            a = (i % 4096) * kLineBytes;
+        else
+            a = rng.below(1ULL << 14) * kLineBytes;
+        cache.access(a, rng.chance(0.3));
+    }
+    const auto &s = cache.stats();
+    EXPECT_EQ(s.hits.value() + s.misses.value(), s.accesses.value());
+}
+
+TEST(MissMap, SramBudgetScalesWithEntries)
+{
+    stats::StatGroup sg("t");
+    LohHillCache small(params(true, 64), sg);
+    stats::StatGroup sg2("t2");
+    LohHillCache big(params(true, 1024), sg2);
+    EXPECT_EQ(big.sramBytes(), small.sramBytes() * 16);
+}
+
+} // anonymous namespace
+} // namespace bmc::dramcache

@@ -1,0 +1,98 @@
+/** @file Tests for the MSHR file and next-N-line prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+#include "cache/prefetcher.hh"
+#include "cache/sram_cache.hh"
+
+namespace bmc::cache
+{
+namespace
+{
+
+TEST(Mshr, PrimaryThenMerge)
+{
+    stats::StatGroup sg("t");
+    MshrFile mshrs(4, sg);
+    int completions = 0;
+    EXPECT_TRUE(mshrs.allocate(0x100, [&](Tick) { ++completions; }));
+    EXPECT_FALSE(mshrs.allocate(0x100, [&](Tick) { ++completions; }));
+    EXPECT_TRUE(mshrs.outstanding(0x100));
+    mshrs.complete(0x100, 50);
+    EXPECT_EQ(completions, 2);
+    EXPECT_FALSE(mshrs.outstanding(0x100));
+}
+
+TEST(Mshr, FullWithDistinctBlocks)
+{
+    stats::StatGroup sg("t");
+    MshrFile mshrs(2, sg);
+    mshrs.allocate(0x100, nullptr);
+    mshrs.allocate(0x200, nullptr);
+    EXPECT_TRUE(mshrs.full());
+    mshrs.complete(0x100, 1);
+    EXPECT_FALSE(mshrs.full());
+}
+
+TEST(Mshr, CallbackReceivesCompletionTick)
+{
+    stats::StatGroup sg("t");
+    MshrFile mshrs(2, sg);
+    Tick seen = 0;
+    mshrs.allocate(0x40, [&](Tick t) { seen = t; });
+    mshrs.complete(0x40, 1234);
+    EXPECT_EQ(seen, 1234u);
+}
+
+TEST(MshrDeath, CompletingUnknownBlockPanics)
+{
+    stats::StatGroup sg("t");
+    MshrFile mshrs(2, sg);
+    EXPECT_DEATH(mshrs.complete(0xDEAD, 1), "unknown block");
+}
+
+TEST(Prefetcher, GeneratesNextNLines)
+{
+    stats::StatGroup sg("t");
+    SramCache::Params p;
+    p.sizeBytes = 1024;
+    p.assoc = 2;
+    SramCache llsc(p, sg);
+    NextNLinePrefetcher pf(3, 64, sg);
+    const auto addrs = pf.onMiss(0x1000, llsc);
+    ASSERT_EQ(addrs.size(), 3u);
+    EXPECT_EQ(addrs[0], 0x1040u);
+    EXPECT_EQ(addrs[1], 0x1080u);
+    EXPECT_EQ(addrs[2], 0x10C0u);
+}
+
+TEST(Prefetcher, FiltersResidentLines)
+{
+    stats::StatGroup sg("t");
+    SramCache::Params p;
+    p.sizeBytes = 1024;
+    p.assoc = 2;
+    SramCache llsc(p, sg);
+    llsc.access(0x1040, false); // next line already present
+    NextNLinePrefetcher pf(2, 64, sg);
+    const auto addrs = pf.onMiss(0x1000, llsc);
+    ASSERT_EQ(addrs.size(), 1u);
+    EXPECT_EQ(addrs[0], 0x1080u);
+}
+
+TEST(Prefetcher, UnalignedMissAddressRoundsDown)
+{
+    stats::StatGroup sg("t");
+    SramCache::Params p;
+    p.sizeBytes = 1024;
+    p.assoc = 2;
+    SramCache llsc(p, sg);
+    NextNLinePrefetcher pf(1, 64, sg);
+    const auto addrs = pf.onMiss(0x1010, llsc);
+    ASSERT_EQ(addrs.size(), 1u);
+    EXPECT_EQ(addrs[0], 0x1040u);
+}
+
+} // anonymous namespace
+} // namespace bmc::cache

@@ -1,0 +1,127 @@
+/** @file Cross-organization property tests: every DRAM cache scheme
+ *  must satisfy the same accounting and consistency invariants under
+ *  randomized workloads. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "sim/schemes.hh"
+
+namespace bmc
+{
+namespace
+{
+
+class OrgInvariants : public ::testing::TestWithParam<sim::Scheme>
+{
+  protected:
+    OrgInvariants() : sg_("t")
+    {
+        cfg_ = sim::MachineConfig::preset(4);
+        cfg_.dramCacheBytes = 1 * kMiB;
+        cfg_.scheme = GetParam();
+        org_ = sim::buildOrg(cfg_, sg_);
+    }
+
+    stats::StatGroup sg_;
+    sim::MachineConfig cfg_;
+    std::unique_ptr<dramcache::DramCacheOrg> org_;
+};
+
+TEST_P(OrgInvariants, AccountingUnderRandomTraffic)
+{
+    Rng rng(41);
+    for (int i = 0; i < 100000; ++i) {
+        const Addr a = rng.below(1ULL << 16) * kLineBytes;
+        const auto r = org_->access(a, rng.chance(0.25));
+        // A hit never fetches; a non-bypass miss always fetches.
+        if (r.hit) {
+            EXPECT_TRUE(r.fill.fetches.empty());
+            EXPECT_TRUE(r.data.needed || r.tagWithData);
+        } else {
+            EXPECT_FALSE(r.fill.fetches.empty());
+        }
+        // Transfers are line-aligned and non-empty.
+        for (const auto &f : r.fill.fetches) {
+            EXPECT_EQ(f.addr % kLineBytes, 0u);
+            EXPECT_GT(f.bytes, 0u);
+        }
+        for (const auto &w : r.fill.writebacks) {
+            EXPECT_EQ(w.addr % kLineBytes, 0u);
+            EXPECT_GT(w.bytes, 0u);
+        }
+    }
+    const auto &s = org_->stats();
+    EXPECT_EQ(s.accesses.value(), 100000u);
+    EXPECT_EQ(s.hits.value() + s.misses.value() + s.bypasses.value(),
+              s.accesses.value());
+    EXPECT_GE(s.offchipFetchBytes.value(), s.misses.value() * 0);
+}
+
+TEST_P(OrgInvariants, HitAfterMissOnSameLine)
+{
+    // Filling a line and re-accessing it immediately must hit (no
+    // bypass policy applies to a just-filled line).
+    Rng rng(43);
+    int checked = 0;
+    for (int i = 0; i < 2000 && checked < 500; ++i) {
+        const Addr a = rng.below(1ULL << 14) * kLineBytes;
+        const auto r = org_->access(a, false);
+        if (!r.hit && !r.fill.bypass) {
+            EXPECT_TRUE(org_->probe(a)) << org_->name();
+            const auto r2 = org_->access(a, false);
+            EXPECT_TRUE(r2.hit) << org_->name();
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST_P(OrgInvariants, ProbeHasNoSideEffects)
+{
+    Rng rng(47);
+    for (int i = 0; i < 1000; ++i)
+        org_->access(rng.below(1ULL << 13) * kLineBytes, false);
+    const auto hits_before = org_->stats().hits.value();
+    const auto acc_before = org_->stats().accesses.value();
+    for (Addr a = 0; a < (1ULL << 13) * kLineBytes; a += 512)
+        org_->probe(a);
+    EXPECT_EQ(org_->stats().hits.value(), hits_before);
+    EXPECT_EQ(org_->stats().accesses.value(), acc_before);
+}
+
+TEST_P(OrgInvariants, StreamingGetsSpatialHitsWhereExpected)
+{
+    // Organizations with >64 B allocation units must turn a pure
+    // stream into mostly hits; 64 B organizations must not.
+    for (Addr a = 0; a < kMiB / 2; a += kLineBytes)
+        org_->access(a, false);
+    const double hit_rate = org_->stats().hitRate();
+    switch (GetParam()) {
+      case sim::Scheme::Alloy:
+      case sim::Scheme::LohHill:
+      case sim::Scheme::ATCache:
+        EXPECT_LT(hit_rate, 0.05);
+        break;
+      default:
+        EXPECT_GT(hit_rate, 0.7);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, OrgInvariants,
+    ::testing::Values(sim::Scheme::Alloy, sim::Scheme::LohHill,
+                      sim::Scheme::ATCache, sim::Scheme::Footprint,
+                      sim::Scheme::Fixed512,
+                      sim::Scheme::Fixed512Sram,
+                      sim::Scheme::WayLocatorOnly,
+                      sim::Scheme::BiModalOnly, sim::Scheme::BiModal),
+    [](const auto &info) {
+        return std::string(sim::schemeName(info.param));
+    });
+
+} // anonymous namespace
+} // namespace bmc

@@ -1,0 +1,173 @@
+/** @file Regression tests for the paper's headline claims at
+ *  miniature scale. These protect the *reproduction* itself: if a
+ *  refactor breaks one of the mechanisms, the corresponding claim
+ *  stops holding and a test here fails long before anyone reruns
+ *  the full bench suite. */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/bimodal/bimodal_cache.hh"
+#include "dramcache/fixed.hh"
+#include "sim/functional.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+
+namespace bmc
+{
+namespace
+{
+
+sim::MachineConfig
+miniConfig(sim::Scheme scheme)
+{
+    auto cfg = sim::MachineConfig::preset(4);
+    cfg.scheme = scheme;
+    cfg.dramCacheBytes = 4 * kMiB;
+    cfg.footprintRefBytes = 2 * kMiB;
+    cfg.llscBytes = 256 * kKiB;
+    cfg.instrPerCore = 250'000;
+    cfg.warmupInstrPerCore = 250'000;
+    return cfg;
+}
+
+double
+functionalHitRate(const trace::WorkloadSpec &wl, sim::Scheme scheme,
+                  sim::MachineConfig cfg)
+{
+    cfg.scheme = scheme;
+    stats::StatGroup sg("t");
+    auto org = sim::buildOrg(cfg, sg);
+    auto programs = sim::makeWorkloadPrograms(wl, cfg);
+    sim::runFunctional(*org, programs, cfg, 60'000, sg);
+    return org->stats().hitRate();
+}
+
+/** Fig 1 / Fig 8b: large blocks raise hit rates on spatial mixes. */
+TEST(PaperClaims, LargeBlocksRaiseHitRateOnSpatialMixes)
+{
+    const auto cfg = miniConfig(sim::Scheme::Alloy);
+    const auto &wl = trace::findWorkload("Q1");
+    const double alloy =
+        functionalHitRate(wl, sim::Scheme::Alloy, cfg);
+    const double fixed512 =
+        functionalHitRate(wl, sim::Scheme::Fixed512, cfg);
+    const double bimodal =
+        functionalHitRate(wl, sim::Scheme::BiModal, cfg);
+    EXPECT_GT(fixed512, alloy + 0.15);
+    EXPECT_GT(bimodal, alloy + 0.15);
+}
+
+/** Fig 8b's utilization argument: on a sparse mix, bi-modality
+ *  beats the fixed 512 B organization. */
+TEST(PaperClaims, BiModalBeatsFixed512OnSparseMixes)
+{
+    const auto cfg = miniConfig(sim::Scheme::BiModal);
+    const auto &wl = trace::findWorkload("Q3");
+    const double fixed512 =
+        functionalHitRate(wl, sim::Scheme::Fixed512, cfg);
+    const double bimodal =
+        functionalHitRate(wl, sim::Scheme::BiModal, cfg);
+    EXPECT_GT(bimodal, fixed512);
+}
+
+/** Fig 9a: bi-modality cuts the fixed-512B wasted bandwidth. */
+TEST(PaperClaims, BiModalitySlashesWastedBandwidth)
+{
+    const auto base = miniConfig(sim::Scheme::Fixed512);
+    const auto &wl = trace::findWorkload("Q3");
+
+    auto wasted = [&](sim::Scheme scheme) {
+        auto cfg = base;
+        cfg.scheme = scheme;
+        stats::StatGroup sg("t");
+        auto org = sim::buildOrg(cfg, sg);
+        auto programs = sim::makeWorkloadPrograms(wl, cfg);
+        sim::runFunctional(*org, programs, cfg, 60'000, sg);
+        return org->stats().wastedFetchBytes.value();
+    };
+
+    const auto fixed = wasted(sim::Scheme::Fixed512);
+    const auto bimodal = wasted(sim::Scheme::BiModal);
+    EXPECT_LT(bimodal, fixed / 2)
+        << "the paper reports 60%+ waste reduction";
+}
+
+/** Fig 9b: the dedicated metadata bank out-RBHs co-located tags. */
+TEST(PaperClaims, SeparateMetadataBankHasHigherRbh)
+{
+    const auto &wl = trace::findWorkload("Q5");
+    sim::System colocated(miniConfig(sim::Scheme::LohHill),
+                          wl.programs);
+    sim::System separate(miniConfig(sim::Scheme::BiModalOnly),
+                         wl.programs);
+    const double colo = colocated.run().metaRowHitRate;
+    const double sep = separate.run().metaRowHitRate;
+    EXPECT_GT(sep, colo + 0.1);
+}
+
+/** Fig 7's direction: BiModal beats Alloy on the average LLSC miss
+ *  penalty for a spatial multiprogrammed mix. */
+TEST(PaperClaims, BiModalCutsMissPenaltyVsAlloy)
+{
+    const auto &wl = trace::findWorkload("Q1");
+    sim::System alloy(miniConfig(sim::Scheme::Alloy), wl.programs);
+    sim::System bimodal(miniConfig(sim::Scheme::BiModal),
+                        wl.programs);
+    const auto ra = alloy.run();
+    const auto rb = bimodal.run();
+    EXPECT_LT(rb.avgAccessLatency, ra.avgAccessLatency);
+}
+
+/** Fig 10: the small-block share adapts to workload sparsity. */
+TEST(PaperClaims, SmallBlockShareTracksSparsity)
+{
+    const auto cfg = miniConfig(sim::Scheme::BiModal);
+
+    auto small_share = [&](const char *wname) {
+        auto c = cfg;
+        stats::StatGroup sg("t");
+        auto org = sim::buildOrg(c, sg);
+        auto programs = sim::makeWorkloadPrograms(
+            trace::findWorkload(wname), c);
+        sim::runFunctional(*org, programs, c, 60'000, sg);
+        return dynamic_cast<dramcache::BiModalCache *>(org.get())
+            ->smallAccessFraction();
+    };
+
+    const double spatial = small_share("Q1");  // streams
+    const double sparse = small_share("Q3");   // random-heavy
+    EXPECT_LT(spatial, 0.15);
+    EXPECT_GT(sparse, 0.3);
+}
+
+/** Section III-D.4: the way locator's average tag-access latency
+ *  beats a tags-in-SRAM store once its hit rate clears ~78%. */
+TEST(PaperClaims, LocatorClearsBreakEvenOnSpatialMix)
+{
+    auto cfg = miniConfig(sim::Scheme::BiModal);
+    stats::StatGroup sg("t");
+    auto org = sim::buildOrg(cfg, sg);
+    auto programs = sim::makeWorkloadPrograms(
+        trace::findWorkload("Q1"), cfg);
+    sim::runFunctional(*org, programs, cfg, 80'000, sg);
+    const auto *bm =
+        dynamic_cast<dramcache::BiModalCache *>(org.get());
+    ASSERT_NE(bm->wayLocator(), nullptr);
+    EXPECT_GT(bm->wayLocator()->hitRate(), 0.5)
+        << "spatial mixes must keep the locator effective";
+}
+
+/** Fig 11's direction: BiModal saves memory energy on a spatial
+ *  multiprogrammed mix. */
+TEST(PaperClaims, BiModalSavesEnergyVsAlloy)
+{
+    const auto &wl = trace::findWorkload("Q1");
+    sim::System alloy(miniConfig(sim::Scheme::Alloy), wl.programs);
+    sim::System bimodal(miniConfig(sim::Scheme::BiModal),
+                        wl.programs);
+    EXPECT_LT(bimodal.run().energy.totalPj(),
+              alloy.run().energy.totalPj());
+}
+
+} // anonymous namespace
+} // namespace bmc

@@ -1,0 +1,165 @@
+/** @file Unit tests for the seeded RNG and Zipf sampler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bmc
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(a.next());
+    a.seed(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= v == 10;
+        saw_hi |= v == 13;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(17);
+    const std::uint64_t buckets = 8;
+    std::vector<int> counts(buckets, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.below(buckets)];
+    for (const int c : counts)
+        EXPECT_NEAR(c, n / static_cast<int>(buckets), n / 100);
+}
+
+TEST(Zipf, MostPopularItemDominates)
+{
+    Rng r(19);
+    ZipfSampler zipf(1000, 1.0);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(r)];
+    // Item 0 must be sampled far more often than item 500.
+    EXPECT_GT(counts[0], counts[500] * 10);
+    // And more often than its immediate successor (statistically).
+    EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    Rng r(23);
+    ZipfSampler zipf(4, 0.0);
+    std::vector<int> counts(4, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(r)];
+    for (const int c : counts)
+        EXPECT_NEAR(c, n / 4, n / 50);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Rng r(29);
+    ZipfSampler zipf(37, 0.8);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf.sample(r), 37u);
+}
+
+class ZipfSkew : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkew, HigherAlphaMoreSkewed)
+{
+    // The fraction of samples landing on the top item grows with
+    // alpha.
+    Rng r(31);
+    ZipfSampler zipf(256, GetParam());
+    int top = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        top += zipf.sample(r) == 0;
+    const double frac = static_cast<double>(top) / n;
+    if (GetParam() >= 1.0)
+        EXPECT_GT(frac, 0.10);
+    else
+        EXPECT_GT(frac, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfSkew,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2));
+
+} // anonymous namespace
+} // namespace bmc

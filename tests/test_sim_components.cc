@@ -1,0 +1,240 @@
+/** @file Tests for the timing-engine components: main memory, DRAM
+ *  cache controller choreography, memory hierarchy and trace core. */
+
+#include <gtest/gtest.h>
+
+#include "sim/dramcache_controller.hh"
+#include "sim/main_memory.hh"
+#include "sim/mem_hierarchy.hh"
+#include "sim/schemes.hh"
+#include "sim/trace_core.hh"
+
+namespace bmc::sim
+{
+namespace
+{
+
+TEST(MainMemory, ReadCompletesWithDdr3Latency)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    auto params = dram::TimingParams::ddr3_1600h(1, 16);
+    params.refreshEnabled = false;
+    MainMemory mem(eq, params, sg);
+
+    Tick done = 0;
+    mem.read(0x1000, 64, 0, [&](Tick t) { done = t; });
+    eq.run();
+    // Cold access: tRCD + tCL + 64 B over a 16 B/cycle bus.
+    const Tick expected =
+        params.toTicks(params.tRCD + params.tCL) +
+        params.transferTicks(64);
+    EXPECT_EQ(done, expected);
+    EXPECT_EQ(mem.bytesRead(), 64u);
+}
+
+TEST(MainMemory, WritesCounted)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    MainMemory mem(eq, dram::TimingParams::ddr3_1600h(1, 16), sg);
+    mem.write(0x2000, 128, 0);
+    eq.run();
+    EXPECT_EQ(mem.bytesWritten(), 128u);
+}
+
+TEST(MainMemoryDeath, PageCrossingTransferPanics)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    MainMemory mem(eq, dram::TimingParams::ddr3_1600h(1, 16), sg);
+    EXPECT_DEATH(mem.read(2048 - 64, 128, 0, nullptr), "crosses");
+}
+
+/** Full controller stack against each scheme, single accesses. */
+class ControllerTest : public ::testing::TestWithParam<Scheme>
+{
+  protected:
+    ControllerTest() : sg_("t")
+    {
+        cfg_ = MachineConfig::preset(4);
+        cfg_.dramCacheBytes = 1 * kMiB;
+        cfg_.scheme = GetParam();
+        stacked_ = std::make_unique<dram::DramSystem>(
+            eq_, dram::TimingParams::stacked(2, 8), "stacked", sg_);
+        mem_ = std::make_unique<MainMemory>(
+            eq_, dram::TimingParams::ddr3_1600h(1, 16), sg_);
+        org_ = buildOrg(cfg_, sg_);
+        dcc_ = std::make_unique<DramCacheController>(
+            eq_, *org_, *stacked_, *mem_,
+            DramCacheController::Params{}, sg_);
+    }
+
+    Tick
+    accessLatency(Addr addr, bool write = false)
+    {
+        Tick done = 0;
+        const Tick start = eq_.now();
+        dcc_->access(addr, write, false, 0,
+                     [&](Tick t) { done = t; });
+        eq_.run();
+        return done - start;
+    }
+
+    EventQueue eq_;
+    stats::StatGroup sg_;
+    MachineConfig cfg_;
+    std::unique_ptr<dram::DramSystem> stacked_;
+    std::unique_ptr<MainMemory> mem_;
+    std::unique_ptr<dramcache::DramCacheOrg> org_;
+    std::unique_ptr<DramCacheController> dcc_;
+};
+
+TEST_P(ControllerTest, MissSlowerThanUnloadedHit)
+{
+    const Tick miss = accessLatency(0x8000);
+    const Tick hit = accessLatency(0x8000);
+    EXPECT_GT(miss, 0u);
+    EXPECT_GT(hit, 0u);
+    EXPECT_LT(hit, miss)
+        << schemeName(GetParam())
+        << ": a warm hit must beat the cold miss";
+    EXPECT_EQ(dcc_->numAccesses(), 2u);
+}
+
+TEST_P(ControllerTest, LatenciesAccumulateIntoAverages)
+{
+    accessLatency(0x8000);
+    accessLatency(0x8000);
+    EXPECT_GT(dcc_->avgAccessLatency(), 0.0);
+    EXPECT_GT(dcc_->avgMissLatency(), dcc_->avgHitLatency());
+}
+
+TEST_P(ControllerTest, WritesComplete)
+{
+    EXPECT_GT(accessLatency(0x9000, true), 0u);
+    EXPECT_GT(accessLatency(0x9000, true), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ControllerTest,
+    ::testing::Values(Scheme::Alloy, Scheme::LohHill, Scheme::ATCache,
+                      Scheme::Footprint, Scheme::Fixed512,
+                      Scheme::WayLocatorOnly, Scheme::BiModalOnly,
+                      Scheme::BiModal),
+    [](const auto &info) {
+        return std::string(schemeName(info.param));
+    });
+
+/** The Fig 3 structural claims, measured on the unloaded engine. */
+TEST(ControllerFig3, LocatorHitBeatsTagsThenData)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    auto cfg = MachineConfig::preset(4);
+    cfg.dramCacheBytes = 1 * kMiB;
+
+    auto run_hit_latency = [&](Scheme scheme) {
+        stats::StatGroup local("x");
+        EventQueue leq;
+        dram::DramSystem stacked(leq, dram::TimingParams::stacked(2, 8),
+                                 "stacked", local);
+        MainMemory mem(leq, dram::TimingParams::ddr3_1600h(1, 16),
+                       local);
+        cfg.scheme = scheme;
+        auto org = buildOrg(cfg, local);
+        DramCacheController dcc(leq, *org, stacked, mem,
+                                DramCacheController::Params{}, local);
+        // Fill, then measure the hit.
+        Tick done = 0;
+        dcc.access(0x4000, false, false, 0, [&](Tick t) { done = t; });
+        leq.run();
+        const Tick start = leq.now();
+        dcc.access(0x4000, false, false, 0, [&](Tick t) { done = t; });
+        leq.run();
+        return done - start;
+    };
+
+    const Tick bimodal = run_hit_latency(Scheme::BiModal);
+    const Tick loh = run_hit_latency(Scheme::LohHill);
+    const Tick fpc = run_hit_latency(Scheme::Footprint);
+    // Way-locator hit: one DRAM access. Loh-Hill: serialized
+    // tag-then-data column accesses. FPC: SRAM lookup then data.
+    EXPECT_LT(bimodal, loh);
+    EXPECT_LE(bimodal, fpc + 2);
+}
+
+TEST(MemHierarchy, L1AndLlscHitLatencies)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    auto cfg = MachineConfig::preset(4);
+    cfg.dramCacheBytes = 1 * kMiB;
+    cfg.scheme = Scheme::Alloy;
+    dram::DramSystem stacked(eq, dram::TimingParams::stacked(2, 8),
+                             "stacked", sg);
+    MainMemory mem(eq, dram::TimingParams::ddr3_1600h(1, 16), sg);
+    auto org = buildOrg(cfg, sg);
+    DramCacheController dcc(eq, *org, stacked, mem,
+                            DramCacheController::Params{}, sg);
+    MemHierarchy::Params hp;
+    hp.cores = 2;
+    hp.l1.sizeBytes = 4 * kKiB;
+    hp.l1.hitLatency = 2;
+    hp.llsc.sizeBytes = 64 * kKiB;
+    hp.llsc.assoc = 8;
+    hp.llsc.hitLatency = 7;
+    MemHierarchy hier(eq, hp, dcc, sg);
+
+    // Miss everywhere first.
+    bool completed = false;
+    auto out = hier.access(0, 0x5000, false,
+                           [&](Tick) { completed = true; });
+    EXPECT_EQ(out.kind, MemHierarchy::Outcome::Kind::Miss);
+    eq.run();
+    EXPECT_TRUE(completed);
+
+    // Now an L1 hit.
+    out = hier.access(0, 0x5000, false, nullptr);
+    EXPECT_EQ(out.kind, MemHierarchy::Outcome::Kind::Hit);
+    EXPECT_EQ(out.latency, 2u);
+
+    // Core 1 misses its own L1 but hits the shared LLSC.
+    out = hier.access(1, 0x5000, false, nullptr);
+    EXPECT_EQ(out.kind, MemHierarchy::Outcome::Kind::Hit);
+    EXPECT_EQ(out.latency, 2u + 7u);
+}
+
+TEST(MemHierarchy, MshrBackPressure)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    auto cfg = MachineConfig::preset(4);
+    cfg.dramCacheBytes = 1 * kMiB;
+    cfg.scheme = Scheme::Alloy;
+    dram::DramSystem stacked(eq, dram::TimingParams::stacked(2, 8),
+                             "stacked", sg);
+    MainMemory mem(eq, dram::TimingParams::ddr3_1600h(1, 16), sg);
+    auto org = buildOrg(cfg, sg);
+    DramCacheController dcc(eq, *org, stacked, mem,
+                            DramCacheController::Params{}, sg);
+    MemHierarchy::Params hp;
+    hp.cores = 1;
+    hp.l1.sizeBytes = 4 * kKiB;
+    hp.llsc.sizeBytes = 64 * kKiB;
+    hp.llsc.assoc = 8;
+    hp.llscMshrs = 2;
+    MemHierarchy hier(eq, hp, dcc, sg);
+
+    hier.access(0, 0x10000, false, nullptr);
+    hier.access(0, 0x20000, false, nullptr);
+    const auto out = hier.access(0, 0x30000, false, nullptr);
+    EXPECT_EQ(out.kind, MemHierarchy::Outcome::Kind::Blocked);
+    eq.run();
+    // After completion the access goes through.
+    const auto retry = hier.access(0, 0x30000, false, nullptr);
+    EXPECT_NE(retry.kind, MemHierarchy::Outcome::Kind::Blocked);
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

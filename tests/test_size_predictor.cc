@@ -1,0 +1,119 @@
+/** @file Tests for the block size predictor (Section III-B.3). */
+
+#include <gtest/gtest.h>
+
+#include "dramcache/bimodal/size_predictor.hh"
+
+namespace bmc::dramcache
+{
+namespace
+{
+
+SizePredictor::Params
+params(unsigned p = 10, unsigned t = 5, unsigned sample = 25)
+{
+    SizePredictor::Params sp;
+    sp.indexBits = p;
+    sp.threshold = t;
+    sp.sampleEvery = sample;
+    return sp;
+}
+
+TEST(SizePredictor, InitiallyPredictsBig)
+{
+    stats::StatGroup sg("t");
+    SizePredictor pred(params(), sg);
+    // The cache starts all-big (counters init to 11).
+    for (std::uint64_t f = 0; f < 100; ++f)
+        EXPECT_TRUE(pred.predictBig(f));
+}
+
+TEST(SizePredictor, LowUtilizationTrainsTowardSmall)
+{
+    stats::StatGroup sg("t");
+    SizePredictor pred(params(), sg);
+    // Two decrements take the counter from 11 to 01 (predict small
+    // needs < 2, so a third is required: 11->10->01 is still >= 2
+    // after one, and 01 < 10 binary two. Counter semantics: >= 2
+    // predicts big.)
+    pred.train(7, 1);
+    EXPECT_TRUE(pred.predictBig(7)); // 10 -> still big
+    pred.train(7, 1);
+    EXPECT_FALSE(pred.predictBig(7)); // 01 -> small
+    pred.train(7, 1);
+    EXPECT_FALSE(pred.predictBig(7)); // saturates at 00
+}
+
+TEST(SizePredictor, HighUtilizationTrainsTowardBig)
+{
+    stats::StatGroup sg("t");
+    SizePredictor pred(params(), sg);
+    pred.train(7, 1);
+    pred.train(7, 1);
+    pred.train(7, 1);
+    ASSERT_FALSE(pred.predictBig(7));
+    pred.train(7, 8);
+    pred.train(7, 8);
+    EXPECT_TRUE(pred.predictBig(7));
+}
+
+TEST(SizePredictor, ThresholdBoundary)
+{
+    stats::StatGroup sg("t");
+    SizePredictor pred(params(10, 5), sg);
+    // util == T counts as big; util == T-1 counts as small.
+    pred.train(1, 5);
+    pred.train(1, 5);
+    EXPECT_TRUE(pred.predictBig(1));
+    pred.train(2, 4);
+    pred.train(2, 4);
+    pred.train(2, 4);
+    EXPECT_FALSE(pred.predictBig(2));
+}
+
+TEST(SizePredictor, DistinctFramesTrainIndependently)
+{
+    stats::StatGroup sg("t");
+    SizePredictor pred(params(16), sg); // large table: no aliasing
+    for (int i = 0; i < 3; ++i)
+        pred.train(100, 1);
+    EXPECT_FALSE(pred.predictBig(100));
+    EXPECT_TRUE(pred.predictBig(200));
+}
+
+TEST(SizePredictor, SampledSets)
+{
+    stats::StatGroup sg("t");
+    SizePredictor pred(params(10, 5, 25), sg);
+    unsigned sampled = 0;
+    for (std::uint64_t s = 0; s < 1000; ++s)
+        sampled += pred.isSampledSet(s);
+    EXPECT_EQ(sampled, 40u); // 4%
+    EXPECT_TRUE(pred.isSampledSet(0));
+    EXPECT_TRUE(pred.isSampledSet(25));
+    EXPECT_FALSE(pred.isSampledSet(26));
+}
+
+TEST(SizePredictor, TableStorageMatchesPaper)
+{
+    stats::StatGroup sg("t");
+    // P = 16 -> 2 x 2^16 bits = 16 KB (Section III-B.3).
+    SizePredictor pred(params(16), sg);
+    EXPECT_EQ(pred.tableBytes(), 16 * kKiB);
+}
+
+TEST(SizePredictor, PredictionCountersTrack)
+{
+    stats::StatGroup sg("t");
+    SizePredictor pred(params(), sg);
+    pred.predictBig(1);
+    pred.train(2, 1);
+    pred.train(2, 1);
+    pred.train(2, 1);
+    pred.predictBig(2);
+    EXPECT_EQ(pred.bigPredictions(), 1u);
+    EXPECT_EQ(pred.smallPredictions(), 1u);
+}
+
+} // anonymous namespace
+} // namespace bmc::dramcache

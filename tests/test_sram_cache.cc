@@ -1,0 +1,151 @@
+/** @file Tests for the generic set-associative SRAM cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/sram_cache.hh"
+
+namespace bmc::cache
+{
+namespace
+{
+
+SramCache::Params
+smallParams(unsigned assoc = 2, std::uint64_t size = 1024,
+            ReplPolicy repl = ReplPolicy::LRU)
+{
+    SramCache::Params p;
+    p.name = "t";
+    p.sizeBytes = size; // size/64/assoc sets
+    p.blockBytes = 64;
+    p.assoc = assoc;
+    p.repl = repl;
+    return p;
+}
+
+TEST(SramCache, MissThenHit)
+{
+    stats::StatGroup sg("t");
+    SramCache c(smallParams(), sg);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1030, false).hit); // same 64 B block
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SramCache, LruEvictsOldest)
+{
+    stats::StatGroup sg("t");
+    // 2-way, 8 sets: three blocks mapping to set 0.
+    SramCache c(smallParams(2, 1024), sg);
+    const Addr set_span = 8 * 64;
+    c.access(0 * set_span, false);
+    c.access(1 * set_span, false);
+    c.access(0 * set_span, false); // touch A: B becomes LRU
+    const auto out = c.access(2 * set_span, false);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.evictedValid);
+    EXPECT_EQ(out.victimAddr, 1 * set_span);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(set_span));
+}
+
+TEST(SramCache, DirtyVictimRequestsWriteback)
+{
+    stats::StatGroup sg("t");
+    SramCache c(smallParams(1, 512), sg); // direct-mapped, 8 sets
+    const Addr set_span = 8 * 64;
+    c.access(0, true); // dirty
+    const auto out = c.access(set_span, false);
+    EXPECT_TRUE(out.writeback);
+    EXPECT_EQ(out.victimAddr, 0u);
+}
+
+TEST(SramCache, CleanVictimNoWriteback)
+{
+    stats::StatGroup sg("t");
+    SramCache c(smallParams(1, 512), sg);
+    const Addr set_span = 8 * 64;
+    c.access(0, false);
+    const auto out = c.access(set_span, false);
+    EXPECT_TRUE(out.evictedValid);
+    EXPECT_FALSE(out.writeback);
+}
+
+TEST(SramCache, WriteHitSetsDirty)
+{
+    stats::StatGroup sg("t");
+    SramCache c(smallParams(1, 512), sg);
+    const Addr set_span = 8 * 64;
+    c.access(0, false);
+    c.access(0, true); // hit-dirty
+    const auto out = c.access(set_span, false);
+    EXPECT_TRUE(out.writeback);
+}
+
+TEST(SramCache, InvalidateDropsBlock)
+{
+    stats::StatGroup sg("t");
+    SramCache c(smallParams(), sg);
+    c.access(0x40, true);
+    EXPECT_TRUE(c.probe(0x40));
+    EXPECT_TRUE(c.invalidate(0x40)); // was dirty
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.invalidate(0x40));
+}
+
+TEST(SramCache, MruHistogramTracksHitDepth)
+{
+    stats::StatGroup sg("t");
+    SramCache c(smallParams(4, 2048), sg); // 4-way, 8 sets
+    const Addr set_span = 8 * 64;
+    // Fill 4 ways of set 0, then hit the LRU one: depth 3.
+    for (Addr i = 0; i < 4; ++i)
+        c.access(i * set_span, false);
+    c.access(0, false); // oldest -> MRU position 3
+    EXPECT_DOUBLE_EQ(c.hitFractionAtMruPos(3), 1.0);
+    c.access(0, false); // now MRU -> position 0
+    EXPECT_DOUBLE_EQ(c.hitFractionAtMruPos(0), 0.5);
+}
+
+TEST(SramCache, RandomPolicyStillCorrect)
+{
+    stats::StatGroup sg("t");
+    SramCache c(smallParams(2, 1024, ReplPolicy::Random), sg);
+    const Addr set_span = 8 * 64;
+    for (Addr i = 0; i < 10; ++i)
+        c.access(i * set_span, false);
+    // Exactly two of the ten conflicting blocks are resident.
+    int resident = 0;
+    for (Addr i = 0; i < 10; ++i)
+        resident += c.probe(i * set_span);
+    EXPECT_EQ(resident, 2);
+}
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometry, CapacityIsRespected)
+{
+    const auto [assoc, kb] = GetParam();
+    stats::StatGroup sg("t");
+    SramCache c(smallParams(assoc, kb * 1024), sg);
+    const std::uint64_t blocks = kb * 1024 / 64;
+    // Touch exactly `blocks` distinct blocks: all fit.
+    for (Addr i = 0; i < blocks; ++i)
+        c.access(i * 64, false);
+    EXPECT_EQ(c.misses(), blocks);
+    for (Addr i = 0; i < blocks; ++i)
+        c.access(i * 64, false);
+    EXPECT_EQ(c.misses(), blocks) << "second pass must fully hit";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometry,
+    ::testing::Values(std::pair{1u, 8u}, std::pair{2u, 32u},
+                      std::pair{4u, 64u}, std::pair{8u, 256u}));
+
+} // anonymous namespace
+} // namespace bmc::cache

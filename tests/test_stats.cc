@@ -1,0 +1,102 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace bmc::stats
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    StatGroup g("g");
+    Counter c(g, "c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    EXPECT_EQ(c.value(), 1u);
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, Reset)
+{
+    StatGroup g("g");
+    Counter c(g, "c", "");
+    c += 5;
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    StatGroup g("g");
+    Average a(g, "a", "");
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndFractions)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(3);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, ClampsOverflowToLastBucket)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 3);
+    h.sample(99);
+    EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST(Histogram, EmptyFractionIsZero)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "", 2);
+    EXPECT_EQ(h.fraction(0), 0.0);
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Counter c(child, "hits", "number of hits");
+    c += 7;
+    const std::string out = root.dump();
+    EXPECT_NE(out.find("root.child.hits = 7"), std::string::npos);
+    EXPECT_NE(out.find("number of hits"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup root("root");
+    StatGroup child("child", &root);
+    Counter a(root, "a", "");
+    Counter b(child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+} // anonymous namespace
+} // namespace bmc::stats

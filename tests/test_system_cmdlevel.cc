@@ -1,0 +1,91 @@
+/** @file Whole-system runs on the command-granularity DRAM model,
+ *  and cross-model consistency checks. */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "trace/workload.hh"
+
+namespace bmc::sim
+{
+namespace
+{
+
+MachineConfig
+tinyConfig(Scheme scheme, bool command_level)
+{
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.scheme = scheme;
+    cfg.dramCacheBytes = 2 * kMiB;
+    cfg.footprintRefBytes = 2 * kMiB;
+    cfg.llscBytes = 256 * kKiB;
+    cfg.instrPerCore = 120'000;
+    cfg.warmupInstrPerCore = 40'000;
+    cfg.commandLevelDram = command_level;
+    return cfg;
+}
+
+class CmdLevelSystem : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(CmdLevelSystem, CompletesWithSaneStats)
+{
+    const auto &wl = trace::findWorkload("Q5");
+    System system(tinyConfig(GetParam(), true), wl.programs);
+    const RunStats rs = system.run();
+    EXPECT_GT(rs.dccAccesses, 0u);
+    EXPECT_GT(rs.avgAccessLatency, 0.0);
+    EXPECT_LE(rs.cacheHitRate, 1.0);
+    for (const Tick c : rs.coreCycles)
+        EXPECT_GT(c, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, CmdLevelSystem,
+    ::testing::Values(Scheme::Alloy, Scheme::BiModal,
+                      Scheme::Footprint),
+    [](const auto &info) {
+        return std::string(schemeName(info.param));
+    });
+
+TEST(CmdLevelSystem, FunctionalBehaviourMatchesFastModel)
+{
+    // The DRAM timing model must not change functional outcomes
+    // beyond the window effect: timing shifts the warm-up boundary
+    // and the interleaving of shared-cache updates slightly, so the
+    // measured access population differs by a fraction of a percent
+    // -- but hit rates and traffic must agree closely.
+    const auto &wl = trace::findWorkload("Q5");
+    System fast(tinyConfig(Scheme::BiModal, false), wl.programs);
+    System cmd(tinyConfig(Scheme::BiModal, true), wl.programs);
+    const RunStats rf = fast.run();
+    const RunStats rc = cmd.run();
+    EXPECT_NEAR(static_cast<double>(rc.dccAccesses),
+                static_cast<double>(rf.dccAccesses),
+                0.02 * static_cast<double>(rf.dccAccesses));
+    EXPECT_NEAR(rc.cacheHitRate, rf.cacheHitRate, 0.02);
+    EXPECT_NEAR(static_cast<double>(rc.offchipFetchBytes),
+                static_cast<double>(rf.offchipFetchBytes),
+                0.05 * static_cast<double>(rf.offchipFetchBytes));
+    // Timing differs, but within sane bounds of each other.
+    EXPECT_GT(rc.avgAccessLatency, rf.avgAccessLatency * 0.3);
+    EXPECT_LT(rc.avgAccessLatency, rf.avgAccessLatency * 3.0);
+}
+
+TEST(CmdLevelSystem, DumpStatsIncludesEveryLayer)
+{
+    const auto &wl = trace::findWorkload("Q5");
+    System system(tinyConfig(Scheme::BiModal, false), wl.programs);
+    system.run();
+    const std::string dump = system.dumpStats();
+    for (const char *needle :
+         {"system.stacked", "system.main_memory", "system.dcc",
+          "system.hier.llsc", "system.bimodal.accesses",
+          "way_locator", "size_predictor"}) {
+        EXPECT_NE(dump.find(needle), std::string::npos) << needle;
+    }
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

@@ -1,0 +1,111 @@
+/** @file Unit tests for the table printer and option parser. */
+
+#include <gtest/gtest.h>
+
+#include "common/options.hh"
+#include "common/table.hh"
+
+namespace bmc
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(std::uint64_t{42});
+    t.row().cell("b").cell(3.14159, 2);
+    const std::string out = t.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Table, PercentFormatting)
+{
+    Table t({"x"});
+    t.row().pct(12.345);
+    EXPECT_NE(t.str().find("12.3%"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"a", "b"});
+    t.row().cell("long-cell-entry").cell("u");
+    t.row().cell("s").cell("v");
+    const std::string out = t.str();
+    // Both data rows place the second column at the same offset.
+    const auto lines_at = [&](int row) {
+        size_t pos = 0;
+        for (int i = 0; i <= row + 1; ++i)
+            pos = out.find('\n', pos) + 1;
+        return out.substr(pos, out.find('\n', pos) - pos);
+    };
+    EXPECT_EQ(lines_at(0).find('u'), lines_at(1).find('v'));
+}
+
+TEST(TableDeath, TooManyCellsPanics)
+{
+    Table t({"only"});
+    t.row().cell("a");
+    EXPECT_DEATH(t.cell("b"), "too many cells");
+}
+
+TEST(Options, DefaultsApply)
+{
+    Options o("test");
+    o.addUint("count", 5, "a count");
+    o.addFlag("fast", false, "go fast");
+    o.addString("name", "x", "a name");
+    o.addDouble("ratio", 0.5, "a ratio");
+    const char *argv[] = {"prog"};
+    o.parse(1, const_cast<char **>(argv));
+    EXPECT_EQ(o.getUint("count"), 5u);
+    EXPECT_FALSE(o.flag("fast"));
+    EXPECT_EQ(o.getString("name"), "x");
+    EXPECT_DOUBLE_EQ(o.getDouble("ratio"), 0.5);
+}
+
+TEST(Options, EqualsAndSpaceForms)
+{
+    Options o("test");
+    o.addUint("count", 0, "");
+    o.addString("name", "", "");
+    const char *argv[] = {"prog", "--count=7", "--name", "hello"};
+    o.parse(4, const_cast<char **>(argv));
+    EXPECT_EQ(o.getUint("count"), 7u);
+    EXPECT_EQ(o.getString("name"), "hello");
+}
+
+TEST(Options, FlagAndNegation)
+{
+    Options o("test");
+    o.addFlag("fast", true, "");
+    o.addFlag("slow", false, "");
+    const char *argv[] = {"prog", "--no-fast", "--slow"};
+    o.parse(3, const_cast<char **>(argv));
+    EXPECT_FALSE(o.flag("fast"));
+    EXPECT_TRUE(o.flag("slow"));
+}
+
+TEST(Options, HelpTextMentionsOptions)
+{
+    Options o("my program");
+    o.addUint("widgets", 3, "number of widgets");
+    const std::string help = o.helpText();
+    EXPECT_NE(help.find("my program"), std::string::npos);
+    EXPECT_NE(help.find("--widgets"), std::string::npos);
+    EXPECT_NE(help.find("number of widgets"), std::string::npos);
+}
+
+TEST(OptionsDeath, UnknownOptionIsFatal)
+{
+    Options o("test");
+    const char *argv[] = {"prog", "--nope=1"};
+    EXPECT_DEATH(o.parse(2, const_cast<char **>(argv)),
+                 "unknown option");
+}
+
+} // anonymous namespace
+} // namespace bmc

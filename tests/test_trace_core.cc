@@ -1,0 +1,151 @@
+/** @file Unit tests for the MLP-limited trace-driven core. */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_system.hh"
+#include "sim/dramcache_controller.hh"
+#include "sim/main_memory.hh"
+#include "sim/mem_hierarchy.hh"
+#include "sim/schemes.hh"
+#include "sim/trace_core.hh"
+#include "trace/generator.hh"
+
+namespace bmc::sim
+{
+namespace
+{
+
+/** Minimal single-core rig around a real hierarchy. */
+struct CoreRig
+{
+    explicit CoreRig(TraceCore::Params cp,
+                     std::unique_ptr<trace::TraceGenerator> gen,
+                     Scheme scheme = Scheme::Alloy)
+        : sg("rig"),
+          stacked(eq, dram::TimingParams::stacked(2, 8), "stacked",
+                  sg),
+          mem(eq, dram::TimingParams::ddr3_1600h(1, 16), sg)
+    {
+        auto cfg = MachineConfig::preset(4);
+        cfg.dramCacheBytes = 1 * kMiB;
+        cfg.scheme = scheme;
+        org = buildOrg(cfg, sg);
+        dcc = std::make_unique<DramCacheController>(
+            eq, *org, stacked, mem, DramCacheController::Params{},
+            sg);
+        MemHierarchy::Params hp;
+        hp.cores = 1;
+        hp.l1.sizeBytes = 4 * kKiB;
+        hp.llsc.sizeBytes = 64 * kKiB;
+        hp.llsc.assoc = 8;
+        hier = std::make_unique<MemHierarchy>(eq, hp, *dcc, sg);
+        core = std::make_unique<TraceCore>(
+            eq, 0, std::move(gen), *hier, cp, sg,
+            [this](CoreId) { done = true; },
+            [this](CoreId) { warmed = true; });
+    }
+
+    EventQueue eq;
+    stats::StatGroup sg;
+    dram::DramSystem stacked;
+    MainMemory mem;
+    std::unique_ptr<dramcache::DramCacheOrg> org;
+    std::unique_ptr<DramCacheController> dcc;
+    std::unique_ptr<MemHierarchy> hier;
+    std::unique_ptr<TraceCore> core;
+    bool done = false;
+    bool warmed = false;
+};
+
+trace::GenConfig
+genCfg()
+{
+    trace::GenConfig c;
+    c.footprintBytes = 1 * kMiB;
+    c.meanGap = 10.0;
+    return c;
+}
+
+TEST(TraceCore, RetiresAtLeastTheBudget)
+{
+    TraceCore::Params cp;
+    cp.instrBudget = 50'000;
+    CoreRig rig(cp, std::make_unique<trace::StreamGen>(genCfg()));
+    rig.core->start();
+    rig.eq.run();
+    EXPECT_TRUE(rig.done);
+    EXPECT_GE(rig.core->instrsRetired(), 50'000u);
+    EXPECT_GT(rig.core->finishTick(), 0u);
+}
+
+TEST(TraceCore, WarmupBoundaryRecorded)
+{
+    TraceCore::Params cp;
+    cp.instrBudget = 30'000;
+    cp.warmupInstrs = 10'000;
+    CoreRig rig(cp, std::make_unique<trace::StreamGen>(genCfg()));
+    rig.core->start();
+    rig.eq.run();
+    EXPECT_TRUE(rig.warmed);
+    EXPECT_GT(rig.core->warmTick(), 0u);
+    EXPECT_LT(rig.core->warmTick(), rig.core->finishTick());
+    EXPECT_EQ(rig.core->measuredCycles(),
+              rig.core->finishTick() - rig.core->warmTick());
+}
+
+TEST(TraceCore, MoreMlpIsNeverSlower)
+{
+    auto run = [](unsigned mlp) {
+        TraceCore::Params cp;
+        cp.instrBudget = 40'000;
+        cp.maxOutstanding = mlp;
+        trace::GenConfig c = genCfg();
+        c.footprintBytes = 8 * kMiB; // miss-heavy
+        c.meanGap = 5.0;
+        CoreRig rig(cp, std::make_unique<trace::RandomGen>(c));
+        rig.core->start();
+        rig.eq.run();
+        return rig.core->finishTick();
+    };
+    const Tick blocking = run(1);
+    const Tick mlp8 = run(8);
+    EXPECT_LT(mlp8, blocking)
+        << "8-deep MLP must overlap misses that a blocking core "
+           "serializes";
+}
+
+TEST(TraceCore, CpiScalesComputeTime)
+{
+    auto run = [](double cpi) {
+        TraceCore::Params cp;
+        cp.instrBudget = 50'000;
+        cp.cpi = cpi;
+        trace::GenConfig c = genCfg();
+        c.footprintBytes = 16 * kKiB; // cache-resident: compute-bound
+        c.meanGap = 50.0;
+        CoreRig rig(cp, std::make_unique<trace::StreamGen>(c));
+        rig.core->start();
+        rig.eq.run();
+        return rig.core->finishTick();
+    };
+    const Tick fast = run(0.5);
+    const Tick slow = run(1.5);
+    EXPECT_GT(slow, fast * 2);
+}
+
+TEST(TraceCore, DeterministicGivenSeed)
+{
+    auto run = [] {
+        TraceCore::Params cp;
+        cp.instrBudget = 30'000;
+        CoreRig rig(cp, std::make_unique<trace::ZipfGen>(genCfg(),
+                                                         0.9, 4));
+        rig.core->start();
+        rig.eq.run();
+        return rig.core->finishTick();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

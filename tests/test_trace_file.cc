@@ -1,0 +1,143 @@
+/** @file Tests for binary trace recording and replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_file.hh"
+#include "trace/workload.hh"
+
+namespace bmc::trace
+{
+namespace
+{
+
+std::string
+tmpPath(const char *tag)
+{
+    return std::string("/tmp/bmc_trace_test_") + tag + ".bmct";
+}
+
+TEST(TraceFile, RoundTripPreservesRecords)
+{
+    const std::string path = tmpPath("roundtrip");
+    GenConfig cfg;
+    cfg.base = 0x200000000ULL;
+    cfg.footprintBytes = 1 * kMiB;
+    cfg.seed = 5;
+    StreamGen gen(cfg, 0.2);
+    auto reference = gen.clone();
+
+    ASSERT_EQ(recordTrace(gen, 5000, path), 5000u);
+
+    auto file = TraceFile::load(path);
+    ASSERT_EQ(file->records().size(), 5000u);
+
+    GenConfig replay_cfg;
+    replay_cfg.base = cfg.base;
+    FileTraceGen replay(file, replay_cfg);
+    for (int i = 0; i < 5000; ++i) {
+        const TraceRecord want = reference->next();
+        const TraceRecord got = replay.next();
+        EXPECT_EQ(got.addr, want.addr);
+        EXPECT_EQ(got.gap, want.gap);
+        EXPECT_EQ(got.write, want.write);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayWrapsAround)
+{
+    const std::string path = tmpPath("wrap");
+    GenConfig cfg;
+    cfg.footprintBytes = 64 * kKiB;
+    StreamGen gen(cfg);
+    recordTrace(gen, 100, path);
+
+    auto file = TraceFile::load(path);
+    GenConfig rcfg;
+    FileTraceGen replay(file, rcfg);
+    std::vector<Addr> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(replay.next().addr);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(replay.next().addr, first[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CloneRestartsFromBeginning)
+{
+    const std::string path = tmpPath("clone");
+    GenConfig cfg;
+    cfg.footprintBytes = 64 * kKiB;
+    RandomGen gen(cfg);
+    recordTrace(gen, 200, path);
+
+    auto file = TraceFile::load(path);
+    GenConfig rcfg;
+    FileTraceGen replay(file, rcfg);
+    const Addr first = replay.next().addr;
+    for (int i = 0; i < 50; ++i)
+        replay.next();
+    auto clone = replay.clone();
+    EXPECT_EQ(clone->next().addr, first);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RelocatesIntoProgramRegion)
+{
+    const std::string path = tmpPath("reloc");
+    GenConfig cfg;
+    cfg.footprintBytes = 64 * kKiB;
+    StreamGen gen(cfg);
+    recordTrace(gen, 10, path);
+
+    auto file = TraceFile::load(path);
+    GenConfig rcfg;
+    rcfg.base = 7ULL * kGiB;
+    FileTraceGen replay(file, rcfg);
+    for (int i = 0; i < 10; ++i) {
+        const Addr a = replay.next().addr;
+        EXPECT_GE(a, rcfg.base);
+        EXPECT_LT(a, rcfg.base + cfg.footprintBytes);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MakeProgramFilePrefix)
+{
+    const std::string path = tmpPath("prefix");
+    GenConfig cfg;
+    cfg.footprintBytes = 64 * kKiB;
+    ZipfGen gen(cfg, 0.9, 4);
+    recordTrace(gen, 500, path);
+
+    auto program = makeProgram("file:" + path, 2, 8 * kMiB, 1);
+    ASSERT_NE(program, nullptr);
+    EXPECT_EQ(program->name(), "file_trace");
+    for (int i = 0; i < 500; ++i) {
+        const Addr a = program->next().addr;
+        EXPECT_GE(a, 2ULL * 64 * kGiB);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, MissingFileIsFatal)
+{
+    EXPECT_DEATH(TraceFile::load("/tmp/definitely_missing.bmct"),
+                 "cannot open");
+}
+
+TEST(TraceFileDeath, GarbageFileIsFatal)
+{
+    const std::string path = tmpPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace file at all, sorry!", f);
+    std::fclose(f);
+    EXPECT_DEATH(TraceFile::load(path), "not a BMCT");
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace bmc::trace

@@ -1,0 +1,189 @@
+/** @file Tests for the SRAM Way Locator, including the never-wrong
+ *  property and the Table III storage arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "dramcache/bimodal/way_locator.hh"
+
+namespace bmc::dramcache
+{
+namespace
+{
+
+WayLocator::Params
+params(unsigned k = 10, unsigned addr_bits = 32)
+{
+    WayLocator::Params p;
+    p.indexBits = k;
+    p.addressBits = addr_bits;
+    p.bigBlockBits = 9;
+    return p;
+}
+
+TEST(WayLocator, MissOnEmpty)
+{
+    stats::StatGroup sg("t");
+    WayLocator loc(params(), sg);
+    EXPECT_FALSE(loc.lookup(0x12345).hit);
+}
+
+TEST(WayLocator, InsertThenHitBig)
+{
+    stats::StatGroup sg("t");
+    WayLocator loc(params(), sg);
+    loc.insert(0x10000, true, 3);
+    // Any line inside the same 512 B frame hits the big entry.
+    for (Addr off = 0; off < 512; off += 64) {
+        const auto r = loc.lookup(0x10000 + off);
+        EXPECT_TRUE(r.hit);
+        EXPECT_TRUE(r.isBig);
+        EXPECT_EQ(r.way, 3);
+    }
+    EXPECT_FALSE(loc.lookup(0x10200).hit); // next frame
+}
+
+TEST(WayLocator, SmallEntryMatchesExactLineOnly)
+{
+    stats::StatGroup sg("t");
+    WayLocator loc(params(), sg);
+    loc.insert(0x10040, false, 7);
+    EXPECT_TRUE(loc.lookup(0x10040).hit);
+    EXPECT_TRUE(loc.lookup(0x10040 + 32).hit); // same line
+    EXPECT_FALSE(loc.lookup(0x10000).hit);     // same frame, other line
+    EXPECT_FALSE(loc.lookup(0x10080).hit);
+}
+
+TEST(WayLocator, RemoveDropsEntry)
+{
+    stats::StatGroup sg("t");
+    WayLocator loc(params(), sg);
+    loc.insert(0x20000, true, 1);
+    loc.remove(0x20000, true);
+    EXPECT_FALSE(loc.lookup(0x20000).hit);
+}
+
+TEST(WayLocator, RemoveIsSizeSpecific)
+{
+    stats::StatGroup sg("t");
+    WayLocator loc(params(), sg);
+    loc.insert(0x20000, true, 1);
+    loc.remove(0x20000, false); // small remove must not drop big
+    EXPECT_TRUE(loc.lookup(0x20000).hit);
+}
+
+TEST(WayLocator, InsertUpdatesExistingEntry)
+{
+    stats::StatGroup sg("t");
+    WayLocator loc(params(), sg);
+    loc.insert(0x30000, true, 1);
+    loc.insert(0x30000, true, 2);
+    EXPECT_EQ(loc.lookup(0x30000).way, 2);
+    EXPECT_EQ(loc.numEntries(), 2ULL << 10);
+}
+
+TEST(WayLocator, TwoEntriesPerIndexLruReplacement)
+{
+    stats::StatGroup sg("t");
+    const unsigned k = 4;
+    WayLocator loc(params(k), sg); // tiny: 16 indexes
+    // Recompute the locator's index hash to find three frames that
+    // collide on one index.
+    std::vector<Addr> conflicting;
+    const std::uint64_t target = mix64(0) & mask(k);
+    for (Addr frame = 0; conflicting.size() < 3; ++frame) {
+        if ((mix64(frame) & mask(k)) == target)
+            conflicting.push_back(frame << 9);
+    }
+    loc.insert(conflicting[0], true, 0);
+    loc.insert(conflicting[1], true, 1);
+    // Promote entry 0, then insert a third: entry 1 is the LRU.
+    EXPECT_TRUE(loc.lookup(conflicting[0]).hit);
+    loc.insert(conflicting[2], true, 2);
+    EXPECT_TRUE(loc.lookup(conflicting[0]).hit);
+    EXPECT_FALSE(loc.lookup(conflicting[1]).hit);
+    EXPECT_TRUE(loc.lookup(conflicting[2]).hit);
+}
+
+TEST(WayLocator, StorageArithmeticMatchesTableIII)
+{
+    // Table III uses decimal kilobytes; N = addressBits - 9.
+    struct Case
+    {
+        unsigned k;
+        unsigned addr_bits;
+        double expect_decimal_kb;
+    };
+    // 128 MB cache / 4 GB memory -> 32-bit addresses.
+    // K=14 -> 77.8 KB; K=16 -> 278.5 KB.
+    for (const Case c : {Case{14, 32, 77.8}, Case{16, 32, 278.5},
+                         Case{14, 33, 81.9}, Case{14, 34, 86.0},
+                         Case{16, 33, 294.9}, Case{16, 34, 311.3}}) {
+        stats::StatGroup sg("t");
+        WayLocator loc(params(c.k, c.addr_bits), sg);
+        EXPECT_NEAR(static_cast<double>(loc.storageBytes()) / 1000.0,
+                    c.expect_decimal_kb, 0.15)
+            << "K=" << c.k << " addr=" << c.addr_bits;
+    }
+}
+
+TEST(WayLocator, HitRateStat)
+{
+    stats::StatGroup sg("t");
+    WayLocator loc(params(), sg);
+    loc.insert(0x1000, false, 0);
+    loc.lookup(0x1000); // hit
+    loc.lookup(0x2000); // miss
+    EXPECT_DOUBLE_EQ(loc.hitRate(), 0.5);
+}
+
+/**
+ * Never-wrong property: run a random insert/remove/lookup workload
+ * against a reference map; every locator hit must agree with the
+ * reference, and the locator must never hit on a removed block.
+ */
+TEST(WayLocatorProperty, NeverWrongAgainstReference)
+{
+    stats::StatGroup sg("t");
+    WayLocator loc(params(8), sg); // small table forces conflicts
+    Rng rng(99);
+
+    struct RefEntry
+    {
+        bool isBig;
+        std::uint8_t way;
+    };
+    std::map<std::pair<std::uint64_t, bool>, RefEntry> ref;
+
+    for (int iter = 0; iter < 200000; ++iter) {
+        const Addr addr = rng.below(1ULL << 24) * kLineBytes;
+        const bool is_big = rng.chance(0.5);
+        const std::uint64_t key = is_big ? addr >> 9 : addr >> 6;
+        const int op = static_cast<int>(rng.below(3));
+        if (op == 0) {
+            const auto way = static_cast<std::uint8_t>(rng.below(18));
+            loc.insert(addr, is_big, way);
+            ref[{key, is_big}] = {is_big, way};
+        } else if (op == 1) {
+            loc.remove(addr, is_big);
+            ref.erase({key, is_big});
+        } else {
+            const auto r = loc.lookup(addr);
+            if (r.hit) {
+                const std::uint64_t hit_key =
+                    r.isBig ? addr >> 9 : addr >> 6;
+                const auto it = ref.find({hit_key, r.isBig});
+                ASSERT_NE(it, ref.end())
+                    << "locator hit on a block not in the reference";
+                EXPECT_EQ(r.way, it->second.way);
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace bmc::dramcache

@@ -1,0 +1,113 @@
+/** @file Tests for the benchmark registry and workload tables. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workload.hh"
+
+namespace bmc::trace
+{
+namespace
+{
+
+TEST(Registry, HasExpectedBenchmarks)
+{
+    const auto &reg = benchmarkRegistry();
+    EXPECT_GE(reg.size(), 12u);
+    for (const char *name :
+         {"stream_w", "rand_big", "zipf_hot", "scan_llc", "stride4"}) {
+        EXPECT_NO_FATAL_FAILURE(findBenchmark(name));
+    }
+}
+
+TEST(Registry, EveryBenchmarkInstantiates)
+{
+    for (const auto &info : benchmarkRegistry()) {
+        auto gen = makeProgram(info.name, 0, 8 * kMiB, 1);
+        ASSERT_NE(gen, nullptr) << info.name;
+        for (int i = 0; i < 100; ++i)
+            gen->next();
+    }
+}
+
+TEST(RegistryDeath, UnknownBenchmarkIsFatal)
+{
+    EXPECT_DEATH(findBenchmark("no_such_bm"), "unknown benchmark");
+}
+
+TEST(Workloads, TablesHaveRightCoreCounts)
+{
+    for (unsigned cores : {4u, 8u, 16u}) {
+        const auto &table = workloadTable(cores);
+        EXPECT_GE(table.size(), 4u);
+        for (const auto &w : table) {
+            EXPECT_EQ(w.programs.size(), cores) << w.name;
+            for (const auto &p : w.programs)
+                EXPECT_NO_FATAL_FAILURE(findBenchmark(p));
+        }
+    }
+}
+
+TEST(Workloads, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (unsigned cores : {4u, 8u, 16u})
+        for (const auto &w : workloadTable(cores))
+            EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+TEST(Workloads, MixOfIntensities)
+{
+    for (unsigned cores : {4u, 8u, 16u}) {
+        int high = 0;
+        int low = 0;
+        for (const auto &w : workloadTable(cores))
+            (w.highIntensity ? high : low)++;
+        EXPECT_GT(high, 0);
+        EXPECT_GT(low, 0);
+    }
+}
+
+TEST(Workloads, FindByName)
+{
+    EXPECT_EQ(findWorkload("Q1").programs.size(), 4u);
+    EXPECT_EQ(findWorkload("E1").programs.size(), 8u);
+    EXPECT_EQ(findWorkload("S1").programs.size(), 16u);
+    EXPECT_DEATH(findWorkload("Z99"), "unknown workload");
+}
+
+TEST(MakeProgram, DisjointAddressSpacesPerCore)
+{
+    auto g0 = makeProgram("rand_big", 0, 8 * kMiB, 1);
+    auto g5 = makeProgram("rand_big", 5, 8 * kMiB, 1);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = g0->next().addr;
+        const Addr b = g5->next().addr;
+        EXPECT_LT(a, 64 * kGiB);
+        EXPECT_GE(b, 5 * 64 * kGiB);
+        EXPECT_LT(b, 6 * 64 * kGiB);
+    }
+}
+
+TEST(MakeProgram, FootprintScalesWithCache)
+{
+    const auto &info = findBenchmark("rand_big");
+    auto small = makeProgram("rand_big", 0, 8 * kMiB, 1);
+    auto large = makeProgram("rand_big", 0, 64 * kMiB, 1);
+    EXPECT_NEAR(static_cast<double>(small->config().footprintBytes),
+                info.footprintFactor * 8.0 * kMiB, kLineBytes);
+    EXPECT_NEAR(static_cast<double>(large->config().footprintBytes),
+                info.footprintFactor * 64.0 * kMiB, kLineBytes);
+}
+
+TEST(MakeProgram, SameSeedSameStream)
+{
+    auto a = makeProgram("zipf_hot", 2, 8 * kMiB, 77);
+    auto b = makeProgram("zipf_hot", 2, 8 * kMiB, 77);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a->next().addr, b->next().addr);
+}
+
+} // anonymous namespace
+} // namespace bmc::trace

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * bmcsim: the command-line simulator driver.
+ *
+ * Exposes the full configuration surface of the library for ad-hoc
+ * experiments without writing C++:
+ *
+ *   # headline comparison on a named workload
+ *   bmcsim --workload=Q5 --scheme=bimodal
+ *
+ *   # custom program list (one per core), custom geometry
+ *   bmcsim --programs=stream_w,rand_big --scheme=footprint \
+ *          --cache-mib=64 --instrs=2000000
+ *
+ *   # replay recorded traces (trace_file.hh format)
+ *   bmcsim --programs=file:/tmp/core0.bmct,file:/tmp/core1.bmct
+ *
+ *   # run the ANTT protocol (multiprogram + standalones)
+ *   bmcsim --workload=E1 --scheme=bimodal --antt
+ *
+ *   # dump every statistic the simulator keeps
+ *   bmcsim --workload=Q1 --dump-stats
+ *
+ *   # record the synthetic programs of a workload to trace files
+ *   bmcsim --workload=Q5 --record-trace=/tmp/q5 --records=1000000
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "trace/trace_file.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace bmc;
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos != std::string::npos && pos < arg.size()) {
+        const size_t comma = arg.find(',', pos);
+        out.push_back(arg.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    return out;
+}
+
+void
+printRun(const sim::RunStats &rs)
+{
+    Table table({"metric", "value"});
+    table.row().cell("sim ticks").cell(rs.simTicks);
+    table.row().cell("DRAM cache accesses").cell(rs.dccAccesses);
+    table.row()
+        .cell("cache hit rate")
+        .pct(rs.cacheHitRate * 100.0);
+    table.row()
+        .cell("avg LLSC miss penalty (cycles)")
+        .cell(rs.avgAccessLatency, 1);
+    table.row().cell("avg hit latency").cell(rs.avgHitLatency, 1);
+    table.row().cell("avg miss latency").cell(rs.avgMissLatency, 1);
+    table.row()
+        .cell("LLSC miss rate")
+        .pct(rs.llscMissRate * 100.0);
+    table.row()
+        .cell("off-chip fetch MB")
+        .cell(static_cast<double>(rs.offchipFetchBytes) / 1e6, 2);
+    table.row()
+        .cell("wasted fetch MB")
+        .cell(static_cast<double>(rs.wastedFetchBytes) / 1e6, 2);
+    table.row()
+        .cell("writeback MB")
+        .cell(static_cast<double>(rs.writebackBytes) / 1e6, 2);
+    table.row()
+        .cell("stacked data row-buffer hit")
+        .pct(rs.dataRowHitRate * 100.0);
+    table.row()
+        .cell("metadata row-buffer hit")
+        .pct(rs.metaRowHitRate * 100.0);
+    if (rs.locatorHitRate >= 0)
+        table.row()
+            .cell("way locator hit rate")
+            .pct(rs.locatorHitRate * 100.0);
+    if (rs.smallAccessFraction >= 0)
+        table.row()
+            .cell("small-block access share")
+            .pct(rs.smallAccessFraction * 100.0);
+    table.row()
+        .cell("memory energy (mJ)")
+        .cell(rs.energy.totalMj(), 4);
+    table.print();
+
+    std::printf("\nper-core cycles:");
+    for (const Tick c : rs.coreCycles)
+        std::printf(" %llu", static_cast<unsigned long long>(c));
+    std::printf("\n");
+}
+
+void
+printJson(const sim::RunStats &rs)
+{
+    std::printf("{\n");
+    std::printf("  \"sim_ticks\": %llu,\n",
+                static_cast<unsigned long long>(rs.simTicks));
+    std::printf("  \"dcc_accesses\": %llu,\n",
+                static_cast<unsigned long long>(rs.dccAccesses));
+    std::printf("  \"cache_hit_rate\": %.6f,\n", rs.cacheHitRate);
+    std::printf("  \"avg_access_latency\": %.3f,\n",
+                rs.avgAccessLatency);
+    std::printf("  \"avg_hit_latency\": %.3f,\n", rs.avgHitLatency);
+    std::printf("  \"avg_miss_latency\": %.3f,\n", rs.avgMissLatency);
+    std::printf("  \"llsc_miss_rate\": %.6f,\n", rs.llscMissRate);
+    std::printf("  \"offchip_fetch_bytes\": %llu,\n",
+                static_cast<unsigned long long>(rs.offchipFetchBytes));
+    std::printf("  \"wasted_fetch_bytes\": %llu,\n",
+                static_cast<unsigned long long>(rs.wastedFetchBytes));
+    std::printf("  \"writeback_bytes\": %llu,\n",
+                static_cast<unsigned long long>(rs.writebackBytes));
+    std::printf("  \"data_row_hit_rate\": %.6f,\n", rs.dataRowHitRate);
+    std::printf("  \"meta_row_hit_rate\": %.6f,\n", rs.metaRowHitRate);
+    std::printf("  \"locator_hit_rate\": %.6f,\n", rs.locatorHitRate);
+    std::printf("  \"small_access_fraction\": %.6f,\n",
+                rs.smallAccessFraction);
+    std::printf("  \"energy_pj\": %.1f,\n", rs.energy.totalPj());
+    std::printf("  \"core_cycles\": [");
+    for (size_t i = 0; i < rs.coreCycles.size(); ++i) {
+        std::printf("%s%llu", i ? ", " : "",
+                    static_cast<unsigned long long>(rs.coreCycles[i]));
+    }
+    std::printf("]\n}\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts("bmcsim: Bi-Modal DRAM Cache simulator driver");
+    opts.addString("workload", "",
+                   "named workload (Q*/E*/S*); sets the core count");
+    opts.addString("programs", "",
+                   "explicit comma-separated program list (benchmark "
+                   "names or file:<path> traces); overrides "
+                   "--workload");
+    opts.addString("scheme", "bimodal",
+                   "alloy | loh_hill | atcache | footprint | "
+                   "fixed512 | fixed512_sram | wayloc_only | "
+                   "bimodal_only | bimodal");
+    opts.addUint("cache-mib", 0, "DRAM cache capacity (0 = preset)");
+    opts.addUint("instrs", 0,
+                 "measured instructions per core (0 = preset)");
+    opts.addUint("warmup", 0,
+                 "warm-up instructions per core (0 = same as instrs)");
+    opts.addUint("seed", 1, "experiment seed");
+    opts.addFlag("full", false, "paper-scale preset");
+    opts.addFlag("antt", false,
+                 "run the ANTT protocol (multiprogram + standalone)");
+    opts.addString("prefetch", "off", "off | normal | bypass");
+    opts.addUint("prefetch-degree", 1, "next-N-lines degree");
+    opts.addUint("locator-k", 0, "way locator index bits (0 = preset)");
+    opts.addUint("threshold", 5, "size predictor threshold T");
+    opts.addDouble("weight", 0.75, "global adaptation weight W");
+    opts.addUint("set-bytes", 2048, "bi-modal set size");
+    opts.addUint("big-bytes", 512, "big block size");
+    opts.addFlag("command-dram", false,
+                 "use the command-granularity DRAM model");
+    opts.addFlag("dump-stats", false,
+                 "print every statistic after the run");
+    opts.addFlag("json", false, "machine-readable summary");
+    opts.addString("record-trace", "",
+                   "record the workload's programs to "
+                   "<prefix>.coreN.bmct instead of simulating");
+    opts.addUint("records", 500000,
+                 "records per core for --record-trace");
+    opts.parse(argc, argv);
+
+    using namespace bmc::sim;
+
+    // Resolve the program list.
+    std::vector<std::string> programs;
+    if (!opts.getString("programs").empty()) {
+        programs = splitList(opts.getString("programs"));
+    } else {
+        const std::string wname = opts.getString("workload").empty()
+                                      ? "Q5"
+                                      : opts.getString("workload");
+        programs = trace::findWorkload(wname).programs;
+    }
+    const unsigned cores = static_cast<unsigned>(programs.size());
+    const unsigned preset_cores =
+        cores <= 4 ? 4 : cores <= 8 ? 8 : 16;
+
+    MachineConfig cfg = opts.flag("full")
+                            ? MachineConfig::fullScale(preset_cores)
+                            : MachineConfig::preset(preset_cores);
+    cfg.cores = cores;
+    cfg.scheme = schemeFromName(opts.getString("scheme"));
+    cfg.seed = opts.getUint("seed");
+    if (opts.getUint("cache-mib"))
+        cfg.dramCacheBytes = opts.getUint("cache-mib") * kMiB;
+    if (opts.getUint("instrs")) {
+        cfg.instrPerCore = opts.getUint("instrs");
+        cfg.warmupInstrPerCore = opts.getUint("warmup")
+                                     ? opts.getUint("warmup")
+                                     : cfg.instrPerCore;
+    }
+    if (opts.getUint("locator-k"))
+        cfg.locatorIndexBits =
+            static_cast<unsigned>(opts.getUint("locator-k"));
+    cfg.predictorThreshold =
+        static_cast<unsigned>(opts.getUint("threshold"));
+    cfg.adaptWeight = opts.getDouble("weight");
+    cfg.setBytes = static_cast<std::uint32_t>(opts.getUint("set-bytes"));
+    cfg.bigBlockBytes =
+        static_cast<std::uint32_t>(opts.getUint("big-bytes"));
+
+    const std::string &pf = opts.getString("prefetch");
+    if (pf == "normal")
+        cfg.prefetchPolicy = cache::PrefetchPolicy::Normal;
+    else if (pf == "bypass")
+        cfg.prefetchPolicy = cache::PrefetchPolicy::Bypass;
+    else if (pf != "off")
+        bmc_fatal("unknown prefetch policy '%s'", pf.c_str());
+    cfg.prefetchDegree =
+        static_cast<unsigned>(opts.getUint("prefetch-degree"));
+    cfg.commandLevelDram = opts.flag("command-dram");
+
+    // Trace recording mode.
+    if (!opts.getString("record-trace").empty()) {
+        const std::string prefix = opts.getString("record-trace");
+        for (unsigned c = 0; c < cores; ++c) {
+            auto gen = trace::makeProgram(
+                programs[c], static_cast<CoreId>(c),
+                cfg.footprintRefBytes ? cfg.footprintRefBytes
+                                      : cfg.dramCacheBytes,
+                cfg.seed);
+            const std::string path =
+                prefix + ".core" + std::to_string(c) + ".bmct";
+            const auto n = trace::recordTrace(
+                *gen, opts.getUint("records"), path);
+            std::printf("wrote %llu records to %s\n",
+                        static_cast<unsigned long long>(n),
+                        path.c_str());
+        }
+        return 0;
+    }
+
+    if (opts.flag("antt")) {
+        trace::WorkloadSpec wl;
+        wl.name = "cli";
+        wl.programs = programs;
+        const AnttResult res = runAntt(cfg, wl);
+        std::printf("ANTT = %.4f   STP = %.4f   HMS = %.4f   "
+                    "fairness = %.3f   max slowdown = %.3f\n",
+                    res.metrics.antt, res.metrics.stp,
+                    res.metrics.hms, res.metrics.fairness,
+                    res.metrics.maxSlowdown);
+        for (size_t i = 0; i < programs.size(); ++i) {
+            std::printf("  %-16s MP=%llu SP=%llu slowdown=%.3f\n",
+                        programs[i].c_str(),
+                        static_cast<unsigned long long>(
+                            res.multiprogram.coreCycles[i]),
+                        static_cast<unsigned long long>(
+                            res.standaloneCycles[i]),
+                        static_cast<double>(
+                            res.multiprogram.coreCycles[i]) /
+                            static_cast<double>(
+                                res.standaloneCycles[i]));
+        }
+        return 0;
+    }
+
+    System system(cfg, programs);
+    const RunStats rs = system.run();
+    if (opts.flag("json"))
+        printJson(rs);
+    else
+        printRun(rs);
+    if (opts.flag("dump-stats")) {
+        std::printf("\n-- full statistics --\n%s",
+                    system.dumpStats().c_str());
+    }
+    return 0;
+}

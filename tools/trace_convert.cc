@@ -1,0 +1,111 @@
+/**
+ * @file
+ * trace_convert: turn a text access trace into the binary BMCT
+ * format replayed by `bmcsim --programs=file:...`.
+ *
+ * Input: one access per line,
+ *
+ *     R 0x7f001040 12
+ *     W 1fc0 0
+ *
+ * i.e. <R|W> <address (hex with optional 0x, or decimal)> [gap]
+ * where gap is the number of non-memory instructions preceding the
+ * access (0 if omitted). Lines starting with '#' and blank lines are
+ * skipped. This covers the common textual dumps produced by gem5 /
+ * Pin post-processing scripts.
+ *
+ *     trace_convert --in=accesses.txt --out=prog.bmct
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "trace/trace_file.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+
+    Options opts("Convert a text access trace to BMCT binary format");
+    opts.addString("in", "", "input text trace ('-' for stdin)");
+    opts.addString("out", "", "output .bmct path");
+    opts.addUint("max", 0, "stop after N records (0 = all)");
+    opts.parse(argc, argv);
+
+    if (opts.getString("out").empty())
+        bmc_fatal("--out is required");
+
+    const std::string &in_path = opts.getString("in");
+    std::FILE *in = nullptr;
+    if (in_path.empty() || in_path == "-") {
+        in = stdin;
+    } else {
+        in = std::fopen(in_path.c_str(), "r");
+        if (!in)
+            bmc_fatal("cannot open '%s'", in_path.c_str());
+    }
+
+    trace::TraceWriter writer(opts.getString("out"));
+    const std::uint64_t max = opts.getUint("max");
+
+    char line[512];
+    std::uint64_t line_no = 0;
+    std::uint64_t skipped = 0;
+    while (std::fgets(line, sizeof(line), in)) {
+        ++line_no;
+        char *p = line;
+        while (std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+        if (*p == '\0' || *p == '#')
+            continue;
+
+        const char op = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(*p)));
+        if (op != 'R' && op != 'W') {
+            ++skipped;
+            continue;
+        }
+        ++p;
+        while (std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+
+        char *end = nullptr;
+        const std::uint64_t addr = std::strtoull(p, &end, 16);
+        if (end == p) {
+            ++skipped;
+            continue;
+        }
+        p = end;
+        std::uint64_t gap = 0;
+        while (std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+        if (*p != '\0' && *p != '\n')
+            gap = std::strtoull(p, nullptr, 10);
+
+        trace::TraceRecord rec;
+        rec.addr = addr & ~static_cast<Addr>(kLineBytes - 1);
+        rec.write = op == 'W';
+        rec.gap = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(gap, 0xFFFFFFFFULL));
+        writer.append(rec);
+
+        if (max && writer.recordsWritten() >= max)
+            break;
+    }
+    if (in != stdin)
+        std::fclose(in);
+
+    writer.close();
+    std::printf("wrote %llu records to %s (%llu lines skipped)\n",
+                static_cast<unsigned long long>(
+                    writer.recordsWritten()),
+                opts.getString("out").c_str(),
+                static_cast<unsigned long long>(skipped));
+    return writer.recordsWritten() > 0 ? 0 : 1;
+}
