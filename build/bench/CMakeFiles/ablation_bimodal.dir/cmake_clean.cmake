@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bimodal.dir/ablation_bimodal.cc.o"
+  "CMakeFiles/ablation_bimodal.dir/ablation_bimodal.cc.o.d"
+  "ablation_bimodal"
+  "ablation_bimodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

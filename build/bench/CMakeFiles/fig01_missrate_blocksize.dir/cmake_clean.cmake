@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_missrate_blocksize.dir/fig01_missrate_blocksize.cc.o"
+  "CMakeFiles/fig01_missrate_blocksize.dir/fig01_missrate_blocksize.cc.o.d"
+  "fig01_missrate_blocksize"
+  "fig01_missrate_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_missrate_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

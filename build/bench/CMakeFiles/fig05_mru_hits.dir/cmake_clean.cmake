@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_mru_hits.dir/fig05_mru_hits.cc.o"
+  "CMakeFiles/fig05_mru_hits.dir/fig05_mru_hits.cc.o.d"
+  "fig05_mru_hits"
+  "fig05_mru_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_mru_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_antt.dir/fig07_antt.cc.o"
+  "CMakeFiles/fig07_antt.dir/fig07_antt.cc.o.d"
+  "fig07_antt"
+  "fig07_antt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_antt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_components.dir/fig08a_components.cc.o"
+  "CMakeFiles/fig08a_components.dir/fig08a_components.cc.o.d"
+  "fig08a_components"
+  "fig08a_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

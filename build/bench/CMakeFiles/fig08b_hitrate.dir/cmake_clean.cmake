@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_hitrate.dir/fig08b_hitrate.cc.o"
+  "CMakeFiles/fig08b_hitrate.dir/fig08b_hitrate.cc.o.d"
+  "fig08b_hitrate"
+  "fig08b_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

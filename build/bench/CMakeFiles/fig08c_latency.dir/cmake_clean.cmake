@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08c_latency.dir/fig08c_latency.cc.o"
+  "CMakeFiles/fig08c_latency.dir/fig08c_latency.cc.o.d"
+  "fig08c_latency"
+  "fig08c_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08c_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_wasted_bandwidth.dir/fig09a_wasted_bandwidth.cc.o"
+  "CMakeFiles/fig09a_wasted_bandwidth.dir/fig09a_wasted_bandwidth.cc.o.d"
+  "fig09a_wasted_bandwidth"
+  "fig09a_wasted_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_wasted_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_metadata_rbh.dir/fig09b_metadata_rbh.cc.o"
+  "CMakeFiles/fig09b_metadata_rbh.dir/fig09b_metadata_rbh.cc.o.d"
+  "fig09b_metadata_rbh"
+  "fig09b_metadata_rbh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_metadata_rbh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09c_waylocator_hitrate.dir/fig09c_waylocator_hitrate.cc.o"
+  "CMakeFiles/fig09c_waylocator_hitrate.dir/fig09c_waylocator_hitrate.cc.o.d"
+  "fig09c_waylocator_hitrate"
+  "fig09c_waylocator_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09c_waylocator_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

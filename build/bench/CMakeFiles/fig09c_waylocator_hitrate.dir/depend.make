@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09c_waylocator_hitrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_small_fraction.cc" "bench/CMakeFiles/fig10_small_fraction.dir/fig10_small_fraction.cc.o" "gcc" "bench/CMakeFiles/fig10_small_fraction.dir/fig10_small_fraction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bmc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramcache/CMakeFiles/bmc_dramcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/bmc_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bmc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

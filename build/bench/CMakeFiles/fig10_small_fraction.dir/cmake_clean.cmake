@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_small_fraction.dir/fig10_small_fraction.cc.o"
+  "CMakeFiles/fig10_small_fraction.dir/fig10_small_fraction.cc.o.d"
+  "fig10_small_fraction"
+  "fig10_small_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_small_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_fidelity.dir/model_fidelity.cc.o"
+  "CMakeFiles/model_fidelity.dir/model_fidelity.cc.o.d"
+  "model_fidelity"
+  "model_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

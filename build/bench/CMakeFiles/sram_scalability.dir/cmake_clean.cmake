@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_scalability.dir/sram_scalability.cc.o"
+  "CMakeFiles/sram_scalability.dir/sram_scalability.cc.o.d"
+  "sram_scalability"
+  "sram_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

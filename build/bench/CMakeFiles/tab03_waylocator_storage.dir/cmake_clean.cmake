@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_waylocator_storage.dir/tab03_waylocator_storage.cc.o"
+  "CMakeFiles/tab03_waylocator_storage.dir/tab03_waylocator_storage.cc.o.d"
+  "tab03_waylocator_storage"
+  "tab03_waylocator_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_waylocator_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_prefetch.dir/tab06_prefetch.cc.o"
+  "CMakeFiles/tab06_prefetch.dir/tab06_prefetch.cc.o.d"
+  "tab06_prefetch"
+  "tab06_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locator_tuning.dir/locator_tuning.cpp.o"
+  "CMakeFiles/locator_tuning.dir/locator_tuning.cpp.o.d"
+  "locator_tuning"
+  "locator_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locator_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_cache.dir/mshr.cc.o"
+  "CMakeFiles/bmc_cache.dir/mshr.cc.o.d"
+  "CMakeFiles/bmc_cache.dir/prefetcher.cc.o"
+  "CMakeFiles/bmc_cache.dir/prefetcher.cc.o.d"
+  "CMakeFiles/bmc_cache.dir/sram_cache.cc.o"
+  "CMakeFiles/bmc_cache.dir/sram_cache.cc.o.d"
+  "libbmc_cache.a"
+  "libbmc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

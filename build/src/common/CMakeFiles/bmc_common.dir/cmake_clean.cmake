@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_common.dir/event_queue.cc.o"
+  "CMakeFiles/bmc_common.dir/event_queue.cc.o.d"
+  "CMakeFiles/bmc_common.dir/logging.cc.o"
+  "CMakeFiles/bmc_common.dir/logging.cc.o.d"
+  "CMakeFiles/bmc_common.dir/options.cc.o"
+  "CMakeFiles/bmc_common.dir/options.cc.o.d"
+  "CMakeFiles/bmc_common.dir/rng.cc.o"
+  "CMakeFiles/bmc_common.dir/rng.cc.o.d"
+  "CMakeFiles/bmc_common.dir/stats.cc.o"
+  "CMakeFiles/bmc_common.dir/stats.cc.o.d"
+  "CMakeFiles/bmc_common.dir/table.cc.o"
+  "CMakeFiles/bmc_common.dir/table.cc.o.d"
+  "libbmc_common.a"
+  "libbmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_dram.dir/address_map.cc.o"
+  "CMakeFiles/bmc_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/bmc_dram.dir/channel.cc.o"
+  "CMakeFiles/bmc_dram.dir/channel.cc.o.d"
+  "CMakeFiles/bmc_dram.dir/command_channel.cc.o"
+  "CMakeFiles/bmc_dram.dir/command_channel.cc.o.d"
+  "CMakeFiles/bmc_dram.dir/dram_system.cc.o"
+  "CMakeFiles/bmc_dram.dir/dram_system.cc.o.d"
+  "CMakeFiles/bmc_dram.dir/timing_params.cc.o"
+  "CMakeFiles/bmc_dram.dir/timing_params.cc.o.d"
+  "libbmc_dram.a"
+  "libbmc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dramcache/alloy.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/alloy.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/alloy.cc.o.d"
+  "/root/repo/src/dramcache/atcache.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/atcache.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/atcache.cc.o.d"
+  "/root/repo/src/dramcache/bimodal/bimodal_cache.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/bimodal/bimodal_cache.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/bimodal/bimodal_cache.cc.o.d"
+  "/root/repo/src/dramcache/bimodal/set_state.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/bimodal/set_state.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/bimodal/set_state.cc.o.d"
+  "/root/repo/src/dramcache/bimodal/size_predictor.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/bimodal/size_predictor.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/bimodal/size_predictor.cc.o.d"
+  "/root/repo/src/dramcache/bimodal/way_locator.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/bimodal/way_locator.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/bimodal/way_locator.cc.o.d"
+  "/root/repo/src/dramcache/fixed.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/fixed.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/fixed.cc.o.d"
+  "/root/repo/src/dramcache/footprint.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/footprint.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/footprint.cc.o.d"
+  "/root/repo/src/dramcache/layout.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/layout.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/layout.cc.o.d"
+  "/root/repo/src/dramcache/loh_hill.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/loh_hill.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/loh_hill.cc.o.d"
+  "/root/repo/src/dramcache/org.cc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/org.cc.o" "gcc" "src/dramcache/CMakeFiles/bmc_dramcache.dir/org.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/bmc_sram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

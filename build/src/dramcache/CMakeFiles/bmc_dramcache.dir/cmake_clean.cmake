@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_dramcache.dir/alloy.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/alloy.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/atcache.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/atcache.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/bimodal/bimodal_cache.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/bimodal/bimodal_cache.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/bimodal/set_state.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/bimodal/set_state.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/bimodal/size_predictor.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/bimodal/size_predictor.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/bimodal/way_locator.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/bimodal/way_locator.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/fixed.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/fixed.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/footprint.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/footprint.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/layout.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/layout.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/loh_hill.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/loh_hill.cc.o.d"
+  "CMakeFiles/bmc_dramcache.dir/org.cc.o"
+  "CMakeFiles/bmc_dramcache.dir/org.cc.o.d"
+  "libbmc_dramcache.a"
+  "libbmc_dramcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_dramcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

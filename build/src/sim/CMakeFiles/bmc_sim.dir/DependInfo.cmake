@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dramcache_controller.cc" "src/sim/CMakeFiles/bmc_sim.dir/dramcache_controller.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/dramcache_controller.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/bmc_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/functional.cc" "src/sim/CMakeFiles/bmc_sim.dir/functional.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/functional.cc.o.d"
+  "/root/repo/src/sim/main_memory.cc" "src/sim/CMakeFiles/bmc_sim.dir/main_memory.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/main_memory.cc.o.d"
+  "/root/repo/src/sim/mem_hierarchy.cc" "src/sim/CMakeFiles/bmc_sim.dir/mem_hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/mem_hierarchy.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/bmc_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/schemes.cc" "src/sim/CMakeFiles/bmc_sim.dir/schemes.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/schemes.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/bmc_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/trace_core.cc" "src/sim/CMakeFiles/bmc_sim.dir/trace_core.cc.o" "gcc" "src/sim/CMakeFiles/bmc_sim.dir/trace_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/bmc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramcache/CMakeFiles/bmc_dramcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/bmc_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bmc_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

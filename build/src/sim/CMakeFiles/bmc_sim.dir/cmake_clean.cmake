@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_sim.dir/dramcache_controller.cc.o"
+  "CMakeFiles/bmc_sim.dir/dramcache_controller.cc.o.d"
+  "CMakeFiles/bmc_sim.dir/energy.cc.o"
+  "CMakeFiles/bmc_sim.dir/energy.cc.o.d"
+  "CMakeFiles/bmc_sim.dir/functional.cc.o"
+  "CMakeFiles/bmc_sim.dir/functional.cc.o.d"
+  "CMakeFiles/bmc_sim.dir/main_memory.cc.o"
+  "CMakeFiles/bmc_sim.dir/main_memory.cc.o.d"
+  "CMakeFiles/bmc_sim.dir/mem_hierarchy.cc.o"
+  "CMakeFiles/bmc_sim.dir/mem_hierarchy.cc.o.d"
+  "CMakeFiles/bmc_sim.dir/metrics.cc.o"
+  "CMakeFiles/bmc_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/bmc_sim.dir/schemes.cc.o"
+  "CMakeFiles/bmc_sim.dir/schemes.cc.o.d"
+  "CMakeFiles/bmc_sim.dir/system.cc.o"
+  "CMakeFiles/bmc_sim.dir/system.cc.o.d"
+  "CMakeFiles/bmc_sim.dir/trace_core.cc.o"
+  "CMakeFiles/bmc_sim.dir/trace_core.cc.o.d"
+  "libbmc_sim.a"
+  "libbmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbmc_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_sram.dir/cacti_lite.cc.o"
+  "CMakeFiles/bmc_sram.dir/cacti_lite.cc.o.d"
+  "libbmc_sram.a"
+  "libbmc_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_trace.dir/generator.cc.o"
+  "CMakeFiles/bmc_trace.dir/generator.cc.o.d"
+  "CMakeFiles/bmc_trace.dir/trace_file.cc.o"
+  "CMakeFiles/bmc_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/bmc_trace.dir/workload.cc.o"
+  "CMakeFiles/bmc_trace.dir/workload.cc.o.d"
+  "libbmc_trace.a"
+  "libbmc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_map.cc" "tests/CMakeFiles/bmc_tests.dir/test_address_map.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_address_map.cc.o.d"
+  "/root/repo/tests/test_alloy.cc" "tests/CMakeFiles/bmc_tests.dir/test_alloy.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_alloy.cc.o.d"
+  "/root/repo/tests/test_bimodal.cc" "tests/CMakeFiles/bmc_tests.dir/test_bimodal.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_bimodal.cc.o.d"
+  "/root/repo/tests/test_bimodal_ablation.cc" "tests/CMakeFiles/bmc_tests.dir/test_bimodal_ablation.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_bimodal_ablation.cc.o.d"
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/bmc_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_cacti_lite.cc" "tests/CMakeFiles/bmc_tests.dir/test_cacti_lite.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_cacti_lite.cc.o.d"
+  "/root/repo/tests/test_command_channel.cc" "tests/CMakeFiles/bmc_tests.dir/test_command_channel.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_command_channel.cc.o.d"
+  "/root/repo/tests/test_dram_channel.cc" "tests/CMakeFiles/bmc_tests.dir/test_dram_channel.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_dram_channel.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/bmc_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_fixed.cc" "tests/CMakeFiles/bmc_tests.dir/test_fixed.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_fixed.cc.o.d"
+  "/root/repo/tests/test_footprint.cc" "tests/CMakeFiles/bmc_tests.dir/test_footprint.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_footprint.cc.o.d"
+  "/root/repo/tests/test_layout.cc" "tests/CMakeFiles/bmc_tests.dir/test_layout.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_layout.cc.o.d"
+  "/root/repo/tests/test_loh_hill_atcache.cc" "tests/CMakeFiles/bmc_tests.dir/test_loh_hill_atcache.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_loh_hill_atcache.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/bmc_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_misc_edges.cc" "tests/CMakeFiles/bmc_tests.dir/test_misc_edges.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_misc_edges.cc.o.d"
+  "/root/repo/tests/test_missmap.cc" "tests/CMakeFiles/bmc_tests.dir/test_missmap.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_missmap.cc.o.d"
+  "/root/repo/tests/test_mshr_prefetcher.cc" "tests/CMakeFiles/bmc_tests.dir/test_mshr_prefetcher.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_mshr_prefetcher.cc.o.d"
+  "/root/repo/tests/test_org_invariants.cc" "tests/CMakeFiles/bmc_tests.dir/test_org_invariants.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_org_invariants.cc.o.d"
+  "/root/repo/tests/test_paper_claims.cc" "tests/CMakeFiles/bmc_tests.dir/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_paper_claims.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/bmc_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_set_state.cc" "tests/CMakeFiles/bmc_tests.dir/test_set_state.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_set_state.cc.o.d"
+  "/root/repo/tests/test_sim_components.cc" "tests/CMakeFiles/bmc_tests.dir/test_sim_components.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_sim_components.cc.o.d"
+  "/root/repo/tests/test_size_predictor.cc" "tests/CMakeFiles/bmc_tests.dir/test_size_predictor.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_size_predictor.cc.o.d"
+  "/root/repo/tests/test_sram_cache.cc" "tests/CMakeFiles/bmc_tests.dir/test_sram_cache.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_sram_cache.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/bmc_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system_cmdlevel.cc" "tests/CMakeFiles/bmc_tests.dir/test_system_cmdlevel.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_system_cmdlevel.cc.o.d"
+  "/root/repo/tests/test_system_integration.cc" "tests/CMakeFiles/bmc_tests.dir/test_system_integration.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_system_integration.cc.o.d"
+  "/root/repo/tests/test_table_options.cc" "tests/CMakeFiles/bmc_tests.dir/test_table_options.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_table_options.cc.o.d"
+  "/root/repo/tests/test_trace_core.cc" "tests/CMakeFiles/bmc_tests.dir/test_trace_core.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_trace_core.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/bmc_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_trace_gen.cc" "tests/CMakeFiles/bmc_tests.dir/test_trace_gen.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_trace_gen.cc.o.d"
+  "/root/repo/tests/test_way_locator.cc" "tests/CMakeFiles/bmc_tests.dir/test_way_locator.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_way_locator.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/bmc_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/bmc_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bmc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramcache/CMakeFiles/bmc_dramcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/bmc_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bmc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

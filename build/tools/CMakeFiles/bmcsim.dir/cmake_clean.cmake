@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmcsim.dir/bmcsim.cc.o"
+  "CMakeFiles/bmcsim.dir/bmcsim.cc.o.d"
+  "bmcsim"
+  "bmcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
