@@ -4,9 +4,15 @@
  * AlloyCache baseline, for a fixed 512 B organization (paper: +29%
  * average) and the Bi-Modal Cache (paper: +38% average, thanks to
  * better space utilization).
+ *
+ * The (workload x scheme) matrix runs through the sweep API, so
+ * --threads=N parallelizes the figure without changing any result
+ * (per-run seeds depend only on the matrix cell).
  */
 
 #include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "sim/sweep.hh"
 
 int
 main(int argc, char **argv)
@@ -17,36 +23,56 @@ main(int argc, char **argv)
     Options opts("Figure 8b: cache hit rate improvement");
     addCommonOptions(opts);
     opts.addUint("records", 400000, "trace records per core");
+    opts.addUint("threads", 1, "parallel sweep workers (0 = cores)");
     opts.parse(argc, argv);
 
     banner("Figure 8b: DRAM cache hit rates", "Fig 8b");
 
+    const std::vector<sim::Scheme> schemes = {
+        sim::Scheme::Alloy, sim::Scheme::Fixed512,
+        sim::Scheme::BiModal};
+    const auto workloads = selectWorkloads(opts, 4);
+
+    std::vector<std::string> names;
+    for (const auto *wl : workloads)
+        names.push_back(wl->name);
+
+    sim::SweepBuilder builder(configFromOptions(opts, 4));
+    const std::vector<sim::RunSpec> runs =
+        builder.workloads(names)
+            .schemes(schemes)
+            .mode(sim::RunMode::Functional)
+            .functionalRecords(opts.getUint("records"))
+            .build();
+
+    sim::SweepOptions sopts;
+    sopts.threads = static_cast<unsigned>(opts.getUint("threads"));
+    const std::vector<sim::RunResult> results =
+        sim::runSweep(runs, sopts);
+
     Table table({"workload", "alloy(64B)", "fixed-512B", "bimodal",
                  "512B gain", "bimodal gain"});
 
-    auto run_one = [&](const trace::WorkloadSpec &wl,
-                       sim::Scheme scheme) {
-        sim::MachineConfig cfg = configFromOptions(opts, 4);
-        cfg.scheme = scheme;
-        stats::StatGroup sg("bench");
-        auto org = sim::buildOrg(cfg, sg);
-        auto programs = sim::makeWorkloadPrograms(wl, cfg);
-        sim::runFunctional(*org, programs, cfg,
-                           opts.getUint("records"), sg);
-        return org->stats().hitRate();
-    };
-
     std::vector<double> gain512, gain_bm;
-    for (const auto *wl : selectWorkloads(opts, 4)) {
-        const double alloy = run_one(*wl, sim::Scheme::Alloy);
-        const double fixed = run_one(*wl, sim::Scheme::Fixed512);
-        const double bm = run_one(*wl, sim::Scheme::BiModal);
+    for (size_t wi = 0; wi < names.size(); ++wi) {
+        // Build order: workload-major, scheme-minor.
+        const auto &r_alloy = results[wi * schemes.size() + 0];
+        const auto &r_fixed = results[wi * schemes.size() + 1];
+        const auto &r_bm = results[wi * schemes.size() + 2];
+        for (const auto *r : {&r_alloy, &r_fixed, &r_bm}) {
+            if (!r->ok)
+                bmc_fatal("run %zu (%s) failed: %s", r->index,
+                          r->label.c_str(), r->error.c_str());
+        }
+        const double alloy = r_alloy.stats.cacheHitRate;
+        const double fixed = r_fixed.stats.cacheHitRate;
+        const double bm = r_bm.stats.cacheHitRate;
         const double g512 = (fixed - alloy) * 100.0;
         const double gbm = (bm - alloy) * 100.0;
         gain512.push_back(g512);
         gain_bm.push_back(gbm);
         table.row()
-            .cell(wl->name)
+            .cell(names[wi])
             .pct(alloy * 100.0)
             .pct(fixed * 100.0)
             .pct(bm * 100.0)

@@ -6,9 +6,15 @@
  * configuration is compared to a same-size AlloyCache. Paper: the
  * benefit holds from 64 MB to 512 MB, 256 B to 1 KB blocks, and at
  * 8-way sets.
+ *
+ * The (geometry x workload x scheme) ANTT matrix runs through the
+ * sweep API: --threads=N distributes the runs without changing any
+ * result.
  */
 
 #include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "sim/sweep.hh"
 
 int
 main(int argc, char **argv)
@@ -18,6 +24,7 @@ main(int argc, char **argv)
 
     Options opts("Figure 12: sensitivity to geometry");
     addCommonOptions(opts);
+    opts.addUint("threads", 1, "parallel sweep workers (0 = cores)");
     opts.parse(argc, argv);
 
     banner("Figure 12: BiModal(size-block-assoc) sensitivity",
@@ -40,8 +47,6 @@ main(int argc, char **argv)
         {"BiModal(1x-512-8)", 1.0, 512, 8},
     };
 
-    Table table({"configuration", "set bytes", "mean ANTT gain"});
-
     auto workloads = selectWorkloads(opts, 4);
     // This bench multiplies ANTT runs per workload; trim the default
     // list to keep the suite fast (--workloads/--all to widen).
@@ -49,25 +54,58 @@ main(int argc, char **argv)
         workloads.size() > 3) {
         workloads.resize(3);
     }
-    for (const Config &c : configs) {
-        std::vector<double> gains;
-        for (const auto *wl : workloads) {
-            sim::MachineConfig cfg = configFromOptions(opts, 4);
-            cfg.dramCacheBytes = static_cast<std::uint64_t>(
-                static_cast<double>(cfg.dramCacheBytes) *
-                c.size_scale);
-            cfg.bigBlockBytes = c.bigBytes;
-            cfg.setBytes = c.bigBytes * c.assoc;
+    std::vector<std::string> names;
+    for (const auto *wl : workloads)
+        names.push_back(wl->name);
 
-            cfg.scheme = sim::Scheme::Alloy;
-            const double base = sim::runAntt(cfg, *wl).antt;
-            cfg.scheme = sim::Scheme::BiModal;
-            const double bm = sim::runAntt(cfg, *wl).antt;
-            gains.push_back((base - bm) / base * 100.0);
+    std::vector<sim::SweepBuilder::Variant> variants;
+    for (const Config &c : configs) {
+        variants.push_back(
+            {c.label, [c](sim::MachineConfig &cfg) {
+                 cfg.dramCacheBytes = static_cast<std::uint64_t>(
+                     static_cast<double>(cfg.dramCacheBytes) *
+                     c.size_scale);
+                 cfg.bigBlockBytes = c.bigBytes;
+                 cfg.setBytes = c.bigBytes * c.assoc;
+             }});
+    }
+
+    const std::vector<sim::Scheme> schemes = {sim::Scheme::Alloy,
+                                              sim::Scheme::BiModal};
+    sim::SweepBuilder builder(configFromOptions(opts, 4));
+    const std::vector<sim::RunSpec> runs = builder.workloads(names)
+                                               .schemes(schemes)
+                                               .variants(variants)
+                                               .mode(sim::RunMode::Antt)
+                                               .build();
+
+    sim::SweepOptions sopts;
+    sopts.threads = static_cast<unsigned>(opts.getUint("threads"));
+    const std::vector<sim::RunResult> results =
+        sim::runSweep(runs, sopts);
+
+    Table table({"configuration", "set bytes", "mean ANTT gain"});
+
+    // Build order: variant-major, then workload, then scheme.
+    for (size_t ci = 0; ci < std::size(configs); ++ci) {
+        std::vector<double> gains;
+        for (size_t wi = 0; wi < names.size(); ++wi) {
+            const size_t base_idx =
+                (ci * names.size() + wi) * schemes.size();
+            const auto &r_alloy = results[base_idx + 0];
+            const auto &r_bm = results[base_idx + 1];
+            for (const auto *r : {&r_alloy, &r_bm}) {
+                if (!r->ok)
+                    bmc_fatal("run %zu (%s) failed: %s", r->index,
+                              r->label.c_str(), r->error.c_str());
+            }
+            gains.push_back((r_alloy.antt - r_bm.antt) /
+                            r_alloy.antt * 100.0);
         }
         table.row()
-            .cell(c.label)
-            .cell(static_cast<std::uint64_t>(c.bigBytes * c.assoc))
+            .cell(configs[ci].label)
+            .cell(static_cast<std::uint64_t>(configs[ci].bigBytes *
+                                             configs[ci].assoc))
             .pct(mean(gains));
     }
     table.print();

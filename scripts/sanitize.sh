@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Configure, build and run the full test suite under AddressSanitizer
+# + UndefinedBehaviorSanitizer (the BMC_SANITIZE CMake option).
+#
+# Usage: scripts/sanitize.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+build_dir="${1:-build-asan}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$build_dir" -S "$src_dir" \
+    -DBMC_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j"$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"

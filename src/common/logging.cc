@@ -1,10 +1,28 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
 namespace bmc
 {
+
+namespace
+{
+
+std::atomic<int> throwDepth{0};
+
+} // anonymous namespace
+
+ScopedThrowErrors::ScopedThrowErrors()
+{
+    throwDepth.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedThrowErrors::~ScopedThrowErrors()
+{
+    throwDepth.fetch_sub(1, std::memory_order_relaxed);
+}
 
 std::string
 strfmt(const char *fmt, ...)
@@ -25,6 +43,9 @@ strfmt(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (throwDepth.load(std::memory_order_relaxed) > 0)
+        throw SimError(strfmt("panic: %s (%s:%d)", msg.c_str(), file,
+                              line));
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -32,6 +53,9 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (throwDepth.load(std::memory_order_relaxed) > 0)
+        throw SimError(strfmt("fatal: %s (%s:%d)", msg.c_str(), file,
+                              line));
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }

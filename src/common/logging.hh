@@ -15,10 +15,37 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace bmc
 {
+
+/**
+ * Thrown instead of aborting/exiting when throw-on-error mode is
+ * enabled (see ScopedThrowErrors). Batch drivers run each simulation
+ * under this mode so one bad run is isolated and reported instead of
+ * killing the whole sweep.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While alive, panic()/fatal()/bmc_assert raise SimError instead of
+ * terminating the process. Nestable and thread-safe (the mode is a
+ * process-global counter; simulations themselves never write it).
+ */
+class ScopedThrowErrors
+{
+  public:
+    ScopedThrowErrors();
+    ~ScopedThrowErrors();
+    ScopedThrowErrors(const ScopedThrowErrors &) = delete;
+    ScopedThrowErrors &operator=(const ScopedThrowErrors &) = delete;
+};
 
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);

@@ -1,0 +1,96 @@
+#include "common/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace bmc
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = defaultThreads();
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wakeWorker_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+ThreadPool::submit(Job job)
+{
+    bmc_assert(job != nullptr, "null job submitted");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bmc_assert(!stopping_, "submit after shutdown");
+        queue_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    wakeWorker_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeWorker_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                allIdle_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(unsigned num_threads, std::size_t total,
+            const std::function<void(std::size_t)> &job)
+{
+    if (num_threads <= 1) {
+        for (std::size_t i = 0; i < total; ++i)
+            job(i);
+        return;
+    }
+    ThreadPool pool(num_threads);
+    for (std::size_t i = 0; i < total; ++i)
+        pool.submit([&job, i] { job(i); });
+    pool.wait();
+}
+
+} // namespace bmc

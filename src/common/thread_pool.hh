@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-size worker pool for batch simulation drivers.
+ *
+ * The simulator itself is single-threaded by design (one EventQueue
+ * per System); parallelism lives entirely at the experiment layer,
+ * where independent runs of a sweep matrix are distributed over a
+ * pool of workers. Jobs must therefore be mutually independent --
+ * the pool provides no ordering guarantees beyond wait() observing
+ * the completion of everything submitted before it.
+ */
+
+#ifndef BMC_COMMON_THREAD_POOL_HH
+#define BMC_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bmc
+{
+
+/** Fixed set of workers draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /** @param num_threads worker count; 0 means defaultThreads(). */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Waits for queued jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Jobs must not throw (wrap exceptions). */
+    void submit(Job job);
+
+    /** Block until every job submitted so far has finished. */
+    void wait();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Hardware concurrency, with a floor of 1. */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<Job> queue_;
+    std::mutex mutex_;
+    std::condition_variable wakeWorker_;
+    std::condition_variable allIdle_;
+    std::size_t inFlight_ = 0; //!< queued + currently executing
+    bool stopping_ = false;
+};
+
+/**
+ * Run @p total independent jobs, at most @p num_threads at a time:
+ * job(i) for i in [0, total). Blocks until all complete. With
+ * num_threads <= 1 the jobs run inline on the caller's thread, which
+ * keeps single-threaded runs trivially debuggable.
+ */
+void parallelFor(unsigned num_threads, std::size_t total,
+                 const std::function<void(std::size_t)> &job);
+
+} // namespace bmc
+
+#endif // BMC_COMMON_THREAD_POOL_HH

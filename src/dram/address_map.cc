@@ -31,4 +31,18 @@ AddressMap::pageOffset(Addr addr) const
     return static_cast<std::uint32_t>(addr % pageBytes_);
 }
 
+Addr
+AddressMap::addressOf(const Location &loc,
+                      std::uint32_t page_offset) const
+{
+    bmc_assert(loc.channel < channels_ && loc.bank < banks_,
+               "location (%u, %u) outside %u channels x %u banks",
+               loc.channel, loc.bank, channels_, banks_);
+    bmc_assert(page_offset < pageBytes_, "offset %u beyond page",
+               page_offset);
+    const Addr page =
+        (loc.row * banks_ + loc.bank) * channels_ + loc.channel;
+    return page * pageBytes_ + page_offset;
+}
+
 } // namespace bmc::dram

@@ -40,6 +40,14 @@ class AddressMap
     /** Byte offset of @p addr within its DRAM page. */
     std::uint32_t pageOffset(Addr addr) const;
 
+    /**
+     * Inverse of locate()/pageOffset(): the byte address at
+     * @p page_offset inside the page at @p loc. For every address a,
+     * addressOf(locate(a), pageOffset(a)) == a.
+     */
+    Addr addressOf(const Location &loc,
+                   std::uint32_t page_offset = 0) const;
+
     std::uint32_t pageBytes() const { return pageBytes_; }
     unsigned channels() const { return channels_; }
     unsigned banks() const { return banks_; }

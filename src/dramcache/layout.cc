@@ -29,6 +29,20 @@ StackedLayout::rowLocation(std::uint64_t row_idx) const
     return loc;
 }
 
+std::uint64_t
+StackedLayout::rowIndexOf(const dram::Location &loc) const
+{
+    bmc_assert(loc.channel < p_.channels, "channel %u out of range",
+               loc.channel);
+    bmc_assert(loc.bank < dataBanks_,
+               "bank %u is not a data bank (%u data banks)", loc.bank,
+               dataBanks_);
+    const std::uint64_t row_idx =
+        (loc.row * dataBanks_ + loc.bank) * p_.channels + loc.channel;
+    bmc_assert(row_idx < numRows_, "location beyond the cache");
+    return row_idx;
+}
+
 dram::Location
 StackedLayout::metaLocation(std::uint64_t row_idx,
                             std::uint32_t meta_bytes_per_row) const

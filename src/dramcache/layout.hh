@@ -53,6 +53,14 @@ class StackedLayout
     dram::Location rowLocation(std::uint64_t row_idx) const;
 
     /**
+     * Inverse of rowLocation(): the data-row index at @p loc.
+     * For every valid row index r, rowIndexOf(rowLocation(r)) == r.
+     * The location must name a data bank (not a reserved metadata
+     * bank) and lie inside the cache.
+     */
+    std::uint64_t rowIndexOf(const dram::Location &loc) const;
+
+    /**
      * Coordinates of the metadata for data row @p row_idx, assuming
      * @p meta_bytes_per_row bytes of metadata per data row packed
      * densely into the (other channel's) metadata bank.

@@ -70,6 +70,21 @@ class DramCacheController
     void access(Addr addr, bool is_write, bool is_prefetch,
                 CoreId core, Callback cb);
 
+    /**
+     * Called after every organization lookup with the address, the
+     * request kind and the org's full descriptor, in the exact order
+     * the organization saw the accesses. The differential tests use
+     * this to record the timing run's org-level access stream and
+     * replay it functionally.
+     */
+    using AccessObserver = std::function<void(
+        Addr, bool is_write, bool is_prefetch,
+        const dramcache::LookupResult &)>;
+    void setAccessObserver(AccessObserver obs)
+    {
+        observer_ = std::move(obs);
+    }
+
     double avgAccessLatency() const { return accessLatency_.mean(); }
     double avgHitLatency() const { return hitLatency_.mean(); }
     double avgMissLatency() const { return missLatency_.mean(); }
@@ -119,6 +134,7 @@ class DramCacheController
     dram::DramSystem &stacked_;
     MainMemory &memory_;
     Params p_;
+    AccessObserver observer_;
 
     struct LowXfer
     {

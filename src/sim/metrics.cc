@@ -1,11 +1,62 @@
 #include "sim/metrics.hh"
 
 #include <algorithm>
+#include <cinttypes>
 
 #include "common/logging.hh"
 
 namespace bmc::sim
 {
+
+std::string
+statsToJson(const RunStats &rs, bool pretty)
+{
+    const char *nl = pretty ? "\n" : "";
+    const char *ind = pretty ? "  " : "";
+
+    std::string out = "{";
+    out += nl;
+    auto field = [&](const char *key, const std::string &value,
+                     bool last = false) {
+        out += strfmt("%s\"%s\": %s%s%s", ind, key, value.c_str(),
+                      last ? "" : ",", nl);
+        if (!last && !pretty)
+            out += " ";
+    };
+    auto u64 = [](std::uint64_t v) {
+        return strfmt("%" PRIu64, v);
+    };
+    auto f6 = [](double v) { return strfmt("%.6f", v); };
+    auto f3 = [](double v) { return strfmt("%.3f", v); };
+
+    field("sim_ticks", u64(rs.simTicks));
+    field("dcc_accesses", u64(rs.dccAccesses));
+    field("cache_hit_rate", f6(rs.cacheHitRate));
+    field("avg_access_latency", f3(rs.avgAccessLatency));
+    field("avg_hit_latency", f3(rs.avgHitLatency));
+    field("avg_miss_latency", f3(rs.avgMissLatency));
+    field("llsc_miss_rate", f6(rs.llscMissRate));
+    field("offchip_fetch_bytes", u64(rs.offchipFetchBytes));
+    field("demand_fetch_bytes", u64(rs.demandFetchBytes));
+    field("wasted_fetch_bytes", u64(rs.wastedFetchBytes));
+    field("writeback_bytes", u64(rs.writebackBytes));
+    field("mem_bytes_read", u64(rs.memBytesRead));
+    field("mem_bytes_written", u64(rs.memBytesWritten));
+    field("data_row_hit_rate", f6(rs.dataRowHitRate));
+    field("meta_row_hit_rate", f6(rs.metaRowHitRate));
+    field("locator_hit_rate", f6(rs.locatorHitRate));
+    field("small_access_fraction", f6(rs.smallAccessFraction));
+    field("energy_pj", strfmt("%.1f", rs.energy.totalPj()));
+    std::string cycles = "[";
+    for (size_t i = 0; i < rs.coreCycles.size(); ++i) {
+        cycles += strfmt("%s%" PRIu64, i ? ", " : "",
+                         rs.coreCycles[i]);
+    }
+    cycles += "]";
+    field("core_cycles", cycles, /*last=*/true);
+    out += "}";
+    return out;
+}
 
 MultiprogramMetrics
 computeMetrics(const std::vector<Tick> &mp_cycles,

@@ -24,12 +24,63 @@
 #ifndef BMC_SIM_METRICS_HH
 #define BMC_SIM_METRICS_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/energy.hh"
 
 namespace bmc::sim
 {
+
+/** Scalar results of one timing run. */
+struct RunStats
+{
+    Tick simTicks = 0;
+    std::vector<Tick> coreCycles;
+
+    // DRAM cache behaviour
+    std::uint64_t dccAccesses = 0;
+    double avgAccessLatency = 0.0; //!< the paper's LLSC miss penalty
+    double avgHitLatency = 0.0;
+    double avgMissLatency = 0.0;
+    double avgTagReadTicks = 0.0;
+    double avgDataReadTicks = 0.0;
+    double avgMemDemandTicks = 0.0;
+    double cacheHitRate = 0.0;
+
+    // Bandwidth accounting
+    std::uint64_t offchipFetchBytes = 0;
+    std::uint64_t demandFetchBytes = 0;
+    std::uint64_t wastedFetchBytes = 0;
+    std::uint64_t writebackBytes = 0;
+    std::uint64_t memBytesRead = 0;
+    std::uint64_t memBytesWritten = 0;
+
+    // Row-buffer behaviour (stacked DRAM)
+    double dataRowHitRate = 0.0;
+    double metaRowHitRate = 0.0;
+
+    // Scheme-specific (negative = not applicable)
+    double locatorHitRate = -1.0;
+    double smallAccessFraction = -1.0;
+
+    double llscMissRate = 0.0;
+    EnergyBreakdown energy;
+};
+
+/**
+ * Render a RunStats as a JSON object. Field order, formatting and
+ * precision are fixed so that identical runs serialize to identical
+ * bytes -- the sweep determinism and golden-stats tests diff this
+ * output directly.
+ *
+ * @param rs     the record to serialize
+ * @param pretty true for an indented multi-line object (bmcsim
+ *               --json), false for a single-line object (JSONL)
+ */
+std::string statsToJson(const RunStats &rs, bool pretty = false);
 
 /** The Eyerman-Eeckhout multiprogram metric family. */
 struct MultiprogramMetrics

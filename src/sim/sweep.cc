@@ -1,0 +1,384 @@
+#include "sim/sweep.hh"
+
+#include <chrono>
+#include <cinttypes>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "dramcache/bimodal/bimodal_cache.hh"
+#include "dramcache/fixed.hh"
+#include "sim/functional.hh"
+#include "trace/workload.hh"
+
+namespace bmc::sim
+{
+
+namespace
+{
+
+/** Escape a string for embedding in a JSON value. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Copy organization-level counters into the shared stats record. */
+void
+fillFromOrg(const dramcache::DramCacheOrg &org, RunStats &out)
+{
+    const auto &os = org.stats();
+    out.cacheHitRate = os.hitRate();
+    out.offchipFetchBytes = os.offchipFetchBytes.value();
+    out.demandFetchBytes = os.demandFetchBytes.value();
+    out.wastedFetchBytes = os.wastedFetchBytes.value();
+    out.writebackBytes = os.writebackBytes.value();
+
+    if (const auto *bm =
+            dynamic_cast<const dramcache::BiModalCache *>(&org)) {
+        if (bm->wayLocator())
+            out.locatorHitRate = bm->wayLocator()->hitRate();
+        out.smallAccessFraction = bm->smallAccessFraction();
+    } else if (const auto *fx =
+                   dynamic_cast<const dramcache::FixedOrg *>(&org)) {
+        if (fx->wayLocator())
+            out.locatorHitRate = fx->wayLocator()->hitRate();
+    }
+}
+
+trace::WorkloadSpec
+resolveWorkload(const RunSpec &spec)
+{
+    if (!spec.workload.empty())
+        return trace::findWorkload(spec.workload);
+    trace::WorkloadSpec wl;
+    wl.name = spec.label.empty() ? "adhoc" : spec.label;
+    wl.programs = spec.programs;
+    return wl;
+}
+
+} // anonymous namespace
+
+const char *
+runModeName(RunMode mode)
+{
+    switch (mode) {
+      case RunMode::Timing:
+        return "timing";
+      case RunMode::Functional:
+        return "functional";
+      case RunMode::Antt:
+        return "antt";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+deriveRunSeed(std::uint64_t base_seed, std::uint64_t run_index)
+{
+    // splitmix64 over the combined value: every (base, index) pair
+    // lands on a statistically independent stream.
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL *
+                                      (run_index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z ? z : 1; // xoshiro state must not be all-zero
+}
+
+SweepBuilder &
+SweepBuilder::workloads(std::vector<std::string> names)
+{
+    workloads_ = std::move(names);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::programs(std::vector<std::string> progs)
+{
+    programs_ = std::move(progs);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::schemes(std::vector<Scheme> schemes)
+{
+    schemes_ = std::move(schemes);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::variants(std::vector<Variant> variants)
+{
+    variants_ = std::move(variants);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::mode(RunMode mode)
+{
+    mode_ = mode;
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::functionalRecords(std::uint64_t records)
+{
+    functionalRecords_ = records;
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::replicates(unsigned n)
+{
+    bmc_assert(n > 0, "need at least one replicate");
+    replicates_ = n;
+    return *this;
+}
+
+std::vector<RunSpec>
+SweepBuilder::build() const
+{
+    bmc_assert(workloads_.empty() || programs_.empty(),
+               "give workloads() or programs(), not both");
+
+    // A single no-op variant / workload keeps the loop uniform.
+    std::vector<Variant> variants = variants_;
+    if (variants.empty())
+        variants.push_back({"", nullptr});
+    std::vector<std::string> workloads = workloads_;
+    if (workloads.empty())
+        workloads.push_back("");
+
+    std::vector<RunSpec> out;
+    for (const Variant &variant : variants) {
+        for (const std::string &wname : workloads) {
+            for (const Scheme scheme : schemes_) {
+                for (unsigned rep = 0; rep < replicates_; ++rep) {
+                    RunSpec spec;
+                    spec.cfg = base_;
+                    if (variant.apply)
+                        variant.apply(spec.cfg);
+                    spec.cfg.scheme = scheme;
+                    if (replicates_ > 1) {
+                        spec.cfg.seed =
+                            deriveRunSeed(base_.seed, rep);
+                    }
+                    spec.mode = mode_;
+                    spec.functionalRecords = functionalRecords_;
+                    if (!wname.empty()) {
+                        spec.workload = wname;
+                        spec.programs =
+                            trace::findWorkload(wname).programs;
+                    } else {
+                        spec.programs = programs_;
+                    }
+                    bmc_assert(!spec.programs.empty(),
+                               "sweep cell has no programs");
+                    spec.cfg.cores = static_cast<unsigned>(
+                        spec.programs.size());
+
+                    spec.label = variant.label;
+                    if (!wname.empty()) {
+                        if (!spec.label.empty())
+                            spec.label += "/";
+                        spec.label += wname;
+                    }
+                    if (!spec.label.empty())
+                        spec.label += "/";
+                    spec.label += schemeName(scheme);
+                    if (replicates_ > 1)
+                        spec.label += strfmt("/rep%u", rep);
+                    out.push_back(std::move(spec));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+RunResult
+executeRun(const RunSpec &spec, std::size_t index)
+{
+    RunResult res;
+    res.index = index;
+    res.label = spec.label;
+    res.workload = spec.workload;
+    res.scheme = schemeName(spec.cfg.scheme);
+    res.seed = spec.cfg.seed;
+
+    switch (spec.mode) {
+      case RunMode::Timing: {
+        System system(spec.cfg, spec.programs);
+        res.stats = system.run();
+        break;
+      }
+      case RunMode::Functional: {
+        stats::StatGroup sg("sweep");
+        auto org = buildOrg(spec.cfg, sg);
+        const trace::WorkloadSpec wl = resolveWorkload(spec);
+        auto programs = makeWorkloadPrograms(wl, spec.cfg);
+        const FunctionalResult fr =
+            runFunctional(*org, programs, spec.cfg,
+                          spec.functionalRecords, sg);
+        res.stats.dccAccesses = fr.dramCacheAccesses;
+        res.stats.llscMissRate = fr.llscMissRate;
+        fillFromOrg(*org, res.stats);
+        break;
+      }
+      case RunMode::Antt: {
+        const trace::WorkloadSpec wl = resolveWorkload(spec);
+        const AnttResult ar = runAntt(spec.cfg, wl);
+        res.stats = ar.multiprogram;
+        res.antt = ar.antt;
+        res.mp = ar.metrics;
+        break;
+      }
+    }
+    res.ok = true;
+    return res;
+}
+
+std::string
+runResultToJsonLine(const RunResult &r)
+{
+    std::string out = strfmt(
+        "{\"run\": %zu, \"label\": \"%s\", \"workload\": \"%s\", "
+        "\"scheme\": \"%s\", \"seed\": %" PRIu64 ", \"ok\": %s",
+        r.index, jsonEscape(r.label).c_str(),
+        jsonEscape(r.workload).c_str(), jsonEscape(r.scheme).c_str(),
+        r.seed, r.ok ? "true" : "false");
+    if (!r.ok) {
+        out += strfmt(", \"error\": \"%s\"}",
+                      jsonEscape(r.error).c_str());
+        return out;
+    }
+    if (r.antt >= 0.0) {
+        out += strfmt(", \"antt\": %.6f, \"stp\": %.6f, "
+                      "\"hms\": %.6f, \"fairness\": %.6f",
+                      r.antt, r.mp.stp, r.mp.hms, r.mp.fairness);
+    }
+    out += ", \"stats\": ";
+    out += statsToJson(r.stats, /*pretty=*/false);
+    out += "}";
+    return out;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto sweep_start = Clock::now();
+
+    std::vector<RunResult> results(runs.size());
+
+    std::ofstream jsonl;
+    if (!opts.jsonlPath.empty()) {
+        jsonl.open(opts.jsonlPath,
+                   std::ios::out | std::ios::trunc);
+        if (!jsonl)
+            bmc_fatal("cannot open results file '%s'",
+                      opts.jsonlPath.c_str());
+    }
+
+    // Runs complete in any order; JSONL rows are flushed strictly in
+    // run-index order so the file is schedule-independent.
+    std::mutex mutex;
+    std::map<std::size_t, std::string> pendingLines;
+    std::size_t nextLine = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+
+    // Isolate failed runs for the whole sweep: panics/fatals inside
+    // workers surface as SimError and are recorded per-run.
+    ScopedThrowErrors throw_guard;
+
+    parallelFor(opts.threads, runs.size(), [&](std::size_t i) {
+        RunSpec spec = runs[i];
+        if (opts.deriveSeeds)
+            spec.cfg.seed = deriveRunSeed(opts.baseSeed, i);
+
+        const auto start = Clock::now();
+        RunResult res;
+        try {
+            res = executeRun(spec, i);
+        } catch (const std::exception &e) {
+            res = RunResult{};
+            res.index = i;
+            res.label = spec.label;
+            res.workload = spec.workload;
+            res.scheme = schemeName(spec.cfg.scheme);
+            res.seed = spec.cfg.seed;
+            res.ok = false;
+            res.error = e.what();
+        }
+        res.wallSeconds =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!res.ok)
+            ++failed;
+        ++completed;
+        if (jsonl.is_open()) {
+            pendingLines.emplace(i, runResultToJsonLine(res));
+            while (!pendingLines.empty() &&
+                   pendingLines.begin()->first == nextLine) {
+                jsonl << pendingLines.begin()->second << '\n';
+                pendingLines.erase(pendingLines.begin());
+                ++nextLine;
+            }
+            jsonl.flush();
+        }
+        if (opts.onProgress) {
+            SweepProgress prog;
+            prog.total = runs.size();
+            prog.completed = completed;
+            prog.failed = failed;
+            prog.elapsedSeconds =
+                std::chrono::duration<double>(Clock::now() -
+                                              sweep_start)
+                    .count();
+            prog.etaSeconds =
+                completed
+                    ? prog.elapsedSeconds /
+                          static_cast<double>(completed) *
+                          static_cast<double>(runs.size() - completed)
+                    : 0.0;
+            prog.lastLabel = res.label;
+            opts.onProgress(prog);
+        }
+        results[i] = std::move(res);
+    });
+
+    return results;
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Parallel batch sweep driver.
+ *
+ * A sweep is a declarative matrix of (workload/program list, scheme,
+ * MachineConfig overrides) expanded into an ordered list of RunSpec
+ * entries. runSweep() executes the runs on a worker pool, one System
+ * / EventQueue (or functional org, or ANTT protocol) per run, and
+ * returns the results ordered by run index, so the output is
+ * identical whatever the thread count or completion schedule.
+ *
+ * Guarantees the test layer relies on:
+ *  - results depend only on each RunSpec (including its seed), never
+ *    on thread count, scheduling, or other runs;
+ *  - the optional JSONL results file is written in run-index order
+ *    and contains no wall-clock fields, so -j1 and -jN produce
+ *    bit-identical files;
+ *  - a run that panics or faults (SimError / std::exception) is
+ *    isolated: its result carries ok=false and the error text, and
+ *    the rest of the sweep completes.
+ */
+
+#ifndef BMC_SIM_SWEEP_HH
+#define BMC_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/schemes.hh"
+#include "sim/system.hh"
+
+namespace bmc::sim
+{
+
+/** How one sweep entry is executed. */
+enum class RunMode
+{
+    Timing,     //!< full timing System, one EventQueue per run
+    Functional, //!< trace-driven org-only run (no timing)
+    Antt,       //!< multiprogram + standalones (runAntt protocol)
+};
+
+const char *runModeName(RunMode mode);
+
+/** One cell of the sweep matrix. */
+struct RunSpec
+{
+    std::string label;    //!< human-readable identity of this cell
+    std::string workload; //!< named workload ("" = explicit programs)
+    std::vector<std::string> programs; //!< one benchmark per core
+    MachineConfig cfg;
+    RunMode mode = RunMode::Timing;
+    /** Trace records per core for RunMode::Functional. */
+    std::uint64_t functionalRecords = 400'000;
+};
+
+/** Outcome of one run; @c index matches the RunSpec's position. */
+struct RunResult
+{
+    std::size_t index = 0;
+    std::string label;
+    std::string workload;
+    std::string scheme;
+    std::uint64_t seed = 0;
+    bool ok = false;
+    std::string error;
+    /** Wall-clock seconds this run took (NOT serialized to JSONL). */
+    double wallSeconds = 0.0;
+
+    RunStats stats;
+    double antt = -1.0; //!< RunMode::Antt only
+    MultiprogramMetrics mp;
+};
+
+/** Live progress snapshot handed to the progress callback. */
+struct SweepProgress
+{
+    std::size_t total = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    double elapsedSeconds = 0.0;
+    /** Naive remaining-time estimate from the mean run time. */
+    double etaSeconds = 0.0;
+    /** Label of the run that just finished. */
+    std::string lastLabel;
+};
+
+/** Execution knobs for runSweep(). */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency, 1 = inline. */
+    unsigned threads = 1;
+    /**
+     * When true, every run's seed is replaced by
+     * deriveRunSeed(baseSeed, run_index) before execution --
+     * replicate sweeps get decorrelated but fully reproducible
+     * streams. When false (default) each RunSpec's cfg.seed is used
+     * verbatim, which keeps scheme-vs-scheme cells of a matrix on
+     * identical traces.
+     */
+    bool deriveSeeds = false;
+    std::uint64_t baseSeed = 1;
+    /** When non-empty, truncate and write one JSON line per run in
+     *  run-index order. */
+    std::string jsonlPath;
+    /** Invoked (serialized) after every run completes. */
+    std::function<void(const SweepProgress &)> onProgress;
+};
+
+/**
+ * Deterministic per-run seed: a splitmix64-style hash of
+ * (base_seed, run_index). Never returns 0 so downstream xoshiro
+ * state is always valid.
+ */
+std::uint64_t deriveRunSeed(std::uint64_t base_seed,
+                            std::uint64_t run_index);
+
+/**
+ * Declarative matrix builder: the cross product of workloads x
+ * schemes x labeled config variants, expanded in a fixed
+ * (variant-major, workload, scheme, replicate) order.
+ */
+class SweepBuilder
+{
+  public:
+    /** Labeled mutation applied to the base config of a variant. */
+    struct Variant
+    {
+        std::string label;
+        std::function<void(MachineConfig &)> apply;
+    };
+
+    explicit SweepBuilder(MachineConfig base) : base_(base) {}
+
+    SweepBuilder &workloads(std::vector<std::string> names);
+    /** Explicit program list instead of a named workload. */
+    SweepBuilder &programs(std::vector<std::string> progs);
+    SweepBuilder &schemes(std::vector<Scheme> schemes);
+    SweepBuilder &variants(std::vector<Variant> variants);
+    SweepBuilder &mode(RunMode mode);
+    SweepBuilder &functionalRecords(std::uint64_t records);
+    /** Seed replicates: run each cell @p n times with seeds
+     *  deriveRunSeed(base.seed, rep). */
+    SweepBuilder &replicates(unsigned n);
+
+    /** Expand the matrix. Order: variant, workload, scheme, rep. */
+    std::vector<RunSpec> build() const;
+
+  private:
+    MachineConfig base_;
+    std::vector<std::string> workloads_;
+    std::vector<std::string> programs_;
+    std::vector<Scheme> schemes_ = {Scheme::BiModal};
+    std::vector<Variant> variants_;
+    RunMode mode_ = RunMode::Timing;
+    std::uint64_t functionalRecords_ = 400'000;
+    unsigned replicates_ = 1;
+};
+
+/** Execute one spec on the calling thread (no isolation). */
+RunResult executeRun(const RunSpec &spec, std::size_t index);
+
+/** Run the whole sweep; results are ordered by run index. */
+std::vector<RunResult> runSweep(const std::vector<RunSpec> &runs,
+                                const SweepOptions &opts = {});
+
+/**
+ * One-line JSON record for a run (the JSONL schema; documented in
+ * EXPERIMENTS.md). Deliberately excludes wall-clock time.
+ */
+std::string runResultToJsonLine(const RunResult &r);
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_SWEEP_HH

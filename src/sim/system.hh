@@ -28,41 +28,8 @@
 namespace bmc::sim
 {
 
-/** Scalar results of one timing run. */
-struct RunStats
-{
-    Tick simTicks = 0;
-    std::vector<Tick> coreCycles;
-
-    // DRAM cache behaviour
-    std::uint64_t dccAccesses = 0;
-    double avgAccessLatency = 0.0; //!< the paper's LLSC miss penalty
-    double avgHitLatency = 0.0;
-    double avgMissLatency = 0.0;
-    double avgTagReadTicks = 0.0;
-    double avgDataReadTicks = 0.0;
-    double avgMemDemandTicks = 0.0;
-    double cacheHitRate = 0.0;
-
-    // Bandwidth accounting
-    std::uint64_t offchipFetchBytes = 0;
-    std::uint64_t demandFetchBytes = 0;
-    std::uint64_t wastedFetchBytes = 0;
-    std::uint64_t writebackBytes = 0;
-    std::uint64_t memBytesRead = 0;
-    std::uint64_t memBytesWritten = 0;
-
-    // Row-buffer behaviour (stacked DRAM)
-    double dataRowHitRate = 0.0;
-    double metaRowHitRate = 0.0;
-
-    // Scheme-specific (negative = not applicable)
-    double locatorHitRate = -1.0;
-    double smallAccessFraction = -1.0;
-
-    double llscMissRate = 0.0;
-    EnergyBreakdown energy;
-};
+// RunStats (the scalar results of one timing run) lives in
+// sim/metrics.hh together with its JSON serialization.
 
 /** One simulated machine executing one program list. */
 class System
@@ -89,6 +56,8 @@ class System
     dramcache::DramCacheOrg &org() { return *org_; }
     DramCacheController &controller() { return *dcc_; }
     EventQueue &eventQueue() { return eq_; }
+    /** Core @p i (trace position, record accounting). */
+    const TraceCore &core(unsigned i) const { return *cores_.at(i); }
 
     /** Render every statistic in the system ("group.stat = value"
      *  lines), for post-run inspection or regression diffing. */

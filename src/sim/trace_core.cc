@@ -117,6 +117,7 @@ TraceCore::resume()
         }
 
         pending_ = gen_->next();
+        ++recordsFetched_;
         hasPending_ = true;
         const std::uint64_t n = pending_.gap + 1ULL;
         instrsRetired_ += n;

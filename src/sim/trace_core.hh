@@ -59,6 +59,10 @@ class TraceCore
     /** Measured cycles: finish minus warm-up boundary. */
     Tick measuredCycles() const { return finishTick_ - warmTick_; }
     std::uint64_t instrsRetired() const { return instrsRetired_; }
+    /** Trace records drawn from the generator (not a resettable
+     *  stat: survives the warm-up statistics reset, so a functional
+     *  replay can consume exactly the same number of records). */
+    std::uint64_t recordsFetched() const { return recordsFetched_; }
 
   private:
     void resume();
@@ -83,6 +87,7 @@ class TraceCore
     Tick finishTick_ = 0;
     Tick warmTick_ = 0;
     std::uint64_t instrsRetired_ = 0;
+    std::uint64_t recordsFetched_ = 0;
 
     /** Access waiting to be injected at coreTick_. */
     bool hasPending_ = false;

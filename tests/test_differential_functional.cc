@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Differential test: the timing simulator and the functional runner
+ * must agree access-for-access on what the DRAM cache organization
+ * sees and answers.
+ *
+ * Setup that makes the comparison exact: one core, mlp = 1 (a single
+ * outstanding access, so the organization observes the program-order
+ * stream), prefetching off and no warmup reset. Under those
+ * conditions MemHierarchy::access() visits the organization in
+ * exactly the order functional.cc's replay loop does -- L1 dirty
+ * victim writeback first, then the demand line -- and the SRAM
+ * hierarchy uses deterministic LRU replacement, so hit/miss
+ * classification, byte counters and final cache contents must all
+ * match bit-for-bit.
+ *
+ * The timing side records through DramCacheController's access
+ * observer; the functional side records through a forwarding
+ * decorator around the same organization type, replaying exactly the
+ * number of trace records the timing core consumed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/functional.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+
+namespace bmc::sim
+{
+namespace
+{
+
+struct AccessRec
+{
+    Addr addr = 0;
+    bool write = false;
+    bool hit = false;
+};
+
+/** Forwarding decorator that logs every access and its outcome. */
+class RecordingOrg : public dramcache::DramCacheOrg
+{
+  public:
+    RecordingOrg(dramcache::DramCacheOrg &inner,
+                 std::vector<AccessRec> &log)
+        : inner_(inner), log_(log)
+    {
+    }
+
+    dramcache::LookupResult
+    access(Addr addr, bool is_write, bool is_prefetch) override
+    {
+        const dramcache::LookupResult res =
+            inner_.access(addr, is_write, is_prefetch);
+        log_.push_back({addr, is_write, res.hit});
+        return res;
+    }
+
+    std::string name() const override { return inner_.name(); }
+    bool probe(Addr addr) const override { return inner_.probe(addr); }
+    const dramcache::OrgStats &stats() const override
+    {
+        return inner_.stats();
+    }
+    std::uint64_t sramBytes() const override
+    {
+        return inner_.sramBytes();
+    }
+
+  private:
+    dramcache::DramCacheOrg &inner_;
+    std::vector<AccessRec> &log_;
+};
+
+MachineConfig
+diffConfig(Scheme scheme)
+{
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.cores = 1;
+    cfg.mlp = 1; // program-order stream at the organization
+    cfg.instrPerCore = 50'000;
+    cfg.warmupInstrPerCore = 0;
+    cfg.scheme = scheme;
+    cfg.seed = 7;
+    return cfg;
+}
+
+void
+runDifferential(Scheme scheme, const std::string &bench)
+{
+    SCOPED_TRACE(std::string(schemeName(scheme)) + "/" + bench);
+    const MachineConfig cfg = diffConfig(scheme);
+
+    // Timing side: observe the organization through the controller.
+    std::vector<AccessRec> timing_log;
+    System system(cfg, {bench});
+    system.controller().setAccessObserver(
+        [&](Addr addr, bool is_write, bool,
+            const dramcache::LookupResult &res) {
+            timing_log.push_back({addr, is_write, res.hit});
+        });
+    system.run();
+    const std::uint64_t records = system.core(0).recordsFetched();
+    ASSERT_GT(records, 0u);
+    ASSERT_FALSE(timing_log.empty());
+
+    // Functional side: same organization type, same trace length.
+    std::vector<AccessRec> func_log;
+    stats::StatGroup sg("diff");
+    auto org = buildOrg(cfg, sg);
+    RecordingOrg recorder(*org, func_log);
+    trace::WorkloadSpec wl;
+    wl.name = "diff";
+    wl.programs = {bench};
+    auto programs = makeWorkloadPrograms(wl, cfg);
+    runFunctional(recorder, programs, cfg, records, sg);
+
+    // Access-for-access agreement, including hit/miss class.
+    ASSERT_EQ(func_log.size(), timing_log.size());
+    for (std::size_t i = 0; i < timing_log.size(); ++i) {
+        ASSERT_EQ(timing_log[i].addr, func_log[i].addr)
+            << "address diverged at access " << i;
+        ASSERT_EQ(timing_log[i].write, func_log[i].write)
+            << "read/write diverged at access " << i;
+        ASSERT_EQ(timing_log[i].hit, func_log[i].hit)
+            << "hit/miss diverged at access " << i;
+    }
+
+    // Final contents: every touched line resident in one model must
+    // be resident in the other.
+    std::set<Addr> lines;
+    for (const AccessRec &a : timing_log)
+        lines.insert(a.addr & ~Addr{63});
+    ASSERT_FALSE(lines.empty());
+    for (const Addr line : lines)
+        ASSERT_EQ(system.org().probe(line), org->probe(line))
+            << "final residency diverged for line " << line;
+
+    // And the organizations' own counters agree in full.
+    const dramcache::OrgStats &ts = system.org().stats();
+    const dramcache::OrgStats &fs = org->stats();
+    EXPECT_EQ(ts.accesses.value(), fs.accesses.value());
+    EXPECT_EQ(ts.hits.value(), fs.hits.value());
+    EXPECT_EQ(ts.misses.value(), fs.misses.value());
+    EXPECT_EQ(ts.bypasses.value(), fs.bypasses.value());
+    EXPECT_EQ(ts.demandFetchBytes.value(),
+              fs.demandFetchBytes.value());
+    EXPECT_EQ(ts.offchipFetchBytes.value(),
+              fs.offchipFetchBytes.value());
+    EXPECT_EQ(ts.writebackBytes.value(), fs.writebackBytes.value());
+    EXPECT_EQ(ts.evictions.value(), fs.evictions.value());
+    EXPECT_EQ(ts.wastedFetchBytes.value(),
+              fs.wastedFetchBytes.value());
+}
+
+TEST(DifferentialFunctional, BiModal)
+{
+    runDifferential(Scheme::BiModal, "stream_w");
+    runDifferential(Scheme::BiModal, "zipf_hot");
+}
+
+TEST(DifferentialFunctional, Alloy)
+{
+    runDifferential(Scheme::Alloy, "stream_w");
+    runDifferential(Scheme::Alloy, "rand_big");
+}
+
+TEST(DifferentialFunctional, LohHill)
+{
+    runDifferential(Scheme::LohHill, "stream_w");
+    runDifferential(Scheme::LohHill, "zipf_hot");
+}
+
+TEST(DifferentialFunctional, Fixed512)
+{
+    runDifferential(Scheme::Fixed512, "stream_w");
+    runDifferential(Scheme::Fixed512, "mix_sr");
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

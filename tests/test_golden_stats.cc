@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Golden-stats regression test: a small fixed configuration runs
+ * through the full timing System (and the ANTT protocol), and the
+ * key counters are compared against a checked-in golden JSON.
+ *
+ * Integer counters (ticks, byte counts, access counts, per-core
+ * cycles) must match exactly; derived ratios and latencies get a
+ * tight relative tolerance so a compiler that reassociates floating
+ * point differently still passes.
+ *
+ * To regenerate after an intentional behaviour change:
+ *   BMC_UPDATE_GOLDEN=1 ./bmc_tests --gtest_filter='GoldenStats.*'
+ * and commit the refreshed tests/golden/golden_stats.json.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+
+#ifndef BMC_GOLDEN_DIR
+#define BMC_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace bmc::sim
+{
+namespace
+{
+
+std::string
+goldenPath()
+{
+    return std::string(BMC_GOLDEN_DIR) + "/golden_stats.json";
+}
+
+/** Raw value text following "key": (number, or [...] array). */
+std::string
+rawValue(const std::string &json, const std::string &key)
+{
+    const std::string pat = "\"" + key + "\":";
+    const std::size_t pos = json.find(pat);
+    if (pos == std::string::npos)
+        return "";
+    std::size_t start = pos + pat.size();
+    while (start < json.size() && json[start] == ' ')
+        ++start;
+    std::size_t end = start;
+    if (end < json.size() && json[end] == '[') {
+        end = json.find(']', end);
+        if (end == std::string::npos)
+            return "";
+        ++end;
+    } else {
+        while (end < json.size() && json[end] != ',' &&
+               json[end] != '\n' && json[end] != '}')
+            ++end;
+    }
+    return json.substr(start, end - start);
+}
+
+double
+numValue(const std::string &json, const std::string &key)
+{
+    const std::string raw = rawValue(json, key);
+    EXPECT_FALSE(raw.empty()) << "key '" << key << "' missing";
+    return raw.empty() ? 0.0 : std::strtod(raw.c_str(), nullptr);
+}
+
+/** The golden machine: the 4-core preset at reduced trace length. */
+MachineConfig
+goldenTimingConfig()
+{
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.instrPerCore = 120'000;
+    cfg.warmupInstrPerCore = 60'000;
+    cfg.scheme = Scheme::BiModal;
+    cfg.seed = 1;
+    return cfg;
+}
+
+std::string
+renderCurrent()
+{
+    const MachineConfig cfg = goldenTimingConfig();
+    System system(cfg, trace::findWorkload("Q1").programs);
+    const RunStats rs = system.run();
+
+    MachineConfig acfg = MachineConfig::preset(4);
+    acfg.cores = 2;
+    acfg.instrPerCore = 60'000;
+    acfg.warmupInstrPerCore = 30'000;
+    acfg.scheme = Scheme::BiModal;
+    acfg.seed = 1;
+    trace::WorkloadSpec pair;
+    pair.name = "golden_pair";
+    pair.programs = {"stream_w", "zipf_hot"};
+    const AnttResult ar = runAntt(acfg, pair);
+
+    std::string out = "{\n\"timing\": ";
+    out += statsToJson(rs, /*pretty=*/true);
+    out += ",\n";
+    out += strfmt("\"antt\": %.9f\n}\n", ar.antt);
+    return out;
+}
+
+TEST(GoldenStats, KeyCountersMatchGolden)
+{
+    const std::string current = renderCurrent();
+
+    if (std::getenv("BMC_UPDATE_GOLDEN")) {
+        std::ofstream out(goldenPath(),
+                          std::ios::out | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << current;
+        GTEST_SKIP() << "golden regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "golden file missing: " << goldenPath()
+                    << " -- run once with BMC_UPDATE_GOLDEN=1 and "
+                       "commit the result";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string golden = buf.str();
+
+    // Integer counters: exact, compared as their literal text.
+    for (const char *key :
+         {"sim_ticks", "dcc_accesses", "offchip_fetch_bytes",
+          "demand_fetch_bytes", "wasted_fetch_bytes",
+          "writeback_bytes", "mem_bytes_read", "mem_bytes_written",
+          "core_cycles"}) {
+        EXPECT_EQ(rawValue(current, key), rawValue(golden, key))
+            << "counter '" << key << "' drifted from golden";
+        EXPECT_FALSE(rawValue(golden, key).empty())
+            << "key '" << key << "' missing from golden";
+    }
+
+    // Derived ratios and latencies: tight tolerance. Both sides are
+    // parsed back from formatted text, so allow two units in the
+    // last printed digit (an FP one-ulp difference can flip it) plus
+    // a 1e-6 relative slack for the wider-range fields.
+    struct RatioKey
+    {
+        const char *key;
+        int decimals;
+    };
+    for (const RatioKey &rk :
+         {RatioKey{"cache_hit_rate", 6},
+          RatioKey{"avg_access_latency", 3},
+          RatioKey{"avg_hit_latency", 3},
+          RatioKey{"avg_miss_latency", 3},
+          RatioKey{"llsc_miss_rate", 6},
+          RatioKey{"data_row_hit_rate", 6},
+          RatioKey{"meta_row_hit_rate", 6},
+          RatioKey{"locator_hit_rate", 6},
+          RatioKey{"small_access_fraction", 6},
+          RatioKey{"energy_pj", 1}, RatioKey{"antt", 9}}) {
+        const double want = numValue(golden, rk.key);
+        const double got = numValue(current, rk.key);
+        const double tol = 2.0 * std::pow(10.0, -rk.decimals) +
+                           1e-6 * std::abs(want);
+        EXPECT_NEAR(got, want, tol)
+            << "ratio '" << rk.key << "' drifted from golden";
+    }
+
+    // The golden run must be non-trivial, or the comparisons above
+    // would vacuously pass on an all-zero record.
+    EXPECT_GT(numValue(current, "dcc_accesses"), 0.0);
+    EXPECT_GT(numValue(current, "cache_hit_rate"), 0.0);
+    EXPECT_GT(numValue(current, "antt"), 0.9);
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

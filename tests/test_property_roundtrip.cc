@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Property tests for the two address-geometry bijections: the
+ * off-chip AddressMap (address <-> channel/bank/row + page offset)
+ * and the stacked-DRAM StackedLayout (set row index <-> DRAM
+ * location). Both are exercised over randomized geometries with a
+ * seeded generator, so every run checks the same many-thousand
+ * cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "dram/address_map.hh"
+#include "dramcache/layout.hh"
+
+namespace bmc
+{
+namespace
+{
+
+TEST(AddressMapProperty, LocateThenAddressOfRoundTrips)
+{
+    Rng rng(0xA11CE);
+    for (int geom = 0; geom < 64; ++geom) {
+        const std::uint32_t page_bytes =
+            1u << rng.range(6, 13); // 64 B .. 8 KiB pages
+        const unsigned channels =
+            static_cast<unsigned>(rng.range(1, 8));
+        const unsigned banks = static_cast<unsigned>(rng.range(1, 16));
+        const dram::AddressMap map(page_bytes, channels, banks);
+
+        for (int i = 0; i < 256; ++i) {
+            const Addr addr = rng.next() & ((Addr{1} << 48) - 1);
+            const dram::Location loc = map.locate(addr);
+            const std::uint32_t off = map.pageOffset(addr);
+            ASSERT_EQ(map.addressOf(loc, off), addr)
+                << "page=" << page_bytes << " ch=" << channels
+                << " banks=" << banks << " addr=" << addr;
+        }
+    }
+}
+
+TEST(AddressMapProperty, AddressOfThenLocateRoundTrips)
+{
+    Rng rng(0xB0B);
+    for (int geom = 0; geom < 64; ++geom) {
+        const std::uint32_t page_bytes = 1u << rng.range(6, 13);
+        const unsigned channels =
+            static_cast<unsigned>(rng.range(1, 8));
+        const unsigned banks = static_cast<unsigned>(rng.range(1, 16));
+        const dram::AddressMap map(page_bytes, channels, banks);
+
+        for (int i = 0; i < 256; ++i) {
+            dram::Location loc;
+            loc.channel = static_cast<unsigned>(rng.below(channels));
+            loc.bank = static_cast<unsigned>(rng.below(banks));
+            loc.row = rng.below(1u << 20);
+            const std::uint32_t off =
+                static_cast<std::uint32_t>(rng.below(page_bytes));
+
+            const Addr addr = map.addressOf(loc, off);
+            const dram::Location back = map.locate(addr);
+            ASSERT_EQ(back.channel, loc.channel);
+            ASSERT_EQ(back.bank, loc.bank);
+            ASSERT_EQ(back.row, loc.row);
+            ASSERT_EQ(map.pageOffset(addr), off);
+        }
+    }
+}
+
+dramcache::StackedLayout::Params
+randomLayout(Rng &rng, bool reserve_meta)
+{
+    dramcache::StackedLayout::Params p;
+    p.pageBytes = 1u << rng.range(9, 12); // 512 B .. 4 KiB pages
+    p.channels = static_cast<unsigned>(rng.range(1, 4));
+    p.banksPerChannel = static_cast<unsigned>(rng.range(2, 8));
+    p.reserveMetaBank = reserve_meta;
+    // Any whole number of pages is a legal capacity; deliberately
+    // include counts that do not divide evenly by channels * banks.
+    p.capacityBytes = p.pageBytes * rng.range(1, 4096);
+    return p;
+}
+
+TEST(LayoutProperty, RowLocationRoundTrips)
+{
+    Rng rng(0xCAFE);
+    for (int geom = 0; geom < 64; ++geom) {
+        const auto params = randomLayout(rng, geom & 1);
+        const dramcache::StackedLayout layout(params);
+
+        for (int i = 0; i < 256; ++i) {
+            const std::uint64_t idx = rng.below(layout.numRows());
+            const dram::Location loc = layout.rowLocation(idx);
+            ASSERT_LT(loc.channel, params.channels);
+            ASSERT_LT(loc.bank, layout.dataBanksPerChannel());
+            ASSERT_EQ(layout.rowIndexOf(loc), idx)
+                << "page=" << params.pageBytes
+                << " ch=" << params.channels
+                << " banks=" << params.banksPerChannel
+                << " meta=" << params.reserveMetaBank
+                << " rows=" << layout.numRows() << " idx=" << idx;
+        }
+    }
+}
+
+TEST(LayoutProperty, RowLocationIsInjectiveExhaustively)
+{
+    dramcache::StackedLayout::Params p;
+    p.pageBytes = 512;
+    p.channels = 3;
+    p.banksPerChannel = 5;
+    p.reserveMetaBank = true;
+    p.capacityBytes = p.pageBytes * 1021; // prime row count
+    const dramcache::StackedLayout layout(p);
+
+    std::set<std::tuple<unsigned, unsigned, std::uint64_t>> seen;
+    for (std::uint64_t idx = 0; idx < layout.numRows(); ++idx) {
+        const dram::Location loc = layout.rowLocation(idx);
+        const bool fresh =
+            seen.insert({loc.channel, loc.bank, loc.row}).second;
+        ASSERT_TRUE(fresh) << "duplicate location for row " << idx;
+        ASSERT_EQ(layout.rowIndexOf(loc), idx);
+    }
+}
+
+TEST(LayoutProperty, MetaLocationInvariants)
+{
+    Rng rng(0xD00D);
+    for (int geom = 0; geom < 32; ++geom) {
+        const auto params = randomLayout(rng, true);
+        const dramcache::StackedLayout layout(params);
+        const std::uint32_t meta_bytes = 1u << rng.range(4, 8);
+
+        std::uint64_t prev_meta_row = 0;
+        for (std::uint64_t idx = 0; idx < layout.numRows(); ++idx) {
+            const dram::Location data = layout.rowLocation(idx);
+            const dram::Location meta =
+                layout.metaLocation(idx, meta_bytes);
+            // Metadata lives in the reserved bank of the *next*
+            // channel, so tag and data never serialize on a bank.
+            ASSERT_EQ(meta.channel,
+                      (data.channel + 1) % params.channels);
+            ASSERT_EQ(meta.bank, params.banksPerChannel - 1);
+            if (params.channels > 1) {
+                ASSERT_NE(meta.channel, data.channel);
+            }
+            // Dense packing: many data rows per metadata page, and
+            // the metadata row index never decreases with the set.
+            ASSERT_EQ(meta.row,
+                      (idx / params.channels) /
+                          (params.pageBytes / meta_bytes));
+            ASSERT_GE(meta.row, prev_meta_row);
+            prev_meta_row = meta.row;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace bmc

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the parallel sweep driver's core guarantees: seed
+ * derivation, matrix expansion order, run-for-run reproducibility,
+ * thread-count independence of both results and the JSONL file, and
+ * isolation of failed runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/sweep.hh"
+
+namespace bmc::sim
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+MachineConfig
+baseConfig()
+{
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(SweepSeed, DerivationIsDeterministicNonzeroAndDistinct)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        const std::uint64_t s = deriveRunSeed(11, i);
+        EXPECT_EQ(s, deriveRunSeed(11, i));
+        EXPECT_NE(s, 0u);
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 256u);
+    EXPECT_NE(deriveRunSeed(11, 0), deriveRunSeed(12, 0));
+}
+
+TEST(SweepBuilder, ExpansionOrderIsVariantWorkloadScheme)
+{
+    std::vector<SweepBuilder::Variant> variants = {
+        {"small", [](MachineConfig &c) { c.bigBlockBytes = 256; }},
+        {"big", [](MachineConfig &c) { c.bigBlockBytes = 1024; }},
+    };
+    const std::vector<RunSpec> runs =
+        SweepBuilder(baseConfig())
+            .workloads({"Q1", "Q3"})
+            .schemes({Scheme::Alloy, Scheme::BiModal})
+            .variants(variants)
+            .mode(RunMode::Functional)
+            .build();
+
+    ASSERT_EQ(runs.size(), 8u);
+    EXPECT_EQ(runs[0].label, "small/Q1/alloy");
+    EXPECT_EQ(runs[1].label, "small/Q1/bimodal");
+    EXPECT_EQ(runs[2].label, "small/Q3/alloy");
+    EXPECT_EQ(runs[4].label, "big/Q1/alloy");
+    EXPECT_EQ(runs[7].label, "big/Q3/bimodal");
+    EXPECT_EQ(runs[0].cfg.bigBlockBytes, 256u);
+    EXPECT_EQ(runs[4].cfg.bigBlockBytes, 1024u);
+    // Q1 carries four programs; the cell sizes its machine to match.
+    EXPECT_EQ(runs[0].cfg.cores, 4u);
+    EXPECT_EQ(runs[0].programs.size(), 4u);
+    // Scheme-vs-scheme cells keep the same seed (same traces).
+    EXPECT_EQ(runs[0].cfg.seed, runs[1].cfg.seed);
+}
+
+TEST(SweepBuilder, ReplicatesGetDerivedDistinctSeeds)
+{
+    const std::vector<RunSpec> runs = SweepBuilder(baseConfig())
+                                          .programs({"stream_w"})
+                                          .schemes({Scheme::BiModal})
+                                          .replicates(3)
+                                          .build();
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs[0].cfg.seed, deriveRunSeed(11, 0));
+    EXPECT_EQ(runs[1].cfg.seed, deriveRunSeed(11, 1));
+    EXPECT_NE(runs[0].cfg.seed, runs[1].cfg.seed);
+    EXPECT_NE(runs[1].cfg.seed, runs[2].cfg.seed);
+    EXPECT_EQ(runs[2].label, "bimodal/rep2");
+    EXPECT_EQ(runs[0].cfg.cores, 1u);
+}
+
+TEST(Sweep, SameSpecTwiceGivesIdenticalJson)
+{
+    const std::vector<RunSpec> runs =
+        SweepBuilder(baseConfig())
+            .workloads({"Q1"})
+            .schemes({Scheme::BiModal})
+            .mode(RunMode::Functional)
+            .functionalRecords(20'000)
+            .build();
+    ASSERT_EQ(runs.size(), 1u);
+
+    const RunResult a = executeRun(runs[0], 0);
+    const RunResult b = executeRun(runs[0], 0);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_GT(a.stats.dccAccesses, 0u);
+    EXPECT_EQ(runResultToJsonLine(a), runResultToJsonLine(b));
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResultsOrJsonl)
+{
+    // The acceptance matrix: 2 variants x 2 workloads x 4 schemes.
+    std::vector<SweepBuilder::Variant> variants = {
+        {"full", {}},
+        {"half",
+         [](MachineConfig &c) {
+             c.footprintRefBytes =
+                 c.footprintRefBytes ? c.footprintRefBytes
+                                     : c.dramCacheBytes;
+             c.dramCacheBytes /= 2;
+         }},
+    };
+    const std::vector<RunSpec> runs =
+        SweepBuilder(baseConfig())
+            .workloads({"Q1", "Q3"})
+            .schemes({Scheme::Alloy, Scheme::LohHill, Scheme::Fixed512,
+                      Scheme::BiModal})
+            .variants(variants)
+            .mode(RunMode::Functional)
+            .functionalRecords(8'000)
+            .build();
+    ASSERT_EQ(runs.size(), 16u);
+
+    const std::string path1 = testing::TempDir() + "bmc_sweep_j1.jsonl";
+    const std::string path4 = testing::TempDir() + "bmc_sweep_j4.jsonl";
+    SweepOptions o1;
+    o1.threads = 1;
+    o1.jsonlPath = path1;
+    std::size_t progress_calls = 0;
+    std::size_t last_completed = 0;
+    o1.onProgress = [&](const SweepProgress &p) {
+        ++progress_calls;
+        EXPECT_EQ(p.total, runs.size());
+        EXPECT_GT(p.completed, last_completed);
+        last_completed = p.completed;
+    };
+    SweepOptions o4;
+    o4.threads = 4;
+    o4.jsonlPath = path4;
+
+    const std::vector<RunResult> r1 = runSweep(runs, o1);
+    const std::vector<RunResult> r4 = runSweep(runs, o4);
+
+    EXPECT_EQ(progress_calls, runs.size());
+    EXPECT_EQ(last_completed, runs.size());
+    ASSERT_EQ(r1.size(), runs.size());
+    ASSERT_EQ(r4.size(), runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        EXPECT_TRUE(r1[i].ok) << r1[i].error;
+        EXPECT_EQ(r1[i].index, i);
+        EXPECT_EQ(r4[i].index, i);
+        EXPECT_EQ(runResultToJsonLine(r1[i]), runResultToJsonLine(r4[i]))
+            << "run " << i << " (" << runs[i].label << ")";
+    }
+
+    const std::string f1 = readFile(path1);
+    const std::string f4 = readFile(path4);
+    ASSERT_FALSE(f1.empty());
+    EXPECT_EQ(f1, f4); // bit-identical whatever the schedule
+
+    // Lines come out in run-index order and carry no wall-clock.
+    std::istringstream in(f1);
+    std::string line;
+    std::size_t idx = 0;
+    while (std::getline(in, line)) {
+        const std::string prefix = strfmt("{\"run\": %zu,", idx);
+        EXPECT_EQ(line.rfind(prefix, 0), 0u) << line;
+        EXPECT_EQ(line.find("wall"), std::string::npos);
+        EXPECT_NE(line.find("\"stats\": {"), std::string::npos);
+        ++idx;
+    }
+    EXPECT_EQ(idx, runs.size());
+
+    std::remove(path1.c_str());
+    std::remove(path4.c_str());
+}
+
+TEST(Sweep, FailedRunIsIsolatedAndReported)
+{
+    const std::vector<RunSpec> good =
+        SweepBuilder(baseConfig())
+            .workloads({"Q1"})
+            .schemes({Scheme::BiModal})
+            .mode(RunMode::Functional)
+            .functionalRecords(5'000)
+            .build();
+    ASSERT_EQ(good.size(), 1u);
+
+    RunSpec bad = good[0];
+    bad.label = "bad";
+    bad.mode = RunMode::Timing;
+    bad.cfg.cores = 3; // Q1 has 4 programs: System's assert panics
+
+    const std::vector<RunSpec> specs = {good[0], bad, good[0]};
+    const std::string path =
+        testing::TempDir() + "bmc_sweep_fail.jsonl";
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.jsonlPath = path;
+    std::size_t failures_seen = 0;
+    opts.onProgress = [&](const SweepProgress &p) {
+        failures_seen = p.failed;
+    };
+
+    const std::vector<RunResult> results = runSweep(specs, opts);
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_FALSE(results[1].error.empty());
+    EXPECT_NE(results[1].error.find("4 programs for 3 cores"),
+              std::string::npos)
+        << results[1].error;
+    EXPECT_TRUE(results[2].ok) << results[2].error;
+    EXPECT_EQ(failures_seen, 1u);
+
+    // The bad run still owns its JSONL line, flagged not-ok.
+    const std::string file = readFile(path);
+    std::istringstream in(file);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[1].find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"error\": "), std::string::npos);
+    EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"ok\": true"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

@@ -109,35 +109,7 @@ printRun(const sim::RunStats &rs)
 void
 printJson(const sim::RunStats &rs)
 {
-    std::printf("{\n");
-    std::printf("  \"sim_ticks\": %llu,\n",
-                static_cast<unsigned long long>(rs.simTicks));
-    std::printf("  \"dcc_accesses\": %llu,\n",
-                static_cast<unsigned long long>(rs.dccAccesses));
-    std::printf("  \"cache_hit_rate\": %.6f,\n", rs.cacheHitRate);
-    std::printf("  \"avg_access_latency\": %.3f,\n",
-                rs.avgAccessLatency);
-    std::printf("  \"avg_hit_latency\": %.3f,\n", rs.avgHitLatency);
-    std::printf("  \"avg_miss_latency\": %.3f,\n", rs.avgMissLatency);
-    std::printf("  \"llsc_miss_rate\": %.6f,\n", rs.llscMissRate);
-    std::printf("  \"offchip_fetch_bytes\": %llu,\n",
-                static_cast<unsigned long long>(rs.offchipFetchBytes));
-    std::printf("  \"wasted_fetch_bytes\": %llu,\n",
-                static_cast<unsigned long long>(rs.wastedFetchBytes));
-    std::printf("  \"writeback_bytes\": %llu,\n",
-                static_cast<unsigned long long>(rs.writebackBytes));
-    std::printf("  \"data_row_hit_rate\": %.6f,\n", rs.dataRowHitRate);
-    std::printf("  \"meta_row_hit_rate\": %.6f,\n", rs.metaRowHitRate);
-    std::printf("  \"locator_hit_rate\": %.6f,\n", rs.locatorHitRate);
-    std::printf("  \"small_access_fraction\": %.6f,\n",
-                rs.smallAccessFraction);
-    std::printf("  \"energy_pj\": %.1f,\n", rs.energy.totalPj());
-    std::printf("  \"core_cycles\": [");
-    for (size_t i = 0; i < rs.coreCycles.size(); ++i) {
-        std::printf("%s%llu", i ? ", " : "",
-                    static_cast<unsigned long long>(rs.coreCycles[i]));
-    }
-    std::printf("]\n}\n");
+    std::printf("%s\n", sim::statsToJson(rs, /*pretty=*/true).c_str());
 }
 
 } // anonymous namespace

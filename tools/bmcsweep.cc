@@ -1,0 +1,294 @@
+/**
+ * @file
+ * bmcsweep: parallel batch driver over a declarative run matrix.
+ *
+ * Expands workloads x schemes x geometry variants x seed replicates
+ * into an ordered run list and executes it on a worker pool, one
+ * simulation per run. Results stream to a JSONL file in run-index
+ * order (bit-identical whatever -j), failures are isolated and
+ * reported, and a progress/ETA line keeps long sweeps observable.
+ *
+ *   # the headline comparison, 8 workers
+ *   bmcsweep -j8 --workloads=Q1,Q3,Q5 --schemes=alloy,bimodal \
+ *            --out=results.jsonl
+ *
+ *   # ANTT protocol over the full 4-core table
+ *   bmcsweep -j4 --all --mode=antt --schemes=alloy,bimodal
+ *
+ *   # geometry sweep: every (cache size x big block) combination
+ *   bmcsweep --workloads=Q5 --cache-mib=16,32,64 \
+ *            --big-bytes=256,512,1024
+ *
+ *   # five decorrelated replicates per cell
+ *   bmcsweep --workloads=Q5 --schemes=bimodal --reps=5
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "sim/sweep.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace bmc;
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos != std::string::npos && pos < arg.size()) {
+        const size_t comma = arg.find(',', pos);
+        out.push_back(arg.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+splitUints(const std::string &arg)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &s : splitList(arg))
+        out.push_back(std::stoull(s));
+    return out;
+}
+
+/** Rewrite "-jN" / "-j N" into "--threads=N" for the option parser. */
+std::vector<char *>
+rewriteJobsFlag(int argc, char **argv,
+                std::vector<std::string> &storage)
+{
+    storage.reserve(argc + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-j" && i + 1 < argc) {
+            storage.push_back(std::string("--threads=") + argv[++i]);
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            storage.push_back("--threads=" + arg.substr(2));
+        } else {
+            storage.push_back(arg);
+        }
+    }
+    std::vector<char *> out;
+    for (std::string &s : storage)
+        out.push_back(s.data());
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts("bmcsweep: parallel sweep over a simulation matrix");
+    opts.addUint("threads", 1,
+                 "worker threads (-jN shorthand; 0 = all cores)");
+    opts.addUint("cores", 4,
+                 "core count of the workload table (4, 8 or 16)");
+    opts.addString("workloads", "",
+                   "comma-separated workload list (default: the "
+                   "bench subset for --cores)");
+    opts.addFlag("all", false, "every workload in the table");
+    opts.addString("programs", "",
+                   "explicit program list (overrides workloads)");
+    opts.addString("schemes", "bimodal",
+                   "comma-separated scheme list");
+    opts.addString("mode", "timing", "timing | functional | antt");
+    opts.addString("out", "", "JSONL results file");
+    opts.addString("cache-mib", "",
+                   "cache-capacity variants, comma-separated MiB");
+    opts.addString("big-bytes", "",
+                   "big-block-size variants, comma-separated bytes");
+    opts.addUint("reps", 1, "seed replicates per matrix cell");
+    opts.addUint("seed", 1, "base experiment seed");
+    opts.addUint("instrs", 0,
+                 "instructions per core (0 = preset default)");
+    opts.addUint("records", 400000,
+                 "trace records per core (functional mode)");
+    opts.addFlag("full", false, "paper-scale preset");
+    opts.addFlag("derive-seeds", false,
+                 "hash(seed, run_index) per-run seeds instead of a "
+                 "shared seed (decorrelates every cell)");
+    opts.addFlag("progress", true, "live progress/ETA line on stderr");
+
+    std::vector<std::string> argStorage;
+    std::vector<char *> argvRewritten =
+        rewriteJobsFlag(argc, argv, argStorage);
+    opts.parse(static_cast<int>(argvRewritten.size()),
+               argvRewritten.data());
+
+    using namespace bmc::sim;
+
+    const unsigned cores = static_cast<unsigned>(opts.getUint("cores"));
+    MachineConfig base = opts.flag("full")
+                             ? MachineConfig::fullScale(cores)
+                             : MachineConfig::preset(cores);
+    base.seed = opts.getUint("seed");
+    if (const auto instrs = opts.getUint("instrs"); instrs > 0) {
+        base.instrPerCore = instrs;
+        base.warmupInstrPerCore = instrs;
+    }
+
+    // Resolve the run mode.
+    const std::string &mode_name = opts.getString("mode");
+    RunMode mode = RunMode::Timing;
+    if (mode_name == "functional")
+        mode = RunMode::Functional;
+    else if (mode_name == "antt")
+        mode = RunMode::Antt;
+    else if (mode_name != "timing")
+        bmc_fatal("unknown mode '%s'", mode_name.c_str());
+
+    // Resolve the workload axis.
+    std::vector<std::string> workloads;
+    if (opts.getString("workloads").empty() &&
+        opts.getString("programs").empty()) {
+        if (opts.flag("all")) {
+            for (const auto &w : trace::workloadTable(cores))
+                workloads.push_back(w.name);
+        } else {
+            switch (cores) {
+              case 4:
+                workloads = {"Q1", "Q3", "Q5", "Q7", "Q9", "Q11"};
+                break;
+              case 8:
+                workloads = {"E1", "E3", "E6"};
+                break;
+              case 16:
+                workloads = {"S1", "S2"};
+                break;
+              default:
+                bmc_fatal("no workload table for %u cores", cores);
+            }
+        }
+    } else {
+        workloads = splitList(opts.getString("workloads"));
+    }
+
+    // Resolve the scheme axis.
+    std::vector<Scheme> schemes;
+    for (const std::string &s : splitList(opts.getString("schemes")))
+        schemes.push_back(schemeFromName(s));
+
+    // Geometry variants: cross product of capacity x big-block lists.
+    std::vector<SweepBuilder::Variant> variants;
+    const auto sizes = splitUints(opts.getString("cache-mib"));
+    const auto bigs = splitUints(opts.getString("big-bytes"));
+    if (!sizes.empty() || !bigs.empty()) {
+        const std::vector<std::uint64_t> size_axis =
+            sizes.empty() ? std::vector<std::uint64_t>{0} : sizes;
+        const std::vector<std::uint64_t> big_axis =
+            bigs.empty() ? std::vector<std::uint64_t>{0} : bigs;
+        for (const std::uint64_t mib : size_axis) {
+            for (const std::uint64_t big : big_axis) {
+                std::string label;
+                if (mib)
+                    label += strfmt("%" PRIu64 "MiB", mib);
+                if (big) {
+                    if (!label.empty())
+                        label += "-";
+                    label += strfmt("%" PRIu64 "B", big);
+                }
+                variants.push_back(
+                    {label, [mib, big](MachineConfig &cfg) {
+                         if (mib)
+                             cfg.dramCacheBytes = mib * kMiB;
+                         if (big) {
+                             const unsigned ways =
+                                 cfg.setBytes / cfg.bigBlockBytes;
+                             cfg.bigBlockBytes =
+                                 static_cast<std::uint32_t>(big);
+                             cfg.setBytes = static_cast<std::uint32_t>(
+                                 big * ways);
+                         }
+                     }});
+            }
+        }
+    }
+
+    SweepBuilder builder(base);
+    builder.schemes(schemes)
+        .variants(std::move(variants))
+        .mode(mode)
+        .functionalRecords(opts.getUint("records"))
+        .replicates(static_cast<unsigned>(opts.getUint("reps")));
+    if (!opts.getString("programs").empty())
+        builder.programs(splitList(opts.getString("programs")));
+    else
+        builder.workloads(workloads);
+    const std::vector<RunSpec> runs = builder.build();
+
+    SweepOptions sopts;
+    sopts.threads = static_cast<unsigned>(opts.getUint("threads"));
+    sopts.baseSeed = base.seed;
+    sopts.deriveSeeds = opts.flag("derive-seeds");
+    sopts.jsonlPath = opts.getString("out");
+    if (opts.flag("progress")) {
+        sopts.onProgress = [](const SweepProgress &p) {
+            std::fprintf(stderr,
+                         "\r[%zu/%zu] %5.1f%%  failed=%zu  "
+                         "elapsed=%.1fs  eta=%.1fs  (%s)%s",
+                         p.completed, p.total,
+                         100.0 * static_cast<double>(p.completed) /
+                             static_cast<double>(p.total),
+                         p.failed, p.elapsedSeconds, p.etaSeconds,
+                         p.lastLabel.c_str(),
+                         p.completed == p.total ? "\n" : "");
+            std::fflush(stderr);
+        };
+    }
+
+    std::printf("bmcsweep: %zu runs, %u thread(s), mode=%s%s%s\n",
+                runs.size(),
+                sopts.threads ? sopts.threads
+                              : ThreadPool::defaultThreads(),
+                runModeName(mode),
+                sopts.jsonlPath.empty() ? "" : ", out=",
+                sopts.jsonlPath.c_str());
+
+    const std::vector<RunResult> results = runSweep(runs, sopts);
+
+    // Summary table.
+    Table table({"run", "label", "hit rate", "llsc miss",
+                 mode == RunMode::Antt ? "ANTT" : "avg lat", "status"});
+    std::size_t failures = 0;
+    for (const RunResult &r : results) {
+        auto &row = table.row();
+        row.cell(static_cast<std::uint64_t>(r.index)).cell(r.label);
+        if (r.ok) {
+            row.pct(r.stats.cacheHitRate * 100.0)
+                .pct(r.stats.llscMissRate * 100.0)
+                .cell(mode == RunMode::Antt ? r.antt
+                                            : r.stats.avgAccessLatency,
+                      3)
+                .cell("ok");
+        } else {
+            ++failures;
+            row.cell("-").cell("-").cell("-").cell("FAILED");
+        }
+    }
+    table.print();
+
+    for (const RunResult &r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "run %zu (%s) failed: %s\n", r.index,
+                         r.label.c_str(), r.error.c_str());
+        }
+    }
+    if (failures) {
+        std::fprintf(stderr, "%zu/%zu runs failed\n", failures,
+                     results.size());
+        return 1;
+    }
+    return 0;
+}
