@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Simulation-kernel throughput microbenchmarks.
+ *
+ * Measures the three structures every timing run is made of, in
+ * host-side operations per second:
+ *
+ *   event_storm  -- self-rescheduling events through EventQueue with
+ *                   capture-heavy callbacks shaped like the channel
+ *                   completion lambdas (a moved-in std::function plus
+ *                   a couple of scalars), events/sec;
+ *   frfcfs_picks -- a DRAM channel kept at a steady backlog of mixed
+ *                   demand/background requests, serviced
+ *                   requests/sec (each service is one FR-FCFS pick);
+ *   mshr_ops     -- MSHR allocate/merge/complete cycles under a
+ *                   deterministic address stream, ops/sec.
+ *
+ * All streams are seeded LCG/xoshiro state, so two runs on the same
+ * host measure the same work. --out writes a JSON record (the
+ * BENCH_kernel.json schema, see EXPERIMENTS.md); --quick shrinks the
+ * iteration counts for sanitizer/CI runs. scripts/perf_smoke.sh
+ * compares a fresh run against the committed baseline.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "cache/mshr.hh"
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/stats.hh"
+#include "dram/channel.hh"
+#include "dram/timing_params.hh"
+
+namespace
+{
+
+using namespace bmc;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One measured microbenchmark: name, operation count, seconds. */
+struct BenchResult
+{
+    std::string name;
+    std::uint64_t ops = 0;
+    double seconds = 0.0;
+
+    double opsPerSec() const { return seconds > 0 ? ops / seconds : 0; }
+};
+
+/** Cheap deterministic stream for delays/addresses (not Rng: the
+ *  bench must not depend on simulator-side generator changes). */
+struct Lcg
+{
+    std::uint64_t s;
+    explicit Lcg(std::uint64_t seed) : s(seed) {}
+    std::uint64_t
+    next()
+    {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return s >> 17;
+    }
+};
+
+/**
+ * Event storm: @p actors chains of self-rescheduling events, each
+ * callback carrying ~48 B of captured state (a std::function<void(
+ * Tick)> continuation plus scalars), the shape the DRAM channel and
+ * controller schedule millions of times per run.
+ */
+BenchResult
+eventStorm(std::uint64_t total_events, unsigned actors)
+{
+    EventQueue eq;
+    std::uint64_t remaining = total_events;
+    std::uint64_t sink = 0;
+    Lcg lcg(12345);
+
+    // The continuation captured by every storm event; 32 B of
+    // std::function matches Request::onComplete in the hot path.
+    std::function<void(Tick)> cont = [&sink](Tick t) { sink += t; };
+
+    // 48 B of captures (two pointers + a std::function), the exact
+    // shape of the channel-completion events the simulator schedules
+    // millions of times per run.
+    std::function<void()> fire = [&]() {
+        if (remaining == 0)
+            return;
+        --remaining;
+        const Tick delay = 1 + (lcg.next() & 0x3f);
+        eq.schedule(delay, [&eq, &fire, cb = cont]() mutable {
+            cb(eq.now());
+            fire();
+        });
+    };
+
+    const auto start = Clock::now();
+    for (unsigned a = 0; a < actors; ++a)
+        fire();
+    eq.run();
+    const double secs = secondsSince(start);
+
+    bmc_assert(eq.numExecuted() == total_events,
+               "storm executed %" PRIu64 " of %" PRIu64 " events",
+               eq.numExecuted(), total_events);
+    if (sink == 0xdeadbeef) // defeat whole-bench elision
+        std::fprintf(stderr, "impossible\n");
+    return {"event_storm", total_events, secs};
+}
+
+/**
+ * FR-FCFS pick throughput: hold the channel at a steady backlog so
+ * every service decision scans (old kernel) or indexes (new kernel) a
+ * realistically full queue. Each completed request enqueues a
+ * replacement until @p total_reqs have been serviced.
+ */
+BenchResult
+frfcfsPicks(std::uint64_t total_reqs, unsigned backlog)
+{
+    EventQueue eq;
+    stats::StatGroup sg("bench");
+    auto params = dram::TimingParams::stacked(1, 8);
+    params.refreshEnabled = false;
+    dram::Channel channel(eq, params, 0, sg);
+
+    Lcg lcg(777);
+    std::uint64_t issued = 0;
+
+    std::function<void()> feed = [&]() {
+        if (issued >= total_reqs)
+            return;
+        ++issued;
+        const std::uint64_t r = lcg.next();
+        dram::Request req;
+        req.loc = {0, static_cast<unsigned>(r & 7), (r >> 3) & 0xff};
+        req.kind = (r & 0x30) == 0 ? dram::ReqKind::Write
+                                   : dram::ReqKind::Read;
+        req.lowPriority = (r & 0xc0) == 0; // ~25% background
+        req.onComplete = [&feed](Tick) { feed(); };
+        channel.enqueue(std::move(req));
+    };
+
+    const auto start = Clock::now();
+    for (unsigned i = 0; i < backlog; ++i)
+        feed();
+    eq.run();
+    const double secs = secondsSince(start);
+    return {"frfcfs_picks", total_reqs, secs};
+}
+
+/**
+ * MSHR throughput: a block-address stream with deliberate reuse so
+ * roughly a third of allocations merge into an outstanding entry;
+ * entries complete in allocation order once the file half-fills.
+ */
+BenchResult
+mshrOps(std::uint64_t total_ops)
+{
+    stats::StatGroup sg("bench");
+    cache::MshrFile mshrs(128, sg);
+
+    Lcg lcg(4242);
+    std::uint64_t sink = 0;
+    std::uint64_t ops = 0;
+    std::vector<Addr> outstanding;
+    outstanding.reserve(128);
+    std::size_t head = 0;
+
+    const auto start = Clock::now();
+    while (ops < total_ops) {
+        // 24 hot blocks over a 4 Ki-block span: reuse makes merges.
+        const Addr block =
+            ((lcg.next() & 1) ? (lcg.next() % 24)
+                              : (lcg.next() & 0xfff)) *
+            64;
+        if (!mshrs.outstanding(block) && mshrs.full()) {
+            const Addr done = outstanding[head++];
+            mshrs.complete(done, static_cast<Tick>(ops));
+            ++ops;
+            continue;
+        }
+        if (mshrs.allocate(block, [&sink](Tick t) { sink += t; }))
+            outstanding.push_back(block);
+        ++ops;
+        if (head > 4096) {
+            outstanding.erase(outstanding.begin(),
+                              outstanding.begin() +
+                                  static_cast<std::ptrdiff_t>(head));
+            head = 0;
+        }
+    }
+    while (head < outstanding.size())
+        mshrs.complete(outstanding[head++], 0);
+    const double secs = secondsSince(start);
+    if (sink == 0xdeadbeef)
+        std::fprintf(stderr, "impossible\n");
+    return {"mshr_ops", total_ops, secs};
+}
+
+std::string
+resultJson(const BenchResult &r)
+{
+    return strfmt("    \"%s\": {\"ops\": %" PRIu64
+                  ", \"seconds\": %.6f, \"ops_per_sec\": %.0f}",
+                  r.name.c_str(), r.ops, r.seconds, r.opsPerSec());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts("kernel_throughput: simulation-kernel "
+                 "microbenchmarks (events/sec, picks/sec, MSHR "
+                 "ops/sec)");
+    opts.addFlag("quick", false,
+                 "small iteration counts (CI / sanitizer runs)");
+    opts.addString("label", "", "label stored in the JSON record");
+    opts.addString("out", "", "write a JSON record to this path");
+    opts.addUint("events", 0, "event-storm events (0 = default)");
+    opts.addUint("reqs", 0, "FR-FCFS serviced requests (0 = default)");
+    opts.addUint("mshr", 0, "MSHR operations (0 = default)");
+    opts.addUint("backlog", 192, "FR-FCFS steady queue depth");
+    opts.parse(argc, argv);
+
+    const bool quick = opts.flag("quick");
+    const std::uint64_t n_events =
+        opts.getUint("events") ? opts.getUint("events")
+                               : (quick ? 400'000 : 8'000'000);
+    const std::uint64_t n_reqs =
+        opts.getUint("reqs") ? opts.getUint("reqs")
+                             : (quick ? 100'000 : 1'500'000);
+    const std::uint64_t n_mshr =
+        opts.getUint("mshr") ? opts.getUint("mshr")
+                             : (quick ? 500'000 : 10'000'000);
+    const unsigned backlog =
+        static_cast<unsigned>(opts.getUint("backlog"));
+
+    const BenchResult storm = eventStorm(n_events, 64);
+    const BenchResult picks = frfcfsPicks(n_reqs, backlog);
+    const BenchResult mshr = mshrOps(n_mshr);
+
+    for (const BenchResult *r : {&storm, &picks, &mshr}) {
+        std::printf("%-14s %12" PRIu64 " ops  %8.3f s  %12.0f /s\n",
+                    r->name.c_str(), r->ops, r->seconds,
+                    r->opsPerSec());
+    }
+
+    if (!opts.getString("out").empty()) {
+        std::ofstream out(opts.getString("out"));
+        if (!out)
+            bmc_fatal("cannot open '%s'",
+                      opts.getString("out").c_str());
+        out << "{\n"
+            << strfmt("  \"label\": \"%s\",\n",
+                      opts.getString("label").c_str())
+            << strfmt("  \"quick\": %s,\n", quick ? "true" : "false")
+            << "  \"benches\": {\n"
+            << resultJson(storm) << ",\n"
+            << resultJson(picks) << ",\n"
+            << resultJson(mshr) << "\n"
+            << "  }\n}\n";
+    }
+    return 0;
+}

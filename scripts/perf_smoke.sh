@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Performance smoke test for the simulation kernel: re-run
+# bench/kernel_throughput and fail if event_storm throughput fell
+# more than 30% below the recorded baseline (BENCH_kernel.json's
+# "after" entry). Best-of-N is compared because single runs on shared
+# machines are noisy; 30% is far above run-to-run noise but well
+# below the ~2x the kernel rewrite bought, so a real regression to
+# the old allocation behavior trips it.
+#
+# Usage: scripts/perf_smoke.sh [build-dir] [baseline-json]
+set -euo pipefail
+
+build_dir="${1:-build}"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="${2:-$src_dir/BENCH_kernel.json}"
+runs="${PERF_SMOKE_RUNS:-3}"
+
+bench="$build_dir/bench/kernel_throughput"
+[ -x "$bench" ] || bench="$src_dir/$build_dir/bench/kernel_throughput"
+if [ ! -x "$bench" ]; then
+    echo "perf_smoke: kernel_throughput not built in '$build_dir'" >&2
+    exit 2
+fi
+if [ ! -f "$baseline" ]; then
+    echo "perf_smoke: baseline '$baseline' not found" >&2
+    exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for i in $(seq "$runs"); do
+    "$bench" --label="smoke$i" --out="$tmpdir/run$i.json" >/dev/null
+done
+
+python3 - "$baseline" "$tmpdir" <<'EOF'
+import glob
+import json
+import sys
+
+baseline_path, tmpdir = sys.argv[1], sys.argv[2]
+with open(baseline_path) as f:
+    baseline = json.load(f)
+# BENCH_kernel.json keeps {"before": {...}, "after": {...}} entries;
+# a raw --out file is accepted too.
+entry = baseline.get("after", baseline)
+ref = entry["benches"]["event_storm"]["ops_per_sec"]
+
+best = 0.0
+for path in glob.glob(tmpdir + "/run*.json"):
+    with open(path) as f:
+        run = json.load(f)
+    best = max(best, run["benches"]["event_storm"]["ops_per_sec"])
+
+floor = 0.7 * ref
+status = "OK" if best >= floor else "REGRESSION"
+print(f"perf_smoke: event_storm best {best:,.0f}/s vs baseline "
+      f"{ref:,.0f}/s (floor {floor:,.0f}/s): {status}")
+sys.exit(0 if best >= floor else 1)
+EOF

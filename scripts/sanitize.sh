@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Configure, build and run the full test suite under AddressSanitizer
-# + UndefinedBehaviorSanitizer (the BMC_SANITIZE CMake option).
+# + UndefinedBehaviorSanitizer (the BMC_SANITIZE CMake option), then
+# drive the kernel microbenchmarks through the same build: the pooled
+# event nodes, inline callbacks, intrusive scheduler lists and MSHR
+# waiter chains all recycle memory by hand, exactly the code ASan is
+# for.
 #
 # Usage: scripts/sanitize.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -13,3 +17,6 @@ cmake -B "$build_dir" -S "$src_dir" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j"$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+
+echo "== kernel_throughput --quick under ASan+UBSan =="
+"$build_dir"/bench/kernel_throughput --quick

@@ -5,24 +5,121 @@
 namespace bmc::cache
 {
 
+namespace
+{
+
+/** Next power of two >= @p v (v > 0). */
+std::size_t
+nextPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
 MshrFile::MshrFile(unsigned num_entries, stats::StatGroup &parent)
-    : numEntries_(num_entries), sg_("mshr", &parent),
+    : numEntries_(num_entries),
+      mask_(nextPow2(std::size_t{num_entries} * 2 + 2) - 1),
+      table_(mask_ + 1), sg_("mshr", &parent),
       primaryMisses_(sg_, "primary", "misses that issued downstream"),
       mergedMisses_(sg_, "merged", "misses merged into an entry")
 {
+    // Reserve the common waiter population up front; the pool only
+    // grows past this under extreme merging and is then recycled.
+    waiters_.reserve(num_entries * 2);
+    freeWaiters_.reserve(num_entries * 2);
+}
+
+std::size_t
+MshrFile::home(Addr addr) const
+{
+    // Block addresses share low zero bits; a splitmix-style mix
+    // spreads them over the table.
+    std::uint64_t z = addr + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    return static_cast<std::size_t>(z) & mask_;
+}
+
+std::uint32_t
+MshrFile::find(Addr addr) const
+{
+    std::size_t pos = home(addr);
+    while (table_[pos].used) {
+        if (table_[pos].addr == addr)
+            return static_cast<std::uint32_t>(pos);
+        pos = (pos + 1) & mask_;
+    }
+    return npos;
+}
+
+void
+MshrFile::erase(std::uint32_t pos)
+{
+    std::size_t hole = pos;
+    std::size_t scan = pos;
+    table_[hole].used = false;
+    for (;;) {
+        scan = (scan + 1) & mask_;
+        if (!table_[scan].used)
+            break;
+        const std::size_t h = home(table_[scan].addr);
+        // An entry whose home lies cyclically inside (hole, scan]
+        // cannot move back past its home slot.
+        const bool home_between =
+            hole <= scan ? (h > hole && h <= scan)
+                         : (h > hole || h <= scan);
+        if (home_between)
+            continue;
+        table_[hole] = table_[scan];
+        table_[scan].used = false;
+        table_[scan].head = table_[scan].tail = npos;
+        hole = scan;
+    }
+    --live_;
+}
+
+void
+MshrFile::appendWaiter(Entry &entry, Callback cb)
+{
+    std::uint32_t idx;
+    if (freeWaiters_.empty()) {
+        waiters_.emplace_back();
+        idx = static_cast<std::uint32_t>(waiters_.size() - 1);
+    } else {
+        idx = freeWaiters_.back();
+        freeWaiters_.pop_back();
+    }
+    waiters_[idx].cb = std::move(cb);
+    waiters_[idx].next = npos;
+    if (entry.tail != npos)
+        waiters_[entry.tail].next = idx;
+    else
+        entry.head = idx;
+    entry.tail = idx;
 }
 
 bool
 MshrFile::allocate(Addr block_addr, Callback cb)
 {
-    auto it = entries_.find(block_addr);
-    if (it != entries_.end()) {
-        it->second.push_back(std::move(cb));
-        ++mergedMisses_;
-        return false;
+    std::size_t pos = home(block_addr);
+    while (table_[pos].used) {
+        if (table_[pos].addr == block_addr) {
+            appendWaiter(table_[pos], std::move(cb));
+            ++mergedMisses_;
+            return false;
+        }
+        pos = (pos + 1) & mask_;
     }
     bmc_assert(!full(), "MSHR allocate on a full file");
-    entries_[block_addr].push_back(std::move(cb));
+    table_[pos].addr = block_addr;
+    table_[pos].head = table_[pos].tail = npos;
+    table_[pos].used = true;
+    ++live_;
+    appendWaiter(table_[pos], std::move(cb));
     ++primaryMisses_;
     return true;
 }
@@ -30,15 +127,26 @@ MshrFile::allocate(Addr block_addr, Callback cb)
 void
 MshrFile::complete(Addr block_addr, Tick when)
 {
-    auto it = entries_.find(block_addr);
-    bmc_assert(it != entries_.end(),
+    const std::uint32_t pos = find(block_addr);
+    bmc_assert(pos != npos,
                "MSHR complete for unknown block %llx",
                static_cast<unsigned long long>(block_addr));
-    auto callbacks = std::move(it->second);
-    entries_.erase(it);
-    for (auto &cb : callbacks) {
+    std::uint32_t idx = table_[pos].head;
+    // Free the entry before invoking anything: callbacks may
+    // re-enter allocate() (a retried core access) and must see the
+    // completed block as absent, exactly as the map-based file did.
+    erase(pos);
+    while (idx != npos) {
+        // Detach the node before the call: a reentrant allocate()
+        // may recycle it, but our saved @c next stays valid because
+        // the remaining chain nodes are still ours.
+        const std::uint32_t next = waiters_[idx].next;
+        Callback cb = std::move(waiters_[idx].cb);
+        waiters_[idx].cb = nullptr;
+        freeWaiters_.push_back(idx);
         if (cb)
             cb(when);
+        idx = next;
     }
 }
 

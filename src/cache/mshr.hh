@@ -6,6 +6,13 @@
  * request; the file has a bounded number of entries (Table IV gives
  * 128/256/512 MSHRs for the 4/8/16-core LLSC configurations), and
  * full() lets the core model apply back-pressure.
+ *
+ * Storage is allocation-free in steady state: entries live in a
+ * fixed-capacity open-addressing table (linear probing with
+ * backward-shift deletion; the bounded entry count keeps the load
+ * factor under 1/2 for life), and merged callbacks are threaded as
+ * intrusive waiter lists through a recycled node pool reserved up
+ * front.
  */
 
 #ifndef BMC_CACHE_MSHR_HH
@@ -13,7 +20,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -31,12 +37,12 @@ class MshrFile
     MshrFile(unsigned num_entries, stats::StatGroup &parent);
 
     /** True when no new block-miss can be tracked. */
-    bool full() const { return entries_.size() >= numEntries_; }
+    bool full() const { return live_ >= numEntries_; }
 
     /** An entry for @p block_addr is already outstanding. */
     bool outstanding(Addr block_addr) const
     {
-        return entries_.count(block_addr) != 0;
+        return find(block_addr) != npos;
     }
 
     /**
@@ -46,14 +52,45 @@ class MshrFile
      */
     bool allocate(Addr block_addr, Callback cb);
 
-    /** Complete the entry, invoking every merged callback. */
+    /** Complete the entry, invoking every merged callback in
+     *  allocation order. Reentrant: callbacks may allocate. */
     void complete(Addr block_addr, Tick when);
 
-    size_t size() const { return entries_.size(); }
+    size_t size() const { return live_; }
+
+    /** Waiter nodes ever created (pool high-water mark, tests). */
+    size_t waiterPoolSize() const { return waiters_.size(); }
 
   private:
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
+    struct Entry
+    {
+        Addr addr = 0;
+        std::uint32_t head = npos; //!< first waiter (issue order)
+        std::uint32_t tail = npos;
+        bool used = false;
+    };
+
+    struct Waiter
+    {
+        Callback cb;
+        std::uint32_t next = npos;
+    };
+
+    std::size_t home(Addr addr) const;
+    /** Table position of @p addr, or npos if absent. */
+    std::uint32_t find(Addr addr) const;
+    /** Backward-shift deletion keeping probe chains intact. */
+    void erase(std::uint32_t pos);
+    void appendWaiter(Entry &entry, Callback cb);
+
     unsigned numEntries_;
-    std::unordered_map<Addr, std::vector<Callback>> entries_;
+    std::size_t live_ = 0;
+    std::size_t mask_;
+    std::vector<Entry> table_;
+    std::vector<Waiter> waiters_;
+    std::vector<std::uint32_t> freeWaiters_;
 
     stats::StatGroup sg_;
     stats::Counter primaryMisses_;

@@ -1,18 +1,154 @@
 #include "common/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace bmc
 {
 
+namespace
+{
+
+constexpr std::uint64_t
+packId(std::uint32_t index, std::uint32_t gen)
+{
+    // +1 keeps 0 unused so a default EventId never matches a node.
+    return (static_cast<std::uint64_t>(gen) << 32) |
+           (static_cast<std::uint64_t>(index) + 1);
+}
+
+} // anonymous namespace
+
+EventQueue::~EventQueue() = default;
+
+EventQueue::Node *
+EventQueue::nodeAt(std::uint32_t index)
+{
+    return &chunks_[index / kChunkSize][index % kChunkSize];
+}
+
+EventQueue::Node *
+EventQueue::allocNode()
+{
+    if (freeNodes_.empty()) {
+        const auto base = static_cast<std::uint32_t>(poolAllocated_);
+        chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+        Node *chunk = chunks_.back().get();
+        freeNodes_.reserve(freeNodes_.size() + kChunkSize);
+        // Push in reverse so nodes hand out in ascending index order.
+        for (std::uint32_t i = kChunkSize; i-- > 0;) {
+            chunk[i].index = base + i;
+            freeNodes_.push_back(base + i);
+        }
+        poolAllocated_ += kChunkSize;
+    }
+    Node *node = nodeAt(freeNodes_.back());
+    freeNodes_.pop_back();
+    return node;
+}
+
 void
-EventQueue::scheduleAt(Tick when, Callback cb)
+EventQueue::freeNode(Node *node)
+{
+    node->cb = nullptr; // destroy any remaining callable now
+    ++node->gen;        // stale every outstanding id for this node
+    freeNodes_.push_back(node->index);
+}
+
+void
+EventQueue::siftUp(std::size_t pos)
+{
+    const HeapEntry entry = heap_[pos];
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) / kArity;
+        if (!before(entry, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        heap_[pos].node->heapPos = static_cast<std::uint32_t>(pos);
+        pos = parent;
+    }
+    heap_[pos] = entry;
+    entry.node->heapPos = static_cast<std::uint32_t>(pos);
+}
+
+void
+EventQueue::siftDown(std::size_t pos)
+{
+    const HeapEntry entry = heap_[pos];
+    const std::size_t size = heap_.size();
+    for (;;) {
+        const std::size_t first = kArity * pos + 1;
+        if (first >= size)
+            break;
+        const std::size_t last = std::min(first + kArity, size);
+        std::size_t best = first;
+        for (std::size_t child = first + 1; child < last; ++child) {
+            if (before(heap_[child], heap_[best]))
+                best = child;
+        }
+        if (!before(heap_[best], entry))
+            break;
+        heap_[pos] = heap_[best];
+        heap_[pos].node->heapPos = static_cast<std::uint32_t>(pos);
+        pos = best;
+    }
+    heap_[pos] = entry;
+    entry.node->heapPos = static_cast<std::uint32_t>(pos);
+}
+
+void
+EventQueue::removeFromHeap(std::size_t pos)
+{
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (pos == heap_.size())
+        return; // removed the tail
+    heap_[pos] = last;
+    last.node->heapPos = static_cast<std::uint32_t>(pos);
+    // The replacement may need to move either direction.
+    if (pos > 0 && before(last, heap_[(pos - 1) / kArity]))
+        siftUp(pos);
+    else
+        siftDown(pos);
+}
+
+EventQueue::EventId
+EventQueue::enqueue(Tick when, Node *node)
 {
     bmc_assert(when >= now_,
                "scheduling into the past: when=%llu now=%llu",
                static_cast<unsigned long long>(when),
                static_cast<unsigned long long>(now_));
-    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    node->heapPos = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back({when, nextSeq_++, node});
+    siftUp(heap_.size() - 1);
+    return packId(node->index, node->gen);
+}
+
+EventQueue::EventId
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    Node *node = allocNode();
+    node->cb = std::move(cb);
+    return enqueue(when, node);
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == 0)
+        return false;
+    const auto index = static_cast<std::uint32_t>(id & 0xffffffff) - 1;
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (index >= poolAllocated_)
+        return false;
+    Node *node = nodeAt(index);
+    if (node->gen != gen)
+        return false; // already executed, cancelled, or reused
+    removeFromHeap(node->heapPos);
+    freeNode(node);
+    return true;
 }
 
 bool
@@ -20,20 +156,26 @@ EventQueue::step()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top() is const; move out via const_cast is UB,
-    // so copy the callback handle (std::function copy) instead.
-    Entry e = heap_.top();
-    heap_.pop();
-    now_ = e.when;
+    Node *top = heap_.front().node;
+    now_ = heap_.front().when;
+    removeFromHeap(0);
     ++numExecuted_;
-    e.cb();
+    // Invoke straight from node storage -- no move. The generation
+    // bump must happen *before* the call so a stale id held by the
+    // callback itself fails to cancel; the node returns to the free
+    // list only afterwards, so reentrant scheduling cannot clobber
+    // the callable while it runs.
+    ++top->gen;
+    top->cb();
+    top->cb = nullptr;
+    freeNodes_.push_back(top->index);
     return true;
 }
 
 Tick
 EventQueue::run(Tick until)
 {
-    while (!heap_.empty() && heap_.top().when <= until)
+    while (!heap_.empty() && heap_.front().when <= until)
         step();
     return now_;
 }

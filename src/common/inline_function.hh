@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Small-buffer-optimized, move-only callable wrapper.
+ *
+ * The event kernel schedules tens of millions of closures per run;
+ * std::function costs a heap allocation for any capture list larger
+ * than its tiny internal buffer (~16 B on libstdc++) and another
+ * allocation + copy when an entry is copied out of the scheduling
+ * heap. InplaceFunction stores captures up to @c Capacity bytes
+ * inline (sized so the simulator's hot lambdas -- a moved-in
+ * completion callback plus a couple of scalars -- fit), falls back to
+ * a single heap allocation for larger closures, and is move-only, so
+ * a callable is never duplicated on its way through the kernel.
+ *
+ * Differences from std::function, deliberate:
+ *  - no copy construction/assignment (captures move exactly once);
+ *  - no target()/target_type() RTTI;
+ *  - invoking an empty InplaceFunction is undefined (callers guard
+ *    with operator bool, as the simulator always did).
+ */
+
+#ifndef BMC_COMMON_INLINE_FUNCTION_HH
+#define BMC_COMMON_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace bmc
+{
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction; // undefined; specialized below
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity>
+{
+  public:
+    InplaceFunction() = default;
+    InplaceFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InplaceFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InplaceFunction(F &&f)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (storage()) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            ::new (storage()) D *(new D(std::forward<F>(f)));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    InplaceFunction(InplaceFunction &&other) noexcept
+        : ops_(other.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(other.storage(), storage());
+            other.ops_ = nullptr;
+        }
+    }
+
+    InplaceFunction &
+    operator=(InplaceFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_) {
+                ops_->relocate(other.storage(), storage());
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InplaceFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    InplaceFunction(const InplaceFunction &) = delete;
+    InplaceFunction &operator=(const InplaceFunction &) = delete;
+
+    /**
+     * Destroy any current target and construct @p f in place. One
+     * move-construction of the callable total, versus two when a
+     * caller builds an InplaceFunction argument that is then
+     * move-assigned into storage (the hot scheduling path cares).
+     */
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InplaceFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    void
+    emplace(F &&f)
+    {
+        reset();
+        if constexpr (fitsInline<D>()) {
+            ::new (storage()) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            ::new (storage()) D *(new D(std::forward<F>(f)));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    ~InplaceFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(storage(), std::forward<Args>(args)...);
+    }
+
+    /** True when a callable of type F is stored without a heap
+     *  allocation (exposed so tests can pin the capacity choice). */
+    template <typename F>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(F) <= Capacity &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args &&...);
+        /** Move-construct into @p dst from @p src, destroy @p src. */
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    void *storage() { return buf_; }
+    const void *storage() const { return buf_; }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(storage());
+            ops_ = nullptr;
+        }
+    }
+
+    template <typename F>
+    static inline const Ops inlineOps = {
+        [](void *p, Args &&...args) -> R {
+            return (*static_cast<F *>(p))(
+                std::forward<Args>(args)...);
+        },
+        [](void *src, void *dst) noexcept {
+            ::new (dst) F(std::move(*static_cast<F *>(src)));
+            static_cast<F *>(src)->~F();
+        },
+        [](void *p) noexcept { static_cast<F *>(p)->~F(); },
+    };
+
+    template <typename F>
+    static inline const Ops heapOps = {
+        [](void *p, Args &&...args) -> R {
+            return (**static_cast<F **>(p))(
+                std::forward<Args>(args)...);
+        },
+        [](void *src, void *dst) noexcept {
+            ::new (dst) F *(*static_cast<F **>(src));
+        },
+        [](void *p) noexcept { delete *static_cast<F **>(p); },
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace bmc
+
+#endif // BMC_COMMON_INLINE_FUNCTION_HH

@@ -24,6 +24,8 @@ Channel::Channel(EventQueue &eq, const TimingParams &params,
                  unsigned channel_id, stats::StatGroup &parent)
     : eq_(eq), p_(params), id_(channel_id),
       banks_(params.banksPerChannel),
+      bankFifo_(2 * params.banksPerChannel),
+      rowTable_(64), rowMask_(63),
       nextRefreshAt_(params.toTicks(params.tREFI)),
       sg_("channel" + std::to_string(channel_id), &parent),
       dataRowHits_(sg_, "data_row_hits",
@@ -42,6 +44,17 @@ Channel::Channel(EventQueue &eq, const TimingParams &params,
                     "ticks from enqueue to completion")
 {
     bmc_assert(params.banksPerChannel > 0, "channel needs banks");
+    slots_.reserve(64);
+    freeSlots_.reserve(64);
+}
+
+void
+Channel::setCrossCheck(bool enabled)
+{
+    bmc_assert(queued_ == 0,
+               "cross-check must be toggled on an idle channel");
+    crossCheck_ = enabled;
+    shadowQueue_.clear();
 }
 
 double
@@ -59,6 +72,183 @@ Channel::metaRowHitRate() const
     return total ? static_cast<double>(metaRowHits_.value()) / total
                  : 0.0;
 }
+
+// ------------------------------------------------- slot pool ------
+
+std::uint32_t
+Channel::allocSlot()
+{
+    if (freeSlots_.empty()) {
+        slots_.emplace_back();
+        return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+    const std::uint32_t idx = freeSlots_.back();
+    freeSlots_.pop_back();
+    return idx;
+}
+
+void
+Channel::freeSlot(std::uint32_t idx)
+{
+    slots_[idx].req.onComplete = nullptr;
+    freeSlots_.push_back(idx);
+}
+
+// ------------------------------------------------- row table ------
+
+std::size_t
+Channel::rowHome(std::uint32_t bank_prio, std::uint64_t row) const
+{
+    // splitmix-style mix; the row dominates, the (bank, prio) lane
+    // decorrelates identical rows on different banks.
+    std::uint64_t z =
+        (row + 0x9e3779b97f4a7c15ULL * (bank_prio + 1));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    return static_cast<std::size_t>(z) & rowMask_;
+}
+
+std::size_t
+Channel::rowFind(std::uint32_t bank_prio, std::uint64_t row) const
+{
+    std::size_t pos = rowHome(bank_prio, row);
+    while (rowTable_[pos].used) {
+        if (rowTable_[pos].row == row &&
+            rowTable_[pos].bankPrio == bank_prio) {
+            return pos;
+        }
+        pos = (pos + 1) & rowMask_;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+void
+Channel::rowGrow()
+{
+    std::vector<RowEntry> old = std::move(rowTable_);
+    rowTable_.assign(old.size() * 2, RowEntry{});
+    rowMask_ = rowTable_.size() - 1;
+    for (const RowEntry &e : old) {
+        if (!e.used)
+            continue;
+        std::size_t pos = rowHome(e.bankPrio, e.row);
+        while (rowTable_[pos].used)
+            pos = (pos + 1) & rowMask_;
+        rowTable_[pos] = e;
+    }
+}
+
+std::size_t
+Channel::rowFindOrInsert(std::uint32_t bank_prio, std::uint64_t row)
+{
+    if (2 * (rowUsed_ + 1) > rowTable_.size()) {
+        rowGrow();
+    }
+    std::size_t pos = rowHome(bank_prio, row);
+    while (rowTable_[pos].used) {
+        if (rowTable_[pos].row == row &&
+            rowTable_[pos].bankPrio == bank_prio) {
+            return pos;
+        }
+        pos = (pos + 1) & rowMask_;
+    }
+    rowTable_[pos].row = row;
+    rowTable_[pos].bankPrio = bank_prio;
+    rowTable_[pos].list = FifoList{};
+    rowTable_[pos].used = true;
+    ++rowUsed_;
+    return pos;
+}
+
+void
+Channel::rowErase(std::size_t pos)
+{
+    // Backward-shift deletion: pull displaced entries into the hole
+    // so linear probe chains never break (no tombstones to rescan).
+    std::size_t hole = pos;
+    std::size_t scan = pos;
+    rowTable_[hole].used = false;
+    for (;;) {
+        scan = (scan + 1) & rowMask_;
+        if (!rowTable_[scan].used)
+            break;
+        const std::size_t home =
+            rowHome(rowTable_[scan].bankPrio, rowTable_[scan].row);
+        // Skip entries whose home lies cyclically inside (hole, scan]:
+        // they are already as close to home as they can get.
+        const bool home_between =
+            hole <= scan ? (home > hole && home <= scan)
+                         : (home > hole || home <= scan);
+        if (home_between)
+            continue;
+        rowTable_[hole] = rowTable_[scan];
+        rowTable_[scan].used = false;
+        hole = scan;
+    }
+    --rowUsed_;
+}
+
+// ------------------------------------------------ list threading --
+
+void
+Channel::linkSlot(std::uint32_t idx)
+{
+    Slot &s = slots_[idx];
+    const std::uint32_t bp = bankPrioOf(s.req);
+
+    FifoList &bank_list = bankFifo_[bp];
+    s.bankPrev = bank_list.tail;
+    s.bankNext = npos32;
+    if (bank_list.tail != npos32)
+        slots_[bank_list.tail].bankNext = idx;
+    else
+        bank_list.head = idx;
+    bank_list.tail = idx;
+
+    const std::size_t rpos = rowFindOrInsert(bp, s.req.loc.row);
+    FifoList &row_list = rowTable_[rpos].list;
+    s.rowPrev = row_list.tail;
+    s.rowNext = npos32;
+    if (row_list.tail != npos32)
+        slots_[row_list.tail].rowNext = idx;
+    else
+        row_list.head = idx;
+    row_list.tail = idx;
+}
+
+void
+Channel::unlinkSlot(std::uint32_t idx)
+{
+    Slot &s = slots_[idx];
+    const std::uint32_t bp = bankPrioOf(s.req);
+
+    FifoList &bank_list = bankFifo_[bp];
+    if (s.bankPrev != npos32)
+        slots_[s.bankPrev].bankNext = s.bankNext;
+    else
+        bank_list.head = s.bankNext;
+    if (s.bankNext != npos32)
+        slots_[s.bankNext].bankPrev = s.bankPrev;
+    else
+        bank_list.tail = s.bankPrev;
+
+    const std::size_t rpos = rowFind(bp, s.req.loc.row);
+    bmc_assert(rpos != static_cast<std::size_t>(-1),
+               "queued request missing from the row index");
+    FifoList &row_list = rowTable_[rpos].list;
+    if (s.rowPrev != npos32)
+        slots_[s.rowPrev].rowNext = s.rowNext;
+    else
+        row_list.head = s.rowNext;
+    if (s.rowNext != npos32)
+        slots_[s.rowNext].rowPrev = s.rowPrev;
+    else
+        row_list.tail = s.rowPrev;
+    if (row_list.head == npos32)
+        rowErase(rpos);
+}
+
+// ------------------------------------------------- scheduling -----
 
 void
 Channel::catchUpRefresh(Tick when)
@@ -117,11 +307,17 @@ Channel::enqueue(Request req)
     // ActivateOnly requests queue like any other and compete
     // through FR-FCFS: the speculative ACT overlaps a concurrent
     // metadata read without jumping ahead of demand commands.
-    queue_.push_back(std::move(req));
+    const std::uint32_t idx = allocSlot();
+    slots_[idx].req = std::move(req);
+    slots_[idx].seq = nextSeq_++;
+    linkSlot(idx);
+    ++queued_;
+    if (crossCheck_)
+        shadowQueue_.push_back(idx);
     trySchedule();
 }
 
-size_t
+std::uint32_t
 Channel::pickNext() const
 {
     // FR-FCFS with demand priority: row-hitting demand requests
@@ -130,38 +326,92 @@ Channel::pickNext() const
     // Background traffic (fill remainders, writebacks) is bounded by
     // the controller's fill-buffer credits, so it cannot grow the
     // queue without limit even when demand saturates the channel.
-    size_t oldest_hi = queue_.size();
-    size_t oldest_lo = queue_.size();
-    size_t rowhit_lo = queue_.size();
-    for (size_t i = 0; i < queue_.size(); ++i) {
-        const auto &r = queue_[i];
+    //
+    // Each class resolves with O(banks) head lookups: the per-(bank,
+    // prio) FIFO heads give the oldest request per bank, the row
+    // table gives the oldest same-row request per open bank, and the
+    // global winner is the minimum arrival seq across banks.
+    for (const std::uint32_t prio : {0u, 1u}) {
+        std::uint32_t best = npos32;
+        std::uint64_t best_seq = ~0ULL;
+        for (std::size_t b = 0; b < banks_.size(); ++b) {
+            if (!banks_[b].rowOpen)
+                continue;
+            const std::size_t rpos = rowFind(
+                static_cast<std::uint32_t>(2 * b + prio),
+                banks_[b].openRow);
+            if (rpos == static_cast<std::size_t>(-1))
+                continue;
+            const std::uint32_t head = rowTable_[rpos].list.head;
+            if (head != npos32 && slots_[head].seq < best_seq) {
+                best = head;
+                best_seq = slots_[head].seq;
+            }
+        }
+        if (best != npos32)
+            return best;
+        for (std::size_t b = 0; b < banks_.size(); ++b) {
+            const std::uint32_t head = bankFifo_[2 * b + prio].head;
+            if (head != npos32 && slots_[head].seq < best_seq) {
+                best = head;
+                best_seq = slots_[head].seq;
+            }
+        }
+        if (best != npos32)
+            return best;
+    }
+    return npos32;
+}
+
+std::uint32_t
+Channel::pickNextReference() const
+{
+    // The original linear FR-FCFS scan in arrival order, kept as the
+    // ground truth for the differential test.
+    std::uint32_t oldest_hi = npos32;
+    std::uint32_t oldest_lo = npos32;
+    std::uint32_t rowhit_lo = npos32;
+    for (const std::uint32_t idx : shadowQueue_) {
+        const Request &r = slots_[idx].req;
         const auto &bank = banks_[r.loc.bank];
         const bool row_hit =
             bank.rowOpen && bank.openRow == r.loc.row;
         if (!r.lowPriority) {
             if (row_hit)
-                return i;
-            if (oldest_hi == queue_.size())
-                oldest_hi = i;
+                return idx;
+            if (oldest_hi == npos32)
+                oldest_hi = idx;
         } else {
-            if (row_hit && rowhit_lo == queue_.size())
-                rowhit_lo = i;
-            if (oldest_lo == queue_.size())
-                oldest_lo = i;
+            if (row_hit && rowhit_lo == npos32)
+                rowhit_lo = idx;
+            if (oldest_lo == npos32)
+                oldest_lo = idx;
         }
     }
-    if (oldest_hi != queue_.size())
+    if (oldest_hi != npos32)
         return oldest_hi;
-    if (rowhit_lo != queue_.size())
+    if (rowhit_lo != npos32)
         return rowhit_lo;
     return oldest_lo;
 }
 
 void
-Channel::serviceOne(size_t idx)
+Channel::serviceOne(std::uint32_t idx)
 {
-    Request req = std::move(queue_[idx]);
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    Request req = std::move(slots_[idx].req);
+    unlinkSlot(idx);
+    freeSlot(idx);
+    --queued_;
+    if (crossCheck_) {
+        for (auto it = shadowQueue_.begin(); it != shadowQueue_.end();
+             ++it) {
+            if (*it == idx) {
+                shadowQueue_.erase(it);
+                break;
+            }
+        }
+    }
+
     const bool low = req.lowPriority;
     if (low)
         ++inFlightLow_;
@@ -178,10 +428,17 @@ Channel::serviceOne(size_t idx)
             openRow(bank, req.loc.row, eq_.now(), spec_hit);
         ++inFlight_;
         auto cb = std::move(req.onComplete);
-        eq_.scheduleAt(ready, [this, cb = std::move(cb), ready] {
+        // @p low is virtually always false here (nothing in the
+        // system issues background activates), but dropping it would
+        // leak inFlightLow_ and stall background traffic for good.
+        // The event fires exactly at @c ready, so eq_.now() stands in
+        // for it and the closure stays within the 48 B inline budget.
+        eq_.scheduleAt(ready, [this, cb = std::move(cb), low] {
             --inFlight_;
+            if (low)
+                --inFlightLow_;
             if (cb)
-                cb(ready);
+                cb(eq_.now());
             trySchedule();
         });
         return;
@@ -233,27 +490,39 @@ Channel::serviceOne(size_t idx)
 
     ++inFlight_;
     auto cb = std::move(req.onComplete);
-    eq_.scheduleAt(data_end,
-                   [this, cb = std::move(cb), data_end, low] {
-                       --inFlight_;
-                       if (low)
-                           --inFlightLow_;
-                       if (cb)
-                           cb(data_end);
-                       trySchedule();
-                   });
+    // The completion fires at data_end, so eq_.now() inside the
+    // callback is the burst-end tick; capturing [this, cb, low] only
+    // keeps the closure within the kernel's 48 B inline budget.
+    eq_.scheduleAt(data_end, [this, cb = std::move(cb), low] {
+        --inFlight_;
+        if (low)
+            --inFlightLow_;
+        if (cb)
+            cb(eq_.now());
+        trySchedule();
+    });
 }
 
 void
 Channel::trySchedule()
 {
-    while (!queue_.empty() && inFlight_ < lookahead_) {
-        const size_t idx = pickNext();
-        bmc_assert(idx < queue_.size(), "pickNext out of range");
+    while (queued_ > 0 && inFlight_ < lookahead_) {
+        const std::uint32_t idx = pickNext();
+        bmc_assert(idx != npos32, "pickNext found nothing queued");
+        if (crossCheck_) {
+            const std::uint32_t ref = pickNextReference();
+            bmc_assert(ref == idx,
+                       "FR-FCFS divergence: index picked seq %llu, "
+                       "reference picked seq %llu",
+                       static_cast<unsigned long long>(
+                           slots_[idx].seq),
+                       static_cast<unsigned long long>(
+                           slots_[ref].seq));
+        }
         // Commit at most one background request at a time so that a
         // demand request arriving next cycle never waits behind a
         // train of already-committed fills/writebacks.
-        if (queue_[idx].lowPriority && inFlightLow_ >= 1)
+        if (slots_[idx].req.lowPriority && inFlightLow_ >= 1)
             return;
         serviceOne(idx);
     }

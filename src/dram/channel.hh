@@ -12,6 +12,16 @@
  * Up to @c schedulerLookahead requests may be committed (reserved)
  * at once, modelling the command pipelining of a real controller.
  *
+ * The scheduler is indexed: queued requests live in a recycled slot
+ * pool threaded onto per-(bank, priority) FIFO lists plus per-(bank,
+ * priority, row) FIFO lists reachable through an open-addressing row
+ * table, so one FR-FCFS pick costs O(banks) lookups instead of a
+ * scan of the whole queue, while preserving the exact pick order of
+ * the original linear scan (the arrival-order reference scheduler is
+ * kept and can be cross-checked against the index with
+ * setCrossCheck(); the differential test drives both on recorded
+ * traces).
+ *
  * Refresh is applied lazily but exactly: before any service, all
  * refresh intervals (tREFI) that have elapsed are charged, closing
  * every row and blocking the banks for tRFC, as in Table IV
@@ -21,6 +31,7 @@
 #ifndef BMC_DRAM_CHANNEL_HH
 #define BMC_DRAM_CHANNEL_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -60,7 +71,7 @@ class Channel : public ChannelIface
     void enqueue(Request req) override;
 
     /** Pending (not yet reserved) request count. */
-    size_t queueDepth() const override { return queue_.size(); }
+    size_t queueDepth() const override { return queued_; }
 
     const ActivityCounters &activity() const override
     {
@@ -96,6 +107,13 @@ class Channel : public ChannelIface
         return serviceTicks_.mean();
     }
 
+    /**
+     * When enabled, every pick of the indexed scheduler is verified
+     * against the original arrival-order linear scan; a divergence
+     * panics. Test-only (maintains a shadow arrival queue).
+     */
+    void setCrossCheck(bool enabled);
+
   private:
     struct BankState
     {
@@ -108,14 +126,71 @@ class Channel : public ChannelIface
         Tick lastWriteEnd = 0;   //!< last write burst end (tWR)
     };
 
-    /** Apply all refresshes due at or before @p when. */
+    static constexpr std::uint32_t npos32 = 0xffffffffu;
+
+    /** One queued request, threaded onto two intrusive FIFO lists. */
+    struct Slot
+    {
+        Request req;
+        std::uint64_t seq = 0;
+        std::uint32_t bankPrev = npos32; //!< (bank, prio) FIFO links
+        std::uint32_t bankNext = npos32;
+        std::uint32_t rowPrev = npos32; //!< (bank, prio, row) links
+        std::uint32_t rowNext = npos32;
+    };
+
+    struct FifoList
+    {
+        std::uint32_t head = npos32;
+        std::uint32_t tail = npos32;
+    };
+
+    /** Open-addressing row-index entry: (bank, prio, row) -> FIFO. */
+    struct RowEntry
+    {
+        std::uint64_t row = 0;
+        std::uint32_t bankPrio = 0;
+        FifoList list;
+        bool used = false;
+    };
+
+    // ------------------------- slot pool and index maintenance ----
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t idx);
+    /** Thread @p idx onto its bank FIFO and row FIFO. */
+    void linkSlot(std::uint32_t idx);
+    /** Remove @p idx from both lists (erases empty row entries). */
+    void unlinkSlot(std::uint32_t idx);
+
+    static std::uint32_t
+    bankPrioOf(const Request &req)
+    {
+        return (req.loc.bank << 1) | (req.lowPriority ? 1u : 0u);
+    }
+
+    std::size_t rowHome(std::uint32_t bank_prio,
+                        std::uint64_t row) const;
+    /** Table position of (bank_prio, row), or npos if absent. */
+    std::size_t rowFind(std::uint32_t bank_prio,
+                        std::uint64_t row) const;
+    /** Find-or-insert; may grow the table. */
+    std::size_t rowFindOrInsert(std::uint32_t bank_prio,
+                                std::uint64_t row);
+    /** Backward-shift deletion keeping probe chains intact. */
+    void rowErase(std::size_t pos);
+    void rowGrow();
+
+    /** Apply all refreshes due at or before @p when. */
     void catchUpRefresh(Tick when);
 
-    /** FR-FCFS pick: index into queue_, or npos if empty. */
-    size_t pickNext() const;
+    /** Indexed FR-FCFS pick: slot index, or npos32 if empty. */
+    std::uint32_t pickNext() const;
+
+    /** The original O(queue) arrival-order scan (cross-check). */
+    std::uint32_t pickNextReference() const;
 
     /** Reserve resources for one queued request; fire completion. */
-    void serviceOne(size_t idx);
+    void serviceOne(std::uint32_t idx);
 
     /** Reserve/launch as much work as lookahead allows. */
     void trySchedule();
@@ -130,7 +205,20 @@ class Channel : public ChannelIface
     unsigned id_;
 
     std::vector<BankState> banks_;
-    std::deque<Request> queue_;
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    /** One FIFO per (bank, priority): index 2*bank + prio. */
+    std::vector<FifoList> bankFifo_;
+    std::vector<RowEntry> rowTable_; //!< power-of-two capacity
+    std::size_t rowMask_ = 0;
+    std::size_t rowUsed_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t queued_ = 0;
+
+    bool crossCheck_ = false;
+    std::deque<std::uint32_t> shadowQueue_; //!< arrival order (test)
+
     Tick busFreeAt_ = 0;
     unsigned inFlight_ = 0;
     unsigned inFlightLow_ = 0;

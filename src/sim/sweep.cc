@@ -4,7 +4,6 @@
 #include <cinttypes>
 #include <exception>
 #include <fstream>
-#include <map>
 #include <mutex>
 
 #include "common/logging.hh"
@@ -178,6 +177,8 @@ SweepBuilder::build() const
         workloads.push_back("");
 
     std::vector<RunSpec> out;
+    out.reserve(variants.size() * workloads.size() *
+                schemes_.size() * replicates_);
     for (const Variant &variant : variants) {
         for (const std::string &wname : workloads) {
             for (const Scheme scheme : schemes_) {
@@ -238,6 +239,7 @@ executeRun(const RunSpec &spec, std::size_t index)
       case RunMode::Timing: {
         System system(spec.cfg, spec.programs);
         res.stats = system.run();
+        res.eventsExecuted = system.eventQueue().numExecuted();
         break;
       }
       case RunMode::Functional: {
@@ -259,6 +261,7 @@ executeRun(const RunSpec &spec, std::size_t index)
         res.stats = ar.multiprogram;
         res.antt = ar.antt;
         res.mp = ar.metrics;
+        res.eventsExecuted = ar.eventsExecuted;
         break;
       }
     }
@@ -267,7 +270,7 @@ executeRun(const RunSpec &spec, std::size_t index)
 }
 
 std::string
-runResultToJsonLine(const RunResult &r)
+runResultToJsonLine(const RunResult &r, bool include_timing)
 {
     std::string out = strfmt(
         "{\"run\": %zu, \"label\": \"%s\", \"workload\": \"%s\", "
@@ -284,6 +287,11 @@ runResultToJsonLine(const RunResult &r)
         out += strfmt(", \"antt\": %.6f, \"stp\": %.6f, "
                       "\"hms\": %.6f, \"fairness\": %.6f",
                       r.antt, r.mp.stp, r.mp.hms, r.mp.fairness);
+    }
+    if (include_timing) {
+        out += strfmt(", \"wall_seconds\": %.3f, "
+                      "\"events_executed\": %" PRIu64,
+                      r.wallSeconds, r.eventsExecuted);
     }
     out += ", \"stats\": ";
     out += statsToJson(r.stats, /*pretty=*/false);
@@ -309,9 +317,16 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
     }
 
     // Runs complete in any order; JSONL rows are flushed strictly in
-    // run-index order so the file is schedule-independent.
+    // run-index order so the file is schedule-independent. Pending
+    // rows live in a ring keyed by run index modulo capacity: every
+    // unflushed run i satisfies nextLine <= i < nextLine + capacity
+    // (the ring doubles before that invariant would break, e.g. when
+    // one straggler run holds the flush cursor while later runs keep
+    // completing), so slots never collide and flushing is a
+    // contiguous scan from nextLine.
     std::mutex mutex;
-    std::map<std::size_t, std::string> pendingLines;
+    std::vector<std::string> pendingLines(16);
+    std::vector<char> pendingReady(16, 0);
     std::size_t nextLine = 0;
     std::size_t completed = 0;
     std::size_t failed = 0;
@@ -348,11 +363,32 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
             ++failed;
         ++completed;
         if (jsonl.is_open()) {
-            pendingLines.emplace(i, runResultToJsonLine(res));
-            while (!pendingLines.empty() &&
-                   pendingLines.begin()->first == nextLine) {
-                jsonl << pendingLines.begin()->second << '\n';
-                pendingLines.erase(pendingLines.begin());
+            const std::size_t cap = pendingLines.size();
+            if (i - nextLine >= cap) {
+                std::size_t grown = cap * 2;
+                while (i - nextLine >= grown)
+                    grown *= 2;
+                std::vector<std::string> lines(grown);
+                std::vector<char> ready(grown, 0);
+                for (std::size_t j = nextLine; j < nextLine + cap;
+                     ++j) {
+                    if (pendingReady[j % cap]) {
+                        lines[j % grown] =
+                            std::move(pendingLines[j % cap]);
+                        ready[j % grown] = 1;
+                    }
+                }
+                pendingLines = std::move(lines);
+                pendingReady = std::move(ready);
+            }
+            const std::size_t size = pendingLines.size();
+            pendingLines[i % size] =
+                runResultToJsonLine(res, opts.emitTiming);
+            pendingReady[i % size] = 1;
+            while (pendingReady[nextLine % size]) {
+                jsonl << pendingLines[nextLine % size] << '\n';
+                pendingLines[nextLine % size].clear();
+                pendingReady[nextLine % size] = 0;
                 ++nextLine;
             }
             jsonl.flush();

@@ -13,8 +13,8 @@
  *  - results depend only on each RunSpec (including its seed), never
  *    on thread count, scheduling, or other runs;
  *  - the optional JSONL results file is written in run-index order
- *    and contains no wall-clock fields, so -j1 and -jN produce
- *    bit-identical files;
+ *    and (unless SweepOptions::emitTiming is set) contains no
+ *    wall-clock fields, so -j1 and -jN produce bit-identical files;
  *  - a run that panics or faults (SimError / std::exception) is
  *    isolated: its result carries ok=false and the error text, and
  *    the rest of the sweep completes.
@@ -67,8 +67,12 @@ struct RunResult
     std::uint64_t seed = 0;
     bool ok = false;
     std::string error;
-    /** Wall-clock seconds this run took (NOT serialized to JSONL). */
+    /** Wall-clock seconds this run took (serialized only under
+     *  SweepOptions::emitTiming). */
     double wallSeconds = 0.0;
+    /** Kernel events executed (timing/ANTT modes; 0 for functional
+     *  runs). Serialized only under SweepOptions::emitTiming. */
+    std::uint64_t eventsExecuted = 0;
 
     RunStats stats;
     double antt = -1.0; //!< RunMode::Antt only
@@ -106,6 +110,13 @@ struct SweepOptions
     /** When non-empty, truncate and write one JSON line per run in
      *  run-index order. */
     std::string jsonlPath;
+    /**
+     * Append wall_seconds / events_executed to every JSONL record.
+     * Off by default: the timing fields are host- and load-
+     * dependent, so the determinism guarantee (bit-identical files
+     * for any -j) only covers runs with this flag off.
+     */
+    bool emitTiming = false;
     /** Invoked (serialized) after every run completes. */
     std::function<void(const SweepProgress &)> onProgress;
 };
@@ -169,9 +180,12 @@ std::vector<RunResult> runSweep(const std::vector<RunSpec> &runs,
 
 /**
  * One-line JSON record for a run (the JSONL schema; documented in
- * EXPERIMENTS.md). Deliberately excludes wall-clock time.
+ * EXPERIMENTS.md). Wall-clock and events-executed fields are only
+ * emitted when @p include_timing is set (they are host-dependent and
+ * would break the bit-identical -j1/-jN guarantee).
  */
-std::string runResultToJsonLine(const RunResult &r);
+std::string runResultToJsonLine(const RunResult &r,
+                                bool include_timing = false);
 
 } // namespace bmc::sim
 

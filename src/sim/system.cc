@@ -184,6 +184,7 @@ runAntt(const MachineConfig &cfg, const trace::WorkloadSpec &workload)
     {
         System mp(cfg, workload.programs);
         out.multiprogram = mp.run();
+        out.eventsExecuted += mp.eventQueue().numExecuted();
     }
 
     // Standalone runs: same machine, one core. Keep the same seed
@@ -200,6 +201,7 @@ runAntt(const MachineConfig &cfg, const trace::WorkloadSpec &workload)
                   {static_cast<CoreId>(i)});
         const RunStats rs = sp.run();
         out.standaloneCycles.push_back(rs.coreCycles[0]);
+        out.eventsExecuted += sp.eventQueue().numExecuted();
     }
     out.metrics = computeMetrics(out.multiprogram.coreCycles,
                                  out.standaloneCycles);

@@ -87,6 +87,9 @@ struct AnttResult
     std::vector<Tick> standaloneCycles;
     /** Full Eyerman-Eeckhout metric family (STP, HMS, fairness). */
     MultiprogramMetrics metrics;
+    /** Kernel events executed across the multiprogram run and every
+     *  standalone run (sweep timing instrumentation). */
+    std::uint64_t eventsExecuted = 0;
 };
 
 /**

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -87,6 +90,156 @@ TEST(EventQueueDeath, SchedulingIntoThePastPanics)
     eq.scheduleAt(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.scheduleAt(50, [] {}), "past");
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventQueue::EventId id = eq.scheduleAt(10, [&] { ++fired; });
+    eq.scheduleAt(20, [&] { fired += 10; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id)); // second cancel is a no-op
+    eq.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.numExecuted(), 1u);
+}
+
+TEST(EventQueue, CancelOfExecutedEventFails)
+{
+    EventQueue eq;
+    const EventQueue::EventId id = eq.scheduleAt(1, [] {});
+    eq.run();
+    // The node was recycled; a stale id must not cancel anything.
+    EXPECT_FALSE(eq.cancel(id));
+    int fired = 0;
+    eq.scheduleAt(2, [&] { ++fired; });
+    EXPECT_FALSE(eq.cancel(id));
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelMiddleKeepsOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventQueue::EventId> ids;
+    for (int i = 0; i < 16; ++i)
+        ids.push_back(eq.scheduleAt(Tick(i + 1),
+                                    [&, i] { order.push_back(i); }));
+    for (int i = 1; i < 16; i += 2)
+        EXPECT_TRUE(eq.cancel(ids[i]));
+    eq.run();
+    std::vector<int> expect;
+    for (int i = 0; i < 16; i += 2)
+        expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
+// The event-pool regression the rewrite is for: a steady-state
+// schedule/cancel/reschedule storm must recycle nodes, not grow the
+// pool. Warm up to the natural high-water mark, then assert the
+// allocation count never moves again.
+TEST(EventQueue, PoolStopsGrowingAfterWarmup)
+{
+    EventQueue eq;
+    std::uint64_t x = 88172645463325252ull; // xorshift64
+    const auto rnd = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+
+    // A bounded working set of event slots: each step cancels one
+    // slot's event (a no-op if it already executed) and reschedules
+    // it, so at most 64 events are ever pending.
+    std::array<EventQueue::EventId, 64> ids{};
+    const auto churn = [&](int steps) {
+        for (int i = 0; i < steps; ++i) {
+            const std::uint64_t r = rnd();
+            const size_t slot = r % ids.size();
+            eq.cancel(ids[slot]);
+            ids[slot] = eq.scheduleAt(eq.now() + 1 + (r % 97), [] {});
+            if ((r & 7) == 0)
+                eq.step();
+        }
+    };
+
+    churn(20'000);
+    const size_t high_water = eq.poolAllocated();
+    EXPECT_GT(high_water, 0u);
+    churn(200'000);
+    EXPECT_EQ(eq.poolAllocated(), high_water);
+    EXPECT_EQ(eq.poolFree() + eq.numPending(), high_water);
+}
+
+// Same-tick ordering is (tick, insertion-seq) even when earlier
+// same-tick events were cancelled and their nodes recycled into the
+// later ones -- seq comes from a monotonic counter, not the node.
+TEST(EventQueue, RecycledNodesKeepInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventQueue::EventId> doomed;
+    for (int i = 0; i < 8; ++i)
+        doomed.push_back(eq.scheduleAt(5, [&] { order.push_back(-1); }));
+    for (const EventQueue::EventId id : doomed)
+        EXPECT_TRUE(eq.cancel(id));
+    for (int i = 0; i < 8; ++i)
+        eq.scheduleAt(5, [&, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, CallbackCanRescheduleItsOwnNode)
+{
+    // step() frees the node before invoking the callback, so a
+    // self-rescheduling chain reuses one node forever.
+    EventQueue eq;
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 1'000)
+            eq.schedule(3, [&] { hop(); });
+    };
+    eq.schedule(0, [&] { hop(); });
+    eq.run();
+    EXPECT_EQ(hops, 1'000);
+    // Nodes are allocated in fixed-size chunks; a single recycled
+    // node means exactly one chunk, not one chunk per hop.
+    EXPECT_LE(eq.poolAllocated(), 256u);
+}
+
+TEST(InplaceFunction, InlineCapturesDoNotAllocate)
+{
+    // Pin the inline budget: four pointers fit, and a move-only
+    // capture round-trips.
+    struct Big
+    {
+        void *a, *b, *c, *d;
+    };
+    static_assert(sizeof(Big) <= 48, "four pointers must fit inline");
+
+    int hit = 0;
+    int *p = &hit;
+    InplaceFunction<void(), 48> f([p] { ++*p; });
+    InplaceFunction<void(), 48> g = std::move(f);
+    EXPECT_FALSE(static_cast<bool>(f));
+    ASSERT_TRUE(static_cast<bool>(g));
+    g();
+    EXPECT_EQ(hit, 1);
+}
+
+TEST(InplaceFunction, OversizedCapturesSpillToHeap)
+{
+    std::array<std::uint64_t, 16> payload{};
+    payload[15] = 42;
+    int out = 0;
+    InplaceFunction<void(), 48> f(
+        [payload, &out] { out = static_cast<int>(payload[15]); });
+    InplaceFunction<void(), 48> g = std::move(f);
+    g();
+    EXPECT_EQ(out, 42);
 }
 
 } // anonymous namespace

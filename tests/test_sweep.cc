@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -248,6 +249,53 @@ TEST(Sweep, FailedRunIsIsolatedAndReported)
     EXPECT_NE(lines[2].find("\"ok\": true"), std::string::npos);
 
     std::remove(path.c_str());
+}
+
+TEST(Sweep, TimingFieldsAreOptIn)
+{
+    MachineConfig cfg = baseConfig();
+    cfg.instrPerCore = 20'000;
+    cfg.warmupInstrPerCore = 0;
+    const std::vector<RunSpec> runs =
+        SweepBuilder(cfg)
+            .workloads({"Q1"})
+            .schemes({Scheme::BiModal})
+            .mode(RunMode::Timing)
+            .build();
+    ASSERT_EQ(runs.size(), 1u);
+
+    const std::string path_plain =
+        testing::TempDir() + "bmc_sweep_plain.jsonl";
+    const std::string path_timed =
+        testing::TempDir() + "bmc_sweep_timed.jsonl";
+
+    SweepOptions plain;
+    plain.jsonlPath = path_plain;
+    const std::vector<RunResult> r1 = runSweep(runs, plain);
+
+    SweepOptions timed;
+    timed.jsonlPath = path_timed;
+    timed.emitTiming = true;
+    const std::vector<RunResult> r2 = runSweep(runs, timed);
+
+    ASSERT_TRUE(r1[0].ok) << r1[0].error;
+    ASSERT_TRUE(r2[0].ok) << r2[0].error;
+    // A timing run executes real kernel events, and both sweeps see
+    // the same deterministic count regardless of the flag.
+    EXPECT_GT(r1[0].eventsExecuted, 0u);
+    EXPECT_EQ(r1[0].eventsExecuted, r2[0].eventsExecuted);
+
+    const std::string plain_file = readFile(path_plain);
+    const std::string timed_file = readFile(path_timed);
+    EXPECT_EQ(plain_file.find("wall_seconds"), std::string::npos);
+    EXPECT_EQ(plain_file.find("events_executed"), std::string::npos);
+    EXPECT_NE(timed_file.find("\"wall_seconds\": "), std::string::npos);
+    EXPECT_NE(timed_file.find(strfmt("\"events_executed\": %" PRIu64,
+                                     r2[0].eventsExecuted)),
+              std::string::npos);
+
+    std::remove(path_plain.c_str());
+    std::remove(path_timed.c_str());
 }
 
 } // anonymous namespace

@@ -119,6 +119,10 @@ main(int argc, char **argv)
     opts.addFlag("derive-seeds", false,
                  "hash(seed, run_index) per-run seeds instead of a "
                  "shared seed (decorrelates every cell)");
+    opts.addFlag("timing-fields", false,
+                 "add wall_seconds / events_executed to every JSONL "
+                 "record (host-dependent: breaks bit-identical -j "
+                 "reproducibility)");
     opts.addFlag("progress", true, "live progress/ETA line on stderr");
 
     std::vector<std::string> argStorage;
@@ -233,6 +237,7 @@ main(int argc, char **argv)
     sopts.baseSeed = base.seed;
     sopts.deriveSeeds = opts.flag("derive-seeds");
     sopts.jsonlPath = opts.getString("out");
+    sopts.emitTiming = opts.flag("timing-fields");
     if (opts.flag("progress")) {
         sopts.onProgress = [](const SweepProgress &p) {
             std::fprintf(stderr,
