@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Performance smoke test for the simulation kernel: re-run
 # bench/kernel_throughput and fail if event_storm throughput fell
-# more than 30% below the recorded baseline (BENCH_kernel.json's
-# "after" entry). Best-of-N is compared because single runs on shared
-# machines are noisy; 30% is far above run-to-run noise but well
-# below the ~2x the kernel rewrite bought, so a real regression to
-# the old allocation behavior trips it.
+# more than PERF_SMOKE_MAX_DROP_PCT percent (default 2) below the
+# recorded baseline (BENCH_kernel.json's "after" entry). Best-of-N is
+# compared because single runs on shared machines are noisy. The
+# tight default gate exists to catch instrumentation creep: the
+# observability hooks are compiled in but disabled in this benchmark,
+# and their cost must stay inside run-to-run noise. Set
+# PERF_SMOKE_MAX_DROP_PCT (e.g. 30) for loose sanity checking on
+# machines slower than the one that recorded the baseline.
 #
 # Usage: scripts/perf_smoke.sh [build-dir] [baseline-json]
 set -euo pipefail
@@ -13,7 +16,8 @@ set -euo pipefail
 build_dir="${1:-build}"
 src_dir="$(cd "$(dirname "$0")/.." && pwd)"
 baseline="${2:-$src_dir/BENCH_kernel.json}"
-runs="${PERF_SMOKE_RUNS:-3}"
+runs="${PERF_SMOKE_RUNS:-5}"
+max_drop_pct="${PERF_SMOKE_MAX_DROP_PCT:-2}"
 
 bench="$build_dir/bench/kernel_throughput"
 [ -x "$bench" ] || bench="$src_dir/$build_dir/bench/kernel_throughput"
@@ -33,12 +37,12 @@ for i in $(seq "$runs"); do
     "$bench" --label="smoke$i" --out="$tmpdir/run$i.json" >/dev/null
 done
 
-python3 - "$baseline" "$tmpdir" <<'EOF'
+python3 - "$baseline" "$tmpdir" "$max_drop_pct" <<'EOF'
 import glob
 import json
 import sys
 
-baseline_path, tmpdir = sys.argv[1], sys.argv[2]
+baseline_path, tmpdir, max_drop_pct = sys.argv[1:4]
 with open(baseline_path) as f:
     baseline = json.load(f)
 # BENCH_kernel.json keeps {"before": {...}, "after": {...}} entries;
@@ -52,9 +56,10 @@ for path in glob.glob(tmpdir + "/run*.json"):
         run = json.load(f)
     best = max(best, run["benches"]["event_storm"]["ops_per_sec"])
 
-floor = 0.7 * ref
+floor = (1.0 - float(max_drop_pct) / 100.0) * ref
 status = "OK" if best >= floor else "REGRESSION"
 print(f"perf_smoke: event_storm best {best:,.0f}/s vs baseline "
-      f"{ref:,.0f}/s (floor {floor:,.0f}/s): {status}")
+      f"{ref:,.0f}/s (floor {floor:,.0f}/s, "
+      f"max drop {max_drop_pct}%): {status}")
 sys.exit(0 if best >= floor else 1)
 EOF

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate observability output files.
+
+Checks that a lifecycle trace written by --trace-out is well-formed
+Chrome trace-event JSON (the object form Perfetto loads), and that an
+epoch stream written by --epoch-out is well-formed JSONL with the
+documented schema. Exits nonzero with a diagnostic on the first
+violation, so it can gate CI via ctest.
+
+Usage:
+    validate_trace.py --trace  <file.trace.json> [...]
+    validate_trace.py --epochs <file.jsonl> [...]
+
+Both flags may be mixed; every listed file must validate.
+"""
+
+import json
+import sys
+
+TRACE_SCHEMA_VERSION = 1
+EPOCH_SCHEMA_VERSION = 1
+
+# Keys every trace event must carry, per the Trace Event Format.
+EVENT_REQUIRED = ("name", "cat", "ph", "ts", "pid", "tid")
+
+EPOCH_REQUIRED = (
+    "schema_version",
+    "epoch",
+    "tick",
+    "dcc_accesses",
+    "dcc_hit_rate",
+    "data_row_hit_rate",
+    "meta_row_hit_rate",
+    "locator_hit_rate",
+    "mshr_occupancy",
+    "queue_depth",
+    "bank_busy_frac",
+)
+
+
+def fail(path, msg):
+    print(f"validate_trace: {path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not parseable JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "missing traceEvents array")
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail(path, "missing otherData object")
+    if other.get("schema_version") != TRACE_SCHEMA_VERSION:
+        fail(path, f"otherData.schema_version != {TRACE_SCHEMA_VERSION}")
+    if other.get("events_written") != len(events):
+        fail(path, "otherData.events_written does not match the "
+                   f"traceEvents length ({other.get('events_written')}"
+                   f" vs {len(events)})")
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{where} is not an object")
+        for key in EVENT_REQUIRED:
+            if key not in ev:
+                fail(path, f"{where} missing '{key}'")
+        ph = ev["ph"]
+        if ph not in ("X", "i"):
+            fail(path, f"{where} has unsupported phase '{ph}'")
+        if ev["ts"] < 0:
+            fail(path, f"{where} has negative ts")
+        if ph == "X":
+            if "dur" not in ev:
+                fail(path, f"{where} is 'X' but has no dur")
+            if ev["dur"] < 0:
+                fail(path, f"{where} has negative dur")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(path, f"{where} args is not an object")
+
+    print(f"validate_trace: {path}: OK "
+          f"({len(events)} events, "
+          f"{other.get('tracks_started', '?')} tracks)")
+
+
+def validate_epochs(path):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(path, str(e))
+    if not lines:
+        fail(path, "empty epoch stream")
+
+    prev_tick = -1
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(path, f"{where}: not parseable JSON: {e}")
+        if not isinstance(row, dict):
+            fail(path, f"{where}: not an object")
+        for key in EPOCH_REQUIRED:
+            if key not in row:
+                fail(path, f"{where}: missing '{key}'")
+        if row["schema_version"] != EPOCH_SCHEMA_VERSION:
+            fail(path, f"{where}: schema_version != "
+                       f"{EPOCH_SCHEMA_VERSION}")
+        if row["epoch"] != i:
+            fail(path, f"{where}: epoch {row['epoch']} != {i}")
+        if row["tick"] <= prev_tick:
+            fail(path, f"{where}: tick not increasing")
+        prev_tick = row["tick"]
+        for key in ("dcc_hit_rate", "data_row_hit_rate",
+                    "meta_row_hit_rate", "locator_hit_rate"):
+            if not 0.0 <= row[key] <= 1.0:
+                fail(path, f"{where}: {key} out of [0, 1]")
+        for j, frac in enumerate(row["bank_busy_frac"]):
+            if not 0.0 <= frac <= 1.0:
+                fail(path, f"{where}: bank_busy_frac[{j}] "
+                           "out of [0, 1]")
+
+    print(f"validate_trace: {path}: OK ({len(lines)} epochs)")
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    mode = None
+    for arg in argv[1:]:
+        if arg == "--trace":
+            mode = validate_trace
+        elif arg == "--epochs":
+            mode = validate_epochs
+        elif mode is None:
+            print(f"validate_trace: unexpected argument '{arg}' "
+                  "before --trace/--epochs", file=sys.stderr)
+            return 2
+        else:
+            mode(arg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

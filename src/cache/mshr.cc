@@ -25,7 +25,10 @@ MshrFile::MshrFile(unsigned num_entries, stats::StatGroup &parent)
       mask_(nextPow2(std::size_t{num_entries} * 2 + 2) - 1),
       table_(mask_ + 1), sg_("mshr", &parent),
       primaryMisses_(sg_, "primary", "misses that issued downstream"),
-      mergedMisses_(sg_, "merged", "misses merged into an entry")
+      mergedMisses_(sg_, "merged", "misses merged into an entry"),
+      mergeRatio_(sg_, "merge_ratio",
+                  "merged misses per primary miss", mergedMisses_,
+                  primaryMisses_)
 {
     // Reserve the common waiter population up front; the pool only
     // grows past this under extreme merging and is then recycled.
@@ -103,13 +106,19 @@ MshrFile::appendWaiter(Entry &entry, Callback cb)
 }
 
 bool
-MshrFile::allocate(Addr block_addr, Callback cb)
+MshrFile::allocate(Addr block_addr, Callback cb,
+                   std::uint32_t trace_id)
 {
     std::size_t pos = home(block_addr);
     while (table_[pos].used) {
         if (table_[pos].addr == block_addr) {
             appendWaiter(table_[pos], std::move(cb));
             ++mergedMisses_;
+            if (traceHook_ && (trace_id || table_[pos].traceId)) {
+                traceHook_("mshr_merge", block_addr,
+                           trace_id ? trace_id
+                                    : table_[pos].traceId);
+            }
             return false;
         }
         pos = (pos + 1) & mask_;
@@ -117,10 +126,13 @@ MshrFile::allocate(Addr block_addr, Callback cb)
     bmc_assert(!full(), "MSHR allocate on a full file");
     table_[pos].addr = block_addr;
     table_[pos].head = table_[pos].tail = npos;
+    table_[pos].traceId = trace_id;
     table_[pos].used = true;
     ++live_;
     appendWaiter(table_[pos], std::move(cb));
     ++primaryMisses_;
+    if (traceHook_ && trace_id)
+        traceHook_("mshr_alloc", block_addr, trace_id);
     return true;
 }
 
@@ -132,10 +144,13 @@ MshrFile::complete(Addr block_addr, Tick when)
                "MSHR complete for unknown block %llx",
                static_cast<unsigned long long>(block_addr));
     std::uint32_t idx = table_[pos].head;
+    const std::uint32_t tid = table_[pos].traceId;
     // Free the entry before invoking anything: callbacks may
     // re-enter allocate() (a retried core access) and must see the
     // completed block as absent, exactly as the map-based file did.
     erase(pos);
+    if (traceHook_ && tid)
+        traceHook_("mshr_complete", block_addr, tid);
     while (idx != npos) {
         // Detach the node before the call: a reentrant allocate()
         // may recycle it, but our saved @c next stays valid because

@@ -34,6 +34,16 @@ class MshrFile
   public:
     using Callback = std::function<void(Tick)>;
 
+    /**
+     * Lifecycle-trace hook, fired on "mshr_alloc" / "mshr_merge" /
+     * "mshr_complete" for entries with a nonzero trace id. Unset in
+     * production runs, so the cost when tracing is off is one bool
+     * test per event.
+     */
+    using TraceHook =
+        std::function<void(const char *what, Addr block,
+                           std::uint32_t trace_id)>;
+
     MshrFile(unsigned num_entries, stats::StatGroup &parent);
 
     /** True when no new block-miss can be tracked. */
@@ -48,9 +58,12 @@ class MshrFile
     /**
      * Register a miss. @return true if this was the primary miss
      * (caller must issue the downstream request); false if it merged
-     * into an existing entry.
+     * into an existing entry. A nonzero @p trace_id marks the miss
+     * as belonging to a sampled lifecycle-trace track; the primary's
+     * id sticks to the entry until completion.
      */
-    bool allocate(Addr block_addr, Callback cb);
+    bool allocate(Addr block_addr, Callback cb,
+                  std::uint32_t trace_id = 0);
 
     /** Complete the entry, invoking every merged callback in
      *  allocation order. Reentrant: callbacks may allocate. */
@@ -61,6 +74,8 @@ class MshrFile
     /** Waiter nodes ever created (pool high-water mark, tests). */
     size_t waiterPoolSize() const { return waiters_.size(); }
 
+    void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
+
   private:
     static constexpr std::uint32_t npos = 0xffffffffu;
 
@@ -69,6 +84,7 @@ class MshrFile
         Addr addr = 0;
         std::uint32_t head = npos; //!< first waiter (issue order)
         std::uint32_t tail = npos;
+        std::uint32_t traceId = 0; //!< primary's sampled track, or 0
         bool used = false;
     };
 
@@ -92,9 +108,12 @@ class MshrFile
     std::vector<Waiter> waiters_;
     std::vector<std::uint32_t> freeWaiters_;
 
+    TraceHook traceHook_;
+
     stats::StatGroup sg_;
     stats::Counter primaryMisses_;
     stats::Counter mergedMisses_;
+    stats::Ratio mergeRatio_;
 };
 
 } // namespace bmc::cache

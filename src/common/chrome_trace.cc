@@ -1,0 +1,84 @@
+#include "common/chrome_trace.hh"
+
+#include "common/logging.hh"
+
+namespace bmc
+{
+
+ChromeTracer::ChromeTracer(const std::string &path,
+                           std::uint32_t sample_period)
+    : samplePeriod_(sample_period ? sample_period : 1)
+{
+    out_.open(path, std::ios::out | std::ios::trunc);
+    if (!out_)
+        bmc_fatal("cannot open trace output file '%s'", path.c_str());
+    emitPrefix();
+}
+
+ChromeTracer::~ChromeTracer()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    // Close traceEvents and emit metadata. Trailing members after the
+    // array keep event emission append-only (no comma bookkeeping on
+    // the hot path beyond eventsWritten_).
+    out_ << "\n  ],\n"
+         << "  \"displayTimeUnit\": \"ns\",\n"
+         << "  \"otherData\": {\n"
+         << "    \"schema_version\": 1,\n"
+         << "    \"time_unit\": \"cpu_ticks\",\n"
+         << "    \"sample_period\": " << samplePeriod_ << ",\n"
+         << "    \"tracks_started\": " << nextTrackId_ << ",\n"
+         << "    \"events_written\": " << eventsWritten_ << "\n"
+         << "  }\n"
+         << "}\n";
+    out_.flush();
+    out_.close();
+}
+
+void
+ChromeTracer::emitPrefix()
+{
+    out_ << "{\n  \"traceEvents\": [";
+}
+
+void
+ChromeTracer::completeEvent(const char *name, const char *cat,
+                            std::uint32_t pid, std::uint64_t tid,
+                            Tick start, Tick end,
+                            const std::string &args_json)
+{
+    if (closed_)
+        return;
+    if (end < start)
+        end = start;
+    if (eventsWritten_++)
+        out_ << ",";
+    out_ << "\n    {\"name\": \"" << name << "\", \"cat\": \"" << cat
+         << "\", \"ph\": \"X\", \"ts\": " << start
+         << ", \"dur\": " << (end - start) << ", \"pid\": " << pid
+         << ", \"tid\": " << tid;
+    if (!args_json.empty())
+        out_ << ", \"args\": " << args_json;
+    out_ << "}";
+}
+
+void
+ChromeTracer::instantEvent(const char *name, const char *cat,
+                           std::uint32_t pid, std::uint64_t tid,
+                           Tick ts, const std::string &args_json)
+{
+    if (closed_)
+        return;
+    if (eventsWritten_++)
+        out_ << ",";
+    out_ << "\n    {\"name\": \"" << name << "\", \"cat\": \"" << cat
+         << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << ts
+         << ", \"pid\": " << pid << ", \"tid\": " << tid;
+    if (!args_json.empty())
+        out_ << ", \"args\": " << args_json;
+    out_ << "}";
+}
+
+} // namespace bmc

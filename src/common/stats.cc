@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -8,10 +9,32 @@
 namespace bmc::stats
 {
 
+namespace
+{
+
+/** Fixed, locale-independent double rendering for JSON output. */
+std::string
+jsonDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    return strfmt("%.9g", v);
+}
+
+} // anonymous namespace
+
 StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
 {
     group.add(this);
+}
+
+std::string
+StatBase::jsonValue() const
+{
+    // Default: most stats render as a bare number already; stats
+    // whose render() is not valid JSON override this.
+    return render();
 }
 
 std::string
@@ -21,14 +44,78 @@ Counter::render() const
 }
 
 std::string
+Counter::jsonValue() const
+{
+    return std::to_string(value_);
+}
+
+Ratio::Ratio(StatGroup &group, std::string name, std::string desc,
+             const Counter &numer, const Counter &denom)
+    : StatBase(group, std::move(name), std::move(desc)),
+      numer_(numer), denom_(denom)
+{
+}
+
+double
+Ratio::value() const
+{
+    const std::uint64_t den = denom_.value();
+    return den ? static_cast<double>(numer_.value()) /
+                     static_cast<double>(den)
+               : 0.0;
+}
+
+std::string
+Ratio::render() const
+{
+    return strfmt("%.6f (%llu / %llu)", value(),
+                  static_cast<unsigned long long>(numer_.value()),
+                  static_cast<unsigned long long>(denom_.value()));
+}
+
+std::string
+Ratio::jsonValue() const
+{
+    return jsonDouble(value());
+}
+
+Formula::Formula(StatGroup &group, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(group, std::move(name), std::move(desc)),
+      fn_(std::move(fn))
+{
+    bmc_assert(fn_ != nullptr, "formula needs a callable");
+}
+
+std::string
+Formula::render() const
+{
+    return strfmt("%.6f", value());
+}
+
+std::string
+Formula::jsonValue() const
+{
+    return jsonDouble(value());
+}
+
+std::string
 Average::render() const
 {
     return strfmt("%.4f (n=%llu)", mean(),
                   static_cast<unsigned long long>(count_));
 }
 
-Histogram::Histogram(StatGroup &group, std::string name, std::string desc,
-                     unsigned num_buckets)
+std::string
+Average::jsonValue() const
+{
+    return strfmt("{\"mean\": %s, \"count\": %llu}",
+                  jsonDouble(mean()).c_str(),
+                  static_cast<unsigned long long>(count_));
+}
+
+Histogram::Histogram(StatGroup &group, std::string name,
+                     std::string desc, unsigned num_buckets)
     : StatBase(group, std::move(name), std::move(desc)),
       buckets_(num_buckets, 0)
 {
@@ -68,11 +155,122 @@ Histogram::render() const
     return os.str();
 }
 
+std::string
+Histogram::jsonValue() const
+{
+    return strfmt("{\"total\": %llu, \"buckets\": %s}",
+                  static_cast<unsigned long long>(total_),
+                  render().c_str());
+}
+
 void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     total_ = 0;
+}
+
+LatencyHistogram::LatencyHistogram(StatGroup &group, std::string name,
+                                   std::string desc,
+                                   unsigned num_buckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      buckets_(num_buckets, 0)
+{
+    bmc_assert(num_buckets >= 2,
+               "latency histogram needs at least two buckets");
+}
+
+void
+LatencyHistogram::sample(std::uint64_t v)
+{
+    // bit_width(v): 0 for v == 0, floor(log2(v)) + 1 otherwise.
+    unsigned idx = 0;
+    for (std::uint64_t x = v; x != 0; x >>= 1)
+        ++idx;
+    idx = std::min<unsigned>(
+        idx, static_cast<unsigned>(buckets_.size()) - 1);
+    ++buckets_[idx];
+    ++count_;
+    sum_ += static_cast<double>(v);
+    max_ = std::max(max_, v);
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperEdge(unsigned i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~0ULL;
+    return (1ULL << i) - 1;
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(count_))));
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (cum >= rank) {
+            // The last bucket also holds clamped values; its true
+            // upper edge is the largest value ever observed.
+            if (i + 1 == buckets_.size())
+                return max_;
+            return std::min(bucketUpperEdge(i), max_);
+        }
+    }
+    return max_;
+}
+
+std::string
+LatencyHistogram::render() const
+{
+    return strfmt("n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu "
+                  "max=%llu",
+                  static_cast<unsigned long long>(count_), mean(),
+                  static_cast<unsigned long long>(p50()),
+                  static_cast<unsigned long long>(p95()),
+                  static_cast<unsigned long long>(p99()),
+                  static_cast<unsigned long long>(max_));
+}
+
+std::string
+LatencyHistogram::jsonValue() const
+{
+    std::ostringstream buckets;
+    buckets << "[";
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (i)
+            buckets << ", ";
+        buckets << buckets_[i];
+    }
+    buckets << "]";
+    return strfmt(
+        "{\"count\": %llu, \"mean\": %s, \"p50\": %llu, "
+        "\"p95\": %llu, \"p99\": %llu, \"max\": %llu, "
+        "\"log2_buckets\": %s}",
+        static_cast<unsigned long long>(count_),
+        jsonDouble(mean()).c_str(),
+        static_cast<unsigned long long>(p50()),
+        static_cast<unsigned long long>(p95()),
+        static_cast<unsigned long long>(p99()),
+        static_cast<unsigned long long>(max_),
+        buckets.str().c_str());
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    max_ = 0;
+    sum_ = 0.0;
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)
@@ -105,6 +303,35 @@ StatGroup::dump(const std::string &prefix) const
     }
     for (const auto *c : children_)
         os << c->dump(full);
+    return os.str();
+}
+
+std::string
+StatGroup::toJson(bool pretty, unsigned indent) const
+{
+    const std::string pad =
+        pretty ? std::string(2 * (indent + 1), ' ') : "";
+    const std::string close_pad =
+        pretty ? std::string(2 * indent, ' ') : "";
+    const char *nl = pretty ? "\n" : "";
+
+    std::ostringstream os;
+    os << "{" << nl;
+    bool first = true;
+    for (const auto *s : stats_) {
+        if (!first)
+            os << "," << (pretty ? "" : " ") << nl;
+        first = false;
+        os << pad << "\"" << s->name() << "\": " << s->jsonValue();
+    }
+    for (const auto *c : children_) {
+        if (!first)
+            os << "," << (pretty ? "" : " ") << nl;
+        first = false;
+        os << pad << "\"" << c->name()
+           << "\": " << c->toJson(pretty, indent + 1);
+    }
+    os << nl << close_pad << "}";
     return os.str();
 }
 

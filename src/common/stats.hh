@@ -4,15 +4,24 @@
  *
  * Components own StatGroup objects; individual statistics register
  * themselves with their group so that a whole simulation can be
- * dumped uniformly. Only the handful of stat kinds the experiments
- * need are provided: scalar counters, ratios of counters, averages
- * and fixed-bucket histograms.
+ * dumped uniformly -- as "group.stat = value" text (dump()) or as a
+ * nested JSON object mirroring the component hierarchy (toJson()).
+ * The stat kinds provided are the ones the experiments need:
+ *
+ *  - Counter          monotonic scalar counter;
+ *  - Ratio            quotient of two counters (derived, storage-free);
+ *  - Formula          arbitrary derived value computed on demand;
+ *  - Average          running mean of observed samples;
+ *  - Histogram        fixed, caller-defined bucket count;
+ *  - LatencyHistogram log2-bucketed distribution with percentile
+ *                     accessors (p50/p95/p99 for latency tails).
  */
 
 #ifndef BMC_COMMON_STATS_HH
 #define BMC_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +46,9 @@ class StatBase
     /** One-line textual rendering of the value. */
     virtual std::string render() const = 0;
 
+    /** JSON value (number or object) for StatGroup::toJson(). */
+    virtual std::string jsonValue() const;
+
     /** Reset to the initial value (used between warmup and measure). */
     virtual void reset() = 0;
 
@@ -56,10 +68,54 @@ class Counter : public StatBase
 
     std::uint64_t value() const { return value_; }
     std::string render() const override;
+    std::string jsonValue() const override;
     void reset() override { value_ = 0; }
 
   private:
     std::uint64_t value_ = 0;
+};
+
+/**
+ * Quotient of two counters, e.g. hits / lookups. Derived: it keeps
+ * no storage of its own, reads the referenced counters on demand and
+ * returns 0 while the denominator is 0. The referenced counters must
+ * outlive the ratio (in practice both are siblings in one component).
+ */
+class Ratio : public StatBase
+{
+  public:
+    Ratio(StatGroup &group, std::string name, std::string desc,
+          const Counter &numer, const Counter &denom);
+
+    double value() const;
+    std::string render() const override;
+    std::string jsonValue() const override;
+    void reset() override {} // derived; the counters reset themselves
+
+  private:
+    const Counter &numer_;
+    const Counter &denom_;
+};
+
+/**
+ * Arbitrary derived value computed on demand from other statistics
+ * (e.g. a hit rate over hits + misses, or a bandwidth from bytes and
+ * ticks). The callable must only read state that outlives the
+ * formula.
+ */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup &group, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+    std::string render() const override;
+    std::string jsonValue() const override;
+    void reset() override {} // derived; no storage
+
+  private:
+    std::function<double()> fn_;
 };
 
 /** Running average of observed samples. */
@@ -73,6 +129,7 @@ class Average : public StatBase
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     std::string render() const override;
+    std::string jsonValue() const override;
     void reset() override { sum_ = 0.0; count_ = 0; }
 
   private:
@@ -100,11 +157,64 @@ class Histogram : public StatBase
     double fraction(unsigned i) const;
 
     std::string render() const override;
+    std::string jsonValue() const override;
     void reset() override;
 
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t total_ = 0;
+};
+
+/**
+ * Log2-bucketed value histogram with percentile accessors, for
+ * latency distributions where the tail matters more than the mean.
+ *
+ * Bucket i holds values v with bit_width(v) == i, i.e. bucket 0 is
+ * exactly v == 0 and bucket i >= 1 covers [2^(i-1), 2^i - 1]; values
+ * too large for the configured bucket count clamp into the last
+ * bucket. percentile(p) walks the cumulative counts and returns the
+ * inclusive upper edge of the first bucket whose cumulative count
+ * reaches ceil(p * total) -- a deterministic upper bound on the true
+ * p-quantile that is exact for the bucket resolution.
+ */
+class LatencyHistogram : public StatBase
+{
+  public:
+    LatencyHistogram(StatGroup &group, std::string name,
+                     std::string desc, unsigned num_buckets = 40);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    std::uint64_t maxValue() const { return max_; }
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+
+    /** Inclusive upper edge of bucket @p i (0, 1, 3, 7, 15, ...). */
+    static std::uint64_t bucketUpperEdge(unsigned i);
+
+    /** Upper bound on the @p p quantile (0 when empty); p in (0,1]. */
+    std::uint64_t percentile(double p) const;
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
+    std::uint64_t p99() const { return percentile(0.99); }
+
+    std::string render() const override;
+    std::string jsonValue() const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
+    double sum_ = 0.0;
 };
 
 /**
@@ -130,7 +240,21 @@ class StatGroup
     /** Render "group.stat = value  # desc" lines recursively. */
     std::string dump(const std::string &prefix = "") const;
 
+    /**
+     * Render the group as one JSON object: every registered stat
+     * becomes a member (its jsonValue()), every child group a nested
+     * object. Deterministic: registration order, fixed formatting.
+     *
+     * @param pretty indent with two spaces per level when true
+     * @param indent current indentation depth (internal)
+     */
+    std::string toJson(bool pretty = false, unsigned indent = 0) const;
+
     const std::vector<StatBase *> &statistics() const { return stats_; }
+    const std::vector<StatGroup *> &children() const
+    {
+        return children_;
+    }
 
   private:
     std::string name_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/chrome_trace.hh"
 #include "common/logging.hh"
 
 namespace bmc::dram
@@ -298,6 +299,19 @@ Channel::openRow(BankState &bank, std::uint64_t row, Tick start,
 }
 
 void
+Channel::chargeBusy(BankState &bank, Tick start, Tick end)
+{
+    // Non-overlapping accumulation: the bank timeline is charged at
+    // reservation time, so a later request on the same bank may
+    // start inside an interval already counted.
+    const Tick from = std::max(start, bank.busyUntil);
+    if (end > from) {
+        bank.busyTicks += end - from;
+        bank.busyUntil = end;
+    }
+}
+
+void
 Channel::enqueue(Request req)
 {
     bmc_assert(req.loc.bank < banks_.size(),
@@ -426,6 +440,18 @@ Channel::serviceOne(std::uint32_t idx)
         bool spec_hit = false;
         const Tick ready =
             openRow(bank, req.loc.row, eq_.now(), spec_hit);
+        // A speculative hit found the row already open; only a real
+        // ACT occupies the bank.
+        chargeBusy(bank, spec_hit ? ready : bank.actAt, ready);
+        if (tracer_ && req.traceId) {
+            tracer_->completeEvent(
+                "dram_activate", "dram", 1, req.traceId,
+                req.enqueueTick, ready,
+                strfmt("{\"channel\": %u, \"bank\": %u, "
+                       "\"row_open\": %s}",
+                       id_, req.loc.bank,
+                       spec_hit ? "true" : "false"));
+        }
         ++inFlight_;
         auto cb = std::move(req.onComplete);
         // @p low is virtually always false here (nothing in the
@@ -487,6 +513,31 @@ Channel::serviceOne(std::uint32_t idx)
 
     queueDelay_.sample(static_cast<double>(data_start - req.enqueueTick));
     serviceTicks_.sample(static_cast<double>(data_end - req.enqueueTick));
+
+    // The bank is occupied from its first command for this request
+    // (ACT on a miss, the column command on a hit) to burst end.
+    chargeBusy(bank, row_hit ? eff_col : bank.actAt, data_end);
+
+    // All timestamps are known at reservation time, so tracing emits
+    // here and the completion closure below stays untouched (it sits
+    // exactly at the event queue's inline-capture budget).
+    if (tracer_ && req.traceId) {
+        tracer_->completeEvent(
+            "dram_queue_wait", "dram", 1, req.traceId,
+            req.enqueueTick, data_start,
+            strfmt("{\"channel\": %u, \"bank\": %u}", id_,
+                   req.loc.bank));
+        tracer_->completeEvent(
+            "dram_burst", "dram", 1, req.traceId, data_start,
+            data_end,
+            strfmt("{\"channel\": %u, \"bank\": %u, \"write\": %s, "
+                   "\"metadata\": %s, \"row_hit\": %s, "
+                   "\"bytes\": %u}",
+                   id_, req.loc.bank,
+                   req.kind == ReqKind::Write ? "true" : "false",
+                   req.isMetadata ? "true" : "false",
+                   row_hit ? "true" : "false", req.bytes));
+    }
 
     ++inFlight_;
     auto cb = std::move(req.onComplete);

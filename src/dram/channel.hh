@@ -107,6 +107,26 @@ class Channel : public ChannelIface
         return serviceTicks_.mean();
     }
 
+    unsigned numBanks() const override
+    {
+        return static_cast<unsigned>(banks_.size());
+    }
+
+    /**
+     * Cumulative non-overlapping busy ticks of bank @p bank, charged
+     * at reservation time (so a sample taken mid-burst already
+     * includes the reserved remainder of that burst).
+     */
+    std::uint64_t bankBusyTicks(unsigned bank) const override
+    {
+        return banks_.at(bank).busyTicks;
+    }
+
+    void setTracer(ChromeTracer *tracer) override
+    {
+        tracer_ = tracer;
+    }
+
     /**
      * When enabled, every pick of the indexed scheduler is verified
      * against the original arrival-order linear scan; a divergence
@@ -124,6 +144,8 @@ class Channel : public ChannelIface
         Tick actAt = 0;          //!< tick of the row-opening ACT
         Tick lastColAt = 0;      //!< last column command (tRTP)
         Tick lastWriteEnd = 0;   //!< last write burst end (tWR)
+        Tick busyUntil = 0;      //!< end of the last charged interval
+        std::uint64_t busyTicks = 0; //!< accumulated busy time
     };
 
     static constexpr std::uint32_t npos32 = 0xffffffffu;
@@ -200,6 +222,10 @@ class Channel : public ChannelIface
     Tick openRow(BankState &bank, std::uint64_t row, Tick start,
                  bool &row_hit);
 
+    /** Charge [start, end) as busy time, clipping any overlap with
+     *  the interval already charged. */
+    static void chargeBusy(BankState &bank, Tick start, Tick end);
+
     EventQueue &eq_;
     TimingParams p_;
     unsigned id_;
@@ -225,6 +251,8 @@ class Channel : public ChannelIface
     unsigned lookahead_ = 8;
 
     Tick nextRefreshAt_;
+
+    ChromeTracer *tracer_ = nullptr;
 
     ActivityCounters activity_;
 

@@ -20,6 +20,11 @@
 
 #include "dram/request.hh"
 
+namespace bmc
+{
+class ChromeTracer;
+}
+
 namespace bmc::dram
 {
 
@@ -48,6 +53,22 @@ class ChannelIface
 
     /** Mean ticks from enqueue to completion. */
     virtual double avgServiceTicks() const = 0;
+
+    // Observability hooks; defaulted no-ops so timing models without
+    // per-bank bookkeeping (CommandChannel) remain valid.
+
+    /** Banks modelled, 0 if the model keeps no per-bank occupancy. */
+    virtual unsigned numBanks() const { return 0; }
+
+    /** Cumulative ticks bank @p bank spent busy (act/col/burst). */
+    virtual std::uint64_t bankBusyTicks(unsigned bank) const
+    {
+        (void)bank;
+        return 0;
+    }
+
+    /** Attach a lifecycle tracer (nullptr detaches). */
+    virtual void setTracer(ChromeTracer *tracer) { (void)tracer; }
 };
 
 } // namespace bmc::dram

@@ -46,6 +46,13 @@ class DramSystem
         return *channels_.at(i);
     }
 
+    /** Attach a lifecycle tracer to every channel (nullptr detaches). */
+    void setTracer(ChromeTracer *tracer)
+    {
+        for (auto &c : channels_)
+            c->setTracer(tracer);
+    }
+
     /** Sum of per-channel activity counters. */
     ActivityCounters totalActivity() const;
 

@@ -50,6 +50,9 @@ struct Request
     bool lowPriority = false;
     CoreId core = 0;
     Tick enqueueTick = 0;
+    /** Nonzero for requests on a sampled lifecycle-trace track;
+     *  channels tag their queue/burst spans with this id. */
+    std::uint32_t traceId = 0;
     std::function<void(Tick)> onComplete;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "common/chrome_trace.hh"
 #include "common/logging.hh"
 
 namespace bmc::sim
@@ -32,7 +33,13 @@ DramCacheController::DramCacheController(EventQueue &eq,
                             "parallel data-row opens issued"),
       droppedMetaUpdates_(sg_, "dropped_meta_updates",
                           "background metadata updates coalesced "
-                          "away under pressure")
+                          "away under pressure"),
+      accessLatencyHist_(sg_, "access_latency_hist",
+                         "access latency distribution (all)"),
+      hitLatencyHist_(sg_, "hit_latency_hist",
+                      "access latency distribution (hits)"),
+      missLatencyHist_(sg_, "miss_latency_hist",
+                       "access latency distribution (misses)")
 {
     fillCredits_ = p_.fillBufferEntries;
 }
@@ -109,20 +116,33 @@ DramCacheController::makeStacked(const dram::Location &loc,
 }
 
 void
-DramCacheController::record(Tick start, Tick done, bool hit)
+DramCacheController::record(Tick start, Tick done, bool hit,
+                            std::uint32_t trace_id)
 {
     const double lat = static_cast<double>(done - start);
+    const std::uint64_t ticks = done - start;
     accessLatency_.sample(lat);
-    if (hit)
+    accessLatencyHist_.sample(ticks);
+    if (hit) {
         hitLatency_.sample(lat);
-    else
+        hitLatencyHist_.sample(ticks);
+    } else {
         missLatency_.sample(lat);
+        missLatencyHist_.sample(ticks);
+    }
+    if (tracer_ && trace_id) {
+        tracer_->completeEvent(
+            "dcc_access", "dcc", 1, trace_id, start, done,
+            strfmt("{\"hit\": %s, \"latency_ticks\": %llu}",
+                   hit ? "true" : "false",
+                   static_cast<unsigned long long>(ticks)));
+    }
 }
 
 void
 DramCacheController::startMiss(Tick when, dramcache::LookupResult r,
                                Addr addr, CoreId core, Tick start,
-                               Callback cb)
+                               Callback cb, std::uint32_t trace_id)
 {
     // Victim writebacks drain to memory off the critical path,
     // behind the fill-buffer throttle.
@@ -138,7 +158,7 @@ DramCacheController::startMiss(Tick when, dramcache::LookupResult r,
     if (r.fill.fetches.empty()) {
         // Nothing to fetch (write-allocate handled by the org means
         // this should not happen, but stay safe).
-        record(start, when, false);
+        record(start, when, false, trace_id);
         if (cb)
             cb(when);
         return;
@@ -172,10 +192,14 @@ DramCacheController::startMiss(Tick when, dramcache::LookupResult r,
     const auto fill_bytes = r.fill.fillWrite.bytes;
 
     auto demand_cb = [this, start, cb = std::move(cb), do_fill,
-                      fill_loc, fill_bytes, core,
-                      when](Tick done) {
+                      fill_loc, fill_bytes, core, when,
+                      trace_id](Tick done) {
         memDemandTicks_.sample(static_cast<double>(done - when));
-        record(start, done, false);
+        if (tracer_ && trace_id) {
+            tracer_->completeEvent("mem_demand", "dcc", 1, trace_id,
+                                   when, done);
+        }
+        record(start, done, false, trace_id);
         if (cb)
             cb(done);
         // The fill write into the stacked DRAM happens behind the
@@ -184,6 +208,7 @@ DramCacheController::startMiss(Tick when, dramcache::LookupResult r,
             auto fill = makeStacked(fill_loc, dram::ReqKind::Write,
                                     fill_bytes, false, core);
             fill.lowPriority = true;
+            fill.traceId = trace_id;
             issueStackedBg(std::move(fill));
         }
     };
@@ -216,7 +241,8 @@ DramCacheController::startMiss(Tick when, dramcache::LookupResult r,
 
 void
 DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
-                            CoreId core, Callback cb)
+                            CoreId core, Callback cb,
+                            std::uint32_t trace_id)
 {
     const Tick start = eq_.now();
 
@@ -255,7 +281,7 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
     if (r.tagWithData) {
         const bool parallel_probe = r.predictedMiss;
         eq_.scheduleAt(t1, [this, r = std::move(r), addr, core, start,
-                            parallel_probe, is_write,
+                            parallel_probe, is_write, trace_id,
                             cb = std::move(cb)]() mutable {
             if (r.hit) {
                 // TAD burst returns the data; a wrong miss
@@ -270,9 +296,10 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
                     is_write ? dram::ReqKind::Write
                              : dram::ReqKind::Read,
                     r.data.bytes, false, core);
-                req.onComplete = [this, start,
+                req.traceId = trace_id;
+                req.onComplete = [this, start, trace_id,
                                   cb = std::move(cb)](Tick done) {
-                    record(start, done, true);
+                    record(start, done, true, trace_id);
                     if (cb)
                         cb(done);
                 };
@@ -286,11 +313,11 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
             if (parallel_probe) {
                 auto gate = std::make_shared<std::pair<int, Tick>>(
                     2, Tick{0});
-                auto arm = [this, gate, start,
+                auto arm = [this, gate, start, trace_id,
                             cb](Tick done) mutable {
                     gate->second = std::max(gate->second, done);
                     if (--gate->first == 0) {
-                        record(start, gate->second, false);
+                        record(start, gate->second, false, trace_id);
                         if (cb)
                             cb(gate->second);
                     }
@@ -298,6 +325,7 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
                 auto probe = makeStacked(r.data.loc,
                                          dram::ReqKind::Read,
                                          r.data.bytes, false, core);
+                probe.traceId = trace_id;
                 probe.onComplete = arm;
                 stacked_.enqueue(std::move(probe));
 
@@ -320,11 +348,13 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
             // Serial: probe, discover the miss, then fetch.
             auto probe = makeStacked(r.data.loc, dram::ReqKind::Read,
                                      r.data.bytes, false, core);
+            probe.traceId = trace_id;
             probe.onComplete = [this, r = std::move(r), addr, core,
-                                start,
+                                start, trace_id,
                                 cb = std::move(cb)](Tick done) mutable {
                 startMiss(done + p_.tagCompareCycles, std::move(r),
-                          addr, core, start, std::move(cb));
+                          addr, core, start, std::move(cb),
+                          trace_id);
             };
             stacked_.enqueue(std::move(probe));
         });
@@ -335,15 +365,17 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
     if (!r.tag.needed) {
         if (r.hit) {
             eq_.scheduleAt(t1, [this, r, is_write, core, start,
+                                trace_id,
                                 cb = std::move(cb)]() mutable {
                 auto req = makeStacked(
                     r.data.loc,
                     is_write ? dram::ReqKind::Write
                              : dram::ReqKind::Read,
                     r.data.bytes, false, core);
-                req.onComplete = [this, start,
+                req.traceId = trace_id;
+                req.onComplete = [this, start, trace_id,
                                   cb = std::move(cb)](Tick done) {
-                    record(start, done, true);
+                    record(start, done, true, trace_id);
                     if (cb)
                         cb(done);
                 };
@@ -351,14 +383,15 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
             });
         } else {
             startMiss(t1, std::move(r), addr, core, start,
-                      std::move(cb));
+                      std::move(cb), trace_id);
         }
         return;
     }
 
     // --------------------------------------- DRAM tag-read paths
     eq_.scheduleAt(t1, [this, r = std::move(r), addr, is_write, core,
-                        start, cb = std::move(cb)]() mutable {
+                        start, trace_id,
+                        cb = std::move(cb)]() mutable {
         // Speculative data-row activation in parallel with the tag
         // read on the metadata bank (Bi-Modal separate-bank design).
         if (r.tag.parallelData &&
@@ -366,27 +399,34 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
             const dram::Location data_loc =
                 r.hit ? r.data.loc : r.fill.fillWrite.loc;
             ++speculativeActivates_;
-            stacked_.enqueue(makeStacked(data_loc,
-                                         dram::ReqKind::ActivateOnly,
-                                         0, false, core));
+            auto act = makeStacked(data_loc,
+                                   dram::ReqKind::ActivateOnly, 0,
+                                   false, core);
+            act.traceId = trace_id;
+            stacked_.enqueue(std::move(act));
         }
 
         const Tick tag_issue = eq_.now();
         auto tag_req = makeStacked(r.tag.loc, dram::ReqKind::Read,
                                    r.tag.bytes, true, core);
+        tag_req.traceId = trace_id;
         tag_req.onComplete = [this, r = std::move(r), addr, is_write,
-                              core, start, tag_issue,
+                              core, start, tag_issue, trace_id,
                               cb = std::move(cb)](Tick done) mutable {
             tagReadTicks_.sample(
                 static_cast<double>(done - tag_issue));
+            if (tracer_ && trace_id) {
+                tracer_->completeEvent("tag_read", "dcc", 1,
+                                       trace_id, tag_issue, done);
+            }
             const Tick after_compare = done + p_.tagCompareCycles;
             if (!r.hit) {
                 startMiss(after_compare, std::move(r), addr, core,
-                          start, std::move(cb));
+                          start, std::move(cb), trace_id);
                 return;
             }
             eq_.scheduleAt(after_compare, [this, r, is_write, core,
-                                           start,
+                                           start, trace_id,
                                            cb = std::move(
                                                cb)]() mutable {
                 const Tick issue = eq_.now();
@@ -395,11 +435,12 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
                     is_write ? dram::ReqKind::Write
                              : dram::ReqKind::Read,
                     r.data.bytes, false, core);
-                req.onComplete = [this, start, issue,
+                req.traceId = trace_id;
+                req.onComplete = [this, start, issue, trace_id,
                                   cb = std::move(cb)](Tick done2) {
                     dataReadTicks_.sample(
                         static_cast<double>(done2 - issue));
-                    record(start, done2, true);
+                    record(start, done2, true, trace_id);
                     if (cb)
                         cb(done2);
                 };

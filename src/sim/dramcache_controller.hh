@@ -36,6 +36,11 @@
 #include "dramcache/org.hh"
 #include "sim/main_memory.hh"
 
+namespace bmc
+{
+class ChromeTracer;
+}
+
 namespace bmc::sim
 {
 
@@ -65,10 +70,14 @@ class DramCacheController
     /**
      * Access the DRAM cache; @p cb fires when the demanded data is
      * available to the LLSC (the paper's "LLSC miss penalty" clock
-     * stops here).
+     * stops here). A nonzero @p trace_id puts the access on a
+     * sampled lifecycle-trace track: the controller emits its own
+     * spans (access, tag read, off-chip demand) and tags the stacked
+     * DRAM requests so the channel's queue/burst spans land on the
+     * same track.
      */
     void access(Addr addr, bool is_write, bool is_prefetch,
-                CoreId core, Callback cb);
+                CoreId core, Callback cb, std::uint32_t trace_id = 0);
 
     /**
      * Called after every organization lookup with the address, the
@@ -99,17 +108,36 @@ class DramCacheController
         return accessLatency_.count();
     }
 
+    /** Full access-latency distribution (log2 buckets). */
+    const stats::LatencyHistogram &accessLatencyHist() const
+    {
+        return accessLatencyHist_;
+    }
+    const stats::LatencyHistogram &hitLatencyHist() const
+    {
+        return hitLatencyHist_;
+    }
+    const stats::LatencyHistogram &missLatencyHist() const
+    {
+        return missLatencyHist_;
+    }
+
+    /** Attach a lifecycle tracer (nullptr detaches). */
+    void setTracer(ChromeTracer *tracer) { tracer_ = tracer; }
+
   private:
     /** Build a stacked-DRAM request. */
     dram::Request makeStacked(const dram::Location &loc,
                               dram::ReqKind kind, std::uint32_t bytes,
                               bool is_meta, CoreId core) const;
 
-    void record(Tick start, Tick done, bool hit);
+    void record(Tick start, Tick done, bool hit,
+                std::uint32_t trace_id);
 
     /** Launch the demand-first off-chip fetch for a miss. */
     void startMiss(Tick when, dramcache::LookupResult r, Addr addr,
-                   CoreId core, Tick start, Callback cb);
+                   CoreId core, Tick start, Callback cb,
+                   std::uint32_t trace_id);
 
     /**
      * Queue a low-priority off-chip line transfer (fill remainder or
@@ -135,6 +163,7 @@ class DramCacheController
     MainMemory &memory_;
     Params p_;
     AccessObserver observer_;
+    ChromeTracer *tracer_ = nullptr;
 
     struct LowXfer
     {
@@ -158,6 +187,9 @@ class DramCacheController
     stats::Counter prefetchBypasses_;
     stats::Counter speculativeActivates_;
     stats::Counter droppedMetaUpdates_;
+    stats::LatencyHistogram accessLatencyHist_;
+    stats::LatencyHistogram hitLatencyHist_;
+    stats::LatencyHistogram missLatencyHist_;
 };
 
 } // namespace bmc::sim

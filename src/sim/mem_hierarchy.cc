@@ -1,6 +1,7 @@
 #include "sim/mem_hierarchy.hh"
 
 #include "common/bitops.hh"
+#include "common/chrome_trace.hh"
 #include "common/logging.hh"
 
 namespace bmc::sim
@@ -29,6 +30,26 @@ MemHierarchy::MemHierarchy(EventQueue &eq, const Params &params,
     if (params.prefetchDegree > 0) {
         prefetcher_ = std::make_unique<cache::NextNLinePrefetcher>(
             params.prefetchDegree, params.llsc.blockBytes, sg_);
+    }
+}
+
+void
+MemHierarchy::setTracer(ChromeTracer *tracer)
+{
+    tracer_ = tracer;
+    if (tracer) {
+        mshrs_.setTraceHook([this](const char *what, Addr block,
+                                   std::uint32_t tid) {
+            // Alloc/merge hooks fire synchronously inside access()
+            // and complete fires from the completion event, so
+            // eq_.now() is the right timestamp for all three.
+            tracer_->instantEvent(
+                what, "mshr", 1, tid, eq_.now(),
+                strfmt("{\"block\": \"0x%llx\"}",
+                       static_cast<unsigned long long>(block)));
+        });
+    } else {
+        mshrs_.setTraceHook(nullptr);
     }
 }
 
@@ -88,15 +109,29 @@ MemHierarchy::access(CoreId core, Addr addr, bool is_write,
                 l1.hitLatency() + llsc_->hitLatency()};
     }
 
-    // Demand LLSC miss -> DRAM cache.
+    // Demand LLSC miss -> DRAM cache. Sampled lifecycle tracing
+    // starts here: this is the "core issue" milestone.
+    const std::uint32_t tid =
+        tracer_ ? tracer_->maybeStartRequest() : 0;
+    if (tid) {
+        tracer_->instantEvent(
+            "core_issue", "core", 1, tid, eq_.now(),
+            strfmt("{\"core\": %u, \"addr\": \"0x%llx\", "
+                   "\"write\": %s}",
+                   static_cast<unsigned>(core),
+                   static_cast<unsigned long long>(addr),
+                   is_write ? "true" : "false"));
+    }
     const Addr block = roundDown(addr, llsc_->blockBytes());
-    const bool primary = mshrs_.allocate(block, std::move(miss_cb));
+    const bool primary =
+        mshrs_.allocate(block, std::move(miss_cb), tid);
     firePrefetches(core, addr);
     if (primary) {
         dcc_.access(addr, is_write, false, core,
                     [this, block](Tick done) {
                         mshrs_.complete(block, done);
-                    });
+                    },
+                    tid);
     }
     return {Outcome::Kind::Miss, 0};
 }

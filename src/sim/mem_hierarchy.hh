@@ -70,6 +70,17 @@ class MemHierarchy
     double llscMissRate() const { return llsc_->missRate(); }
     std::uint64_t llscMisses() const { return llsc_->misses(); }
 
+    /** Outstanding LLSC misses (epoch sampling). */
+    std::size_t mshrOccupancy() const { return mshrs_.size(); }
+    std::size_t mshrCapacity() const { return p_.llscMshrs; }
+
+    /**
+     * Attach a lifecycle tracer. Demand LLSC misses are sampled here
+     * (the "core issue" milestone); the MSHR file's alloc/merge/
+     * complete hook is wired to instant events on the same track.
+     */
+    void setTracer(ChromeTracer *tracer);
+
   private:
     /** Push a dirty LLSC victim to the DRAM cache (fire-forget). */
     void writebackToDramCache(CoreId core, Addr addr);
@@ -80,6 +91,7 @@ class MemHierarchy
     EventQueue &eq_;
     Params p_;
     DramCacheController &dcc_;
+    ChromeTracer *tracer_ = nullptr;
 
     stats::StatGroup sg_;
     std::vector<std::unique_ptr<cache::SramCache>> l1_;

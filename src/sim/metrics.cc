@@ -35,6 +35,9 @@ statsToJson(const RunStats &rs, bool pretty)
     field("avg_access_latency", f3(rs.avgAccessLatency));
     field("avg_hit_latency", f3(rs.avgHitLatency));
     field("avg_miss_latency", f3(rs.avgMissLatency));
+    field("access_latency_p50", u64(rs.accessLatencyP50));
+    field("access_latency_p95", u64(rs.accessLatencyP95));
+    field("access_latency_p99", u64(rs.accessLatencyP99));
     field("llsc_miss_rate", f6(rs.llscMissRate));
     field("offchip_fetch_bytes", u64(rs.offchipFetchBytes));
     field("demand_fetch_bytes", u64(rs.demandFetchBytes));

@@ -34,6 +34,18 @@
 namespace bmc::sim
 {
 
+/**
+ * Version of the result serialization formats: sweep JSONL rows and
+ * `bmcsim --json` both carry it as "schema_version" so downstream
+ * scripts can detect format changes. Bump when fields are added,
+ * removed or re-ordered.
+ *
+ * History: 1 = original row layout; 2 = access-latency percentiles
+ * (access_latency_p50/p95/p99) added to the stats object and the
+ * schema_version field itself added to rows.
+ */
+constexpr int kResultsSchemaVersion = 2;
+
 /** Scalar results of one timing run. */
 struct RunStats
 {
@@ -49,6 +61,11 @@ struct RunStats
     double avgDataReadTicks = 0.0;
     double avgMemDemandTicks = 0.0;
     double cacheHitRate = 0.0;
+
+    // Access-latency distribution tails (log2-bucket upper bounds)
+    std::uint64_t accessLatencyP50 = 0;
+    std::uint64_t accessLatencyP95 = 0;
+    std::uint64_t accessLatencyP99 = 0;
 
     // Bandwidth accounting
     std::uint64_t offchipFetchBytes = 0;

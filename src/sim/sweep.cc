@@ -238,6 +238,8 @@ executeRun(const RunSpec &spec, std::size_t index)
     switch (spec.mode) {
       case RunMode::Timing: {
         System system(spec.cfg, spec.programs);
+        if (spec.obs.any())
+            system.enableObservability(spec.obs);
         res.stats = system.run();
         res.eventsExecuted = system.eventQueue().numExecuted();
         break;
@@ -273,9 +275,10 @@ std::string
 runResultToJsonLine(const RunResult &r, bool include_timing)
 {
     std::string out = strfmt(
-        "{\"run\": %zu, \"label\": \"%s\", \"workload\": \"%s\", "
+        "{\"schema_version\": %d, \"run\": %zu, \"label\": \"%s\", "
+        "\"workload\": \"%s\", "
         "\"scheme\": \"%s\", \"seed\": %" PRIu64 ", \"ok\": %s",
-        r.index, jsonEscape(r.label).c_str(),
+        kResultsSchemaVersion, r.index, jsonEscape(r.label).c_str(),
         jsonEscape(r.workload).c_str(), jsonEscape(r.scheme).c_str(),
         r.seed, r.ok ? "true" : "false");
     if (!r.ok) {

@@ -55,6 +55,16 @@ struct RunSpec
     RunMode mode = RunMode::Timing;
     /** Trace records per core for RunMode::Functional. */
     std::uint64_t functionalRecords = 400'000;
+    /**
+     * Per-run observability outputs (epoch JSONL / lifecycle trace).
+     * Honoured by RunMode::Timing only; both paths are per-run, so a
+     * sweep driver must give every cell distinct file names. Off by
+     * default -- the bit-identical -j1/-jN guarantee covers the
+     * results JSONL either way (observability never perturbs
+     * simulated timing), but the obs files themselves are only
+     * written for cells that ask.
+     */
+    ObsConfig obs;
 };
 
 /** Outcome of one run; @c index matches the RunSpec's position. */
@@ -180,7 +190,9 @@ std::vector<RunResult> runSweep(const std::vector<RunSpec> &runs,
 
 /**
  * One-line JSON record for a run (the JSONL schema; documented in
- * EXPERIMENTS.md). Wall-clock and events-executed fields are only
+ * EXPERIMENTS.md). Every row leads with "schema_version"
+ * (sim::kResultsSchemaVersion) so downstream scripts can detect
+ * format changes. Wall-clock and events-executed fields are only
  * emitted when @p include_timing is set (they are host-dependent and
  * would break the bit-identical -j1/-jN guarantee).
  */

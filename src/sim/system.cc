@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "dramcache/bimodal/bimodal_cache.hh"
 #include "dramcache/fixed.hh"
+#include "sim/epoch_sampler.hh"
 
 namespace bmc::sim
 {
@@ -89,9 +90,62 @@ System::System(const MachineConfig &cfg,
 
 System::~System() = default;
 
+void
+System::enableObservability(const ObsConfig &obs)
+{
+    if (!obs.tracePath.empty()) {
+        tracer_ = std::make_unique<ChromeTracer>(obs.tracePath,
+                                                 obs.traceSample);
+        hier_->setTracer(tracer_.get());
+        dcc_->setTracer(tracer_.get());
+        stacked_->setTracer(tracer_.get());
+    }
+    if (!obs.epochPath.empty()) {
+        epochSampler_ = std::make_unique<EpochSampler>(
+            eq_, obs.epochTicks, obs.epochPath,
+            [this](EpochSnapshot &s) {
+                const auto &os = org_->stats();
+                s.dccAccesses = os.accesses.value();
+                s.dccHits = os.hits.value();
+                s.mshrOccupancy = hier_->mshrOccupancy();
+                for (unsigned c = 0; c < stacked_->numChannels();
+                     ++c) {
+                    const auto &ch = stacked_->channel(c);
+                    s.dataRowHits += ch.dataRowHits();
+                    s.dataRowAccesses += ch.dataAccesses();
+                    s.metaRowHits += ch.metaRowHits();
+                    s.metaRowAccesses += ch.metaAccesses();
+                    s.queueDepths.push_back(ch.queueDepth());
+                    for (unsigned b = 0; b < ch.numBanks(); ++b)
+                        s.bankBusyTicks.push_back(
+                            ch.bankBusyTicks(b));
+                }
+                if (const auto *bm = dynamic_cast<
+                        const dramcache::BiModalCache *>(
+                        org_.get())) {
+                    if (bm->wayLocator()) {
+                        s.locatorLookups =
+                            bm->wayLocator()->lookups();
+                        s.locatorHits = bm->wayLocator()->hits();
+                    }
+                } else if (const auto *fx = dynamic_cast<
+                               const dramcache::FixedOrg *>(
+                               org_.get())) {
+                    if (fx->wayLocator()) {
+                        s.locatorLookups =
+                            fx->wayLocator()->lookups();
+                        s.locatorHits = fx->wayLocator()->hits();
+                    }
+                }
+            });
+    }
+}
+
 RunStats
 System::run(Tick max_ticks)
 {
+    if (epochSampler_)
+        epochSampler_->start();
     for (auto &core : cores_)
         core->start();
 
@@ -138,6 +192,9 @@ System::collect() const
     out.avgTagReadTicks = dcc_->avgTagReadTicks();
     out.avgDataReadTicks = dcc_->avgDataReadTicks();
     out.avgMemDemandTicks = dcc_->avgMemDemandTicks();
+    out.accessLatencyP50 = dcc_->accessLatencyHist().p50();
+    out.accessLatencyP95 = dcc_->accessLatencyHist().p95();
+    out.accessLatencyP99 = dcc_->accessLatencyHist().p99();
 
     const auto &os = org_->stats();
     out.cacheHitRate = os.hitRate();

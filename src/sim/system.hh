@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/chrome_trace.hh"
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "dram/dram_system.hh"
@@ -28,8 +29,31 @@
 namespace bmc::sim
 {
 
+class EpochSampler;
+
 // RunStats (the scalar results of one timing run) lives in
 // sim/metrics.hh together with its JSON serialization.
+
+/**
+ * Observability switches for one run. Everything defaults to off;
+ * an enabled feature never perturbs simulated timing (hooks are
+ * read-only), so results stay identical either way.
+ */
+struct ObsConfig
+{
+    /** Epoch time-series JSONL path; empty = disabled. */
+    std::string epochPath;
+    Tick epochTicks = 100'000;
+    /** Chrome trace-event JSON path; empty = disabled. */
+    std::string tracePath;
+    /** Trace every K-th LLSC demand miss. */
+    std::uint32_t traceSample = 64;
+
+    bool any() const
+    {
+        return !epochPath.empty() || !tracePath.empty();
+    }
+};
 
 /** One simulated machine executing one program list. */
 class System
@@ -63,6 +87,19 @@ class System
      *  lines), for post-run inspection or regression diffing. */
     std::string dumpStats() const { return root_.dump(); }
 
+    /** Full registered-stat hierarchy as one JSON object. */
+    std::string statsHierarchyJson(bool pretty = false) const
+    {
+        return root_.toJson(pretty);
+    }
+
+    /**
+     * Turn on epoch sampling and/or lifecycle tracing per @p obs.
+     * Call before run(); output files open immediately (bmc_fatal
+     * on failure) and are finalized when the System is destroyed.
+     */
+    void enableObservability(const ObsConfig &obs);
+
   private:
     RunStats collect() const;
 
@@ -75,6 +112,8 @@ class System
     std::unique_ptr<DramCacheController> dcc_;
     std::unique_ptr<MemHierarchy> hier_;
     std::vector<std::unique_ptr<TraceCore>> cores_;
+    std::unique_ptr<ChromeTracer> tracer_;
+    std::unique_ptr<EpochSampler> epochSampler_;
     unsigned coresDone_ = 0;
     unsigned coresWarm_ = 0;
 };

@@ -1,0 +1,635 @@
+/** @file Tests for the observability layer: latency-histogram
+ *  percentiles, StatGroup JSON round-trips, the Chrome trace writer,
+ *  epoch-delta arithmetic, and the guarantee that enabling tracing
+ *  never perturbs simulated results. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/chrome_trace.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "sim/epoch_sampler.hh"
+#include "sim/system.hh"
+#include "trace/workload.hh"
+
+namespace bmc
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// A deliberately small recursive-descent JSON parser, enough to
+// round-trip what the simulator emits (objects, arrays, numbers,
+// strings, booleans, null). Throws std::runtime_error on malformed
+// input so structural regressions fail loudly.
+// ---------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Object, Array, Number, String, Bool, Null };
+    Kind kind = Kind::Null;
+    std::map<std::string, JsonValue> members;
+    std::vector<std::string> memberOrder;
+    std::vector<JsonValue> elements;
+    double number = 0.0;
+    std::string str;
+    bool boolean = false;
+
+    const JsonValue &at(const std::string &key) const
+    {
+        auto it = members.find(key);
+        if (it == members.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+    bool has(const std::string &key) const
+    {
+        return members.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const char *what)
+    {
+        throw std::runtime_error(
+            std::string("JSON error at offset ") +
+            std::to_string(pos_) + ": " + what);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    JsonValue parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') { ++pos_; return v; }
+        while (true) {
+            JsonValue key = parseString();
+            expect(':');
+            v.memberOrder.push_back(key.str);
+            v.members[key.str] = parseValue();
+            if (peek() == ',') { ++pos_; continue; }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') { ++pos_; return v; }
+        while (true) {
+            v.elements.push_back(parseValue());
+            if (peek() == ',') { ++pos_; continue; }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("bad escape");
+                v.str += text_[pos_++];
+            } else {
+                v.str += c;
+            }
+        }
+    }
+
+    JsonValue parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        JsonValue v;
+        v.kind = JsonValue::Kind::Null;
+        return v;
+    }
+
+    JsonValue parseNumber()
+    {
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+// ---------------------------------------------------------------
+// LatencyHistogram percentiles
+// ---------------------------------------------------------------
+
+TEST(LatencyHistogram, BucketUpperEdges)
+{
+    using LH = stats::LatencyHistogram;
+    EXPECT_EQ(LH::bucketUpperEdge(0), 0u);
+    EXPECT_EQ(LH::bucketUpperEdge(1), 1u);
+    EXPECT_EQ(LH::bucketUpperEdge(2), 3u);
+    EXPECT_EQ(LH::bucketUpperEdge(3), 7u);
+    EXPECT_EQ(LH::bucketUpperEdge(10), 1023u);
+    EXPECT_EQ(LH::bucketUpperEdge(64), ~0ULL);
+    EXPECT_EQ(LH::bucketUpperEdge(200), ~0ULL);
+}
+
+TEST(LatencyHistogram, EmptyPercentilesAreZero)
+{
+    stats::StatGroup g("g");
+    stats::LatencyHistogram h(g, "h", "");
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, ExactSmallCase)
+{
+    // Samples 1, 2, 3, 4 land in log2 buckets 1, 2, 2, 3 whose
+    // inclusive upper edges are 1, 3, 3, 7.
+    stats::StatGroup g("g");
+    stats::LatencyHistogram h(g, "h", "");
+    for (std::uint64_t v : {1, 2, 3, 4})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.maxValue(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+    // rank(ceil(0.5*4)) = 2 -> cumulative reaches 2 in bucket 2.
+    EXPECT_EQ(h.p50(), 3u);
+    // rank 4 -> bucket 3, edge 7, clamped to the observed max 4.
+    EXPECT_EQ(h.p95(), 4u);
+    EXPECT_EQ(h.p99(), 4u);
+}
+
+TEST(LatencyHistogram, SingleSampleEveryPercentile)
+{
+    stats::StatGroup g("g");
+    stats::LatencyHistogram h(g, "h", "");
+    h.sample(100);
+    EXPECT_EQ(h.p50(), 100u);
+    EXPECT_EQ(h.p95(), 100u);
+    EXPECT_EQ(h.p99(), 100u);
+}
+
+TEST(LatencyHistogram, OverflowClampsToLastBucket)
+{
+    // Four buckets cover values up to 7; everything larger clamps
+    // into bucket 3, whose reported edge is the observed max.
+    stats::StatGroup g("g");
+    stats::LatencyHistogram h(g, "h", "", 4);
+    h.sample(1'000'000);
+    h.sample(5);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.p99(), 1'000'000u);
+    // p50 -> rank 1 -> also the last bucket (both samples clamp
+    // there or land in it), so the edge is the max, not 7.
+    EXPECT_EQ(h.p50(), 1'000'000u);
+}
+
+TEST(LatencyHistogram, PercentileIsMonotonicInP)
+{
+    stats::StatGroup g("g");
+    stats::LatencyHistogram h(g, "h", "");
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.sample(v);
+    std::uint64_t prev = 0;
+    for (double p : {0.01, 0.10, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0}) {
+        const std::uint64_t q = h.percentile(p);
+        EXPECT_GE(q, prev) << "p=" << p;
+        prev = q;
+    }
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything)
+{
+    stats::StatGroup g("g");
+    stats::LatencyHistogram h(g, "h", "");
+    h.sample(42);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Ratio / Formula
+// ---------------------------------------------------------------
+
+TEST(Ratio, TracksCountersAndSurvivesReset)
+{
+    stats::StatGroup g("g");
+    stats::Counter hits(g, "hits", "");
+    stats::Counter lookups(g, "lookups", "");
+    stats::Ratio rate(g, "rate", "", hits, lookups);
+    EXPECT_EQ(rate.value(), 0.0); // 0/0 guarded
+    hits += 3;
+    lookups += 4;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.75);
+    g.resetAll();
+    EXPECT_EQ(rate.value(), 0.0);
+    hits += 1;
+    lookups += 2;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.5);
+}
+
+TEST(Formula, ComputesOnDemand)
+{
+    stats::StatGroup g("g");
+    stats::Counter c(g, "c", "");
+    stats::Formula f(g, "f", "", [&] {
+        return static_cast<double>(c.value()) * 2.0;
+    });
+    EXPECT_EQ(f.value(), 0.0);
+    c += 21;
+    EXPECT_DOUBLE_EQ(f.value(), 42.0);
+}
+
+// ---------------------------------------------------------------
+// StatGroup::toJson round-trip
+// ---------------------------------------------------------------
+
+TEST(StatGroupJson, RoundTripsThroughParser)
+{
+    stats::StatGroup root("root");
+    stats::StatGroup child("child", &root);
+    stats::Counter hits(root, "hits", "");
+    stats::Counter lookups(root, "lookups", "");
+    stats::Ratio rate(root, "rate", "", hits, lookups);
+    stats::Average lat(child, "lat", "");
+    stats::LatencyHistogram hist(child, "hist", "", 8);
+
+    hits += 9;
+    lookups += 10;
+    lat.sample(5.0);
+    lat.sample(15.0);
+    hist.sample(6);
+    hist.sample(100); // clamps into the last bucket
+
+    for (const bool pretty : {false, true}) {
+        const std::string text = root.toJson(pretty);
+        JsonValue v = JsonParser(text).parse();
+        ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+        EXPECT_DOUBLE_EQ(v.at("hits").number, 9.0);
+        EXPECT_DOUBLE_EQ(v.at("lookups").number, 10.0);
+        EXPECT_DOUBLE_EQ(v.at("rate").number, 0.9);
+
+        const JsonValue &c = v.at("child");
+        ASSERT_EQ(c.kind, JsonValue::Kind::Object);
+        const JsonValue &avg = c.at("lat");
+        EXPECT_DOUBLE_EQ(avg.at("mean").number, 10.0);
+        EXPECT_DOUBLE_EQ(avg.at("count").number, 2.0);
+
+        const JsonValue &hj = c.at("hist");
+        EXPECT_DOUBLE_EQ(hj.at("count").number, 2.0);
+        EXPECT_DOUBLE_EQ(hj.at("max").number, 100.0);
+        EXPECT_DOUBLE_EQ(hj.at("p99").number, 100.0);
+        ASSERT_EQ(hj.at("log2_buckets").kind,
+                  JsonValue::Kind::Array);
+        EXPECT_EQ(hj.at("log2_buckets").elements.size(), 8u);
+    }
+}
+
+TEST(StatGroupJson, RegistrationOrderIsPreserved)
+{
+    stats::StatGroup g("g");
+    stats::Counter b(g, "bbb", "");
+    stats::Counter a(g, "aaa", "");
+    JsonValue v = JsonParser(g.toJson()).parse();
+    ASSERT_EQ(v.memberOrder.size(), 2u);
+    EXPECT_EQ(v.memberOrder[0], "bbb");
+    EXPECT_EQ(v.memberOrder[1], "aaa");
+}
+
+// ---------------------------------------------------------------
+// ChromeTracer
+// ---------------------------------------------------------------
+
+TEST(ChromeTracer, SamplingPatternIsDeterministic)
+{
+    const std::string path =
+        ::testing::TempDir() + "bmc_tracer_sampling.json";
+    {
+        ChromeTracer t(path, 3);
+        // Calls 0, 3, 6 sample; ids are consecutive from 1.
+        EXPECT_EQ(t.maybeStartRequest(), 1u);
+        EXPECT_EQ(t.maybeStartRequest(), 0u);
+        EXPECT_EQ(t.maybeStartRequest(), 0u);
+        EXPECT_EQ(t.maybeStartRequest(), 2u);
+        EXPECT_EQ(t.maybeStartRequest(), 0u);
+        EXPECT_EQ(t.maybeStartRequest(), 0u);
+        EXPECT_EQ(t.maybeStartRequest(), 3u);
+        EXPECT_EQ(t.tracksStarted(), 3u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTracer, EmitsWellFormedTraceJson)
+{
+    const std::string path =
+        ::testing::TempDir() + "bmc_tracer_wellformed.json";
+    {
+        ChromeTracer t(path, 1);
+        const std::uint32_t tid = t.maybeStartRequest();
+        t.completeEvent("dram_burst", "dram", 1, tid, 100, 164,
+                        "{\"bank\": 2}");
+        t.instantEvent("mshr_alloc", "mshr", 1, tid, 90);
+        // end < start clamps to a zero-duration span, not negative.
+        t.completeEvent("degenerate", "dcc", 1, tid, 50, 40);
+        EXPECT_EQ(t.eventsWritten(), 3u);
+    }
+    JsonValue v = JsonParser(slurp(path)).parse();
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    const JsonValue &events = v.at("traceEvents");
+    ASSERT_EQ(events.kind, JsonValue::Kind::Array);
+    ASSERT_EQ(events.elements.size(), 3u);
+
+    const JsonValue &burst = events.elements[0];
+    EXPECT_EQ(burst.at("name").str, "dram_burst");
+    EXPECT_EQ(burst.at("ph").str, "X");
+    EXPECT_DOUBLE_EQ(burst.at("ts").number, 100.0);
+    EXPECT_DOUBLE_EQ(burst.at("dur").number, 64.0);
+    EXPECT_DOUBLE_EQ(burst.at("args").at("bank").number, 2.0);
+
+    EXPECT_EQ(events.elements[1].at("ph").str, "i");
+    EXPECT_DOUBLE_EQ(events.elements[2].at("dur").number, 0.0);
+
+    const JsonValue &other = v.at("otherData");
+    EXPECT_DOUBLE_EQ(other.at("schema_version").number, 1.0);
+    EXPECT_DOUBLE_EQ(other.at("events_written").number, 3.0);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// EpochSampler
+// ---------------------------------------------------------------
+
+TEST(EpochSampler, DeltaSurvivesCounterReset)
+{
+    using ES = sim::EpochSampler;
+    EXPECT_EQ(ES::delta(10, 4), 6u);
+    EXPECT_EQ(ES::delta(4, 4), 0u);
+    // A counter that ran backwards was reset mid-epoch; what it has
+    // accumulated since the reset is the reported delta.
+    EXPECT_EQ(ES::delta(3, 100), 3u);
+    EXPECT_EQ(ES::delta(0, 100), 0u);
+}
+
+TEST(EpochSampler, StreamsDeltasAndStopsWithTheQueue)
+{
+    const std::string path =
+        ::testing::TempDir() + "bmc_epochs.jsonl";
+    EventQueue eq;
+    std::uint64_t accesses = 0;
+    // Synthetic workload: one access per 10 ticks for 1000 ticks,
+    // with a stats reset at t=450 (the warm-up boundary).
+    for (Tick t = 10; t <= 1000; t += 10)
+        eq.scheduleAt(t, [&accesses] { ++accesses; });
+    eq.scheduleAt(450, [&accesses] { accesses = 0; });
+    {
+        sim::EpochSampler sampler(
+            eq, 100, path, [&](sim::EpochSnapshot &s) {
+                s.dccAccesses = accesses;
+                s.dccHits = accesses / 2;
+                s.mshrOccupancy = 7;
+                s.queueDepths = {3};
+                s.bankBusyTicks = {accesses * 5};
+            });
+        sampler.start();
+        eq.run();
+        // The sampler never keeps a drained queue alive: after the
+        // last access at t=1000 the boundary event at t=1000 (same
+        // tick, scheduled later, so it runs second) writes the final
+        // row and does not reschedule.
+        EXPECT_EQ(sampler.epochsWritten(), 10u);
+    }
+    EXPECT_TRUE(eq.empty());
+
+    std::ifstream in(path);
+    std::string line;
+    std::vector<JsonValue> rows;
+    while (std::getline(in, line))
+        rows.push_back(JsonParser(line).parse());
+    ASSERT_EQ(rows.size(), 10u);
+
+    std::uint64_t epoch = 0;
+    for (const JsonValue &row : rows) {
+        EXPECT_DOUBLE_EQ(row.at("schema_version").number, 1.0);
+        EXPECT_DOUBLE_EQ(row.at("epoch").number,
+                         static_cast<double>(epoch++));
+        EXPECT_DOUBLE_EQ(row.at("mshr_occupancy").number, 7.0);
+        ASSERT_EQ(row.at("queue_depth").elements.size(), 1u);
+        ASSERT_EQ(row.at("bank_busy_frac").elements.size(), 1u);
+        const double frac = row.at("bank_busy_frac").elements[0].number;
+        EXPECT_GE(frac, 0.0);
+        EXPECT_LE(frac, 1.0);
+    }
+    // Steady state: 10 accesses per 100-tick epoch at ~50% hit rate.
+    EXPECT_DOUBLE_EQ(rows[0].at("dcc_accesses").number, 10.0);
+    EXPECT_NEAR(rows[0].at("dcc_hit_rate").number, 0.5, 0.01);
+    // Epoch 5 covers (400, 500]: the reset at t=450 makes the
+    // cumulative counter run backwards; the clamped delta is the
+    // post-reset count, not a huge wrapped difference.
+    EXPECT_LE(rows[4].at("dcc_accesses").number, 10.0);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Observability never perturbs results
+// ---------------------------------------------------------------
+
+TEST(Observability, TracingDoesNotChangeResults)
+{
+    using namespace bmc::sim;
+    const auto &wl = trace::findWorkload("Q5");
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.scheme = Scheme::BiModal;
+    cfg.dramCacheBytes = 2 * kMiB;
+    cfg.llscBytes = 256 * kKiB;
+    cfg.instrPerCore = 120'000;
+    cfg.warmupInstrPerCore = 40'000;
+
+    System plain(cfg, wl.programs);
+    const RunStats base = plain.run();
+
+    const std::string epoch_path =
+        ::testing::TempDir() + "bmc_obs_epochs.jsonl";
+    const std::string trace_path =
+        ::testing::TempDir() + "bmc_obs_trace.json";
+    RunStats instrumented;
+    {
+        // Scoped: the trace footer and epoch flush are written by
+        // the System's destructor, so the files are only complete
+        // once it is gone.
+        System traced(cfg, wl.programs);
+        ObsConfig obs;
+        obs.epochPath = epoch_path;
+        obs.epochTicks = 50'000;
+        obs.tracePath = trace_path;
+        obs.traceSample = 4;
+        traced.enableObservability(obs);
+        instrumented = traced.run();
+    }
+
+    EXPECT_EQ(base.simTicks, instrumented.simTicks);
+    EXPECT_EQ(base.coreCycles, instrumented.coreCycles);
+    EXPECT_EQ(base.dccAccesses, instrumented.dccAccesses);
+    EXPECT_EQ(base.offchipFetchBytes,
+              instrumented.offchipFetchBytes);
+    EXPECT_EQ(base.writebackBytes, instrumented.writebackBytes);
+    EXPECT_DOUBLE_EQ(base.cacheHitRate, instrumented.cacheHitRate);
+    EXPECT_DOUBLE_EQ(base.avgAccessLatency,
+                     instrumented.avgAccessLatency);
+    EXPECT_EQ(base.accessLatencyP50, instrumented.accessLatencyP50);
+    EXPECT_EQ(base.accessLatencyP99, instrumented.accessLatencyP99);
+
+    // Both streams actually produced content.
+    JsonValue trace = JsonParser(slurp(trace_path)).parse();
+    EXPECT_GT(trace.at("traceEvents").elements.size(), 0u);
+    EXPECT_DOUBLE_EQ(
+        trace.at("otherData").at("schema_version").number, 1.0);
+
+    std::ifstream in(epoch_path);
+    std::string line;
+    size_t epoch_rows = 0;
+    while (std::getline(in, line)) {
+        JsonParser(line).parse();
+        ++epoch_rows;
+    }
+    EXPECT_GT(epoch_rows, 0u);
+    std::remove(epoch_path.c_str());
+    std::remove(trace_path.c_str());
+}
+
+TEST(Observability, HierarchyJsonParsesAndCarriesPercentiles)
+{
+    using namespace bmc::sim;
+    const auto &wl = trace::findWorkload("Q1");
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.scheme = Scheme::BiModal;
+    cfg.dramCacheBytes = 2 * kMiB;
+    cfg.instrPerCore = 60'000;
+    cfg.warmupInstrPerCore = 20'000;
+    System system(cfg, wl.programs);
+    const RunStats rs = system.run();
+
+    JsonValue v =
+        JsonParser(system.statsHierarchyJson(/*pretty=*/true)).parse();
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    // The controller's latency histograms are in the hierarchy and
+    // agree with the curated RunStats percentiles.
+    const JsonValue &dcc = v.at("dcc");
+    const JsonValue &hist = dcc.at("access_latency_hist");
+    EXPECT_GT(hist.at("count").number, 0.0);
+    EXPECT_DOUBLE_EQ(hist.at("p50").number,
+                     static_cast<double>(rs.accessLatencyP50));
+    EXPECT_DOUBLE_EQ(hist.at("p99").number,
+                     static_cast<double>(rs.accessLatencyP99));
+}
+
+} // anonymous namespace
+} // namespace bmc

@@ -184,7 +184,9 @@ TEST(Sweep, ThreadCountDoesNotChangeResultsOrJsonl)
     std::string line;
     std::size_t idx = 0;
     while (std::getline(in, line)) {
-        const std::string prefix = strfmt("{\"run\": %zu,", idx);
+        const std::string prefix =
+            strfmt("{\"schema_version\": %d, \"run\": %zu,",
+                   kResultsSchemaVersion, idx);
         EXPECT_EQ(line.rfind(prefix, 0), 0u) << line;
         EXPECT_EQ(line.find("wall"), std::string::npos);
         EXPECT_NE(line.find("\"stats\": {"), std::string::npos);

@@ -107,9 +107,16 @@ printRun(const sim::RunStats &rs)
 }
 
 void
-printJson(const sim::RunStats &rs)
+printJson(const sim::RunStats &rs, const sim::System &system)
 {
-    std::printf("%s\n", sim::statsToJson(rs, /*pretty=*/true).c_str());
+    // Curated RunStats under "run", the full registered-stat
+    // hierarchy (histograms, percentiles, per-channel detail) under
+    // "stats".
+    std::printf("{\n\"schema_version\": %d,\n\"run\": %s,\n"
+                "\"stats\": %s\n}\n",
+                sim::kResultsSchemaVersion,
+                sim::statsToJson(rs, /*pretty=*/true).c_str(),
+                system.statsHierarchyJson(/*pretty=*/true).c_str());
 }
 
 } // anonymous namespace
@@ -148,7 +155,19 @@ main(int argc, char **argv)
                  "use the command-granularity DRAM model");
     opts.addFlag("dump-stats", false,
                  "print every statistic after the run");
-    opts.addFlag("json", false, "machine-readable summary");
+    opts.addFlag("json", false,
+                 "machine-readable summary (curated stats plus the "
+                 "full registered-stat hierarchy)");
+    opts.addString("epoch-out", "",
+                   "stream per-epoch counter deltas as JSONL to "
+                   "this file");
+    opts.addUint("epoch-ticks", 100000,
+                 "epoch length in ticks for --epoch-out");
+    opts.addString("trace-out", "",
+                   "write a sampled per-request lifecycle trace "
+                   "(Chrome trace-event JSON, Perfetto-loadable)");
+    opts.addUint("trace-sample", 64,
+                 "trace every K-th LLSC demand miss for --trace-out");
     opts.addString("record-trace", "",
                    "record the workload's programs to "
                    "<prefix>.coreN.bmct instead of simulating");
@@ -253,9 +272,17 @@ main(int argc, char **argv)
     }
 
     System system(cfg, programs);
+    ObsConfig obs;
+    obs.epochPath = opts.getString("epoch-out");
+    obs.epochTicks = opts.getUint("epoch-ticks");
+    obs.tracePath = opts.getString("trace-out");
+    obs.traceSample =
+        static_cast<std::uint32_t>(opts.getUint("trace-sample"));
+    if (obs.any())
+        system.enableObservability(obs);
     const RunStats rs = system.run();
     if (opts.flag("json"))
-        printJson(rs);
+        printJson(rs, system);
     else
         printRun(rs);
     if (opts.flag("dump-stats")) {

@@ -123,6 +123,16 @@ main(int argc, char **argv)
                  "add wall_seconds / events_executed to every JSONL "
                  "record (host-dependent: breaks bit-identical -j "
                  "reproducibility)");
+    opts.addString("epoch-out", "",
+                   "per-run epoch JSONL prefix; run i streams to "
+                   "<prefix>.run<i>.epochs.jsonl (timing mode)");
+    opts.addUint("epoch-ticks", 100000,
+                 "epoch length in ticks for --epoch-out");
+    opts.addString("trace-out", "",
+                   "per-run lifecycle-trace prefix; run i writes "
+                   "<prefix>.run<i>.trace.json (timing mode)");
+    opts.addUint("trace-sample", 64,
+                 "trace every K-th LLSC demand miss for --trace-out");
     opts.addFlag("progress", true, "live progress/ETA line on stderr");
 
     std::vector<std::string> argStorage;
@@ -230,7 +240,30 @@ main(int argc, char **argv)
         builder.programs(splitList(opts.getString("programs")));
     else
         builder.workloads(workloads);
-    const std::vector<RunSpec> runs = builder.build();
+    std::vector<RunSpec> runs = builder.build();
+
+    // Per-run observability outputs: distinct file per run index so
+    // parallel runs never share a stream.
+    const std::string epoch_prefix = opts.getString("epoch-out");
+    const std::string trace_prefix = opts.getString("trace-out");
+    if (!epoch_prefix.empty() || !trace_prefix.empty()) {
+        if (mode != RunMode::Timing)
+            bmc_fatal("--epoch-out/--trace-out need --mode=timing");
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (!epoch_prefix.empty()) {
+                runs[i].obs.epochPath =
+                    strfmt("%s.run%zu.epochs.jsonl",
+                           epoch_prefix.c_str(), i);
+                runs[i].obs.epochTicks = opts.getUint("epoch-ticks");
+            }
+            if (!trace_prefix.empty()) {
+                runs[i].obs.tracePath = strfmt(
+                    "%s.run%zu.trace.json", trace_prefix.c_str(), i);
+                runs[i].obs.traceSample = static_cast<std::uint32_t>(
+                    opts.getUint("trace-sample"));
+            }
+        }
+    }
 
     SweepOptions sopts;
     sopts.threads = static_cast<unsigned>(opts.getUint("threads"));
