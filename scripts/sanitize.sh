@@ -4,7 +4,9 @@
 # drive the kernel microbenchmarks through the same build: the pooled
 # event nodes, inline callbacks, intrusive scheduler lists and MSHR
 # waiter chains all recycle memory by hand, exactly the code ASan is
-# for.
+# for. Finishes with a short bmcfuzz run (randomized configs x traces
+# with every runtime checker armed), so the sanitizers sweep machine
+# shapes no fixed test pins down.
 #
 # Usage: scripts/sanitize.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -20,3 +22,6 @@ ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
 
 echo "== kernel_throughput --quick under ASan+UBSan =="
 "$build_dir"/bench/kernel_throughput --quick
+
+echo "== bmcfuzz --seeds=20 under ASan+UBSan =="
+"$build_dir"/tools/bmcfuzz --seeds=20 -j"$(nproc)" --no-progress

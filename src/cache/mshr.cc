@@ -131,6 +131,7 @@ MshrFile::allocate(Addr block_addr, Callback cb,
     ++live_;
     appendWaiter(table_[pos], std::move(cb));
     ++primaryMisses_;
+    ++primaryCount_;
     if (traceHook_ && trace_id)
         traceHook_("mshr_alloc", block_addr, trace_id);
     return true;
@@ -149,6 +150,7 @@ MshrFile::complete(Addr block_addr, Tick when)
     // re-enter allocate() (a retried core access) and must see the
     // completed block as absent, exactly as the map-based file did.
     erase(pos);
+    ++completions_;
     if (traceHook_ && tid)
         traceHook_("mshr_complete", block_addr, tid);
     while (idx != npos) {

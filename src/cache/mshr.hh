@@ -71,6 +71,15 @@ class MshrFile
 
     size_t size() const { return live_; }
 
+    /** Primary misses allocated so far (invariant audits). Raw
+     *  lifetime count, deliberately not a stats::Counter: the
+     *  warm-up statistics reset must not break the balance. */
+    std::uint64_t primaries() const { return primaryCount_; }
+
+    /** Entries completed so far. The allocate/complete balance
+     *  invariant is primaries() == completions() + size(). */
+    std::uint64_t completions() const { return completions_; }
+
     /** Waiter nodes ever created (pool high-water mark, tests). */
     size_t waiterPoolSize() const { return waiters_.size(); }
 
@@ -103,6 +112,8 @@ class MshrFile
 
     unsigned numEntries_;
     std::size_t live_ = 0;
+    std::uint64_t primaryCount_ = 0;
+    std::uint64_t completions_ = 0;
     std::size_t mask_;
     std::vector<Entry> table_;
     std::vector<Waiter> waiters_;

@@ -1,0 +1,473 @@
+#include "check/fuzz.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "sim/sweep.hh"
+#include "trace/trace_file.hh"
+
+namespace bmc::check
+{
+
+namespace
+{
+
+constexpr std::uint64_t kLine = 64;
+
+/** Schemes eligible for random sampling (all of them). */
+constexpr sim::Scheme kAllSchemes[] = {
+    sim::Scheme::Alloy,          sim::Scheme::LohHill,
+    sim::Scheme::ATCache,        sim::Scheme::Footprint,
+    sim::Scheme::Fixed512,       sim::Scheme::Fixed512Sram,
+    sim::Scheme::WayLocatorOnly, sim::Scheme::BiModalOnly,
+    sim::Scheme::BiModal,
+};
+
+/** Legal (setBytes, bigBlockBytes) pairs: power-of-two, big divides
+ *  set, and big <= 4 KB so fills stay inside one shadow region. */
+struct Geometry
+{
+    std::uint32_t setBytes;
+    std::uint32_t bigBytes;
+};
+constexpr Geometry kGeometries[] = {
+    {1024, 256}, {2048, 256},  {2048, 512},
+    {4096, 512}, {2048, 1024}, {4096, 1024},
+};
+
+/** Random per-core trace mixing the behavioural axes the schemes key
+ *  off: sequential runs, strides, hot pages, temporal reuse of
+ *  recent lines, and uniform noise. */
+std::vector<trace::TraceRecord>
+synthesizeTrace(Rng &rng, Addr base, std::uint64_t footprint_bytes,
+                std::size_t records, double write_frac)
+{
+    const std::uint64_t lines = footprint_bytes / kLine;
+    const std::uint64_t pages = footprint_bytes / 4096;
+
+    std::vector<Addr> hot;
+    const std::size_t num_hot = rng.range(4, 16);
+    for (std::size_t i = 0; i < num_hot; ++i)
+        hot.push_back(base + rng.below(pages ? pages : 1) * 4096);
+
+    std::vector<Addr> recent;
+    Addr cur = base + rng.below(lines) * kLine;
+
+    std::vector<trace::TraceRecord> out;
+    out.reserve(records);
+    for (std::size_t i = 0; i < records; ++i) {
+        const double roll = rng.real();
+        Addr a;
+        if (roll < 0.35) {
+            a = cur + kLine; // sequential
+        } else if (roll < 0.55) {
+            a = hot[rng.below(hot.size())] +
+                rng.below(4096 / kLine) * kLine; // hot page
+        } else if (roll < 0.70) {
+            a = cur + kLine * rng.range(2, 8); // stride
+        } else if (roll < 0.85 && !recent.empty()) {
+            a = recent[rng.below(recent.size())]; // temporal reuse
+        } else {
+            a = base + rng.below(lines) * kLine; // uniform noise
+        }
+        if (a < base || a >= base + footprint_bytes)
+            a = base + (a % footprint_bytes) / kLine * kLine;
+        cur = a;
+        if (recent.size() < 64)
+            recent.push_back(a);
+        else
+            recent[rng.below(recent.size())] = a;
+
+        trace::TraceRecord rec;
+        rec.gap = static_cast<std::uint32_t>(rng.below(8));
+        rec.addr = a;
+        rec.write = rng.chance(write_frac);
+        out.push_back(rec);
+    }
+    return out;
+}
+
+/** Instruction budget that replays the longest per-core trace about
+ *  once (file replay wraps, so shorter cores simply loop). */
+std::uint64_t
+budgetFor(const std::vector<std::vector<trace::TraceRecord>> &traces)
+{
+    std::uint64_t budget = 1;
+    for (const auto &t : traces) {
+        std::uint64_t sum = 0;
+        for (const auto &r : t)
+            sum += r.gap + 1;
+        budget = std::max(budget, sum);
+    }
+    return budget;
+}
+
+} // anonymous namespace
+
+FuzzCase
+sampleCase(std::uint64_t case_seed, const FuzzOptions &opts)
+{
+    Rng rng(case_seed ? case_seed : 1);
+
+    FuzzCase c;
+    c.seed = case_seed;
+    sim::MachineConfig cfg = sim::MachineConfig::preset(4);
+    cfg.seed = case_seed;
+    cfg.cores = static_cast<unsigned>(rng.range(1, 2));
+    cfg.scheme = opts.scheme.empty()
+                     ? kAllSchemes[rng.below(std::size(kAllSchemes))]
+                     : sim::schemeFromName(opts.scheme);
+    cfg.dramCacheBytes = 1ULL << rng.range(21, 23); // 2/4/8 MiB
+    const Geometry geo =
+        kGeometries[rng.below(std::size(kGeometries))];
+    cfg.setBytes = geo.setBytes;
+    cfg.bigBlockBytes = geo.bigBytes;
+    cfg.locatorIndexBits = static_cast<unsigned>(rng.range(10, 15));
+    cfg.predictorThreshold = static_cast<unsigned>(rng.range(2, 7));
+    cfg.adaptWeight = 0.25 * static_cast<double>(rng.range(1, 4));
+    cfg.commandLevelDram = rng.chance(0.5);
+    cfg.stackedChannels = static_cast<unsigned>(rng.range(1, 2));
+    cfg.stackedBanksPerChannel = rng.chance(0.5) ? 8 : 4;
+    cfg.memBanksPerChannel = rng.chance(0.5) ? 16 : 8;
+    cfg.mlp = static_cast<unsigned>(rng.range(2, 8));
+    cfg.llscMshrs = 16u << rng.below(3); // 16/32/64
+    cfg.llscBytes = rng.chance(0.5) ? 256 * kKiB : 1 * kMiB;
+    switch (rng.below(3)) {
+      case 1:
+        cfg.prefetchPolicy = cache::PrefetchPolicy::Normal;
+        break;
+      case 2:
+        cfg.prefetchPolicy = cache::PrefetchPolicy::Bypass;
+        break;
+      default:
+        cfg.prefetchPolicy = cache::PrefetchPolicy::Off;
+        break;
+    }
+    cfg.prefetchDegree = static_cast<unsigned>(rng.range(1, 2));
+    cfg.warmupInstrPerCore = 0;
+    c.cfg = cfg;
+
+    const std::size_t records =
+        static_cast<std::size_t>(rng.range(150, 800));
+    const std::uint64_t footprint = 1ULL << rng.range(20, 24);
+    const double write_frac = 0.1 + 0.4 * rng.real();
+    for (unsigned core = 0; core < cfg.cores; ++core) {
+        const Addr base = static_cast<Addr>(core) << 32;
+        c.traces.push_back(synthesizeTrace(rng, base, footprint,
+                                           records, write_frac));
+    }
+    return c;
+}
+
+std::string
+runCase(const FuzzCase &c, const sim::CheckConfig &check,
+        const std::string &tmp_dir)
+{
+    bmc_assert(!c.traces.empty() && c.traces.size() == c.cfg.cores,
+               "fuzz case needs one trace per core");
+
+    // Unique scratch names: concurrent cases (and shrink attempts of
+    // the same seed) must never share files.
+    static std::atomic<std::uint64_t> salt{0};
+    const std::uint64_t tag = salt.fetch_add(1);
+
+    std::vector<std::string> paths;
+    std::string err;
+    {
+        ScopedThrowErrors throw_errors;
+        try {
+            std::vector<std::string> programs;
+            for (std::size_t core = 0; core < c.traces.size();
+                 ++core) {
+                std::string path = strfmt(
+                    "%s/bmcfuzz-%016llx-%llu-core%zu.bmct",
+                    tmp_dir.c_str(),
+                    static_cast<unsigned long long>(c.seed),
+                    static_cast<unsigned long long>(tag), core);
+                trace::TraceWriter writer(path);
+                paths.push_back(path);
+                for (const auto &rec : c.traces[core])
+                    writer.append(rec);
+                writer.close();
+                programs.push_back("file:" + path);
+            }
+
+            sim::MachineConfig cfg = c.cfg;
+            cfg.instrPerCore = budgetFor(c.traces);
+            cfg.warmupInstrPerCore = 0;
+            sim::System system(cfg, programs);
+            system.enableChecks(check);
+            system.run();
+        } catch (const std::exception &e) {
+            err = e.what();
+        }
+    }
+    for (const std::string &path : paths)
+        std::remove(path.c_str());
+    return err;
+}
+
+FuzzCase
+shrinkCase(const FuzzCase &c, const sim::CheckConfig &check,
+           const std::string &tmp_dir, std::size_t max_records)
+{
+    FuzzCase cur = c;
+    // Every probe is a full simulation; the attempt cap bounds the
+    // shrink cost on stubborn cases. Chunks halve from half a trace
+    // down to single records.
+    std::size_t attempts = 0;
+    constexpr std::size_t kMaxAttempts = 400;
+
+    std::size_t chunk =
+        std::max<std::size_t>(1, cur.totalRecords() / 2);
+    while (chunk >= 1 && attempts < kMaxAttempts &&
+           cur.totalRecords() > max_records) {
+        bool removed = false;
+        for (std::size_t core = 0;
+             core < cur.traces.size() && attempts < kMaxAttempts;
+             ++core) {
+            std::size_t i = 0;
+            while (i < cur.traces[core].size() &&
+                   attempts < kMaxAttempts) {
+                const std::size_t len =
+                    std::min(chunk, cur.traces[core].size() - i);
+                // Keep at least one record per core so the replay
+                // file stays well-formed.
+                if (cur.traces[core].size() - len < 1) {
+                    i += len;
+                    continue;
+                }
+                FuzzCase cand = cur;
+                auto &tr = cand.traces[core];
+                tr.erase(
+                    tr.begin() + static_cast<std::ptrdiff_t>(i),
+                    tr.begin() +
+                        static_cast<std::ptrdiff_t>(i + len));
+                ++attempts;
+                if (!runCase(cand, check, tmp_dir).empty()) {
+                    cur = std::move(cand);
+                    removed = true;
+                } else {
+                    i += len;
+                }
+            }
+        }
+        if (!removed)
+            chunk /= 2;
+    }
+    return cur;
+}
+
+void
+saveRepro(const FuzzCase &c, const std::string &note,
+          const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        bmc_fatal("cannot write repro file %s", path.c_str());
+    std::fprintf(f, "bmcfuzz-repro v1\n");
+    if (!note.empty()) {
+        // Keep the note single-line: '#' only protects one line.
+        std::string one = note;
+        std::replace(one.begin(), one.end(), '\n', ' ');
+        std::fprintf(f, "# %s\n", one.c_str());
+    }
+    const sim::MachineConfig &m = c.cfg;
+    std::fprintf(f, "seed %llu\n",
+                 static_cast<unsigned long long>(c.seed));
+    std::fprintf(f, "scheme %s\n", sim::schemeName(m.scheme));
+    std::fprintf(f, "cache_bytes %llu\n",
+                 static_cast<unsigned long long>(m.dramCacheBytes));
+    std::fprintf(f, "set_bytes %u\n", m.setBytes);
+    std::fprintf(f, "big_bytes %u\n", m.bigBlockBytes);
+    std::fprintf(f, "locator_bits %u\n", m.locatorIndexBits);
+    std::fprintf(f, "threshold %u\n", m.predictorThreshold);
+    std::fprintf(f, "weight %.6f\n", m.adaptWeight);
+    std::fprintf(f, "command_dram %d\n", m.commandLevelDram ? 1 : 0);
+    std::fprintf(f, "channels %u\n", m.stackedChannels);
+    std::fprintf(f, "banks %u\n", m.stackedBanksPerChannel);
+    std::fprintf(f, "mem_banks %u\n", m.memBanksPerChannel);
+    std::fprintf(f, "mlp %u\n", m.mlp);
+    std::fprintf(f, "llsc_bytes %llu\n",
+                 static_cast<unsigned long long>(m.llscBytes));
+    std::fprintf(f, "llsc_mshrs %u\n", m.llscMshrs);
+    std::fprintf(
+        f, "prefetch %s\n",
+        m.prefetchPolicy == cache::PrefetchPolicy::Normal ? "normal"
+        : m.prefetchPolicy == cache::PrefetchPolicy::Bypass
+            ? "bypass"
+            : "off");
+    std::fprintf(f, "prefetch_degree %u\n", m.prefetchDegree);
+    for (std::size_t core = 0; core < c.traces.size(); ++core) {
+        std::fprintf(f, "trace %zu %zu\n", core,
+                     c.traces[core].size());
+        for (const auto &r : c.traces[core]) {
+            std::fprintf(f, "%u %llx %d\n", r.gap,
+                         static_cast<unsigned long long>(r.addr),
+                         r.write ? 1 : 0);
+        }
+    }
+    std::fprintf(f, "end\n");
+    std::fclose(f);
+}
+
+FuzzCase
+loadRepro(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        bmc_fatal("cannot open repro file %s", path.c_str());
+    std::string line;
+    if (!std::getline(in, line) || line != "bmcfuzz-repro v1")
+        bmc_fatal("%s: not a bmcfuzz repro file", path.c_str());
+
+    FuzzCase c;
+    c.cfg = sim::MachineConfig::preset(4);
+    c.cfg.warmupInstrPerCore = 0;
+    bool saw_end = false;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "end") {
+            saw_end = true;
+            break;
+        } else if (key == "seed") {
+            ls >> c.seed;
+            c.cfg.seed = c.seed;
+        } else if (key == "scheme") {
+            std::string name;
+            ls >> name;
+            c.cfg.scheme = sim::schemeFromName(name);
+        } else if (key == "cache_bytes") {
+            ls >> c.cfg.dramCacheBytes;
+        } else if (key == "set_bytes") {
+            ls >> c.cfg.setBytes;
+        } else if (key == "big_bytes") {
+            ls >> c.cfg.bigBlockBytes;
+        } else if (key == "locator_bits") {
+            ls >> c.cfg.locatorIndexBits;
+        } else if (key == "threshold") {
+            ls >> c.cfg.predictorThreshold;
+        } else if (key == "weight") {
+            ls >> c.cfg.adaptWeight;
+        } else if (key == "command_dram") {
+            int v = 0;
+            ls >> v;
+            c.cfg.commandLevelDram = v != 0;
+        } else if (key == "channels") {
+            ls >> c.cfg.stackedChannels;
+        } else if (key == "banks") {
+            ls >> c.cfg.stackedBanksPerChannel;
+        } else if (key == "mem_banks") {
+            ls >> c.cfg.memBanksPerChannel;
+        } else if (key == "mlp") {
+            ls >> c.cfg.mlp;
+        } else if (key == "llsc_bytes") {
+            ls >> c.cfg.llscBytes;
+        } else if (key == "llsc_mshrs") {
+            ls >> c.cfg.llscMshrs;
+        } else if (key == "prefetch") {
+            std::string name;
+            ls >> name;
+            c.cfg.prefetchPolicy =
+                name == "normal"   ? cache::PrefetchPolicy::Normal
+                : name == "bypass" ? cache::PrefetchPolicy::Bypass
+                                   : cache::PrefetchPolicy::Off;
+        } else if (key == "prefetch_degree") {
+            ls >> c.cfg.prefetchDegree;
+        } else if (key == "trace") {
+            std::size_t core = 0, count = 0;
+            ls >> core >> count;
+            if (core != c.traces.size())
+                bmc_fatal("%s: trace sections out of order",
+                          path.c_str());
+            std::vector<trace::TraceRecord> recs;
+            recs.reserve(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                if (!std::getline(in, line))
+                    bmc_fatal("%s: truncated trace %zu",
+                              path.c_str(), core);
+                std::istringstream rs(line);
+                trace::TraceRecord rec;
+                unsigned long long a = 0;
+                int w = 0;
+                rs >> rec.gap >> std::hex >> a >> std::dec >> w;
+                if (rs.fail())
+                    bmc_fatal("%s: bad record '%s'", path.c_str(),
+                              line.c_str());
+                rec.addr = a;
+                rec.write = w != 0;
+                recs.push_back(rec);
+            }
+            c.traces.push_back(std::move(recs));
+        } else {
+            bmc_fatal("%s: unknown repro key '%s'", path.c_str(),
+                      key.c_str());
+        }
+    }
+    if (!saw_end)
+        bmc_fatal("%s: missing 'end' marker", path.c_str());
+    if (c.traces.empty())
+        bmc_fatal("%s: repro has no traces", path.c_str());
+    c.cfg.cores = static_cast<unsigned>(c.traces.size());
+    return c;
+}
+
+FuzzReport
+runFuzz(const FuzzOptions &opts, const FuzzProgress &progress)
+{
+    FuzzReport report;
+    report.casesRun = opts.seeds;
+
+    std::mutex mu;
+    std::uint64_t done = 0;
+    parallelFor(opts.threads, opts.seeds, [&](std::size_t i) {
+        const std::uint64_t case_seed =
+            sim::deriveRunSeed(opts.baseSeed, i);
+        FuzzCase c = sampleCase(case_seed, opts);
+        const std::string err = runCase(c, opts.check, opts.tmpDir);
+
+        FuzzFailure fail;
+        const bool failed = !err.empty();
+        if (failed) {
+            fail.seed = case_seed;
+            fail.error = err;
+            if (opts.shrink) {
+                c = shrinkCase(c, opts.check, opts.tmpDir,
+                               opts.maxReproRecords);
+            }
+            fail.records = c.totalRecords();
+            if (!opts.reproDir.empty()) {
+                fail.reproPath = strfmt(
+                    "%s/seed%020llu.repro", opts.reproDir.c_str(),
+                    static_cast<unsigned long long>(case_seed));
+                saveRepro(c, err, fail.reproPath);
+            }
+        }
+
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        if (failed)
+            report.failures.push_back(fail);
+        if (progress)
+            progress(done, opts.seeds, failed ? &fail : nullptr);
+    });
+
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const FuzzFailure &a, const FuzzFailure &b) {
+                  return a.seed < b.seed;
+              });
+    return report;
+}
+
+} // namespace bmc::check

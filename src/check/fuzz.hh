@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Randomized configuration x trace fuzzer for the whole simulator.
+ *
+ * Each fuzz case derives, from one 64-bit seed, a random machine
+ * configuration (scheme, geometry, DRAM model, core count, MLP,
+ * prefetcher, ...) and a random synthetic trace per core (explicit
+ * TraceRecord vectors mixing sequential, strided, hot-page, temporal
+ * -reuse and random accesses). The case runs as a normal timing
+ * System with the runtime checkers armed (src/check) under
+ * ScopedThrowErrors, so any protocol violation, shadow-consistency
+ * break, assertion or crash-by-exception surfaces as a failure tied
+ * to that seed.
+ *
+ * Failing cases are shrunk with a ddmin-style loop that removes
+ * trace chunks while the failure reproduces, then saved as
+ * self-contained text repro files (config header + the exact
+ * records) that replay deterministically -- the regression corpus in
+ * tests/corpus/ holds such files for bugs that have been fixed.
+ *
+ * Cases are independent, so the fuzz loop fans out on the shared
+ * thread pool; seed derivation is deriveRunSeed(base, index), making
+ * every report reproducible from (base seed, case count) alone.
+ */
+
+#ifndef BMC_CHECK_FUZZ_HH
+#define BMC_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/schemes.hh"
+#include "sim/system.hh"
+#include "trace/generator.hh"
+
+namespace bmc::check
+{
+
+/** One fully materialized fuzz case. */
+struct FuzzCase
+{
+    std::uint64_t seed = 0;
+    sim::MachineConfig cfg;
+    /** One explicit record list per core (cfg.cores entries). */
+    std::vector<std::vector<trace::TraceRecord>> traces;
+
+    std::size_t totalRecords() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : traces)
+            n += t.size();
+        return n;
+    }
+};
+
+/** Fuzz-loop knobs (the bmcfuzz CLI maps onto this 1:1). */
+struct FuzzOptions
+{
+    std::uint64_t seeds = 50;   //!< number of cases to run
+    std::uint64_t baseSeed = 1; //!< case i uses deriveRunSeed(base,i)
+    unsigned threads = 1;       //!< worker threads (0 = all cores)
+    /** Pin every case to this scheme ("" = random per case). */
+    std::string scheme;
+    /** Directory for shrunk repro files ("" = don't save). */
+    std::string reproDir;
+    bool shrink = true;
+    /** Shrink target: stop once a repro is this small. */
+    std::size_t maxReproRecords = 100;
+    /** Scratch directory for the temporary .bmct trace files. */
+    std::string tmpDir = "/tmp";
+    /** Checkers to arm; defaults to everything on. */
+    sim::CheckConfig check{/*protocol=*/true, /*shadow=*/true};
+};
+
+/** One failing case, post-shrink. */
+struct FuzzFailure
+{
+    std::uint64_t seed = 0;
+    std::string error;     //!< checker/assert message of the run
+    std::string reproPath; //!< saved repro file ("" if not saved)
+    std::size_t records = 0; //!< record count after shrinking
+};
+
+struct FuzzReport
+{
+    std::uint64_t casesRun = 0;
+    std::vector<FuzzFailure> failures; //!< sorted by seed
+    bool ok() const { return failures.empty(); }
+};
+
+/** Deterministically materialize the case for @p case_seed. */
+FuzzCase sampleCase(std::uint64_t case_seed, const FuzzOptions &opts);
+
+/**
+ * Execute one case (checkers per @p check) under ScopedThrowErrors.
+ * Returns the error text, or "" for a clean run. Temp trace files go
+ * to @p tmp_dir and are removed afterwards.
+ */
+std::string runCase(const FuzzCase &c, const sim::CheckConfig &check,
+                    const std::string &tmp_dir);
+
+/**
+ * ddmin-style minimization: repeatedly drop trace chunks while the
+ * case still fails, until no chunk can be removed or the case is
+ * already within @p max_records. Returns the shrunk case (always
+ * still failing).
+ */
+FuzzCase shrinkCase(const FuzzCase &c, const sim::CheckConfig &check,
+                    const std::string &tmp_dir,
+                    std::size_t max_records);
+
+/** Write @p c as a self-contained text repro ('#' lines ignored on
+ *  load; @p note becomes a leading comment). bmc_fatal on IO error. */
+void saveRepro(const FuzzCase &c, const std::string &note,
+               const std::string &path);
+
+/** Parse a repro file back into a runnable case. bmc_fatal on a
+ *  malformed file. */
+FuzzCase loadRepro(const std::string &path);
+
+/** Called after every case: (cases done, total, failure or null). */
+using FuzzProgress = std::function<void(
+    std::uint64_t, std::uint64_t, const FuzzFailure *)>;
+
+/** Run the whole fuzz loop on the thread pool. */
+FuzzReport runFuzz(const FuzzOptions &opts,
+                   const FuzzProgress &progress = nullptr);
+
+} // namespace bmc::check
+
+#endif // BMC_CHECK_FUZZ_HH

@@ -1,0 +1,344 @@
+#include "check/protocol_checker.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace bmc::check
+{
+
+namespace
+{
+constexpr std::size_t kHistoryCap = 128;
+} // anonymous namespace
+
+ProtocolRules
+ProtocolRules::forReservationModel(const dram::TimingParams &params)
+{
+    ProtocolRules r;
+    r.t = params;
+    return r;
+}
+
+ProtocolRules
+ProtocolRules::forCommandModel(const dram::TimingParams &params)
+{
+    ProtocolRules r;
+    r.t = params;
+    r.interBankActWindow = true;
+    r.globalCcd = true;
+    r.busTurnaround = true;
+    r.casUsesCwl = true;
+    r.cmdBusSpacing = true;
+    r.strictTrp = true;
+    r.refreshDeadline = true;
+    return r;
+}
+
+ProtocolRules
+ProtocolRules::forParams(const dram::TimingParams &params)
+{
+    return params.commandLevel ? forCommandModel(params)
+                               : forReservationModel(params);
+}
+
+ProtocolChecker::ProtocolChecker(std::string name,
+                                 const ProtocolRules &rules)
+    : name_(std::move(name)), r_(rules)
+{
+    history_.reserve(kHistoryCap);
+}
+
+ProtocolChecker::ChanCheck &
+ProtocolChecker::chan(unsigned channel)
+{
+    if (channel >= chans_.size())
+        chans_.resize(channel + 1);
+    ChanCheck &cc = chans_[channel];
+    if (cc.banks.empty()) {
+        cc.banks.resize(std::max(1u, r_.t.banksPerChannel));
+        cc.expectedNextRef = r_.t.toTicks(r_.t.tREFI);
+    }
+    return cc;
+}
+
+void
+ProtocolChecker::remember(const dram::CmdEvent &ev)
+{
+    if (history_.size() < kHistoryCap) {
+        history_.push_back(ev);
+        histNext_ = history_.size() % kHistoryCap;
+    } else {
+        history_[histNext_] = ev;
+        histNext_ = (histNext_ + 1) % kHistoryCap;
+    }
+}
+
+std::string
+ProtocolChecker::renderHistory() const
+{
+    std::string out;
+    const std::size_t n = history_.size();
+    // Oldest first: the ring's write cursor is the oldest entry once
+    // the buffer has wrapped.
+    const std::size_t start = n < kHistoryCap ? 0 : histNext_;
+    for (std::size_t i = 0; i < n; ++i) {
+        const dram::CmdEvent &ev = history_[(start + i) % n];
+        out += strfmt("  [%3zu] %-3s ch%u", i,
+                      dram::cmdKindName(ev.kind), ev.channel);
+        if (ev.kind != dram::CmdKind::Ref)
+            out += strfmt(" bank%-2u row%llu", ev.bank,
+                          static_cast<unsigned long long>(ev.row));
+        out += strfmt(" @%llu",
+                      static_cast<unsigned long long>(ev.at));
+        if (ev.kind == dram::CmdKind::Rd ||
+            ev.kind == dram::CmdKind::Wr) {
+            out += strfmt(
+                " data[%llu,%llu) %uB",
+                static_cast<unsigned long long>(ev.dataStart),
+                static_cast<unsigned long long>(ev.dataEnd),
+                ev.bytes);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+void
+ProtocolChecker::fail(const dram::CmdEvent &ev, const std::string &what)
+{
+    bmc_fatal(
+        "protocol checker [%s]: %s\n"
+        "  offending: %s ch%u bank%u row%llu @%llu\n"
+        "command history (oldest first):\n%s",
+        name_.c_str(), what.c_str(), dram::cmdKindName(ev.kind),
+        ev.channel, ev.bank, static_cast<unsigned long long>(ev.row),
+        static_cast<unsigned long long>(ev.at),
+        renderHistory().c_str());
+    // bmc_fatal either aborts or throws SimError; not reached.
+    std::abort();
+}
+
+void
+ProtocolChecker::require(const dram::CmdEvent &ev, const char *rule,
+                         Tick at, Tick fence)
+{
+    if (at < fence) {
+        fail(ev, strfmt("%s violated: tick %llu < fence %llu "
+                        "(short by %llu)",
+                        rule, static_cast<unsigned long long>(at),
+                        static_cast<unsigned long long>(fence),
+                        static_cast<unsigned long long>(fence - at)));
+    }
+}
+
+void
+ProtocolChecker::checkAct(ChanCheck &cc, BankCheck &bank,
+                          const dram::CmdEvent &ev)
+{
+    if (bank.rowOpen)
+        fail(ev, "ACT on a bank whose row is still open");
+    if (r_.strictTrp) {
+        if (bank.sawPre)
+            require(ev, "tRP (PRE to ACT)", ev.at,
+                    bank.lastPreAt + r_.t.toTicks(r_.t.tRP));
+    } else if (bank.lastWasPre) {
+        // Reservation model: a PRE/ACT pair is reserved together, so
+        // the fence is only meaningful against the paired PRE.
+        require(ev, "tRP (PRE to ACT)", ev.at,
+                bank.lastPreAt + r_.t.toTicks(r_.t.tRP));
+    }
+    if (cc.sawRef)
+        require(ev, "tRFC (REF to ACT)", ev.at, cc.refBlockedUntil);
+    if (r_.interBankActWindow && !cc.recentActs.empty()) {
+        require(ev, "tRRD (ACT to ACT)", ev.at,
+                cc.recentActs.back() + r_.t.toTicks(r_.t.tRRD));
+        if (cc.recentActs.size() >= 4) {
+            require(ev, "tFAW (four-activate window)", ev.at,
+                    cc.recentActs.front() + r_.t.toTicks(r_.t.tFAW));
+        }
+    }
+    cc.recentActs.push_back(ev.at);
+    if (cc.recentActs.size() > 4)
+        cc.recentActs.pop_front();
+    bank.rowOpen = true;
+    bank.openRow = ev.row;
+    bank.sawAct = true;
+    bank.actAt = ev.at;
+    bank.lastWasPre = false;
+}
+
+void
+ProtocolChecker::checkPre(ChanCheck &cc, BankCheck &bank,
+                          const dram::CmdEvent &ev)
+{
+    (void)cc;
+    if (!bank.rowOpen)
+        fail(ev, "PRE on a bank with no open row");
+    if (bank.openRow != ev.row) {
+        fail(ev, strfmt("PRE closes row %llu but row %llu is open",
+                        static_cast<unsigned long long>(ev.row),
+                        static_cast<unsigned long long>(
+                            bank.openRow)));
+    }
+    require(ev, "tRAS (ACT to PRE)", ev.at,
+            bank.actAt + r_.t.toTicks(r_.t.tRAS));
+    if (bank.sawReadCas)
+        require(ev, "tRTP (read to PRE)", ev.at,
+                bank.lastReadCasAt + r_.t.toTicks(r_.t.tRTP));
+    if (bank.sawWrite)
+        require(ev, "tWR (write recovery)", ev.at,
+                bank.lastWriteDataEnd + r_.t.toTicks(r_.t.tWR));
+    bank.rowOpen = false;
+    bank.sawPre = true;
+    bank.lastWasPre = true;
+    bank.lastPreAt = ev.at;
+}
+
+void
+ProtocolChecker::checkCas(ChanCheck &cc, BankCheck &bank,
+                          const dram::CmdEvent &ev)
+{
+    const bool is_write = ev.kind == dram::CmdKind::Wr;
+    if (!bank.rowOpen)
+        fail(ev, "column command on a bank with no open row");
+    if (bank.openRow != ev.row) {
+        fail(ev, strfmt("column command to row %llu but row %llu "
+                        "is open",
+                        static_cast<unsigned long long>(ev.row),
+                        static_cast<unsigned long long>(
+                            bank.openRow)));
+    }
+    require(ev, "tRCD (ACT to column)", ev.at,
+            bank.actAt + r_.t.toTicks(r_.t.tRCD));
+    if (bank.sawCas)
+        require(ev, "tCCD (bank column to column)", ev.at,
+                bank.lastCasAt + r_.t.toTicks(r_.t.tCCD));
+    if (r_.globalCcd && cc.sawCasAny)
+        require(ev, "tCCD (channel column to column)", ev.at,
+                cc.lastCasAt + r_.t.toTicks(r_.t.tCCD));
+    if (r_.busTurnaround && !is_write && cc.sawWriteData)
+        require(ev, "tWTR (write to read)", ev.at,
+                cc.lastWriteDataEnd + r_.t.toTicks(r_.t.tWTR));
+
+    // Data burst timing: CAS latency, transfer length, shared-bus
+    // non-overlap, and (command model) write-after-read turnaround.
+    const Tick cl =
+        r_.t.toTicks(is_write && r_.casUsesCwl ? r_.t.tCWL
+                                               : r_.t.tCL);
+    if (ev.dataStart != ev.at + cl) {
+        fail(ev, strfmt("data burst starts at %llu, expected CAS + "
+                        "%s = %llu",
+                        static_cast<unsigned long long>(ev.dataStart),
+                        is_write && r_.casUsesCwl ? "tCWL" : "tCL",
+                        static_cast<unsigned long long>(ev.at + cl)));
+    }
+    if (ev.dataEnd != ev.dataStart + r_.t.transferTicks(ev.bytes)) {
+        fail(ev, strfmt("data burst [%llu,%llu) does not match the "
+                        "%uB transfer time",
+                        static_cast<unsigned long long>(ev.dataStart),
+                        static_cast<unsigned long long>(ev.dataEnd),
+                        ev.bytes));
+    }
+    if (cc.sawData)
+        require(ev, "data-bus overlap", ev.dataStart,
+                cc.lastDataEnd);
+    if (r_.busTurnaround && is_write && cc.sawReadData)
+        require(ev, "write burst under a read burst", ev.dataStart,
+                cc.lastReadDataEnd);
+
+    bank.sawCas = true;
+    bank.lastCasAt = ev.at;
+    cc.sawCasAny = true;
+    cc.lastCasAt = ev.at;
+    cc.sawData = true;
+    cc.lastDataEnd = std::max(cc.lastDataEnd, ev.dataEnd);
+    if (is_write) {
+        bank.sawWrite = true;
+        bank.lastWriteDataEnd = ev.dataEnd;
+        cc.sawWriteData = true;
+        cc.lastWriteDataEnd = ev.dataEnd;
+    } else {
+        bank.sawReadCas = true;
+        bank.lastReadCasAt = ev.at;
+        cc.sawReadData = true;
+        cc.lastReadDataEnd = ev.dataEnd;
+    }
+    bank.lastWasPre = false;
+}
+
+void
+ProtocolChecker::checkRef(ChanCheck &cc, const dram::CmdEvent &ev)
+{
+    if (!r_.t.refreshEnabled)
+        fail(ev, "REF observed with refresh disabled");
+    if (ev.at != cc.expectedNextRef) {
+        fail(ev, strfmt("refresh cadence broken: nominal %llu, "
+                        "expected %llu (tREFI = %llu ticks)",
+                        static_cast<unsigned long long>(ev.at),
+                        static_cast<unsigned long long>(
+                            cc.expectedNextRef),
+                        static_cast<unsigned long long>(
+                            r_.t.toTicks(r_.t.tREFI))));
+    }
+    cc.expectedNextRef += r_.t.toTicks(r_.t.tREFI);
+    cc.sawRef = true;
+    cc.refBlockedUntil = ev.at + r_.t.toTicks(r_.t.tRFC);
+    for (BankCheck &bank : cc.banks) {
+        bank.rowOpen = false;
+        bank.lastWasPre = false;
+    }
+    ++refChecked_;
+}
+
+void
+ProtocolChecker::onCommand(const dram::CmdEvent &ev)
+{
+    remember(ev);
+    ChanCheck &cc = chan(ev.channel);
+
+    if (ev.kind == dram::CmdKind::Ref) {
+        // REF is lazy (nominal tick, possibly far behind the command
+        // that triggered the catch-up): exempt from bus checks.
+        checkRef(cc, ev);
+        return;
+    }
+
+    if (ev.bank >= cc.banks.size())
+        fail(ev, strfmt("bank %u out of range (%zu banks)", ev.bank,
+                        cc.banks.size()));
+    BankCheck &bank = cc.banks[ev.bank];
+
+    if (r_.cmdBusSpacing && cc.sawCmd)
+        require(ev, "command-bus occupancy (1 cmd/nCK)", ev.at,
+                cc.lastCmdAt + r_.t.toTicks(1));
+    if (r_.refreshDeadline && r_.t.refreshEnabled &&
+        ev.at >= cc.expectedNextRef) {
+        fail(ev, strfmt("missed refresh deadline: command at %llu "
+                        "but refresh was due at %llu",
+                        static_cast<unsigned long long>(ev.at),
+                        static_cast<unsigned long long>(
+                            cc.expectedNextRef)));
+    }
+
+    switch (ev.kind) {
+      case dram::CmdKind::Act:
+        checkAct(cc, bank, ev);
+        break;
+      case dram::CmdKind::Pre:
+        checkPre(cc, bank, ev);
+        break;
+      case dram::CmdKind::Rd:
+      case dram::CmdKind::Wr:
+        checkCas(cc, bank, ev);
+        break;
+      case dram::CmdKind::Ref:
+        break;
+    }
+    cc.sawCmd = true;
+    cc.lastCmdAt = ev.at;
+    ++checked_;
+}
+
+} // namespace bmc::check

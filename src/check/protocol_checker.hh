@@ -1,0 +1,148 @@
+/**
+ * @file
+ * DDR protocol checker over the observed command stream.
+ *
+ * The checker attaches to a channel model through the CmdObserver
+ * hook (dram/cmd_observer.hh) and independently re-derives the
+ * legality of every command from the raw (kind, bank, row, tick)
+ * stream, using only the configured TimingParams -- none of the
+ * model's internal fences. A violation routes through bmc_fatal with
+ * a dump of the recent command history, so a violating configuration
+ * inside a sweep is isolated under ScopedThrowErrors and surfaces as
+ * a failed row rather than a process abort.
+ *
+ * The two channel models emit streams with different guarantees
+ * (see cmd_observer.hh), so the rule set is selected per model:
+ *
+ *  - forReservationModel(): per-bank window checks only. The
+ *    reservation model computes command times at reservation time,
+ *    does not model tRRD/tFAW/tWTR, uses tCL for write data and
+ *    keeps no command bus, so those checks are off. Reserved times
+ *    may also run ahead of the lazily-applied refresh, so refresh
+ *    checks are stream-order based (commands after a REF event) and
+ *    there is no missed-deadline check.
+ *
+ *  - forCommandModel(): the full first-order DDR rule set, including
+ *    tRRD, the four-activate window, channel-wide tCCD, the tWTR
+ *    turnaround, tCWL write data timing, one-command-per-DRAM-clock
+ *    bus spacing and the refresh deadline (no command may issue at
+ *    or after a due-but-unserved refresh).
+ */
+
+#ifndef BMC_CHECK_PROTOCOL_CHECKER_HH
+#define BMC_CHECK_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/cmd_observer.hh"
+#include "dram/timing_params.hh"
+
+namespace bmc::check
+{
+
+/** Which DDR rules apply to an observed stream. */
+struct ProtocolRules
+{
+    dram::TimingParams t;
+
+    bool interBankActWindow = false; //!< tRRD + tFAW across banks
+    bool globalCcd = false;          //!< channel-wide tCCD fence
+    bool busTurnaround = false;      //!< tWTR + write-after-read
+    bool casUsesCwl = false;         //!< write data after tCWL (else tCL)
+    bool cmdBusSpacing = false;      //!< >= 1 nCK between commands
+    bool strictTrp = false; //!< tRP vs any prior PRE (else only vs an
+                            //!< immediately preceding PRE on the bank)
+    bool refreshDeadline = false; //!< no command at/after a due REF
+
+    static ProtocolRules forReservationModel(
+        const dram::TimingParams &params);
+    static ProtocolRules forCommandModel(
+        const dram::TimingParams &params);
+
+    /** Dispatch on params.commandLevel. */
+    static ProtocolRules forParams(const dram::TimingParams &params);
+};
+
+/** Re-derives DDR legality of every observed command. */
+class ProtocolChecker : public dram::CmdObserver
+{
+  public:
+    /** @p name labels violation reports (e.g. "stacked", "mem"). */
+    ProtocolChecker(std::string name, const ProtocolRules &rules);
+
+    void onCommand(const dram::CmdEvent &ev) override;
+
+    std::uint64_t commandsChecked() const { return checked_; }
+    std::uint64_t refreshesChecked() const { return refChecked_; }
+
+  private:
+    struct BankCheck
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        bool sawAct = false;
+        Tick actAt = 0; //!< ACT that opened the current row
+        bool sawPre = false;
+        bool lastWasPre = false;
+        Tick lastPreAt = 0;
+        bool sawCas = false;
+        Tick lastCasAt = 0; //!< per-bank tCCD fence
+        bool sawReadCas = false;
+        Tick lastReadCasAt = 0; //!< tRTP fence
+        bool sawWrite = false;
+        Tick lastWriteDataEnd = 0; //!< tWR fence
+    };
+
+    struct ChanCheck
+    {
+        std::vector<BankCheck> banks;
+        bool sawData = false;
+        Tick lastDataEnd = 0; //!< shared data-bus fence
+        bool sawReadData = false;
+        Tick lastReadDataEnd = 0; //!< write-after-read turnaround
+        bool sawWriteData = false;
+        Tick lastWriteDataEnd = 0; //!< channel-wide tWTR fence
+        bool sawCmd = false;
+        Tick lastCmdAt = 0; //!< command-bus occupancy
+        bool sawCasAny = false;
+        Tick lastCasAt = 0;           //!< channel-wide tCCD fence
+        std::deque<Tick> recentActs;  //!< last 4 ACTs (tRRD / tFAW)
+        Tick expectedNextRef = 0;     //!< nominal refresh cadence
+        bool sawRef = false;
+        Tick refBlockedUntil = 0; //!< nominal + tRFC
+    };
+
+    ChanCheck &chan(unsigned channel);
+    void checkAct(ChanCheck &cc, BankCheck &bank,
+                  const dram::CmdEvent &ev);
+    void checkPre(ChanCheck &cc, BankCheck &bank,
+                  const dram::CmdEvent &ev);
+    void checkCas(ChanCheck &cc, BankCheck &bank,
+                  const dram::CmdEvent &ev);
+    void checkRef(ChanCheck &cc, const dram::CmdEvent &ev);
+
+    /** Assert @p at >= @p fence for rule @p rule. */
+    void require(const dram::CmdEvent &ev, const char *rule,
+                 Tick at, Tick fence);
+
+    [[noreturn]] void fail(const dram::CmdEvent &ev,
+                           const std::string &what);
+    void remember(const dram::CmdEvent &ev);
+    std::string renderHistory() const;
+
+    std::string name_;
+    ProtocolRules r_;
+    std::vector<ChanCheck> chans_;
+    std::vector<dram::CmdEvent> history_; //!< ring of recent commands
+    std::size_t histNext_ = 0;
+    std::uint64_t checked_ = 0;
+    std::uint64_t refChecked_ = 0;
+};
+
+} // namespace bmc::check
+
+#endif // BMC_CHECK_PROTOCOL_CHECKER_HH

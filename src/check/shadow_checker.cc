@@ -1,0 +1,123 @@
+#include "check/shadow_checker.hh"
+
+#include "cache/mshr.hh"
+#include "common/logging.hh"
+
+namespace bmc::check
+{
+
+namespace
+{
+
+constexpr std::uint64_t kLineShift = 6;
+constexpr std::uint64_t kRegionShift = 12;
+constexpr std::uint64_t kLineBytes = 1ULL << kLineShift;
+
+} // anonymous namespace
+
+ShadowChecker::ShadowChecker(const dramcache::DramCacheOrg &org,
+                             const cache::MshrFile *mshrs,
+                             std::uint64_t audit_every)
+    : org_(org), mshrs_(mshrs),
+      auditEvery_(audit_every ? audit_every : 1024)
+{
+}
+
+void
+ShadowChecker::fail(Addr addr, const std::string &what) const
+{
+    bmc_fatal("shadow checker: %s [org=%s addr=%llx access#%llu]",
+              what.c_str(), org_.name().c_str(),
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(checked_));
+}
+
+void
+ShadowChecker::runAudit() const
+{
+    std::string why;
+    if (!org_.auditInvariants(&why)) {
+        bmc_fatal("shadow checker: structural audit failed: %s "
+                  "[org=%s access#%llu]",
+                  why.c_str(), org_.name().c_str(),
+                  static_cast<unsigned long long>(checked_));
+    }
+    ++audits_;
+}
+
+void
+ShadowChecker::onAccess(Addr addr, bool is_write, bool is_prefetch,
+                        const dramcache::LookupResult &r)
+{
+    (void)is_prefetch;
+    const std::uint64_t line = addr >> kLineShift;
+    const std::uint64_t region = addr >> kRegionShift;
+
+    // A hit requires a prior fill, and every fill stays inside the
+    // naturally aligned block (<= 4 KB) around some earlier access:
+    // a hit in a never-touched 4 KB region means the tag store
+    // fabricated residency.
+    if (r.hit && !touchedRegions_.count(region))
+        fail(addr, "hit in a never-accessed 4 KB region");
+    touchedRegions_.insert(region);
+
+    // Every dirty byte pushed off-chip must correspond to a line the
+    // shadow saw dirtied by a write; a clean-line writeback means
+    // dirty-mask corruption (and silent write amplification).
+    for (const auto &wb : r.fill.writebacks) {
+        if (wb.addr % kLineBytes != 0 || wb.bytes % kLineBytes != 0 ||
+            wb.bytes == 0) {
+            fail(wb.addr,
+                 strfmt("misaligned writeback transfer (%u bytes)",
+                        wb.bytes));
+        }
+        for (std::uint64_t off = 0; off < wb.bytes;
+             off += kLineBytes) {
+            const std::uint64_t wline =
+                (wb.addr + off) >> kLineShift;
+            if (!dirtyLines_.erase(wline)) {
+                fail(wb.addr + off,
+                     "writeback of a line the shadow never saw "
+                     "dirtied");
+            }
+        }
+    }
+
+    // Residency: a non-bypassed access ends with the 64 B line
+    // cached, whatever the organization (hit, or miss + fill).
+    if (!r.fill.bypass && !org_.probe(addr)) {
+        fail(addr, r.hit ? "hit but probe() reports non-resident"
+                         : "filled line not resident after miss");
+    }
+    if (is_write && !r.fill.bypass)
+        dirtyLines_.insert(line);
+
+    // MSHR conservation: every primary miss is either outstanding or
+    // completed -- allocations and completions must balance.
+    if (mshrs_) {
+        const std::uint64_t primary = mshrs_->primaries();
+        const std::uint64_t done = mshrs_->completions();
+        const std::uint64_t live = mshrs_->size();
+        if (primary != done + live) {
+            fail(addr, strfmt("MSHR imbalance: primaries=%llu != "
+                              "completions=%llu + outstanding=%llu",
+                              static_cast<unsigned long long>(
+                                  primary),
+                              static_cast<unsigned long long>(done),
+                              static_cast<unsigned long long>(
+                                  live)));
+        }
+    }
+
+    ++checked_;
+    if (checked_ % auditEvery_ == 0)
+        runAudit();
+}
+
+void
+ShadowChecker::finish() const
+{
+    runAudit();
+}
+
+} // namespace bmc::check

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shadow-consistency checker for the DRAM cache organizations.
+ *
+ * Attaches to the DramCacheController's check-observer slot and
+ * maintains an independent functional shadow of the access stream:
+ *
+ *  - residency: after a non-bypass access the organization must
+ *    report the 64 B line resident (probe());
+ *  - provenance: a hit is only legal if the enclosing 4 KB region
+ *    was accessed before -- a first-touch hit means the tag store
+ *    invented data (the Banshee class of metadata bugs);
+ *  - dirty bookkeeping: the shadow marks lines dirty on non-bypass
+ *    writes; every 64 B line an organization writes back must be
+ *    shadow-dirty (a clean-line writeback means dirty-mask
+ *    corruption), and is cleaned once written back;
+ *  - MSHR balance: primaries == completions + outstanding at every
+ *    observed access;
+ *  - deep structural audit: org.auditInvariants() -- duplicate tags,
+ *    way-locator/tag-store disagreement, (X, Y) capacity sums,
+ *    replacement-state validity -- every auditEvery accesses (the
+ *    audit is O(sets)) and once more from finish().
+ *
+ * Violations route through bmc_fatal, so a failing configuration
+ * inside a sweep or the fuzzer is isolated under ScopedThrowErrors.
+ */
+
+#ifndef BMC_CHECK_SHADOW_CHECKER_HH
+#define BMC_CHECK_SHADOW_CHECKER_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "dramcache/org.hh"
+
+namespace bmc::cache
+{
+class MshrFile;
+}
+
+namespace bmc::check
+{
+
+/** Cross-checks every controller access against a functional shadow. */
+class ShadowChecker
+{
+  public:
+    /** @p mshrs may be null (no MSHR balance check). */
+    ShadowChecker(const dramcache::DramCacheOrg &org,
+                  const cache::MshrFile *mshrs,
+                  std::uint64_t audit_every = 1024);
+
+    /** Observe one controller access (AccessObserver signature). */
+    void onAccess(Addr addr, bool is_write, bool is_prefetch,
+                  const dramcache::LookupResult &r);
+
+    /** Final deep audit; call once after the run drains. */
+    void finish() const;
+
+    std::uint64_t accessesChecked() const { return checked_; }
+    std::uint64_t auditsRun() const { return audits_; }
+
+  private:
+    void fail(Addr addr, const std::string &what) const;
+    void runAudit() const;
+
+    const dramcache::DramCacheOrg &org_;
+    const cache::MshrFile *mshrs_;
+    std::uint64_t auditEvery_;
+
+    std::unordered_set<std::uint64_t> touchedRegions_; //!< addr >> 12
+    std::unordered_set<std::uint64_t> dirtyLines_;     //!< addr >> 6
+    std::uint64_t checked_ = 0;
+    mutable std::uint64_t audits_ = 0;
+};
+
+} // namespace bmc::check
+
+#endif // BMC_CHECK_SHADOW_CHECKER_HH

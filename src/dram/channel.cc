@@ -47,6 +47,7 @@ Channel::Channel(EventQueue &eq, const TimingParams &params,
     bmc_assert(params.banksPerChannel > 0, "channel needs banks");
     slots_.reserve(64);
     freeSlots_.reserve(64);
+    inject_ = timingInjectFromEnv();
 }
 
 void
@@ -261,8 +262,17 @@ Channel::catchUpRefresh(Tick when)
     while (nextRefreshAt_ <= when) {
         for (auto &bank : banks_) {
             bank.rowOpen = false;
-            bank.nextActAllowed =
-                std::max(bank.nextActAllowed, nextRefreshAt_ + trfc);
+            if (inject_ != TimingInject::Refresh) {
+                bank.nextActAllowed = std::max(
+                    bank.nextActAllowed, nextRefreshAt_ + trfc);
+            }
+        }
+        if (cmdObs_) {
+            CmdEvent ev;
+            ev.kind = CmdKind::Ref;
+            ev.channel = id_;
+            ev.at = nextRefreshAt_;
+            cmdObs_->onCommand(ev);
         }
         nextRefreshAt_ += trefi;
         ++refreshCount_;
@@ -271,12 +281,14 @@ Channel::catchUpRefresh(Tick when)
 }
 
 Tick
-Channel::openRow(BankState &bank, std::uint64_t row, Tick start,
-                 bool &row_hit)
+Channel::openRow(BankState &bank, unsigned bank_id,
+                 std::uint64_t row, Tick start, bool &row_hit)
 {
+    const Tick trcd =
+        inject_ == TimingInject::Trcd ? 0 : p_.toTicks(p_.tRCD);
     if (bank.rowOpen && bank.openRow == row) {
         row_hit = true;
-        return std::max(start, bank.actAt + p_.toTicks(p_.tRCD));
+        return std::max(start, bank.actAt + trcd);
     }
     row_hit = false;
     Tick act_at = std::max(start, bank.nextActAllowed);
@@ -288,14 +300,34 @@ Channel::openRow(BankState &bank, std::uint64_t row, Tick start,
             std::max({act_at, bank.actAt + p_.toTicks(p_.tRAS),
                       bank.lastColAt + p_.toTicks(p_.tRTP),
                       bank.lastWriteEnd + p_.toTicks(p_.tWR)});
-        act_at = pre_at + p_.toTicks(p_.tRP);
+        act_at = inject_ == TimingInject::Trp
+                     ? pre_at
+                     : pre_at + p_.toTicks(p_.tRP);
         ++activity_.precharges;
+        if (cmdObs_) {
+            CmdEvent ev;
+            ev.kind = CmdKind::Pre;
+            ev.channel = id_;
+            ev.bank = bank_id;
+            ev.row = bank.openRow;
+            ev.at = pre_at;
+            cmdObs_->onCommand(ev);
+        }
     }
     bank.rowOpen = true;
     bank.openRow = row;
     bank.actAt = act_at;
     ++activity_.activates;
-    return act_at + p_.toTicks(p_.tRCD);
+    if (cmdObs_) {
+        CmdEvent ev;
+        ev.kind = CmdKind::Act;
+        ev.channel = id_;
+        ev.bank = bank_id;
+        ev.row = row;
+        ev.at = act_at;
+        cmdObs_->onCommand(ev);
+    }
+    return act_at + trcd;
 }
 
 void
@@ -438,8 +470,8 @@ Channel::serviceOne(std::uint32_t idx)
         // Open the row (or find it open); uses no data bus and does
         // not perturb the row-hit statistics.
         bool spec_hit = false;
-        const Tick ready =
-            openRow(bank, req.loc.row, eq_.now(), spec_hit);
+        const Tick ready = openRow(bank, req.loc.bank, req.loc.row,
+                                   eq_.now(), spec_hit);
         // A speculative hit found the row already open; only a real
         // ACT occupies the bank.
         chargeBusy(bank, spec_hit ? ready : bank.actAt, ready);
@@ -471,8 +503,8 @@ Channel::serviceOne(std::uint32_t idx)
     }
 
     bool row_hit = false;
-    const Tick col_ready =
-        openRow(bank, req.loc.row, eq_.now(), row_hit);
+    const Tick col_ready = openRow(bank, req.loc.bank, req.loc.row,
+                                   eq_.now(), row_hit);
 
     if (req.isMetadata) {
         if (row_hit)
@@ -513,6 +545,20 @@ Channel::serviceOne(std::uint32_t idx)
 
     queueDelay_.sample(static_cast<double>(data_start - req.enqueueTick));
     serviceTicks_.sample(static_cast<double>(data_end - req.enqueueTick));
+
+    if (cmdObs_) {
+        CmdEvent ev;
+        ev.kind = req.kind == ReqKind::Write ? CmdKind::Wr
+                                             : CmdKind::Rd;
+        ev.channel = id_;
+        ev.bank = req.loc.bank;
+        ev.row = req.loc.row;
+        ev.at = eff_col;
+        ev.dataStart = data_start;
+        ev.dataEnd = data_end;
+        ev.bytes = req.bytes;
+        cmdObs_->onCommand(ev);
+    }
 
     // The bank is occupied from its first command for this request
     // (ACT on a miss, the column command on a hit) to burst end.

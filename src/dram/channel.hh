@@ -40,7 +40,9 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/channel_iface.hh"
+#include "dram/cmd_observer.hh"
 #include "dram/request.hh"
+#include "dram/timing_inject.hh"
 #include "dram/timing_params.hh"
 
 namespace bmc::dram
@@ -125,6 +127,11 @@ class Channel : public ChannelIface
     void setTracer(ChromeTracer *tracer) override
     {
         tracer_ = tracer;
+    }
+
+    void setCommandObserver(CmdObserver *obs) override
+    {
+        cmdObs_ = obs;
     }
 
     /**
@@ -217,10 +224,10 @@ class Channel : public ChannelIface
     /** Reserve/launch as much work as lookahead allows. */
     void trySchedule();
 
-    /** Open @p row on @p bank starting no earlier than @p start.
-     *  @return tick at which column commands may issue. */
-    Tick openRow(BankState &bank, std::uint64_t row, Tick start,
-                 bool &row_hit);
+    /** Open @p row on bank @p bank_id starting no earlier than
+     *  @p start. @return tick at which column commands may issue. */
+    Tick openRow(BankState &bank, unsigned bank_id,
+                 std::uint64_t row, Tick start, bool &row_hit);
 
     /** Charge [start, end) as busy time, clipping any overlap with
      *  the interval already charged. */
@@ -253,6 +260,8 @@ class Channel : public ChannelIface
     Tick nextRefreshAt_;
 
     ChromeTracer *tracer_ = nullptr;
+    CmdObserver *cmdObs_ = nullptr;
+    TimingInject inject_ = TimingInject::None;
 
     ActivityCounters activity_;
 

@@ -29,6 +29,7 @@ namespace bmc::dram
 {
 
 struct ActivityCounters;
+class CmdObserver;
 
 /** Common surface of a DRAM channel timing model. */
 class ChannelIface
@@ -69,6 +70,13 @@ class ChannelIface
 
     /** Attach a lifecycle tracer (nullptr detaches). */
     virtual void setTracer(ChromeTracer *tracer) { (void)tracer; }
+
+    /**
+     * Attach a command-stream observer (nullptr detaches); see
+     * cmd_observer.hh for the per-model stream semantics. One
+     * pointer test per command when detached.
+     */
+    virtual void setCommandObserver(CmdObserver *obs) { (void)obs; }
 };
 
 } // namespace bmc::dram

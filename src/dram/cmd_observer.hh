@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Command-stream observer interface for the DRAM timing models.
+ *
+ * Both channel implementations can report every DRAM command they
+ * decide on (ACT/PRE/RD/WR/REF) to an attached CmdObserver. The hook
+ * is a single pointer test per command when detached, so it follows
+ * the same zero-overhead-when-off discipline as the tracer; when
+ * attached it feeds the protocol checker (src/check), which
+ * independently re-derives DDR timing legality from the raw stream.
+ *
+ * Semantics differ per model and the observer must know which it is
+ * attached to:
+ *
+ *  - Channel (reservation model) emits commands at reservation time
+ *    with their computed issue ticks. The stream is monotonic per
+ *    bank but may go backwards across banks.
+ *  - CommandChannel emits commands in true issue order, one per DRAM
+ *    clock on the shared command bus.
+ *
+ * REF events in both models are lazy: they carry the *nominal*
+ * refresh tick (a multiple of tREFI), which may lie arbitrarily far
+ * before the command that triggered the catch-up. Checkers must not
+ * apply bus-ordering rules to REF.
+ */
+
+#ifndef BMC_DRAM_CMD_OBSERVER_HH
+#define BMC_DRAM_CMD_OBSERVER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bmc::dram
+{
+
+enum class CmdKind : std::uint8_t
+{
+    Act,
+    Pre,
+    Rd,
+    Wr,
+    Ref,
+};
+
+inline const char *
+cmdKindName(CmdKind kind)
+{
+    switch (kind) {
+      case CmdKind::Act: return "ACT";
+      case CmdKind::Pre: return "PRE";
+      case CmdKind::Rd: return "RD";
+      case CmdKind::Wr: return "WR";
+      case CmdKind::Ref: return "REF";
+    }
+    return "?";
+}
+
+/** One observed DRAM command. */
+struct CmdEvent
+{
+    CmdKind kind = CmdKind::Act;
+    unsigned channel = 0;
+    unsigned bank = 0;      //!< undefined for Ref (all banks)
+    std::uint64_t row = 0;  //!< ACT/PRE/RD/WR: the addressed row
+    Tick at = 0;            //!< command issue tick (nominal for Ref)
+    Tick dataStart = 0;     //!< RD/WR: first data-bus tick
+    Tick dataEnd = 0;       //!< RD/WR: one past the last bus tick
+    std::uint32_t bytes = 0; //!< RD/WR: burst length in bytes
+};
+
+/** Receives every command a channel issues (or reserves). */
+class CmdObserver
+{
+  public:
+    virtual ~CmdObserver() = default;
+    virtual void onCommand(const CmdEvent &ev) = 0;
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_CMD_OBSERVER_HH

@@ -32,6 +32,7 @@ CommandChannel::CommandChannel(EventQueue &eq,
                     "ticks from enqueue to completion")
 {
     bmc_assert(params.banksPerChannel > 0, "channel needs banks");
+    inject_ = timingInjectFromEnv();
 }
 
 double
@@ -60,8 +61,17 @@ CommandChannel::catchUpRefresh(Tick now)
     while (nextRefreshAt_ <= now) {
         for (auto &bank : banks_) {
             bank.rowOpen = false;
-            bank.readyForAct =
-                std::max(bank.readyForAct, nextRefreshAt_ + trfc);
+            if (inject_ != TimingInject::Refresh) {
+                bank.readyForAct = std::max(bank.readyForAct,
+                                            nextRefreshAt_ + trfc);
+            }
+        }
+        if (cmdObs_) {
+            CmdEvent ev;
+            ev.kind = CmdKind::Ref;
+            ev.channel = id_;
+            ev.at = nextRefreshAt_;
+            cmdObs_->onCommand(ev);
         }
         nextRefreshAt_ += trefi;
         ++refreshCount_;
@@ -75,7 +85,7 @@ CommandChannel::actAllowedAt(const BankState &bank) const
     Tick t = bank.readyForAct;
     if (!recentActs_.empty())
         t = std::max(t, recentActs_.back() + p_.toTicks(p_.tRRD));
-    if (recentActs_.size() >= 4)
+    if (recentActs_.size() >= 4 && inject_ != TimingInject::Tfaw)
         t = std::max(t, recentActs_.front() + p_.toTicks(p_.tFAW));
     return t;
 }
@@ -113,7 +123,9 @@ CommandChannel::issueAct(Txn &txn, BankState &bank, Tick now)
 {
     bank.rowOpen = true;
     bank.openRow = txn.req.loc.row;
-    bank.readyForCas = now + p_.toTicks(p_.tRCD);
+    bank.readyForCas =
+        inject_ == TimingInject::Trcd ? now
+                                      : now + p_.toTicks(p_.tRCD);
     bank.readyForPre = std::max(bank.readyForPre,
                                 now + p_.toTicks(p_.tRAS));
     recentActs_.push_back(now);
@@ -122,17 +134,38 @@ CommandChannel::issueAct(Txn &txn, BankState &bank, Tick now)
     txn.touchedBank = true;
     ++actCommands_;
     ++activity_.activates;
+    if (cmdObs_) {
+        CmdEvent ev;
+        ev.kind = CmdKind::Act;
+        ev.channel = id_;
+        ev.bank = txn.req.loc.bank;
+        ev.row = txn.req.loc.row;
+        ev.at = now;
+        cmdObs_->onCommand(ev);
+    }
 }
 
 void
 CommandChannel::issuePre(Txn &txn, BankState &bank, Tick now)
 {
+    const std::uint64_t closed_row = bank.openRow;
     bank.rowOpen = false;
-    bank.readyForAct = std::max(bank.readyForAct,
-                                now + p_.toTicks(p_.tRP));
+    if (inject_ != TimingInject::Trp) {
+        bank.readyForAct = std::max(bank.readyForAct,
+                                    now + p_.toTicks(p_.tRP));
+    }
     txn.touchedBank = true;
     ++preCommands_;
     ++activity_.precharges;
+    if (cmdObs_) {
+        CmdEvent ev;
+        ev.kind = CmdKind::Pre;
+        ev.channel = id_;
+        ev.bank = txn.req.loc.bank;
+        ev.row = closed_row;
+        ev.at = now;
+        cmdObs_->onCommand(ev);
+    }
 }
 
 void
@@ -178,6 +211,19 @@ CommandChannel::issueCas(size_t idx, BankState &bank, Tick now)
     }
     serviceTicks_.sample(
         static_cast<double>(data_end - txn.req.enqueueTick));
+
+    if (cmdObs_) {
+        CmdEvent ev;
+        ev.kind = is_write ? CmdKind::Wr : CmdKind::Rd;
+        ev.channel = id_;
+        ev.bank = txn.req.loc.bank;
+        ev.row = txn.req.loc.row;
+        ev.at = now;
+        ev.dataStart = data_start;
+        ev.dataEnd = data_end;
+        ev.bytes = txn.req.bytes;
+        cmdObs_->onCommand(ev);
+    }
 
     if (txn.req.onComplete) {
         auto cb = std::move(txn.req.onComplete);

@@ -79,6 +79,11 @@ class CommandChannel : public ChannelIface
         return serviceTicks_.mean();
     }
 
+    void setCommandObserver(CmdObserver *obs) override
+    {
+        cmdObs_ = obs;
+    }
+
   private:
     struct BankState
     {
@@ -132,6 +137,9 @@ class CommandChannel : public ChannelIface
     Tick nextRefreshAt_;
     bool wakeScheduled_ = false;
     Tick wakeAt_ = 0;
+
+    CmdObserver *cmdObs_ = nullptr;
+    TimingInject inject_ = TimingInject::None;
 
     ActivityCounters activity_;
 

@@ -53,6 +53,13 @@ class DramSystem
             c->setTracer(tracer);
     }
 
+    /** Attach a command observer to every channel (nullptr detaches). */
+    void setCommandObserver(CmdObserver *obs)
+    {
+        for (auto &c : channels_)
+            c->setCommandObserver(obs);
+    }
+
     /** Sum of per-channel activity counters. */
     ActivityCounters totalActivity() const;
 

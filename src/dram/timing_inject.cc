@@ -1,0 +1,29 @@
+#include "dram/timing_inject.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace bmc::dram
+{
+
+TimingInject
+timingInjectFromEnv()
+{
+    const char *val = std::getenv("BMC_CHECK_INJECT");
+    if (!val || !*val)
+        return TimingInject::None;
+    if (!std::strcmp(val, "tfaw"))
+        return TimingInject::Tfaw;
+    if (!std::strcmp(val, "trcd"))
+        return TimingInject::Trcd;
+    if (!std::strcmp(val, "trp"))
+        return TimingInject::Trp;
+    if (!std::strcmp(val, "refresh"))
+        return TimingInject::Refresh;
+    bmc_fatal("BMC_CHECK_INJECT: unknown injection '%s'", val);
+    return TimingInject::None;
+}
+
+} // namespace bmc::dram

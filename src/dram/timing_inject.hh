@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Hidden fault-injection hook for the DRAM timing models.
+ *
+ * The protocol checker (src/check) is only trustworthy if it can be
+ * shown to catch real timing bugs. This hook lets a test weaken one
+ * specific DDR fence inside a channel model -- the model still emits
+ * the full command stream, but schedules one class of command too
+ * early -- so the checker's detection path can be exercised end to
+ * end (including fuzzing and trace shrinking) without committing a
+ * bug to the model itself.
+ *
+ * Selected via the BMC_CHECK_INJECT environment variable, read at
+ * channel construction:
+ *
+ *   tfaw     CommandChannel ignores the four-activate window
+ *   trcd     CAS may issue immediately after ACT (both models)
+ *   trp      ACT may issue immediately after PRE (both models)
+ *   refresh  refresh no longer blocks the banks for tRFC
+ *
+ * Never set outside tests; unset or empty means no injection.
+ */
+
+#ifndef BMC_DRAM_TIMING_INJECT_HH
+#define BMC_DRAM_TIMING_INJECT_HH
+
+#include <cstdint>
+
+namespace bmc::dram
+{
+
+enum class TimingInject : std::uint8_t
+{
+    None,
+    Tfaw,
+    Trcd,
+    Trp,
+    Refresh,
+};
+
+/** Parse BMC_CHECK_INJECT; unknown values panic. */
+TimingInject timingInjectFromEnv();
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_TIMING_INJECT_HH

@@ -570,4 +570,183 @@ BiModalCache::setState(std::uint64_t set_idx) const
     return {set.x, set.y};
 }
 
+bool
+BiModalCache::auditInvariants(std::string *why) const
+{
+    auto violation = [&](std::string msg) {
+        if (why)
+            *why = std::move(msg);
+        return false;
+    };
+
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        const Set &set = sets_[s];
+        if (!space_.legalX(set.x)) {
+            return violation(strfmt("set %llu: x=%u outside the "
+                                    "state space",
+                                    static_cast<unsigned long long>(s),
+                                    set.x));
+        }
+        if (set.y != space_.yFor(set.x)) {
+            return violation(strfmt(
+                "set %llu: capacity broken, x=%u y=%u but yFor(x)=%u",
+                static_cast<unsigned long long>(s), set.x, set.y,
+                space_.yFor(set.x)));
+        }
+
+        // Enabled/valid discipline and duplicate detection.
+        for (unsigned w = 0; w < set.big.size(); ++w) {
+            const BigWay &bw = set.big[w];
+            if (!bw.valid)
+                continue;
+            if (w >= set.x) {
+                return violation(strfmt(
+                    "set %llu: disabled big way %u still valid",
+                    static_cast<unsigned long long>(s), w));
+            }
+            if (setOf(bw.frame) != s) {
+                return violation(strfmt(
+                    "set %llu: big way %u holds frame %llu of "
+                    "another set",
+                    static_cast<unsigned long long>(s), w,
+                    static_cast<unsigned long long>(bw.frame)));
+            }
+            if ((bw.dirtyMask & bw.usedMask) != bw.dirtyMask) {
+                return violation(strfmt(
+                    "set %llu: big way %u dirty mask %02x not a "
+                    "subset of used mask %02x",
+                    static_cast<unsigned long long>(s), w,
+                    bw.dirtyMask, bw.usedMask));
+            }
+            for (unsigned v = w + 1; v < set.big.size(); ++v) {
+                if (set.big[v].valid &&
+                    set.big[v].frame == bw.frame) {
+                    return violation(strfmt(
+                        "set %llu: frame %llu duplicated in big "
+                        "ways %u and %u",
+                        static_cast<unsigned long long>(s),
+                        static_cast<unsigned long long>(bw.frame),
+                        w, v));
+                }
+            }
+        }
+        for (unsigned w = 0; w < set.small.size(); ++w) {
+            const SmallWay &sw = set.small[w];
+            if (!sw.valid)
+                continue;
+            if (w >= set.y) {
+                return violation(strfmt(
+                    "set %llu: disabled small way %u still valid",
+                    static_cast<unsigned long long>(s), w));
+            }
+            const std::uint64_t frame = sw.line >> (bigBits_ - 6);
+            if (setOf(frame) != s) {
+                return violation(strfmt(
+                    "set %llu: small way %u holds line %llu of "
+                    "another set",
+                    static_cast<unsigned long long>(s), w,
+                    static_cast<unsigned long long>(sw.line)));
+            }
+            for (unsigned v = w + 1; v < set.small.size(); ++v) {
+                if (set.small[v].valid &&
+                    set.small[v].line == sw.line) {
+                    return violation(strfmt(
+                        "set %llu: line %llu duplicated in small "
+                        "ways %u and %u",
+                        static_cast<unsigned long long>(s),
+                        static_cast<unsigned long long>(sw.line),
+                        w, v));
+                }
+            }
+            for (unsigned v = 0; v < set.big.size(); ++v) {
+                if (set.big[v].valid &&
+                    set.big[v].frame == frame) {
+                    return violation(strfmt(
+                        "set %llu: line %llu in small way %u "
+                        "shadows resident big frame (way %u)",
+                        static_cast<unsigned long long>(s),
+                        static_cast<unsigned long long>(sw.line),
+                        w, v));
+                }
+            }
+        }
+
+        // MRU ids must name enabled, valid ways.
+        for (const std::uint8_t mru : {set.mru0, set.mru1}) {
+            if (mru == 0xFF)
+                continue;
+            if (mru < space_.maxBig()) {
+                if (mru >= set.x || !set.big[mru].valid) {
+                    return violation(strfmt(
+                        "set %llu: MRU id %u names a %s big way",
+                        static_cast<unsigned long long>(s), mru,
+                        mru >= set.x ? "disabled" : "invalid"));
+                }
+            } else {
+                const unsigned idx = mru - space_.maxBig();
+                if (idx >= set.y || !set.small[idx].valid) {
+                    return violation(strfmt(
+                        "set %llu: MRU id %u names a %s small way",
+                        static_cast<unsigned long long>(s), mru,
+                        idx >= set.y ? "disabled" : "invalid"));
+                }
+            }
+        }
+    }
+
+    // Every way-locator entry must agree with the tag store: the
+    // locator is allowed to forget blocks, never to misplace them.
+    bool ok = true;
+    std::string loc_why;
+    if (locator_) {
+        locator_->forEachEntry([&](const WayLocator::EntryView &e) {
+            if (!ok)
+                return;
+            if (e.isBig) {
+                const std::uint64_t frame = e.key;
+                const Set &set = sets_[setOf(frame)];
+                if (e.way >= set.x || !set.big[e.way].valid ||
+                    set.big[e.way].frame != frame) {
+                    ok = false;
+                    loc_why = strfmt(
+                        "locator: big entry frame %llu -> way %u "
+                        "disagrees with set %llu",
+                        static_cast<unsigned long long>(frame),
+                        e.way,
+                        static_cast<unsigned long long>(
+                            setOf(frame)));
+                }
+            } else {
+                const std::uint64_t line = e.key;
+                const std::uint64_t frame = line >> (bigBits_ - 6);
+                const Set &set = sets_[setOf(frame)];
+                if (e.way < space_.maxBig()) {
+                    ok = false;
+                    loc_why = strfmt(
+                        "locator: small entry line %llu carries a "
+                        "big way id %u",
+                        static_cast<unsigned long long>(line),
+                        e.way);
+                    return;
+                }
+                const unsigned idx = e.way - space_.maxBig();
+                if (idx >= set.y || !set.small[idx].valid ||
+                    set.small[idx].line != line) {
+                    ok = false;
+                    loc_why = strfmt(
+                        "locator: small entry line %llu -> way %u "
+                        "disagrees with set %llu",
+                        static_cast<unsigned long long>(line),
+                        e.way,
+                        static_cast<unsigned long long>(
+                            setOf(frame)));
+                }
+            }
+        });
+    }
+    if (!ok)
+        return violation(std::move(loc_why));
+    return true;
+}
+
 } // namespace bmc::dramcache

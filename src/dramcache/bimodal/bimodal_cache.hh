@@ -108,6 +108,9 @@ class BiModalCache : public DramCacheOrg
     /** Residency check without state update. */
     bool probe(Addr addr) const override;
 
+    /** Deep structural self-check (see DramCacheOrg). */
+    bool auditInvariants(std::string *why) const override;
+
     /** Metadata bytes per set as stored in the metadata bank. */
     static constexpr std::uint32_t kMetaBytesPerSet = 128;
 

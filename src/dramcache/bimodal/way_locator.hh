@@ -82,6 +82,25 @@ class WayLocator
     std::uint64_t hits() const { return hits_.value(); }
     double hitRate() const;
 
+    /** Read-only view of one valid entry (invariant audits). */
+    struct EntryView
+    {
+        bool isBig = false;
+        std::uint64_t key = 0; //!< addr >> bigBlockBits (big) or
+                               //!< addr >> 6 (small)
+        std::uint8_t way = 0;
+    };
+
+    /** Invoke @p fn for every valid entry (invariant audits). */
+    template <typename Fn>
+    void forEachEntry(Fn &&fn) const
+    {
+        for (const Entry &e : entries_) {
+            if (e.valid)
+                fn(EntryView{e.isBig, e.key, e.way});
+        }
+    }
+
   private:
     struct Entry
     {

@@ -302,4 +302,72 @@ FixedOrg::utilizationFraction(unsigned n) const
     return utilization_.fraction(n - 1);
 }
 
+bool
+FixedOrg::auditInvariants(std::string *why) const
+{
+    auto violation = [&](std::string msg) {
+        if (why)
+            *why = std::move(msg);
+        return false;
+    };
+
+    const std::uint64_t full_mask =
+        subBlocks_ >= 64 ? ~0ULL : (1ULL << subBlocks_) - 1;
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        const Block *ways = &blocks_[s * p_.assoc];
+        for (unsigned w = 0; w < p_.assoc; ++w) {
+            const Block &blk = ways[w];
+            if (!blk.valid)
+                continue;
+            if ((blk.dirtyMask & blk.usedMask) != blk.dirtyMask ||
+                (blk.usedMask & ~full_mask) != 0) {
+                return violation(strfmt(
+                    "set %llu way %u: mask corruption (dirty %llx "
+                    "used %llx)",
+                    static_cast<unsigned long long>(s), w,
+                    static_cast<unsigned long long>(blk.dirtyMask),
+                    static_cast<unsigned long long>(blk.usedMask)));
+            }
+            for (unsigned v = w + 1; v < p_.assoc; ++v) {
+                if (ways[v].valid && ways[v].tag == blk.tag) {
+                    return violation(strfmt(
+                        "set %llu: tag %llu duplicated in ways %u "
+                        "and %u",
+                        static_cast<unsigned long long>(s),
+                        static_cast<unsigned long long>(blk.tag),
+                        w, v));
+                }
+            }
+        }
+    }
+
+    // Locator entries (always "big" here: one entry per block) must
+    // point at the exact resident block.
+    bool ok = true;
+    std::string loc_why;
+    if (locator_) {
+        locator_->forEachEntry([&](const WayLocator::EntryView &e) {
+            if (!ok)
+                return;
+            // key = blockBase >> log2(blockBytes) = tag*numSets + set
+            const std::uint64_t set = e.key % numSets_;
+            const Addr tag = static_cast<Addr>(e.key / numSets_);
+            const Block *ways = &blocks_[set * p_.assoc];
+            if (!e.isBig || e.way >= p_.assoc ||
+                !ways[e.way].valid || ways[e.way].tag != tag) {
+                ok = false;
+                loc_why = strfmt(
+                    "locator: entry key %llu -> way %u disagrees "
+                    "with set %llu (tag %llu)",
+                    static_cast<unsigned long long>(e.key), e.way,
+                    static_cast<unsigned long long>(set),
+                    static_cast<unsigned long long>(tag));
+            }
+        });
+    }
+    if (!ok)
+        return violation(std::move(loc_why));
+    return true;
+}
+
 } // namespace bmc::dramcache

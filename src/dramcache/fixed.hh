@@ -87,6 +87,9 @@ class FixedOrg : public DramCacheOrg
      *  change); used by tests and the prefetch filter. */
     bool probe(Addr addr) const override;
 
+    /** Deep structural self-check (see DramCacheOrg). */
+    bool auditInvariants(std::string *why) const override;
+
   private:
     struct Block
     {

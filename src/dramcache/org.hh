@@ -163,6 +163,19 @@ class DramCacheOrg
     /** SRAM bytes this organization dedicates to tags/predictors
      *  (for energy and Table-I style comparisons). */
     virtual std::uint64_t sramBytes() const = 0;
+
+    /**
+     * Deep structural self-check for the runtime verification layer
+     * (src/check): duplicate tags, replacement-state corruption,
+     * tag-store/way-locator disagreement. O(sets), so callers audit
+     * periodically rather than per access. Returns false and fills
+     * @p why (if non-null) on the first violation found.
+     */
+    virtual bool auditInvariants(std::string *why) const
+    {
+        (void)why;
+        return true;
+    }
 };
 
 } // namespace bmc::dramcache

@@ -261,6 +261,8 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
         org_.access(addr, is_write, is_prefetch);
     if (observer_)
         observer_(addr, is_write, is_prefetch, r);
+    if (checkObserver_)
+        checkObserver_(addr, is_write, is_prefetch, r);
 
     // Off-critical-path metadata traffic (dirty-bit updates, fill
     // tag rewrites, ATCache tag prefetches).

@@ -94,6 +94,17 @@ class DramCacheController
         observer_ = std::move(obs);
     }
 
+    /**
+     * Second observer slot reserved for the runtime verification
+     * layer (src/check), so arming the shadow checker never clobbers
+     * a differential test's access observer (or vice versa). Fired
+     * immediately after observer_, same signature and ordering.
+     */
+    void setCheckObserver(AccessObserver obs)
+    {
+        checkObserver_ = std::move(obs);
+    }
+
     double avgAccessLatency() const { return accessLatency_.mean(); }
     double avgHitLatency() const { return hitLatency_.mean(); }
     double avgMissLatency() const { return missLatency_.mean(); }
@@ -163,6 +174,7 @@ class DramCacheController
     MainMemory &memory_;
     Params p_;
     AccessObserver observer_;
+    AccessObserver checkObserver_;
     ChromeTracer *tracer_ = nullptr;
 
     struct LowXfer

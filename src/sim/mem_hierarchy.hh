@@ -74,6 +74,9 @@ class MemHierarchy
     std::size_t mshrOccupancy() const { return mshrs_.size(); }
     std::size_t mshrCapacity() const { return p_.llscMshrs; }
 
+    /** MSHR file introspection (invariant audits). */
+    const cache::MshrFile &mshrs() const { return mshrs_; }
+
     /**
      * Attach a lifecycle tracer. Demand LLSC misses are sampled here
      * (the "core issue" milestone); the MSHR file's alloc/merge/

@@ -240,6 +240,8 @@ executeRun(const RunSpec &spec, std::size_t index)
         System system(spec.cfg, spec.programs);
         if (spec.obs.any())
             system.enableObservability(spec.obs);
+        if (spec.check.any())
+            system.enableChecks(spec.check);
         res.stats = system.run();
         res.eventsExecuted = system.eventQueue().numExecuted();
         break;

@@ -65,6 +65,14 @@ struct RunSpec
      * written for cells that ask.
      */
     ObsConfig obs;
+    /**
+     * Runtime invariant checkers (protocol / shadow) to arm for this
+     * run. Timing mode only. Checkers are pure observers, so the
+     * results JSONL stays bit-identical with checks on or off; a
+     * checker violation fails just this run (ok=false + error text)
+     * while the rest of the sweep completes.
+     */
+    CheckConfig check;
 };
 
 /** Outcome of one run; @c index matches the RunSpec's position. */

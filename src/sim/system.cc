@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstdio>
 
+#include "check/protocol_checker.hh"
+#include "check/shadow_checker.hh"
 #include "common/logging.hh"
 #include "dramcache/bimodal/bimodal_cache.hh"
 #include "dramcache/fixed.hh"
@@ -141,6 +143,58 @@ System::enableObservability(const ObsConfig &obs)
     }
 }
 
+CheckConfig
+parseCheckList(const std::string &arg)
+{
+    CheckConfig out;
+    std::size_t pos = 0;
+    while (pos < arg.size()) {
+        const std::size_t comma = arg.find(',', pos);
+        const std::string tok = arg.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (tok == "protocol") {
+            out.protocol = true;
+        } else if (tok == "shadow") {
+            out.shadow = true;
+        } else if (tok == "all") {
+            out.protocol = out.shadow = true;
+        } else if (!tok.empty() && tok != "off") {
+            bmc_fatal("unknown --check token '%s' (want protocol, "
+                      "shadow, all or off)",
+                      tok.c_str());
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+void
+System::enableChecks(const CheckConfig &check)
+{
+    if (check.protocol) {
+        stackedProtoCheck_ = std::make_unique<check::ProtocolChecker>(
+            "stacked",
+            check::ProtocolRules::forParams(stacked_->params()));
+        stacked_->setCommandObserver(stackedProtoCheck_.get());
+        memProtoCheck_ = std::make_unique<check::ProtocolChecker>(
+            "mem",
+            check::ProtocolRules::forParams(memory_->dram().params()));
+        memory_->dram().setCommandObserver(memProtoCheck_.get());
+    }
+    if (check.shadow) {
+        shadowCheck_ = std::make_unique<check::ShadowChecker>(
+            *org_, &hier_->mshrs(), check.auditEvery);
+        dcc_->setCheckObserver(
+            [sc = shadowCheck_.get()](
+                Addr addr, bool is_write, bool is_prefetch,
+                const dramcache::LookupResult &r) {
+                sc->onAccess(addr, is_write, is_prefetch, r);
+            });
+    }
+}
+
 RunStats
 System::run(Tick max_ticks)
 {
@@ -173,6 +227,9 @@ System::run(Tick max_ticks)
                "simulation stalled: %u/%zu cores done at tick %llu",
                coresDone_, cores_.size(),
                static_cast<unsigned long long>(eq_.now()));
+
+    if (shadowCheck_)
+        shadowCheck_->finish();
 
     return collect();
 }

@@ -26,6 +26,12 @@
 #include "sim/trace_core.hh"
 #include "trace/workload.hh"
 
+namespace bmc::check
+{
+class ProtocolChecker;
+class ShadowChecker;
+} // namespace bmc::check
+
 namespace bmc::sim
 {
 
@@ -54,6 +60,32 @@ struct ObsConfig
         return !epochPath.empty() || !tracePath.empty();
     }
 };
+
+/**
+ * Runtime-verification switches (src/check). Off by default; the
+ * checkers are pure observers -- arming them never changes simulated
+ * timing or statistics, it only adds cross-checking work. A checker
+ * violation raises bmc_fatal, so under ScopedThrowErrors it
+ * surfaces as a SimError the caller can isolate.
+ */
+struct CheckConfig
+{
+    /** DDR protocol checker on both DRAM systems (stacked + mem). */
+    bool protocol = false;
+    /** Shadow-consistency checker on the DRAM cache controller. */
+    bool shadow = false;
+    /** Accesses between O(sets) structural audits. */
+    std::uint64_t auditEvery = 1024;
+
+    bool any() const { return protocol || shadow; }
+};
+
+/**
+ * Parse a --check flag value: a comma-separated subset of
+ * {protocol, shadow, all}, or empty / "off" for everything off.
+ * bmc_fatal on an unknown token.
+ */
+CheckConfig parseCheckList(const std::string &arg);
 
 /** One simulated machine executing one program list. */
 class System
@@ -100,6 +132,15 @@ class System
      */
     void enableObservability(const ObsConfig &obs);
 
+    /**
+     * Arm runtime invariant checkers per @p check. Call before
+     * run(). Protocol checkers attach to every channel of both DRAM
+     * systems; the shadow checker attaches to the controller's
+     * check-observer slot and runs a final audit when the event loop
+     * drains.
+     */
+    void enableChecks(const CheckConfig &check);
+
   private:
     RunStats collect() const;
 
@@ -114,6 +155,9 @@ class System
     std::vector<std::unique_ptr<TraceCore>> cores_;
     std::unique_ptr<ChromeTracer> tracer_;
     std::unique_ptr<EpochSampler> epochSampler_;
+    std::unique_ptr<check::ProtocolChecker> stackedProtoCheck_;
+    std::unique_ptr<check::ProtocolChecker> memProtoCheck_;
+    std::unique_ptr<check::ShadowChecker> shadowCheck_;
     unsigned coresDone_ = 0;
     unsigned coresWarm_ = 0;
 };

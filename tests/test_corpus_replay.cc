@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Regression-corpus replay: every repro file under tests/corpus/
+ * (shrunk fuzz findings promoted after the underlying bug was fixed,
+ * or hand-written tricky traces) must run clean with every runtime
+ * checker armed. A failure here means a previously-fixed invariant
+ * violation is back.
+ *
+ * Also covers the repro file format itself: saveRepro/loadRepro must
+ * round-trip a sampled case exactly, and the corpus files must still
+ * trigger the fault they were minimized against when that fault is
+ * re-injected (proving the corpus has not decayed into noise).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hh"
+#include "common/logging.hh"
+
+namespace bmc::check
+{
+namespace
+{
+
+std::vector<std::string>
+corpusFiles()
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto &ent : fs::directory_iterator(BMC_CORPUS_DIR)) {
+        if (ent.path().extension() == ".repro")
+            files.push_back(ent.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(CorpusReplay, EveryCorpusFileRunsClean)
+{
+    const std::vector<std::string> files = corpusFiles();
+    ASSERT_FALSE(files.empty())
+        << "tests/corpus/ must hold at least one repro";
+
+    const sim::CheckConfig all{/*protocol=*/true, /*shadow=*/true};
+    for (const std::string &path : files) {
+        const FuzzCase c = loadRepro(path);
+        EXPECT_GT(c.totalRecords(), 0u) << path;
+        ASSERT_EQ(c.traces.size(), c.cfg.cores) << path;
+        const std::string err =
+            runCase(c, all, testing::TempDir());
+        EXPECT_EQ(err, "") << path;
+    }
+}
+
+TEST(CorpusReplay, CorpusStillTriggersInjectedFault)
+{
+    // The shipped corpus was minimized against the injectable tFAW
+    // fault; re-arming it must reproduce a violation on at least one
+    // file. (Not all files need to fail -- later promotions may
+    // target other faults -- but zero failures means the corpus no
+    // longer exercises what it was built for.)
+    ::setenv("BMC_CHECK_INJECT", "tfaw", 1);
+    const sim::CheckConfig all{/*protocol=*/true, /*shadow=*/true};
+    std::size_t triggered = 0;
+    for (const std::string &path : corpusFiles()) {
+        const FuzzCase c = loadRepro(path);
+        if (!c.cfg.commandLevelDram)
+            continue; // the tFAW fault only exists command-level
+        const std::string err =
+            runCase(c, all, testing::TempDir());
+        if (err.find("tFAW") != std::string::npos)
+            ++triggered;
+    }
+    ::unsetenv("BMC_CHECK_INJECT");
+    EXPECT_GE(triggered, 1u);
+}
+
+TEST(CorpusReplay, SaveLoadRoundTripsASampledCase)
+{
+    FuzzOptions fopts;
+    const FuzzCase c = sampleCase(/*case_seed=*/123456789, fopts);
+    const std::string path =
+        testing::TempDir() + "bmc_roundtrip.repro";
+    saveRepro(c, "round-trip self test", path);
+    const FuzzCase back = loadRepro(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(back.seed, c.seed);
+    EXPECT_EQ(back.cfg.scheme, c.cfg.scheme);
+    EXPECT_EQ(back.cfg.cores, c.cfg.cores);
+    EXPECT_EQ(back.cfg.dramCacheBytes, c.cfg.dramCacheBytes);
+    EXPECT_EQ(back.cfg.setBytes, c.cfg.setBytes);
+    EXPECT_EQ(back.cfg.bigBlockBytes, c.cfg.bigBlockBytes);
+    EXPECT_EQ(back.cfg.locatorIndexBits, c.cfg.locatorIndexBits);
+    EXPECT_EQ(back.cfg.predictorThreshold, c.cfg.predictorThreshold);
+    EXPECT_EQ(back.cfg.adaptWeight, c.cfg.adaptWeight);
+    EXPECT_EQ(back.cfg.commandLevelDram, c.cfg.commandLevelDram);
+    EXPECT_EQ(back.cfg.stackedChannels, c.cfg.stackedChannels);
+    EXPECT_EQ(back.cfg.stackedBanksPerChannel,
+              c.cfg.stackedBanksPerChannel);
+    EXPECT_EQ(back.cfg.memBanksPerChannel, c.cfg.memBanksPerChannel);
+    EXPECT_EQ(back.cfg.mlp, c.cfg.mlp);
+    EXPECT_EQ(back.cfg.llscBytes, c.cfg.llscBytes);
+    EXPECT_EQ(back.cfg.llscMshrs, c.cfg.llscMshrs);
+    EXPECT_EQ(back.cfg.prefetchPolicy, c.cfg.prefetchPolicy);
+    EXPECT_EQ(back.cfg.prefetchDegree, c.cfg.prefetchDegree);
+
+    ASSERT_EQ(back.traces.size(), c.traces.size());
+    for (std::size_t core = 0; core < c.traces.size(); ++core) {
+        ASSERT_EQ(back.traces[core].size(), c.traces[core].size())
+            << "core " << core;
+        for (std::size_t i = 0; i < c.traces[core].size(); ++i) {
+            EXPECT_EQ(back.traces[core][i].gap,
+                      c.traces[core][i].gap);
+            EXPECT_EQ(back.traces[core][i].addr,
+                      c.traces[core][i].addr);
+            EXPECT_EQ(back.traces[core][i].write,
+                      c.traces[core][i].write);
+        }
+    }
+}
+
+TEST(CorpusReplay, SampledCasesRunCleanAcrossSeeds)
+{
+    // A micro fuzz run inline in the test binary: a handful of
+    // sampled cases with everything armed must be clean. (The
+    // fuzz_smoke ctest covers more seeds through the CLI.)
+    FuzzOptions fopts;
+    const sim::CheckConfig all{/*protocol=*/true, /*shadow=*/true};
+    for (std::uint64_t seed : {3ull, 17ull, 40'009ull}) {
+        const FuzzCase c = sampleCase(seed, fopts);
+        const std::string err =
+            runCase(c, all, testing::TempDir());
+        EXPECT_EQ(err, "") << "seed " << seed;
+    }
+}
+
+} // anonymous namespace
+} // namespace bmc::check

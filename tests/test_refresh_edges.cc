@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Refresh edge cases in the DRAM channel models, observed through
+ * the command stream and cross-checked by the protocol checker:
+ * rows left open across a refresh must be closed by it, long idle
+ * gaps must be repaid with the full missed-window backlog at the
+ * nominal cadence, and a queue of high-priority demand requests
+ * pressing against the deadline must not starve or reorder refresh
+ * illegally.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check/protocol_checker.hh"
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "dram/channel.hh"
+#include "dram/command_channel.hh"
+
+namespace bmc::check
+{
+namespace
+{
+
+using dram::CmdEvent;
+using dram::CmdKind;
+using dram::TimingParams;
+
+/** Keeps every observed command for post-run inspection. */
+struct CmdRecorder : dram::CmdObserver
+{
+    std::vector<CmdEvent> events;
+
+    void onCommand(const CmdEvent &ev) override
+    {
+        events.push_back(ev);
+    }
+
+    std::size_t count(CmdKind kind) const
+    {
+        std::size_t n = 0;
+        for (const CmdEvent &ev : events)
+            n += ev.kind == kind;
+        return n;
+    }
+};
+
+/** Fans one command stream out to recorder + checker. */
+struct Tee : dram::CmdObserver
+{
+    dram::CmdObserver *first;
+    dram::CmdObserver *second;
+
+    Tee(dram::CmdObserver *a, dram::CmdObserver *b)
+        : first(a), second(b)
+    {
+    }
+
+    void onCommand(const CmdEvent &ev) override
+    {
+        first->onCommand(ev);
+        second->onCommand(ev);
+    }
+};
+
+/** Advance simulated time to @p when: run(until) alone does not move
+ *  the clock over an empty heap, so park a no-op event there. */
+void
+advanceTo(EventQueue &eq, Tick when)
+{
+    eq.scheduleAt(when, [] {});
+    eq.run(when);
+}
+
+/** One demand read; returns after it completed. */
+template <typename ChannelT>
+void
+readBlocking(EventQueue &eq, ChannelT &ch, unsigned bank,
+             std::uint64_t row)
+{
+    bool done = false;
+    dram::Request req;
+    req.loc = {0, bank, row};
+    req.kind = dram::ReqKind::Read;
+    req.bytes = 64;
+    req.onComplete = [&](Tick) { done = true; };
+    ch.enqueue(std::move(req));
+    eq.run();
+    ASSERT_TRUE(done);
+}
+
+TEST(RefreshEdges, RefreshClosesRowLeftOpenAcrossIdleGap)
+{
+    const TimingParams p = TimingParams::stacked(1, 8);
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    dram::Channel ch(eq, p, 0, sg);
+
+    ProtocolChecker pc("stacked",
+                       ProtocolRules::forReservationModel(p));
+    CmdRecorder rec;
+    Tee tee{&rec, &pc};
+    ch.setCommandObserver(&tee);
+
+    ScopedThrowErrors throws;
+    readBlocking(eq, ch, 0, 5);
+    EXPECT_EQ(ch.dataRowHits(), 0u);
+
+    // Idle across two refresh windows: the lazily-applied refresh
+    // must close bank 0's open row, so the re-read misses.
+    advanceTo(eq, eq.now() + 2 * p.toTicks(p.tREFI));
+    readBlocking(eq, ch, 0, 5);
+    EXPECT_EQ(ch.dataAccesses(), 2u);
+    EXPECT_EQ(ch.dataRowHits(), 0u);
+    EXPECT_GE(rec.count(CmdKind::Ref), 1u);
+    EXPECT_GE(pc.refreshesChecked(), 1u);
+}
+
+TEST(RefreshEdges, NoRefreshKeepsRowOpenAcrossSameGap)
+{
+    // Control for the test above: with refresh disabled the same
+    // idle gap leaves the row open and the re-read hits, proving the
+    // closed-row observation really is refresh-induced.
+    TimingParams p = TimingParams::stacked(1, 8);
+    p.refreshEnabled = false;
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    dram::Channel ch(eq, p, 0, sg);
+
+    CmdRecorder rec;
+    ch.setCommandObserver(&rec);
+
+    readBlocking(eq, ch, 0, 5);
+    advanceTo(eq, eq.now() + 2 * p.toTicks(p.tREFI));
+    readBlocking(eq, ch, 0, 5);
+    EXPECT_EQ(ch.dataRowHits(), 1u);
+    EXPECT_EQ(rec.count(CmdKind::Ref), 0u);
+}
+
+TEST(RefreshEdges, LongIdleRepaysEveryMissedWindowAtNominalTicks)
+{
+    const TimingParams p = TimingParams::stacked(1, 8);
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    dram::Channel ch(eq, p, 0, sg);
+
+    ProtocolChecker pc("stacked",
+                       ProtocolRules::forReservationModel(p));
+    CmdRecorder rec;
+    Tee tee{&rec, &pc};
+    ch.setCommandObserver(&tee);
+
+    ScopedThrowErrors throws;
+    // ~6 whole refresh windows of silence, then one request forces
+    // the catch-up. The checker's cadence rule aborts on any skipped
+    // or duplicated window, so surviving the replay proves the
+    // backlog was repaid exactly.
+    advanceTo(eq, 6 * p.toTicks(p.tREFI) + 100);
+    readBlocking(eq, ch, 2, 7);
+
+    ASSERT_GE(rec.count(CmdKind::Ref), 6u);
+    std::uint64_t k = 1;
+    for (const CmdEvent &ev : rec.events) {
+        if (ev.kind != CmdKind::Ref)
+            continue;
+        EXPECT_EQ(ev.at, k * p.toTicks(p.tREFI));
+        ++k;
+    }
+}
+
+/** Burst of demand reads straddling a refresh deadline; everything
+ *  must complete and the observed stream must stay legal. */
+template <typename ChannelT>
+void
+burstAcrossDeadline(const TimingParams &p, const ProtocolRules &rules,
+                    std::size_t *refs_seen)
+{
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    ChannelT ch(eq, p, 0, sg);
+
+    ProtocolChecker pc("stacked", rules);
+    CmdRecorder rec;
+    Tee tee{&rec, &pc};
+    ch.setCommandObserver(&tee);
+
+    // Park just before the first refresh deadline, then slam every
+    // bank with high-priority row-conflicting reads so a deep queue
+    // is pending exactly when refresh comes due.
+    advanceTo(eq, p.toTicks(p.tREFI) - p.toTicks(40));
+    std::size_t completions = 0;
+    constexpr std::size_t kReads = 64;
+    for (std::size_t i = 0; i < kReads; ++i) {
+        dram::Request req;
+        req.loc = {0, static_cast<unsigned>(i % p.banksPerChannel),
+                   i * 37 % 512};
+        req.kind = dram::ReqKind::Read;
+        req.bytes = 64;
+        req.lowPriority = false;
+        req.onComplete = [&](Tick) { ++completions; };
+        ch.enqueue(std::move(req));
+    }
+    eq.run();
+    EXPECT_EQ(completions, kReads);
+    EXPECT_EQ(ch.queueDepth(), 0u);
+    EXPECT_GE(pc.refreshesChecked(), 1u);
+    *refs_seen = rec.count(CmdKind::Ref);
+}
+
+TEST(RefreshEdges, HighPriorityBacklogReservationModel)
+{
+    const TimingParams p = TimingParams::stacked(1, 8);
+    std::size_t refs = 0;
+    ScopedThrowErrors throws;
+    burstAcrossDeadline<dram::Channel>(
+        p, ProtocolRules::forReservationModel(p), &refs);
+    EXPECT_GE(refs, 1u);
+}
+
+TEST(RefreshEdges, HighPriorityBacklogCommandModelMeetsDeadline)
+{
+    // The command-model rules include the refresh deadline: if the
+    // queued demand reads delayed refresh past its due tick, the
+    // checker would abort the replay.
+    TimingParams p = TimingParams::stacked(1, 8);
+    p.commandLevel = true;
+    std::size_t refs = 0;
+    ScopedThrowErrors throws;
+    burstAcrossDeadline<dram::CommandChannel>(
+        p, ProtocolRules::forCommandModel(p), &refs);
+    EXPECT_GE(refs, 1u);
+}
+
+TEST(RefreshEdges, Ddr3ParamsRefreshCadence)
+{
+    // Main-memory timing (tREFI = 7.8us, tRFC = 280 nCK) through the
+    // same catch-up path: two windows idle, one demand read.
+    const TimingParams p = TimingParams::ddr3_1600h(1, 16);
+    EventQueue eq;
+    stats::StatGroup sg("t");
+    dram::Channel ch(eq, p, 0, sg);
+
+    ProtocolChecker pc("mem", ProtocolRules::forReservationModel(p));
+    CmdRecorder rec;
+    Tee tee{&rec, &pc};
+    ch.setCommandObserver(&tee);
+
+    ScopedThrowErrors throws;
+    advanceTo(eq, 2 * p.toTicks(p.tREFI) + 1);
+    readBlocking(eq, ch, 1, 3);
+    EXPECT_GE(rec.count(CmdKind::Ref), 2u);
+    EXPECT_EQ(pc.refreshesChecked(), rec.count(CmdKind::Ref));
+}
+
+} // anonymous namespace
+} // namespace bmc::check

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * bmcfuzz: randomized config x trace fuzzer with shrinking repros.
+ *
+ * Samples random machine configurations and synthetic traces across
+ * every scheme, runs each as a full timing simulation with the
+ * runtime invariant checkers armed (src/check), and reports failing
+ * seeds. Failures are shrunk to minimal traces and written as
+ * self-contained text repro files that replay deterministically.
+ *
+ *   # 200 cases on 8 workers, everything checked
+ *   bmcfuzz --seeds=200 -j8
+ *
+ *   # hammer one scheme, save shrunk repros
+ *   bmcfuzz --seeds=500 --scheme=bimodal --repro-dir=/tmp/repros
+ *
+ *   # replay a repro (e.g. before promoting it to tests/corpus/)
+ *   bmcfuzz --replay=tests/corpus/seed00000000000000000042.repro
+ */
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hh"
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/thread_pool.hh"
+
+namespace
+{
+
+using namespace bmc;
+
+/** Rewrite "-jN" / "-j N" into "--threads=N" for the option parser. */
+std::vector<char *>
+rewriteJobsFlag(int argc, char **argv,
+                std::vector<std::string> &storage)
+{
+    storage.reserve(argc + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-j" && i + 1 < argc) {
+            storage.push_back(std::string("--threads=") + argv[++i]);
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            storage.push_back("--threads=" + arg.substr(2));
+        } else {
+            storage.push_back(arg);
+        }
+    }
+    std::vector<char *> out;
+    for (std::string &s : storage)
+        out.push_back(s.data());
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts("bmcfuzz: randomized invariant fuzzer");
+    opts.addUint("seeds", 50, "number of random cases to run");
+    opts.addUint("base-seed", 1,
+                 "base seed; case i uses deriveRunSeed(base, i)");
+    opts.addUint("threads", 1,
+                 "worker threads (-jN shorthand; 0 = all cores)");
+    opts.addString("scheme", "",
+                   "pin every case to one scheme (default: random "
+                   "scheme per case)");
+    opts.addString("check", "all",
+                   "checkers to arm: comma list of protocol, shadow, "
+                   "all");
+    opts.addString("repro-dir", "",
+                   "save shrunk repro files here (created if "
+                   "missing; default: report seeds only)");
+    opts.addFlag("shrink", true,
+                 "shrink failing traces before reporting/saving");
+    opts.addUint("max-repro", 100,
+                 "shrink target: stop once a repro has at most this "
+                 "many records");
+    opts.addString("tmp-dir", "/tmp",
+                   "scratch directory for temporary trace files");
+    opts.addString("replay", "",
+                   "replay one repro file instead of fuzzing; exit "
+                   "0 iff it runs clean");
+    opts.addFlag("progress", true, "progress line on stderr");
+
+    std::vector<std::string> argStorage;
+    std::vector<char *> argvRewritten =
+        rewriteJobsFlag(argc, argv, argStorage);
+    opts.parse(static_cast<int>(argvRewritten.size()),
+               argvRewritten.data());
+
+    check::FuzzOptions fopts;
+    fopts.seeds = opts.getUint("seeds");
+    fopts.baseSeed = opts.getUint("base-seed");
+    fopts.threads = static_cast<unsigned>(opts.getUint("threads"));
+    fopts.scheme = opts.getString("scheme");
+    fopts.check = sim::parseCheckList(opts.getString("check"));
+    fopts.reproDir = opts.getString("repro-dir");
+    fopts.shrink = opts.flag("shrink");
+    fopts.maxReproRecords = opts.getUint("max-repro");
+    fopts.tmpDir = opts.getString("tmp-dir");
+    if (!fopts.check.any())
+        bmc_fatal("refusing to fuzz with every checker off");
+
+    // Replay mode: one repro file, pass/fail.
+    if (!opts.getString("replay").empty()) {
+        const std::string path = opts.getString("replay");
+        const check::FuzzCase c = check::loadRepro(path);
+        const std::string err =
+            check::runCase(c, fopts.check, fopts.tmpDir);
+        if (err.empty()) {
+            std::printf("%s: clean (%zu records, scheme %s)\n",
+                        path.c_str(), c.totalRecords(),
+                        sim::schemeName(c.cfg.scheme));
+            return 0;
+        }
+        std::printf("%s: FAILED: %s\n", path.c_str(), err.c_str());
+        return 1;
+    }
+
+    if (!fopts.reproDir.empty())
+        ::mkdir(fopts.reproDir.c_str(), 0755); // EEXIST is fine
+
+    const bool show_progress = opts.flag("progress");
+    const check::FuzzReport report = check::runFuzz(
+        fopts,
+        [&](std::uint64_t done, std::uint64_t total,
+            const check::FuzzFailure *fail) {
+            if (fail) {
+                std::fprintf(stderr,
+                             "\nFAIL seed=%llu (%zu records): %s\n",
+                             static_cast<unsigned long long>(
+                                 fail->seed),
+                             fail->records, fail->error.c_str());
+            }
+            if (show_progress) {
+                std::fprintf(stderr, "\r[%llu/%llu]%s",
+                             static_cast<unsigned long long>(done),
+                             static_cast<unsigned long long>(total),
+                             done == total ? "\n" : "");
+                std::fflush(stderr);
+            }
+        });
+
+    std::printf("bmcfuzz: %llu cases, %zu failure(s)\n",
+                static_cast<unsigned long long>(report.casesRun),
+                report.failures.size());
+    for (const auto &f : report.failures) {
+        std::printf("  seed %llu: %zu-record repro%s%s\n    %s\n",
+                    static_cast<unsigned long long>(f.seed),
+                    f.records,
+                    f.reproPath.empty() ? "" : " -> ",
+                    f.reproPath.c_str(), f.error.c_str());
+    }
+    if (report.ok())
+        std::printf("all clean (base seed %llu)\n",
+                    static_cast<unsigned long long>(fopts.baseSeed));
+    return report.ok() ? 0 : 1;
+}

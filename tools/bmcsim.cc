@@ -168,6 +168,10 @@ main(int argc, char **argv)
                    "(Chrome trace-event JSON, Perfetto-loadable)");
     opts.addUint("trace-sample", 64,
                  "trace every K-th LLSC demand miss for --trace-out");
+    opts.addString("check", "",
+                   "arm runtime invariant checkers: comma list of "
+                   "protocol, shadow, all (timing runs only; "
+                   "violations abort with a command-history dump)");
     opts.addString("record-trace", "",
                    "record the workload's programs to "
                    "<prefix>.coreN.bmct instead of simulating");
@@ -280,6 +284,10 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(opts.getUint("trace-sample"));
     if (obs.any())
         system.enableObservability(obs);
+    const CheckConfig check =
+        parseCheckList(opts.getString("check"));
+    if (check.any())
+        system.enableChecks(check);
     const RunStats rs = system.run();
     if (opts.flag("json"))
         printJson(rs, system);

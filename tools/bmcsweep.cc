@@ -133,6 +133,10 @@ main(int argc, char **argv)
                    "<prefix>.run<i>.trace.json (timing mode)");
     opts.addUint("trace-sample", 64,
                  "trace every K-th LLSC demand miss for --trace-out");
+    opts.addString("check", "",
+                   "arm runtime invariant checkers per run: comma "
+                   "list of protocol, shadow, all (timing mode; a "
+                   "violating run fails in isolation)");
     opts.addFlag("progress", true, "live progress/ETA line on stderr");
 
     std::vector<std::string> argStorage;
@@ -263,6 +267,15 @@ main(int argc, char **argv)
                     opts.getUint("trace-sample"));
             }
         }
+    }
+
+    const CheckConfig check =
+        parseCheckList(opts.getString("check"));
+    if (check.any()) {
+        if (mode != RunMode::Timing)
+            bmc_fatal("--check needs --mode=timing");
+        for (RunSpec &spec : runs)
+            spec.check = check;
     }
 
     SweepOptions sopts;
