@@ -1,27 +1,51 @@
 #!/usr/bin/env bash
-# Configure, build and run the full test suite under AddressSanitizer
-# + UndefinedBehaviorSanitizer (the BMC_SANITIZE CMake option), then
-# drive the kernel microbenchmarks through the same build: the pooled
-# event nodes, inline callbacks, intrusive scheduler lists and MSHR
-# waiter chains all recycle memory by hand, exactly the code ASan is
-# for. Finishes with a short bmcfuzz run (randomized configs x traces
-# with every runtime checker armed), so the sanitizers sweep machine
-# shapes no fixed test pins down.
+# The full pre-merge gate in one script: static checks first (bmclint
+# + clang-tidy when installed), then the requested sanitizer suite.
 #
-# Usage: scripts/sanitize.sh [build-dir]   (default: build-asan)
+#   asan (default)  AddressSanitizer + UBSan over the whole test
+#       suite, the kernel microbenchmarks and a short bmcfuzz run --
+#       the pooled event nodes, inline callbacks, intrusive scheduler
+#       lists and MSHR waiter chains all recycle memory by hand,
+#       exactly the code ASan is for.
+#   tsan  ThreadSanitizer over the same suite -- the thread_pool +
+#       sweep JSONL layer every parallel experiment runs on must be
+#       race-clean (bmcfuzz runs multi-threaded here on purpose).
+#   all   asan then tsan.
+#
+# Usage: scripts/sanitize.sh [asan|tsan|all] [build-dir]
+#   (default mode: asan; default build dir: build-asan / build-tsan)
 set -euo pipefail
 
-build_dir="${1:-build-asan}"
+mode="${1:-asan}"
+case "$mode" in asan|tsan|all) ;; *)
+    echo "sanitize.sh: unknown mode '$mode' (asan|tsan|all)" >&2
+    exit 2 ;;
+esac
+
 src_dir="$(cd "$(dirname "$0")/.." && pwd)"
 
-cmake -B "$build_dir" -S "$src_dir" \
-    -DBMC_SANITIZE=ON \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" -j"$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+# Static verification gates the sanitizer runs: a lint violation
+# fails the merge before any build time is spent.
+"$src_dir"/scripts/static_checks.sh --lint-only
 
-echo "== kernel_throughput --quick under ASan+UBSan =="
-"$build_dir"/bench/kernel_throughput --quick
+run_suite() {
+    local sanitize="$1" build_dir="$2" label="$3"
+    cmake -B "$build_dir" -S "$src_dir" \
+        -DBMC_SANITIZE="$sanitize" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$build_dir" -j"$(nproc)"
+    ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
 
-echo "== bmcfuzz --seeds=20 under ASan+UBSan =="
-"$build_dir"/tools/bmcfuzz --seeds=20 -j"$(nproc)" --no-progress
+    echo "== kernel_throughput --quick under $label =="
+    "$build_dir"/bench/kernel_throughput --quick
+
+    echo "== bmcfuzz --seeds=20 under $label =="
+    "$build_dir"/tools/bmcfuzz --seeds=20 -j"$(nproc)" --no-progress
+}
+
+if [[ "$mode" == "asan" || "$mode" == "all" ]]; then
+    run_suite address "${2:-$src_dir/build-asan}" "ASan+UBSan"
+fi
+if [[ "$mode" == "tsan" || "$mode" == "all" ]]; then
+    run_suite thread "${2:-$src_dir/build-tsan}" "TSan"
+fi

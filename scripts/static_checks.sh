@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# One-command static-verification gate, three legs:
+#
+#   1. bmclint  -- the project's determinism/invariant linter over
+#      src/ tools/ bench/ (see src/lint/linter.hh for the rules and
+#      the `// bmclint:allow(rule-id)` suppression syntax).
+#   2. clang-tidy -- the curated .clang-tidy profile (bugprone-*,
+#      performance-*, concurrency-*, narrowing/slicing) over the
+#      compilation database. Skipped with a notice when clang-tidy
+#      is not installed; the gate stays green without it.
+#   3. ThreadSanitizer suite -- a -DBMC_SANITIZE=thread build running
+#      the sweep-determinism, thread-pool and fuzz-smoke tests: the
+#      layer every parallel experiment runs on must be race-clean.
+#
+# Usage: scripts/static_checks.sh [options]
+#   --lint-only          run legs 1+2 only (the `static_checks` ctest
+#                        uses this: plain ctest must not recursively
+#                        build the tree)
+#   --bmclint=PATH       use an already-built bmclint binary
+#   --build-dir=DIR      build dir for bmclint/compile_commands.json
+#                        (default: build)
+#   --tsan-dir=DIR       ThreadSanitizer build dir (default: build-tsan)
+set -euo pipefail
+
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$src_dir/build"
+tsan_dir="$src_dir/build-tsan"
+bmclint_bin=""
+lint_only=0
+
+for arg in "$@"; do
+    case "$arg" in
+      --lint-only)     lint_only=1 ;;
+      --bmclint=*)     bmclint_bin="${arg#--bmclint=}" ;;
+      --build-dir=*)   build_dir="${arg#--build-dir=}" ;;
+      --tsan-dir=*)    tsan_dir="${arg#--tsan-dir=}" ;;
+      *) echo "static_checks.sh: unknown option '$arg'" >&2; exit 2 ;;
+    esac
+done
+
+# ---------------------------------------------------- leg 1: bmclint
+if [[ -z "$bmclint_bin" ]]; then
+    if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+        cmake -B "$build_dir" -S "$src_dir"
+    fi
+    cmake --build "$build_dir" --target bmclint -j"$(nproc)"
+    bmclint_bin="$build_dir/tools/bmclint"
+fi
+echo "== bmclint src tools bench =="
+"$bmclint_bin" --root="$src_dir" src tools bench
+
+# ------------------------------------------------- leg 2: clang-tidy
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+        cmake -B "$build_dir" -S "$src_dir" \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    fi
+    echo "== clang-tidy (curated .clang-tidy profile) =="
+    mapfile -t tidy_sources < <(cd "$src_dir" && \
+        find src tools bench -name '*.cc' | sort)
+    (cd "$src_dir" && \
+        printf '%s\n' "${tidy_sources[@]}" | \
+        xargs -P "$(nproc)" -n 4 clang-tidy -p "$build_dir" --quiet)
+else
+    echo "== clang-tidy not installed; skipping (gate stays green) =="
+fi
+
+if [[ "$lint_only" == 1 ]]; then
+    echo "static_checks: lint-only gate passed"
+    exit 0
+fi
+
+# ------------------------------------------------------ leg 3: TSan
+echo "== ThreadSanitizer suite (sweep / thread-pool / fuzz-smoke) =="
+cmake -B "$tsan_dir" -S "$src_dir" \
+    -DBMC_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$tsan_dir" -j"$(nproc)" --target bmc_tests bmcfuzz
+ctest --test-dir "$tsan_dir" --output-on-failure -j"$(nproc)" \
+    -R '^(Sweep\.|SweepSeed\.|SweepBuilder\.|ThreadPool\.|ParallelFor\.|fuzz_smoke$)'
+
+echo "static_checks: full gate passed"

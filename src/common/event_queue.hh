@@ -70,6 +70,11 @@ class EventQueue
      * Schedule a callable at absolute tick @p when (>= now). The
      * callable is constructed directly in pooled node storage, so
      * its captures move exactly once on the way in.
+     *
+     * The capture list must fit the pooled node's inline budget:
+     * outgrowing it is a compile error rather than a silent per-event
+     * heap allocation. Cold paths that genuinely need a large capture
+     * say so explicitly with scheduleAtBoxed().
      */
     template <typename F,
               typename = std::enable_if_t<
@@ -78,9 +83,33 @@ class EventQueue
     EventId
     scheduleAt(Tick when, F &&f)
     {
+        static_assert(
+            Callback::template fitsInline<std::decay_t<F>>(),
+            "event callback capture exceeds the inline pool-node "
+            "budget (EventQueue::Callback capacity); shrink the "
+            "capture or use scheduleAtBoxed() on a cold path");
         Node *node = allocNode();
         node->cb.emplace(std::forward<F>(f));
         return enqueue(when, node);
+    }
+
+    /**
+     * Schedule a callable whose captures exceed the inline budget.
+     * The callable is moved into one explicit heap box; the pooled
+     * node stores only the owning pointer. One allocation per event
+     * -- acceptable on miss-path continuations that already allocate
+     * (DRAM requests, MSHR entries), never on the hot tick loop.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventId
+    scheduleAtBoxed(Tick when, F &&f)
+    {
+        auto box =
+            std::make_unique<std::decay_t<F>>(std::forward<F>(f));
+        return scheduleAt(when,
+                          [box = std::move(box)]() mutable { (*box)(); });
     }
 
     /** Overload for an already-built Callback (moved, never copied). */

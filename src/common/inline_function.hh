@@ -51,6 +51,9 @@ class InplaceFunction<R(Args...), Capacity>
             ::new (storage()) D(std::forward<F>(f));
             ops_ = &inlineOps<D>;
         } else {
+            // The documented large-capture fallback: exactly one
+            // owned heap allocation, released by heapOps::destroy.
+            // bmclint:allow(no-naked-new)
             ::new (storage()) D *(new D(std::forward<F>(f)));
             ops_ = &heapOps<D>;
         }
@@ -108,6 +111,8 @@ class InplaceFunction<R(Args...), Capacity>
             ::new (storage()) D(std::forward<F>(f));
             ops_ = &inlineOps<D>;
         } else {
+            // Same owned large-capture fallback as the constructor.
+            // bmclint:allow(no-naked-new)
             ::new (storage()) D *(new D(std::forward<F>(f)));
             ops_ = &heapOps<D>;
         }

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The project's single wall-clock entry point.
+ *
+ * Simulated time is EventQueue::now(); wall time exists only for
+ * telemetry (sweep progress/ETA, opt-in wall_seconds timing fields,
+ * perf harnesses) and must never influence simulated state -- that
+ * is the determinism contract the -jN bit-identity tests pin down
+ * and the bmclint `no-wallclock` rule enforces lexically: code in
+ * src/sim, src/dram, src/dramcache and src/cache may not touch
+ * std::chrono directly and instead calls this header, keeping every
+ * wall-clock read in the tree greppable from one place.
+ */
+
+#ifndef BMC_COMMON_WALLCLOCK_HH
+#define BMC_COMMON_WALLCLOCK_HH
+
+#include <chrono>
+
+namespace bmc
+{
+
+/** Opaque wall-clock instant (steady, monotonic). */
+using WallInstant = std::chrono::steady_clock::time_point;
+
+/** Current wall-clock instant. */
+inline WallInstant
+wallNow()
+{
+    return std::chrono::steady_clock::now();
+}
+
+/** Seconds elapsed since @p start, as a double (telemetry only). */
+inline double
+wallSecondsSince(WallInstant start)
+{
+    return std::chrono::duration<double>(wallNow() - start).count();
+}
+
+} // namespace bmc
+
+#endif // BMC_COMMON_WALLCLOCK_HH

@@ -490,15 +490,21 @@ Channel::serviceOne(std::uint32_t idx)
         // system issues background activates), but dropping it would
         // leak inFlightLow_ and stall background traffic for good.
         // The event fires exactly at @c ready, so eq_.now() stands in
-        // for it and the closure stays within the 48 B inline budget.
-        eq_.scheduleAt(ready, [this, cb = std::move(cb), low] {
+        // for it and the closure stays within the inline budget.
+        auto done = [this, cb = std::move(cb), low] {
             --inFlight_;
             if (low)
                 --inFlightLow_;
             if (cb)
                 cb(eq_.now());
             trySchedule();
-        });
+        };
+        static_assert(
+            EventQueue::Callback::fitsInline<decltype(done)>(),
+            "ACT completion closure must stay within the pooled "
+            "node's inline budget -- this fires once per speculative "
+            "activate");
+        eq_.scheduleAt(ready, std::move(done));
         return;
     }
 
@@ -589,15 +595,20 @@ Channel::serviceOne(std::uint32_t idx)
     auto cb = std::move(req.onComplete);
     // The completion fires at data_end, so eq_.now() inside the
     // callback is the burst-end tick; capturing [this, cb, low] only
-    // keeps the closure within the kernel's 48 B inline budget.
-    eq_.scheduleAt(data_end, [this, cb = std::move(cb), low] {
+    // keeps the closure within the kernel's inline budget.
+    auto done = [this, cb = std::move(cb), low] {
         --inFlight_;
         if (low)
             --inFlightLow_;
         if (cb)
             cb(eq_.now());
         trySchedule();
-    });
+    };
+    static_assert(
+        EventQueue::Callback::fitsInline<decltype(done)>(),
+        "burst completion closure must stay within the pooled node's "
+        "inline budget -- this fires once per DRAM transaction");
+    eq_.scheduleAt(data_end, std::move(done));
 }
 
 void

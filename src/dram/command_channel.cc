@@ -227,8 +227,12 @@ CommandChannel::issueCas(size_t idx, BankState &bank, Tick now)
 
     if (txn.req.onComplete) {
         auto cb = std::move(txn.req.onComplete);
-        eq_.scheduleAt(data_end,
-                       [cb = std::move(cb), data_end] { cb(data_end); });
+        auto done = [cb = std::move(cb), data_end] { cb(data_end); };
+        static_assert(
+            EventQueue::Callback::fitsInline<decltype(done)>(),
+            "CAS completion closure must stay within the pooled "
+            "node's inline budget -- this fires once per transaction");
+        eq_.scheduleAt(data_end, std::move(done));
     }
 }
 
@@ -306,8 +310,15 @@ CommandChannel::schedule()
                     auto cb = std::move(done_txn.req.onComplete);
                     const Tick ready =
                         std::max(now, bank.readyForCas);
-                    eq_.scheduleAt(ready, [cb = std::move(cb),
-                                           ready] { cb(ready); });
+                    auto done = [cb = std::move(cb), ready] {
+                        cb(ready);
+                    };
+                    static_assert(
+                        EventQueue::Callback::fitsInline<
+                            decltype(done)>(),
+                        "satisfied-ACT completion closure must stay "
+                        "within the pooled node's inline budget");
+                    eq_.scheduleAt(ready, std::move(done));
                 }
                 scheduleAt(now);
                 return;

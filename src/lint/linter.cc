@@ -1,0 +1,830 @@
+#include "lint/linter.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bmc::lint
+{
+
+namespace
+{
+
+// ------------------------------------------------------- scoping
+
+/** Directories whose code defines simulated state: wall time and
+ *  unseeded randomness are banned outright here. */
+constexpr const char *kTimingDirs[] = {
+    "src/sim/",
+    "src/dram/",
+    "src/dramcache/",
+    "src/cache/",
+};
+
+/** Files on the event hot path: allocation is pooled by design, so
+ *  naked new/malloc needs an explicit justification. */
+constexpr const char *kEventPathFiles[] = {
+    "src/common/event_queue.hh",
+    "src/common/event_queue.cc",
+    "src/common/inline_function.hh",
+    "src/dram/channel.cc",
+    "src/dram/channel.hh",
+    "src/dram/command_channel.cc",
+    "src/dram/command_channel.hh",
+    "src/sim/dramcache_controller.cc",
+    "src/cache/mshr.cc",
+    "src/cache/mshr.hh",
+};
+
+/** The curated-stats pair checked by stats-printed. */
+constexpr const char *kStatsDecl = "src/sim/metrics.hh";
+constexpr const char *kStatsPrinter = "src/sim/metrics.cc";
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+inTimingDirs(const std::string &relpath)
+{
+    for (const char *dir : kTimingDirs)
+        if (startsWith(relpath, dir))
+            return true;
+    return false;
+}
+
+bool
+isEventPathFile(const std::string &relpath)
+{
+    for (const char *f : kEventPathFiles)
+        if (relpath == f)
+            return true;
+    return false;
+}
+
+// ------------------------------------------- source preprocessing
+
+/**
+ * A file split into lines, twice: @c raw as written (suppression
+ * comments live here) and @c code with comments, string literals and
+ * char literals blanked out so rule patterns never fire on prose or
+ * quoted text. Blanking preserves column positions.
+ */
+struct SourceView
+{
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+};
+
+bool looksLikeCharLiteral(const SourceView &v);
+std::string relExtension(const std::string &relpath);
+
+SourceView
+preprocess(const std::string &content)
+{
+    SourceView v;
+    v.raw.emplace_back();
+    v.code.emplace_back();
+
+    enum class State
+    {
+        Normal,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+    State st = State::Normal;
+    std::string rawDelim; // raw-string closing delimiter ')delim"'
+
+    const std::size_t n = content.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = content[i];
+        const char nx = i + 1 < n ? content[i + 1] : '\0';
+
+        if (c == '\n') {
+            if (st == State::LineComment)
+                st = State::Normal;
+            v.raw.emplace_back();
+            v.code.emplace_back();
+            continue;
+        }
+        v.raw.back() += c;
+
+        switch (st) {
+          case State::Normal:
+            if (c == '/' && nx == '/') {
+                st = State::LineComment;
+                v.code.back() += ' ';
+            } else if (c == '/' && nx == '*') {
+                st = State::BlockComment;
+                v.code.back() += ' ';
+            } else if (c == 'R' && nx == '"' &&
+                       (v.code.back().empty() ||
+                        !(std::isalnum(static_cast<unsigned char>(
+                              v.code.back().back())) ||
+                          v.code.back().back() == '_'))) {
+                // R"delim( ... )delim"
+                std::size_t j = i + 2;
+                std::string delim;
+                while (j < n && content[j] != '(' &&
+                       content[j] != '\n')
+                    delim += content[j++];
+                rawDelim = ")" + delim + "\"";
+                st = State::RawString;
+                v.code.back() += ' ';
+            } else if (c == '"') {
+                st = State::String;
+                v.code.back() += ' ';
+            } else if (c == '\'' && looksLikeCharLiteral(v)) {
+                st = State::Char;
+                v.code.back() += ' ';
+            } else {
+                v.code.back() += c;
+            }
+            break;
+          case State::LineComment:
+            v.code.back() += ' ';
+            break;
+          case State::BlockComment:
+            if (c == '*' && nx == '/') {
+                v.code.back() += "  ";
+                v.raw.back() += nx;
+                ++i;
+                st = State::Normal;
+            } else {
+                v.code.back() += ' ';
+            }
+            break;
+          case State::String:
+          case State::Char:
+            if (c == '\\' && i + 1 < n && nx != '\n') {
+                v.code.back() += "  ";
+                v.raw.back() += nx;
+                ++i;
+            } else {
+                v.code.back() += ' ';
+                if ((st == State::String && c == '"') ||
+                    (st == State::Char && c == '\''))
+                    st = State::Normal;
+            }
+            break;
+          case State::RawString:
+            v.code.back() += ' ';
+            if (c == ')' &&
+                content.compare(i, rawDelim.size(), rawDelim) == 0) {
+                for (std::size_t k = 1; k < rawDelim.size(); ++k) {
+                    v.raw.back() += content[i + k];
+                    v.code.back() += ' ';
+                }
+                i += rawDelim.size() - 1;
+                st = State::Normal;
+            }
+            break;
+        }
+    }
+    return v;
+}
+
+/**
+ * Distinguish a char literal's opening quote from a digit separator
+ * (1'000'000). A quote directly after an identifier char or digit is
+ * a separator.
+ */
+bool
+looksLikeCharLiteral(const SourceView &v)
+{
+    const std::string &line = v.code.back();
+    if (line.empty())
+        return true;
+    const char prev = line.back();
+    return !(std::isalnum(static_cast<unsigned char>(prev)) ||
+             prev == '_');
+}
+
+// ------------------------------------------------- suppressions
+
+/** Rules allowed on each line via `bmclint:allow(...)` comments. A
+ *  suppression covers its own line and the line below it. */
+struct Suppressions
+{
+    // one set per 0-based line; "*" allows everything on the line
+    std::vector<std::set<std::string>> allowed;
+
+    bool
+    covers(int line1, const std::string &rule) const
+    {
+        for (int l : {line1 - 1, line1 - 2}) { // own + previous line
+            if (l < 0 || l >= static_cast<int>(allowed.size()))
+                continue;
+            const auto &s = allowed[static_cast<std::size_t>(l)];
+            if (s.count("*") || s.count(rule))
+                return true;
+        }
+        return false;
+    }
+};
+
+Suppressions
+parseSuppressions(const SourceView &v)
+{
+    static const std::regex re(
+        R"(bmclint:allow\(([A-Za-z0-9_*, -]+)\))");
+    Suppressions sup;
+    sup.allowed.resize(v.raw.size());
+    for (std::size_t i = 0; i < v.raw.size(); ++i) {
+        auto begin = std::sregex_iterator(v.raw[i].begin(),
+                                          v.raw[i].end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            std::stringstream ss((*it)[1].str());
+            std::string id;
+            while (std::getline(ss, id, ',')) {
+                const auto a = id.find_first_not_of(" \t");
+                const auto b = id.find_last_not_of(" \t");
+                if (a != std::string::npos)
+                    sup.allowed[i].insert(id.substr(a, b - a + 1));
+            }
+        }
+    }
+    return sup;
+}
+
+// ------------------------------------------------------- rules
+
+struct RuleCtx
+{
+    const std::string &relpath;
+    const SourceView &view;
+    const SourceView *sibling; // may be null
+    std::vector<Finding> &out;
+};
+
+void
+emit(RuleCtx &ctx, std::size_t line0, const char *rule,
+     std::string message)
+{
+    Finding f;
+    f.file = ctx.relpath;
+    f.line = static_cast<int>(line0) + 1;
+    f.rule = rule;
+    f.message = std::move(message);
+    ctx.out.push_back(std::move(f));
+}
+
+void
+scanPatterns(RuleCtx &ctx, const char *rule,
+             const std::vector<std::pair<std::regex, const char *>>
+                 &patterns)
+{
+    for (std::size_t i = 0; i < ctx.view.code.size(); ++i) {
+        for (const auto &[re, what] : patterns) {
+            if (std::regex_search(ctx.view.code[i], re))
+                emit(ctx, i, rule, what);
+        }
+    }
+}
+
+void
+ruleNoWallclock(RuleCtx &ctx)
+{
+    if (!inTimingDirs(ctx.relpath))
+        return;
+    static const std::vector<std::pair<std::regex, const char *>>
+        patterns = {
+            {std::regex(R"(std\s*::\s*chrono)"),
+             "std::chrono in a timing-model directory; wall time "
+             "must not reach simulated state (route telemetry "
+             "through common/wallclock.hh)"},
+            {std::regex(R"((^|[^\w.>])time\s*\()"),
+             "time() in a timing-model directory; simulated time is "
+             "the event queue's now()"},
+            {std::regex(
+                 R"(\b(gettimeofday|clock_gettime|clock)\s*\()"),
+             "wall-clock call in a timing-model directory"},
+        };
+    scanPatterns(ctx, "no-wallclock", patterns);
+}
+
+void
+ruleNoUnseededRand(RuleCtx &ctx)
+{
+    if (!inTimingDirs(ctx.relpath))
+        return;
+    static const std::vector<std::pair<std::regex, const char *>>
+        patterns = {
+            {std::regex(R"((^|[^\w])s?rand\s*\()"),
+             "C rand()/srand() in a timing-model directory; use the "
+             "seeded xoshiro streams (common/rng.hh)"},
+            {std::regex(R"(\brandom_device\b)"),
+             "std::random_device is non-deterministic; derive seeds "
+             "with sim::deriveRunSeed instead"},
+            {std::regex(R"(\bdefault_random_engine\b)"),
+             "default_random_engine has unspecified, per-platform "
+             "behaviour; use the seeded xoshiro streams"},
+        };
+    scanPatterns(ctx, "no-unseeded-rand", patterns);
+}
+
+/** Collect identifiers declared as std::unordered_{map,set} in
+ *  @p view (member or local declarations). */
+std::set<std::string>
+unorderedNames(const SourceView &view)
+{
+    std::set<std::string> names;
+    const std::regex decl(R"(unordered_(?:map|set)\s*<)");
+    for (const std::string &line : view.code) {
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            decl);
+             it != std::sregex_iterator(); ++it) {
+            // Skip the balanced template argument list, then read
+            // the declared identifier. Declarations whose argument
+            // list spans lines are matched when the name appears on
+            // a later line next to the closing '>' -- rare in this
+            // tree, where declarations are single-statement.
+            std::size_t pos = static_cast<std::size_t>(
+                it->position() + it->length());
+            int depth = 1;
+            while (pos < line.size() && depth > 0) {
+                if (line[pos] == '<')
+                    ++depth;
+                else if (line[pos] == '>')
+                    --depth;
+                ++pos;
+            }
+            if (depth != 0)
+                continue;
+            std::smatch m;
+            const std::string rest = line.substr(pos);
+            static const std::regex ident(
+                R"(^\s*&?\s*([A-Za-z_]\w*)\s*[;={(])");
+            if (std::regex_search(rest, m, ident))
+                names.insert(m[1].str());
+        }
+    }
+    return names;
+}
+
+void
+ruleNoUnorderedIter(RuleCtx &ctx)
+{
+    // Only files that serialize JSON/JSONL can leak iteration order
+    // into output the determinism tests diff.
+    bool writes_json = false;
+    for (const std::string &line : ctx.view.raw) {
+        auto lower = line;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(
+                               std::tolower(c));
+                       });
+        if (lower.find("json") != std::string::npos) {
+            writes_json = true;
+            break;
+        }
+    }
+    if (!writes_json)
+        return;
+
+    std::set<std::string> names = unorderedNames(ctx.view);
+    if (ctx.sibling) {
+        const auto sib = unorderedNames(*ctx.sibling);
+        names.insert(sib.begin(), sib.end());
+    }
+    if (names.empty())
+        return;
+
+    for (std::size_t i = 0; i < ctx.view.code.size(); ++i) {
+        const std::string &line = ctx.view.code[i];
+        std::smatch m;
+        static const std::regex rangeFor(
+            R"(for\s*\([^;()]*:\s*\*?\s*(?:this\s*->\s*)?([A-Za-z_]\w*)\s*\))");
+        if (std::regex_search(line, m, rangeFor) &&
+            names.count(m[1].str())) {
+            emit(ctx, i, "no-unordered-iter",
+                 "range-for over unordered container '" +
+                     m[1].str() +
+                     "' in a JSON-emitting file; iteration order is "
+                     "run-dependent and breaks -jN bit-identity "
+                     "(copy into a sorted vector first)");
+            continue;
+        }
+        static const std::regex beginCall(
+            R"(([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()");
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            beginCall);
+             it != std::sregex_iterator(); ++it) {
+            if (names.count((*it)[1].str())) {
+                emit(ctx, i, "no-unordered-iter",
+                     "iterator over unordered container '" +
+                         (*it)[1].str() +
+                         "' in a JSON-emitting file; iteration order "
+                         "is run-dependent");
+            }
+        }
+    }
+}
+
+void
+ruleNoNakedNew(RuleCtx &ctx)
+{
+    if (!isEventPathFile(ctx.relpath))
+        return;
+    static const std::vector<std::pair<std::regex, const char *>>
+        patterns = {
+            // `new T` flags; placement `new (addr)` does not (it
+            // constructs into pooled storage, which is the point).
+            {std::regex(R"((^|[^:\w])new\s+[A-Za-z_])"),
+             "naked new in an event-path file; steady-state event "
+             "code recycles pooled nodes -- box explicitly via an "
+             "owning smart pointer or justify the allocation"},
+            {std::regex(R"(\b(malloc|calloc|realloc)\s*\()"),
+             "malloc-family call in an event-path file; use the "
+             "pooled allocators"},
+        };
+    scanPatterns(ctx, "no-naked-new", patterns);
+}
+
+std::string
+expectedGuard(const std::string &relpath)
+{
+    std::string p = relpath;
+    if (startsWith(p, "src/"))
+        p = p.substr(4);
+    std::string guard = "BMC_";
+    for (const char c : p) {
+        if (c == '/' || c == '.' || c == '-')
+            guard += '_';
+        else
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+    }
+    return guard;
+}
+
+void
+ruleHeaderGuard(RuleCtx &ctx)
+{
+    if (relExtension(ctx.relpath) != ".hh")
+        return;
+
+    const std::string want = expectedGuard(ctx.relpath);
+    static const std::regex pragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+    static const std::regex ifndefRe(
+        R"(^\s*#\s*ifndef\s+([A-Za-z_]\w*))");
+    static const std::regex defineRe(
+        R"(^\s*#\s*define\s+([A-Za-z_]\w*))");
+
+    std::string guard;
+    std::size_t guardLine = 0;
+    bool sawDefine = false;
+    for (std::size_t i = 0; i < ctx.view.code.size(); ++i) {
+        const std::string &line = ctx.view.code[i];
+        std::smatch m;
+        if (std::regex_search(line, m, pragmaOnce)) {
+            emit(ctx, i, "header-guard",
+                 "#pragma once is inconsistent with this tree's "
+                 "include-guard convention; use #ifndef " +
+                     want);
+            return;
+        }
+        if (guard.empty()) {
+            if (std::regex_search(line, m, ifndefRe)) {
+                guard = m[1].str();
+                guardLine = i;
+            }
+        } else if (!sawDefine &&
+                   std::regex_search(line, m, defineRe)) {
+            if (m[1].str() != guard) {
+                emit(ctx, i, "header-guard",
+                     "#define does not match the #ifndef guard '" +
+                         guard + "'");
+                return;
+            }
+            sawDefine = true;
+        }
+    }
+    if (guard.empty()) {
+        emit(ctx, 0, "header-guard",
+             "header has no include guard; expected #ifndef " + want);
+        return;
+    }
+    if (!sawDefine) {
+        emit(ctx, guardLine, "header-guard",
+             "#ifndef " + guard + " has no matching #define");
+        return;
+    }
+    if (guard != want) {
+        emit(ctx, guardLine, "header-guard",
+             "include guard '" + guard +
+                 "' does not match the path convention; expected " +
+                 want);
+    }
+}
+
+std::string
+relExtension(const std::string &relpath)
+{
+    const auto dot = relpath.find_last_of('.');
+    return dot == std::string::npos ? "" : relpath.substr(dot);
+}
+
+// ------------------------------------------------- tree walking
+
+std::string
+normalizeSlashes(std::string p)
+{
+    std::replace(p.begin(), p.end(), '\\', '/');
+    return p;
+}
+
+bool
+readFile(const std::filesystem::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // anonymous namespace
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> rules = {
+        {"no-wallclock",
+         "wall-clock time sources in timing-model directories"},
+        {"no-unseeded-rand",
+         "unseeded randomness in timing-model directories"},
+        {"no-unordered-iter",
+         "unordered-container iteration in JSON-emitting files"},
+        {"no-naked-new",
+         "naked new/malloc in event-path files"},
+        {"header-guard",
+         "include guards must follow the BMC_<PATH>_HH convention"},
+        {"stats-printed",
+         "RunStats fields must be serialized by statsToJson"},
+    };
+    return rules;
+}
+
+bool
+knownRule(const std::string &id)
+{
+    for (const RuleInfo &r : ruleCatalog())
+        if (id == r.id)
+            return true;
+    return false;
+}
+
+std::vector<Finding>
+lintSource(const std::string &relpath, const std::string &content,
+           const std::string &sibling_header, const Options &opts)
+{
+    const std::string rel = normalizeSlashes(relpath);
+    const SourceView view = preprocess(content);
+    SourceView sibView;
+    const SourceView *sibling = nullptr;
+    if (!sibling_header.empty()) {
+        sibView = preprocess(sibling_header);
+        sibling = &sibView;
+    }
+
+    std::vector<Finding> findings;
+    RuleCtx ctx{rel, view, sibling, findings};
+
+    const auto enabled = [&](const char *id) {
+        if (opts.onlyRules.empty())
+            return true;
+        return std::find(opts.onlyRules.begin(),
+                         opts.onlyRules.end(),
+                         id) != opts.onlyRules.end();
+    };
+
+    if (enabled("no-wallclock"))
+        ruleNoWallclock(ctx);
+    if (enabled("no-unseeded-rand"))
+        ruleNoUnseededRand(ctx);
+    if (enabled("no-unordered-iter"))
+        ruleNoUnorderedIter(ctx);
+    if (enabled("no-naked-new"))
+        ruleNoNakedNew(ctx);
+    if (enabled("header-guard"))
+        ruleHeaderGuard(ctx);
+
+    // Apply suppressions, then order by line for stable output.
+    const Suppressions sup = parseSuppressions(view);
+    std::vector<Finding> kept;
+    for (Finding &f : findings) {
+        if (!sup.covers(f.line, f.rule))
+            kept.push_back(std::move(f));
+    }
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+    return kept;
+}
+
+std::vector<Finding>
+lintStatsPrinted(const std::string &decl_path,
+                 const std::string &decl_content,
+                 const std::string &printer_content)
+{
+    const SourceView decl = preprocess(decl_content);
+    const SourceView printer = preprocess(printer_content);
+
+    std::string printerCode;
+    for (const std::string &line : printer.code) {
+        printerCode += line;
+        printerCode += '\n';
+    }
+
+    std::vector<Finding> findings;
+
+    // Locate `struct RunStats { ... };` and walk its braces.
+    static const std::regex structRe(R"(\bstruct\s+RunStats\b)");
+    static const std::regex fieldRe(
+        R"(([A-Za-z_]\w*)\s*(?:=[^;]*)?;\s*$)");
+    int depth = 0;
+    bool inStruct = false;
+    for (std::size_t i = 0; i < decl.code.size(); ++i) {
+        const std::string &line = decl.code[i];
+        if (!inStruct) {
+            if (std::regex_search(line, structRe))
+                inStruct = true;
+            if (!inStruct)
+                continue;
+        }
+        for (const char c : line) {
+            if (c == '{')
+                ++depth;
+            else if (c == '}')
+                --depth;
+        }
+        if (inStruct && depth == 0 &&
+            line.find('}') != std::string::npos)
+            break; // end of struct
+
+        if (depth != 1)
+            continue; // nested scopes / before the opening brace
+        std::smatch m;
+        if (!std::regex_search(line, m, fieldRe))
+            continue;
+        const std::string field = m[1].str();
+        const std::regex useRe("\\b" + field + "\\b");
+        if (!std::regex_search(printerCode, useRe)) {
+            Finding f;
+            f.file = normalizeSlashes(decl_path);
+            f.line = static_cast<int>(i) + 1;
+            f.rule = "stats-printed";
+            f.message =
+                "RunStats field '" + field +
+                "' is never referenced by the serializer (" +
+                kStatsPrinter +
+                "); add it to statsToJson or drop the field";
+            findings.push_back(std::move(f));
+        }
+    }
+
+    const Suppressions sup = parseSuppressions(decl);
+    std::vector<Finding> kept;
+    for (Finding &f : findings)
+        if (!sup.covers(f.line, f.rule))
+            kept.push_back(std::move(f));
+    return kept;
+}
+
+std::vector<Finding>
+lintTree(const Options &opts, const std::vector<std::string> &paths,
+         std::size_t *files_scanned)
+{
+    namespace fs = std::filesystem;
+    const fs::path root(opts.root);
+
+    // Collect candidate files, sorted for deterministic output.
+    std::set<std::string> files;
+    for (const std::string &p : paths) {
+        const fs::path abs = root / p;
+        std::error_code ec;
+        if (fs::is_directory(abs, ec)) {
+            for (auto it = fs::recursive_directory_iterator(abs, ec);
+                 !ec && it != fs::recursive_directory_iterator();
+                 ++it) {
+                if (!it->is_regular_file())
+                    continue;
+                const std::string ext =
+                    it->path().extension().string();
+                if (ext != ".cc" && ext != ".hh")
+                    continue;
+                files.insert(normalizeSlashes(
+                    fs::relative(it->path(), root).string()));
+            }
+        } else if (fs::is_regular_file(abs, ec)) {
+            files.insert(normalizeSlashes(p));
+        } else {
+            bmc_fatal("bmclint: no such file or directory: %s",
+                      abs.string().c_str());
+        }
+    }
+
+    if (files_scanned)
+        *files_scanned = files.size();
+
+    std::vector<Finding> findings;
+    for (const std::string &rel : files) {
+        std::string content;
+        if (!readFile(root / rel, content)) {
+            bmc_fatal("bmclint: cannot read %s", rel.c_str());
+        }
+        std::string sibling;
+        if (relExtension(rel) == ".cc") {
+            const std::string hh =
+                rel.substr(0, rel.size() - 3) + ".hh";
+            readFile(root / hh, sibling); // best effort
+        }
+        auto f = lintSource(rel, content, sibling, opts);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(f.begin()),
+                        std::make_move_iterator(f.end()));
+    }
+
+    const auto enabled = [&](const char *id) {
+        if (opts.onlyRules.empty())
+            return true;
+        return std::find(opts.onlyRules.begin(),
+                         opts.onlyRules.end(),
+                         id) != opts.onlyRules.end();
+    };
+    if (enabled("stats-printed")) {
+        std::string decl, printer;
+        if (readFile(root / kStatsDecl, decl) &&
+            readFile(root / kStatsPrinter, printer)) {
+            auto f = lintStatsPrinted(kStatsDecl, decl, printer);
+            findings.insert(findings.end(),
+                            std::make_move_iterator(f.begin()),
+                            std::make_move_iterator(f.end()));
+        }
+    }
+    return findings;
+}
+
+std::string
+findingsToJson(const std::vector<Finding> &findings,
+               std::size_t files_scanned)
+{
+    auto escape = [](const std::string &s) {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            switch (c) {
+              case '"':
+                out += "\\\"";
+                break;
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              default:
+                out += c;
+            }
+        }
+        return out;
+    };
+
+    std::string out = "{\"bmclint_schema\": 1, \"files_scanned\": ";
+    out += std::to_string(files_scanned);
+    out += ", \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        if (i)
+            out += ", ";
+        out += "{\"file\": \"" + escape(f.file) + "\", ";
+        out += "\"line\": " + std::to_string(f.line) + ", ";
+        out += "\"rule\": \"" + escape(f.rule) + "\", ";
+        out += "\"message\": \"" + escape(f.message) + "\"}";
+    }
+    out += "], \"summary\": {\"findings\": ";
+    out += std::to_string(findings.size());
+    out += "}}";
+    return out;
+}
+
+} // namespace bmc::lint

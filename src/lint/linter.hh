@@ -1,0 +1,129 @@
+/**
+ * @file
+ * bmclint -- source-level linter for the project's determinism and
+ * event-kernel invariants.
+ *
+ * The simulator's correctness contract has parts no runtime test can
+ * see locally: bit-identical -jN sweep output, no wall-clock or
+ * unseeded randomness feeding simulated state, the pooled event
+ * node's inline capture budget, and curated stats actually reaching
+ * the serializers. bmclint is a token/regex scanner (no libclang)
+ * over the tree that machine-checks the lexical side of those
+ * contracts before every merge; the runtime checkers in src/check
+ * cover the semantic side.
+ *
+ * Rules (ids are stable; see ruleCatalog()):
+ *
+ *   no-wallclock     std::chrono / time() / clock_gettime family in
+ *                    the timing-model directories (src/sim, src/dram,
+ *                    src/dramcache, src/cache). Wall time must never
+ *                    influence simulated state; wall-clock telemetry
+ *                    goes through common/wallclock.hh instead.
+ *   no-unseeded-rand std::rand / srand / std::random_device /
+ *                    default_random_engine in the same directories.
+ *                    All randomness flows from the seeded xoshiro
+ *                    streams (common/rng.hh, trace generators).
+ *   no-unordered-iter  iteration (range-for / .begin()) over a
+ *                    std::unordered_map/unordered_set in any file
+ *                    that emits JSON/JSONL. Hash-table iteration
+ *                    order is implementation- and run-dependent; it
+ *                    breaks golden-stats diffs and -jN bit-identity.
+ *                    Keyed lookups (find/count/insert/erase) are fine.
+ *   no-naked-new     naked `new` / malloc-family calls in event-path
+ *                    files (event kernel, channels, DRAM-cache
+ *                    controller, MSHR). Steady-state event code
+ *                    recycles pooled storage; explicit boxing goes
+ *                    through owning smart pointers.
+ *   header-guard     every header carries an include guard named
+ *                    BMC_<RELPATH>_HH (path with the leading src/
+ *                    stripped); #pragma once is flagged as
+ *                    inconsistent with the convention.
+ *   stats-printed    every field of sim::RunStats (src/sim/metrics.hh)
+ *                    is referenced by the serializer translation unit
+ *                    (src/sim/metrics.cc). A stat that is collected
+ *                    but never printed is dead telemetry -- and
+ *                    invisible to the golden-stats regression net.
+ *
+ * Suppressions: a finding is silenced by `// bmclint:allow(rule-id)`
+ * (comma-separated ids, or `*`) on the finding's line or on the line
+ * directly above it. Suppressions are meant to carry a justification
+ * comment; the clean-tree gate reviews them by grep.
+ */
+
+#ifndef BMC_LINT_LINTER_HH
+#define BMC_LINT_LINTER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bmc::lint
+{
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file; //!< path relative to the project root
+    int line = 0;     //!< 1-based; 0 = whole-file finding
+    std::string rule;
+    std::string message;
+};
+
+/** Stable rule id plus a one-line summary (--list-rules). */
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+/** Every rule bmclint knows, in stable documentation order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** True when @p id names a rule in ruleCatalog(). */
+bool knownRule(const std::string &id);
+
+struct Options
+{
+    /** Project root; rule scoping tables are relative to it. */
+    std::string root = ".";
+    /** When non-empty, only these rule ids run. */
+    std::vector<std::string> onlyRules;
+};
+
+/**
+ * Lint one in-memory source file. @p relpath is the root-relative
+ * path (forward slashes) used for rule scoping; @p sibling_header
+ * optionally supplies the content of the matching .hh so container
+ * declarations in the header are visible when linting the .cc.
+ * Exposed separately so tests can feed known-bad snippets per rule.
+ */
+std::vector<Finding> lintSource(const std::string &relpath,
+                                const std::string &content,
+                                const std::string &sibling_header = "",
+                                const Options &opts = {});
+
+/**
+ * The stats-printed rule: every RunStats field declared in
+ * @p decl_content (at @p decl_path) must be referenced by
+ * @p printer_content. Split out so tests can drive it directly.
+ */
+std::vector<Finding> lintStatsPrinted(const std::string &decl_path,
+                                      const std::string &decl_content,
+                                      const std::string &printer_content);
+
+/**
+ * Walk @p paths (files or directories, relative to opts.root),
+ * lint every .cc/.hh, then run the whole-project rules.
+ * @p files_scanned, when non-null, receives the file count.
+ */
+std::vector<Finding> lintTree(const Options &opts,
+                              const std::vector<std::string> &paths,
+                              std::size_t *files_scanned = nullptr);
+
+/** Render findings as the documented JSON object (schema 1). */
+std::string findingsToJson(const std::vector<Finding> &findings,
+                           std::size_t files_scanned);
+
+} // namespace bmc::lint
+
+#endif // BMC_LINT_LINTER_HH

@@ -213,9 +213,12 @@ DramCacheController::startMiss(Tick when, dramcache::LookupResult r,
         }
     };
 
-    eq_.scheduleAt(when, [this, demand, core, rest = std::move(rest),
-                          demand_found,
-                          demand_cb = std::move(demand_cb)]() mutable {
+    // The fetch plan (rest vector + nested completion closure) far
+    // exceeds the pooled node's inline budget; box it explicitly.
+    eq_.scheduleAtBoxed(when, [this, demand, core,
+                               rest = std::move(rest), demand_found,
+                               demand_cb =
+                                   std::move(demand_cb)]() mutable {
         if (demand_found) {
             memory_.read(demand, kLineBytes, core,
                          std::move(demand_cb));
@@ -282,9 +285,10 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
     // ---------------------------------------------- Alloy TAD path
     if (r.tagWithData) {
         const bool parallel_probe = r.predictedMiss;
-        eq_.scheduleAt(t1, [this, r = std::move(r), addr, core, start,
-                            parallel_probe, is_write, trace_id,
-                            cb = std::move(cb)]() mutable {
+        eq_.scheduleAtBoxed(t1, [this, r = std::move(r), addr, core,
+                                 start, parallel_probe, is_write,
+                                 trace_id,
+                                 cb = std::move(cb)]() mutable {
             if (r.hit) {
                 // TAD burst returns the data; a wrong miss
                 // prediction also fetched the line from memory for
@@ -366,9 +370,9 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
     // ------------------------------------- SRAM-answered tag paths
     if (!r.tag.needed) {
         if (r.hit) {
-            eq_.scheduleAt(t1, [this, r, is_write, core, start,
-                                trace_id,
-                                cb = std::move(cb)]() mutable {
+            eq_.scheduleAtBoxed(t1, [this, r, is_write, core, start,
+                                     trace_id,
+                                     cb = std::move(cb)]() mutable {
                 auto req = makeStacked(
                     r.data.loc,
                     is_write ? dram::ReqKind::Write
@@ -391,9 +395,9 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
     }
 
     // --------------------------------------- DRAM tag-read paths
-    eq_.scheduleAt(t1, [this, r = std::move(r), addr, is_write, core,
-                        start, trace_id,
-                        cb = std::move(cb)]() mutable {
+    eq_.scheduleAtBoxed(t1, [this, r = std::move(r), addr, is_write,
+                             core, start, trace_id,
+                             cb = std::move(cb)]() mutable {
         // Speculative data-row activation in parallel with the tag
         // read on the metadata bank (Bi-Modal separate-bank design).
         if (r.tag.parallelData &&
@@ -427,10 +431,10 @@ DramCacheController::access(Addr addr, bool is_write, bool is_prefetch,
                           start, std::move(cb), trace_id);
                 return;
             }
-            eq_.scheduleAt(after_compare, [this, r, is_write, core,
-                                           start, trace_id,
-                                           cb = std::move(
-                                               cb)]() mutable {
+            eq_.scheduleAtBoxed(after_compare, [this, r, is_write,
+                                                core, start, trace_id,
+                                                cb = std::move(
+                                                    cb)]() mutable {
                 const Tick issue = eq_.now();
                 auto req = makeStacked(
                     r.data.loc,

@@ -35,6 +35,9 @@ statsToJson(const RunStats &rs, bool pretty)
     field("avg_access_latency", f3(rs.avgAccessLatency));
     field("avg_hit_latency", f3(rs.avgHitLatency));
     field("avg_miss_latency", f3(rs.avgMissLatency));
+    field("avg_tag_read_ticks", f3(rs.avgTagReadTicks));
+    field("avg_data_read_ticks", f3(rs.avgDataReadTicks));
+    field("avg_mem_demand_ticks", f3(rs.avgMemDemandTicks));
     field("access_latency_p50", u64(rs.accessLatencyP50));
     field("access_latency_p95", u64(rs.accessLatencyP95));
     field("access_latency_p99", u64(rs.accessLatencyP99));

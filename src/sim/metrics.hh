@@ -42,9 +42,13 @@ namespace bmc::sim
  *
  * History: 1 = original row layout; 2 = access-latency percentiles
  * (access_latency_p50/p95/p99) added to the stats object and the
- * schema_version field itself added to rows.
+ * schema_version field itself added to rows; 3 = latency-breakdown
+ * components (avg_tag_read_ticks, avg_data_read_ticks,
+ * avg_mem_demand_ticks) added to the stats object -- they were
+ * collected all along but never serialized, which the bmclint
+ * stats-printed rule now rejects.
  */
-constexpr int kResultsSchemaVersion = 2;
+constexpr int kResultsSchemaVersion = 3;
 
 /** Scalar results of one timing run. */
 struct RunStats

@@ -1,6 +1,5 @@
 #include "sim/sweep.hh"
 
-#include <chrono>
 #include <cinttypes>
 #include <exception>
 #include <fstream>
@@ -8,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "common/wallclock.hh"
 #include "dramcache/bimodal/bimodal_cache.hh"
 #include "dramcache/fixed.hh"
 #include "sim/functional.hh"
@@ -307,8 +307,9 @@ runResultToJsonLine(const RunResult &r, bool include_timing)
 std::vector<RunResult>
 runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
 {
-    using Clock = std::chrono::steady_clock;
-    const auto sweep_start = Clock::now();
+    // Wall time below is telemetry only (progress/ETA and the opt-in
+    // wall_seconds field); nothing simulated depends on it.
+    const WallInstant sweep_start = wallNow();
 
     std::vector<RunResult> results(runs.size());
 
@@ -345,7 +346,7 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
         if (opts.deriveSeeds)
             spec.cfg.seed = deriveRunSeed(opts.baseSeed, i);
 
-        const auto start = Clock::now();
+        const WallInstant start = wallNow();
         RunResult res;
         try {
             res = executeRun(spec, i);
@@ -359,9 +360,7 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
             res.ok = false;
             res.error = e.what();
         }
-        res.wallSeconds =
-            std::chrono::duration<double>(Clock::now() - start)
-                .count();
+        res.wallSeconds = wallSecondsSince(start);
 
         std::lock_guard<std::mutex> lock(mutex);
         if (!res.ok)
@@ -403,10 +402,7 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
             prog.total = runs.size();
             prog.completed = completed;
             prog.failed = failed;
-            prog.elapsedSeconds =
-                std::chrono::duration<double>(Clock::now() -
-                                              sweep_start)
-                    .count();
+            prog.elapsedSeconds = wallSecondsSince(sweep_start);
             prog.etaSeconds =
                 completed
                     ? prog.elapsedSeconds /

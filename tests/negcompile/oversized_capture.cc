@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Negative-compile probe: an event callback whose captures exceed
+ * the pooled node's inline budget must FAIL to build -- that is the
+ * compile-time half of the event-kernel allocation contract
+ * (EventQueue::scheduleAt's static_assert; the runtime half is the
+ * pool-reuse tests in test_event_queue.cc).
+ *
+ * This file is NOT part of the normal build: tests/CMakeLists.txt
+ * registers it EXCLUDE_FROM_ALL and the ctest
+ * `oversized_capture_fails_to_compile` builds it expecting failure
+ * (WILL_FAIL). If this file ever compiles, the budget guard has been
+ * lost and the ctest turns red.
+ */
+
+#include "common/event_queue.hh"
+
+int
+main()
+{
+    bmc::EventQueue eq;
+    // 64 B of captured state > the 48 B Callback capacity. A cold
+    // path that really needs this must say scheduleAtBoxed().
+    struct BigState
+    {
+        char bytes[64];
+    } big{};
+    eq.scheduleAt(1, [big] { (void)big; });
+    return static_cast<int>(eq.numPending());
+}

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * bmclint rule coverage: every rule has a known-bad fixture snippet
+ * that must produce a finding, a near-miss that must stay clean, and
+ * a suppression check; plus the clean-tree gate (the live tree lints
+ * clean) and the --json schema.
+ *
+ * Snippets are linted in-memory through lint::lintSource with a
+ * synthetic root-relative path, which is what scopes the rules --
+ * the same line is a violation in src/dram/ and fine in src/common/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hh"
+
+#ifndef BMC_SOURCE_ROOT
+#define BMC_SOURCE_ROOT "."
+#endif
+
+namespace bmc::lint
+{
+namespace
+{
+
+std::vector<std::string>
+rulesOf(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> out;
+    for (const Finding &f : findings)
+        out.push_back(f.rule);
+    return out;
+}
+
+bool
+hasRule(const std::vector<Finding> &findings, const std::string &id)
+{
+    const auto rules = rulesOf(findings);
+    return std::find(rules.begin(), rules.end(), id) != rules.end();
+}
+
+// ------------------------------------------------- no-wallclock
+
+TEST(BmclintWallclock, ChronoInTimingDirIsFlagged)
+{
+    const std::string bad =
+        "#include <chrono>\n"
+        "void f() { auto t = std::chrono::steady_clock::now(); }\n";
+    const auto findings = lintSource("src/dram/foo.cc", bad);
+    ASSERT_TRUE(hasRule(findings, "no-wallclock"));
+    EXPECT_EQ(findings.front().line, 2);
+}
+
+TEST(BmclintWallclock, TimeCallIsFlaggedMemberCallIsNot)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/sim/foo.cc",
+                   "long f() { return time(nullptr); }\n"),
+        "no-wallclock"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/sim/foo.cc",
+                   "long f() { return std::time(nullptr); }\n"),
+        "no-wallclock"));
+    // Member access `obj.time(...)` is not the libc call.
+    EXPECT_TRUE(lintSource("src/sim/foo.cc",
+                           "int f(T t) { return t.time(3); }\n")
+                    .empty());
+}
+
+TEST(BmclintWallclock, OutsideTimingDirsIsClean)
+{
+    const std::string src =
+        "void f() { auto t = std::chrono::steady_clock::now(); }\n";
+    EXPECT_TRUE(lintSource("src/common/wallclock_impl.cc", src)
+                    .empty());
+    EXPECT_TRUE(lintSource("tools/driver.cc", src).empty());
+}
+
+TEST(BmclintWallclock, CommentsAndStringsDoNotFire)
+{
+    const std::string src =
+        "// std::chrono is banned here\n"
+        "const char *why = \"no std::chrono in timing code\";\n";
+    EXPECT_TRUE(lintSource("src/dram/foo.cc", src).empty());
+}
+
+// --------------------------------------------- no-unseeded-rand
+
+TEST(BmclintRand, RandFamilyIsFlagged)
+{
+    EXPECT_TRUE(hasRule(lintSource("src/dramcache/foo.cc",
+                                   "int f() { return rand(); }\n"),
+                        "no-unseeded-rand"));
+    EXPECT_TRUE(hasRule(lintSource("src/cache/foo.cc",
+                                   "void f() { srand(42); }\n"),
+                        "no-unseeded-rand"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/sim/foo.cc",
+                   "std::random_device rd;\n"),
+        "no-unseeded-rand"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/sim/foo.cc",
+                   "std::default_random_engine e;\n"),
+        "no-unseeded-rand"));
+}
+
+TEST(BmclintRand, NearMissesStayClean)
+{
+    // operand(), grand(), and seeded xoshiro streams are fine.
+    const std::string src =
+        "int operand(int x);\n"
+        "int f() { return operand(1); }\n"
+        "Xoshiro256 rng(seed);\n";
+    EXPECT_TRUE(lintSource("src/sim/foo.cc", src).empty());
+    // And the whole family is fine outside the timing dirs (the
+    // seeded trace generators own their RNG use).
+    EXPECT_TRUE(lintSource("src/trace/gen.cc",
+                           "int f() { return rand(); }\n")
+                    .empty());
+}
+
+// -------------------------------------------- no-unordered-iter
+
+TEST(BmclintUnorderedIter, RangeForInJsonFileIsFlagged)
+{
+    const std::string bad =
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> counts_;\n"
+        "std::string toJson() {\n"
+        "    for (const auto &kv : counts_) { use(kv); }\n"
+        "    return \"{}\";\n"
+        "}\n";
+    const auto findings = lintSource("src/sim/foo.cc", bad);
+    ASSERT_TRUE(hasRule(findings, "no-unordered-iter"));
+    EXPECT_EQ(findings.front().line, 4);
+}
+
+TEST(BmclintUnorderedIter, BeginIteratorIsFlagged)
+{
+    const std::string bad =
+        "std::unordered_set<int> seen_;\n"
+        "void writeJsonl() { auto it = seen_.begin(); use(it); }\n";
+    EXPECT_TRUE(hasRule(lintSource("src/sim/foo.cc", bad),
+                        "no-unordered-iter"));
+}
+
+TEST(BmclintUnorderedIter, KeyedLookupsAndNonJsonFilesAreClean)
+{
+    // find/count/insert/erase are order-independent: fine even in a
+    // JSON-writing file.
+    const std::string lookups =
+        "std::unordered_map<int, int> m_;\n"
+        "std::string toJson() {\n"
+        "    if (m_.find(3) != m_.end()) m_.erase(3);\n"
+        "    return \"{}\";\n"
+        "}\n";
+    EXPECT_TRUE(lintSource("src/sim/foo.cc", lookups).empty());
+
+    // Iteration in a file that never serializes JSON is fine (e.g.
+    // the MissMap audits in src/dramcache).
+    const std::string no_json =
+        "std::unordered_map<int, int> m_;\n"
+        "void audit() { for (auto &kv : m_) check(kv); }\n";
+    EXPECT_TRUE(lintSource("src/dramcache/foo.cc", no_json).empty());
+}
+
+TEST(BmclintUnorderedIter, SiblingHeaderDeclarationIsVisible)
+{
+    const std::string header =
+        "class C { std::unordered_map<int, int> map_; };\n";
+    const std::string cc =
+        "std::string C::toJson() {\n"
+        "    for (auto &kv : map_) use(kv);\n"
+        "    return \"{}\";\n"
+        "}\n";
+    EXPECT_TRUE(hasRule(lintSource("src/sim/foo.cc", cc, header),
+                        "no-unordered-iter"));
+    // Without the header the declaration is unknown: clean.
+    EXPECT_TRUE(lintSource("src/sim/foo.cc", cc).empty());
+}
+
+// ------------------------------------------------- no-naked-new
+
+TEST(BmclintNakedNew, NewAndMallocInEventPathAreFlagged)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/dram/channel.cc",
+                   "void f() { auto *p = new Foo(); use(p); }\n"),
+        "no-naked-new"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/cache/mshr.cc",
+                   "void *f() { return malloc(64); }\n"),
+        "no-naked-new"));
+}
+
+TEST(BmclintNakedNew, PlacementNewAndOtherFilesAreClean)
+{
+    // Placement new constructs into pooled storage -- the point.
+    EXPECT_TRUE(lintSource("src/dram/channel.cc",
+                           "void f(void *b) { ::new (b) Foo(); }\n")
+                    .empty());
+    // Outside the event-path list the rule does not apply.
+    EXPECT_TRUE(lintSource("src/trace/gen.cc",
+                           "auto *p = new Foo();\n")
+                    .empty());
+}
+
+// ------------------------------------------------- header-guard
+
+TEST(BmclintHeaderGuard, MatchingGuardIsClean)
+{
+    const std::string good =
+        "#ifndef BMC_DRAM_FOO_HH\n"
+        "#define BMC_DRAM_FOO_HH\n"
+        "#endif // BMC_DRAM_FOO_HH\n";
+    EXPECT_TRUE(lintSource("src/dram/foo.hh", good).empty());
+    // bench/ keeps its dir prefix (no src/ to strip).
+    const std::string bench =
+        "#ifndef BMC_BENCH_UTIL_HH\n"
+        "#define BMC_BENCH_UTIL_HH\n"
+        "#endif\n";
+    EXPECT_TRUE(lintSource("bench/util.hh", bench).empty());
+}
+
+TEST(BmclintHeaderGuard, ViolationsAreFlagged)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/dram/foo.hh",
+                   "#ifndef WRONG_NAME_HH\n"
+                   "#define WRONG_NAME_HH\n#endif\n"),
+        "header-guard"));
+    EXPECT_TRUE(hasRule(lintSource("src/dram/foo.hh",
+                                   "#pragma once\n"),
+                        "header-guard"));
+    EXPECT_TRUE(hasRule(lintSource("src/dram/foo.hh",
+                                   "int x;\n"),
+                        "header-guard"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/dram/foo.hh",
+                   "#ifndef BMC_DRAM_FOO_HH\n"
+                   "#define MISMATCHED\n#endif\n"),
+        "header-guard"));
+    // Rule only applies to headers.
+    EXPECT_TRUE(lintSource("src/dram/foo.cc", "int x;\n").empty());
+}
+
+// ------------------------------------------------ stats-printed
+
+TEST(BmclintStatsPrinted, UnprintedFieldIsFlaggedAtItsLine)
+{
+    const std::string decl =
+        "struct RunStats\n"
+        "{\n"
+        "    int printed = 0;\n"
+        "    int forgotten = 0;\n"
+        "};\n";
+    const std::string printer =
+        "std::string statsToJson(const RunStats &rs) {\n"
+        "    return field(\"printed\", rs.printed);\n"
+        "}\n";
+    const auto findings =
+        lintStatsPrinted("src/sim/metrics.hh", decl, printer);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "stats-printed");
+    EXPECT_EQ(findings[0].line, 4);
+    EXPECT_NE(findings[0].message.find("forgotten"),
+              std::string::npos);
+}
+
+TEST(BmclintStatsPrinted, FullySerializedStructIsClean)
+{
+    const std::string decl =
+        "struct RunStats { int a = 0; double b = 0.0; };\n";
+    const std::string printer = "use(rs.a); use(rs.b);\n";
+    EXPECT_TRUE(
+        lintStatsPrinted("src/sim/metrics.hh", decl, printer)
+            .empty());
+}
+
+TEST(BmclintStatsPrinted, SuppressionOnFieldLineIsHonored)
+{
+    const std::string decl =
+        "struct RunStats\n"
+        "{\n"
+        "    int internal = 0; // bmclint:allow(stats-printed)\n"
+        "};\n";
+    EXPECT_TRUE(
+        lintStatsPrinted("src/sim/metrics.hh", decl, "nothing\n")
+            .empty());
+}
+
+// ------------------------------------------------- suppressions
+
+TEST(BmclintSuppression, SameLineAndPreviousLineAreHonored)
+{
+    const std::string same_line =
+        "void f() { srand(1); } // bmclint:allow(no-unseeded-rand)\n";
+    EXPECT_TRUE(lintSource("src/sim/foo.cc", same_line).empty());
+
+    const std::string prev_line =
+        "// seeding the fault injector, not the model\n"
+        "// bmclint:allow(no-unseeded-rand)\n"
+        "void f() { srand(1); }\n";
+    EXPECT_TRUE(lintSource("src/sim/foo.cc", prev_line).empty());
+}
+
+TEST(BmclintSuppression, WrongRuleDoesNotSuppress)
+{
+    const std::string src =
+        "void f() { srand(1); } // bmclint:allow(no-wallclock)\n";
+    EXPECT_TRUE(hasRule(lintSource("src/sim/foo.cc", src),
+                        "no-unseeded-rand"));
+}
+
+TEST(BmclintSuppression, StarSuppressesEverything)
+{
+    const std::string src =
+        "void f() { srand(time(nullptr)); } // bmclint:allow(*)\n";
+    EXPECT_TRUE(lintSource("src/sim/foo.cc", src).empty());
+}
+
+// ------------------------------------------------ rule catalog
+
+TEST(BmclintCatalog, EveryRuleIsListedAndKnown)
+{
+    const auto &rules = ruleCatalog();
+    ASSERT_EQ(rules.size(), 6u);
+    for (const RuleInfo &r : rules) {
+        EXPECT_TRUE(knownRule(r.id));
+        EXPECT_GT(std::string(r.summary).size(), 10u);
+    }
+    EXPECT_FALSE(knownRule("no-such-rule"));
+}
+
+TEST(BmclintCatalog, OnlyRulesFilterRestrictsFindings)
+{
+    Options opts;
+    opts.onlyRules = {"no-wallclock"};
+    const std::string src =
+        "void f() { srand(1); auto t = std::chrono::x(); }\n";
+    const auto findings =
+        lintSource("src/sim/foo.cc", src, "", opts);
+    EXPECT_TRUE(hasRule(findings, "no-wallclock"));
+    EXPECT_FALSE(hasRule(findings, "no-unseeded-rand"));
+}
+
+// ------------------------------------------------- JSON output
+
+TEST(BmclintJson, SchemaHasDocumentedKeys)
+{
+    Finding f;
+    f.file = "src/a.cc";
+    f.line = 3;
+    f.rule = "no-wallclock";
+    f.message = "a \"quoted\" message";
+    const std::string json = findingsToJson({f}, 42);
+
+    for (const char *key :
+         {"\"bmclint_schema\": 1", "\"files_scanned\": 42",
+          "\"findings\": [", "\"file\": \"src/a.cc\"",
+          "\"line\": 3", "\"rule\": \"no-wallclock\"",
+          "\"message\": \"a \\\"quoted\\\" message\"",
+          "\"summary\": {\"findings\": 1}"}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing fragment: " << key << "\nin: " << json;
+    }
+
+    const std::string empty = findingsToJson({}, 7);
+    EXPECT_NE(empty.find("\"findings\": []"), std::string::npos);
+    EXPECT_NE(empty.find("\"summary\": {\"findings\": 0}"),
+              std::string::npos);
+}
+
+// --------------------------------------------------- clean tree
+
+TEST(BmclintTree, LiveTreeLintsClean)
+{
+    Options opts;
+    opts.root = BMC_SOURCE_ROOT;
+    std::size_t files = 0;
+    const auto findings =
+        lintTree(opts, {"src", "tools", "bench"}, &files);
+    EXPECT_GT(files, 100u) << "tree walk found too few files";
+    for (const Finding &f : findings) {
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message;
+    }
+}
+
+TEST(BmclintTree, InjectedViolationIsCaught)
+{
+    // The acceptance probe: a std::rand() seeded into src/dram must
+    // fail the gate. Emulated in-memory -- the same lintSource call
+    // the tree walk makes for a real file at that path.
+    const auto findings = lintSource(
+        "src/dram/channel.cc",
+        "static int jitter() { return std::rand() % 7; }\n");
+    ASSERT_TRUE(hasRule(findings, "no-unseeded-rand"));
+}
+
+} // anonymous namespace
+} // namespace bmc::lint

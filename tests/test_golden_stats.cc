@@ -158,6 +158,9 @@ TEST(GoldenStats, KeyCountersMatchGolden)
           RatioKey{"avg_access_latency", 3},
           RatioKey{"avg_hit_latency", 3},
           RatioKey{"avg_miss_latency", 3},
+          RatioKey{"avg_tag_read_ticks", 3},
+          RatioKey{"avg_data_read_ticks", 3},
+          RatioKey{"avg_mem_demand_ticks", 3},
           RatioKey{"llsc_miss_rate", 6},
           RatioKey{"data_row_hit_rate", 6},
           RatioKey{"meta_row_hit_rate", 6},

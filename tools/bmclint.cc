@@ -1,0 +1,117 @@
+/**
+ * @file
+ * bmclint -- the project's determinism/invariant linter CLI.
+ *
+ * Usage:
+ *   bmclint [--root=DIR] [--rule=ID ...] [--json] [paths...]
+ *   bmclint --list-rules [--json]
+ *
+ * Paths (files or directories, default: src tools bench) are
+ * relative to --root (default: the current directory). Exit status:
+ * 0 clean, 1 findings, 2 usage error. See src/lint/linter.hh for the
+ * rule catalog and the `// bmclint:allow(rule-id)` suppression
+ * syntax.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hh"
+
+namespace
+{
+
+int
+listRules(bool json)
+{
+    if (json) {
+        std::string out = "{\"bmclint_schema\": 1, \"rules\": [";
+        bool first = true;
+        for (const auto &r : bmc::lint::ruleCatalog()) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += "{\"id\": \"";
+            out += r.id;
+            out += "\", \"summary\": \"";
+            out += r.summary;
+            out += "\"}";
+        }
+        out += "]}";
+        std::printf("%s\n", out.c_str());
+        return 0;
+    }
+    for (const auto &r : bmc::lint::ruleCatalog())
+        std::printf("%-18s %s\n", r.id, r.summary);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bmc::lint::Options opts;
+    std::vector<std::string> paths;
+    bool json = false;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg.rfind("--root=", 0) == 0) {
+            opts.root = arg.substr(7);
+        } else if (arg.rfind("--rule=", 0) == 0) {
+            const std::string id = arg.substr(7);
+            if (!bmc::lint::knownRule(id)) {
+                std::fprintf(stderr,
+                             "bmclint: unknown rule '%s' "
+                             "(--list-rules)\n",
+                             id.c_str());
+                return 2;
+            }
+            opts.onlyRules.push_back(id);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: bmclint [--root=DIR] [--rule=ID ...] "
+                "[--json] [paths...]\n"
+                "       bmclint --list-rules [--json]\n");
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "bmclint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (list_rules)
+        return listRules(json);
+
+    if (paths.empty())
+        paths = {"src", "tools", "bench"};
+
+    std::size_t files_scanned = 0;
+    const std::vector<bmc::lint::Finding> findings =
+        bmc::lint::lintTree(opts, paths, &files_scanned);
+
+    if (json) {
+        std::printf("%s\n",
+                    bmc::lint::findingsToJson(findings, files_scanned)
+                        .c_str());
+    } else {
+        for (const auto &f : findings) {
+            std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+        }
+        std::printf("bmclint: %zu finding(s) in %zu file(s)\n",
+                    findings.size(), files_scanned);
+    }
+    return findings.empty() ? 0 : 1;
+}
