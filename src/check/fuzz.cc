@@ -21,14 +21,14 @@ namespace
 
 constexpr std::uint64_t kLine = 64;
 
-/** Schemes eligible for random sampling (all of them). */
-constexpr sim::Scheme kAllSchemes[] = {
-    sim::Scheme::Alloy,          sim::Scheme::LohHill,
-    sim::Scheme::ATCache,        sim::Scheme::Footprint,
-    sim::Scheme::Fixed512,       sim::Scheme::Fixed512Sram,
-    sim::Scheme::WayLocatorOnly, sim::Scheme::BiModalOnly,
-    sim::Scheme::BiModal,
-};
+/** Schemes eligible for random sampling: everything the registry
+ *  knows, so new organizations are fuzzed automatically. */
+const std::vector<sim::Scheme> &
+fuzzableSchemes()
+{
+    static const std::vector<sim::Scheme> all = sim::allSchemes();
+    return all;
+}
 
 /** Legal (setBytes, bigBlockBytes) pairs: power-of-two, big divides
  *  set, and big <= 4 KB so fills stay inside one shadow region. */
@@ -122,7 +122,8 @@ sampleCase(std::uint64_t case_seed, const FuzzOptions &opts)
     cfg.seed = case_seed;
     cfg.cores = static_cast<unsigned>(rng.range(1, 2));
     cfg.scheme = opts.scheme.empty()
-                     ? kAllSchemes[rng.below(std::size(kAllSchemes))]
+                     ? fuzzableSchemes()[rng.below(
+                           fuzzableSchemes().size())]
                      : sim::schemeFromName(opts.scheme);
     cfg.dramCacheBytes = 1ULL << rng.range(21, 23); // 2/4/8 MiB
     const Geometry geo =

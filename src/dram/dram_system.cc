@@ -1,6 +1,7 @@
 #include "dram/dram_system.hh"
 
 #include "dram/command_channel.hh"
+#include "dram/nvm_channel.hh"
 
 #include "common/logging.hh"
 
@@ -16,7 +17,10 @@ DramSystem::DramSystem(EventQueue &eq, const TimingParams &params,
 {
     channels_.reserve(params.numChannels);
     for (unsigned c = 0; c < params.numChannels; ++c) {
-        if (params.commandLevel) {
+        if (params.nvm) {
+            channels_.push_back(
+                std::make_unique<NvmChannel>(eq, params, c, sg_));
+        } else if (params.commandLevel) {
             channels_.push_back(
                 std::make_unique<CommandChannel>(eq, params, c, sg_));
         } else {

@@ -1,0 +1,203 @@
+#include "dram/nvm_channel.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace bmc::dram
+{
+
+NvmChannel::NvmChannel(EventQueue &eq, const TimingParams &params,
+                       unsigned channel_id, stats::StatGroup &parent)
+    : eq_(eq), p_(params), id_(channel_id),
+      banks_(params.banksPerChannel),
+      sg_("channel" + std::to_string(channel_id), &parent),
+      reads_(sg_, "reads", "media reads serviced"),
+      writes_(sg_, "writes", "writes admitted to the WPQ"),
+      drains_(sg_, "drains", "WPQ entries committed to media"),
+      forcedDrains_(sg_, "forced_drains",
+                    "drains forced by the WPQ high watermark"),
+      wpqFullStalls_(sg_, "wpq_full_stalls",
+                     "write admissions blocked on a full WPQ"),
+      serviceTicks_(sg_, "service_ticks",
+                    "ticks from enqueue to completion"),
+      wpqDepth_(sg_, "wpq_depth", "WPQ occupancy at each admission")
+{
+    bmc_assert(params.banksPerChannel > 0, "channel needs banks");
+    bmc_assert(params.nvmWpqEntries > 0, "WPQ needs entries");
+    bmc_assert(params.nvmWpqHighWatermark <= params.nvmWpqEntries,
+               "WPQ watermark above capacity");
+}
+
+unsigned
+NvmChannel::bankOf(const Request &req) const
+{
+    return req.loc.bank % static_cast<unsigned>(banks_.size());
+}
+
+void
+NvmChannel::enqueue(Request req)
+{
+    req.enqueueTick = eq_.now();
+    if (req.kind == ReqKind::ActivateOnly) {
+        // No row buffer to open: speculative activates are free.
+        if (req.onComplete) {
+            auto cb = std::move(req.onComplete);
+            eq_.scheduleAt(eq_.now(),
+                           [this, cb = std::move(cb)] {
+                               cb(eq_.now());
+                           });
+        }
+        return;
+    }
+    if (req.kind == ReqKind::Write) {
+        writeWait_.push_back(std::move(req));
+    } else if (req.lowPriority) {
+        readQLow_.push_back(std::move(req));
+    } else {
+        readQ_.push_back(std::move(req));
+    }
+    trySchedule();
+}
+
+void
+NvmChannel::issueRead(Request req)
+{
+    Bank &bank = banks_[bankOf(req)];
+    const Tick start = std::max(eq_.now(), bank.freeAt);
+    const Tick media_done = start + p_.toTicks(p_.tNvmRead);
+    const Tick bus_start = std::max(media_done, busFreeAt_);
+    const Tick bus_done = bus_start + p_.transferTicks(req.bytes);
+    bank.busyTicks += media_done - start;
+    bank.freeAt = media_done;
+    busFreeAt_ = bus_done;
+
+    ++reads_;
+    ++activity_.columnReads;
+    activity_.bytesRead += req.bytes;
+    serviceTicks_.sample(
+        static_cast<double>(bus_done - req.enqueueTick));
+
+    ++inFlight_;
+    auto cb = std::move(req.onComplete);
+    auto done = [this, cb = std::move(cb)] {
+        --inFlight_;
+        if (cb)
+            cb(eq_.now());
+        trySchedule();
+    };
+    static_assert(
+        EventQueue::Callback::fitsInline<decltype(done)>(),
+        "NVM read completion closure must stay within the pooled "
+        "node's inline budget -- this fires once per read");
+    eq_.scheduleAt(bus_done, std::move(done));
+}
+
+void
+NvmChannel::admitWrite(Request req)
+{
+    // A posted write completes at WPQ admission: the data crosses the
+    // bus into the buffer and the requester moves on; the media
+    // commit drains in the background.
+    const Tick bus_start = std::max(eq_.now(), busFreeAt_);
+    const Tick bus_done = bus_start + p_.transferTicks(req.bytes);
+    busFreeAt_ = bus_done;
+
+    ++writes_;
+    ++activity_.columnWrites;
+    activity_.bytesWritten += req.bytes;
+    wpqDepth_.sample(static_cast<double>(wpqOccupancy()));
+    serviceTicks_.sample(
+        static_cast<double>(bus_done - req.enqueueTick));
+    wpq_.push_back(bankOf(req));
+
+    ++inFlight_;
+    auto cb = std::move(req.onComplete);
+    auto done = [this, cb = std::move(cb)] {
+        --inFlight_;
+        if (cb)
+            cb(eq_.now());
+        trySchedule();
+    };
+    static_assert(
+        EventQueue::Callback::fitsInline<decltype(done)>(),
+        "WPQ admission closure must stay within the pooled node's "
+        "inline budget -- this fires once per write");
+    eq_.scheduleAt(bus_done, std::move(done));
+}
+
+void
+NvmChannel::issueDrain()
+{
+    const unsigned bank_id = wpq_.front();
+    wpq_.pop_front();
+    Bank &bank = banks_[bank_id];
+    const Tick start = std::max(eq_.now(), bank.freeAt);
+    const Tick done_at = start + p_.toTicks(p_.tNvmWrite);
+    bank.busyTicks += done_at - start;
+    bank.freeAt = done_at;
+
+    ++drains_;
+    ++drainsActive_;
+    eq_.scheduleAt(done_at, [this] {
+        --drainsActive_;
+        trySchedule();
+    });
+}
+
+void
+NvmChannel::trySchedule()
+{
+    // Priority order per issue slot: forced drains above the
+    // watermark, then demand reads, then write admission, then
+    // background reads, then opportunistic drains on an otherwise
+    // idle channel.
+    for (;;) {
+        if (wpqOccupancy() >= p_.nvmWpqHighWatermark &&
+            !wpq_.empty() &&
+            drainsActive_ < banks_.size()) {
+            ++forcedDrains_;
+            issueDrain();
+            continue;
+        }
+        if (inFlight_ >= lookahead_)
+            return;
+        if (!readQ_.empty()) {
+            Request req = std::move(readQ_.front());
+            readQ_.pop_front();
+            issueRead(std::move(req));
+            continue;
+        }
+        if (!writeWait_.empty()) {
+            if (wpqOccupancy() >= p_.nvmWpqEntries) {
+                ++wpqFullStalls_;
+                // Blocked until a drain completes; force one if none
+                // is already on its way.
+                if (!wpq_.empty() &&
+                    drainsActive_ < banks_.size()) {
+                    issueDrain();
+                    continue;
+                }
+                return;
+            }
+            Request req = std::move(writeWait_.front());
+            writeWait_.pop_front();
+            admitWrite(std::move(req));
+            continue;
+        }
+        if (!readQLow_.empty()) {
+            Request req = std::move(readQLow_.front());
+            readQLow_.pop_front();
+            issueRead(std::move(req));
+            continue;
+        }
+        if (!wpq_.empty() && drainsActive_ < banks_.size()) {
+            issueDrain();
+            continue;
+        }
+        return;
+    }
+}
+
+} // namespace bmc::dram

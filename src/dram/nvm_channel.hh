@@ -1,0 +1,134 @@
+/**
+ * @file
+ * NVM (3DXPoint-class) channel timing model.
+ *
+ * Selected by TimingParams::nvm, this replaces the DRAM bank/row
+ * machinery with what distinguishes persistent-memory DIMMs:
+ *
+ *  - asymmetric media latency: reads pay tNvmRead at a banked media
+ *    array, writes commit at tNvmWrite;
+ *  - posted writes: a write completes (from the requester's point of
+ *    view) as soon as it is admitted to the bounded write-pending
+ *    queue (WPQ); the media commit drains in the background;
+ *  - WPQ back-pressure: once occupancy reaches the high watermark the
+ *    scheduler forces drains ahead of reads, and a full WPQ blocks
+ *    further write admission -- the mechanism behind the write-
+ *    bandwidth cliff measured on Optane parts.
+ *
+ * There is no row buffer (the media is bit-addressable), so row-hit
+ * rates report zero, and no refresh. The model emits no DRAM command
+ * stream; the protocol checker observes nothing when attached.
+ */
+
+#ifndef BMC_DRAM_NVM_CHANNEL_HH
+#define BMC_DRAM_NVM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "dram/channel_iface.hh"
+#include "dram/request.hh"
+#include "dram/timing_params.hh"
+
+namespace bmc::dram
+{
+
+/** One NVM channel: banked media behind a shared data bus and a
+ *  write-pending queue. */
+class NvmChannel : public ChannelIface
+{
+  public:
+    NvmChannel(EventQueue &eq, const TimingParams &params,
+               unsigned channel_id, stats::StatGroup &parent);
+
+    void enqueue(Request req) override;
+
+    size_t queueDepth() const override
+    {
+        return readQ_.size() + readQLow_.size() + writeWait_.size();
+    }
+
+    const ActivityCounters &activity() const override
+    {
+        return activity_;
+    }
+
+    // Bit-addressable media: no row buffer to hit.
+    double dataRowHitRate() const override { return 0.0; }
+    double metaRowHitRate() const override { return 0.0; }
+    std::uint64_t dataAccesses() const override
+    {
+        return reads_.value() + writes_.value();
+    }
+    std::uint64_t metaAccesses() const override { return 0; }
+    std::uint64_t dataRowHits() const override { return 0; }
+    std::uint64_t metaRowHits() const override { return 0; }
+
+    double avgServiceTicks() const override
+    {
+        return serviceTicks_.mean();
+    }
+
+    unsigned numBanks() const override
+    {
+        return static_cast<unsigned>(banks_.size());
+    }
+    std::uint64_t bankBusyTicks(unsigned bank) const override
+    {
+        return banks_.at(bank).busyTicks;
+    }
+
+    /** Current write-pending-queue occupancy (admitted, undrained). */
+    unsigned wpqOccupancy() const
+    {
+        return static_cast<unsigned>(wpq_.size()) + drainsActive_;
+    }
+
+  private:
+    struct Bank
+    {
+        Tick freeAt = 0;
+        std::uint64_t busyTicks = 0;
+    };
+
+    unsigned bankOf(const Request &req) const;
+    void issueRead(Request req);
+    void admitWrite(Request req);
+    void issueDrain();
+    void trySchedule();
+
+    EventQueue &eq_;
+    TimingParams p_;
+    unsigned id_;
+
+    std::vector<Bank> banks_;
+    std::deque<Request> readQ_;    //!< demand reads, FIFO
+    std::deque<Request> readQLow_; //!< background reads, FIFO
+    std::deque<Request> writeWait_; //!< writes awaiting WPQ admission
+    std::deque<unsigned> wpq_;      //!< admitted writes (target bank)
+
+    Tick busFreeAt_ = 0;
+    unsigned inFlight_ = 0;      //!< outstanding read/admit events
+    unsigned drainsActive_ = 0;  //!< media commits in flight
+    unsigned lookahead_ = 8;
+
+    ActivityCounters activity_;
+
+    stats::StatGroup sg_;
+    stats::Counter reads_;
+    stats::Counter writes_;
+    stats::Counter drains_;
+    stats::Counter forcedDrains_; //!< drains issued above watermark
+    stats::Counter wpqFullStalls_; //!< write admissions blocked
+    stats::Average serviceTicks_;
+    stats::Average wpqDepth_; //!< occupancy sampled at each admit
+};
+
+} // namespace bmc::dram
+
+#endif // BMC_DRAM_NVM_CHANNEL_HH

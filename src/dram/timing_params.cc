@@ -58,4 +58,22 @@ TimingParams::ddr3_1600h(unsigned channels, unsigned banks)
     return p;
 }
 
+TimingParams
+TimingParams::xpoint(unsigned channels, unsigned banks)
+{
+    // DDR-style electrical interface (same 800 MHz command clock and
+    // 64-bit bus as the DDR3 preset) in front of 3DXPoint-class
+    // media: ~150 ns reads, ~500 ns write commits, writes posted into
+    // a bounded write-pending queue. No refresh.
+    TimingParams p = ddr3_1600h(channels, banks);
+    p.nvm = true;
+    p.commandLevel = false;
+    p.refreshEnabled = false;
+    p.tNvmRead = 120;  // 150 ns at 800 MHz
+    p.tNvmWrite = 400; // 500 ns at 800 MHz
+    p.nvmWpqEntries = 16;
+    p.nvmWpqHighWatermark = 12;
+    return p;
+}
+
 } // namespace bmc::dram

@@ -59,6 +59,16 @@ struct TimingParams
     unsigned tRFC = 280;        //!< refresh cycle time (nCK)
     bool refreshEnabled = true;
 
+    // Non-volatile backend (nvm_channel.hh). When set, the channel
+    // model is NvmChannel regardless of commandLevel: banked media
+    // with asymmetric read/write latency and a write-pending queue
+    // absorbing posted writes.
+    bool nvm = false;
+    unsigned tNvmRead = 120;  //!< media read latency (nCK)
+    unsigned tNvmWrite = 400; //!< media write (commit) latency (nCK)
+    unsigned nvmWpqEntries = 16;       //!< write-pending queue depth
+    unsigned nvmWpqHighWatermark = 12; //!< forced-drain threshold
+
     /** Convert a duration in DRAM cycles to CPU ticks. */
     Tick toTicks(std::uint64_t dram_cycles) const
     {
@@ -73,6 +83,10 @@ struct TimingParams
 
     /** Off-chip DDR3-1600H preset (Table IV). */
     static TimingParams ddr3_1600h(unsigned channels, unsigned banks);
+
+    /** 3DXPoint-class NVM slow tier on a DDR-style bus: ~150 ns
+     *  reads, ~500 ns posted writes behind a write-pending queue. */
+    static TimingParams xpoint(unsigned channels, unsigned banks);
 };
 
 } // namespace bmc::dram

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "dramcache/registry.hh"
 
 namespace bmc::dramcache
 {
@@ -155,6 +156,30 @@ AlloyCache::mapiAccuracy() const
     return total ? static_cast<double>(mapiCorrect_.value()) /
                        static_cast<double>(total)
                  : 0.0;
+}
+
+} // namespace bmc::dramcache
+
+namespace bmc::dramcache
+{
+
+BMC_REGISTER_SCHEMES(alloy)
+{
+    SchemeInfo info;
+    info.name = "alloy";
+    info.description = "direct-mapped 64 B TAD with MAP-I hit/miss "
+                       "prediction (Qureshi & Loh)";
+    info.defaultGeometry = "direct-mapped, 64 B tag-and-data units";
+    info.allocBlockBytes = 64;
+    reg.add(std::move(info),
+            +[](const SchemeParams &sp, stats::StatGroup &parent)
+                -> std::unique_ptr<DramCacheOrg> {
+                AlloyCache::Params p;
+                p.capacityBytes = sp.capacityBytes;
+                p.layout = sp.layout;
+                p.useMapI = true;
+                return std::make_unique<AlloyCache>(p, parent);
+            });
 }
 
 } // namespace bmc::dramcache

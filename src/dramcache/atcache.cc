@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "sram/cacti_lite.hh"
+#include "dramcache/registry.hh"
 
 namespace bmc::dramcache
 {
@@ -186,6 +187,30 @@ ATCache::tagCacheHitRate() const
     return total ? static_cast<double>(tcHits_.value()) /
                        static_cast<double>(total)
                  : 0.0;
+}
+
+} // namespace bmc::dramcache
+
+namespace bmc::dramcache
+{
+
+BMC_REGISTER_SCHEMES(atcache)
+{
+    SchemeInfo info;
+    info.name = "atcache";
+    info.description = "tags-in-DRAM with an SRAM tag cache and "
+                       "tag-prefetch granularity 8 (ATCache)";
+    info.defaultGeometry = "set-associative, 64 B blocks, tag cache";
+    info.allocBlockBytes = 64;
+    reg.add(std::move(info),
+            +[](const SchemeParams &sp, stats::StatGroup &parent)
+                -> std::unique_ptr<DramCacheOrg> {
+                ATCache::Params p;
+                p.capacityBytes = sp.capacityBytes;
+                p.layout = sp.layout;
+                p.prefetchGranularity = 8; // the paper's PG = 8
+                return std::make_unique<ATCache>(p, parent);
+            });
 }
 
 } // namespace bmc::dramcache

@@ -1,0 +1,338 @@
+#include "dramcache/banshee.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "dramcache/registry.hh"
+
+namespace bmc::dramcache
+{
+
+namespace
+{
+
+void
+maskToTransfers(Addr base, std::uint64_t mask_bits, unsigned sub_blocks,
+                std::vector<Transfer> &out)
+{
+    unsigned i = 0;
+    while (i < sub_blocks) {
+        if (!(mask_bits & (1ULL << i))) {
+            ++i;
+            continue;
+        }
+        unsigned j = i;
+        while (j + 1 < sub_blocks && (mask_bits & (1ULL << (j + 1))))
+            ++j;
+        out.push_back({base + static_cast<Addr>(i) * kLineBytes,
+                       (j - i + 1) * kLineBytes});
+        i = j + 1;
+    }
+}
+
+constexpr std::uint32_t kFreqCap = 255;
+
+} // anonymous namespace
+
+BansheeCache::BansheeCache(const Params &params,
+                           stats::StatGroup &parent)
+    : p_(params), layout_([&] {
+          StackedLayout::Params lp = params.layout;
+          lp.capacityBytes = params.capacityBytes;
+          lp.reserveMetaBank = false;
+          lp.pageBytes = std::max(lp.pageBytes, params.pageBytes);
+          return lp;
+      }()),
+      numSets_(params.capacityBytes / params.pageBytes / params.assoc),
+      subBlocks_(params.pageBytes / kLineBytes),
+      ways_(numSets_ * params.assoc),
+      freqTable_(1ULL << params.freqIndexBits),
+      stats_(params.name, parent),
+      replacements_(stats_.group, "replacements",
+                    "filter-approved page replacements"),
+      filterBypasses_(stats_.group, "filter_bypasses",
+                      "misses rejected by the frequency filter"),
+      coldFills_(stats_.group, "cold_fills",
+                 "page fills into invalid ways")
+{
+    bmc_assert(numSets_ > 0, "capacity too small");
+    bmc_assert(subBlocks_ <= 64, "page mask limited to 64 lines");
+    bmc_assert(p_.sampleEvery > 0, "sampleEvery must be positive");
+}
+
+std::uint64_t
+BansheeCache::freqIndex(Addr page_num) const
+{
+    return mix64(page_num) & mask(p_.freqIndexBits);
+}
+
+void
+BansheeCache::bumpFreq(std::uint32_t &ctr)
+{
+    if (++eventCount_ % p_.sampleEvery)
+        return;
+    ctr = std::min(ctr + 1, kFreqCap);
+}
+
+void
+BansheeCache::ageCounters()
+{
+    for (std::uint8_t &c : freqTable_)
+        c = static_cast<std::uint8_t>(c >> 1);
+    for (PageWay &w : ways_)
+        w.freq >>= 1;
+}
+
+LookupResult
+BansheeCache::access(Addr addr, bool is_write, bool is_prefetch)
+{
+    (void)is_prefetch;
+    ++stats_.accesses;
+    if (++accessCount_ % p_.epochAccesses == 0)
+        ageCounters();
+
+    const Addr page_num = addr / p_.pageBytes;
+    const std::uint64_t set = page_num % numSets_;
+    const Addr tag = page_num / numSets_;
+    const unsigned sub = static_cast<unsigned>(
+        (addr % p_.pageBytes) / kLineBytes);
+    PageWay *set_ways = &ways_[set * p_.assoc];
+
+    LookupResult r;
+    // The mapping table rides address translation: residency is known
+    // by the time the request reaches the cache, with no tag access
+    // in either SRAM or DRAM.
+    r.sramCycles = 0;
+    r.sramTagHit = true;
+
+    const auto mapping = mappedPages_.find(page_num);
+    if (mapping != mappedPages_.end()) {
+        PageWay &way = ways_[mapping->second];
+        bmc_assert(way.valid && way.tag == tag,
+                   "mapping table points at a mismatched way");
+        way.lastUse = ++useClock_;
+        way.usedMask |= 1ULL << sub;
+        bumpFreq(way.freq);
+        ++stats_.hits;
+        if (is_write)
+            way.dirtyMask |= 1ULL << sub;
+        r.hit = true;
+        r.data.needed = true;
+        r.data.loc = layout_.rowLocation(
+            (mapping->second) % layout_.numRows());
+        r.data.bytes = kLineBytes;
+        return r;
+    }
+
+    // Miss: train the candidate counter, then ask the frequency
+    // filter whether this page has earned a slot.
+    std::uint8_t &cand = freqTable_[freqIndex(page_num)];
+    {
+        std::uint32_t c = cand;
+        bumpFreq(c);
+        cand = static_cast<std::uint8_t>(c);
+    }
+
+    unsigned victim = 0;
+    bool found_invalid = false;
+    for (unsigned w = 0; w < p_.assoc; ++w) {
+        if (!set_ways[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+    }
+    if (!found_invalid) {
+        std::uint32_t min_freq = ~std::uint32_t{0};
+        std::uint64_t oldest = maxTick;
+        for (unsigned w = 0; w < p_.assoc; ++w) {
+            if (set_ways[w].freq < min_freq ||
+                (set_ways[w].freq == min_freq &&
+                 set_ways[w].lastUse < oldest)) {
+                min_freq = set_ways[w].freq;
+                oldest = set_ways[w].lastUse;
+                victim = w;
+            }
+        }
+        if (cand <= min_freq + p_.freqThreshold) {
+            // Filter rejects the fill: serve the line from memory.
+            ++stats_.bypasses;
+            ++filterBypasses_;
+            r.fill.bypass = true;
+            r.fill.fetches.push_back(
+                {roundDown(addr, kLineBytes), kLineBytes});
+            stats_.demandFetchBytes += kLineBytes;
+            stats_.offchipFetchBytes += kLineBytes;
+            return r;
+        }
+    }
+
+    ++stats_.misses;
+
+    PageWay &way = set_ways[victim];
+    if (way.valid) {
+        ++stats_.evictions;
+        ++replacements_;
+        const Addr victim_page = way.tag * numSets_ + set;
+        mappedPages_.erase(victim_page);
+        // Hand the victim's earned frequency back to the candidate
+        // table so a re-fetch competes on equal footing.
+        freqTable_[freqIndex(victim_page)] = static_cast<std::uint8_t>(
+            std::min(way.freq, kFreqCap));
+        stats_.wastedFetchBytes +=
+            static_cast<std::uint64_t>(
+                subBlocks_ - std::popcount(way.usedMask)) *
+            kLineBytes;
+        if (way.dirtyMask) {
+            maskToTransfers(victim_page * p_.pageBytes, way.dirtyMask,
+                            subBlocks_, r.fill.writebacks);
+            stats_.writebackBytes +=
+                static_cast<std::uint64_t>(
+                    std::popcount(way.dirtyMask)) *
+                kLineBytes;
+        }
+    } else {
+        ++coldFills_;
+    }
+
+    // Whole-page fill (Banshee fetches the full OS page).
+    const std::uint32_t global_way =
+        static_cast<std::uint32_t>(set * p_.assoc + victim);
+    r.fill.fetches.push_back(
+        {page_num * p_.pageBytes, p_.pageBytes});
+    r.fill.fillWrite.needed = true;
+    r.fill.fillWrite.loc =
+        layout_.rowLocation(global_way % layout_.numRows());
+    r.fill.fillWrite.bytes = p_.pageBytes;
+    stats_.demandFetchBytes += kLineBytes;
+    stats_.offchipFetchBytes += p_.pageBytes;
+
+    way.tag = tag;
+    way.valid = true;
+    way.usedMask = 1ULL << sub;
+    way.dirtyMask = is_write ? (1ULL << sub) : 0;
+    way.freq = cand;
+    way.lastUse = ++useClock_;
+    mappedPages_[page_num] = global_way;
+    cand = 0;
+
+    return r;
+}
+
+bool
+BansheeCache::probe(Addr addr) const
+{
+    // Whole pages are always fully fetched, so mapping-table
+    // residency answers for every line of the page.
+    return mappedPages_.count(addr / p_.pageBytes) != 0;
+}
+
+bool
+BansheeCache::mapped(Addr addr) const
+{
+    return mappedPages_.count(addr / p_.pageBytes) != 0;
+}
+
+std::uint32_t
+BansheeCache::candidateFreq(Addr addr) const
+{
+    return freqTable_[freqIndex(addr / p_.pageBytes)];
+}
+
+std::uint32_t
+BansheeCache::residentFreq(Addr addr) const
+{
+    const auto it = mappedPages_.find(addr / p_.pageBytes);
+    return it == mappedPages_.end() ? 0 : ways_[it->second].freq;
+}
+
+std::uint64_t
+BansheeCache::sramBytes() const
+{
+    // The mapping table lives in the page table / TLB, not in
+    // dedicated cache SRAM. The on-chip cost is the candidate counter
+    // table plus one frequency byte per resident page.
+    return freqTable_.size() + ways_.size();
+}
+
+bool
+BansheeCache::auditInvariants(std::string *why) const
+{
+    const auto violation = [&](std::string msg) {
+        if (why)
+            *why = p_.name + ": " + std::move(msg);
+        return false;
+    };
+
+    // Every mapping entry must point at a valid way whose tag/set
+    // decomposition reproduces the page number.
+    for (const auto &[page_num, global_way] : mappedPages_) {
+        if (global_way >= ways_.size())
+            return violation("mapping entry out of range");
+        const PageWay &way = ways_[global_way];
+        const std::uint64_t set = global_way / p_.assoc;
+        if (!way.valid)
+            return violation("mapping points at an invalid way");
+        if (page_num % numSets_ != set)
+            return violation("mapping set mismatch");
+        if (way.tag != page_num / numSets_)
+            return violation("mapping tag mismatch");
+    }
+
+    // Every valid way must be reachable through exactly one mapping
+    // entry, and no set may hold duplicate tags.
+    std::uint64_t valid_ways = 0;
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        for (unsigned w = 0; w < p_.assoc; ++w) {
+            const PageWay &way = ways_[s * p_.assoc + w];
+            if (!way.valid)
+                continue;
+            ++valid_ways;
+            const Addr page_num = way.tag * numSets_ + s;
+            const auto it = mappedPages_.find(page_num);
+            if (it == mappedPages_.end())
+                return violation("valid way missing from mapping");
+            if (it->second != s * p_.assoc + w)
+                return violation("mapping points elsewhere");
+            if (way.dirtyMask & ~mask(subBlocks_))
+                return violation("dirty mask beyond page");
+            if (way.usedMask & ~mask(subBlocks_))
+                return violation("used mask beyond page");
+            if (way.freq > kFreqCap)
+                return violation("frequency counter overflow");
+            if (way.lastUse > useClock_)
+                return violation("recency clock from the future");
+            for (unsigned w2 = w + 1; w2 < p_.assoc; ++w2) {
+                const PageWay &other = ways_[s * p_.assoc + w2];
+                if (other.valid && other.tag == way.tag)
+                    return violation("duplicate tag in set");
+            }
+        }
+    }
+    if (valid_ways != mappedPages_.size())
+        return violation("mapping size disagrees with valid ways");
+    return true;
+}
+
+BMC_REGISTER_SCHEMES(banshee)
+{
+    SchemeInfo info;
+    info.name = "banshee";
+    info.description = "page-granularity caching, TLB-tracked mapping "
+                       "table, frequency-filtered replacement "
+                       "(Yu et al.)";
+    info.defaultGeometry = "4-way, 4 KB pages, no tag store";
+    info.allocBlockBytes = 4096;
+    reg.add(std::move(info),
+            +[](const SchemeParams &sp, stats::StatGroup &parent)
+                -> std::unique_ptr<DramCacheOrg> {
+                BansheeCache::Params p;
+                p.capacityBytes = sp.capacityBytes;
+                p.layout = sp.layout;
+                return std::make_unique<BansheeCache>(p, parent);
+            });
+}
+
+} // namespace bmc::dramcache

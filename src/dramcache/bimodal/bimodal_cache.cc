@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "sram/cacti_lite.hh"
+#include "dramcache/registry.hh"
 
 namespace bmc::dramcache
 {
@@ -747,6 +748,84 @@ BiModalCache::auditInvariants(std::string *why) const
     if (!ok)
         return violation(std::move(loc_why));
     return true;
+}
+
+} // namespace bmc::dramcache
+
+namespace bmc::dramcache
+{
+
+namespace
+{
+
+std::unique_ptr<DramCacheOrg>
+buildBiModal(const SchemeParams &sp, stats::StatGroup &parent,
+             const char *name, bool use_way_locator)
+{
+    BiModalCache::Params p;
+    p.name = name;
+    p.capacityBytes = sp.capacityBytes;
+    p.setBytes = sp.setBytes;
+    p.bigBlockBytes = sp.bigBlockBytes;
+    p.layout = sp.layout;
+    p.useWayLocator = use_way_locator;
+    p.locatorIndexBits = sp.locatorIndexBits;
+    p.addressBits = sp.addressBits;
+    p.predictor.indexBits = sp.predictorIndexBits;
+    p.predictor.threshold = sp.predictorThreshold;
+    p.predictor.sampleEvery = sp.predictorSampleEvery;
+    p.global.epochAccesses = sp.adaptEpoch;
+    p.global.weight = sp.adaptWeight;
+    p.seed = sp.seed + 17;
+    return std::make_unique<BiModalCache>(p, parent);
+}
+
+} // anonymous namespace
+
+BMC_REGISTER_SCHEMES(bimodal_cache)
+{
+    {
+        SchemeInfo info;
+        info.name = "bimodal_only";
+        info.description = "bi-modal big/small blocks without the way "
+                           "locator (Fig 8a ablation)";
+        info.defaultGeometry = "2 KB sets, 512 B + 64 B blocks";
+        info.allocBlockBytes = 512;
+        reg.add(std::move(info),
+                +[](const SchemeParams &sp, stats::StatGroup &parent)
+                    -> std::unique_ptr<DramCacheOrg> {
+                    return buildBiModal(sp, parent, "bimodal_only",
+                                        false);
+                });
+    }
+    {
+        SchemeInfo info;
+        info.name = "bimodal";
+        info.description = "the paper's full proposal: bi-modal "
+                           "blocks plus the SRAM way locator";
+        info.defaultGeometry = "2 KB sets, 512 B + 64 B, way locator";
+        info.allocBlockBytes = 512;
+        reg.add(std::move(info),
+                +[](const SchemeParams &sp, stats::StatGroup &parent)
+                    -> std::unique_ptr<DramCacheOrg> {
+                    return buildBiModal(sp, parent, "bimodal", true);
+                });
+    }
+    {
+        SchemeInfo info;
+        info.name = "bimodal_nvm";
+        info.description = "bimodal in front of a 3DXPoint-class NVM "
+                           "slow tier (asymmetric latency + WPQ)";
+        info.defaultGeometry = "2 KB sets, 512 B + 64 B, NVM backend";
+        info.allocBlockBytes = 512;
+        info.memBackend = MemBackend::Nvm;
+        reg.add(std::move(info),
+                +[](const SchemeParams &sp, stats::StatGroup &parent)
+                    -> std::unique_ptr<DramCacheOrg> {
+                    return buildBiModal(sp, parent, "bimodal_nvm",
+                                        true);
+                });
+    }
 }
 
 } // namespace bmc::dramcache

@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "sram/cacti_lite.hh"
+#include "dramcache/registry.hh"
 
 namespace bmc::dramcache
 {
@@ -368,6 +369,83 @@ FixedOrg::auditInvariants(std::string *why) const
     if (!ok)
         return violation(std::move(loc_why));
     return true;
+}
+
+} // namespace bmc::dramcache
+
+namespace bmc::dramcache
+{
+
+namespace
+{
+
+std::unique_ptr<DramCacheOrg>
+buildFixed(const SchemeParams &sp, stats::StatGroup &parent,
+           const char *name, FixedOrg::TagStore tags,
+           bool use_way_locator)
+{
+    FixedOrg::Params p;
+    p.name = name;
+    p.capacityBytes = sp.capacityBytes;
+    p.blockBytes = sp.bigBlockBytes;
+    p.assoc = sp.setBytes / sp.bigBlockBytes;
+    p.layout = sp.layout;
+    p.tags = tags;
+    p.useWayLocator = use_way_locator;
+    p.locatorIndexBits = sp.locatorIndexBits;
+    p.addressBits = sp.addressBits;
+    return std::make_unique<FixedOrg>(p, parent);
+}
+
+} // anonymous namespace
+
+BMC_REGISTER_SCHEMES(fixed)
+{
+    {
+        SchemeInfo info;
+        info.name = "fixed512";
+        info.description = "fixed 512 B blocks, tags in a reserved "
+                           "DRAM metadata bank";
+        info.defaultGeometry = "4-way, 512 B blocks, DRAM tags";
+        info.allocBlockBytes = 512;
+        reg.add(std::move(info),
+                +[](const SchemeParams &sp, stats::StatGroup &parent)
+                    -> std::unique_ptr<DramCacheOrg> {
+                    return buildFixed(sp, parent, "fixed512",
+                                      FixedOrg::TagStore::DramSeparate,
+                                      false);
+                });
+    }
+    {
+        SchemeInfo info;
+        info.name = "fixed512_sram";
+        info.description = "fixed 512 B blocks with all tags held in "
+                           "SRAM (upper bound on tag latency)";
+        info.defaultGeometry = "4-way, 512 B blocks, SRAM tags";
+        info.allocBlockBytes = 512;
+        reg.add(std::move(info),
+                +[](const SchemeParams &sp, stats::StatGroup &parent)
+                    -> std::unique_ptr<DramCacheOrg> {
+                    return buildFixed(sp, parent, "fixed512_sram",
+                                      FixedOrg::TagStore::Sram,
+                                      false);
+                });
+    }
+    {
+        SchemeInfo info;
+        info.name = "wayloc_only";
+        info.description = "fixed512 plus the way locator, without "
+                           "bi-modality (Fig 8a ablation)";
+        info.defaultGeometry = "4-way, 512 B blocks, way locator";
+        info.allocBlockBytes = 512;
+        reg.add(std::move(info),
+                +[](const SchemeParams &sp, stats::StatGroup &parent)
+                    -> std::unique_ptr<DramCacheOrg> {
+                    return buildFixed(sp, parent, "wayloc_only",
+                                      FixedOrg::TagStore::DramSeparate,
+                                      true);
+                });
+    }
 }
 
 } // namespace bmc::dramcache

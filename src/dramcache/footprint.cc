@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "sram/cacti_lite.hh"
+#include "dramcache/registry.hh"
 
 namespace bmc::dramcache
 {
@@ -251,6 +252,30 @@ FootprintCache::sramBytes() const
     const std::uint64_t predictor =
         predictor_.size() * (subBlocks_ / 8 + 1);
     return tag_store + predictor;
+}
+
+} // namespace bmc::dramcache
+
+namespace bmc::dramcache
+{
+
+BMC_REGISTER_SCHEMES(footprint)
+{
+    SchemeInfo info;
+    info.name = "footprint";
+    info.description = "2 KB page blocks, tags in SRAM, per-page "
+                       "footprint-predicted fill (Jevdjic et al.)";
+    info.defaultGeometry = "2 KB blocks, SRAM tags, footprint fetch";
+    info.allocBlockBytes = 2048;
+    reg.add(std::move(info),
+            +[](const SchemeParams &sp, stats::StatGroup &parent)
+                -> std::unique_ptr<DramCacheOrg> {
+                FootprintCache::Params p;
+                p.capacityBytes = sp.capacityBytes;
+                p.layout = sp.layout;
+                p.pageBlockBytes = 2048;
+                return std::make_unique<FootprintCache>(p, parent);
+            });
 }
 
 } // namespace bmc::dramcache

@@ -3,6 +3,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "sram/cacti_lite.hh"
+#include "dramcache/registry.hh"
 
 namespace bmc::dramcache
 {
@@ -223,6 +224,29 @@ LohHillCache::probe(Addr addr) const
         if (set_ways[w].valid && set_ways[w].tag == tag)
             return true;
     return false;
+}
+
+} // namespace bmc::dramcache
+
+namespace bmc::dramcache
+{
+
+BMC_REGISTER_SCHEMES(loh_hill)
+{
+    SchemeInfo info;
+    info.name = "loh_hill";
+    info.description = "29-way set-associative, tags-in-DRAM with "
+                       "compound access (Loh & Hill)";
+    info.defaultGeometry = "29-way, 64 B blocks, tags share the row";
+    info.allocBlockBytes = 64;
+    reg.add(std::move(info),
+            +[](const SchemeParams &sp, stats::StatGroup &parent)
+                -> std::unique_ptr<DramCacheOrg> {
+                LohHillCache::Params p;
+                p.capacityBytes = sp.capacityBytes;
+                p.layout = sp.layout;
+                return std::make_unique<LohHillCache>(p, parent);
+            });
 }
 
 } // namespace bmc::dramcache

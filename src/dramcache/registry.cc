@@ -1,0 +1,130 @@
+#include "dramcache/registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bmc::dramcache
+{
+
+namespace
+{
+
+/** Classic Levenshtein distance, small strings only. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // anonymous namespace
+
+SchemeRegistry &
+SchemeRegistry::instance()
+{
+    // Meyers singleton: the first caller (possibly during another
+    // TU's static initialization) populates the catalog via the
+    // generated aggregator before anyone can observe it empty.
+    static SchemeRegistry *reg = [] {
+        auto *r = new SchemeRegistry();
+        registerAllSchemes(*r);
+        return r;
+    }();
+    return *reg;
+}
+
+void
+SchemeRegistry::add(SchemeInfo info, SchemeBuilder builder)
+{
+    bmc_assert(!info.name.empty(), "scheme registered without a name");
+    bmc_assert(builder != nullptr, "scheme '%s' registered without a "
+               "builder", info.name.c_str());
+    // Copy the key first: evaluation order between the key argument
+    // and the move of @p info into the entry is unspecified.
+    const std::string name = info.name;
+    const auto [it, inserted] =
+        entries_.emplace(name, Entry{std::move(info), builder});
+    if (!inserted)
+        bmc_fatal("duplicate scheme registration '%s'",
+                  it->first.c_str());
+}
+
+bool
+SchemeRegistry::has(const std::string &name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+const SchemeInfo &
+SchemeRegistry::info(const std::string &name) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        bmc_fatal("unknown scheme '%s' (known: %s)", name.c_str(),
+                  catalogLine().c_str());
+    return it->second.info;
+}
+
+std::vector<std::string>
+SchemeRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+std::unique_ptr<DramCacheOrg>
+SchemeRegistry::build(const std::string &name,
+                      const SchemeParams &params,
+                      stats::StatGroup &parent) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        bmc_fatal("unknown scheme '%s' (known: %s)", name.c_str(),
+                  catalogLine().c_str());
+    return it->second.builder(params, parent);
+}
+
+std::string
+SchemeRegistry::suggest(const std::string &name) const
+{
+    std::string best;
+    std::size_t best_dist = ~std::size_t{0};
+    for (const auto &[cand, entry] : entries_) {
+        const std::size_t d = editDistance(name, cand);
+        if (d < best_dist) {
+            best_dist = d;
+            best = cand;
+        }
+    }
+    return best;
+}
+
+std::string
+SchemeRegistry::catalogLine() const
+{
+    std::string out;
+    for (const auto &[name, entry] : entries_) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+} // namespace bmc::dramcache

@@ -537,6 +537,43 @@ relExtension(const std::string &relpath)
     return dot == std::string::npos ? "" : relpath.substr(dot);
 }
 
+void
+ruleSchemeRegistered(RuleCtx &ctx)
+{
+    if (!startsWith(ctx.relpath, "src/dramcache/") ||
+        relExtension(ctx.relpath) != ".cc")
+        return;
+
+    static const std::regex derives(R"(public\s+DramCacheOrg\b)");
+    static const std::regex registers(
+        R"(\bBMC_REGISTER_SCHEMES\s*\()");
+
+    const auto firstMatch = [](const SourceView &v,
+                               const std::regex &re) -> int {
+        for (std::size_t i = 0; i < v.code.size(); ++i)
+            if (std::regex_search(v.code[i], re))
+                return static_cast<int>(i);
+        return -1;
+    };
+
+    int line0 = firstMatch(ctx.view, derives);
+    if (line0 < 0) {
+        // The class declaration usually lives in the sibling header;
+        // anchor the finding at the top of the .cc in that case.
+        if (!ctx.sibling || firstMatch(*ctx.sibling, derives) < 0)
+            return; // no organization defined here
+        line0 = 0;
+    }
+    if (firstMatch(ctx.view, registers) >= 0)
+        return;
+
+    emit(ctx, static_cast<std::size_t>(line0), "scheme-registered",
+         "DRAM cache organization is never registered with the "
+         "scheme registry; add BMC_REGISTER_SCHEMES(...) to this "
+         "file so bmcsim/bmcsweep/bmcfuzz and the registry-driven "
+         "tests can reach it");
+}
+
 // ------------------------------------------------- tree walking
 
 std::string
@@ -576,6 +613,9 @@ ruleCatalog()
          "include guards must follow the BMC_<PATH>_HH convention"},
         {"stats-printed",
          "RunStats fields must be serialized by statsToJson"},
+        {"scheme-registered",
+         "DramCacheOrg subclasses must register with the scheme "
+         "registry"},
     };
     return rules;
 }
@@ -623,6 +663,8 @@ lintSource(const std::string &relpath, const std::string &content,
         ruleNoNakedNew(ctx);
     if (enabled("header-guard"))
         ruleHeaderGuard(ctx);
+    if (enabled("scheme-registered"))
+        ruleSchemeRegistered(ctx);
 
     // Apply suppressions, then order by line for stable output.
     const Suppressions sup = parseSuppressions(view);

@@ -43,6 +43,12 @@
  *                    (src/sim/metrics.cc). A stat that is collected
  *                    but never printed is dead telemetry -- and
  *                    invisible to the golden-stats regression net.
+ *   scheme-registered  every src/dramcache .cc whose class derives
+ *                    from DramCacheOrg must call
+ *                    BMC_REGISTER_SCHEMES(...). An orphan org is
+ *                    invisible to bmcsim --scheme, the sweep matrix,
+ *                    the fuzzer's scheme enumeration and the
+ *                    registry-driven test suites.
  *
  * Suppressions: a finding is silenced by `// bmclint:allow(rule-id)`
  * (comma-separated ids, or `*`) on the finding's line or on the line

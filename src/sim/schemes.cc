@@ -1,54 +1,42 @@
 #include "sim/schemes.hh"
 
 #include "common/logging.hh"
-#include "dramcache/alloy.hh"
-#include "dramcache/atcache.hh"
-#include "dramcache/bimodal/bimodal_cache.hh"
-#include "dramcache/fixed.hh"
-#include "dramcache/footprint.hh"
-#include "dramcache/loh_hill.hh"
+#include "dramcache/registry.hh"
 
 namespace bmc::sim
 {
 
-const char *
-schemeName(Scheme scheme)
-{
-    switch (scheme) {
-      case Scheme::Alloy:
-        return "alloy";
-      case Scheme::LohHill:
-        return "loh_hill";
-      case Scheme::ATCache:
-        return "atcache";
-      case Scheme::Footprint:
-        return "footprint";
-      case Scheme::Fixed512:
-        return "fixed512";
-      case Scheme::Fixed512Sram:
-        return "fixed512_sram";
-      case Scheme::WayLocatorOnly:
-        return "wayloc_only";
-      case Scheme::BiModalOnly:
-        return "bimodal_only";
-      case Scheme::BiModal:
-        return "bimodal";
-    }
-    return "unknown";
-}
-
 Scheme
 schemeFromName(const std::string &name)
 {
-    for (Scheme s :
-         {Scheme::Alloy, Scheme::LohHill, Scheme::ATCache,
-          Scheme::Footprint, Scheme::Fixed512, Scheme::Fixed512Sram,
-          Scheme::WayLocatorOnly, Scheme::BiModalOnly,
-          Scheme::BiModal}) {
-        if (name == schemeName(s))
-            return s;
+    const auto &reg = dramcache::SchemeRegistry::instance();
+    if (!reg.has(name)) {
+        const std::string near = reg.suggest(name);
+        bmc_fatal("unknown scheme '%s'%s%s%s\nvalid schemes: %s",
+                  name.c_str(),
+                  near.empty() ? "" : " (did you mean '",
+                  near.c_str(), near.empty() ? "" : "'?)",
+                  reg.catalogLine().c_str());
     }
-    bmc_fatal("unknown scheme '%s'", name.c_str());
+    // Intern through the registry's node-stable map key so the
+    // returned Scheme's pointer outlives every caller.
+    return Scheme(reg.info(name).name.c_str());
+}
+
+std::vector<Scheme>
+allSchemes()
+{
+    const auto &reg = dramcache::SchemeRegistry::instance();
+    std::vector<Scheme> out;
+    for (const std::string &name : reg.names())
+        out.push_back(Scheme(reg.info(name).name.c_str()));
+    return out;
+}
+
+const dramcache::SchemeInfo &
+schemeInfo(const Scheme &scheme)
+{
+    return dramcache::SchemeRegistry::instance().info(scheme.name);
 }
 
 MachineConfig
@@ -145,79 +133,24 @@ MachineConfig::fullScale(unsigned num_cores)
 std::unique_ptr<dramcache::DramCacheOrg>
 buildOrg(const MachineConfig &cfg, stats::StatGroup &parent)
 {
-    dramcache::StackedLayout::Params layout;
-    layout.capacityBytes = cfg.dramCacheBytes;
-    layout.pageBytes = 2048;
-    layout.channels = cfg.stackedChannels;
-    layout.banksPerChannel = cfg.stackedBanksPerChannel;
-
-    switch (cfg.scheme) {
-      case Scheme::Alloy: {
-          dramcache::AlloyCache::Params p;
-          p.capacityBytes = cfg.dramCacheBytes;
-          p.layout = layout;
-          p.useMapI = true;
-          return std::make_unique<dramcache::AlloyCache>(p, parent);
-      }
-      case Scheme::LohHill: {
-          dramcache::LohHillCache::Params p;
-          p.capacityBytes = cfg.dramCacheBytes;
-          p.layout = layout;
-          return std::make_unique<dramcache::LohHillCache>(p, parent);
-      }
-      case Scheme::ATCache: {
-          dramcache::ATCache::Params p;
-          p.capacityBytes = cfg.dramCacheBytes;
-          p.layout = layout;
-          p.prefetchGranularity = 8; // the paper's PG = 8
-          return std::make_unique<dramcache::ATCache>(p, parent);
-      }
-      case Scheme::Footprint: {
-          dramcache::FootprintCache::Params p;
-          p.capacityBytes = cfg.dramCacheBytes;
-          p.layout = layout;
-          p.pageBlockBytes = 2048;
-          return std::make_unique<dramcache::FootprintCache>(p,
-                                                             parent);
-      }
-      case Scheme::Fixed512:
-      case Scheme::Fixed512Sram:
-      case Scheme::WayLocatorOnly: {
-          dramcache::FixedOrg::Params p;
-          p.name = schemeName(cfg.scheme);
-          p.capacityBytes = cfg.dramCacheBytes;
-          p.blockBytes = cfg.bigBlockBytes;
-          p.assoc = cfg.setBytes / cfg.bigBlockBytes;
-          p.layout = layout;
-          p.tags = cfg.scheme == Scheme::Fixed512Sram
-                       ? dramcache::FixedOrg::TagStore::Sram
-                       : dramcache::FixedOrg::TagStore::DramSeparate;
-          p.useWayLocator = cfg.scheme == Scheme::WayLocatorOnly;
-          p.locatorIndexBits = cfg.locatorIndexBits;
-          p.addressBits = cfg.addressBits;
-          return std::make_unique<dramcache::FixedOrg>(p, parent);
-      }
-      case Scheme::BiModalOnly:
-      case Scheme::BiModal: {
-          dramcache::BiModalCache::Params p;
-          p.name = schemeName(cfg.scheme);
-          p.capacityBytes = cfg.dramCacheBytes;
-          p.setBytes = cfg.setBytes;
-          p.bigBlockBytes = cfg.bigBlockBytes;
-          p.layout = layout;
-          p.useWayLocator = cfg.scheme == Scheme::BiModal;
-          p.locatorIndexBits = cfg.locatorIndexBits;
-          p.addressBits = cfg.addressBits;
-          p.predictor.indexBits = cfg.predictorIndexBits;
-          p.predictor.threshold = cfg.predictorThreshold;
-          p.predictor.sampleEvery = cfg.predictorSampleEvery;
-          p.global.epochAccesses = cfg.adaptEpoch;
-          p.global.weight = cfg.adaptWeight;
-          p.seed = cfg.seed + 17;
-          return std::make_unique<dramcache::BiModalCache>(p, parent);
-      }
-    }
-    bmc_fatal("unhandled scheme");
+    dramcache::SchemeParams p;
+    p.capacityBytes = cfg.dramCacheBytes;
+    p.layout.capacityBytes = cfg.dramCacheBytes;
+    p.layout.pageBytes = 2048;
+    p.layout.channels = cfg.stackedChannels;
+    p.layout.banksPerChannel = cfg.stackedBanksPerChannel;
+    p.setBytes = cfg.setBytes;
+    p.bigBlockBytes = cfg.bigBlockBytes;
+    p.locatorIndexBits = cfg.locatorIndexBits;
+    p.addressBits = cfg.addressBits;
+    p.predictorIndexBits = cfg.predictorIndexBits;
+    p.predictorThreshold = cfg.predictorThreshold;
+    p.predictorSampleEvery = cfg.predictorSampleEvery;
+    p.adaptEpoch = cfg.adaptEpoch;
+    p.adaptWeight = cfg.adaptWeight;
+    p.seed = cfg.seed;
+    return dramcache::SchemeRegistry::instance().build(
+        cfg.scheme.name, p, parent);
 }
 
 } // namespace bmc::sim

@@ -15,30 +15,82 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "cache/prefetcher.hh"
 #include "common/types.hh"
 #include "dramcache/org.hh"
+#include "dramcache/registry.hh"
 
 namespace bmc::sim
 {
 
-/** Every organization the paper evaluates. */
-enum class Scheme
+/**
+ * A validated scheme identifier: a thin value wrapper over the
+ * registered name (dramcache::SchemeRegistry is the source of
+ * truth). The named constants below cover the paper's fixed menu and
+ * are constant-initialized, so they are safe to use from other
+ * translation units' static initializers (test instantiations).
+ * Dynamic strings enter through schemeFromName(), which validates
+ * against the registry and interns the name.
+ */
+struct Scheme
 {
-    Alloy,          //!< baseline: direct-mapped TAD + MAP-I
-    LohHill,        //!< 29-way tags-in-DRAM
-    ATCache,        //!< tags-in-DRAM + SRAM tag cache
-    Footprint,      //!< 2 KB blocks, tags-in-SRAM, footprint fetch
-    Fixed512,       //!< fixed 512 B blocks, tags-in-DRAM (meta bank)
-    Fixed512Sram,   //!< fixed 512 B blocks, tags-in-SRAM
-    WayLocatorOnly, //!< Fixed512 + way locator (Fig 8a)
-    BiModalOnly,    //!< bi-modality without the way locator (Fig 8a)
-    BiModal,        //!< the full proposal
+    const char *name = "bimodal";
+
+    constexpr Scheme() = default;
+    constexpr explicit Scheme(const char *interned) : name(interned) {}
+
+    bool operator==(const Scheme &o) const
+    {
+        return std::string_view(name) == std::string_view(o.name);
+    }
+    bool operator!=(const Scheme &o) const { return !(*this == o); }
+
+    static const Scheme Alloy;          //!< direct-mapped TAD + MAP-I
+    static const Scheme LohHill;        //!< 29-way tags-in-DRAM
+    static const Scheme ATCache;        //!< tags-in-DRAM + tag cache
+    static const Scheme Footprint;      //!< 2 KB blocks, footprint
+    static const Scheme Fixed512;       //!< 512 B blocks, DRAM tags
+    static const Scheme Fixed512Sram;   //!< 512 B blocks, SRAM tags
+    static const Scheme WayLocatorOnly; //!< Fixed512 + way locator
+    static const Scheme BiModalOnly;    //!< bi-modality, no locator
+    static const Scheme BiModal;        //!< the full proposal
+    static const Scheme Banshee;        //!< page-granular, TLB-tracked
+    static const Scheme BiModalNvm;     //!< bimodal over 3DXPoint tier
 };
 
-const char *schemeName(Scheme scheme);
+inline const Scheme Scheme::Alloy{"alloy"};
+inline const Scheme Scheme::LohHill{"loh_hill"};
+inline const Scheme Scheme::ATCache{"atcache"};
+inline const Scheme Scheme::Footprint{"footprint"};
+inline const Scheme Scheme::Fixed512{"fixed512"};
+inline const Scheme Scheme::Fixed512Sram{"fixed512_sram"};
+inline const Scheme Scheme::WayLocatorOnly{"wayloc_only"};
+inline const Scheme Scheme::BiModalOnly{"bimodal_only"};
+inline const Scheme Scheme::BiModal{"bimodal"};
+inline const Scheme Scheme::Banshee{"banshee"};
+inline const Scheme Scheme::BiModalNvm{"bimodal_nvm"};
+
+/** The registered name (stable CLI / JSONL identifier). */
+inline const char *schemeName(const Scheme &scheme)
+{
+    return scheme.name;
+}
+
+/**
+ * Validate @p name against the registry and return the interned
+ * scheme id. Unknown names are fatal, with the full catalog and a
+ * nearest-match suggestion in the message.
+ */
 Scheme schemeFromName(const std::string &name);
+
+/** Every registered scheme, in registry (sorted-name) order. */
+std::vector<Scheme> allSchemes();
+
+/** Registry metadata for @p scheme (fatal when unregistered). */
+const dramcache::SchemeInfo &schemeInfo(const Scheme &scheme);
 
 /** A complete simulated-machine description. */
 struct MachineConfig

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "dramcache/bimodal/bimodal_cache.hh"
 #include "dramcache/fixed.hh"
+#include "dramcache/registry.hh"
 #include "sim/epoch_sampler.hh"
 
 namespace bmc::sim
@@ -33,9 +34,20 @@ System::System(const MachineConfig &cfg,
     stacked_ = std::make_unique<dram::DramSystem>(eq_, stacked_params,
                                                   "stacked", root_);
 
-    auto mem_params = dram::TimingParams::ddr3_1600h(
-        cfg.memChannels, cfg.memBanksPerChannel);
-    mem_params.commandLevel = cfg.commandLevelDram;
+    // The registered scheme picks its main-memory backend: DDR3 for
+    // the paper's menu, the 3DXPoint-class preset for *_nvm schemes.
+    const bool nvm_backend =
+        dramcache::SchemeRegistry::instance()
+            .info(cfg.scheme.name)
+            .memBackend == dramcache::MemBackend::Nvm;
+    auto mem_params =
+        nvm_backend
+            ? dram::TimingParams::xpoint(cfg.memChannels,
+                                         cfg.memBanksPerChannel)
+            : dram::TimingParams::ddr3_1600h(cfg.memChannels,
+                                             cfg.memBanksPerChannel);
+    if (!nvm_backend)
+        mem_params.commandLevel = cfg.commandLevelDram;
     memory_ = std::make_unique<MainMemory>(eq_, mem_params, root_);
 
     org_ = buildOrg(cfg, root_);

@@ -293,6 +293,57 @@ TEST(BmclintStatsPrinted, SuppressionOnFieldLineIsHonored)
             .empty());
 }
 
+// --------------------------------------------- scheme-registered
+
+TEST(BmclintSchemeRegistered, OrphanOrgIsFlagged)
+{
+    // An organization class defined in src/dramcache that never
+    // calls BMC_REGISTER_SCHEMES is unreachable from the registry.
+    const std::string cc =
+        "class MyOrg : public DramCacheOrg {};\n"
+        "void MyOrg::helper() {}\n";
+    const auto findings = lintSource("src/dramcache/myorg.cc", cc);
+    ASSERT_TRUE(hasRule(findings, "scheme-registered"));
+    EXPECT_EQ(findings.front().line, 1);
+}
+
+TEST(BmclintSchemeRegistered, HeaderDeclaredOrgIsVisible)
+{
+    // The usual shape: the class derives in the sibling header and
+    // the .cc holds the implementation (and the registrar).
+    const std::string header =
+        "class MyOrg : public DramCacheOrg {};\n";
+    const std::string orphan = "void MyOrg::helper() {}\n";
+    EXPECT_TRUE(hasRule(
+        lintSource("src/dramcache/myorg.cc", orphan, header),
+        "scheme-registered"));
+
+    const std::string registered =
+        "void MyOrg::helper() {}\n"
+        "BMC_REGISTER_SCHEMES(myorg)\n"
+        "{\n"
+        "    reg.add(info, build);\n"
+        "}\n";
+    EXPECT_TRUE(
+        lintSource("src/dramcache/myorg.cc", registered, header)
+            .empty());
+}
+
+TEST(BmclintSchemeRegistered, NonOrgFilesAndOtherDirsAreClean)
+{
+    // src/dramcache files with no DramCacheOrg subclass (layout,
+    // registry, helpers) are not organizations.
+    EXPECT_TRUE(lintSource("src/dramcache/layout.cc",
+                           "int decompose(int a) { return a; }\n")
+                    .empty());
+    // The rule is scoped to src/dramcache: org-like code elsewhere
+    // (tests, decorators) does not need a registrar.
+    EXPECT_TRUE(lintSource(
+                    "tests/test_foo.cc",
+                    "class Rec : public DramCacheOrg {};\n")
+                    .empty());
+}
+
 // ------------------------------------------------- suppressions
 
 TEST(BmclintSuppression, SameLineAndPreviousLineAreHonored)
@@ -328,7 +379,7 @@ TEST(BmclintSuppression, StarSuppressesEverything)
 TEST(BmclintCatalog, EveryRuleIsListedAndKnown)
 {
     const auto &rules = ruleCatalog();
-    ASSERT_EQ(rules.size(), 6u);
+    ASSERT_EQ(rules.size(), 7u);
     for (const RuleInfo &r : rules) {
         EXPECT_TRUE(knownRule(r.id));
         EXPECT_GT(std::string(r.summary).size(), 10u);

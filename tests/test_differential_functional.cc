@@ -183,5 +183,39 @@ TEST(DifferentialFunctional, Fixed512)
     runDifferential(Scheme::Fixed512, "mix_sr");
 }
 
+TEST(DifferentialFunctional, Banshee)
+{
+    runDifferential(Scheme::Banshee, "stream_w");
+    runDifferential(Scheme::Banshee, "zipf_hot");
+}
+
+TEST(DifferentialFunctional, BiModalNvm)
+{
+    // Same functional contract as 'bimodal': the NVM backend only
+    // changes main-memory timing, which the differential replay
+    // cannot observe -- it must not change org-visible behaviour.
+    runDifferential(Scheme::BiModalNvm, "stream_w");
+    runDifferential(Scheme::BiModalNvm, "mix_sr");
+}
+
+/** Every registered scheme agrees timing-vs-functional on at least
+ *  one bench, so a new registry entry is covered on arrival. */
+class DifferentialAllSchemes
+    : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(DifferentialAllSchemes, StreamAgrees)
+{
+    runDifferential(GetParam(), "stream_w");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, DifferentialAllSchemes,
+    ::testing::ValuesIn(allSchemes()),
+    [](const auto &info) {
+        return std::string(schemeName(info.param));
+    });
+
 } // anonymous namespace
 } // namespace bmc::sim

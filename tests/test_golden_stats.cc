@@ -182,5 +182,70 @@ TEST(GoldenStats, KeyCountersMatchGolden)
     EXPECT_GT(numValue(current, "antt"), 0.9);
 }
 
+/**
+ * Per-scheme golden rows for organizations outside the paper's menu
+ * (one golden file per scheme, same update mechanism):
+ *   BMC_UPDATE_GOLDEN=1 ./bmc_tests --gtest_filter='GoldenStats.*'
+ */
+void
+runSchemeGolden(Scheme scheme)
+{
+    const std::string path = std::string(BMC_GOLDEN_DIR) +
+                             "/golden_" + schemeName(scheme) +
+                             ".json";
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.instrPerCore = 60'000;
+    cfg.warmupInstrPerCore = 30'000;
+    cfg.scheme = scheme;
+    cfg.seed = 1;
+    System system(cfg, trace::findWorkload("Q1").programs);
+    const RunStats rs = system.run();
+    const std::string current =
+        statsToJson(rs, /*pretty=*/true) + "\n";
+
+    if (std::getenv("BMC_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::out | std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << current;
+        GTEST_SKIP() << "golden regenerated at " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "golden file missing: " << path
+                    << " -- run once with BMC_UPDATE_GOLDEN=1 and "
+                       "commit the result";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string golden = buf.str();
+
+    for (const char *key :
+         {"sim_ticks", "dcc_accesses", "offchip_fetch_bytes",
+          "demand_fetch_bytes", "wasted_fetch_bytes",
+          "writeback_bytes", "mem_bytes_read", "mem_bytes_written",
+          "core_cycles"}) {
+        EXPECT_EQ(rawValue(current, key), rawValue(golden, key))
+            << "counter '" << key << "' drifted from golden";
+        EXPECT_FALSE(rawValue(golden, key).empty())
+            << "key '" << key << "' missing from golden";
+    }
+    for (const char *key :
+         {"cache_hit_rate", "llsc_miss_rate", "data_row_hit_rate"}) {
+        EXPECT_NEAR(numValue(current, key), numValue(golden, key),
+                    2e-6 + 1e-6 * std::abs(numValue(golden, key)))
+            << "ratio '" << key << "' drifted from golden";
+    }
+    EXPECT_GT(numValue(current, "dcc_accesses"), 0.0);
+}
+
+TEST(GoldenStats, BansheeRowMatchesGolden)
+{
+    runSchemeGolden(Scheme::Banshee);
+}
+
+TEST(GoldenStats, BiModalNvmRowMatchesGolden)
+{
+    runSchemeGolden(Scheme::BiModalNvm);
+}
+
 } // anonymous namespace
 } // namespace bmc::sim

@@ -132,9 +132,10 @@ main(int argc, char **argv)
                    "names or file:<path> traces); overrides "
                    "--workload");
     opts.addString("scheme", "bimodal",
-                   "alloy | loh_hill | atcache | footprint | "
-                   "fixed512 | fixed512_sram | wayloc_only | "
-                   "bimodal_only | bimodal");
+                   "DRAM cache organization (--list-schemes for the "
+                   "catalog)");
+    opts.addFlag("list-schemes", false,
+                 "print the registered scheme catalog and exit");
     opts.addUint("cache-mib", 0, "DRAM cache capacity (0 = preset)");
     opts.addUint("instrs", 0,
                  "measured instructions per core (0 = preset)");
@@ -180,6 +181,25 @@ main(int argc, char **argv)
     opts.parse(argc, argv);
 
     using namespace bmc::sim;
+
+    if (opts.flag("list-schemes")) {
+        Table table({"scheme", "alloc", "memory", "dram models",
+                     "description"});
+        for (const Scheme &s : allSchemes()) {
+            const auto &info = schemeInfo(s);
+            table.row()
+                .cell(info.name)
+                .cell(std::to_string(info.allocBlockBytes) + " B")
+                .cell(info.memBackend ==
+                              bmc::dramcache::MemBackend::Nvm
+                          ? "nvm"
+                          : "dram")
+                .cell(info.dramModels)
+                .cell(info.description);
+        }
+        table.print();
+        return 0;
+    }
 
     // Resolve the program list.
     std::vector<std::string> programs;

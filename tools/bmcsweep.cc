@@ -102,7 +102,8 @@ main(int argc, char **argv)
     opts.addString("programs", "",
                    "explicit program list (overrides workloads)");
     opts.addString("schemes", "bimodal",
-                   "comma-separated scheme list");
+                   "comma-separated scheme list, or 'all' for every "
+                   "registered scheme (see bmcsim --list-schemes)");
     opts.addString("mode", "timing", "timing | functional | antt");
     opts.addString("out", "", "JSONL results file");
     opts.addString("cache-mib", "",
@@ -195,8 +196,13 @@ main(int argc, char **argv)
 
     // Resolve the scheme axis.
     std::vector<Scheme> schemes;
-    for (const std::string &s : splitList(opts.getString("schemes")))
-        schemes.push_back(schemeFromName(s));
+    if (opts.getString("schemes") == "all") {
+        schemes = allSchemes();
+    } else {
+        for (const std::string &s :
+             splitList(opts.getString("schemes")))
+            schemes.push_back(schemeFromName(s));
+    }
 
     // Geometry variants: cross product of capacity x big-block lists.
     std::vector<SweepBuilder::Variant> variants;
