@@ -13,7 +13,15 @@
  *                   demand/background requests, serviced
  *                   requests/sec (each service is one FR-FCFS pick);
  *   mshr_ops     -- MSHR allocate/merge/complete cycles under a
- *                   deterministic address stream, ops/sec.
+ *                   deterministic address stream, ops/sec;
+ *   warmup_ffwd  -- checkpointed functional fast-forward
+ *                   (System::warmupFunctional on the 4-core preset),
+ *                   instructions covered/sec.
+ *
+ * event_storm keeps 64 actors within a 64-tick horizon (the timing
+ * wheel's dense, near-future regime); event_far spreads reschedules
+ * across a ~1 M-tick horizon (sparse, beyond-wheel regime, heap
+ * fallback).
  *
  * All streams are seeded LCG/xoshiro state, so two runs on the same
  * host measure the same work. --out writes a JSON record (the
@@ -28,6 +36,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "cache/mshr.hh"
 #include "common/event_queue.hh"
@@ -36,6 +45,7 @@
 #include "common/stats.hh"
 #include "dram/channel.hh"
 #include "dram/timing_params.hh"
+#include "sim/system.hh"
 
 namespace
 {
@@ -117,6 +127,51 @@ eventStorm(std::uint64_t total_events, unsigned actors)
     if (sink == 0xdeadbeef) // defeat whole-bench elision
         std::fprintf(stderr, "impossible\n");
     return {"event_storm", total_events, secs};
+}
+
+/**
+ * Far-sparse event schedule: the same self-rescheduling chains, but
+ * with delays of 12000..28383 ticks, the shape of refresh timers and
+ * core wake-ups. The range deliberately straddles the calendar
+ * queue's near window (EventQueue::kWheelSlots = 16 Ki ticks): most
+ * events land in the overflow heap and migrate into the wheel as
+ * time advances, the rest exercise the sparse-wheel bitmap scan, so
+ * this bench guards both fallback paths. On the plain-heap kernel it
+ * is the same work as event_storm at a different delay mix.
+ */
+BenchResult
+eventFar(std::uint64_t total_events, unsigned actors)
+{
+    EventQueue eq;
+    std::uint64_t remaining = total_events;
+    std::uint64_t sink = 0;
+    Lcg lcg(9001);
+
+    std::function<void(Tick)> cont = [&sink](Tick t) { sink += t; };
+
+    std::function<void()> fire = [&]() {
+        if (remaining == 0)
+            return;
+        --remaining;
+        const Tick delay = 12000 + (lcg.next() & 0x3fff);
+        eq.schedule(delay, [&eq, &fire, cb = cont]() mutable {
+            cb(eq.now());
+            fire();
+        });
+    };
+
+    const auto start = Clock::now();
+    for (unsigned a = 0; a < actors; ++a)
+        fire();
+    eq.run();
+    const double secs = secondsSince(start);
+
+    bmc_assert(eq.numExecuted() == total_events,
+               "far storm executed %" PRIu64 " of %" PRIu64 " events",
+               eq.numExecuted(), total_events);
+    if (sink == 0xdeadbeef)
+        std::fprintf(stderr, "impossible\n");
+    return {"event_far", total_events, secs};
 }
 
 /**
@@ -208,6 +263,30 @@ mshrOps(std::uint64_t total_ops)
     return {"mshr_ops", total_ops, secs};
 }
 
+/**
+ * Functional fast-forward: System::warmupFunctional() on the preset
+ * 4-core machine running Q5 -- trace generation plus the
+ * L1/LLSC/organization functional chain, no events or DRAM timing.
+ * Instructions covered per second is what makes checkpointed warm-up
+ * cheap relative to a timed warm-up, so it is guarded like the
+ * kernel structures.
+ */
+BenchResult
+warmupFfwd(std::uint64_t instrs_per_core)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::preset(4);
+    cfg.seed = 11;
+    cfg.warmupInstrPerCore = 0;
+    const std::vector<std::string> programs = {
+        "zipf_hot", "zipf_hot", "stream_r", "scan_llc"}; // Q5
+    sim::System system(cfg, programs);
+
+    const auto start = Clock::now();
+    system.warmupFunctional(instrs_per_core);
+    const double secs = secondsSince(start);
+    return {"warmup_ffwd", instrs_per_core * cfg.cores, secs};
+}
+
 std::string
 resultJson(const BenchResult &r)
 {
@@ -231,6 +310,8 @@ main(int argc, char **argv)
     opts.addUint("events", 0, "event-storm events (0 = default)");
     opts.addUint("reqs", 0, "FR-FCFS serviced requests (0 = default)");
     opts.addUint("mshr", 0, "MSHR operations (0 = default)");
+    opts.addUint("warm", 0,
+                 "fast-forward instructions per core (0 = default)");
     opts.addUint("backlog", 192, "FR-FCFS steady queue depth");
     opts.parse(argc, argv);
 
@@ -244,14 +325,19 @@ main(int argc, char **argv)
     const std::uint64_t n_mshr =
         opts.getUint("mshr") ? opts.getUint("mshr")
                              : (quick ? 500'000 : 10'000'000);
+    const std::uint64_t n_warm =
+        opts.getUint("warm") ? opts.getUint("warm")
+                             : (quick ? 200'000 : 4'000'000);
     const unsigned backlog =
         static_cast<unsigned>(opts.getUint("backlog"));
 
     const BenchResult storm = eventStorm(n_events, 64);
+    const BenchResult far = eventFar(n_events, 64);
     const BenchResult picks = frfcfsPicks(n_reqs, backlog);
     const BenchResult mshr = mshrOps(n_mshr);
+    const BenchResult warm = warmupFfwd(n_warm);
 
-    for (const BenchResult *r : {&storm, &picks, &mshr}) {
+    for (const BenchResult *r : {&storm, &far, &picks, &mshr, &warm}) {
         std::printf("%-14s %12" PRIu64 " ops  %8.3f s  %12.0f /s\n",
                     r->name.c_str(), r->ops, r->seconds,
                     r->opsPerSec());
@@ -268,8 +354,10 @@ main(int argc, char **argv)
             << strfmt("  \"quick\": %s,\n", quick ? "true" : "false")
             << "  \"benches\": {\n"
             << resultJson(storm) << ",\n"
+            << resultJson(far) << ",\n"
             << resultJson(picks) << ",\n"
-            << resultJson(mshr) << "\n"
+            << resultJson(mshr) << ",\n"
+            << resultJson(warm) << "\n"
             << "  }\n}\n";
     }
     return 0;

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Performance smoke test for the simulation kernel: re-run
-# bench/kernel_throughput and fail if event_storm throughput fell
-# more than PERF_SMOKE_MAX_DROP_PCT percent (default 2) below the
-# recorded baseline (BENCH_kernel.json's "after" entry). Best-of-N is
-# compared because single runs on shared machines are noisy. The
-# tight default gate exists to catch instrumentation creep: the
-# observability hooks are compiled in but disabled in this benchmark,
-# and their cost must stay inside run-to-run noise. Set
-# PERF_SMOKE_MAX_DROP_PCT (e.g. 30) for loose sanity checking on
-# machines slower than the one that recorded the baseline.
+# bench/kernel_throughput and fail if any benchmark recorded in the
+# baseline (BENCH_kernel.json's "after" entry) fell more than
+# PERF_SMOKE_MAX_DROP_PCT percent (default 2) below its recorded
+# throughput. Every bench present in both the baseline and the fresh
+# runs is guarded (event_storm, event_far, frfcfs_picks, mshr_ops,
+# warmup_ffwd, and anything added later). Best-of-N is compared
+# because single runs on shared machines are noisy. The tight default
+# gate exists to catch instrumentation creep: the observability hooks
+# are compiled in but disabled in this benchmark, and their cost must
+# stay inside run-to-run noise. Set PERF_SMOKE_MAX_DROP_PCT (e.g. 30)
+# for loose sanity checking on machines slower than the one that
+# recorded the baseline.
 #
 # Usage: scripts/perf_smoke.sh [build-dir] [baseline-json]
 set -euo pipefail
@@ -48,18 +51,40 @@ with open(baseline_path) as f:
 # BENCH_kernel.json keeps {"before": {...}, "after": {...}} entries;
 # a raw --out file is accepted too.
 entry = baseline.get("after", baseline)
-ref = entry["benches"]["event_storm"]["ops_per_sec"]
+ref = {name: rec["ops_per_sec"]
+       for name, rec in entry["benches"].items()}
 
-best = 0.0
+best = {}
 for path in glob.glob(tmpdir + "/run*.json"):
     with open(path) as f:
         run = json.load(f)
-    best = max(best, run["benches"]["event_storm"]["ops_per_sec"])
+    for name, rec in run["benches"].items():
+        best[name] = max(best.get(name, 0.0), rec["ops_per_sec"])
 
-floor = (1.0 - float(max_drop_pct) / 100.0) * ref
-status = "OK" if best >= floor else "REGRESSION"
-print(f"perf_smoke: event_storm best {best:,.0f}/s vs baseline "
-      f"{ref:,.0f}/s (floor {floor:,.0f}/s, "
-      f"max drop {max_drop_pct}%): {status}")
-sys.exit(0 if best >= floor else 1)
+# Guard every bench recorded in both the baseline and the fresh runs,
+# so a bench added (or renamed) on either side degrades to a warning
+# instead of a KeyError.
+frac = 1.0 - float(max_drop_pct) / 100.0
+failed = []
+for name in sorted(ref):
+    if name not in best:
+        print(f"perf_smoke: WARNING: baseline bench '{name}' not "
+              f"produced by this binary; skipped")
+        continue
+    floor = frac * ref[name]
+    ok = best[name] >= floor
+    status = "OK" if ok else "REGRESSION"
+    print(f"perf_smoke: {name:<14} best {best[name]:>13,.0f}/s vs "
+          f"baseline {ref[name]:>13,.0f}/s "
+          f"(floor {floor:,.0f}/s): {status}")
+    if not ok:
+        failed.append(name)
+for name in sorted(set(best) - set(ref)):
+    print(f"perf_smoke: note: bench '{name}' has no baseline entry; "
+          f"unguarded")
+
+if failed:
+    print(f"perf_smoke: FAILED: {', '.join(failed)} below the "
+          f"{max_drop_pct}% drop floor")
+sys.exit(1 if failed else 0)
 EOF

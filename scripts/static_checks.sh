@@ -71,12 +71,14 @@ if [[ "$lint_only" == 1 ]]; then
 fi
 
 # ------------------------------------------------------ leg 3: TSan
-echo "== ThreadSanitizer suite (sweep / thread-pool / fuzz-smoke) =="
+# Checkpoint/SweepWarm ride along because the shared-warm-up pre-pass
+# runs one System per warm group on the sweep's thread pool.
+echo "== ThreadSanitizer suite (sweep / warm-up / thread-pool / fuzz-smoke) =="
 cmake -B "$tsan_dir" -S "$src_dir" \
     -DBMC_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$tsan_dir" -j"$(nproc)" --target bmc_tests bmcfuzz
 ctest --test-dir "$tsan_dir" --output-on-failure -j"$(nproc)" \
-    -R '^(Sweep\.|SweepSeed\.|SweepBuilder\.|ThreadPool\.|ParallelFor\.|fuzz_smoke$)'
+    -R '^(Sweep\.|SweepSeed\.|SweepBuilder\.|SweepWarm\.|Checkpoint\.|ThreadPool\.|ParallelFor\.|fuzz_smoke$)'
 
 echo "static_checks: full gate passed"

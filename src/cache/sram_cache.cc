@@ -147,6 +147,53 @@ SramCache::invalidate(Addr addr)
     return false;
 }
 
+void
+SramCache::serializeState(BinWriter &w) const
+{
+    w.u64(numSets_);
+    w.u32(p_.assoc);
+    w.u32(p_.blockBytes);
+    for (const Block &b : blocks_) {
+        w.u64(b.tag);
+        w.u8(b.valid ? 1 : 0);
+        w.u8(b.dirty ? 1 : 0);
+        w.u64(b.lastUse);
+    }
+    w.u64(useClock_);
+    const Rng::State rs = rng_.getState();
+    for (std::uint64_t word : rs.s)
+        w.u64(word);
+}
+
+void
+SramCache::deserializeState(BinReader &r)
+{
+    const std::uint64_t sets = r.u64();
+    const std::uint32_t assoc = r.u32();
+    const std::uint32_t block = r.u32();
+    if (sets != numSets_ || assoc != p_.assoc ||
+        block != p_.blockBytes) {
+        bmc_fatal("%s: checkpoint geometry (%llu sets, %u ways, %u B "
+                  "blocks) does not match this cache (%llu sets, %u "
+                  "ways, %u B blocks)",
+                  p_.name.c_str(),
+                  static_cast<unsigned long long>(sets), assoc, block,
+                  static_cast<unsigned long long>(numSets_), p_.assoc,
+                  p_.blockBytes);
+    }
+    for (Block &b : blocks_) {
+        b.tag = r.u64();
+        b.valid = r.u8() != 0;
+        b.dirty = r.u8() != 0;
+        b.lastUse = r.u64();
+    }
+    useClock_ = r.u64();
+    Rng::State rs;
+    for (std::uint64_t &word : rs.s)
+        word = r.u64();
+    rng_.setState(rs);
+}
+
 double
 SramCache::missRate() const
 {

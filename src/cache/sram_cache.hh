@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -92,6 +93,13 @@ class SramCache
     {
         return mruPos_.fraction(pos);
     }
+
+    /** Append contents + replacement state to a checkpoint. */
+    void serializeState(BinWriter &w) const;
+
+    /** Restore state written by serializeState(); geometry mismatch
+     *  is fatal. */
+    void deserializeState(BinReader &r);
 
   private:
     struct Block

@@ -115,6 +115,14 @@ ShadowChecker::onAccess(Addr addr, bool is_write, bool is_prefetch,
 }
 
 void
+ShadowChecker::seedLine(Addr addr, bool dirty)
+{
+    touchedRegions_.insert(addr >> kRegionShift);
+    if (dirty)
+        dirtyLines_.insert(addr >> kLineShift);
+}
+
+void
 ShadowChecker::finish() const
 {
     runAudit();

@@ -55,6 +55,15 @@ class ShadowChecker
     void onAccess(Addr addr, bool is_write, bool is_prefetch,
                   const dramcache::LookupResult &r);
 
+    /**
+     * Pre-seed shadow state for one resident line of a warm-started
+     * (checkpoint-restored) organization: the line's 4 KB region is
+     * marked touched, and the line marked dirty when @p dirty. The
+     * checker otherwise assumes a cold cache and would flag restored
+     * contents as fabricated residency.
+     */
+    void seedLine(Addr addr, bool dirty);
+
     /** Final deep audit; call once after the run drains. */
     void finish() const;
 

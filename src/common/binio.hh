@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Endian-stable binary stream primitives for checkpoint files.
+ *
+ * BinWriter appends fixed-width little-endian integers, doubles (as
+ * their IEEE-754 bit pattern) and length-prefixed byte strings to an
+ * in-memory buffer; BinReader walks the same layout back. Both sides
+ * write byte-by-byte, so checkpoints are byte-identical across hosts
+ * regardless of native endianness or struct padding, and a reader
+ * underrun is a clean bmc_fatal (SimError under ScopedThrowErrors),
+ * never an out-of-bounds read.
+ *
+ * The checkpoint schema hash pinned in src/sim/checkpoint.hh is a
+ * fingerprint over every .u8()/.u16()/... call site in src/ files
+ * that mention BinWriter/BinReader; bmclint's ckpt-versioned rule
+ * recomputes it so any serialized-field change forces a
+ * kCheckpointVersion bump.
+ */
+
+#ifndef BMC_COMMON_BINIO_HH
+#define BMC_COMMON_BINIO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace bmc
+{
+
+/** Append-only little-endian byte stream. */
+class BinWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        putLe(v, 2);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        putLe(v, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        putLe(v, 8);
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /** Length-prefixed (u64) byte string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    /** Raw bytes, no length prefix (caller-framed sections). */
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        buf_.append(static_cast<const char *>(data), n);
+    }
+
+    const std::string &data() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    void
+    putLe(std::uint64_t v, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    std::string buf_;
+};
+
+/** Bounds-checked reader over a BinWriter-shaped byte string. */
+class BinReader
+{
+  public:
+    explicit BinReader(const std::string &data) : data_(data) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint16_t
+    u16()
+    {
+        return static_cast<std::uint16_t>(getLe(2));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        return static_cast<std::uint32_t>(getLe(4));
+    }
+
+    std::uint64_t
+    u64()
+    {
+        return getLe(8);
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        __builtin_memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string s = data_.substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    /** Bytes consumed so far. */
+    std::size_t pos() const { return pos_; }
+
+    /** Bytes left unread. */
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+    bool atEnd() const { return pos_ == data_.size(); }
+
+  private:
+    void
+    need(std::uint64_t n)
+    {
+        if (n > data_.size() - pos_) {
+            bmc_fatal("checkpoint stream underrun: need %llu bytes "
+                      "at offset %zu of %zu",
+                      static_cast<unsigned long long>(n), pos_,
+                      data_.size());
+        }
+    }
+
+    std::uint64_t
+    getLe(unsigned n)
+    {
+        need(n);
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                     data_[pos_ + i]))
+                 << (8 * i);
+        }
+        pos_ += n;
+        return v;
+    }
+
+    const std::string &data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace bmc
+
+#endif // BMC_COMMON_BINIO_HH

@@ -1,6 +1,7 @@
 #include "common/event_queue.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -19,6 +20,8 @@ packId(std::uint32_t index, std::uint32_t gen)
 }
 
 } // anonymous namespace
+
+EventQueue::EventQueue() { wheel_.resize(kWheelSlots); }
 
 EventQueue::~EventQueue() = default;
 
@@ -55,6 +58,132 @@ EventQueue::freeNode(Node *node)
     ++node->gen;        // stale every outstanding id for this node
     freeNodes_.push_back(node->index);
 }
+
+// ---------------------------------------------------------------- wheel
+
+void
+EventQueue::wheelSetBit(std::uint64_t slot)
+{
+    const std::uint64_t word = slot >> 6;
+    wheelWords_[word] |= 1ull << (slot & 63);
+    wheelSummary_[word >> 6] |= 1ull << (word & 63);
+}
+
+void
+EventQueue::wheelClearBit(std::uint64_t slot)
+{
+    const std::uint64_t word = slot >> 6;
+    wheelWords_[word] &= ~(1ull << (slot & 63));
+    if (wheelWords_[word] == 0)
+        wheelSummary_[word >> 6] &= ~(1ull << (word & 63));
+}
+
+void
+EventQueue::wheelInsert(Tick when, Node *node)
+{
+    const std::uint64_t slot = when & kWheelMask;
+    node->when = when;
+    node->heapPos = kInWheel;
+    node->next = npos32;
+    Slot &s = wheel_[slot];
+    if (s.tail == npos32) {
+        node->prev = npos32;
+        s.head = s.tail = node->index;
+        wheelSetBit(slot);
+    } else {
+        node->prev = s.tail;
+        nodeAt(s.tail)->next = node->index;
+        s.tail = node->index;
+    }
+    ++wheelCount_;
+}
+
+void
+EventQueue::wheelRemove(Node *node)
+{
+    const std::uint64_t slot = node->when & kWheelMask;
+    Slot &s = wheel_[slot];
+    if (node->prev != npos32)
+        nodeAt(node->prev)->next = node->next;
+    else
+        s.head = node->next;
+    if (node->next != npos32)
+        nodeAt(node->next)->prev = node->prev;
+    else
+        s.tail = node->prev;
+    --wheelCount_;
+    if (s.head == npos32)
+        wheelClearBit(slot);
+}
+
+EventQueue::Node *
+EventQueue::wheelPopHead(std::uint64_t slot)
+{
+    Slot &s = wheel_[slot];
+    Node *node = nodeAt(s.head);
+    s.head = node->next;
+    if (s.head == npos32) {
+        s.tail = npos32;
+        wheelClearBit(slot);
+    } else {
+        nodeAt(s.head)->prev = npos32;
+    }
+    --wheelCount_;
+    return node;
+}
+
+std::uint64_t
+EventQueue::wheelNextWord(std::uint64_t word) const
+{
+    const std::uint64_t g0 = word >> 6;
+    const unsigned gb = static_cast<unsigned>(word & 63);
+    // Summary bits strictly after this word, inside its summary word.
+    std::uint64_t m =
+        gb < 63 ? (wheelSummary_[g0] & (~0ull << (gb + 1))) : 0ull;
+    if (m)
+        return (g0 << 6) +
+               static_cast<std::uint64_t>(std::countr_zero(m));
+    // Later summary words, wrapping; the starting word itself comes
+    // around last (its low bits are the fully wrapped case).
+    for (std::uint64_t i = 1; i <= kSummaryWords; ++i) {
+        const std::uint64_t g = (g0 + i) & (kSummaryWords - 1);
+        m = wheelSummary_[g];
+        if (i == kSummaryWords)
+            m &= (gb ? ((1ull << gb) - 1) : 0ull) | (1ull << gb);
+        if (m)
+            return (g << 6) +
+                   static_cast<std::uint64_t>(std::countr_zero(m));
+    }
+    bmc_assert(false, "wheelNextWord on an empty wheel");
+    return 0;
+}
+
+std::uint64_t
+EventQueue::wheelNextSlot() const
+{
+    // Cyclic scan from now_'s slot: the window is exactly kWheelSlots
+    // ticks, so each slot maps to one tick in [now_, now_+kWheelSlots)
+    // and the first occupied slot in cyclic order is the earliest one.
+    const std::uint64_t s0 = now_ & kWheelMask;
+    const std::uint64_t w0 = s0 >> 6;
+    const unsigned b0 = static_cast<unsigned>(s0 & 63);
+
+    // Bits >= b0 in the current word.
+    const std::uint64_t m = wheelWords_[w0] & (~0ull << b0);
+    if (m)
+        return (w0 << 6) +
+               static_cast<std::uint64_t>(std::countr_zero(m));
+
+    // Otherwise hop words via the summary level. When the scan wraps
+    // all the way back to w0, its surviving bits are all < b0 (the
+    // high ones were checked above), which is exactly the wrapped
+    // region, so a plain countr_zero stays correct.
+    const std::uint64_t w = wheelNextWord(w0);
+    return (w << 6) + static_cast<std::uint64_t>(
+                          std::countr_zero(wheelWords_[w]));
+}
+
+// ----------------------------------------------------------------- heap
 
 void
 EventQueue::siftUp(std::size_t pos)
@@ -113,6 +242,16 @@ EventQueue::removeFromHeap(std::size_t pos)
         siftDown(pos);
 }
 
+void
+EventQueue::heapPush(Tick when, Node *node)
+{
+    node->heapPos = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back({when, nextSeq_++, node});
+    siftUp(heap_.size() - 1);
+}
+
+// ------------------------------------------------------------ execution
+
 EventQueue::EventId
 EventQueue::enqueue(Tick when, Node *node)
 {
@@ -120,9 +259,10 @@ EventQueue::enqueue(Tick when, Node *node)
                "scheduling into the past: when=%llu now=%llu",
                static_cast<unsigned long long>(when),
                static_cast<unsigned long long>(now_));
-    node->heapPos = static_cast<std::uint32_t>(heap_.size());
-    heap_.push_back({when, nextSeq_++, node});
-    siftUp(heap_.size() - 1);
+    if (when - now_ < kWheelSlots)
+        wheelInsert(when, node);
+    else
+        heapPush(when, node);
     return packId(node->index, node->gen);
 }
 
@@ -146,37 +286,91 @@ EventQueue::cancel(EventId id)
     Node *node = nodeAt(index);
     if (node->gen != gen)
         return false; // already executed, cancelled, or reused
-    removeFromHeap(node->heapPos);
+    if (node->heapPos == kInWheel)
+        wheelRemove(node);
+    else
+        removeFromHeap(node->heapPos);
     freeNode(node);
     return true;
 }
 
-bool
-EventQueue::step()
+void
+EventQueue::invoke(Node *node)
 {
-    if (heap_.empty())
-        return false;
-    Node *top = heap_.front().node;
-    now_ = heap_.front().when;
-    removeFromHeap(0);
     ++numExecuted_;
     // Invoke straight from node storage -- no move. The generation
     // bump must happen *before* the call so a stale id held by the
     // callback itself fails to cancel; the node returns to the free
     // list only afterwards, so reentrant scheduling cannot clobber
     // the callable while it runs.
-    ++top->gen;
-    top->cb();
-    top->cb = nullptr;
-    freeNodes_.push_back(top->index);
+    ++node->gen;
+    node->cb();
+    node->cb = nullptr;
+    freeNodes_.push_back(node->index);
+}
+
+bool
+EventQueue::step()
+{
+    // Min-merge the wheel and the overflow heap. Every wheel event
+    // sits inside [now_, now_ + kWheelSlots) -- it was in-window when
+    // inserted and now_ only grows -- so the cyclic slot scan yields
+    // the wheel minimum directly. A same-tick tie goes to the heap:
+    // a heap resident at tick T was scheduled while T was outside
+    // the window, strictly before anything the wheel holds for T,
+    // so heap-first IS insertion order.
+    if (wheelCount_ > 0) {
+        const std::uint64_t slot = wheelNextSlot();
+        Node *node = nodeAt(wheel_[slot].head);
+        if (heap_.empty() || node->when < heap_.front().when) {
+            wheelPopHead(slot);
+            now_ = node->when;
+            invoke(node);
+            return true;
+        }
+    } else if (heap_.empty()) {
+        return false;
+    }
+    Node *node = heap_.front().node;
+    now_ = heap_.front().when;
+    removeFromHeap(0);
+    invoke(node);
     return true;
 }
 
 Tick
 EventQueue::run(Tick until)
 {
-    while (!heap_.empty() && heap_.front().when <= until)
-        step();
+    for (;;) {
+        const Tick heap_when =
+            heap_.empty() ? maxTick : heap_.front().when;
+        if (wheelCount_ > 0) {
+            const std::uint64_t slot = wheelNextSlot();
+            Slot &s = wheel_[slot];
+            const Tick when = nodeAt(s.head)->when;
+            if (when < heap_when) {
+                if (when > until)
+                    break;
+                now_ = when;
+                // Batch-drain the whole slot: every event mapping
+                // here sits at exactly tick now_ (one tick per slot
+                // inside the window, and same-tick heap events --
+                // scheduled strictly earlier -- already ran via the
+                // heap branch), so zero-delay reschedules join the
+                // same batch and the next-slot bitmap search runs
+                // once per tick instead of once per event.
+                while (s.head != npos32)
+                    invoke(wheelPopHead(slot));
+                continue;
+            }
+        }
+        if (heap_.empty() || heap_when > until)
+            break;
+        Node *node = heap_.front().node;
+        now_ = heap_when;
+        removeFromHeap(0);
+        invoke(node);
+    }
     return now_;
 }
 

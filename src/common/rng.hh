@@ -43,6 +43,27 @@ class Rng
     /** Bernoulli trial with probability @p p of returning true. */
     bool chance(double p);
 
+    /** Raw xoshiro256** state, for checkpoint serialization. */
+    struct State
+    {
+        std::uint64_t s[4];
+    };
+
+    State
+    getState() const
+    {
+        return {{s_[0], s_[1], s_[2], s_[3]}};
+    }
+
+    void
+    setState(const State &st)
+    {
+        s_[0] = st.s[0];
+        s_[1] = st.s[1];
+        s_[2] = st.s[2];
+        s_[3] = st.s[3];
+    }
+
   private:
     std::uint64_t s_[4];
 };

@@ -26,6 +26,10 @@ Channel::Channel(EventQueue &eq, const TimingParams &params,
     : eq_(eq), p_(params), id_(channel_id),
       banks_(params.banksPerChannel),
       bankFifo_(2 * params.banksPerChannel),
+      headSeq_(2 * params.banksPerChannel, kNoSeq),
+      headIdx_(2 * params.banksPerChannel, npos32),
+      rowHitSeq_(2 * params.banksPerChannel, kNoSeq),
+      rowHitIdx_(2 * params.banksPerChannel, npos32),
       rowTable_(64), rowMask_(63),
       nextRefreshAt_(params.toTicks(params.tREFI)),
       sg_("channel" + std::to_string(channel_id), &parent),
@@ -57,6 +61,45 @@ Channel::setCrossCheck(bool enabled)
                "cross-check must be toggled on an idle channel");
     crossCheck_ = enabled;
     shadowQueue_.clear();
+}
+
+void
+Channel::serializeBankState(BinWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(banks_.size()));
+    for (const BankState &bank : banks_) {
+        w.u8(bank.rowOpen ? 1 : 0);
+        w.u64(bank.openRow);
+    }
+}
+
+void
+Channel::deserializeBankState(BinReader &r)
+{
+    const std::uint32_t n = r.u32();
+    if (n == banks_.size()) {
+        for (BankState &bank : banks_) {
+            bank.rowOpen = r.u8() != 0;
+            bank.openRow = r.u64();
+            if (bank.rowOpen)
+                refreshRowHit(static_cast<unsigned>(
+                    &bank - banks_.data()));
+        }
+        return;
+    }
+    // Foreign geometry: acceptable only when nothing needs restoring
+    // (warm checkpoints are always all-closed), so checkpoints stay
+    // shareable across bank-count / timing-model variants.
+    for (std::uint32_t b = 0; b < n; ++b) {
+        const std::uint8_t row_open = r.u8();
+        r.u64();
+        if (row_open) {
+            bmc_fatal("checkpoint stores %u banks with bank %u open; "
+                      "this channel models %zu banks and cannot "
+                      "restore it",
+                      n, b, banks_.size());
+        }
+    }
 }
 
 double
@@ -193,6 +236,24 @@ Channel::rowErase(std::size_t pos)
 // ------------------------------------------------ list threading --
 
 void
+Channel::refreshRowHit(unsigned bank_id)
+{
+    const BankState &bank = banks_[bank_id];
+    for (const std::uint32_t prio : {0u, 1u}) {
+        const std::uint32_t bp = 2 * bank_id + prio;
+        const std::size_t lane = soaIndex(bp);
+        std::uint32_t head = npos32;
+        if (bank.rowOpen) {
+            const std::size_t rpos = rowFind(bp, bank.openRow);
+            if (rpos != static_cast<std::size_t>(-1))
+                head = rowTable_[rpos].list.head;
+        }
+        rowHitIdx_[lane] = head;
+        rowHitSeq_[lane] = head != npos32 ? slots_[head].seq : kNoSeq;
+    }
+}
+
+void
 Channel::linkSlot(std::uint32_t idx)
 {
     Slot &s = slots_[idx];
@@ -206,6 +267,10 @@ Channel::linkSlot(std::uint32_t idx)
     else
         bank_list.head = idx;
     bank_list.tail = idx;
+    if (bank_list.head == idx) {
+        headSeq_[soaIndex(bp)] = s.seq;
+        headIdx_[soaIndex(bp)] = idx;
+    }
 
     const std::size_t rpos = rowFindOrInsert(bp, s.req.loc.row);
     FifoList &row_list = rowTable_[rpos].list;
@@ -216,6 +281,15 @@ Channel::linkSlot(std::uint32_t idx)
     else
         row_list.head = idx;
     row_list.tail = idx;
+    // A new row-FIFO head is the bank's oldest hit only when the
+    // bank currently holds this row open.
+    if (row_list.head == idx) {
+        const BankState &bank = banks_[s.req.loc.bank];
+        if (bank.rowOpen && bank.openRow == s.req.loc.row) {
+            rowHitSeq_[soaIndex(bp)] = s.seq;
+            rowHitIdx_[soaIndex(bp)] = idx;
+        }
+    }
 }
 
 void
@@ -233,6 +307,12 @@ Channel::unlinkSlot(std::uint32_t idx)
         slots_[s.bankNext].bankPrev = s.bankPrev;
     else
         bank_list.tail = s.bankPrev;
+    if (s.bankPrev == npos32) { // idx was the FIFO head
+        const std::uint32_t head = bank_list.head;
+        headIdx_[soaIndex(bp)] = head;
+        headSeq_[soaIndex(bp)] =
+            head != npos32 ? slots_[head].seq : kNoSeq;
+    }
 
     const std::size_t rpos = rowFind(bp, s.req.loc.row);
     bmc_assert(rpos != static_cast<std::size_t>(-1),
@@ -246,6 +326,15 @@ Channel::unlinkSlot(std::uint32_t idx)
         slots_[s.rowNext].rowPrev = s.rowPrev;
     else
         row_list.tail = s.rowPrev;
+    if (s.rowPrev == npos32) { // idx was the row-FIFO head
+        const BankState &bank = banks_[s.req.loc.bank];
+        if (bank.rowOpen && bank.openRow == s.req.loc.row) {
+            const std::uint32_t head = row_list.head;
+            rowHitIdx_[soaIndex(bp)] = head;
+            rowHitSeq_[soaIndex(bp)] =
+                head != npos32 ? slots_[head].seq : kNoSeq;
+        }
+    }
     if (row_list.head == npos32)
         rowErase(rpos);
 }
@@ -267,6 +356,9 @@ Channel::catchUpRefresh(Tick when)
                     bank.nextActAllowed, nextRefreshAt_ + trfc);
             }
         }
+        // Every row is closed, so no queued request hits anymore.
+        std::fill(rowHitSeq_.begin(), rowHitSeq_.end(), kNoSeq);
+        std::fill(rowHitIdx_.begin(), rowHitIdx_.end(), npos32);
         if (cmdObs_) {
             CmdEvent ev;
             ev.kind = CmdKind::Ref;
@@ -317,6 +409,7 @@ Channel::openRow(BankState &bank, unsigned bank_id,
     bank.rowOpen = true;
     bank.openRow = row;
     bank.actAt = act_at;
+    refreshRowHit(bank_id);
     ++activity_.activates;
     if (cmdObs_) {
         CmdEvent ev;
@@ -373,38 +466,32 @@ Channel::pickNext() const
     // the controller's fill-buffer credits, so it cannot grow the
     // queue without limit even when demand saturates the channel.
     //
-    // Each class resolves with O(banks) head lookups: the per-(bank,
-    // prio) FIFO heads give the oldest request per bank, the row
-    // table gives the oldest same-row request per open bank, and the
-    // global winner is the minimum arrival seq across banks.
+    // Each class resolves with one cache-linear minimum scan over
+    // the prio-major SoA seq arrays (kNoSeq never wins, so empty
+    // lanes need no branch): first the open-row hits, then the FIFO
+    // heads. The link/unlink/row-transition hooks keep the arrays
+    // exact, so the winner equals the original per-bank list walk.
+    const std::size_t n = banks_.size();
     for (const std::uint32_t prio : {0u, 1u}) {
-        std::uint32_t best = npos32;
-        std::uint64_t best_seq = ~0ULL;
-        for (std::size_t b = 0; b < banks_.size(); ++b) {
-            if (!banks_[b].rowOpen)
-                continue;
-            const std::size_t rpos = rowFind(
-                static_cast<std::uint32_t>(2 * b + prio),
-                banks_[b].openRow);
-            if (rpos == static_cast<std::size_t>(-1))
-                continue;
-            const std::uint32_t head = rowTable_[rpos].list.head;
-            if (head != npos32 && slots_[head].seq < best_seq) {
-                best = head;
-                best_seq = slots_[head].seq;
+        const std::size_t base = prio * n;
+        std::size_t best_lane = 0;
+        std::uint64_t best_seq = kNoSeq;
+        for (std::size_t b = 0; b < n; ++b) {
+            if (rowHitSeq_[base + b] < best_seq) {
+                best_seq = rowHitSeq_[base + b];
+                best_lane = base + b;
             }
         }
-        if (best != npos32)
-            return best;
-        for (std::size_t b = 0; b < banks_.size(); ++b) {
-            const std::uint32_t head = bankFifo_[2 * b + prio].head;
-            if (head != npos32 && slots_[head].seq < best_seq) {
-                best = head;
-                best_seq = slots_[head].seq;
+        if (best_seq != kNoSeq)
+            return rowHitIdx_[best_lane];
+        for (std::size_t b = 0; b < n; ++b) {
+            if (headSeq_[base + b] < best_seq) {
+                best_seq = headSeq_[base + b];
+                best_lane = base + b;
             }
         }
-        if (best != npos32)
-            return best;
+        if (best_seq != kNoSeq)
+            return headIdx_[best_lane];
     }
     return npos32;
 }

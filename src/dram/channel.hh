@@ -15,10 +15,14 @@
  * The scheduler is indexed: queued requests live in a recycled slot
  * pool threaded onto per-(bank, priority) FIFO lists plus per-(bank,
  * priority, row) FIFO lists reachable through an open-addressing row
- * table, so one FR-FCFS pick costs O(banks) lookups instead of a
- * scan of the whole queue, while preserving the exact pick order of
- * the original linear scan (the arrival-order reference scheduler is
- * kept and can be cross-checked against the index with
+ * table. On top of the lists, the pick-relevant facts -- the arrival
+ * seq of each (bank, prio) FIFO head and of the oldest open-row hit
+ * per (bank, prio) -- are mirrored into prio-major SoA arrays kept
+ * current by link/unlink/row-transition hooks, so one FR-FCFS pick
+ * is a cache-linear minimum scan over flat u64 arrays instead of
+ * per-bank list and hash-table probes. The exact pick order of the
+ * original linear scan is preserved (the arrival-order reference
+ * scheduler is kept and can be cross-checked against the index with
  * setCrossCheck(); the differential test drives both on recorded
  * traces).
  *
@@ -141,6 +145,10 @@ class Channel : public ChannelIface
      */
     void setCrossCheck(bool enabled);
 
+    /** Per-bank (rowOpen, openRow) checkpoint section. */
+    void serializeBankState(BinWriter &w) const override;
+    void deserializeBankState(BinReader &r) override;
+
   private:
     struct BankState
     {
@@ -197,6 +205,19 @@ class Channel : public ChannelIface
         return (req.loc.bank << 1) | (req.lowPriority ? 1u : 0u);
     }
 
+    /** SoA lane for (bank, prio): prio-major so each priority class
+     *  scans one contiguous run of banks. */
+    std::size_t
+    soaIndex(std::uint32_t bank_prio) const
+    {
+        return (bank_prio & 1u) * banks_.size() + (bank_prio >> 1);
+    }
+
+    /** Recompute the open-row-hit SoA lanes of @p bank_id (both
+     *  priorities) from the row table; call after the bank's open
+     *  row changes. */
+    void refreshRowHit(unsigned bank_id);
+
     std::size_t rowHome(std::uint32_t bank_prio,
                         std::uint64_t row) const;
     /** Table position of (bank_prio, row), or npos if absent. */
@@ -243,6 +264,17 @@ class Channel : public ChannelIface
     std::vector<std::uint32_t> freeSlots_;
     /** One FIFO per (bank, priority): index 2*bank + prio. */
     std::vector<FifoList> bankFifo_;
+    /** Arrival seq that never matches a queued request. */
+    static constexpr std::uint64_t kNoSeq = ~0ULL;
+    /** SoA pick state, soaIndex()-indexed (prio-major, kNoSeq /
+     *  npos32 when the lane is empty): seq and slot of each (bank,
+     *  prio) FIFO head, and of the oldest request targeting the
+     *  bank's open row. pickNext() reduces to min-scans over the
+     *  seq arrays. */
+    std::vector<std::uint64_t> headSeq_;
+    std::vector<std::uint32_t> headIdx_;
+    std::vector<std::uint64_t> rowHitSeq_;
+    std::vector<std::uint32_t> rowHitIdx_;
     std::vector<RowEntry> rowTable_; //!< power-of-two capacity
     std::size_t rowMask_ = 0;
     std::size_t rowUsed_ = 0;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "common/binio.hh"
 #include "dram/request.hh"
 
 namespace bmc
@@ -77,6 +78,52 @@ class ChannelIface
      * pointer test per command when detached.
      */
     virtual void setCommandObserver(CmdObserver *obs) { (void)obs; }
+
+    /**
+     * Append this channel's per-bank row state (open/closed + open
+     * row) to @p w for a checkpoint. Models without per-bank row
+     * bookkeeping write an empty section. Functional warm-up never
+     * touches timing state, so warm checkpoints always carry
+     * all-closed banks; that is what makes them shareable across
+     * timing-model variants (see deserializeBankState()).
+     */
+    virtual void serializeBankState(BinWriter &w) const
+    {
+        w.u32(0); // no per-bank state in this model
+    }
+
+    /**
+     * Restore a bank section written by serializeBankState() -- by
+     * any channel model. A bank-count mismatch (different model or
+     * geometry) is tolerated only when every stored bank is closed;
+     * an open row cannot be re-imposed on a foreign model, so that
+     * case is fatal.
+     */
+    virtual void deserializeBankState(BinReader &r)
+    {
+        discardBankState(r);
+    }
+
+    /**
+     * Consume one serializeBankState() section without applying it
+     * (a channel present in the checkpoint but absent from this
+     * machine). Open rows make the section non-discardable: they
+     * represent state this machine cannot carry.
+     */
+    static void
+    discardBankState(BinReader &r)
+    {
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t b = 0; b < n; ++b) {
+            const std::uint8_t row_open = r.u8();
+            r.u64(); // open row id
+            if (row_open) {
+                bmc_fatal("checkpoint bank %u has an open row, which "
+                          "this channel model cannot restore",
+                          b);
+            }
+        }
+    }
 };
 
 } // namespace bmc::dram

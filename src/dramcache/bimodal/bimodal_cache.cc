@@ -750,6 +750,126 @@ BiModalCache::auditInvariants(std::string *why) const
     return true;
 }
 
+void
+BiModalCache::serializeState(BinWriter &w) const
+{
+    w.u64(numSets_);
+    w.u32(space_.maxBig());
+    w.u32(space_.yFor(space_.minBig()));
+    for (const Set &set : sets_) {
+        w.u8(set.x);
+        w.u8(set.y);
+        w.u8(set.mru0);
+        w.u8(set.mru1);
+        for (const BigWay &bw : set.big) {
+            w.u64(bw.frame);
+            w.u8(bw.valid ? 1 : 0);
+            w.u8(bw.usedMask);
+            w.u8(bw.dirtyMask);
+            w.u64(bw.lastUse);
+        }
+        for (const SmallWay &sw : set.small) {
+            w.u64(sw.line);
+            w.u8(sw.valid ? 1 : 0);
+            w.u8(sw.dirty ? 1 : 0);
+            w.u64(sw.lastUse);
+        }
+    }
+    w.u64(useClock_);
+    const Rng::State rs = rng_.getState();
+    for (std::uint64_t word : rs.s)
+        w.u64(word);
+    w.u8(locator_ ? 1 : 0);
+    if (locator_)
+        locator_->serializeState(w);
+    sizePred_.serializeState(w);
+    global_.serializeState(w);
+    w.u32(threshold_);
+    w.u64(epochAccessCount_);
+    w.u64(epochUsedSubBlocks_);
+    w.u64(epochEvictedBig_);
+}
+
+void
+BiModalCache::deserializeState(BinReader &r)
+{
+    const std::uint64_t sets = r.u64();
+    const std::uint32_t max_big = r.u32();
+    const std::uint32_t max_small = r.u32();
+    if (sets != numSets_ || max_big != space_.maxBig() ||
+        max_small != space_.yFor(space_.minBig())) {
+        bmc_fatal("%s: checkpoint geometry (%llu sets, %u big, %u "
+                  "small ways) does not match this cache (%llu sets, "
+                  "%u big, %u small ways)",
+                  p_.name.c_str(),
+                  static_cast<unsigned long long>(sets), max_big,
+                  max_small,
+                  static_cast<unsigned long long>(numSets_),
+                  space_.maxBig(), space_.yFor(space_.minBig()));
+    }
+    for (Set &set : sets_) {
+        set.x = r.u8();
+        set.y = r.u8();
+        set.mru0 = r.u8();
+        set.mru1 = r.u8();
+        for (BigWay &bw : set.big) {
+            bw.frame = r.u64();
+            bw.valid = r.u8() != 0;
+            bw.usedMask = r.u8();
+            bw.dirtyMask = r.u8();
+            bw.lastUse = r.u64();
+        }
+        for (SmallWay &sw : set.small) {
+            sw.line = r.u64();
+            sw.valid = r.u8() != 0;
+            sw.dirty = r.u8() != 0;
+            sw.lastUse = r.u64();
+        }
+    }
+    useClock_ = r.u64();
+    Rng::State rs;
+    for (std::uint64_t &word : rs.s)
+        word = r.u64();
+    rng_.setState(rs);
+    const bool had_locator = r.u8() != 0;
+    if (had_locator != (locator_ != nullptr)) {
+        bmc_fatal("%s: checkpoint %s a way locator but this cache %s",
+                  p_.name.c_str(),
+                  had_locator ? "carries" : "lacks",
+                  locator_ ? "has one" : "has none");
+    }
+    if (locator_)
+        locator_->deserializeState(r);
+    sizePred_.deserializeState(r);
+    global_.deserializeState(r);
+    threshold_ = r.u32();
+    epochAccessCount_ = r.u64();
+    epochUsedSubBlocks_ = r.u64();
+    epochEvictedBig_ = r.u64();
+}
+
+void
+BiModalCache::forEachResidentLine(
+    const std::function<void(Addr, bool)> &cb) const
+{
+    const unsigned lines = 1u << (bigBits_ - 6);
+    for (const Set &set : sets_) {
+        for (const BigWay &bw : set.big) {
+            if (!bw.valid)
+                continue;
+            const Addr base = bw.frame << bigBits_;
+            for (unsigned i = 0; i < lines; ++i) {
+                cb(base + static_cast<Addr>(i) * kLineBytes,
+                   (bw.dirtyMask >> i) & 1);
+            }
+        }
+        for (const SmallWay &sw : set.small) {
+            if (sw.valid)
+                cb(sw.line * kLineBytes, sw.dirty);
+        }
+    }
+}
+
 } // namespace bmc::dramcache
 
 namespace bmc::dramcache

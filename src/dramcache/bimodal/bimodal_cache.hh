@@ -111,6 +111,12 @@ class BiModalCache : public DramCacheOrg
     /** Deep structural self-check (see DramCacheOrg). */
     bool auditInvariants(std::string *why) const override;
 
+    bool supportsCheckpoint() const override { return true; }
+    void serializeState(BinWriter &w) const override;
+    void deserializeState(BinReader &r) override;
+    void forEachResidentLine(
+        const std::function<void(Addr, bool)> &cb) const override;
+
     /** Metadata bytes per set as stored in the metadata bank. */
     static constexpr std::uint32_t kMetaBytesPerSet = 128;
 

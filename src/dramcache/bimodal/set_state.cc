@@ -90,4 +90,24 @@ GlobalStateController::adapt()
     demandSmall_ = 0;
 }
 
+void
+GlobalStateController::serializeState(BinWriter &w) const
+{
+    w.u32(x_);
+    w.u32(y_);
+    w.u64(accessesInEpoch_);
+    w.u64(demandBig_);
+    w.u64(demandSmall_);
+}
+
+void
+GlobalStateController::deserializeState(BinReader &r)
+{
+    x_ = r.u32();
+    y_ = r.u32();
+    accessesInEpoch_ = r.u64();
+    demandBig_ = r.u64();
+    demandSmall_ = r.u64();
+}
+
 } // namespace bmc::dramcache

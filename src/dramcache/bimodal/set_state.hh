@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "common/binio.hh"
 #include "common/stats.hh"
 
 namespace bmc::dramcache
@@ -82,6 +83,12 @@ class GlobalStateController
 
     /** Apply the adaptation rules immediately (exposed for tests). */
     void adapt();
+
+    /** Append (Xglob, Yglob) + epoch demand counters. */
+    void serializeState(BinWriter &w) const;
+
+    /** Restore state written by serializeState(). */
+    void deserializeState(BinReader &r);
 
   private:
     const SetStateSpace &space_;

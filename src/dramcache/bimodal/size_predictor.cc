@@ -56,4 +56,27 @@ SizePredictor::train(std::uint64_t frame_id, unsigned used_bits)
     }
 }
 
+void
+SizePredictor::serializeState(BinWriter &w) const
+{
+    w.u64(table_.size());
+    for (std::uint8_t ctr : table_)
+        w.u8(ctr);
+    w.u32(p_.threshold);
+}
+
+void
+SizePredictor::deserializeState(BinReader &r)
+{
+    const std::uint64_t n = r.u64();
+    if (n != table_.size()) {
+        bmc_fatal("size predictor checkpoint has %llu counters, this "
+                  "predictor has %zu",
+                  static_cast<unsigned long long>(n), table_.size());
+    }
+    for (std::uint8_t &ctr : table_)
+        ctr = r.u8();
+    p_.threshold = r.u32();
+}
+
 } // namespace bmc::dramcache

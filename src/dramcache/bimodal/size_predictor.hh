@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -67,6 +68,13 @@ class SizePredictor
 
     /** Predictor table storage (bytes). */
     std::uint64_t tableBytes() const { return table_.size() * 2 / 8; }
+
+    /** Append counter table + threshold to a checkpoint. */
+    void serializeState(BinWriter &w) const;
+
+    /** Restore state written by serializeState(); table-size
+     *  mismatch is fatal. */
+    void deserializeState(BinReader &r);
 
     std::uint64_t bigPredictions() const { return predBig_.value(); }
     std::uint64_t smallPredictions() const

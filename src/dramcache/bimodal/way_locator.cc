@@ -140,4 +140,38 @@ WayLocator::hitRate() const
                : 0.0;
 }
 
+void
+WayLocator::serializeState(BinWriter &w) const
+{
+    w.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        w.u8(e.valid ? 1 : 0);
+        w.u8(e.isBig ? 1 : 0);
+        w.u64(e.key);
+        w.u8(e.way);
+        w.u64(e.lastUse);
+    }
+    w.u64(useClock_);
+}
+
+void
+WayLocator::deserializeState(BinReader &r)
+{
+    const std::uint64_t n = r.u64();
+    if (n != entries_.size()) {
+        bmc_fatal("way locator checkpoint has %llu entries, this "
+                  "locator has %zu",
+                  static_cast<unsigned long long>(n),
+                  entries_.size());
+    }
+    for (Entry &e : entries_) {
+        e.valid = r.u8() != 0;
+        e.isBig = r.u8() != 0;
+        e.key = r.u64();
+        e.way = r.u8();
+        e.lastUse = r.u64();
+    }
+    useClock_ = r.u64();
+}
+
 } // namespace bmc::dramcache

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -90,6 +91,13 @@ class WayLocator
                                //!< addr >> 6 (small)
         std::uint8_t way = 0;
     };
+
+    /** Append table contents + LRU state to a checkpoint. */
+    void serializeState(BinWriter &w) const;
+
+    /** Restore state written by serializeState(); size mismatch is
+     *  fatal. */
+    void deserializeState(BinReader &r);
 
     /** Invoke @p fn for every valid entry (invariant audits). */
     template <typename Fn>

@@ -371,6 +371,79 @@ FixedOrg::auditInvariants(std::string *why) const
     return true;
 }
 
+void
+FixedOrg::serializeState(BinWriter &w) const
+{
+    w.u64(numSets_);
+    w.u32(p_.assoc);
+    w.u32(p_.blockBytes);
+    for (const Block &b : blocks_) {
+        w.u64(b.tag);
+        w.u8(b.valid ? 1 : 0);
+        w.u64(b.dirtyMask);
+        w.u64(b.usedMask);
+        w.u64(b.lastUse);
+    }
+    w.u64(useClock_);
+    w.u8(locator_ ? 1 : 0);
+    if (locator_)
+        locator_->serializeState(w);
+}
+
+void
+FixedOrg::deserializeState(BinReader &r)
+{
+    const std::uint64_t sets = r.u64();
+    const std::uint32_t assoc = r.u32();
+    const std::uint32_t block = r.u32();
+    if (sets != numSets_ || assoc != p_.assoc ||
+        block != p_.blockBytes) {
+        bmc_fatal("%s: checkpoint geometry (%llu sets, %u ways, %u B "
+                  "blocks) does not match this cache (%llu sets, %u "
+                  "ways, %u B blocks)",
+                  p_.name.c_str(),
+                  static_cast<unsigned long long>(sets), assoc, block,
+                  static_cast<unsigned long long>(numSets_), p_.assoc,
+                  p_.blockBytes);
+    }
+    for (Block &b : blocks_) {
+        b.tag = r.u64();
+        b.valid = r.u8() != 0;
+        b.dirtyMask = r.u64();
+        b.usedMask = r.u64();
+        b.lastUse = r.u64();
+    }
+    useClock_ = r.u64();
+    const bool had_locator = r.u8() != 0;
+    if (had_locator != (locator_ != nullptr)) {
+        bmc_fatal("%s: checkpoint %s a way locator but this cache %s",
+                  p_.name.c_str(),
+                  had_locator ? "carries" : "lacks",
+                  locator_ ? "has one" : "has none");
+    }
+    if (locator_)
+        locator_->deserializeState(r);
+}
+
+void
+FixedOrg::forEachResidentLine(
+    const std::function<void(Addr, bool)> &cb) const
+{
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        const Block *ways = &blocks_[s * p_.assoc];
+        for (unsigned w = 0; w < p_.assoc; ++w) {
+            const Block &blk = ways[w];
+            if (!blk.valid)
+                continue;
+            const Addr base = blockBase(blk.tag, s);
+            for (unsigned i = 0; i < subBlocks_; ++i) {
+                cb(base + static_cast<Addr>(i) * kLineBytes,
+                   (blk.dirtyMask >> i) & 1);
+            }
+        }
+    }
+}
+
 } // namespace bmc::dramcache
 
 namespace bmc::dramcache

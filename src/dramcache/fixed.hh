@@ -90,6 +90,12 @@ class FixedOrg : public DramCacheOrg
     /** Deep structural self-check (see DramCacheOrg). */
     bool auditInvariants(std::string *why) const override;
 
+    bool supportsCheckpoint() const override { return true; }
+    void serializeState(BinWriter &w) const override;
+    void deserializeState(BinReader &r) override;
+    void forEachResidentLine(
+        const std::function<void(Addr, bool)> &cb) const override;
+
   private:
     struct Block
     {

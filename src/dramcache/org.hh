@@ -23,9 +23,11 @@
 #define BMC_DRAMCACHE_ORG_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/binio.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/request.hh"
@@ -175,6 +177,53 @@ class DramCacheOrg
     {
         (void)why;
         return true;
+    }
+
+    /**
+     * Whether this organization can serialize its functional state
+     * into a checkpoint (src/sim/checkpoint.hh). Organizations that
+     * return false are still usable with --warm-insts (the warm-up
+     * replays in-process); they just cannot share checkpoints.
+     */
+    virtual bool supportsCheckpoint() const { return false; }
+
+    /**
+     * Append the complete functional state (contents, replacement,
+     * predictors, RNG streams) to @p w, such that deserializeState()
+     * on a freshly constructed organization with the same parameters
+     * reproduces bit-identical future behaviour.
+     */
+    virtual void serializeState(BinWriter &w) const
+    {
+        (void)w;
+        bmc_fatal("organization '%s' does not support checkpoint "
+                  "serialization",
+                  name().c_str());
+    }
+
+    /** Restore state written by serializeState(); geometry mismatch
+     *  is fatal. */
+    virtual void deserializeState(BinReader &r)
+    {
+        (void)r;
+        bmc_fatal("organization '%s' does not support checkpoint "
+                  "deserialization",
+                  name().c_str());
+    }
+
+    /**
+     * Enumerate every resident 64-byte line as cb(line_addr, dirty),
+     * so runtime checkers can seed their shadow state after a warm
+     * start -- a restored cache holds lines the checkers never saw
+     * filled. Required from checkpoint-capable organizations.
+     */
+    virtual void forEachResidentLine(
+        const std::function<void(Addr, bool)> &cb) const
+    {
+        (void)cb;
+        bmc_fatal("organization '%s' does not support resident-line "
+                  "enumeration",
+                  name().c_str());
     }
 };
 

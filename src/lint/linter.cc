@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <regex>
@@ -45,6 +47,9 @@ constexpr const char *kEventPathFiles[] = {
 /** The curated-stats pair checked by stats-printed. */
 constexpr const char *kStatsDecl = "src/sim/metrics.hh";
 constexpr const char *kStatsPrinter = "src/sim/metrics.cc";
+
+/** Where the checkpoint schema pin lives (ckpt-versioned). */
+constexpr const char *kCkptPin = "src/sim/checkpoint.hh";
 
 bool
 startsWith(const std::string &s, const char *prefix)
@@ -574,6 +579,18 @@ ruleSchemeRegistered(RuleCtx &ctx)
          "tests can reach it");
 }
 
+// --------------------------------------------- ckpt fingerprint
+
+/** Render a 64-bit hash the way checkpoint.hh pins it. */
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
 // ------------------------------------------------- tree walking
 
 std::string
@@ -616,6 +633,9 @@ ruleCatalog()
         {"scheme-registered",
          "DramCacheOrg subclasses must register with the scheme "
          "registry"},
+        {"ckpt-versioned",
+         "serialized-field changes must re-pin kCheckpointSchemaHash "
+         "(and bump kCheckpointVersion)"},
     };
     return rules;
 }
@@ -749,6 +769,122 @@ lintStatsPrinted(const std::string &decl_path,
     return kept;
 }
 
+std::uint64_t
+ckptSchemaFingerprint(
+    const std::vector<std::pair<std::string, std::string>> &files)
+{
+    // Same FNV-1a parameters as the checkpoint file checksum.
+    constexpr std::uint64_t kOffset = 14695981039346656037ULL;
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+    std::vector<std::pair<std::string, std::string>> sorted = files;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
+    static const std::regex serializerRef(R"(\bBinWriter|\bBinReader)");
+    static const std::regex fieldCall(
+        R"((\.|->)\s*(u8|u16|u32|u64|f64|str|bytes)\s*\()");
+
+    std::uint64_t h = kOffset;
+    const auto feed = [&](const std::string &s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= kPrime;
+        }
+    };
+
+    for (const auto &[rel, content] : sorted) {
+        const SourceView view = preprocess(content);
+        bool touches = false;
+        for (const std::string &line : view.code) {
+            if (std::regex_search(line, serializerRef)) {
+                touches = true;
+                break;
+            }
+        }
+        if (!touches)
+            continue;
+        for (const std::string &line : view.code) {
+            if (!std::regex_search(line, fieldCall))
+                continue;
+            // Whitespace-insensitive so reformatting never trips
+            // the rule; order-sensitive so field moves always do.
+            feed(normalizeSlashes(rel));
+            feed(":");
+            for (const char c : line) {
+                if (std::isspace(static_cast<unsigned char>(c)))
+                    continue;
+                h ^= static_cast<unsigned char>(c);
+                h *= kPrime;
+            }
+            feed("\n");
+        }
+    }
+    return h;
+}
+
+std::vector<Finding>
+lintCkptVersioned(
+    const std::vector<std::pair<std::string, std::string>> &files,
+    const std::string &pin_path, const std::string &pin_content)
+{
+    const std::uint64_t have = ckptSchemaFingerprint(files);
+
+    std::vector<Finding> findings;
+    const SourceView pinView = preprocess(pin_content);
+
+    static const std::regex pinRe(
+        R"(kCheckpointSchemaHash\s*=\s*0[xX]([0-9a-fA-F']+))");
+    std::uint64_t want = 0;
+    int pinLine = 0; // 1-based; 0 = not found
+    for (std::size_t i = 0; i < pinView.code.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(pinView.code[i], m, pinRe))
+            continue;
+        std::string digits = m[1].str();
+        digits.erase(std::remove(digits.begin(), digits.end(), '\''),
+                     digits.end());
+        want = std::stoull(digits, nullptr, 16);
+        pinLine = static_cast<int>(i) + 1;
+        break;
+    }
+
+    if (pinLine == 0) {
+        Finding f;
+        f.file = normalizeSlashes(pin_path);
+        f.line = 0;
+        f.rule = "ckpt-versioned";
+        f.message = "no `kCheckpointSchemaHash = 0x...` pin found; "
+                    "pin the serialized-field fingerprint " +
+                    hashHex(have) +
+                    " so layout changes are caught at lint time";
+        findings.push_back(std::move(f));
+    } else if (want != have) {
+        Finding f;
+        f.file = normalizeSlashes(pin_path);
+        f.line = pinLine;
+        f.rule = "ckpt-versioned";
+        f.message =
+            "serialized-field fingerprint is " + hashHex(have) +
+            " but kCheckpointSchemaHash pins " + hashHex(want) +
+            "; the checkpoint byte layout changed -- bump "
+            "kCheckpointVersion if files written before this change "
+            "are now unreadable, then re-pin kCheckpointSchemaHash "
+            "to " +
+            hashHex(have);
+        findings.push_back(std::move(f));
+    }
+
+    const Suppressions sup = parseSuppressions(pinView);
+    std::vector<Finding> kept;
+    for (Finding &f : findings)
+        if (!sup.covers(f.line, f.rule))
+            kept.push_back(std::move(f));
+    return kept;
+}
+
 std::vector<Finding>
 lintTree(const Options &opts, const std::vector<std::string> &paths,
          std::size_t *files_scanned)
@@ -815,6 +951,37 @@ lintTree(const Options &opts, const std::vector<std::string> &paths,
         if (readFile(root / kStatsDecl, decl) &&
             readFile(root / kStatsPrinter, printer)) {
             auto f = lintStatsPrinted(kStatsDecl, decl, printer);
+            findings.insert(findings.end(),
+                            std::make_move_iterator(f.begin()),
+                            std::make_move_iterator(f.end()));
+        }
+    }
+    if (enabled("ckpt-versioned")) {
+        // Whole-project rule over src/ regardless of the path
+        // arguments, like stats-printed: the fingerprint is only
+        // meaningful over the complete serializer set.
+        std::string pin;
+        if (readFile(root / kCkptPin, pin)) {
+            std::vector<std::pair<std::string, std::string>> srcs;
+            std::error_code ec;
+            for (auto it = fs::recursive_directory_iterator(
+                     root / "src", ec);
+                 !ec && it != fs::recursive_directory_iterator();
+                 ++it) {
+                if (!it->is_regular_file())
+                    continue;
+                const std::string ext =
+                    it->path().extension().string();
+                if (ext != ".cc" && ext != ".hh")
+                    continue;
+                std::string content;
+                if (readFile(it->path(), content))
+                    srcs.emplace_back(
+                        normalizeSlashes(
+                            fs::relative(it->path(), root).string()),
+                        std::move(content));
+            }
+            auto f = lintCkptVersioned(srcs, kCkptPin, pin);
             findings.insert(findings.end(),
                             std::make_move_iterator(f.begin()),
                             std::make_move_iterator(f.end()));

@@ -49,6 +49,18 @@
  *                    invisible to bmcsim --scheme, the sweep matrix,
  *                    the fuzzer's scheme enumeration and the
  *                    registry-driven test suites.
+ *   ckpt-versioned   the checkpoint byte layout is fingerprinted:
+ *                    an FNV-1a hash over every BinWriter/BinReader
+ *                    field call (.u8/.u16/.u32/.u64/.f64/.str/.bytes)
+ *                    in src/ files that mention BinWriter/BinReader,
+ *                    in sorted-path order. The hash must equal
+ *                    kCheckpointSchemaHash in src/sim/checkpoint.hh.
+ *                    Adding, removing or reordering a serialized
+ *                    field changes the fingerprint and forces a
+ *                    conscious re-pin -- and a kCheckpointVersion
+ *                    bump whenever the on-disk layout really changed,
+ *                    so stale checkpoint files fail loudly instead of
+ *                    deserializing garbage.
  *
  * Suppressions: a finding is silenced by `// bmclint:allow(rule-id)`
  * (comma-separated ids, or `*`) on the finding's line or on the line
@@ -60,7 +72,9 @@
 #define BMC_LINT_LINTER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bmc::lint
@@ -116,6 +130,27 @@ std::vector<Finding> lintSource(const std::string &relpath,
 std::vector<Finding> lintStatsPrinted(const std::string &decl_path,
                                       const std::string &decl_content,
                                       const std::string &printer_content);
+
+/**
+ * The ckpt-versioned fingerprint: FNV-1a (offset/prime as
+ * common/binio.hh's checksum) over every serializer field call in
+ * @p files -- (root-relative path, content) pairs, hashed in sorted
+ * path order. Files whose code never mentions BinWriter/BinReader
+ * contribute nothing. Exposed so tests can pin known fixtures and so
+ * the finding message can tell the developer the value to re-pin.
+ */
+std::uint64_t ckptSchemaFingerprint(
+    const std::vector<std::pair<std::string, std::string>> &files);
+
+/**
+ * The ckpt-versioned rule: the fingerprint of @p files must equal
+ * the `kCheckpointSchemaHash = 0x...` pin inside @p pin_content (at
+ * @p pin_path, normally src/sim/checkpoint.hh). Split out so tests
+ * can drive it with fixture trees.
+ */
+std::vector<Finding> lintCkptVersioned(
+    const std::vector<std::pair<std::string, std::string>> &files,
+    const std::string &pin_path, const std::string &pin_content);
 
 /**
  * Walk @p paths (files or directories, relative to opts.root),

@@ -1,0 +1,129 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+
+#include "common/binio.hh"
+#include "common/logging.hh"
+
+namespace bmc::sim
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'B', 'M', 'C', '1', 'C', 'K', 'P', 'T'};
+constexpr std::uint16_t kEndianMarker = 0x0102;
+
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+std::string
+frameCheckpoint(const std::string &identity, const std::string &state)
+{
+    BinWriter w;
+    w.bytes(kMagic, sizeof(kMagic));
+    w.u32(kCheckpointVersion);
+    w.u16(kEndianMarker);
+    w.str(identity);
+    w.str(state);
+    const std::uint64_t sum = fnv1a(w.data());
+    BinWriter footer;
+    footer.u64(sum);
+    return w.data() + footer.data();
+}
+
+CheckpointImage
+unframeCheckpoint(const std::string &image)
+{
+    if (image.size() < sizeof(kMagic) + 4 + 2 + 8) {
+        bmc_fatal("checkpoint file is truncated (%zu bytes)",
+                  image.size());
+    }
+    if (image.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) !=
+        0) {
+        bmc_fatal("not a checkpoint file (bad magic)");
+    }
+
+    // Checksum covers everything before the 8-byte footer.
+    const std::string body = image.substr(0, image.size() - 8);
+    const std::string footer = image.substr(image.size() - 8);
+    BinReader fr(footer);
+    const std::uint64_t stored_sum = fr.u64();
+    const std::uint64_t computed_sum = fnv1a(body);
+    if (stored_sum != computed_sum) {
+        bmc_fatal("checkpoint checksum mismatch (stored %016llx, "
+                  "computed %016llx): file is corrupt or truncated",
+                  static_cast<unsigned long long>(stored_sum),
+                  static_cast<unsigned long long>(computed_sum));
+    }
+
+    BinReader r(body);
+    for (std::size_t i = 0; i < sizeof(kMagic); ++i)
+        (void)r.u8();
+    const std::uint32_t version = r.u32();
+    if (version != kCheckpointVersion) {
+        bmc_fatal("checkpoint version %u does not match this build "
+                  "(version %u); re-create the checkpoint",
+                  version, kCheckpointVersion);
+    }
+    const std::uint16_t endian = r.u16();
+    if (endian != kEndianMarker) {
+        bmc_fatal("checkpoint endianness marker 0x%04x does not "
+                  "match 0x%04x: file was written by an incompatible "
+                  "build",
+                  endian, kEndianMarker);
+    }
+
+    CheckpointImage out;
+    out.identity = r.str();
+    out.state = r.str();
+    if (!r.atEnd()) {
+        bmc_fatal("checkpoint has %zu trailing bytes after the state "
+                  "blob",
+                  r.remaining());
+    }
+    return out;
+}
+
+void
+writeCheckpointFile(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        bmc_fatal("cannot open '%s' for writing", path.c_str());
+    const std::size_t n =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool ok = n == bytes.size() && std::fclose(f) == 0;
+    if (!ok)
+        bmc_fatal("short write to checkpoint '%s'", path.c_str());
+}
+
+std::string
+readCheckpointFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        bmc_fatal("cannot open checkpoint '%s'", path.c_str());
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (err)
+        bmc_fatal("read error on checkpoint '%s'", path.c_str());
+    return out;
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Versioned, endian-stable checkpoint files for functional warm-up
+ * (the fast-forward half of the paper's methodology, made
+ * restartable).
+ *
+ * A checkpoint captures the complete *functional* machine state
+ * after a warm-up of N instructions per core: DRAM cache contents +
+ * replacement + predictors + way locator, L1/LLSC contents, per-bank
+ * row state and the trace-stream positions. Timing state (event
+ * queue, MSHRs, in-flight requests, channel schedulers) is
+ * deliberately excluded -- functional warm-up never touches it -- so
+ * a restored System starts the measured region from an identical,
+ * quiescent machine and produces bit-identical results to an
+ * in-process warm-up.
+ *
+ * File layout (all little-endian, framed with common/binio.hh):
+ *
+ *   byte[8]  magic "BMC1CKPT"
+ *   u32      kCheckpointVersion
+ *   u16      0x0102 endianness marker
+ *   str      identity blob (System::identityBlob(): every config
+ *            field that affects warm state; compared on load)
+ *   str      state blob (System::serializeWarmState())
+ *   u64      FNV-1a checksum of everything above
+ *
+ * Version discipline: any change to any serialized field -- here, in
+ * the organizations, caches, locator, predictor or channel bank
+ * sections -- must bump kCheckpointVersion. The bmclint rule
+ * `ckpt-versioned` enforces this mechanically: it fingerprints every
+ * serializer field call in src/ files that mention
+ * BinWriter/BinReader and compares the result against
+ * kCheckpointSchemaHash below.
+ */
+
+#ifndef BMC_SIM_CHECKPOINT_HH
+#define BMC_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bmc::sim
+{
+
+/** Bump on ANY change to the serialized checkpoint layout. */
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/**
+ * FNV-1a fingerprint of the checkpoint serialization code (see file
+ * comment). Recomputed by `bmclint --rule=ckpt-versioned`; when the
+ * linter reports a mismatch, review the schema change, bump
+ * kCheckpointVersion and paste the hash the finding reports.
+ */
+constexpr std::uint64_t kCheckpointSchemaHash = 0x5d08d5ac2ea1f474ULL;
+
+/** Decoded checkpoint file: the two framed blobs. */
+struct CheckpointImage
+{
+    std::string identity;
+    std::string state;
+};
+
+/** Frame identity + state into a complete checkpoint file image. */
+std::string frameCheckpoint(const std::string &identity,
+                            const std::string &state);
+
+/**
+ * Validate and decode a checkpoint file image. Magic, version,
+ * endianness-marker, checksum or framing errors are bmc_fatal
+ * (SimError under ScopedThrowErrors).
+ */
+CheckpointImage unframeCheckpoint(const std::string &image);
+
+/** Write @p bytes to @p path atomically-ish; bmc_fatal on failure. */
+void writeCheckpointFile(const std::string &path,
+                         const std::string &bytes);
+
+/** Read the whole file at @p path; bmc_fatal on failure. */
+std::string readCheckpointFile(const std::string &path);
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_CHECKPOINT_HH

@@ -136,4 +136,55 @@ MemHierarchy::access(CoreId core, Addr addr, bool is_write,
     return {Outcome::Kind::Miss, 0};
 }
 
+void
+MemHierarchy::warmAccess(CoreId core, Addr addr, bool is_write,
+                         dramcache::DramCacheOrg &org)
+{
+    bmc_assert(core < l1_.size(), "core id out of range");
+
+    // Same functional update chain as access(), minus MSHRs,
+    // prefetch, tracing and timing: L1 -> LLSC -> organization, with
+    // dirty victims propagating downward as writes.
+    cache::SramCache &l1 = *l1_[core];
+    const auto o1 = l1.access(addr, is_write);
+    if (o1.writeback) {
+        const auto wb = llsc_->access(o1.victimAddr, true);
+        if (wb.writeback)
+            org.access(wb.victimAddr, true);
+    }
+    if (o1.hit)
+        return;
+
+    const auto o2 = llsc_->access(addr, is_write);
+    if (o2.writeback)
+        org.access(o2.victimAddr, true);
+    if (o2.hit)
+        return;
+
+    org.access(addr, is_write);
+}
+
+void
+MemHierarchy::serializeState(BinWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(l1_.size()));
+    for (const auto &l1 : l1_)
+        l1->serializeState(w);
+    llsc_->serializeState(w);
+}
+
+void
+MemHierarchy::deserializeState(BinReader &r)
+{
+    const std::uint32_t cores = r.u32();
+    if (cores != l1_.size()) {
+        bmc_fatal("checkpoint hierarchy has %u cores, this machine "
+                  "has %zu",
+                  cores, l1_.size());
+    }
+    for (auto &l1 : l1_)
+        l1->deserializeState(r);
+    llsc_->deserializeState(r);
+}
+
 } // namespace bmc::sim

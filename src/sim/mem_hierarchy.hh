@@ -65,6 +65,22 @@ class MemHierarchy
     Outcome access(CoreId core, Addr addr, bool is_write,
                    Callback miss_cb);
 
+    /**
+     * Functional (no timing, no MSHRs, no prefetch) access used by
+     * checkpointed warm-up: updates L1/LLSC contents and propagates
+     * the access and any dirty evictions into @p org, exactly
+     * mirroring the state updates of the timing access() path.
+     */
+    void warmAccess(CoreId core, Addr addr, bool is_write,
+                    dramcache::DramCacheOrg &org);
+
+    /** Append L1s + LLSC contents to a checkpoint. */
+    void serializeState(BinWriter &w) const;
+
+    /** Restore state written by serializeState(); core-count or
+     *  geometry mismatch is fatal. */
+    void deserializeState(BinReader &r);
+
     cache::SramCache &llsc() { return *llsc_; }
     const cache::SramCache &llsc() const { return *llsc_; }
     double llscMissRate() const { return llsc_->missRate(); }

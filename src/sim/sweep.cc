@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <mutex>
 
 #include "common/logging.hh"
@@ -228,6 +229,13 @@ SweepBuilder::build() const
 RunResult
 executeRun(const RunSpec &spec, std::size_t index)
 {
+    return executeRun(spec, index, nullptr);
+}
+
+RunResult
+executeRun(const RunSpec &spec, std::size_t index,
+           const std::string *warm_blob)
+{
     RunResult res;
     res.index = index;
     res.label = spec.label;
@@ -242,6 +250,12 @@ executeRun(const RunSpec &spec, std::size_t index)
             system.enableObservability(spec.obs);
         if (spec.check.any())
             system.enableChecks(spec.check);
+        if (!spec.loadCkptPath.empty())
+            system.loadCheckpoint(spec.loadCkptPath);
+        else if (warm_blob)
+            system.restoreWarmState(*warm_blob);
+        else if (spec.warmInsts)
+            system.warmupFunctional(spec.warmInsts);
         res.stats = system.run();
         res.eventsExecuted = system.eventQueue().numExecuted();
         break;
@@ -341,6 +355,70 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
     // workers surface as SimError and are recorded per-run.
     ScopedThrowErrors throw_guard;
 
+    // Shared warm-up pre-pass: timing cells that warm functionally
+    // (warmInsts > 0, no explicit checkpoint file) are grouped by
+    // warm identity; one System per group warms once and its
+    // serialized state is restored into every member. The restore is
+    // bit-identical to warming in-cell, so the results JSONL is
+    // unchanged by grouping, thread count, or shareWarmups itself.
+    std::vector<const std::string *> warmBlobs(runs.size(), nullptr);
+    std::vector<std::string> groupBlobs;
+    if (opts.shareWarmups) {
+        struct WarmGroup
+        {
+            std::size_t leader = 0;
+            std::vector<std::size_t> members;
+        };
+        std::map<std::string, std::size_t> keyToGroup;
+        std::vector<WarmGroup> groups;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const RunSpec &spec = runs[i];
+            if (spec.mode != RunMode::Timing ||
+                spec.warmInsts == 0 || !spec.loadCkptPath.empty()) {
+                continue;
+            }
+            MachineConfig cfg = spec.cfg;
+            if (opts.deriveSeeds)
+                cfg.seed = deriveRunSeed(opts.baseSeed, i);
+            std::string key =
+                warmIdentityBlob(cfg, spec.programs, {});
+            key += strfmt("|warm=%" PRIu64, spec.warmInsts);
+            const auto [it, inserted] =
+                keyToGroup.emplace(std::move(key), groups.size());
+            if (inserted)
+                groups.push_back(WarmGroup{i, {}});
+            groups[it->second].members.push_back(i);
+        }
+
+        groupBlobs.resize(groups.size());
+        std::vector<char> groupOk(groups.size(), 0);
+        parallelFor(opts.threads, groups.size(),
+                    [&](std::size_t g) {
+                        RunSpec spec = runs[groups[g].leader];
+                        if (opts.deriveSeeds) {
+                            spec.cfg.seed = deriveRunSeed(
+                                opts.baseSeed, groups[g].leader);
+                        }
+                        try {
+                            System sys(spec.cfg, spec.programs);
+                            if (!sys.supportsCheckpoint())
+                                return;
+                            sys.warmupFunctional(spec.warmInsts);
+                            groupBlobs[g] = sys.serializeWarmState();
+                            groupOk[g] = 1;
+                        } catch (const std::exception &) {
+                            // Fall back to per-cell warm-up, where
+                            // any real failure is reported per run.
+                        }
+                    });
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            if (!groupOk[g])
+                continue;
+            for (const std::size_t i : groups[g].members)
+                warmBlobs[i] = &groupBlobs[g];
+        }
+    }
+
     parallelFor(opts.threads, runs.size(), [&](std::size_t i) {
         RunSpec spec = runs[i];
         if (opts.deriveSeeds)
@@ -349,7 +427,7 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
         const WallInstant start = wallNow();
         RunResult res;
         try {
-            res = executeRun(spec, i);
+            res = executeRun(spec, i, warmBlobs[i]);
         } catch (const std::exception &e) {
             res = RunResult{};
             res.index = i;

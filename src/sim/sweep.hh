@@ -73,6 +73,20 @@ struct RunSpec
      * while the rest of the sweep completes.
      */
     CheckConfig check;
+    /**
+     * Functional warm-up instructions per core before the measured
+     * timing run (Timing mode only; cfg.warmupInstrPerCore must be 0
+     * when set). Under SweepOptions::shareWarmups, cells with equal
+     * warm identity share one warm-up; otherwise each cell warms
+     * in-process. Either way the results are bit-identical.
+     */
+    std::uint64_t warmInsts = 0;
+    /**
+     * Load warm state from this checkpoint file instead of warming
+     * (Timing mode only). The file's identity must match the cell's
+     * configuration; takes precedence over warmInsts.
+     */
+    std::string loadCkptPath;
 };
 
 /** Outcome of one run; @c index matches the RunSpec's position. */
@@ -135,6 +149,16 @@ struct SweepOptions
      * for any -j) only covers runs with this flag off.
      */
     bool emitTiming = false;
+    /**
+     * Share functional warm-ups across timing cells (default on):
+     * cells with equal warm identity (scheme, seed, programs,
+     * geometry -- see System::identityBlob()) and equal warmInsts
+     * warm once as a group; the serialized warm state is restored
+     * into every member. Bit-identical to per-cell warm-up. Cells
+     * whose organization cannot checkpoint, or whose group warm-up
+     * fails, fall back to warming in-cell.
+     */
+    bool shareWarmups = true;
     /** Invoked (serialized) after every run completes. */
     std::function<void(const SweepProgress &)> onProgress;
 };
@@ -191,6 +215,14 @@ class SweepBuilder
 
 /** Execute one spec on the calling thread (no isolation). */
 RunResult executeRun(const RunSpec &spec, std::size_t index);
+
+/**
+ * As above, with an optional pre-serialized warm-state blob (from
+ * System::serializeWarmState() on a machine with the same warm
+ * identity). Null falls back to the spec's own warm-up/load flags.
+ */
+RunResult executeRun(const RunSpec &spec, std::size_t index,
+                     const std::string *warm_blob);
 
 /** Run the whole sweep; results are ordered by run index. */
 std::vector<RunResult> runSweep(const std::vector<RunSpec> &runs,

@@ -5,7 +5,9 @@
 
 #include "check/protocol_checker.hh"
 #include "check/shadow_checker.hh"
+#include "common/binio.hh"
 #include "common/logging.hh"
+#include "sim/checkpoint.hh"
 #include "dramcache/bimodal/bimodal_cache.hh"
 #include "dramcache/fixed.hh"
 #include "dramcache/registry.hh"
@@ -17,7 +19,7 @@ namespace bmc::sim
 System::System(const MachineConfig &cfg,
                const std::vector<std::string> &programs,
                std::vector<CoreId> gen_core_ids)
-    : cfg_(cfg), root_("system")
+    : cfg_(cfg), programs_(programs), root_("system")
 {
     bmc_assert(programs.size() == cfg.cores,
                "%zu programs for %u cores", programs.size(), cfg.cores);
@@ -27,6 +29,7 @@ System::System(const MachineConfig &cfg,
     }
     bmc_assert(gen_core_ids.size() == programs.size(),
                "generator id list size mismatch");
+    genCoreIds_ = gen_core_ids;
 
     auto stacked_params = dram::TimingParams::stacked(
         cfg.stackedChannels, cfg.stackedBanksPerChannel);
@@ -204,7 +207,182 @@ System::enableChecks(const CheckConfig &check)
                 const dramcache::LookupResult &r) {
                 sc->onAccess(addr, is_write, is_prefetch, r);
             });
+        if (warmStarted_)
+            seedShadowFromOrg();
     }
+}
+
+void
+System::seedShadowFromOrg()
+{
+    if (!shadowCheck_)
+        return;
+    org_->forEachResidentLine([&](Addr addr, bool dirty) {
+        shadowCheck_->seedLine(addr, dirty);
+    });
+}
+
+void
+System::warmupFunctional(std::uint64_t instrs_per_core)
+{
+    bmc_assert(cfg_.warmupInstrPerCore == 0,
+               "warmupFunctional() replaces the in-run warm-up: "
+               "construct the System with warmupInstrPerCore == 0");
+    if (instrs_per_core == 0)
+        return;
+
+    // Round-robin whole trace records across cores (mimicking their
+    // concurrent progress through the shared LLSC) until each core
+    // has covered its warm budget. One record covers gap + 1
+    // instructions.
+    std::vector<std::uint64_t> covered(cores_.size(), 0);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (unsigned c = 0; c < cores_.size(); ++c) {
+            if (covered[c] >= instrs_per_core)
+                continue;
+            const trace::TraceRecord rec = cores_[c]->warmDraw();
+            covered[c] += rec.gap + 1ULL;
+            hier_->warmAccess(static_cast<CoreId>(c), rec.addr,
+                              rec.write, *org_);
+            any = true;
+        }
+    }
+
+    // Measurement starts clean, exactly as the in-run warm-up reset.
+    root_.resetAll();
+    warmStarted_ = true;
+    seedShadowFromOrg();
+}
+
+std::string
+warmIdentityBlob(const MachineConfig &cfg,
+                 const std::vector<std::string> &programs,
+                 const std::vector<CoreId> &gen_core_ids)
+{
+    bmc_assert(programs.size() == cfg.cores,
+               "identity: %zu programs for %u cores",
+               programs.size(), cfg.cores);
+    BinWriter w;
+    w.str(cfg.scheme.name);
+    w.u32(cfg.cores);
+    w.u64(cfg.seed);
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        w.str(programs[c]);
+        w.u32(gen_core_ids.empty() ? c : gen_core_ids[c]);
+    }
+    w.u64(cfg.dramCacheBytes);
+    w.u64(cfg.footprintRefBytes);
+    w.u32(cfg.setBytes);
+    w.u32(cfg.bigBlockBytes);
+    w.u32(cfg.locatorIndexBits);
+    w.u32(cfg.addressBits);
+    w.u32(cfg.predictorIndexBits);
+    w.u32(cfg.predictorThreshold);
+    w.u32(cfg.predictorSampleEvery);
+    w.u64(cfg.adaptEpoch);
+    w.f64(cfg.adaptWeight);
+    w.u64(cfg.l1Bytes);
+    w.u32(cfg.l1Assoc);
+    w.u64(cfg.llscBytes);
+    w.u32(cfg.llscAssoc);
+    w.u32(cfg.stackedChannels);
+    w.u32(cfg.stackedBanksPerChannel);
+    return w.data();
+}
+
+std::string
+System::identityBlob() const
+{
+    return warmIdentityBlob(cfg_, programs_, genCoreIds_);
+}
+
+std::string
+System::serializeWarmState() const
+{
+    BinWriter w;
+    w.u32(cfg_.cores);
+    for (const auto &core : cores_)
+        w.u64(core->warmRecords());
+    hier_->serializeState(w);
+    org_->serializeState(w);
+    w.u32(stacked_->numChannels());
+    for (unsigned c = 0; c < stacked_->numChannels(); ++c)
+        stacked_->channel(c).serializeBankState(w);
+    auto &mem = memory_->dram();
+    w.u32(mem.numChannels());
+    for (unsigned c = 0; c < mem.numChannels(); ++c)
+        mem.channel(c).serializeBankState(w);
+    return w.data();
+}
+
+void
+System::restoreWarmState(const std::string &state)
+{
+    bmc_assert(cfg_.warmupInstrPerCore == 0,
+               "restoreWarmState() replaces the in-run warm-up: "
+               "construct the System with warmupInstrPerCore == 0");
+    BinReader r(state);
+    const std::uint32_t cores = r.u32();
+    if (cores != cfg_.cores) {
+        bmc_fatal("checkpoint was taken on %u cores, this machine "
+                  "has %u",
+                  cores, cfg_.cores);
+    }
+    for (auto &core : cores_)
+        core->warmFastForward(r.u64());
+    hier_->deserializeState(r);
+    org_->deserializeState(r);
+    const std::uint32_t stacked_ch = r.u32();
+    if (stacked_ch != stacked_->numChannels()) {
+        bmc_fatal("checkpoint has %u stacked channels, this machine "
+                  "has %u",
+                  stacked_ch, stacked_->numChannels());
+    }
+    for (unsigned c = 0; c < stacked_ch; ++c)
+        stacked_->channel(c).deserializeBankState(r);
+    auto &mem = memory_->dram();
+    const std::uint32_t mem_ch = r.u32();
+    // Main memory is untouched by functional warm-up, so a channel-
+    // count mismatch (a timing-only sweep axis) is tolerated as long
+    // as every stored bank is closed -- which deserializeBankState
+    // enforces per section.
+    for (unsigned c = 0; c < mem_ch; ++c) {
+        if (c < mem.numChannels())
+            mem.channel(c).deserializeBankState(r);
+        else
+            dram::ChannelIface::discardBankState(r);
+    }
+    if (!r.atEnd()) {
+        bmc_fatal("warm-state blob has %zu trailing bytes",
+                  r.remaining());
+    }
+
+    root_.resetAll();
+    warmStarted_ = true;
+    seedShadowFromOrg();
+}
+
+void
+System::saveCheckpoint(const std::string &path) const
+{
+    writeCheckpointFile(
+        path, frameCheckpoint(identityBlob(), serializeWarmState()));
+}
+
+void
+System::loadCheckpoint(const std::string &path)
+{
+    const CheckpointImage img =
+        unframeCheckpoint(readCheckpointFile(path));
+    if (img.identity != identityBlob()) {
+        bmc_fatal("checkpoint '%s' was taken under a different "
+                  "configuration (scheme/seed/programs/geometry "
+                  "differ); re-create it for this cell",
+                  path.c_str());
+    }
+    restoreWarmState(img.state);
 }
 
 RunStats

@@ -87,6 +87,16 @@ struct CheckConfig
  */
 CheckConfig parseCheckList(const std::string &arg);
 
+/**
+ * Canonical warm-identity blob for a (config, program list,
+ * generator-id list) triple without constructing a System; equal
+ * blobs mean a shared warm checkpoint is valid. An empty
+ * @p gen_core_ids means the default 0..n-1 assignment.
+ */
+std::string warmIdentityBlob(const MachineConfig &cfg,
+                             const std::vector<std::string> &programs,
+                             const std::vector<CoreId> &gen_core_ids);
+
 /** One simulated machine executing one program list. */
 class System
 {
@@ -141,10 +151,64 @@ class System
      */
     void enableChecks(const CheckConfig &check);
 
+    // ------------------------------ checkpointed warm-up ----------
+    // Construct the System with cfg.warmupInstrPerCore == 0 when
+    // using these: the functional fast-forward replaces the in-run
+    // warm-up, and the whole timing run is the measured region.
+
+    /**
+     * Functional fast-forward: drive >= @p instrs_per_core
+     * instructions per core (whole trace records, round-robin)
+     * through the L1/LLSC/organization functional models only --
+     * no events, no MSHRs, no DRAM timing -- then reset all
+     * statistics. Must be called before run().
+     */
+    void warmupFunctional(std::uint64_t instrs_per_core);
+
+    /**
+     * Canonical blob of every configuration field that affects warm
+     * functional state (scheme, seed, programs, geometries,
+     * predictor knobs). Two Systems with equal identity blobs can
+     * share a warm checkpoint; purely-timing knobs (instruction
+     * budget, MLP, channel counts of main memory, command-level
+     * DRAM) are excluded by design.
+     */
+    std::string identityBlob() const;
+
+    /** Serialize the warm functional state (trace positions, caches,
+     *  organization, bank rows) into a blob. */
+    std::string serializeWarmState() const;
+
+    /**
+     * Restore a blob from serializeWarmState(): fast-forwards the
+     * trace generators and overwrites cache/organization/bank state,
+     * then resets all statistics. Must be called before run() on a
+     * freshly built System with a matching identity.
+     */
+    void restoreWarmState(const std::string &state);
+
+    /** Save identity + warm state to @p path (checkpoint.hh). */
+    void saveCheckpoint(const std::string &path) const;
+
+    /** Load @p path, verify identity, restore warm state. */
+    void loadCheckpoint(const std::string &path);
+
+    /** Whether the configured organization can checkpoint. */
+    bool supportsCheckpoint() const
+    {
+        return org_->supportsCheckpoint();
+    }
+
   private:
     RunStats collect() const;
 
+    /** Seed the shadow checker with the org's resident lines after a
+     *  warm start (either attach order: warm-then-check works too). */
+    void seedShadowFromOrg();
+
     MachineConfig cfg_;
+    std::vector<std::string> programs_;
+    std::vector<CoreId> genCoreIds_;
     EventQueue eq_;
     stats::StatGroup root_;
     std::unique_ptr<dram::DramSystem> stacked_;
@@ -160,6 +224,8 @@ class System
     std::unique_ptr<check::ShadowChecker> shadowCheck_;
     unsigned coresDone_ = 0;
     unsigned coresWarm_ = 0;
+    /** Warm state came from warmupFunctional()/restoreWarmState(). */
+    bool warmStarted_ = false;
 };
 
 /** ANTT study output (Fig 7 / Fig 8a). */

@@ -28,7 +28,25 @@ TraceCore::TraceCore(EventQueue &eq, CoreId id,
 void
 TraceCore::start()
 {
+    started_ = true;
     eq_.schedule(0, [this] { resume(); });
+}
+
+trace::TraceRecord
+TraceCore::warmDraw()
+{
+    bmc_assert(!started_, "warmDraw() after start()");
+    ++warmRecords_;
+    return gen_->next();
+}
+
+void
+TraceCore::warmFastForward(std::uint64_t n)
+{
+    bmc_assert(!started_, "warmFastForward() after start()");
+    for (std::uint64_t i = 0; i < n; ++i)
+        gen_->next();
+    warmRecords_ += n;
 }
 
 void

@@ -64,6 +64,24 @@ class TraceCore
      *  replay can consume exactly the same number of records). */
     std::uint64_t recordsFetched() const { return recordsFetched_; }
 
+    /**
+     * Draw one trace record for checkpointed functional warm-up.
+     * Only legal before start(): the record bypasses the timing
+     * model entirely and is counted in warmRecords(), not in
+     * recordsFetched() or the instruction budget.
+     */
+    trace::TraceRecord warmDraw();
+
+    /** Records consumed by warmDraw() / warmFastForward(). */
+    std::uint64_t warmRecords() const { return warmRecords_; }
+
+    /**
+     * Skip @p n records without touching any model state: realigns a
+     * fresh generator with the stream position recorded in a
+     * checkpoint. Only legal before start().
+     */
+    void warmFastForward(std::uint64_t n);
+
   private:
     void resume();
     void issuePending();
@@ -88,6 +106,8 @@ class TraceCore
     Tick warmTick_ = 0;
     std::uint64_t instrsRetired_ = 0;
     std::uint64_t recordsFetched_ = 0;
+    std::uint64_t warmRecords_ = 0;
+    bool started_ = false;
 
     /** Access waiting to be injected at coreTick_. */
     bool hasPending_ = false;

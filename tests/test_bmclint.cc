@@ -13,7 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/linter.hh"
@@ -344,6 +347,113 @@ TEST(BmclintSchemeRegistered, NonOrgFilesAndOtherDirsAreClean)
                     .empty());
 }
 
+// --------------------------------------------- ckpt-versioned
+
+using FileSet = std::vector<std::pair<std::string, std::string>>;
+
+std::string
+pinFor(std::uint64_t h)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "constexpr std::uint64_t kCheckpointSchemaHash = "
+                  "0x%016llxULL;\n",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+TEST(BmclintCkptVersioned, FingerprintTracksFieldsNotWhitespace)
+{
+    const FileSet base = {
+        {"src/x/a.cc", "void S::ser(BinWriter &w) const\n"
+                       "{\n"
+                       "    w.u32(x_);\n"
+                       "    w.u64(y_);\n"
+                       "}\n"}};
+    const FileSet reformatted = {
+        {"src/x/a.cc", "void S::ser(BinWriter &w) const {\n"
+                       "    w.u32( x_ );\n"
+                       "    w.u64(y_);\n"
+                       "}\n"}};
+    const FileSet extra_field = {
+        {"src/x/a.cc", "void S::ser(BinWriter &w) const\n"
+                       "{\n"
+                       "    w.u32(x_);\n"
+                       "    w.u64(y_);\n"
+                       "    w.u8(z_);\n"
+                       "}\n"}};
+    const FileSet reordered = {
+        {"src/x/a.cc", "void S::ser(BinWriter &w) const\n"
+                       "{\n"
+                       "    w.u64(y_);\n"
+                       "    w.u32(x_);\n"
+                       "}\n"}};
+
+    const std::uint64_t fp = ckptSchemaFingerprint(base);
+    EXPECT_EQ(fp, ckptSchemaFingerprint(reformatted));
+    EXPECT_NE(fp, ckptSchemaFingerprint(extra_field));
+    EXPECT_NE(fp, ckptSchemaFingerprint(reordered));
+}
+
+TEST(BmclintCkptVersioned, NonSerializerFilesContributeNothing)
+{
+    // .str() on a stringstream in a file that never mentions
+    // BinWriter/BinReader must not perturb the fingerprint.
+    const FileSet with_noise = {
+        {"src/x/a.cc", "void f(BinWriter &w) { w.u32(x_); }\n"},
+        {"src/y/log.cc", "std::string s = ss.str();\n"}};
+    const FileSet without = {
+        {"src/x/a.cc", "void f(BinWriter &w) { w.u32(x_); }\n"}};
+    EXPECT_EQ(ckptSchemaFingerprint(with_noise),
+              ckptSchemaFingerprint(without));
+}
+
+TEST(BmclintCkptVersioned, MatchingPinIsCleanMismatchIsFlagged)
+{
+    const FileSet files = {
+        {"src/x/a.cc", "void f(BinWriter &w) { w.u32(x_); }\n"}};
+    const std::uint64_t fp = ckptSchemaFingerprint(files);
+
+    EXPECT_TRUE(
+        lintCkptVersioned(files, "src/sim/checkpoint.hh", pinFor(fp))
+            .empty());
+
+    const auto findings = lintCkptVersioned(
+        files, "src/sim/checkpoint.hh", pinFor(fp ^ 1));
+    ASSERT_TRUE(hasRule(findings, "ckpt-versioned"));
+    // The message carries the value to re-pin.
+    char want[24];
+    std::snprintf(want, sizeof(want), "0x%016llx",
+                  static_cast<unsigned long long>(fp));
+    EXPECT_NE(findings.front().message.find(want),
+              std::string::npos)
+        << findings.front().message;
+    EXPECT_NE(
+        findings.front().message.find("kCheckpointVersion"),
+        std::string::npos);
+}
+
+TEST(BmclintCkptVersioned, MissingPinIsFlagged)
+{
+    const auto findings = lintCkptVersioned(
+        {}, "src/sim/checkpoint.hh", "// no pin here\n");
+    ASSERT_TRUE(hasRule(findings, "ckpt-versioned"));
+    EXPECT_EQ(findings.front().line, 0);
+}
+
+TEST(BmclintCkptVersioned, SuppressionOnPinLineIsHonored)
+{
+    const FileSet files = {
+        {"src/x/a.cc", "void f(BinWriter &w) { w.u32(x_); }\n"}};
+    const std::string pin =
+        "// bmclint:allow(ckpt-versioned)\n"
+        "constexpr std::uint64_t kCheckpointSchemaHash = "
+        "0xdeadbeefULL;\n";
+    EXPECT_TRUE(
+        lintCkptVersioned(files, "src/sim/checkpoint.hh", pin)
+            .empty());
+}
+
 // ------------------------------------------------- suppressions
 
 TEST(BmclintSuppression, SameLineAndPreviousLineAreHonored)
@@ -379,7 +489,7 @@ TEST(BmclintSuppression, StarSuppressesEverything)
 TEST(BmclintCatalog, EveryRuleIsListedAndKnown)
 {
     const auto &rules = ruleCatalog();
-    ASSERT_EQ(rules.size(), 7u);
+    ASSERT_EQ(rules.size(), 8u);
     for (const RuleInfo &r : rules) {
         EXPECT_TRUE(knownRule(r.id));
         EXPECT_GT(std::string(r.summary).size(), 10u);

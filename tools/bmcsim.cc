@@ -178,6 +178,17 @@ main(int argc, char **argv)
                    "<prefix>.coreN.bmct instead of simulating");
     opts.addUint("records", 500000,
                  "records per core for --record-trace");
+    opts.addUint("warm-insts", 0,
+                 "checkpointed functional warm-up: fast-forward this "
+                 "many instructions per core through the functional "
+                 "models only (replaces --warmup; the whole timing "
+                 "run is measured)");
+    opts.addString("save-ckpt", "",
+                   "serialize the warm state to this file after "
+                   "--warm-insts (or --load-ckpt) completes");
+    opts.addString("load-ckpt", "",
+                   "restore warm state from this checkpoint instead "
+                   "of warming (identity must match the config)");
     opts.parse(argc, argv);
 
     using namespace bmc::sim;
@@ -295,7 +306,25 @@ main(int argc, char **argv)
         return 0;
     }
 
+    const std::uint64_t warm_insts = opts.getUint("warm-insts");
+    const std::string save_ckpt = opts.getString("save-ckpt");
+    const std::string load_ckpt = opts.getString("load-ckpt");
+    if (warm_insts || !load_ckpt.empty() || !save_ckpt.empty()) {
+        // Checkpointed warm-up replaces the in-run fast-forward: the
+        // full timing run is the measured region.
+        cfg.warmupInstrPerCore = 0;
+    }
+
     System system(cfg, programs);
+    if (!load_ckpt.empty())
+        system.loadCheckpoint(load_ckpt);
+    else if (warm_insts)
+        system.warmupFunctional(warm_insts);
+    if (!save_ckpt.empty()) {
+        system.saveCheckpoint(save_ckpt);
+        // stderr, so --json stdout stays bit-comparable across runs.
+        std::fprintf(stderr, "checkpoint saved to %s\n", save_ckpt.c_str());
+    }
     ObsConfig obs;
     obs.epochPath = opts.getString("epoch-out");
     obs.epochTicks = opts.getUint("epoch-ticks");

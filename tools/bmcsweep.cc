@@ -21,6 +21,11 @@
  *
  *   # five decorrelated replicates per cell
  *   bmcsweep --workloads=Q5 --schemes=bimodal --reps=5
+ *
+ *   # timing-only MLP axis: one shared functional warm-up feeds all
+ *   # eight cells (see --warm-insts / --share-warmups)
+ *   bmcsweep --workloads=Q5 --mlp=2,4,6,8,12,16,24,32 \
+ *            --warm-insts=8000000
  */
 
 #include <cinttypes>
@@ -110,6 +115,10 @@ main(int argc, char **argv)
                    "cache-capacity variants, comma-separated MiB");
     opts.addString("big-bytes", "",
                    "big-block-size variants, comma-separated bytes");
+    opts.addString("mlp", "",
+                   "per-core MLP variants, comma-separated (a "
+                   "timing-only axis: cells differing only in MLP "
+                   "share one functional warm-up)");
     opts.addUint("reps", 1, "seed replicates per matrix cell");
     opts.addUint("seed", 1, "base experiment seed");
     opts.addUint("instrs", 0,
@@ -138,6 +147,14 @@ main(int argc, char **argv)
                    "arm runtime invariant checkers per run: comma "
                    "list of protocol, shadow, all (timing mode; a "
                    "violating run fails in isolation)");
+    opts.addUint("warm-insts", 0,
+                 "checkpointed functional warm-up per core (timing "
+                 "mode; replaces the in-run warm-up and is shared "
+                 "across cells with identical warm identity)");
+    opts.addFlag("share-warmups", true,
+                 "amortize one warm-up per (scheme, trace, geometry) "
+                 "group; --no-share-warmups warms every cell "
+                 "in-process (bit-identical results either way)");
     opts.addFlag("progress", true, "live progress/ETA line on stderr");
 
     std::vector<std::string> argStorage;
@@ -204,17 +221,24 @@ main(int argc, char **argv)
             schemes.push_back(schemeFromName(s));
     }
 
-    // Geometry variants: cross product of capacity x big-block lists.
+    // Config variants: cross product of capacity x big-block x MLP
+    // lists. Capacity and big-block change the warm identity; MLP is
+    // timing-only, so an --mlp axis forms one shared-warm-up group
+    // per (workload, scheme, geometry) cell.
     std::vector<SweepBuilder::Variant> variants;
     const auto sizes = splitUints(opts.getString("cache-mib"));
     const auto bigs = splitUints(opts.getString("big-bytes"));
-    if (!sizes.empty() || !bigs.empty()) {
+    const auto mlps = splitUints(opts.getString("mlp"));
+    if (!sizes.empty() || !bigs.empty() || !mlps.empty()) {
         const std::vector<std::uint64_t> size_axis =
             sizes.empty() ? std::vector<std::uint64_t>{0} : sizes;
         const std::vector<std::uint64_t> big_axis =
             bigs.empty() ? std::vector<std::uint64_t>{0} : bigs;
+        const std::vector<std::uint64_t> mlp_axis =
+            mlps.empty() ? std::vector<std::uint64_t>{0} : mlps;
         for (const std::uint64_t mib : size_axis) {
             for (const std::uint64_t big : big_axis) {
+              for (const std::uint64_t mlp : mlp_axis) {
                 std::string label;
                 if (mib)
                     label += strfmt("%" PRIu64 "MiB", mib);
@@ -223,8 +247,13 @@ main(int argc, char **argv)
                         label += "-";
                     label += strfmt("%" PRIu64 "B", big);
                 }
+                if (mlp) {
+                    if (!label.empty())
+                        label += "-";
+                    label += strfmt("mlp%" PRIu64, mlp);
+                }
                 variants.push_back(
-                    {label, [mib, big](MachineConfig &cfg) {
+                    {label, [mib, big, mlp](MachineConfig &cfg) {
                          if (mib)
                              cfg.dramCacheBytes = mib * kMiB;
                          if (big) {
@@ -235,7 +264,10 @@ main(int argc, char **argv)
                              cfg.setBytes = static_cast<std::uint32_t>(
                                  big * ways);
                          }
+                         if (mlp)
+                             cfg.mlp = static_cast<unsigned>(mlp);
                      }});
+              }
             }
         }
     }
@@ -284,12 +316,22 @@ main(int argc, char **argv)
             spec.check = check;
     }
 
+    if (const auto warm = opts.getUint("warm-insts"); warm > 0) {
+        if (mode != RunMode::Timing)
+            bmc_fatal("--warm-insts needs --mode=timing");
+        for (RunSpec &spec : runs) {
+            spec.warmInsts = warm;
+            spec.cfg.warmupInstrPerCore = 0;
+        }
+    }
+
     SweepOptions sopts;
     sopts.threads = static_cast<unsigned>(opts.getUint("threads"));
     sopts.baseSeed = base.seed;
     sopts.deriveSeeds = opts.flag("derive-seeds");
     sopts.jsonlPath = opts.getString("out");
     sopts.emitTiming = opts.flag("timing-fields");
+    sopts.shareWarmups = opts.flag("share-warmups");
     if (opts.flag("progress")) {
         sopts.onProgress = [](const SweepProgress &p) {
             std::fprintf(stderr,
