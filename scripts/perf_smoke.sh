@@ -74,9 +74,10 @@ for name in sorted(ref):
     floor = frac * ref[name]
     ok = best[name] >= floor
     status = "OK" if ok else "REGRESSION"
+    delta_pct = 100.0 * (best[name] - ref[name]) / ref[name]
     print(f"perf_smoke: {name:<14} best {best[name]:>13,.0f}/s vs "
           f"baseline {ref[name]:>13,.0f}/s "
-          f"(floor {floor:,.0f}/s): {status}")
+          f"({delta_pct:+6.1f}%, floor {floor:,.0f}/s): {status}")
     if not ok:
         failed.append(name)
 for name in sorted(set(best) - set(ref)):

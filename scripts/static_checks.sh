@@ -73,12 +73,14 @@ fi
 # ------------------------------------------------------ leg 3: TSan
 # Checkpoint/SweepWarm ride along because the shared-warm-up pre-pass
 # runs one System per warm group on the sweep's thread pool.
+# Progress/Catalog ride along because the heartbeat telemetry thread
+# and the catalog flush path race against the sweep workers.
 echo "== ThreadSanitizer suite (sweep / warm-up / thread-pool / fuzz-smoke) =="
 cmake -B "$tsan_dir" -S "$src_dir" \
     -DBMC_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$tsan_dir" -j"$(nproc)" --target bmc_tests bmcfuzz
 ctest --test-dir "$tsan_dir" --output-on-failure -j"$(nproc)" \
-    -R '^(Sweep\.|SweepSeed\.|SweepBuilder\.|SweepWarm\.|Checkpoint\.|ThreadPool\.|ParallelFor\.|fuzz_smoke$)'
+    -R '^(Sweep\.|SweepSeed\.|SweepBuilder\.|SweepWarm\.|Progress\.|Catalog\.|Checkpoint\.|ThreadPool\.|ParallelFor\.|fuzz_smoke$)'
 
 echo "static_checks: full gate passed"

@@ -129,6 +129,8 @@ MshrFile::allocate(Addr block_addr, Callback cb,
     table_[pos].traceId = trace_id;
     table_[pos].used = true;
     ++live_;
+    if (live_ > peakLive_)
+        peakLive_ = live_;
     appendWaiter(table_[pos], std::move(cb));
     ++primaryMisses_;
     ++primaryCount_;

@@ -71,6 +71,9 @@ class MshrFile
 
     size_t size() const { return live_; }
 
+    /** Peak live entries (self-profiling gauge; never reset). */
+    size_t peakLive() const { return peakLive_; }
+
     /** Primary misses allocated so far (invariant audits). Raw
      *  lifetime count, deliberately not a stats::Counter: the
      *  warm-up statistics reset must not break the balance. */
@@ -112,6 +115,7 @@ class MshrFile
 
     unsigned numEntries_;
     std::size_t live_ = 0;
+    std::size_t peakLive_ = 0;
     std::uint64_t primaryCount_ = 0;
     std::uint64_t completions_ = 0;
     std::size_t mask_;

@@ -48,6 +48,13 @@ EventQueue::allocNode()
     }
     Node *node = nodeAt(freeNodes_.back());
     freeNodes_.pop_back();
+    // Every pending event holds exactly one live node, so the pool's
+    // live high-water IS the peak-pending gauge -- tracked here where
+    // the free-list size is already in hand, keeping the cost off the
+    // wheel/heap insert paths.
+    const std::size_t live = poolAllocated_ - freeNodes_.size();
+    if (live > peakPending_)
+        peakPending_ = live;
     return node;
 }
 
@@ -334,6 +341,7 @@ EventQueue::step()
     Node *node = heap_.front().node;
     now_ = heap_.front().when;
     removeFromHeap(0);
+    ++heapExecuted_;
     invoke(node);
     return true;
 }
@@ -359,8 +367,14 @@ EventQueue::run(Tick until)
                 // heap branch), so zero-delay reschedules join the
                 // same batch and the next-slot bitmap search runs
                 // once per tick instead of once per event.
-                while (s.head != npos32)
+                std::uint64_t batch = 0;
+                while (s.head != npos32) {
                     invoke(wheelPopHead(slot));
+                    ++batch;
+                }
+                ++batchDrains_;
+                if (batch > maxBatch_)
+                    maxBatch_ = batch;
                 continue;
             }
         }
@@ -369,6 +383,7 @@ EventQueue::run(Tick until)
         Node *node = heap_.front().node;
         now_ = heap_when;
         removeFromHeap(0);
+        ++heapExecuted_;
         invoke(node);
     }
     return now_;

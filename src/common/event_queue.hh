@@ -172,6 +172,28 @@ class EventQueue
     /** Events currently in the far-future overflow heap (tests). */
     std::size_t heapPending() const { return heap_.size(); }
 
+    // -------- self-profiling gauges (common/profiler.hh) ----------
+    // Monotonic counts the kernel maintains anyway or can keep with
+    // O(1) work per event; always on, exported only on request.
+
+    /** Events executed via the far-future overflow heap. */
+    std::uint64_t numExecutedHeap() const { return heapExecuted_; }
+
+    /** Events executed via the near-future wheel (derived). */
+    std::uint64_t numExecutedWheel() const
+    {
+        return numExecuted_ - heapExecuted_;
+    }
+
+    /** Peak simultaneous pending events (wheel + heap). */
+    std::size_t peakPending() const { return peakPending_; }
+
+    /** Same-tick slot batch drains performed by run(). */
+    std::uint64_t batchDrains() const { return batchDrains_; }
+
+    /** Largest single slot batch run() ever drained. */
+    std::uint64_t maxBatchDrain() const { return maxBatch_; }
+
     /** One-tick slots the near-future wheel covers. */
     static constexpr std::uint64_t kWheelSlots = 16384;
 
@@ -270,6 +292,10 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t numExecuted_ = 0;
+    std::uint64_t heapExecuted_ = 0;
+    std::size_t peakPending_ = 0;
+    std::uint64_t batchDrains_ = 0;
+    std::uint64_t maxBatch_ = 0;
 };
 
 } // namespace bmc

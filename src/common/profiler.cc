@@ -1,0 +1,91 @@
+#include "common/profiler.hh"
+
+#include <cinttypes>
+
+#include "common/logging.hh"
+
+namespace bmc
+{
+
+std::string
+ProfileReport::toJson(bool pretty) const
+{
+    const char *nl = pretty ? "\n" : "";
+    const char *ind = pretty ? "  " : "";
+
+    std::string out = "{";
+    out += nl;
+    auto field = [&](const char *key, const std::string &value,
+                     bool last = false) {
+        out += strfmt("%s\"%s\": %s%s%s", ind, key, value.c_str(),
+                      last ? "" : ",", nl);
+        if (!last && !pretty)
+            out += " ";
+    };
+    auto u64 = [](std::uint64_t v) { return strfmt("%" PRIu64, v); };
+    auto f6 = [](double v) { return strfmt("%.6f", v); };
+
+    field("warmup_seconds", f6(warmupSeconds));
+    field("run_seconds", f6(runSeconds));
+    field("collect_seconds", f6(collectSeconds));
+    field("events_executed", u64(eventsExecuted));
+    field("events_wheel", u64(eventsWheel));
+    field("events_heap", u64(eventsHeap));
+    field("peak_pending_events", u64(peakPendingEvents));
+    field("event_pool_allocated", u64(eventPoolAllocated));
+    field("batch_drains", u64(batchDrains));
+    field("max_batch_drain", u64(maxBatchDrain));
+    field("mshr_peak_live", u64(mshrPeakLive));
+    field("peak_channel_queue", u64(peakChannelQueue),
+          /*last=*/true);
+    out += "}";
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+ProfileReport::columns() const
+{
+    auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+    return {
+        {"prof_warmup_seconds", warmupSeconds},
+        {"prof_run_seconds", runSeconds},
+        {"prof_collect_seconds", collectSeconds},
+        {"prof_events_executed", d(eventsExecuted)},
+        {"prof_events_wheel", d(eventsWheel)},
+        {"prof_events_heap", d(eventsHeap)},
+        {"prof_peak_pending_events", d(peakPendingEvents)},
+        {"prof_event_pool_allocated", d(eventPoolAllocated)},
+        {"prof_batch_drains", d(batchDrains)},
+        {"prof_max_batch_drain", d(maxBatchDrain)},
+        {"prof_mshr_peak_live", d(mshrPeakLive)},
+        {"prof_peak_channel_queue", d(peakChannelQueue)},
+    };
+}
+
+void
+Profiler::beginPhase(Phase p)
+{
+    PhaseClock &pc = phases_[p];
+    bmc_assert(!pc.open, "profiler phase %d re-entered while open",
+               static_cast<int>(p));
+    pc.start = wallNow();
+    pc.open = true;
+}
+
+void
+Profiler::endPhase(Phase p)
+{
+    PhaseClock &pc = phases_[p];
+    bmc_assert(pc.open, "profiler phase %d ended while closed",
+               static_cast<int>(p));
+    pc.seconds += wallSecondsSince(pc.start);
+    pc.open = false;
+}
+
+double
+Profiler::phaseSeconds(Phase p) const
+{
+    return phases_[p].seconds;
+}
+
+} // namespace bmc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Simulator self-profiling: per-run phase wall timers plus cheap
+ * always-on kernel gauges, aggregated into one ProfileReport.
+ *
+ * The profiler observes the simulator, never the simulation: every
+ * value here is either wall-clock telemetry (phase seconds, routed
+ * through common/wallclock.hh) or a monotonic gauge the kernel
+ * already maintains (event counts, pool high-water marks, peak
+ * occupancies). Nothing feeds back into simulated state, so results
+ * are bit-identical whether a report is exported or not -- which is
+ * why `bmcsim --profile` and `bmcsweep --profile` are opt-in: the
+ * wall-clock fields genuinely differ run to run, and default-off
+ * keeps sweep JSONL byte-comparable.
+ *
+ * Gauge sources:
+ *   - EventQueue: executed split wheel vs heap, peak pending depth,
+ *     pool high-water mark, batch-drain count and largest batch.
+ *   - MshrFile: peak live entries.
+ *   - DRAM channels: peak per-channel queue depth (max over
+ *     channels of both DRAM systems).
+ */
+
+#ifndef BMC_COMMON_PROFILER_HH
+#define BMC_COMMON_PROFILER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/wallclock.hh"
+
+namespace bmc
+{
+
+/**
+ * One run's profile: phase wall timings plus kernel gauges. Plain
+ * data; System::profile() fills one from its components after run().
+ */
+struct ProfileReport
+{
+    // ------------------------------- phase wall seconds -----------
+    /** Functional fast-forward / warm-state restore. */
+    double warmupSeconds = 0.0;
+    /** The timed event loop (System::run's drive phase). */
+    double runSeconds = 0.0;
+    /** Post-drain stat collection and final checker audits. */
+    double collectSeconds = 0.0;
+
+    // ------------------------------- event-queue gauges -----------
+    std::uint64_t eventsExecuted = 0;
+    /** Executed via the near-future timing wheel. */
+    std::uint64_t eventsWheel = 0;
+    /** Executed via the far-future overflow heap. */
+    std::uint64_t eventsHeap = 0;
+    /** Peak simultaneous pending events (wheel + heap). */
+    std::uint64_t peakPendingEvents = 0;
+    /** Event-node pool high-water mark. */
+    std::uint64_t eventPoolAllocated = 0;
+    /** Same-tick wheel-slot batch drains in run(). */
+    std::uint64_t batchDrains = 0;
+    /** Largest single slot batch drained. */
+    std::uint64_t maxBatchDrain = 0;
+
+    // ------------------------------- occupancy gauges -------------
+    /** Peak live LLSC MSHR entries. */
+    std::uint64_t mshrPeakLive = 0;
+    /** Peak single-channel queue depth across both DRAM systems. */
+    std::uint64_t peakChannelQueue = 0;
+
+    /**
+     * The report as one JSON object (the `"profile"` value in
+     * `bmcsim --json` / sweep JSONL rows). Fixed field order.
+     */
+    std::string toJson(bool pretty = false) const;
+
+    /**
+     * Ordered (column, value) view with `prof_` prefixed names, for
+     * opt-in sweep catalog columns and table output. Order matches
+     * toJson().
+     */
+    std::vector<std::pair<std::string, double>> columns() const;
+};
+
+/**
+ * Accumulating phase stopwatch. beginPhase/endPhase pairs may repeat
+ * (a re-entered phase adds to its total); nesting distinct phases is
+ * fine, re-entering an open phase is a caller bug and asserts.
+ */
+class Profiler
+{
+  public:
+    enum Phase
+    {
+        kWarmup = 0,
+        kRun,
+        kCollect,
+        kNumPhases,
+    };
+
+    void beginPhase(Phase p);
+    void endPhase(Phase p);
+
+    /** Accumulated wall seconds for @p p (closed intervals only). */
+    double phaseSeconds(Phase p) const;
+
+  private:
+    struct PhaseClock
+    {
+        WallInstant start{};
+        double seconds = 0.0;
+        bool open = false;
+    };
+
+    PhaseClock phases_[kNumPhases];
+};
+
+} // namespace bmc
+
+#endif // BMC_COMMON_PROFILER_HH

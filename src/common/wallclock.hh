@@ -37,6 +37,21 @@ wallSecondsSince(WallInstant start)
     return std::chrono::duration<double>(wallNow() - start).count();
 }
 
+/**
+ * Wall-clock duration for telemetry waits. Heartbeat threads in
+ * timing-model directories pass wallDuration(seconds) to
+ * condition_variable::wait_for so the wait interval, like every
+ * other wall-clock quantity, is expressed through this header.
+ */
+using WallDuration = std::chrono::duration<double>;
+
+/** @p seconds as a WallDuration (telemetry waits only). */
+inline WallDuration
+wallDuration(double seconds)
+{
+    return WallDuration(seconds);
+}
+
 } // namespace bmc
 
 #endif // BMC_COMMON_WALLCLOCK_HH

@@ -451,6 +451,8 @@ Channel::enqueue(Request req)
     slots_[idx].seq = nextSeq_++;
     linkSlot(idx);
     ++queued_;
+    if (queued_ > peakQueued_)
+        peakQueued_ = queued_;
     if (crossCheck_)
         shadowQueue_.push_back(idx);
     trySchedule();

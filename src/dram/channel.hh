@@ -79,6 +79,8 @@ class Channel : public ChannelIface
     /** Pending (not yet reserved) request count. */
     size_t queueDepth() const override { return queued_; }
 
+    size_t peakQueueDepth() const override { return peakQueued_; }
+
     const ActivityCounters &activity() const override
     {
         return activity_;
@@ -280,6 +282,7 @@ class Channel : public ChannelIface
     std::size_t rowUsed_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::size_t queued_ = 0;
+    std::size_t peakQueued_ = 0;
 
     bool crossCheck_ = false;
     std::deque<std::uint32_t> shadowQueue_; //!< arrival order (test)

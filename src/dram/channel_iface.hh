@@ -62,6 +62,9 @@ class ChannelIface
     /** Banks modelled, 0 if the model keeps no per-bank occupancy. */
     virtual unsigned numBanks() const { return 0; }
 
+    /** Peak queueDepth() ever observed (self-profiling gauge). */
+    virtual size_t peakQueueDepth() const { return 0; }
+
     /** Cumulative ticks bank @p bank spent busy (act/col/burst). */
     virtual std::uint64_t bankBusyTicks(unsigned bank) const
     {

@@ -369,6 +369,8 @@ CommandChannel::enqueue(Request req)
     Txn txn;
     txn.req = std::move(req);
     queue_.push_back(std::move(txn));
+    if (queue_.size() > peakQueued_)
+        peakQueued_ = queue_.size();
     schedule();
 }
 

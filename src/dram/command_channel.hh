@@ -52,6 +52,7 @@ class CommandChannel : public ChannelIface
     void enqueue(Request req) override;
 
     size_t queueDepth() const override { return queue_.size(); }
+    size_t peakQueueDepth() const override { return peakQueued_; }
     const ActivityCounters &activity() const override
     {
         return activity_;
@@ -127,6 +128,7 @@ class CommandChannel : public ChannelIface
 
     std::vector<BankState> banks_;
     std::deque<Txn> queue_;
+    std::size_t peakQueued_ = 0;
 
     Tick cmdBusFreeAt_ = 0;
     Tick dataBusFreeAt_ = 0;

@@ -58,6 +58,8 @@ NvmChannel::enqueue(Request req)
     } else {
         readQ_.push_back(std::move(req));
     }
+    if (queueDepth() > peakQueued_)
+        peakQueued_ = queueDepth();
     trySchedule();
 }
 

@@ -53,6 +53,8 @@ class NvmChannel : public ChannelIface
         return readQ_.size() + readQLow_.size() + writeWait_.size();
     }
 
+    size_t peakQueueDepth() const override { return peakQueued_; }
+
     const ActivityCounters &activity() const override
     {
         return activity_;
@@ -111,6 +113,7 @@ class NvmChannel : public ChannelIface
     std::deque<Request> readQLow_; //!< background reads, FIFO
     std::deque<Request> writeWait_; //!< writes awaiting WPQ admission
     std::deque<unsigned> wpq_;      //!< admitted writes (target bank)
+    std::size_t peakQueued_ = 0;
 
     Tick busFreeAt_ = 0;
     unsigned inFlight_ = 0;      //!< outstanding read/admit events

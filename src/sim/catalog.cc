@@ -1,0 +1,632 @@
+#include "sim/catalog.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/binio.hh"
+#include "common/logging.hh"
+#include "common/profiler.hh"
+
+namespace bmc::sim
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'B', 'M', 'C', '1', 'C', 'A', 'T', 'I'};
+constexpr std::uint16_t kEndianMarker = 0x0102;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Read a whole file; @return false when it cannot be opened. */
+bool
+tryReadFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (err)
+        bmc_fatal("read error on '%s'", path.c_str());
+    return true;
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        bmc_fatal("cannot open '%s' for writing", path.c_str());
+    const std::size_t n =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool ok = n == bytes.size() && std::fclose(f) == 0;
+    if (!ok)
+        bmc_fatal("short write to '%s'", path.c_str());
+}
+
+// ------------------------------------------- JSONL line scanner ---
+// Minimal extractor over machine-generated rows. Escaped quotes
+// inside string values break the byte pattern '"key":', so a value
+// can never alias a key.
+
+/** Position just past '"key": ' or npos. */
+std::size_t
+findKey(const std::string &line, const std::string &key)
+{
+    const std::string pat = "\"" + key + "\":";
+    const std::size_t p = line.find(pat);
+    if (p == std::string::npos)
+        return std::string::npos;
+    std::size_t v = p + pat.size();
+    while (v < line.size() && line[v] == ' ')
+        ++v;
+    return v;
+}
+
+double
+numberAt(const std::string &line, std::size_t pos,
+         std::size_t *end = nullptr)
+{
+    if (pos >= line.size())
+        return kNan;
+    const char *start = line.c_str() + pos;
+    char *stop = nullptr;
+    const double v = std::strtod(start, &stop);
+    if (stop == start)
+        return kNan;
+    if (end)
+        *end = pos + static_cast<std::size_t>(stop - start);
+    return v;
+}
+
+double
+numberField(const std::string &line, const std::string &key)
+{
+    const std::size_t pos = findKey(line, key);
+    return pos == std::string::npos ? kNan : numberAt(line, pos);
+}
+
+/** Unescape a quoted JSON string starting at @p pos (the '"'). */
+std::string
+stringAt(const std::string &line, std::size_t pos,
+         std::size_t *end = nullptr)
+{
+    std::string out;
+    if (pos >= line.size() || line[pos] != '"')
+        return out;
+    ++pos;
+    while (pos < line.size() && line[pos] != '"') {
+        char c = line[pos];
+        if (c == '\\' && pos + 1 < line.size()) {
+            const char e = line[pos + 1];
+            pos += 2;
+            switch (e) {
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u':
+                // Only control bytes are \u-escaped by jsonEscape.
+                if (pos + 4 <= line.size()) {
+                    out += static_cast<char>(std::strtol(
+                        line.substr(pos, 4).c_str(), nullptr, 16));
+                    pos += 4;
+                }
+                break;
+              default:
+                out += e; // \" and \\ (and anything else verbatim)
+            }
+            continue;
+        }
+        out += c;
+        ++pos;
+    }
+    if (end)
+        *end = pos < line.size() ? pos + 1 : pos;
+    return out;
+}
+
+std::string
+stringField(const std::string &line, const std::string &key)
+{
+    const std::size_t pos = findKey(line, key);
+    return pos == std::string::npos ? std::string()
+                                    : stringAt(line, pos);
+}
+
+/**
+ * Parse a flat one-level object of numeric fields ('"k": 1.5, ...')
+ * starting at @p pos (the '{'), e.g. the "params" and "profile"
+ * objects a row carries.
+ */
+std::vector<std::pair<std::string, double>>
+flatObjectAt(const std::string &line, std::size_t pos)
+{
+    std::vector<std::pair<std::string, double>> out;
+    if (pos >= line.size() || line[pos] != '{')
+        return out;
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == ',')) {
+            ++pos;
+        }
+        if (pos >= line.size() || line[pos] != '"')
+            break;
+        std::size_t name_end = pos;
+        const std::string name = stringAt(line, pos, &name_end);
+        pos = name_end;
+        while (pos < line.size() &&
+               (line[pos] == ':' || line[pos] == ' ')) {
+            ++pos;
+        }
+        std::size_t value_end = pos;
+        const double v = numberAt(line, pos, &value_end);
+        if (value_end == pos)
+            break; // not a flat numeric object after all
+        out.emplace_back(name, v);
+        pos = value_end;
+    }
+    return out;
+}
+
+struct ScannedRow
+{
+    bool ok = false;
+    double run = kNan;
+    double seed = kNan;
+    std::string label, workload, scheme;
+    std::vector<std::pair<std::string, double>> params;
+    std::vector<std::pair<std::string, double>> profile;
+    std::string line; //!< retained for metric extraction
+};
+
+ScannedRow
+scanLine(const std::string &line)
+{
+    ScannedRow row;
+    const std::size_t ok_pos = findKey(line, "ok");
+    row.ok = ok_pos != std::string::npos &&
+             line.compare(ok_pos, 4, "true") == 0;
+    row.run = numberField(line, "run");
+    row.seed = numberField(line, "seed");
+    row.label = stringField(line, "label");
+    row.workload = stringField(line, "workload");
+    row.scheme = stringField(line, "scheme");
+    const std::size_t params_pos = findKey(line, "params");
+    if (params_pos != std::string::npos)
+        row.params = flatObjectAt(line, params_pos);
+    const std::size_t prof_pos = findKey(line, "profile");
+    if (prof_pos != std::string::npos)
+        row.profile = flatObjectAt(line, prof_pos);
+    row.line = line;
+    return row;
+}
+
+/**
+ * Index row from a scanned line (offset/length still unset). Both
+ * the sweep write path and the rebuild scanner go through here, so
+ * a freshly written sidecar is bit-identical to a rebuilt one: every
+ * numeric cell is the value parsed back out of the serialized text,
+ * never the pre-rounding in-memory double.
+ */
+CatalogRow
+rowFromScanned(const ScannedRow &s,
+               const std::vector<std::string> &param_names,
+               bool with_profile)
+{
+    CatalogRow row;
+    row.ok = s.ok;
+    row.strs = {s.label, s.workload, s.scheme};
+    row.nums.push_back(s.run);
+    row.nums.push_back(s.seed);
+    for (const std::string &name : param_names) {
+        double v = kNan;
+        for (const auto &[pname, pvalue] : s.params) {
+            if (pname == name) {
+                v = pvalue;
+                break;
+            }
+        }
+        row.nums.push_back(v);
+    }
+    for (const std::string &name : catalogMetricColumns()) {
+        row.nums.push_back(s.ok ? numberField(s.line, name) : kNan);
+    }
+    if (with_profile) {
+        for (const std::string &name :
+             catalogNumericColumns({}, true)) {
+            if (name.compare(0, 5, "prof_") != 0)
+                continue;
+            double v = kNan;
+            const std::string key = name.substr(5);
+            for (const auto &[pname, pvalue] : s.profile) {
+                if (pname == key) {
+                    v = pvalue;
+                    break;
+                }
+            }
+            row.nums.push_back(v);
+        }
+    }
+    return row;
+}
+
+Catalog
+parseIndexImage(const std::string &image,
+                const std::string &jsonl_path,
+                const std::string &idx_path, bool *stale_version)
+{
+    *stale_version = false;
+    if (image.size() < sizeof(kMagic) + 4 + 2 + 8) {
+        bmc_fatal("catalog index '%s' is truncated (%zu bytes); "
+                  "delete it or run bmcquery --rebuild to rebuild "
+                  "it from the JSONL",
+                  idx_path.c_str(), image.size());
+    }
+    if (image.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) !=
+        0) {
+        bmc_fatal("'%s' is not a catalog index (bad magic); delete "
+                  "it or run bmcquery --rebuild",
+                  idx_path.c_str());
+    }
+
+    // Checksum covers everything before the 8-byte footer.
+    const std::string body = image.substr(0, image.size() - 8);
+    const std::string footer = image.substr(image.size() - 8);
+    BinReader fr(footer);
+    const std::uint64_t stored_sum = fr.u64();
+    const std::uint64_t computed_sum = fnv1a(body);
+    if (stored_sum != computed_sum) {
+        bmc_fatal("catalog index '%s' checksum mismatch (stored "
+                  "%016llx, computed %016llx): the index is corrupt; "
+                  "delete it or run bmcquery --rebuild to rebuild it "
+                  "from the JSONL",
+                  idx_path.c_str(),
+                  static_cast<unsigned long long>(stored_sum),
+                  static_cast<unsigned long long>(computed_sum));
+    }
+
+    BinReader r(body);
+    for (std::size_t i = 0; i < sizeof(kMagic); ++i)
+        (void)r.u8();
+    const std::uint32_t version = r.u32();
+    if (version != kCatalogIndexVersion) {
+        // Older (or newer) sidecar: the JSONL is the source of
+        // truth, so the caller rebuilds instead of failing.
+        *stale_version = true;
+        return Catalog{};
+    }
+    const std::uint16_t endian = r.u16();
+    if (endian != kEndianMarker) {
+        bmc_fatal("catalog index '%s' endianness marker 0x%04x does "
+                  "not match 0x%04x: rebuild it with bmcquery "
+                  "--rebuild",
+                  idx_path.c_str(), endian, kEndianMarker);
+    }
+
+    Catalog c;
+    c.jsonlPath = jsonl_path;
+    c.rowSchemaVersion = r.u32();
+    c.jsonlBytes = r.u64();
+    const std::uint32_t n_str = r.u32();
+    for (std::uint32_t i = 0; i < n_str; ++i)
+        c.stringCols.push_back(r.str());
+    const std::uint32_t n_num = r.u32();
+    for (std::uint32_t i = 0; i < n_num; ++i)
+        c.numericCols.push_back(r.str());
+    const std::uint64_t n_rows = r.u64();
+    c.rows.reserve(n_rows);
+    for (std::uint64_t i = 0; i < n_rows; ++i) {
+        CatalogRow row;
+        row.offset = r.u64();
+        row.length = r.u32();
+        row.ok = r.u8() != 0;
+        row.strs.reserve(n_str);
+        for (std::uint32_t s = 0; s < n_str; ++s)
+            row.strs.push_back(r.str());
+        row.nums.reserve(n_num);
+        for (std::uint32_t v = 0; v < n_num; ++v)
+            row.nums.push_back(r.f64());
+        c.rows.push_back(std::move(row));
+    }
+    if (!r.atEnd()) {
+        bmc_fatal("catalog index '%s' has %zu trailing bytes; "
+                  "rebuild it with bmcquery --rebuild",
+                  idx_path.c_str(), r.remaining());
+    }
+    return c;
+}
+
+} // anonymous namespace
+
+std::string
+catalogIndexPath(const std::string &jsonl_path)
+{
+    return jsonl_path + ".idx";
+}
+
+int
+Catalog::stringCol(const std::string &name) const
+{
+    for (std::size_t i = 0; i < stringCols.size(); ++i) {
+        if (stringCols[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+Catalog::numericCol(const std::string &name) const
+{
+    for (std::size_t i = 0; i < numericCols.size(); ++i) {
+        if (numericCols[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+const std::vector<std::string> &
+catalogStringColumns()
+{
+    static const std::vector<std::string> cols = {"label", "workload",
+                                                  "scheme"};
+    return cols;
+}
+
+const std::vector<std::string> &
+catalogMetricColumns()
+{
+    static const std::vector<std::string> cols = {
+        "cache_hit_rate",
+        "llsc_miss_rate",
+        "avg_access_latency",
+        "avg_hit_latency",
+        "avg_miss_latency",
+        "avg_tag_read_ticks",
+        "avg_data_read_ticks",
+        "avg_mem_demand_ticks",
+        "access_latency_p50",
+        "access_latency_p95",
+        "access_latency_p99",
+        "sim_ticks",
+        "dcc_accesses",
+        "offchip_fetch_bytes",
+        "demand_fetch_bytes",
+        "wasted_fetch_bytes",
+        "writeback_bytes",
+        "mem_bytes_read",
+        "mem_bytes_written",
+        "data_row_hit_rate",
+        "meta_row_hit_rate",
+        "locator_hit_rate",
+        "small_access_fraction",
+        "energy_pj",
+        "antt",
+        "stp",
+        "hms",
+        "fairness",
+    };
+    return cols;
+}
+
+std::vector<std::string>
+catalogNumericColumns(const std::vector<std::string> &param_names,
+                      bool with_profile)
+{
+    std::vector<std::string> cols = {"run", "seed"};
+    cols.insert(cols.end(), param_names.begin(), param_names.end());
+    const auto &metrics = catalogMetricColumns();
+    cols.insert(cols.end(), metrics.begin(), metrics.end());
+    if (with_profile) {
+        for (const auto &[name, value] : ProfileReport().columns()) {
+            (void)value;
+            cols.push_back(name);
+        }
+    }
+    return cols;
+}
+
+CatalogRow
+catalogRowFromLine(const std::string &json_line,
+                   const std::vector<std::string> &param_names,
+                   bool with_profile)
+{
+    return rowFromScanned(scanLine(json_line), param_names,
+                          with_profile);
+}
+
+void
+writeCatalogIndex(const Catalog &c)
+{
+    bmc_assert(!c.jsonlPath.empty(),
+               "catalog has no JSONL path to index");
+    BinWriter w;
+    w.bytes(kMagic, sizeof(kMagic));
+    w.u32(kCatalogIndexVersion);
+    w.u16(kEndianMarker);
+    w.u32(c.rowSchemaVersion);
+    w.u64(c.jsonlBytes);
+    w.u32(static_cast<std::uint32_t>(c.stringCols.size()));
+    for (const std::string &name : c.stringCols)
+        w.str(name);
+    w.u32(static_cast<std::uint32_t>(c.numericCols.size()));
+    for (const std::string &name : c.numericCols)
+        w.str(name);
+    w.u64(c.rows.size());
+    for (const CatalogRow &row : c.rows) {
+        bmc_assert(row.strs.size() == c.stringCols.size() &&
+                       row.nums.size() == c.numericCols.size(),
+                   "catalog row shape mismatch: %zu/%zu strings, "
+                   "%zu/%zu numerics",
+                   row.strs.size(), c.stringCols.size(),
+                   row.nums.size(), c.numericCols.size());
+        w.u64(row.offset);
+        w.u32(row.length);
+        w.u8(row.ok ? 1 : 0);
+        for (const std::string &s : row.strs)
+            w.str(s);
+        for (const double v : row.nums)
+            w.f64(v);
+    }
+    const std::uint64_t sum = fnv1a(w.data());
+    BinWriter footer;
+    footer.u64(sum);
+    writeFile(catalogIndexPath(c.jsonlPath),
+              w.data() + footer.data());
+}
+
+Catalog
+rebuildCatalogIndex(const std::string &jsonl_path)
+{
+    std::string text;
+    if (!tryReadFile(jsonl_path, text))
+        bmc_fatal("cannot open results JSONL '%s'",
+                  jsonl_path.c_str());
+
+    // Scan complete lines only; a truncated trailing line (crashed
+    // or still-running writer) is simply outside the index.
+    std::vector<ScannedRow> scanned;
+    std::vector<std::uint64_t> offsets;
+    std::uint64_t covered = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        offsets.push_back(pos);
+        scanned.push_back(scanLine(text.substr(pos, nl - pos)));
+        covered = nl + 1;
+        pos = nl + 1;
+    }
+
+    Catalog c;
+    c.jsonlPath = jsonl_path;
+    c.jsonlBytes = covered;
+    c.rowSchemaVersion =
+        scanned.empty()
+            ? 0
+            : static_cast<std::uint32_t>(
+                  numberField(scanned.front().line,
+                              "schema_version"));
+    c.stringCols = catalogStringColumns();
+
+    // Column discovery: params and profile names in first-appearance
+    // order, matching the writer's layout for uniform sweeps.
+    std::vector<std::string> param_names;
+    bool with_profile = false;
+    for (const ScannedRow &row : scanned) {
+        for (const auto &[name, value] : row.params) {
+            (void)value;
+            bool known = false;
+            for (const std::string &have : param_names)
+                known = known || have == name;
+            if (!known)
+                param_names.push_back(name);
+        }
+        with_profile = with_profile || !row.profile.empty();
+    }
+    c.numericCols = catalogNumericColumns(param_names, with_profile);
+
+    for (std::size_t i = 0; i < scanned.size(); ++i) {
+        CatalogRow row =
+            rowFromScanned(scanned[i], param_names, with_profile);
+        row.offset = offsets[i];
+        row.length = static_cast<std::uint32_t>(
+            scanned[i].line.size());
+        c.rows.push_back(std::move(row));
+    }
+
+    writeCatalogIndex(c);
+    return c;
+}
+
+Catalog
+loadCatalog(const std::string &jsonl_path, bool force_rebuild)
+{
+    if (force_rebuild)
+        return rebuildCatalogIndex(jsonl_path);
+
+    std::string image;
+    if (!tryReadFile(catalogIndexPath(jsonl_path), image))
+        return rebuildCatalogIndex(jsonl_path); // no sidecar yet
+
+    bool stale_version = false;
+    Catalog c = parseIndexImage(image, jsonl_path,
+                                catalogIndexPath(jsonl_path),
+                                &stale_version);
+    if (stale_version)
+        return rebuildCatalogIndex(jsonl_path);
+
+    // The JSONL is the source of truth: any size drift (truncation,
+    // append, rewrite) invalidates the sidecar.
+    std::FILE *f = std::fopen(jsonl_path.c_str(), "rb");
+    if (!f)
+        bmc_fatal("catalog index '%s' exists but its JSONL '%s' "
+                  "does not",
+                  catalogIndexPath(jsonl_path).c_str(),
+                  jsonl_path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    if (size < 0 ||
+        static_cast<std::uint64_t>(size) != c.jsonlBytes) {
+        return rebuildCatalogIndex(jsonl_path);
+    }
+    return c;
+}
+
+std::string
+catalogFetchLine(const Catalog &c, const CatalogRow &row)
+{
+    std::FILE *f = std::fopen(c.jsonlPath.c_str(), "rb");
+    if (!f)
+        bmc_fatal("cannot open results JSONL '%s'",
+                  c.jsonlPath.c_str());
+    std::string out(row.length, '\0');
+    const bool ok =
+        std::fseek(f, static_cast<long>(row.offset), SEEK_SET) ==
+            0 &&
+        std::fread(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (!ok)
+        bmc_fatal("short read at offset %llu in '%s'",
+                  static_cast<unsigned long long>(row.offset),
+                  c.jsonlPath.c_str());
+    return out;
+}
+
+double
+catalogLineNumber(const std::string &line, const std::string &key)
+{
+    return numberField(line, key);
+}
+
+std::string
+catalogLineString(const std::string &line, const std::string &key)
+{
+    return stringField(line, key);
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Indexed results catalog: a checksummed sidecar index over a sweep
+ * results JSONL.
+ *
+ * A campaign's JSONL stays the source of truth (append-safe, plain
+ * text, bit-identical across -jN); the catalog adds a typed column
+ * index beside it ("<results>.jsonl.idx") so filtered and aggregated
+ * reads never scan the JSONL: each row's byte offset and length plus
+ * a compact set of typed columns (label/workload/scheme strings,
+ * run/seed, variant-axis params, curated metrics, opt-in profiler
+ * gauges) are serialized with common/binio.hh behind the same
+ * magic/version/endian/FNV-1a framing as checkpoint files.
+ *
+ * Durability contract (pinned by tests/test_catalog.cc):
+ *  - missing index            -> rebuilt by scanning the JSONL;
+ *  - JSONL size != the size the index covers (truncation, append,
+ *    in-place growth)         -> rebuilt, dropping any incomplete
+ *    trailing line;
+ *  - corrupt index (checksum, magic, endianness) -> bmc_fatal with a
+ *    rebuild hint (`bmcquery --rebuild` forces one);
+ *  - an *older index version* -> silently rebuilt (format upgrades
+ *    must not strand old campaigns);
+ *  - corruption inside non-indexed JSONL bytes is intentionally
+ *    undetected: queries over indexed columns answer from the index
+ *    alone, and only a lazy fetch of a non-indexed column re-reads
+ *    the row's bytes (by stored offset/length, never a full scan).
+ *
+ * The rebuild scanner is a minimal "key": value extractor that
+ * assumes machine-generated rows (runResultToJsonLine), not a JSON
+ * parser for arbitrary documents.
+ */
+
+#ifndef BMC_SIM_CATALOG_HH
+#define BMC_SIM_CATALOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bmc::sim
+{
+
+/**
+ * Catalog index file-format version. Bump when the sidecar layout
+ * changes; readers rebuild older versions from the JSONL. Listed in
+ * EXPERIMENTS.md's schema-version registry.
+ */
+constexpr std::uint32_t kCatalogIndexVersion = 1;
+
+/** Sidecar index path for a results JSONL: "<jsonl>.idx". */
+std::string catalogIndexPath(const std::string &jsonl_path);
+
+/** One indexed row: its location in the JSONL plus typed columns. */
+struct CatalogRow
+{
+    /** Byte offset of the line start inside the JSONL. */
+    std::uint64_t offset = 0;
+    /** Line length in bytes, excluding the trailing '\n'. */
+    std::uint32_t length = 0;
+    bool ok = false;
+    /** Values parallel to Catalog::stringCols. */
+    std::vector<std::string> strs;
+    /** Values parallel to Catalog::numericCols; NaN = missing. */
+    std::vector<double> nums;
+};
+
+/** An indexed results catalog: one JSONL file plus its row index. */
+struct Catalog
+{
+    std::string jsonlPath;
+    /** schema_version carried by the indexed rows. */
+    std::uint32_t rowSchemaVersion = 0;
+    /** JSONL bytes the index covers (complete lines only). */
+    std::uint64_t jsonlBytes = 0;
+    std::vector<std::string> stringCols;
+    std::vector<std::string> numericCols;
+    std::vector<CatalogRow> rows;
+
+    /** Index of @p name in stringCols, or -1. */
+    int stringCol(const std::string &name) const;
+    /** Index of @p name in numericCols, or -1. */
+    int numericCol(const std::string &name) const;
+};
+
+/** String columns every catalog indexes (label/workload/scheme). */
+const std::vector<std::string> &catalogStringColumns();
+
+/** Curated metric columns every catalog indexes. */
+const std::vector<std::string> &catalogMetricColumns();
+
+/**
+ * Full numeric column list for a catalog whose cells carry the named
+ * variant-axis params: "run", "seed", the params, the curated
+ * metrics, then (opt-in) the profiler gauge columns.
+ */
+std::vector<std::string>
+catalogNumericColumns(const std::vector<std::string> &param_names,
+                      bool with_profile);
+
+/**
+ * Build one index row from a serialized JSONL line (offset/length
+ * still unset; the sweep driver assigns them at flush time). The row
+ * is derived from the text, not from in-memory doubles, so a sidecar
+ * written alongside the JSONL is bit-identical to one rebuilt from
+ * it later. Missing values -- metrics of a failed run, params the
+ * cell does not carry, ANTT fields of a non-ANTT run -- are NaN.
+ */
+CatalogRow
+catalogRowFromLine(const std::string &json_line,
+                   const std::vector<std::string> &param_names,
+                   bool with_profile);
+
+/** Serialize @p c to its sidecar index file (bmc_fatal on I/O). */
+void writeCatalogIndex(const Catalog &c);
+
+/**
+ * Re-derive the index by scanning the JSONL (dropping an incomplete
+ * trailing line), persist it, and return it.
+ */
+Catalog rebuildCatalogIndex(const std::string &jsonl_path);
+
+/**
+ * Load the catalog for @p jsonl_path, applying the durability
+ * contract above. @p force_rebuild skips the sidecar entirely.
+ */
+Catalog loadCatalog(const std::string &jsonl_path,
+                    bool force_rebuild = false);
+
+/**
+ * Fetch one row's bytes from the catalog's JSONL by stored
+ * offset/length -- a single positioned read, never a scan. This is
+ * the only query path that touches the JSONL; everything indexed
+ * answers from the sidecar alone.
+ */
+std::string catalogFetchLine(const Catalog &c, const CatalogRow &row);
+
+/** Extract `"key": <number>` from a row line; NaN when absent. */
+double catalogLineNumber(const std::string &line,
+                         const std::string &key);
+
+/** Extract `"key": "<string>"` from a row line; "" when absent. */
+std::string catalogLineString(const std::string &line,
+                              const std::string &key);
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_CATALOG_HH

@@ -46,12 +46,15 @@ namespace bmc::sim
 constexpr std::uint32_t kCheckpointVersion = 1;
 
 /**
- * FNV-1a fingerprint of the checkpoint serialization code (see file
- * comment). Recomputed by `bmclint --rule=ckpt-versioned`; when the
- * linter reports a mismatch, review the schema change, bump
- * kCheckpointVersion and paste the hash the finding reports.
+ * FNV-1a fingerprint of every BinWriter/BinReader field call site
+ * under src/ (see file comment) -- the checkpoint serializer plus
+ * any other binio-framed format (e.g. the catalog sidecar index).
+ * Recomputed by `bmclint --rule=ckpt-versioned`; when the linter
+ * reports a mismatch, review the schema change, bump
+ * kCheckpointVersion if checkpoint files written before the change
+ * are now unreadable, and paste the hash the finding reports.
  */
-constexpr std::uint64_t kCheckpointSchemaHash = 0x5d08d5ac2ea1f474ULL;
+constexpr std::uint64_t kCheckpointSchemaHash = 0x69bf27bf857bc535ULL;
 
 /** Decoded checkpoint file: the two framed blobs. */
 struct CheckpointImage

@@ -46,9 +46,12 @@ namespace bmc::sim
  * components (avg_tag_read_ticks, avg_data_read_ticks,
  * avg_mem_demand_ticks) added to the stats object -- they were
  * collected all along but never serialized, which the bmclint
- * stats-printed rule now rejects.
+ * stats-printed rule now rejects; 4 = optional "params" object
+ * (variant-axis coordinates, present when the sweep driver sets
+ * them) and opt-in "profile" object (simulator self-profile, only
+ * under bmcsweep --profile) added to rows.
  */
-constexpr int kResultsSchemaVersion = 3;
+constexpr int kResultsSchemaVersion = 4;
 
 /** Scalar results of one timing run. */
 struct RunStats

@@ -1,0 +1,655 @@
+#include "sim/query.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace bmc::sim
+{
+
+namespace
+{
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+const char *
+predOpName(PredOp op)
+{
+    switch (op) {
+      case PredOp::Eq:
+        return "=";
+      case PredOp::Ne:
+        return "!=";
+      case PredOp::Lt:
+        return "<";
+      case PredOp::Le:
+        return "<=";
+      case PredOp::Gt:
+        return ">";
+      case PredOp::Ge:
+        return ">=";
+    }
+    return "?";
+}
+
+const char *
+aggFnName(AggFn fn)
+{
+    switch (fn) {
+      case AggFn::Min:
+        return "min";
+      case AggFn::Mean:
+        return "mean";
+      case AggFn::Max:
+        return "max";
+      case AggFn::P50:
+        return "p50";
+      case AggFn::P95:
+        return "p95";
+      case AggFn::Sum:
+        return "sum";
+      case AggFn::Count:
+        return "count";
+    }
+    return "?";
+}
+
+std::vector<std::string>
+splitList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        if (!item.empty())
+            out.push_back(item);
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** How a column name resolves against one catalog. */
+struct ColumnRef
+{
+    enum Kind
+    {
+        kFile, //!< catalog JSONL path (string pseudo-column)
+        kOk,   //!< row ok flag as 1/0 (numeric pseudo-column)
+        kStr,  //!< indexed string column
+        kNum,  //!< indexed numeric column
+        kLazy, //!< not indexed: fetch the row bytes on demand
+    } kind = kLazy;
+    int index = -1;
+};
+
+ColumnRef
+resolveColumn(const Catalog &c, const std::string &name)
+{
+    ColumnRef ref;
+    if (name == "file") {
+        ref.kind = ColumnRef::kFile;
+    } else if (name == "ok") {
+        ref.kind = ColumnRef::kOk;
+    } else if (int s = c.stringCol(name); s >= 0) {
+        ref.kind = ColumnRef::kStr;
+        ref.index = s;
+    } else if (int n = c.numericCol(name); n >= 0) {
+        ref.kind = ColumnRef::kNum;
+        ref.index = n;
+    }
+    return ref;
+}
+
+std::string
+availableColumns(const std::vector<Catalog> &catalogs)
+{
+    std::vector<std::string> cols = {"file", "ok"};
+    for (const Catalog &c : catalogs) {
+        for (const auto &group : {c.stringCols, c.numericCols}) {
+            for (const std::string &name : group) {
+                if (std::find(cols.begin(), cols.end(), name) ==
+                    cols.end()) {
+                    cols.push_back(name);
+                }
+            }
+        }
+    }
+    std::string out;
+    for (const std::string &name : cols) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+/**
+ * Resolve an *indexed* column (predicates, group keys, aggregates);
+ * bmc_fatal when the name would need a JSONL fetch.
+ */
+ColumnRef
+requireIndexed(const std::vector<Catalog> &catalogs,
+               const Catalog &c, const std::string &name,
+               const char *use)
+{
+    const ColumnRef ref = resolveColumn(c, name);
+    if (ref.kind == ColumnRef::kLazy) {
+        bmc_fatal("%s column '%s' is not indexed in '%s'; indexed "
+                  "columns: %s",
+                  use, name.c_str(), c.jsonlPath.c_str(),
+                  availableColumns(catalogs).c_str());
+    }
+    return ref;
+}
+
+QueryCell
+numCell(double v)
+{
+    QueryCell cell;
+    cell.isNum = true;
+    cell.num = v;
+    return cell;
+}
+
+QueryCell
+strCell(std::string s)
+{
+    QueryCell cell;
+    cell.str = std::move(s);
+    return cell;
+}
+
+/** Indexed cell value (never touches the JSONL). */
+QueryCell
+indexedCell(const Catalog &c, const CatalogRow &row,
+            const ColumnRef &ref)
+{
+    switch (ref.kind) {
+      case ColumnRef::kFile:
+        return strCell(c.jsonlPath);
+      case ColumnRef::kOk:
+        return numCell(row.ok ? 1.0 : 0.0);
+      case ColumnRef::kStr:
+        return strCell(row.strs[static_cast<std::size_t>(ref.index)]);
+      case ColumnRef::kNum:
+        return numCell(row.nums[static_cast<std::size_t>(ref.index)]);
+      case ColumnRef::kLazy:
+        break;
+    }
+    bmc_panic("indexedCell on a lazy column");
+    return QueryCell{};
+}
+
+std::string
+formatNum(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15)
+        return strfmt("%.0f", v);
+    return strfmt("%.6g", v);
+}
+
+std::string
+cellText(const QueryCell &cell)
+{
+    return cell.isNum ? formatNum(cell.num) : cell.str;
+}
+
+bool
+predicateHolds(const QueryPredicate &p, const QueryCell &cell)
+{
+    if (cell.isNum) {
+        if (!p.isNum)
+            return p.op == PredOp::Ne; // number vs non-number text
+        const double a = cell.num;
+        const double b = p.num;
+        if (std::isnan(a))
+            return p.op == PredOp::Ne; // missing matches nothing
+        switch (p.op) {
+          case PredOp::Eq:
+            return a == b;
+          case PredOp::Ne:
+            return a != b;
+          case PredOp::Lt:
+            return a < b;
+          case PredOp::Le:
+            return a <= b;
+          case PredOp::Gt:
+            return a > b;
+          case PredOp::Ge:
+            return a >= b;
+        }
+        return false;
+    }
+    if (p.op == PredOp::Eq)
+        return cell.str == p.text;
+    if (p.op == PredOp::Ne)
+        return cell.str != p.text;
+    bmc_fatal("ordering operator '%s' is not supported on string "
+              "column '%s'",
+              predOpName(p.op), p.column.c_str());
+    return false;
+}
+
+double
+aggregate(AggFn fn, std::vector<double> &values,
+          std::size_t group_rows)
+{
+    if (fn == AggFn::Count) {
+        return values.empty()
+                   ? static_cast<double>(group_rows)
+                   : static_cast<double>(values.size());
+    }
+    if (values.empty())
+        return kNan;
+    switch (fn) {
+      case AggFn::Min:
+        return *std::min_element(values.begin(), values.end());
+      case AggFn::Max:
+        return *std::max_element(values.begin(), values.end());
+      case AggFn::Sum:
+      case AggFn::Mean: {
+        double sum = 0.0;
+        for (const double v : values)
+            sum += v;
+        return fn == AggFn::Sum
+                   ? sum
+                   : sum / static_cast<double>(values.size());
+      }
+      case AggFn::P50:
+      case AggFn::P95: {
+        // Nearest-rank percentile over the non-missing values.
+        std::sort(values.begin(), values.end());
+        const double p = fn == AggFn::P50 ? 0.50 : 0.95;
+        std::size_t rank = static_cast<std::size_t>(std::ceil(
+            p * static_cast<double>(values.size())));
+        if (rank == 0)
+            rank = 1;
+        return values[rank - 1];
+      }
+      case AggFn::Count:
+        break;
+    }
+    return kNan;
+}
+
+/** (catalog, row) pair surviving the predicate filter. */
+struct RowRef
+{
+    const Catalog *cat = nullptr;
+    const CatalogRow *row = nullptr;
+};
+
+void
+sortAndLimit(QueryResult &res, const QueryOptions &opts)
+{
+    if (!opts.sortBy.empty()) {
+        const auto it = std::find(res.columns.begin(),
+                                  res.columns.end(), opts.sortBy);
+        if (it == res.columns.end()) {
+            std::string cols;
+            for (const std::string &name : res.columns) {
+                if (!cols.empty())
+                    cols += ", ";
+                cols += name;
+            }
+            bmc_fatal("sort column '%s' is not in the output "
+                      "(columns: %s)",
+                      opts.sortBy.c_str(), cols.c_str());
+        }
+        const std::size_t col = static_cast<std::size_t>(
+            it - res.columns.begin());
+        const bool desc = opts.sortDesc;
+        std::stable_sort(
+            res.rows.begin(), res.rows.end(),
+            [col, desc](const std::vector<QueryCell> &a,
+                        const std::vector<QueryCell> &b) {
+                const QueryCell &x = a[col];
+                const QueryCell &y = b[col];
+                if (x.isNum && y.isNum) {
+                    // NaN sorts last whatever the direction.
+                    if (std::isnan(x.num))
+                        return false;
+                    if (std::isnan(y.num))
+                        return true;
+                    return desc ? x.num > y.num : x.num < y.num;
+                }
+                const std::string xs = cellText(x);
+                const std::string ys = cellText(y);
+                return desc ? xs > ys : xs < ys;
+            });
+    }
+    if (opts.limit > 0 && res.rows.size() > opts.limit)
+        res.rows.resize(opts.limit);
+}
+
+} // anonymous namespace
+
+std::vector<QueryPredicate>
+parseWhere(const std::string &spec)
+{
+    std::vector<QueryPredicate> preds;
+    for (const std::string &clause : splitList(spec)) {
+        // Two-char operators first so "<=" never parses as "<" "=".
+        static const struct
+        {
+            const char *text;
+            PredOp op;
+        } kOps[] = {
+            {"!=", PredOp::Ne}, {"<=", PredOp::Le},
+            {">=", PredOp::Ge}, {"<", PredOp::Lt},
+            {">", PredOp::Gt},  {"=", PredOp::Eq},
+        };
+        QueryPredicate p;
+        std::size_t split = std::string::npos;
+        std::size_t op_len = 0;
+        for (const auto &cand : kOps) {
+            const std::size_t pos = clause.find(cand.text);
+            if (pos != std::string::npos && pos < split) {
+                split = pos;
+                op_len = std::char_traits<char>::length(cand.text);
+                p.op = cand.op;
+            }
+        }
+        if (split == std::string::npos || split == 0 ||
+            split + op_len >= clause.size()) {
+            bmc_fatal("malformed --where clause '%s' (expected "
+                      "column<op>value with op one of = != < <= > "
+                      ">=)",
+                      clause.c_str());
+        }
+        p.column = clause.substr(0, split);
+        p.text = clause.substr(split + op_len);
+        const char *start = p.text.c_str();
+        char *stop = nullptr;
+        p.num = std::strtod(start, &stop);
+        p.isNum = stop != start &&
+                  *stop == '\0'; // whole text parsed as a number
+        preds.push_back(std::move(p));
+    }
+    return preds;
+}
+
+std::string
+AggSpec::name() const
+{
+    if (fn == AggFn::Count && column.empty())
+        return "count";
+    return strfmt("%s(%s)", aggFnName(fn), column.c_str());
+}
+
+std::vector<AggSpec>
+parseAggs(const std::string &spec)
+{
+    std::vector<AggSpec> aggs;
+    for (const std::string &clause : splitList(spec)) {
+        AggSpec agg;
+        const std::size_t colon = clause.find(':');
+        const std::string fn = clause.substr(0, colon);
+        if (colon != std::string::npos)
+            agg.column = clause.substr(colon + 1);
+        if (fn == "min") {
+            agg.fn = AggFn::Min;
+        } else if (fn == "mean") {
+            agg.fn = AggFn::Mean;
+        } else if (fn == "max") {
+            agg.fn = AggFn::Max;
+        } else if (fn == "p50") {
+            agg.fn = AggFn::P50;
+        } else if (fn == "p95") {
+            agg.fn = AggFn::P95;
+        } else if (fn == "sum") {
+            agg.fn = AggFn::Sum;
+        } else if (fn == "count") {
+            agg.fn = AggFn::Count;
+        } else {
+            bmc_fatal("unknown aggregate '%s' in '%s' (expected "
+                      "min/mean/max/p50/p95/sum/count)",
+                      fn.c_str(), clause.c_str());
+        }
+        if (agg.fn != AggFn::Count && agg.column.empty()) {
+            bmc_fatal("aggregate '%s' needs a column "
+                      "(fn:column)",
+                      clause.c_str());
+        }
+        aggs.push_back(std::move(agg));
+    }
+    return aggs;
+}
+
+QueryResult
+runQuery(const std::vector<Catalog> &catalogs,
+         const QueryOptions &opts)
+{
+    bmc_assert(!catalogs.empty(), "query over zero catalogs");
+
+    // Predicate filter: indexed columns only, so this pass never
+    // reads the JSONL however many rows the campaign has.
+    std::vector<RowRef> rows;
+    for (const Catalog &c : catalogs) {
+        std::vector<std::pair<const QueryPredicate *, ColumnRef>>
+            preds;
+        for (const QueryPredicate &p : opts.where) {
+            preds.emplace_back(
+                &p, requireIndexed(catalogs, c, p.column,
+                                   "--where"));
+        }
+        for (const CatalogRow &row : c.rows) {
+            bool keep = true;
+            for (const auto &[p, ref] : preds) {
+                if (!predicateHolds(*p, indexedCell(c, row, ref))) {
+                    keep = false;
+                    break;
+                }
+            }
+            if (keep)
+                rows.push_back({&c, &row});
+        }
+    }
+
+    QueryResult res;
+
+    if (!opts.groupBy.empty()) {
+        std::vector<AggSpec> aggs = opts.aggs;
+        if (aggs.empty())
+            aggs.push_back(AggSpec{AggFn::Count, ""});
+
+        res.columns = opts.groupBy;
+        for (const AggSpec &agg : aggs)
+            res.columns.push_back(agg.name());
+
+        // std::map keys the groups lexicographically, so the output
+        // order is deterministic whatever the catalog order.
+        struct Group
+        {
+            std::vector<QueryCell> key;
+            std::size_t rows = 0;
+            std::vector<std::vector<double>> values;
+        };
+        std::map<std::vector<std::string>, Group> groups;
+        for (const RowRef &rr : rows) {
+            std::vector<std::string> key_text;
+            std::vector<QueryCell> key_cells;
+            for (const std::string &name : opts.groupBy) {
+                const ColumnRef ref = requireIndexed(
+                    catalogs, *rr.cat, name, "--group-by");
+                QueryCell cell = indexedCell(*rr.cat, *rr.row, ref);
+                key_text.push_back(cellText(cell));
+                key_cells.push_back(std::move(cell));
+            }
+            Group &g = groups[key_text];
+            if (g.key.empty()) {
+                g.key = std::move(key_cells);
+                g.values.resize(aggs.size());
+            }
+            ++g.rows;
+            for (std::size_t a = 0; a < aggs.size(); ++a) {
+                if (aggs[a].column.empty())
+                    continue;
+                const ColumnRef ref = requireIndexed(
+                    catalogs, *rr.cat, aggs[a].column, "--agg");
+                const QueryCell cell =
+                    indexedCell(*rr.cat, *rr.row, ref);
+                if (!cell.isNum) {
+                    bmc_fatal("--agg column '%s' is not numeric",
+                              aggs[a].column.c_str());
+                }
+                if (!std::isnan(cell.num))
+                    g.values[a].push_back(cell.num);
+            }
+        }
+        for (auto &[key_text, g] : groups) {
+            (void)key_text;
+            std::vector<QueryCell> out = std::move(g.key);
+            for (std::size_t a = 0; a < aggs.size(); ++a) {
+                out.push_back(numCell(aggregate(
+                    aggs[a].fn, g.values[a], g.rows)));
+            }
+            res.rows.push_back(std::move(out));
+        }
+        sortAndLimit(res, opts);
+        return res;
+    }
+
+    // Row query. Non-indexed select columns fall back to one
+    // positioned fetch per emitted row.
+    res.columns = opts.select;
+    if (res.columns.empty()) {
+        res.columns = {"run",    "label", "workload",      "scheme",
+                       "ok",     "cache_hit_rate",
+                       "avg_access_latency"};
+    }
+    for (const RowRef &rr : rows) {
+        std::vector<QueryCell> out;
+        std::string line; // fetched at most once per row
+        bool fetched = false;
+        for (const std::string &name : res.columns) {
+            const ColumnRef ref = resolveColumn(*rr.cat, name);
+            if (ref.kind != ColumnRef::kLazy) {
+                out.push_back(indexedCell(*rr.cat, *rr.row, ref));
+                continue;
+            }
+            if (!fetched) {
+                line = catalogFetchLine(*rr.cat, *rr.row);
+                fetched = true;
+            }
+            const std::string s = catalogLineString(line, name);
+            if (!s.empty()) {
+                out.push_back(strCell(s));
+            } else {
+                out.push_back(
+                    numCell(catalogLineNumber(line, name)));
+            }
+        }
+        res.rows.push_back(std::move(out));
+    }
+    sortAndLimit(res, opts);
+    return res;
+}
+
+std::string
+queryToTable(const QueryResult &res)
+{
+    Table table(res.columns);
+    for (const std::vector<QueryCell> &row : res.rows) {
+        table.row();
+        for (const QueryCell &cell : row)
+            table.cell(cellText(cell));
+    }
+    return table.str();
+}
+
+std::string
+queryToCsv(const QueryResult &res)
+{
+    auto field = [](const std::string &text) {
+        if (text.find_first_of(",\"\n") == std::string::npos)
+            return text;
+        std::string out = "\"";
+        for (const char c : text) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    std::string out;
+    for (std::size_t i = 0; i < res.columns.size(); ++i) {
+        if (i)
+            out += ',';
+        out += field(res.columns[i]);
+    }
+    out += '\n';
+    for (const std::vector<QueryCell> &row : res.rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ',';
+            out += field(cellText(row[i]));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+queryToJsonl(const QueryResult &res)
+{
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (const char c : s) {
+            switch (c) {
+              case '"':
+                out += "\\\"";
+                break;
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    out += strfmt("\\u%04x", c);
+                } else {
+                    out += c;
+                }
+            }
+        }
+        return out;
+    };
+    std::string out;
+    for (const std::vector<QueryCell> &row : res.rows) {
+        out += '{';
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += strfmt("\"%s\": ",
+                          escape(res.columns[i]).c_str());
+            const QueryCell &cell = row[i];
+            if (!cell.isNum) {
+                out += strfmt("\"%s\"", escape(cell.str).c_str());
+            } else if (std::isnan(cell.num)) {
+                out += "null";
+            } else {
+                out += formatNum(cell.num);
+            }
+        }
+        out += "}\n";
+    }
+    return out;
+}
+
+} // namespace bmc::sim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Query engine over results catalogs (the bmcquery core).
+ *
+ * A query runs against one or more loaded Catalogs (sim/catalog.hh)
+ * and answers from their sidecar indexes: predicates, group keys and
+ * aggregates are restricted to indexed columns, so a filtered or
+ * aggregated read over a million-row campaign never scans the JSONL.
+ * Only selecting a *non-indexed* column (a raw "stats" field) falls
+ * back to a positioned per-row fetch of that row's bytes.
+ *
+ * Available columns per catalog:
+ *  - pseudo: "file" (the catalog's JSONL path), "ok" (1/0);
+ *  - indexed strings: label / workload / scheme;
+ *  - indexed numerics: run, seed, variant-axis params, the curated
+ *    metric set, opt-in prof_* gauges (see catalogNumericColumns);
+ *  - anything else resolves lazily from the row bytes (select only).
+ */
+
+#ifndef BMC_SIM_QUERY_HH
+#define BMC_SIM_QUERY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/catalog.hh"
+
+namespace bmc::sim
+{
+
+/** Comparison operator of one --where clause. */
+enum class PredOp
+{
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge
+};
+
+/** One predicate, e.g. scheme=bimodal or mlp>=4. */
+struct QueryPredicate
+{
+    std::string column;
+    PredOp op = PredOp::Eq;
+    std::string text;    //!< raw right-hand side
+    double num = 0.0;    //!< parsed value when numeric
+    bool isNum = false;
+};
+
+/**
+ * Parse a comma-separated predicate list
+ * ("scheme=bimodal,mlp>=4"). Operators: != <= >= < > =.
+ * bmc_fatal on malformed clauses.
+ */
+std::vector<QueryPredicate> parseWhere(const std::string &spec);
+
+/** Aggregate function of one --agg clause. */
+enum class AggFn
+{
+    Min,
+    Mean,
+    Max,
+    P50,
+    P95,
+    Sum,
+    Count
+};
+
+/** One aggregate, e.g. p95:access_latency_p50. */
+struct AggSpec
+{
+    AggFn fn = AggFn::Mean;
+    std::string column; //!< empty only for count
+    /** Output column name, e.g. "p95(access_latency_p50)". */
+    std::string name() const;
+};
+
+/**
+ * Parse a comma-separated aggregate list
+ * ("mean:cache_hit_rate,p95:access_latency_p50,count").
+ * bmc_fatal on unknown functions.
+ */
+std::vector<AggSpec> parseAggs(const std::string &spec);
+
+/** What to compute. */
+struct QueryOptions
+{
+    /** Columns to emit (row queries only; default set when empty).
+     *  Non-indexed names trigger a lazy per-row fetch. */
+    std::vector<std::string> select;
+    /** All predicates must hold (AND); indexed columns only. */
+    std::vector<QueryPredicate> where;
+    /** Group keys (indexed columns only); empty = row query. */
+    std::vector<std::string> groupBy;
+    /** Aggregates per group (indexed numeric columns only);
+     *  defaults to count when empty and groupBy is set. */
+    std::vector<AggSpec> aggs;
+    /** Output column to sort by ("" keeps catalog / group order). */
+    std::string sortBy;
+    bool sortDesc = false;
+    std::size_t limit = 0; //!< 0 = unlimited
+};
+
+/** One output cell: a number or a string. */
+struct QueryCell
+{
+    bool isNum = false;
+    double num = 0.0;
+    std::string str;
+};
+
+/** Query output: a rectangular table of cells. */
+struct QueryResult
+{
+    std::vector<std::string> columns;
+    std::vector<std::vector<QueryCell>> rows;
+};
+
+/**
+ * Execute @p opts over @p catalogs (concatenated in order).
+ * bmc_fatal when a predicate, group key or aggregate names a column
+ * no catalog indexes (the message lists what is available).
+ */
+QueryResult runQuery(const std::vector<Catalog> &catalogs,
+                     const QueryOptions &opts);
+
+/** Render as an aligned text table (common/table). */
+std::string queryToTable(const QueryResult &res);
+
+/** Render as CSV with a header row. */
+std::string queryToCsv(const QueryResult &res);
+
+/** Render as JSONL, one object per row (NaN -> null). */
+std::string queryToJsonl(const QueryResult &res);
+
+} // namespace bmc::sim
+
+#endif // BMC_SIM_QUERY_HH

@@ -1,14 +1,19 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cinttypes>
+#include <condition_variable>
 #include <exception>
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "common/wallclock.hh"
+#include "sim/catalog.hh"
 #include "dramcache/bimodal/bimodal_cache.hh"
 #include "dramcache/fixed.hh"
 #include "sim/functional.hh"
@@ -172,7 +177,7 @@ SweepBuilder::build() const
     // A single no-op variant / workload keeps the loop uniform.
     std::vector<Variant> variants = variants_;
     if (variants.empty())
-        variants.push_back({"", nullptr});
+        variants.push_back({"", nullptr, {}});
     std::vector<std::string> workloads = workloads_;
     if (workloads.empty())
         workloads.push_back("");
@@ -206,6 +211,12 @@ SweepBuilder::build() const
                                "sweep cell has no programs");
                     spec.cfg.cores = static_cast<unsigned>(
                         spec.programs.size());
+
+                    spec.axisParams = variant.axisParams;
+                    if (replicates_ > 1) {
+                        spec.axisParams.emplace_back(
+                            "rep", static_cast<double>(rep));
+                    }
 
                     spec.label = variant.label;
                     if (!wname.empty()) {
@@ -242,6 +253,7 @@ executeRun(const RunSpec &spec, std::size_t index,
     res.workload = spec.workload;
     res.scheme = schemeName(spec.cfg.scheme);
     res.seed = spec.cfg.seed;
+    res.params = spec.axisParams;
 
     switch (spec.mode) {
       case RunMode::Timing: {
@@ -258,6 +270,7 @@ executeRun(const RunSpec &spec, std::size_t index,
             system.warmupFunctional(spec.warmInsts);
         res.stats = system.run();
         res.eventsExecuted = system.eventQueue().numExecuted();
+        res.profile = system.profile();
         break;
       }
       case RunMode::Functional: {
@@ -288,15 +301,26 @@ executeRun(const RunSpec &spec, std::size_t index,
 }
 
 std::string
-runResultToJsonLine(const RunResult &r, bool include_timing)
+runResultToJsonLine(const RunResult &r, bool include_timing,
+                    bool include_profile)
 {
     std::string out = strfmt(
         "{\"schema_version\": %d, \"run\": %zu, \"label\": \"%s\", "
         "\"workload\": \"%s\", "
-        "\"scheme\": \"%s\", \"seed\": %" PRIu64 ", \"ok\": %s",
+        "\"scheme\": \"%s\", \"seed\": %" PRIu64,
         kResultsSchemaVersion, r.index, jsonEscape(r.label).c_str(),
         jsonEscape(r.workload).c_str(), jsonEscape(r.scheme).c_str(),
-        r.seed, r.ok ? "true" : "false");
+        r.seed);
+    if (!r.params.empty()) {
+        out += ", \"params\": {";
+        for (std::size_t i = 0; i < r.params.size(); ++i) {
+            out += strfmt("%s\"%s\": %.10g", i ? ", " : "",
+                          jsonEscape(r.params[i].first).c_str(),
+                          r.params[i].second);
+        }
+        out += "}";
+    }
+    out += strfmt(", \"ok\": %s", r.ok ? "true" : "false");
     if (!r.ok) {
         out += strfmt(", \"error\": \"%s\"}",
                       jsonEscape(r.error).c_str());
@@ -311,6 +335,10 @@ runResultToJsonLine(const RunResult &r, bool include_timing)
         out += strfmt(", \"wall_seconds\": %.3f, "
                       "\"events_executed\": %" PRIu64,
                       r.wallSeconds, r.eventsExecuted);
+    }
+    if (include_profile) {
+        out += ", \"profile\": ";
+        out += r.profile.toJson(/*pretty=*/false);
     }
     out += ", \"stats\": ";
     out += statsToJson(r.stats, /*pretty=*/false);
@@ -348,8 +376,82 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
     std::vector<std::string> pendingLines(16);
     std::vector<char> pendingReady(16, 0);
     std::size_t nextLine = 0;
-    std::size_t completed = 0;
-    std::size_t failed = 0;
+    // Atomic so the heartbeat thread reads them without touching the
+    // flush mutex (strictly off the determinism path).
+    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> failed{0};
+
+    // Sidecar catalog: rows ride a ring parallel to pendingLines and
+    // get their offset/length stamped at flush time, so the index is
+    // in run order and byte-exact whatever the completion schedule.
+    const bool catalog =
+        opts.catalog && !opts.jsonlPath.empty();
+    std::vector<std::string> catalogParams;
+    if (catalog) {
+        for (const RunSpec &spec : runs) {
+            for (const auto &[name, value] : spec.axisParams) {
+                (void)value;
+                bool known = false;
+                for (const std::string &have : catalogParams)
+                    known = known || have == name;
+                if (!known)
+                    catalogParams.push_back(name);
+            }
+        }
+    }
+    Catalog cat;
+    cat.jsonlPath = opts.jsonlPath;
+    cat.rowSchemaVersion = kResultsSchemaVersion;
+    cat.stringCols = catalogStringColumns();
+    cat.numericCols =
+        catalogNumericColumns(catalogParams, opts.emitProfile);
+    std::vector<CatalogRow> pendingRows(pendingLines.size());
+    std::uint64_t jsonlBytes = 0;
+
+    // Heartbeat telemetry: one thread waking every heartbeatSeconds
+    // to snapshot the atomic counters and the active-label registry.
+    // It never touches results, lines or the flush mutex.
+    std::mutex hbMutex;
+    std::condition_variable hbCv;
+    bool hbStop = false;
+    std::vector<std::string> hbActive;
+    const bool heartbeat =
+        opts.heartbeatSeconds > 0.0 && opts.onHeartbeat != nullptr;
+    std::thread hbThread;
+    if (heartbeat) {
+        hbThread = std::thread([&] {
+            std::unique_lock<std::mutex> lk(hbMutex);
+            for (;;) {
+                hbCv.wait_for(lk,
+                              wallDuration(opts.heartbeatSeconds),
+                              [&] { return hbStop; });
+                if (hbStop)
+                    return;
+                SweepProgress prog;
+                prog.total = runs.size();
+                prog.completed = completed.load();
+                prog.failed = failed.load();
+                prog.elapsedSeconds = wallSecondsSince(sweep_start);
+                prog.cellsPerSec =
+                    prog.elapsedSeconds > 0.0
+                        ? static_cast<double>(prog.completed) /
+                              prog.elapsedSeconds
+                        : 0.0;
+                prog.etaSeconds =
+                    prog.completed
+                        ? prog.elapsedSeconds /
+                              static_cast<double>(prog.completed) *
+                              static_cast<double>(prog.total -
+                                                  prog.completed)
+                        : 0.0;
+                prog.active = hbActive;
+                std::sort(prog.active.begin(), prog.active.end());
+                lk.unlock();
+                opts.onHeartbeat(prog);
+                lk.lock();
+            }
+        });
+    }
 
     // Isolate failed runs for the whole sweep: panics/fatals inside
     // workers surface as SimError and are recorded per-run.
@@ -424,6 +526,11 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
         if (opts.deriveSeeds)
             spec.cfg.seed = deriveRunSeed(opts.baseSeed, i);
 
+        if (heartbeat) {
+            std::lock_guard<std::mutex> lk(hbMutex);
+            hbActive.push_back(spec.label);
+        }
+
         const WallInstant start = wallNow();
         RunResult res;
         try {
@@ -435,10 +542,19 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
             res.workload = spec.workload;
             res.scheme = schemeName(spec.cfg.scheme);
             res.seed = spec.cfg.seed;
+            res.params = spec.axisParams;
             res.ok = false;
             res.error = e.what();
         }
         res.wallSeconds = wallSecondsSince(start);
+
+        if (heartbeat) {
+            std::lock_guard<std::mutex> lk(hbMutex);
+            const auto it = std::find(hbActive.begin(),
+                                      hbActive.end(), spec.label);
+            if (it != hbActive.end())
+                hbActive.erase(it);
+        }
 
         std::lock_guard<std::mutex> lock(mutex);
         if (!res.ok)
@@ -452,23 +568,45 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
                     grown *= 2;
                 std::vector<std::string> lines(grown);
                 std::vector<char> ready(grown, 0);
+                std::vector<CatalogRow> rows(grown);
                 for (std::size_t j = nextLine; j < nextLine + cap;
                      ++j) {
                     if (pendingReady[j % cap]) {
                         lines[j % grown] =
                             std::move(pendingLines[j % cap]);
+                        rows[j % grown] =
+                            std::move(pendingRows[j % cap]);
                         ready[j % grown] = 1;
                     }
                 }
                 pendingLines = std::move(lines);
                 pendingReady = std::move(ready);
+                pendingRows = std::move(rows);
             }
             const std::size_t size = pendingLines.size();
-            pendingLines[i % size] =
-                runResultToJsonLine(res, opts.emitTiming);
+            pendingLines[i % size] = runResultToJsonLine(
+                res, opts.emitTiming, opts.emitProfile);
+            if (catalog) {
+                // Index the serialized text, not the in-memory
+                // result, so this sidecar matches a later rebuild
+                // bit for bit.
+                pendingRows[i % size] = catalogRowFromLine(
+                    pendingLines[i % size], catalogParams,
+                    opts.emitProfile);
+            }
             pendingReady[i % size] = 1;
             while (pendingReady[nextLine % size]) {
-                jsonl << pendingLines[nextLine % size] << '\n';
+                const std::string &line =
+                    pendingLines[nextLine % size];
+                jsonl << line << '\n';
+                if (catalog) {
+                    CatalogRow &row = pendingRows[nextLine % size];
+                    row.offset = jsonlBytes;
+                    row.length =
+                        static_cast<std::uint32_t>(line.size());
+                    cat.rows.push_back(std::move(row));
+                }
+                jsonlBytes += line.size() + 1;
                 pendingLines[nextLine % size].clear();
                 pendingReady[nextLine % size] = 0;
                 ++nextLine;
@@ -478,20 +616,41 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
         if (opts.onProgress) {
             SweepProgress prog;
             prog.total = runs.size();
-            prog.completed = completed;
-            prog.failed = failed;
+            prog.completed = completed.load();
+            prog.failed = failed.load();
             prog.elapsedSeconds = wallSecondsSince(sweep_start);
+            prog.cellsPerSec =
+                prog.elapsedSeconds > 0.0
+                    ? static_cast<double>(prog.completed) /
+                          prog.elapsedSeconds
+                    : 0.0;
             prog.etaSeconds =
-                completed
+                prog.completed
                     ? prog.elapsedSeconds /
-                          static_cast<double>(completed) *
-                          static_cast<double>(runs.size() - completed)
+                          static_cast<double>(prog.completed) *
+                          static_cast<double>(runs.size() -
+                                              prog.completed)
                     : 0.0;
             prog.lastLabel = res.label;
             opts.onProgress(prog);
         }
         results[i] = std::move(res);
     });
+
+    if (heartbeat) {
+        {
+            std::lock_guard<std::mutex> lk(hbMutex);
+            hbStop = true;
+        }
+        hbCv.notify_all();
+        hbThread.join();
+    }
+
+    if (catalog) {
+        jsonl.flush();
+        cat.jsonlBytes = jsonlBytes;
+        writeCatalogIndex(cat);
+    }
 
     return results;
 }

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/metrics.hh"
@@ -87,6 +88,14 @@ struct RunSpec
      * configuration; takes precedence over warmInsts.
      */
     std::string loadCkptPath;
+    /**
+     * Named numeric axis coordinates of this cell (e.g. cache_mib,
+     * mlp) as set by the sweep driver. Serialized into the JSONL row
+     * ("params" object) and indexed as catalog columns, so a query
+     * can filter and group on the sweep axes without re-deriving
+     * them from labels.
+     */
+    std::vector<std::pair<std::string, double>> axisParams;
 };
 
 /** Outcome of one run; @c index matches the RunSpec's position. */
@@ -109,9 +118,14 @@ struct RunResult
     RunStats stats;
     double antt = -1.0; //!< RunMode::Antt only
     MultiprogramMetrics mp;
+    /** Axis coordinates copied through from the RunSpec. */
+    std::vector<std::pair<std::string, double>> params;
+    /** Self-profile (Timing mode; zeros otherwise). Serialized only
+     *  when asked -- its wall-clock fields are host-dependent. */
+    ProfileReport profile;
 };
 
-/** Live progress snapshot handed to the progress callback. */
+/** Live progress snapshot handed to the progress callbacks. */
 struct SweepProgress
 {
     std::size_t total = 0;
@@ -120,8 +134,13 @@ struct SweepProgress
     double elapsedSeconds = 0.0;
     /** Naive remaining-time estimate from the mean run time. */
     double etaSeconds = 0.0;
-    /** Label of the run that just finished. */
+    /** Mean completion rate since the sweep started. */
+    double cellsPerSec = 0.0;
+    /** Label of the run that just finished (onProgress only). */
     std::string lastLabel;
+    /** Labels of the cells currently executing, one per busy worker
+     *  (heartbeat snapshots only; sorted for a stable display). */
+    std::vector<std::string> active;
 };
 
 /** Execution knobs for runSweep(). */
@@ -161,6 +180,31 @@ struct SweepOptions
     bool shareWarmups = true;
     /** Invoked (serialized) after every run completes. */
     std::function<void(const SweepProgress &)> onProgress;
+    /**
+     * Write the sidecar catalog index ("<jsonlPath>.idx", see
+     * sim/catalog.hh) beside the results JSONL. Requires jsonlPath.
+     * The index is derived from the same in-memory results the JSONL
+     * rows are, so it never perturbs the JSONL bytes.
+     */
+    bool catalog = false;
+    /**
+     * Append each run's self-profile to its JSONL row ("profile"
+     * object) and to the catalog as prof_* columns. Off by default:
+     * profile phase timings are wall-clock and would break the
+     * bit-identical -j1/-jN guarantee.
+     */
+    bool emitProfile = false;
+    /**
+     * Heartbeat period in wall seconds; > 0 starts a telemetry
+     * thread that invokes onHeartbeat roughly this often for the
+     * life of the sweep. The thread only reads telemetry counters
+     * and the active-label registry -- it is strictly off the
+     * determinism path, so results and JSONL bytes are identical
+     * with heartbeats on or off.
+     */
+    double heartbeatSeconds = 0.0;
+    /** Heartbeat sink (called from the telemetry thread). */
+    std::function<void(const SweepProgress &)> onHeartbeat;
 };
 
 /**
@@ -184,6 +228,10 @@ class SweepBuilder
     {
         std::string label;
         std::function<void(MachineConfig &)> apply;
+        /** Axis coordinates describing this variant; copied into
+         *  every cell's RunSpec::axisParams (a "rep" coordinate is
+         *  appended under replicates). */
+        std::vector<std::pair<std::string, double>> axisParams = {};
     };
 
     explicit SweepBuilder(MachineConfig base) : base_(base) {}
@@ -232,12 +280,15 @@ std::vector<RunResult> runSweep(const std::vector<RunSpec> &runs,
  * One-line JSON record for a run (the JSONL schema; documented in
  * EXPERIMENTS.md). Every row leads with "schema_version"
  * (sim::kResultsSchemaVersion) so downstream scripts can detect
- * format changes. Wall-clock and events-executed fields are only
- * emitted when @p include_timing is set (they are host-dependent and
- * would break the bit-identical -j1/-jN guarantee).
+ * format changes. Wall-clock fields are opt-in: timing
+ * (wall_seconds / events_executed) only under @p include_timing and
+ * the self-profile object only under @p include_profile -- both are
+ * host-dependent and would break the bit-identical -j1/-jN
+ * guarantee, so both default off.
  */
 std::string runResultToJsonLine(const RunResult &r,
-                                bool include_timing = false);
+                                bool include_timing = false,
+                                bool include_profile = false);
 
 } // namespace bmc::sim
 

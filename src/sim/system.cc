@@ -230,6 +230,7 @@ System::warmupFunctional(std::uint64_t instrs_per_core)
                "construct the System with warmupInstrPerCore == 0");
     if (instrs_per_core == 0)
         return;
+    profiler_.beginPhase(Profiler::kWarmup);
 
     // Round-robin whole trace records across cores (mimicking their
     // concurrent progress through the shared LLSC) until each core
@@ -254,6 +255,7 @@ System::warmupFunctional(std::uint64_t instrs_per_core)
     root_.resetAll();
     warmStarted_ = true;
     seedShadowFromOrg();
+    profiler_.endPhase(Profiler::kWarmup);
 }
 
 std::string
@@ -323,6 +325,7 @@ System::restoreWarmState(const std::string &state)
     bmc_assert(cfg_.warmupInstrPerCore == 0,
                "restoreWarmState() replaces the in-run warm-up: "
                "construct the System with warmupInstrPerCore == 0");
+    profiler_.beginPhase(Profiler::kWarmup);
     BinReader r(state);
     const std::uint32_t cores = r.u32();
     if (cores != cfg_.cores) {
@@ -362,6 +365,7 @@ System::restoreWarmState(const std::string &state)
     root_.resetAll();
     warmStarted_ = true;
     seedShadowFromOrg();
+    profiler_.endPhase(Profiler::kWarmup);
 }
 
 void
@@ -388,6 +392,7 @@ System::loadCheckpoint(const std::string &path)
 RunStats
 System::run(Tick max_ticks)
 {
+    profiler_.beginPhase(Profiler::kRun);
     if (epochSampler_)
         epochSampler_->start();
     for (auto &core : cores_)
@@ -418,10 +423,45 @@ System::run(Tick max_ticks)
                coresDone_, cores_.size(),
                static_cast<unsigned long long>(eq_.now()));
 
+    profiler_.endPhase(Profiler::kRun);
+
+    // Final drain work: checker audits plus stat collection.
+    profiler_.beginPhase(Profiler::kCollect);
     if (shadowCheck_)
         shadowCheck_->finish();
+    RunStats out = collect();
+    profiler_.endPhase(Profiler::kCollect);
+    return out;
+}
 
-    return collect();
+ProfileReport
+System::profile() const
+{
+    ProfileReport p;
+    p.warmupSeconds = profiler_.phaseSeconds(Profiler::kWarmup);
+    p.runSeconds = profiler_.phaseSeconds(Profiler::kRun);
+    p.collectSeconds = profiler_.phaseSeconds(Profiler::kCollect);
+
+    p.eventsExecuted = eq_.numExecuted();
+    p.eventsWheel = eq_.numExecutedWheel();
+    p.eventsHeap = eq_.numExecutedHeap();
+    p.peakPendingEvents = eq_.peakPending();
+    p.eventPoolAllocated = eq_.poolAllocated();
+    p.batchDrains = eq_.batchDrains();
+    p.maxBatchDrain = eq_.maxBatchDrain();
+
+    p.mshrPeakLive = hier_->mshrs().peakLive();
+
+    std::size_t peak_q = 0;
+    for (unsigned c = 0; c < stacked_->numChannels(); ++c) {
+        peak_q =
+            std::max(peak_q, stacked_->channel(c).peakQueueDepth());
+    }
+    const auto &mem = memory_->dram();
+    for (unsigned c = 0; c < mem.numChannels(); ++c)
+        peak_q = std::max(peak_q, mem.channel(c).peakQueueDepth());
+    p.peakChannelQueue = peak_q;
+    return p;
 }
 
 RunStats

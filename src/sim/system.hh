@@ -14,6 +14,7 @@
 
 #include "common/chrome_trace.hh"
 #include "common/event_queue.hh"
+#include "common/profiler.hh"
 #include "common/stats.hh"
 #include "dram/dram_system.hh"
 #include "dramcache/org.hh"
@@ -199,6 +200,17 @@ class System
         return org_->supportsCheckpoint();
     }
 
+    /**
+     * Self-profiling snapshot: phase wall timings (functional
+     * warm-up / event loop / stat collection) plus kernel gauges
+     * aggregated from the event queue, the LLSC MSHR file and every
+     * DRAM channel of both systems. Pure observation -- call any
+     * time; exporting it never perturbs simulated state. Wall-clock
+     * fields differ run to run, which is why profile export is
+     * opt-in everywhere (`bmcsim --profile`, `bmcsweep --profile`).
+     */
+    ProfileReport profile() const;
+
   private:
     RunStats collect() const;
 
@@ -222,6 +234,7 @@ class System
     std::unique_ptr<check::ProtocolChecker> stackedProtoCheck_;
     std::unique_ptr<check::ProtocolChecker> memProtoCheck_;
     std::unique_ptr<check::ShadowChecker> shadowCheck_;
+    Profiler profiler_;
     unsigned coresDone_ = 0;
     unsigned coresWarm_ = 0;
     /** Warm state came from warmupFunctional()/restoreWarmState(). */

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the catalog query engine (sim/query.hh): predicate and
+ * aggregate parsing, index-only filtering and grouping, lazy fetch
+ * of non-indexed columns, multi-catalog queries, sorting/limits and
+ * the three emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/catalog.hh"
+#include "sim/query.hh"
+#include "sim/sweep.hh"
+
+namespace bmc::sim
+{
+namespace
+{
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/**
+ * An in-memory catalog (no files): queries over indexed columns
+ * never touch the JSONL, so rows can be fabricated directly.
+ */
+Catalog
+memoryCatalog()
+{
+    Catalog c;
+    c.jsonlPath = "mem.jsonl";
+    c.rowSchemaVersion = kResultsSchemaVersion;
+    c.stringCols = catalogStringColumns(); // label/workload/scheme
+    c.numericCols = catalogNumericColumns({"mlp"}, false);
+    const int hit = c.numericCol("cache_hit_rate");
+    const int p50 = c.numericCol("access_latency_p50");
+    const int mlp = c.numericCol("mlp");
+    const int run = c.numericCol("run");
+    for (std::size_t i = 0; i < 8; ++i) {
+        CatalogRow row;
+        row.ok = i != 5; // one failed cell
+        row.strs = {strfmt("cell%zu", i), "Q1",
+                    i % 2 ? "bimodal" : "alloy"};
+        row.nums.assign(c.numericCols.size(), kNan);
+        row.nums[static_cast<std::size_t>(run)] =
+            static_cast<double>(i);
+        row.nums[static_cast<std::size_t>(mlp)] =
+            static_cast<double>(1 + i % 4);
+        if (row.ok) {
+            row.nums[static_cast<std::size_t>(hit)] =
+                i % 2 ? 0.6 + 0.01 * static_cast<double>(i) : 0.2;
+            row.nums[static_cast<std::size_t>(p50)] =
+                static_cast<double>(100 + 10 * i);
+        }
+        c.rows.push_back(std::move(row));
+    }
+    return c;
+}
+
+TEST(Query, ParseWhereHandlesEveryOperator)
+{
+    const std::vector<QueryPredicate> preds =
+        parseWhere("scheme=bimodal,mlp!=2,a<1,b<=2,c>3,d>=4.5");
+    ASSERT_EQ(preds.size(), 6u);
+    EXPECT_EQ(preds[0].column, "scheme");
+    EXPECT_EQ(preds[0].op, PredOp::Eq);
+    EXPECT_EQ(preds[0].text, "bimodal");
+    EXPECT_FALSE(preds[0].isNum);
+    EXPECT_EQ(preds[1].op, PredOp::Ne);
+    EXPECT_TRUE(preds[1].isNum);
+    EXPECT_EQ(preds[1].num, 2.0);
+    EXPECT_EQ(preds[2].op, PredOp::Lt);
+    EXPECT_EQ(preds[3].op, PredOp::Le);
+    EXPECT_EQ(preds[4].op, PredOp::Gt);
+    EXPECT_EQ(preds[5].op, PredOp::Ge);
+    EXPECT_EQ(preds[5].num, 4.5);
+
+    EXPECT_TRUE(parseWhere("").empty());
+
+    ScopedThrowErrors guard;
+    EXPECT_THROW(parseWhere("justacolumn"), SimError);
+    EXPECT_THROW(parseWhere("=value"), SimError);
+    EXPECT_THROW(parseWhere("col="), SimError);
+}
+
+TEST(Query, ParseAggsNamesFunctionsAndRejectsUnknown)
+{
+    const std::vector<AggSpec> aggs = parseAggs(
+        "min:a,mean:b,max:c,p50:d,p95:e,sum:f,count");
+    ASSERT_EQ(aggs.size(), 7u);
+    EXPECT_EQ(aggs[0].fn, AggFn::Min);
+    EXPECT_EQ(aggs[0].column, "a");
+    EXPECT_EQ(aggs[0].name(), "min(a)");
+    EXPECT_EQ(aggs[4].fn, AggFn::P95);
+    EXPECT_EQ(aggs[6].fn, AggFn::Count);
+    EXPECT_EQ(aggs[6].name(), "count");
+
+    ScopedThrowErrors guard;
+    EXPECT_THROW(parseAggs("median:a"), SimError);
+    EXPECT_THROW(parseAggs("mean"), SimError); // needs a column
+}
+
+TEST(Query, RowQueryFiltersOnIndexedColumns)
+{
+    const Catalog c = memoryCatalog();
+    QueryOptions q;
+    q.where = parseWhere("scheme=bimodal,mlp>=2");
+    q.select = {"run", "label", "mlp", "cache_hit_rate"};
+    const QueryResult res = runQuery({c}, q);
+
+    // bimodal rows are odd indices; mlp = 1 + i % 4 >= 2 keeps
+    // i = 1, 5 (mlp 2), i = 3, 7 (mlp 4); row 5 failed but ok is
+    // not filtered here.
+    ASSERT_EQ(res.rows.size(), 4u);
+    EXPECT_EQ(res.columns[1], "label");
+    EXPECT_EQ(res.rows[0][1].str, "cell1");
+    EXPECT_EQ(res.rows[1][1].str, "cell3");
+    EXPECT_EQ(res.rows[2][1].str, "cell5");
+    EXPECT_TRUE(std::isnan(res.rows[2][3].num)); // failed: NaN
+    EXPECT_EQ(res.rows[3][1].str, "cell7");
+    EXPECT_EQ(res.rows[0][2].num, 2.0);
+
+    // ok is a queryable pseudo-column.
+    QueryOptions okq;
+    okq.where = parseWhere("ok=0");
+    const QueryResult failed = runQuery({c}, okq);
+    ASSERT_EQ(failed.rows.size(), 1u);
+    EXPECT_EQ(failed.rows[0][1].str, "cell5");
+}
+
+TEST(Query, UnindexedPredicateIsFatalAndListsColumns)
+{
+    const Catalog c = memoryCatalog();
+    QueryOptions q;
+    q.where = parseWhere("nonexistent=1");
+    ScopedThrowErrors guard;
+    try {
+        runQuery({c}, q);
+        FAIL() << "predicate on unindexed column must be fatal";
+    } catch (const SimError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("not indexed"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("cache_hit_rate"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("mlp"), std::string::npos) << msg;
+    }
+}
+
+TEST(Query, GroupByComputesEveryAggregate)
+{
+    const Catalog c = memoryCatalog();
+    QueryOptions q;
+    q.groupBy = {"scheme"};
+    q.aggs = parseAggs("count,count:cache_hit_rate,"
+                       "min:access_latency_p50,"
+                       "mean:access_latency_p50,"
+                       "max:access_latency_p50,"
+                       "sum:mlp,p50:access_latency_p50,"
+                       "p95:access_latency_p50");
+    const QueryResult res = runQuery({c}, q);
+
+    // Groups come out in key order: alloy before bimodal.
+    ASSERT_EQ(res.rows.size(), 2u);
+    EXPECT_EQ(res.rows[0][0].str, "alloy");
+    EXPECT_EQ(res.rows[1][0].str, "bimodal");
+
+    // alloy rows: i = 0,2,4,6 -> p50 = 100,120,140,160.
+    const std::vector<QueryCell> &alloy = res.rows[0];
+    EXPECT_EQ(alloy[1].num, 4.0); // count = group rows
+    EXPECT_EQ(alloy[2].num, 4.0); // all alloy rows carry the metric
+    EXPECT_EQ(alloy[3].num, 100.0);
+    EXPECT_DOUBLE_EQ(alloy[4].num, 130.0);
+    EXPECT_EQ(alloy[5].num, 160.0);
+    EXPECT_EQ(alloy[6].num, 1.0 + 3.0 + 1.0 + 3.0); // mlp sum
+    EXPECT_EQ(alloy[7].num, 120.0); // p50 nearest-rank of 4
+    EXPECT_EQ(alloy[8].num, 160.0); // p95 -> max of 4
+
+    // bimodal: row 5 failed, so its metric is NaN and count:col
+    // sees one fewer value than the plain row count.
+    const std::vector<QueryCell> &bimodal = res.rows[1];
+    EXPECT_EQ(bimodal[1].num, 4.0);
+    EXPECT_EQ(bimodal[2].num, 3.0);
+    EXPECT_EQ(bimodal[3].num, 110.0);
+    EXPECT_EQ(bimodal[5].num, 170.0);
+}
+
+TEST(Query, SortDescWithNanLastAndLimit)
+{
+    const Catalog c = memoryCatalog();
+    QueryOptions q;
+    q.select = {"label", "cache_hit_rate"};
+    q.sortBy = "cache_hit_rate";
+    q.sortDesc = true;
+    const QueryResult all = runQuery({c}, q);
+    ASSERT_EQ(all.rows.size(), 8u);
+    EXPECT_EQ(all.rows[0][0].str, "cell7"); // 0.67
+    EXPECT_EQ(all.rows[1][0].str, "cell3"); // 0.63
+    EXPECT_EQ(all.rows[2][0].str, "cell1"); // 0.61
+    EXPECT_TRUE(std::isnan(all.rows[7][1].num)); // NaN last
+
+    q.limit = 2;
+    EXPECT_EQ(runQuery({c}, q).rows.size(), 2u);
+}
+
+TEST(Query, MultipleCatalogsConcatenateAndFilePseudoColumn)
+{
+    Catalog a = memoryCatalog();
+    Catalog b = memoryCatalog();
+    a.jsonlPath = "a.jsonl";
+    b.jsonlPath = "b.jsonl";
+
+    QueryOptions q;
+    q.select = {"file", "run"};
+    q.where = parseWhere("run=0");
+    const QueryResult res = runQuery({a, b}, q);
+    ASSERT_EQ(res.rows.size(), 2u);
+    EXPECT_EQ(res.rows[0][0].str, "a.jsonl");
+    EXPECT_EQ(res.rows[1][0].str, "b.jsonl");
+
+    QueryOptions g;
+    g.groupBy = {"file"};
+    const QueryResult grouped = runQuery({a, b}, g);
+    ASSERT_EQ(grouped.rows.size(), 2u);
+    EXPECT_EQ(grouped.rows[0][1].num, 8.0);
+}
+
+TEST(Query, LazySelectFetchesUnindexedFieldsByOffset)
+{
+    // A real file this time: "schema_version" and "error" are in
+    // the rows but not the index, so selecting them exercises the
+    // positioned per-row fetch.
+    RunResult good;
+    good.index = 0;
+    good.label = "g";
+    good.workload = "Q1";
+    good.scheme = "bimodal";
+    good.ok = true;
+    good.stats.simTicks = 42;
+    RunResult bad;
+    bad.index = 1;
+    bad.label = "b";
+    bad.workload = "Q1";
+    bad.scheme = "bimodal";
+    bad.ok = false;
+    bad.error = "exploded at tick 7";
+
+    const std::string path =
+        testing::TempDir() + "bmc_query_lazy.jsonl";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << runResultToJsonLine(good) << '\n'
+            << runResultToJsonLine(bad) << '\n';
+    }
+    const Catalog c = loadCatalog(path);
+
+    QueryOptions q;
+    q.select = {"label", "schema_version", "error"};
+    const QueryResult res = runQuery({c}, q);
+    ASSERT_EQ(res.rows.size(), 2u);
+    EXPECT_EQ(res.rows[0][1].num,
+              static_cast<double>(kResultsSchemaVersion));
+    EXPECT_EQ(res.rows[1][2].str, "exploded at tick 7");
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Query, EmittersRenderTableCsvAndJsonl)
+{
+    QueryResult res;
+    res.columns = {"scheme", "mean(x)", "note"};
+    res.rows.resize(2);
+    res.rows[0].push_back(QueryCell{false, 0.0, "bimodal"});
+    res.rows[0].push_back(QueryCell{true, 0.5, ""});
+    res.rows[0].push_back(QueryCell{false, 0.0, "a,\"quoted\""});
+    res.rows[1].push_back(QueryCell{false, 0.0, "alloy"});
+    res.rows[1].push_back(QueryCell{true, kNan, ""});
+    res.rows[1].push_back(QueryCell{false, 0.0, "plain"});
+
+    const std::string table = queryToTable(res);
+    EXPECT_NE(table.find("scheme"), std::string::npos);
+    EXPECT_NE(table.find("bimodal"), std::string::npos);
+    EXPECT_NE(table.find("0.5"), std::string::npos);
+
+    const std::string csv = queryToCsv(res);
+    EXPECT_NE(csv.find("scheme,mean(x),note\n"), std::string::npos);
+    EXPECT_NE(csv.find("bimodal,0.5,\"a,\"\"quoted\"\"\"\n"),
+              std::string::npos);
+    EXPECT_NE(csv.find("alloy,nan,plain\n"), std::string::npos);
+
+    const std::string jsonl = queryToJsonl(res);
+    EXPECT_NE(jsonl.find("{\"scheme\": \"bimodal\", "
+                         "\"mean(x)\": 0.5, "
+                         "\"note\": \"a,\\\"quoted\\\"\"}\n"),
+              std::string::npos);
+    EXPECT_NE(jsonl.find("\"mean(x)\": null"), std::string::npos);
+}
+
+TEST(Query, StringOrderingPredicateIsFatal)
+{
+    const Catalog c = memoryCatalog();
+    QueryOptions q;
+    q.where = parseWhere("scheme<bimodal");
+    ScopedThrowErrors guard;
+    EXPECT_THROW(runQuery({c}, q), SimError);
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

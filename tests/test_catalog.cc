@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Tests for the indexed results catalog (sim/catalog.hh) and the
+ * sweep driver's live-telemetry path: index round-trips, every leg
+ * of the durability contract, the no-full-scan acceptance property
+ * (queries answer from the sidecar even when non-indexed JSONL bytes
+ * are corrupted in place), and bit-identity of the results JSONL
+ * with heartbeats / catalog / profile export toggled across thread
+ * counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/catalog.hh"
+#include "sim/query.hh"
+#include "sim/sweep.hh"
+
+namespace bmc::sim
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+/** A plausible finished run for synthetic JSONL rows. */
+RunResult
+syntheticResult(std::size_t index)
+{
+    RunResult r;
+    r.index = index;
+    r.label = strfmt("cell%zu", index);
+    r.workload = "Q1";
+    r.scheme = index % 2 ? "bimodal" : "alloy";
+    r.seed = 11 + index;
+    r.ok = true;
+    r.params = {{"mlp", static_cast<double>(1 + index % 4)}};
+    r.stats.simTicks = 1000 + index;
+    r.stats.dccAccesses = 10 * index + 5;
+    r.stats.cacheHitRate = index % 2 ? 0.75 : 0.25;
+    r.stats.avgAccessLatency = 100.0 + static_cast<double>(index % 7);
+    r.stats.accessLatencyP50 = 40 + index % 32;
+    r.stats.accessLatencyP95 = 200 + index % 64;
+    return r;
+}
+
+/** Write @p n synthetic rows and return the JSONL path. */
+std::string
+writeSyntheticJsonl(const std::string &name, std::size_t n)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    for (std::size_t i = 0; i < n; ++i)
+        out << runResultToJsonLine(syntheticResult(i)) << '\n';
+    return path;
+}
+
+void
+expectSameCatalog(const Catalog &a, const Catalog &b)
+{
+    EXPECT_EQ(a.rowSchemaVersion, b.rowSchemaVersion);
+    EXPECT_EQ(a.jsonlBytes, b.jsonlBytes);
+    EXPECT_EQ(a.stringCols, b.stringCols);
+    EXPECT_EQ(a.numericCols, b.numericCols);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].offset, b.rows[i].offset) << i;
+        EXPECT_EQ(a.rows[i].length, b.rows[i].length) << i;
+        EXPECT_EQ(a.rows[i].ok, b.rows[i].ok) << i;
+        EXPECT_EQ(a.rows[i].strs, b.rows[i].strs) << i;
+        ASSERT_EQ(a.rows[i].nums.size(), b.rows[i].nums.size()) << i;
+        for (std::size_t v = 0; v < a.rows[i].nums.size(); ++v) {
+            const double x = a.rows[i].nums[v];
+            const double y = b.rows[i].nums[v];
+            if (std::isnan(x))
+                EXPECT_TRUE(std::isnan(y)) << i << "/" << v;
+            else
+                EXPECT_EQ(x, y) << i << "/" << v;
+        }
+    }
+}
+
+TEST(Catalog, IndexRoundTripsThroughTheSidecar)
+{
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_roundtrip.jsonl", 7);
+    const Catalog built = rebuildCatalogIndex(path);
+    const Catalog loaded = loadCatalog(path);
+    expectSameCatalog(built, loaded);
+
+    EXPECT_EQ(built.rowSchemaVersion,
+              static_cast<std::uint32_t>(kResultsSchemaVersion));
+    EXPECT_EQ(built.jsonlBytes, readFile(path).size());
+    EXPECT_GE(built.stringCol("scheme"), 0);
+    EXPECT_GE(built.numericCol("mlp"), 0);
+    EXPECT_GE(built.numericCol("cache_hit_rate"), 0);
+    EXPECT_EQ(built.numericCol("no_such_column"), -1);
+
+    // Stored offsets/lengths address the exact row bytes.
+    const std::string all = readFile(path);
+    for (const CatalogRow &row : built.rows) {
+        const std::string line =
+            all.substr(row.offset, row.length);
+        EXPECT_EQ(line.rfind("{\"schema_version\"", 0), 0u);
+        EXPECT_EQ(all[row.offset + row.length], '\n');
+        EXPECT_EQ(catalogFetchLine(built, row), line);
+    }
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, MissingIndexIsRebuiltFromTheJsonl)
+{
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_missing.jsonl", 4);
+    ASSERT_EQ(std::remove(catalogIndexPath(path).c_str()), -1);
+
+    const Catalog c = loadCatalog(path);
+    EXPECT_EQ(c.rows.size(), 4u);
+    // ... and the rebuild persisted a sidecar for the next reader.
+    EXPECT_FALSE(readFile(catalogIndexPath(path)).empty());
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, TruncatedJsonlInvalidatesAndRebuilds)
+{
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_trunc.jsonl", 6);
+    const Catalog full = rebuildCatalogIndex(path);
+    ASSERT_EQ(full.rows.size(), 6u);
+
+    // Truncate mid-way through row 4: the sidecar no longer matches
+    // the file size, so loadCatalog must rebuild and keep only the
+    // complete rows (the ragged trailing line is dropped).
+    const std::string all = readFile(path);
+    const std::uint64_t cut =
+        full.rows[4].offset + full.rows[4].length / 2;
+    writeFile(path, all.substr(0, cut));
+
+    const Catalog c = loadCatalog(path);
+    EXPECT_EQ(c.rows.size(), 4u);
+    EXPECT_EQ(c.jsonlBytes,
+              full.rows[3].offset + full.rows[3].length + 1);
+    for (std::size_t i = 0; i < c.rows.size(); ++i)
+        EXPECT_EQ(c.rows[i].offset, full.rows[i].offset);
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, AppendedRowsAreIndexedOnReload)
+{
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_append.jsonl", 3);
+    ASSERT_EQ(loadCatalog(path).rows.size(), 3u);
+
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << runResultToJsonLine(syntheticResult(3)) << '\n';
+    out.close();
+
+    EXPECT_EQ(loadCatalog(path).rows.size(), 4u);
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, CorruptIndexIsFatalWithARebuildHint)
+{
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_corrupt.jsonl", 3);
+    rebuildCatalogIndex(path);
+
+    // Flip one payload byte: the FNV footer no longer matches.
+    std::string idx = readFile(catalogIndexPath(path));
+    ASSERT_GT(idx.size(), 40u);
+    idx[idx.size() / 2] ^= 0x5a;
+    writeFile(catalogIndexPath(path), idx);
+
+    ScopedThrowErrors guard;
+    try {
+        loadCatalog(path);
+        FAIL() << "corrupt index should be fatal";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("rebuild"),
+                  std::string::npos)
+            << e.what();
+    }
+    // The documented escape hatch: a forced rebuild recovers.
+    EXPECT_EQ(loadCatalog(path, /*force_rebuild=*/true).rows.size(),
+              3u);
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, NotAnIndexFileIsFatal)
+{
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_badmagic.jsonl", 2);
+    writeFile(catalogIndexPath(path),
+              "this is certainly not a catalog index image");
+
+    ScopedThrowErrors guard;
+    try {
+        loadCatalog(path);
+        FAIL() << "bad magic should be fatal";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("magic"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, StaleIndexVersionRebuildsSilently)
+{
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_stale.jsonl", 3);
+    rebuildCatalogIndex(path);
+
+    // Patch the version field (bytes 8..11, after the magic) to an
+    // old value and re-seal the FNV-1a footer so only the version
+    // mismatches: format upgrades must not strand old campaigns.
+    std::string idx = readFile(catalogIndexPath(path));
+    idx[8] = 0;
+    std::uint64_t h = 14695981039346656037ULL;
+    for (std::size_t i = 0; i + 8 < idx.size(); ++i) {
+        h ^= static_cast<std::uint8_t>(idx[i]);
+        h *= 1099511628211ULL;
+    }
+    for (std::size_t b = 0; b < 8; ++b)
+        idx[idx.size() - 8 + b] =
+            static_cast<char>((h >> (8 * b)) & 0xff);
+    writeFile(catalogIndexPath(path), idx);
+
+    const Catalog c = loadCatalog(path); // no throw
+    EXPECT_EQ(c.rows.size(), 3u);
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, QueriesAnswerFromTheIndexNotTheJsonl)
+{
+    // The acceptance property: over a 1200-cell campaign, corrupt
+    // every non-indexed byte region in place (file size unchanged)
+    // -- a filtered group-by must still return the original values,
+    // proving the read path is the sidecar index, not a JSONL scan.
+    const std::size_t kRows = 1200;
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_noscan.jsonl", kRows);
+    rebuildCatalogIndex(path);
+
+    std::string all = readFile(path);
+    std::size_t corrupted = 0;
+    for (std::size_t pos = all.find("\"stats\": {");
+         pos != std::string::npos;
+         pos = all.find("\"stats\": {", pos + 1)) {
+        const std::size_t eol = all.find('\n', pos);
+        for (std::size_t i = pos + 10; i < eol; ++i) {
+            if (all[i] >= '0' && all[i] <= '9')
+                all[i] = '9' - (all[i] - '0');
+        }
+        ++corrupted;
+    }
+    ASSERT_EQ(corrupted, kRows);
+    writeFile(path, all);
+
+    const Catalog c = loadCatalog(path); // size matches: no rebuild
+    ASSERT_EQ(c.rows.size(), kRows);
+
+    QueryOptions q;
+    q.where = parseWhere("scheme=bimodal,mlp=4");
+    q.groupBy = {"scheme"};
+    q.aggs = parseAggs("count,mean:cache_hit_rate,"
+                       "p95:access_latency_p50");
+    const QueryResult res = runQuery({c}, q);
+    ASSERT_EQ(res.rows.size(), 1u);
+    ASSERT_EQ(res.columns.size(), 4u);
+    EXPECT_EQ(res.rows[0][0].str, "bimodal");
+    // mlp cycles 1..4 with odd indices bimodal: mlp=4 rows are
+    // index % 4 == 3, all bimodal with hit rate 0.75.
+    EXPECT_EQ(res.rows[0][1].num, static_cast<double>(kRows / 4));
+    EXPECT_DOUBLE_EQ(res.rows[0][2].num, 0.75);
+    // p50 values are 40 + index % 32 over indices 3, 7, ..: the p95
+    // nearest-rank of the original (pre-corruption) data.
+    std::vector<double> p50s;
+    for (std::size_t i = 3; i < kRows; i += 4)
+        p50s.push_back(40.0 + static_cast<double>(i % 32));
+    std::sort(p50s.begin(), p50s.end());
+    const double expect_p95 = p50s[static_cast<std::size_t>(
+                                  std::ceil(0.95 * p50s.size())) -
+                              1];
+    EXPECT_DOUBLE_EQ(res.rows[0][3].num, expect_p95);
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, SweepWritesALoadableSidecar)
+{
+    const std::vector<RunSpec> runs =
+        SweepBuilder(MachineConfig::preset(4))
+            .workloads({"Q1"})
+            .schemes({Scheme::Alloy, Scheme::BiModal})
+            .mode(RunMode::Functional)
+            .functionalRecords(5'000)
+            .build();
+    const std::string path =
+        testing::TempDir() + "bmc_cat_sweep.jsonl";
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.jsonlPath = path;
+    opts.catalog = true;
+    const std::vector<RunResult> results = runSweep(runs, opts);
+    ASSERT_EQ(results.size(), 2u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+
+    // The sweep-written sidecar is exactly what a rebuild derives.
+    const Catalog written = loadCatalog(path);
+    EXPECT_EQ(written.jsonlBytes, readFile(path).size());
+    const Catalog rebuilt = loadCatalog(path, /*force_rebuild=*/true);
+    expectSameCatalog(written, rebuilt);
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+}
+
+// ----------------------------------------------------------------
+// Live telemetry: the heartbeat thread and the catalog/profile
+// flags must never perturb the results JSONL.
+// ----------------------------------------------------------------
+
+std::vector<RunSpec>
+telemetryMatrix()
+{
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.seed = 11;
+    return SweepBuilder(cfg)
+        .workloads({"Q1", "Q3"})
+        .schemes({Scheme::Alloy, Scheme::BiModal})
+        .mode(RunMode::Functional)
+        .functionalRecords(8'000)
+        .build();
+}
+
+TEST(Progress, HeartbeatAndCatalogDoNotChangeTheJsonl)
+{
+    const std::vector<RunSpec> runs = telemetryMatrix();
+    const std::string base =
+        testing::TempDir() + "bmc_prog_base.jsonl";
+    const std::string instr =
+        testing::TempDir() + "bmc_prog_instr.jsonl";
+
+    SweepOptions plain;
+    plain.threads = 1;
+    plain.jsonlPath = base;
+    runSweep(runs, plain);
+
+    SweepOptions noisy;
+    noisy.threads = 4;
+    noisy.jsonlPath = instr;
+    noisy.catalog = true;
+    noisy.heartbeatSeconds = 0.001;
+    std::atomic<std::size_t> beats{0};
+    noisy.onHeartbeat = [&](const SweepProgress &p) {
+        ++beats;
+        EXPECT_EQ(p.total, runs.size());
+        EXPECT_LE(p.completed, p.total);
+        EXPECT_LE(p.active.size(), 4u);
+        EXPECT_GE(p.elapsedSeconds, 0.0);
+    };
+    runSweep(runs, noisy);
+
+    const std::string a = readFile(base);
+    const std::string b = readFile(instr);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b); // heartbeat + catalog + -j4: same bytes
+
+    std::remove(base.c_str());
+    std::remove(instr.c_str());
+    std::remove(catalogIndexPath(instr).c_str());
+}
+
+TEST(Progress, HeartbeatFiresDuringALongSweep)
+{
+    // Functional cells take milliseconds, so a 1ms heartbeat over a
+    // 16-cell matrix observes at least one beat.
+    std::vector<RunSpec> runs = telemetryMatrix();
+    const std::vector<RunSpec> more = telemetryMatrix();
+    runs.insert(runs.end(), more.begin(), more.end());
+    runs.insert(runs.end(), more.begin(), more.end());
+    runs.insert(runs.end(), more.begin(), more.end());
+
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.heartbeatSeconds = 0.001;
+    std::atomic<std::size_t> beats{0};
+    std::atomic<std::size_t> beats_with_active{0};
+    opts.onHeartbeat = [&](const SweepProgress &p) {
+        ++beats;
+        if (!p.active.empty())
+            ++beats_with_active;
+    };
+    runSweep(runs, opts);
+    EXPECT_GE(beats.load(), 1u);
+    EXPECT_GE(beats_with_active.load(), 1u);
+}
+
+TEST(Progress, ProfileExportIsOptInAndOffByDefault)
+{
+    MachineConfig cfg = MachineConfig::preset(4);
+    cfg.seed = 11;
+    cfg.instrPerCore = 20'000;
+    cfg.warmupInstrPerCore = 0;
+    const std::vector<RunSpec> runs = SweepBuilder(cfg)
+                                          .workloads({"Q1"})
+                                          .schemes({Scheme::BiModal})
+                                          .mode(RunMode::Timing)
+                                          .build();
+    const std::string off = testing::TempDir() + "bmc_prof_off.jsonl";
+    const std::string on = testing::TempDir() + "bmc_prof_on.jsonl";
+
+    SweepOptions plain;
+    plain.jsonlPath = off;
+    plain.catalog = true;
+    runSweep(runs, plain);
+
+    SweepOptions prof;
+    prof.jsonlPath = on;
+    prof.catalog = true;
+    prof.emitProfile = true;
+    const std::vector<RunResult> results = runSweep(runs, prof);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_GT(results[0].profile.eventsExecuted, 0u);
+
+    const std::string off_file = readFile(off);
+    const std::string on_file = readFile(on);
+    EXPECT_EQ(off_file.find("\"profile\""), std::string::npos);
+    EXPECT_NE(on_file.find("\"profile\": {\"warmup_seconds\""),
+              std::string::npos);
+
+    // Catalog columns follow the flag.
+    EXPECT_EQ(loadCatalog(off).numericCol("prof_events_executed"),
+              -1);
+    const Catalog with = loadCatalog(on);
+    const int col = with.numericCol("prof_events_executed");
+    ASSERT_GE(col, 0);
+    EXPECT_EQ(with.rows[0]
+                  .nums[static_cast<std::size_t>(col)],
+              static_cast<double>(results[0].profile.eventsExecuted));
+
+    std::remove(off.c_str());
+    std::remove(on.c_str());
+    std::remove(catalogIndexPath(off).c_str());
+    std::remove(catalogIndexPath(on).c_str());
+}
+
+} // anonymous namespace
+} // namespace bmc::sim

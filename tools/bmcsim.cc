@@ -107,16 +107,49 @@ printRun(const sim::RunStats &rs)
 }
 
 void
-printJson(const sim::RunStats &rs, const sim::System &system)
+printJson(const sim::RunStats &rs, const sim::System &system,
+          bool with_profile)
 {
     // Curated RunStats under "run", the full registered-stat
     // hierarchy (histograms, percentiles, per-channel detail) under
-    // "stats".
+    // "stats", and (opt-in: its phase timings are wall-clock, so the
+    // output would differ run-to-run) the self-profile under
+    // "profile".
+    std::string profile;
+    if (with_profile) {
+        profile = "\"profile\": " +
+                  system.profile().toJson(/*pretty=*/true) + ",\n";
+    }
     std::printf("{\n\"schema_version\": %d,\n\"run\": %s,\n"
-                "\"stats\": %s\n}\n",
+                "%s\"stats\": %s\n}\n",
                 sim::kResultsSchemaVersion,
                 sim::statsToJson(rs, /*pretty=*/true).c_str(),
+                profile.c_str(),
                 system.statsHierarchyJson(/*pretty=*/true).c_str());
+}
+
+void
+printProfile(const sim::System &system)
+{
+    const ProfileReport p = system.profile();
+    Table table({"profile", "value"});
+    table.row().cell("warm-up seconds").cell(p.warmupSeconds, 3);
+    table.row().cell("timing-run seconds").cell(p.runSeconds, 3);
+    table.row().cell("collect seconds").cell(p.collectSeconds, 3);
+    table.row().cell("events executed").cell(p.eventsExecuted);
+    table.row().cell("events via wheel").cell(p.eventsWheel);
+    table.row().cell("events via heap").cell(p.eventsHeap);
+    table.row()
+        .cell("peak pending events")
+        .cell(p.peakPendingEvents);
+    table.row()
+        .cell("event pool allocated")
+        .cell(p.eventPoolAllocated);
+    table.row().cell("MSHR peak live").cell(p.mshrPeakLive);
+    table.row()
+        .cell("peak channel queue")
+        .cell(p.peakChannelQueue);
+    table.print();
 }
 
 } // anonymous namespace
@@ -159,6 +192,12 @@ main(int argc, char **argv)
     opts.addFlag("json", false,
                  "machine-readable summary (curated stats plus the "
                  "full registered-stat hierarchy)");
+    opts.addFlag("profile", false,
+                 "simulator self-profile: phase wall timings plus "
+                 "event-queue / MSHR / channel-queue gauges, as a "
+                 "table (text mode) or a \"profile\" object "
+                 "(--json; off by default so the JSON stays "
+                 "bit-comparable across runs)");
     opts.addString("epoch-out", "",
                    "stream per-epoch counter deltas as JSONL to "
                    "this file");
@@ -338,10 +377,15 @@ main(int argc, char **argv)
     if (check.any())
         system.enableChecks(check);
     const RunStats rs = system.run();
-    if (opts.flag("json"))
-        printJson(rs, system);
-    else
+    if (opts.flag("json")) {
+        printJson(rs, system, opts.flag("profile"));
+    } else {
         printRun(rs);
+        if (opts.flag("profile")) {
+            std::printf("\n");
+            printProfile(system);
+        }
+    }
     if (opts.flag("dump-stats")) {
         std::printf("\n-- full statistics --\n%s",
                     system.dumpStats().c_str());

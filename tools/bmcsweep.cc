@@ -156,6 +156,19 @@ main(int argc, char **argv)
                  "group; --no-share-warmups warms every cell "
                  "in-process (bit-identical results either way)");
     opts.addFlag("progress", true, "live progress/ETA line on stderr");
+    opts.addDouble("progress-interval", 1.0,
+                   "heartbeat period in seconds for --progress "
+                   "(telemetry thread; 0 disables the heartbeat and "
+                   "keeps only the per-completion line)");
+    opts.addFlag("catalog", false,
+                 "write the sidecar catalog index (<out>.idx) beside "
+                 "the results JSONL so bmcquery answers filtered "
+                 "reads without scanning it (needs --out)");
+    opts.addFlag("profile", false,
+                 "append each run's self-profile to its JSONL row "
+                 "and index prof_* catalog columns (host-dependent "
+                 "wall-clock fields: breaks bit-identical -j "
+                 "reproducibility)");
 
     std::vector<std::string> argStorage;
     std::vector<char *> argvRewritten =
@@ -252,6 +265,19 @@ main(int argc, char **argv)
                         label += "-";
                     label += strfmt("mlp%" PRIu64, mlp);
                 }
+                // Axis coordinates: one named param per axis the
+                // user put on the command line, so bmcquery can
+                // filter/group on them (e.g. --where mlp=4).
+                std::vector<std::pair<std::string, double>> params;
+                if (!sizes.empty())
+                    params.emplace_back("cache_mib",
+                                        static_cast<double>(mib));
+                if (!bigs.empty())
+                    params.emplace_back("big_bytes",
+                                        static_cast<double>(big));
+                if (!mlps.empty())
+                    params.emplace_back("mlp",
+                                        static_cast<double>(mlp));
                 variants.push_back(
                     {label, [mib, big, mlp](MachineConfig &cfg) {
                          if (mib)
@@ -266,7 +292,8 @@ main(int argc, char **argv)
                          }
                          if (mlp)
                              cfg.mlp = static_cast<unsigned>(mlp);
-                     }});
+                     },
+                     std::move(params)});
               }
             }
         }
@@ -332,6 +359,10 @@ main(int argc, char **argv)
     sopts.jsonlPath = opts.getString("out");
     sopts.emitTiming = opts.flag("timing-fields");
     sopts.shareWarmups = opts.flag("share-warmups");
+    sopts.emitProfile = opts.flag("profile");
+    sopts.catalog = opts.flag("catalog");
+    if (sopts.catalog && sopts.jsonlPath.empty())
+        bmc_fatal("--catalog needs --out");
     if (opts.flag("progress")) {
         sopts.onProgress = [](const SweepProgress &p) {
             std::fprintf(stderr,
@@ -343,6 +374,30 @@ main(int argc, char **argv)
                          p.failed, p.elapsedSeconds, p.etaSeconds,
                          p.lastLabel.c_str(),
                          p.completed == p.total ? "\n" : "");
+            std::fflush(stderr);
+        };
+        // The heartbeat rides a telemetry thread, so long-running
+        // cells still report: done/total, rate, ETA and what every
+        // busy worker is on. Strictly off the determinism path.
+        sopts.heartbeatSeconds = opts.getDouble("progress-interval");
+        sopts.onHeartbeat = [](const SweepProgress &p) {
+            std::string active;
+            const std::size_t shown =
+                p.active.size() < 3 ? p.active.size() : 3;
+            for (std::size_t i = 0; i < shown; ++i) {
+                if (i)
+                    active += ",";
+                active += p.active[i];
+            }
+            if (p.active.size() > shown)
+                active += strfmt(",+%zu more",
+                                 p.active.size() - shown);
+            std::fprintf(stderr,
+                         "\r[%zu/%zu] failed=%zu  %.2f cells/s  "
+                         "eta=%.1fs  active: %s",
+                         p.completed, p.total, p.failed,
+                         p.cellsPerSec, p.etaSeconds,
+                         active.empty() ? "-" : active.c_str());
             std::fflush(stderr);
         };
     }
