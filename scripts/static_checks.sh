@@ -75,12 +75,14 @@ fi
 # runs one System per warm group on the sweep's thread pool.
 # Progress/Catalog ride along because the heartbeat telemetry thread
 # and the catalog flush path race against the sweep workers.
-echo "== ThreadSanitizer suite (sweep / warm-up / thread-pool / fuzz-smoke) =="
+# Serve* exercises the daemon (connection threads, worker-pool
+# reaper, subscriber queues) with a TSan-instrumented bmcserved.
+echo "== ThreadSanitizer suite (sweep / warm-up / thread-pool / serve / fuzz-smoke) =="
 cmake -B "$tsan_dir" -S "$src_dir" \
     -DBMC_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$tsan_dir" -j"$(nproc)" --target bmc_tests bmcfuzz
+cmake --build "$tsan_dir" -j"$(nproc)" --target bmc_tests bmcfuzz bmcserved
 ctest --test-dir "$tsan_dir" --output-on-failure -j"$(nproc)" \
-    -R '^(Sweep\.|SweepSeed\.|SweepBuilder\.|SweepWarm\.|Progress\.|Catalog\.|Checkpoint\.|ThreadPool\.|ParallelFor\.|fuzz_smoke$)'
+    -R '^(Sweep\.|SweepSeed\.|SweepBuilder\.|SweepWarm\.|Progress\.|Catalog\.|Checkpoint\.|ThreadPool\.|ParallelFor\.|Serve[A-Za-z]*\.|fuzz_smoke$)'
 
 echo "static_checks: full gate passed"

@@ -16,6 +16,7 @@
 #define BMC_COMMON_WALLCLOCK_HH
 
 #include <chrono>
+#include <thread>
 
 namespace bmc
 {
@@ -50,6 +51,17 @@ inline WallDuration
 wallDuration(double seconds)
 {
     return WallDuration(seconds);
+}
+
+/**
+ * Block the calling thread for @p seconds of wall time. For polling
+ * and retry loops off the determinism path (daemon connect retries,
+ * fault-injected slow cells) -- never inside simulated time.
+ */
+inline void
+wallSleep(double seconds)
+{
+    std::this_thread::sleep_for(wallDuration(seconds));
 }
 
 } // namespace bmc

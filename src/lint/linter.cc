@@ -20,13 +20,16 @@ namespace
 
 // ------------------------------------------------------- scoping
 
-/** Directories whose code defines simulated state: wall time and
- *  unseeded randomness are banned outright here. */
+/** Directories whose code defines simulated state (or, for
+ *  src/serve/, must reproduce it bit-identically): wall time and
+ *  unseeded randomness are banned outright here. The serve daemon
+ *  takes its timing through common/wallclock.hh only. */
 constexpr const char *kTimingDirs[] = {
     "src/sim/",
     "src/dram/",
     "src/dramcache/",
     "src/cache/",
+    "src/serve/",
 };
 
 /** Files on the event hot path: allocation is pooled by design, so

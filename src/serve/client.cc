@@ -1,0 +1,145 @@
+#include "serve/client.hh"
+
+#include <utility>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/wallclock.hh"
+
+namespace bmc::serve
+{
+
+ServeClient::ServeClient(ServeClient &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+bool
+ServeClient::connect(const std::string &socket_path,
+                     std::string &err)
+{
+    close();
+    ignoreSigpipe();
+    fd_ = connectUnixSocket(socket_path, err);
+    return fd_ >= 0;
+}
+
+bool
+ServeClient::connectRetry(const std::string &socket_path,
+                          double timeout_seconds, std::string &err)
+{
+    const WallInstant start = wallNow();
+    for (;;) {
+        if (connect(socket_path, err))
+            return true;
+        if (wallSecondsSince(start) > timeout_seconds)
+            return false;
+        wallSleep(0.05);
+    }
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServeClient::send(const std::string &payload)
+{
+    return fd_ >= 0 && writeFrame(fd_, payload);
+}
+
+FrameStatus
+ServeClient::recv(std::string &payload)
+{
+    if (fd_ < 0)
+        return FrameStatus::IoError;
+    return readFrame(fd_, payload);
+}
+
+bool
+ServeClient::call(const std::string &request, JsonValue &reply,
+                  std::string &err)
+{
+    if (!send(request)) {
+        err = "cannot send request (daemon gone?)";
+        return false;
+    }
+    std::string payload;
+    const FrameStatus fs = recv(payload);
+    if (fs != FrameStatus::Ok) {
+        err = strfmt("no reply (%s)", frameStatusName(fs));
+        return false;
+    }
+    if (!jsonParse(payload, reply, err))
+        return false;
+    if (!reply.getBool("ok", false)) {
+        err = reply.getString("error", "request failed");
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::streamResults(
+    const std::string &job, bool follow,
+    const std::function<void(std::uint64_t,
+                             const std::string &)> &on_row,
+    JsonValue &end, std::string &err)
+{
+    const std::string req = strfmt(
+        "{\"type\": \"results\", \"job\": %s, \"follow\": %s}",
+        jsonQuote(job).c_str(), follow ? "true" : "false");
+    if (!send(req)) {
+        err = "cannot send request (daemon gone?)";
+        return false;
+    }
+    std::string payload;
+    for (;;) {
+        const FrameStatus fs = recv(payload);
+        if (fs != FrameStatus::Ok) {
+            err = strfmt("stream broke (%s)",
+                         frameStatusName(fs));
+            return false;
+        }
+        JsonValue frame;
+        if (!jsonParse(payload, frame, err))
+            return false;
+        if (!frame.getBool("ok", false)) {
+            err = frame.getString("error", "request failed");
+            return false;
+        }
+        const std::string type = frame.getString("type");
+        if (type == "row") {
+            std::uint64_t index = 0;
+            frame.getUint("index", index, 0);
+            if (on_row)
+                on_row(index, frame.getString("line"));
+            continue;
+        }
+        if (type == "end") {
+            end = frame;
+            return true;
+        }
+        err = strfmt("unexpected frame type '%s' in stream",
+                     type.c_str());
+        return false;
+    }
+}
+
+} // namespace bmc::serve

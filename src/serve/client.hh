@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Client side of the serve protocol, shared by the bmcctl CLI and
+ * the test suite.
+ *
+ * A ServeClient is one connection to a bmcserved socket. It speaks
+ * the frame layer (serve/frame.hh) and adds the two interaction
+ * shapes the protocol has: one-request/one-reply (call) and
+ * one-request/streamed-rows-then-end (used for "results").
+ * connectRetry() covers the daemon-still-starting window, so a
+ * fixture can launch bmcserved and immediately create a client.
+ */
+
+#ifndef BMC_SERVE_CLIENT_HH
+#define BMC_SERVE_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "serve/frame.hh"
+#include "serve/json.hh"
+
+namespace bmc::serve
+{
+
+/** One connection to a serve daemon. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient() { close(); }
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Single connection attempt. */
+    bool connect(const std::string &socket_path, std::string &err);
+
+    /**
+     * Connect, retrying until @p timeout_seconds of wall time pass
+     * (the daemon may still be binding its socket).
+     */
+    bool connectRetry(const std::string &socket_path,
+                      double timeout_seconds, std::string &err);
+
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /** Send one frame. */
+    bool send(const std::string &payload);
+
+    /** Receive one frame. */
+    FrameStatus recv(std::string &payload);
+
+    /**
+     * One request, one parsed JSON reply. False (with @p err) on
+     * transport or parse failure, and also when the daemon
+     * answered {"ok": false, ...} -- the daemon's error text
+     * becomes @p err.
+     */
+    bool call(const std::string &request, JsonValue &reply,
+              std::string &err);
+
+    /**
+     * Issue a "results" request and invoke @p on_row for every
+     * streamed row line until the end frame, which is returned in
+     * @p end. False (with @p err) on any failure.
+     */
+    bool streamResults(const std::string &job, bool follow,
+                       const std::function<void(
+                           std::uint64_t index,
+                           const std::string &line)> &on_row,
+                       JsonValue &end, std::string &err);
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace bmc::serve
+
+#endif // BMC_SERVE_CLIENT_HH

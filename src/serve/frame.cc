@@ -1,0 +1,213 @@
+#include "serve/frame.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace bmc::serve
+{
+
+namespace
+{
+
+/** Read exactly @p n bytes. Returns n, 0 for EOF-at-start, the
+ *  short count for EOF mid-way, or -1 for a read error. */
+ssize_t
+readFull(int fd, char *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, buf + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            return static_cast<ssize_t>(got);
+        got += static_cast<std::size_t>(r);
+    }
+    return static_cast<ssize_t>(got);
+}
+
+bool
+writeFull(int fd, const char *buf, std::size_t n)
+{
+    std::size_t put = 0;
+    while (put < n) {
+        const ssize_t w = ::write(fd, buf + put, n - put);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        put += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+const char *
+frameStatusName(FrameStatus s)
+{
+    switch (s) {
+      case FrameStatus::Ok:
+        return "ok";
+      case FrameStatus::Eof:
+        return "eof";
+      case FrameStatus::Truncated:
+        return "truncated";
+      case FrameStatus::BadMagic:
+        return "bad-magic";
+      case FrameStatus::Oversized:
+        return "oversized";
+      case FrameStatus::IoError:
+        return "io-error";
+    }
+    return "unknown";
+}
+
+FrameStatus
+readFrame(int fd, std::string &payload)
+{
+    char header[8];
+    const ssize_t h = readFull(fd, header, sizeof(header));
+    if (h < 0)
+        return FrameStatus::IoError;
+    if (h == 0)
+        return FrameStatus::Eof;
+    if (h != sizeof(header))
+        return FrameStatus::Truncated;
+    if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0)
+        return FrameStatus::BadMagic;
+    std::uint32_t len = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(header[4 + i]))
+               << (8 * i);
+    }
+    if (len > kMaxFramePayload)
+        return FrameStatus::Oversized;
+    payload.resize(len);
+    if (len == 0)
+        return FrameStatus::Ok;
+    const ssize_t p = readFull(fd, payload.data(), len);
+    if (p < 0)
+        return FrameStatus::IoError;
+    if (p != static_cast<ssize_t>(len))
+        return FrameStatus::Truncated;
+    return FrameStatus::Ok;
+}
+
+std::string
+frameBytes(const std::string &payload)
+{
+    std::string out;
+    out.reserve(8 + payload.size());
+    out.append(kFrameMagic, sizeof(kFrameMagic));
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    out.append(payload);
+    return out;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        return false;
+    const std::string bytes = frameBytes(payload);
+    return writeFull(fd, bytes.data(), bytes.size());
+}
+
+int
+listenUnixSocket(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = strfmt("socket path too long (%zu bytes)",
+                     path.size());
+        return -1;
+    }
+    const int fd =
+        ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        err = strfmt("socket: %s", std::strerror(errno));
+        return -1;
+    }
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = strfmt("bind %s: %s", path.c_str(),
+                     std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 16) != 0) {
+        err = strfmt("listen %s: %s", path.c_str(),
+                     std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnixSocket(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = strfmt("socket path too long (%zu bytes)",
+                     path.size());
+        return -1;
+    }
+    const int fd =
+        ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        err = strfmt("socket: %s", std::strerror(errno));
+        return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = strfmt("connect %s: %s", path.c_str(),
+                     std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+acceptConnection(int listen_fd)
+{
+    for (;;) {
+        const int fd =
+            ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd >= 0)
+            return fd;
+        if (errno != EINTR)
+            return -1;
+    }
+}
+
+void
+ignoreSigpipe()
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+} // namespace bmc::serve

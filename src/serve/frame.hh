@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Wire framing and Unix-socket plumbing for the serve protocol.
+ *
+ * Every message between bmcctl / bmcserved / worker processes is one
+ * frame: an 8-byte header (4-byte magic "BMCS" + u32 little-endian
+ * payload length) followed by a JSON payload. The magic catches a
+ * peer that is not speaking the protocol before a bogus length can
+ * make the reader allocate; the length cap bounds memory per
+ * connection. readFrame() classifies every failure mode instead of
+ * dying -- a malformed or truncated frame must cost one connection,
+ * never the daemon (the corpus in tests/corpus/serve/ replays
+ * exactly these inputs).
+ *
+ * Framing, like everything on the wire, is independent of host
+ * endianness: the length is serialized explicitly little-endian.
+ */
+
+#ifndef BMC_SERVE_FRAME_HH
+#define BMC_SERVE_FRAME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bmc::serve
+{
+
+/** Frame magic, on the wire as the bytes 'B' 'M' 'C' 'S'. */
+constexpr char kFrameMagic[4] = {'B', 'M', 'C', 'S'};
+
+/** Maximum payload bytes readFrame() will accept (8 MiB). */
+constexpr std::uint32_t kMaxFramePayload = 8u << 20;
+
+/**
+ * Serve protocol version, echoed in ping replies. Bump on any
+ * request/response schema change; listed in EXPERIMENTS.md's
+ * schema-version registry.
+ */
+constexpr std::uint32_t kServeProtocolVersion = 1;
+
+/** Why a readFrame() call did not produce a payload. */
+enum class FrameStatus
+{
+    Ok,        //!< payload filled
+    Eof,       //!< clean close before any header byte
+    Truncated, //!< peer vanished mid-header or mid-payload
+    BadMagic,  //!< header does not start with "BMCS"
+    Oversized, //!< declared length above kMaxFramePayload
+    IoError,   //!< read(2) failed
+};
+
+const char *frameStatusName(FrameStatus s);
+
+/**
+ * Read one complete frame from @p fd (blocking, EINTR-safe). On Ok
+ * the payload is in @p payload. After BadMagic or Oversized the
+ * stream position is unusable -- close the connection.
+ */
+FrameStatus readFrame(int fd, std::string &payload);
+
+/**
+ * Write one frame (blocking, EINTR-safe). False on any write
+ * failure, including EPIPE from a vanished peer -- callers must run
+ * with SIGPIPE ignored (see ignoreSigpipe()).
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/** The 8-byte header + payload as raw bytes (for partial-write
+ *  fault injection; normal senders use writeFrame). */
+std::string frameBytes(const std::string &payload);
+
+/**
+ * Bind and listen on a Unix stream socket at @p path, unlinking any
+ * stale socket first. Returns the listening fd, or -1 with @p err
+ * set. The fd is close-on-exec so worker processes never inherit
+ * the listener.
+ */
+int listenUnixSocket(const std::string &path, std::string &err);
+
+/** Connect to the daemon socket; -1 with @p err set on failure. */
+int connectUnixSocket(const std::string &path, std::string &err);
+
+/** accept(2) with EINTR retry; close-on-exec; -1 on failure. */
+int acceptConnection(int listen_fd);
+
+/** Process-wide SIG_IGN for SIGPIPE (idempotent). */
+void ignoreSigpipe();
+
+} // namespace bmc::serve
+
+#endif // BMC_SERVE_FRAME_HH

@@ -1,0 +1,386 @@
+#include "serve/jobspec.hh"
+
+#include <cinttypes>
+
+#include "common/logging.hh"
+
+namespace bmc::serve
+{
+
+namespace
+{
+
+bool
+failKey(std::string &err, const std::string &key,
+        const char *what)
+{
+    err = strfmt("job spec: key '%s' %s", key.c_str(), what);
+    return false;
+}
+
+/** Parse a JSON array of strings. */
+bool
+stringList(const JsonValue &v, std::vector<std::string> &out,
+           const std::string &key, std::string &err)
+{
+    if (!v.isArray())
+        return failKey(err, key, "must be an array of strings");
+    out.clear();
+    for (const JsonValue &e : v.arr) {
+        if (!e.isString())
+            return failKey(err, key,
+                           "must be an array of strings");
+        out.push_back(e.strVal);
+    }
+    return true;
+}
+
+/** Parse a JSON array of non-negative integers. */
+bool
+uintList(const JsonValue &v, std::vector<std::uint64_t> &out,
+         const std::string &key, std::string &err)
+{
+    if (!v.isArray())
+        return failKey(err, key, "must be an array of integers");
+    out.clear();
+    for (const JsonValue &e : v.arr) {
+        std::uint64_t u = 0;
+        if (!jsonToUint(e, u))
+            return failKey(err, key,
+                           "must be an array of non-negative "
+                           "integers");
+        out.push_back(u);
+    }
+    return true;
+}
+
+bool
+uintValue(const JsonValue &v, std::uint64_t &out,
+          const std::string &key, std::string &err)
+{
+    if (!jsonToUint(v, out))
+        return failKey(err, key,
+                       "must be a non-negative integer");
+    return true;
+}
+
+bool
+boolValue(const JsonValue &v, bool &out, const std::string &key,
+          std::string &err)
+{
+    if (!v.isBool())
+        return failKey(err, key, "must be true or false");
+    out = v.boolVal;
+    return true;
+}
+
+bool
+strValue(const JsonValue &v, std::string &out,
+         const std::string &key, std::string &err)
+{
+    if (!v.isString())
+        return failKey(err, key, "must be a string");
+    out = v.strVal;
+    return true;
+}
+
+/** runModeFromName without the bmc_fatal (untrusted input). */
+bool
+modeFromJson(const std::string &name, sim::RunMode &out)
+{
+    if (name == "timing")
+        out = sim::RunMode::Timing;
+    else if (name == "functional")
+        out = sim::RunMode::Functional;
+    else if (name == "antt")
+        out = sim::RunMode::Antt;
+    else
+        return false;
+    return true;
+}
+
+std::string
+uintListJson(const std::vector<std::uint64_t> &vals)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        out += strfmt("%s%" PRIu64, i ? ", " : "", vals[i]);
+    }
+    out += "]";
+    return out;
+}
+
+std::string
+stringListJson(const std::vector<std::string> &vals)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += jsonQuote(vals[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // anonymous namespace
+
+bool
+validJobName(const std::string &name)
+{
+    if (name.empty() || name.size() > 64)
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    // "." / ".." would escape the state directory as file stems.
+    return name != "." && name != "..";
+}
+
+bool
+parseJobSpec(const JsonValue &doc, JobSpec &out, std::string &err)
+{
+    out = JobSpec{};
+    if (!doc.isObject()) {
+        err = "job spec: document must be a JSON object";
+        return false;
+    }
+
+    bool sawVersion = false;
+    bool sawKind = false;
+    std::string sweepOnlyKey;
+    // Keys are dispatched one pass in document order; anything not
+    // in the schema is an error so typos never silently run the
+    // wrong campaign (same contract as the Options parser).
+    for (const auto &[key, value] : doc.obj) {
+        // "kind" may appear after the keys it governs, so
+        // cross-kind rejection is deferred to the end.
+        const bool sweepOnly =
+            key == "derive_seeds" || key == "catalog" ||
+            key == "cores" || key == "full" || key == "instrs" ||
+            key == "mode" || key == "records" ||
+            key == "workloads" || key == "programs" ||
+            key == "schemes" || key == "cache_mib" ||
+            key == "big_bytes" || key == "mlp" || key == "reps" ||
+            key == "check" || key == "warm_insts";
+        if (sweepOnly && sweepOnlyKey.empty())
+            sweepOnlyKey = key;
+        if (key == "schema_version") {
+            std::uint64_t v = 0;
+            if (!uintValue(value, v, key, err))
+                return false;
+            if (v != kJobSpecVersion) {
+                err = strfmt("job spec: schema_version %" PRIu64
+                             " unsupported (this daemon speaks %u)",
+                             v, kJobSpecVersion);
+                return false;
+            }
+            sawVersion = true;
+        } else if (key == "kind") {
+            if (!strValue(value, out.kind, key, err))
+                return false;
+            if (out.kind != "sweep" && out.kind != "fuzz") {
+                err = strfmt("job spec: unknown kind '%s'",
+                             out.kind.c_str());
+                return false;
+            }
+            sawKind = true;
+        } else if (key == "name") {
+            if (!strValue(value, out.name, key, err))
+                return false;
+            // Empty = daemon assigns a sequential id (and the
+            // canonical serialization always carries the key).
+            if (!out.name.empty() && !validJobName(out.name))
+                return failKey(err, key,
+                               "must match [A-Za-z0-9._-]{1,64}");
+        } else if (key == "seed") {
+            if (!uintValue(value, out.sweep.seed, key, err))
+                return false;
+        } else if (key == "derive_seeds") {
+            if (!boolValue(value, out.deriveSeeds, key, err))
+                return false;
+        } else if (key == "catalog") {
+            if (!boolValue(value, out.catalog, key, err))
+                return false;
+        } else if (key == "cores") {
+            std::uint64_t v = 0;
+            if (!uintValue(value, v, key, err))
+                return false;
+            out.sweep.cores = static_cast<unsigned>(v);
+        } else if (key == "full") {
+            if (!boolValue(value, out.sweep.fullScale, key, err))
+                return false;
+        } else if (key == "instrs") {
+            if (!uintValue(value, out.sweep.instrs, key, err))
+                return false;
+        } else if (key == "mode") {
+            std::string name;
+            if (!strValue(value, name, key, err))
+                return false;
+            if (!modeFromJson(name, out.sweep.mode)) {
+                err = strfmt("job spec: unknown mode '%s'",
+                             name.c_str());
+                return false;
+            }
+        } else if (key == "records") {
+            if (!uintValue(value, out.sweep.records, key, err))
+                return false;
+        } else if (key == "workloads") {
+            if (value.isString() && value.strVal == "all") {
+                out.sweep.allWorkloads = true;
+            } else if (!stringList(value, out.sweep.workloads, key,
+                                   err)) {
+                return false;
+            }
+        } else if (key == "programs") {
+            if (!stringList(value, out.sweep.programs, key, err))
+                return false;
+        } else if (key == "schemes") {
+            if (!stringList(value, out.sweep.schemes, key, err))
+                return false;
+        } else if (key == "cache_mib") {
+            if (!uintList(value, out.sweep.cacheMib, key, err))
+                return false;
+        } else if (key == "big_bytes") {
+            if (!uintList(value, out.sweep.bigBytes, key, err))
+                return false;
+        } else if (key == "mlp") {
+            if (!uintList(value, out.sweep.mlp, key, err))
+                return false;
+        } else if (key == "reps") {
+            std::uint64_t v = 0;
+            if (!uintValue(value, v, key, err))
+                return false;
+            if (v == 0)
+                return failKey(err, key, "must be >= 1");
+            out.sweep.reps = static_cast<unsigned>(v);
+        } else if (key == "check") {
+            if (!strValue(value, out.sweep.check, key, err))
+                return false;
+        } else if (key == "warm_insts") {
+            if (!uintValue(value, out.sweep.warmInsts, key, err))
+                return false;
+        } else if (key == "fuzz_seeds") {
+            if (!uintValue(value, out.fuzzSeeds, key, err))
+                return false;
+        } else if (key == "fuzz_scheme") {
+            if (!strValue(value, out.fuzzScheme, key, err))
+                return false;
+        } else {
+            err = strfmt("job spec: unknown key '%s'", key.c_str());
+            return false;
+        }
+    }
+
+    if (!sawVersion) {
+        err = strfmt("job spec: missing schema_version (expected "
+                     "%u)",
+                     kJobSpecVersion);
+        return false;
+    }
+    if (!sawKind) {
+        err = "job spec: missing kind (\"sweep\" or \"fuzz\")";
+        return false;
+    }
+    if (out.kind == "fuzz") {
+        if (out.fuzzSeeds == 0) {
+            err = "job spec: fuzz jobs need fuzz_seeds >= 1";
+            return false;
+        }
+        if (!sweepOnlyKey.empty()) {
+            err = strfmt("job spec: key '%s' is only valid for "
+                         "kind \"sweep\"",
+                         sweepOnlyKey.c_str());
+            return false;
+        }
+    } else if (out.fuzzSeeds != 0 || !out.fuzzScheme.empty()) {
+        err = "job spec: fuzz_seeds/fuzz_scheme are only valid "
+              "for kind \"fuzz\"";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseJobSpec(const std::string &text, JobSpec &out,
+             std::string &err)
+{
+    JsonValue doc;
+    if (!jsonParse(text, doc, err))
+        return false;
+    return parseJobSpec(doc, out, err);
+}
+
+std::string
+jobSpecToJson(const JobSpec &spec)
+{
+    std::string out = strfmt("{\"schema_version\": %u, \"kind\": ",
+                             kJobSpecVersion);
+    out += jsonQuote(spec.kind);
+    out += ", \"name\": ";
+    out += jsonQuote(spec.name);
+    out += strfmt(", \"seed\": %" PRIu64, spec.sweep.seed);
+    if (spec.kind == "fuzz") {
+        out += strfmt(", \"fuzz_seeds\": %" PRIu64, spec.fuzzSeeds);
+        out += ", \"fuzz_scheme\": ";
+        out += jsonQuote(spec.fuzzScheme);
+        out += "}";
+        return out;
+    }
+    out += strfmt(", \"derive_seeds\": %s, \"catalog\": %s",
+                  spec.deriveSeeds ? "true" : "false",
+                  spec.catalog ? "true" : "false");
+    out += strfmt(", \"cores\": %u, \"full\": %s, \"instrs\": "
+                  "%" PRIu64,
+                  spec.sweep.cores,
+                  spec.sweep.fullScale ? "true" : "false",
+                  spec.sweep.instrs);
+    out += strfmt(", \"mode\": \"%s\", \"records\": %" PRIu64,
+                  sim::runModeName(spec.sweep.mode),
+                  spec.sweep.records);
+    out += ", \"workloads\": ";
+    out += spec.sweep.allWorkloads
+               ? std::string("\"all\"")
+               : stringListJson(spec.sweep.workloads);
+    out += ", \"programs\": ";
+    out += stringListJson(spec.sweep.programs);
+    out += ", \"schemes\": ";
+    out += stringListJson(spec.sweep.schemes);
+    out += ", \"cache_mib\": ";
+    out += uintListJson(spec.sweep.cacheMib);
+    out += ", \"big_bytes\": ";
+    out += uintListJson(spec.sweep.bigBytes);
+    out += ", \"mlp\": ";
+    out += uintListJson(spec.sweep.mlp);
+    out += strfmt(", \"reps\": %u, \"check\": ", spec.sweep.reps);
+    out += jsonQuote(spec.sweep.check);
+    out += strfmt(", \"warm_insts\": %" PRIu64 "}",
+                  spec.sweep.warmInsts);
+    return out;
+}
+
+std::string
+fuzzRowJson(std::uint64_t index, std::uint64_t seed,
+            std::uint64_t records, bool ok,
+            const std::string &error)
+{
+    std::string out = strfmt(
+        "{\"serve_fuzz_schema\": %u, \"run\": %" PRIu64
+        ", \"seed\": %" PRIu64 ", \"records\": %" PRIu64
+        ", \"ok\": %s",
+        kServeFuzzRowVersion, index, seed, records,
+        ok ? "true" : "false");
+    if (!ok) {
+        out += ", \"error\": ";
+        out += jsonQuote(error);
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace bmc::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The serve job specification: the JSON document a client submits.
+ *
+ * A job is either a sweep (the spec maps 1:1 onto sim::SweepSpec,
+ * the same struct the bmcsweep CLI fills from flags -- so a job
+ * submitted to the daemon enumerates exactly the cells the CLI
+ * would) or a fuzz campaign (N seeds through check::sampleCase /
+ * runCase). Parsing is strict and never fatal: unknown keys,
+ * type mismatches and cross-kind keys are rejected with an error
+ * string, because the daemon parses untrusted bytes.
+ *
+ * jobSpecToJson() is the canonical serialization: fixed key order,
+ * every field present. It round-trips through parseJobSpec()
+ * unchanged and is what the journal persists, so a resumed job
+ * re-enumerates from byte-identical input.
+ */
+
+#ifndef BMC_SERVE_JOBSPEC_HH
+#define BMC_SERVE_JOBSPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/json.hh"
+#include "sim/sweep.hh"
+
+namespace bmc::serve
+{
+
+/**
+ * Job-spec schema version; a submitted document must carry
+ * "schema_version" equal to this. Listed in EXPERIMENTS.md's
+ * schema-version registry.
+ */
+constexpr std::uint32_t kJobSpecVersion = 1;
+
+/**
+ * Version tag each fuzz-job result row leads with
+ * ("serve_fuzz_schema"); sweep rows carry the ordinary results
+ * schema version from runResultToJsonLine().
+ */
+constexpr std::uint32_t kServeFuzzRowVersion = 1;
+
+/** One submitted job, fully validated. */
+struct JobSpec
+{
+    /** Client-chosen job id stem ([A-Za-z0-9._-], up to 64 chars);
+     *  empty = daemon assigns a sequential id. */
+    std::string name;
+    /** "sweep" or "fuzz". */
+    std::string kind = "sweep";
+    /** Replace every cell's seed with deriveRunSeed(seed, cell)
+     *  (sweep jobs; fuzz jobs always derive). */
+    bool deriveSeeds = false;
+    /** Write the sidecar catalog index beside the results JSONL
+     *  when the job completes (sweep jobs only). */
+    bool catalog = false;
+    /** The sweep matrix; for fuzz jobs only @c sweep.seed (the base
+     *  seed) is meaningful. */
+    sim::SweepSpec sweep;
+    /** Fuzz cells to run (fuzz jobs; >= 1). */
+    std::uint64_t fuzzSeeds = 0;
+    /** Pin fuzz cases to one scheme ("" = random per case). */
+    std::string fuzzScheme;
+};
+
+/**
+ * Parse and validate a job-spec document. On failure returns false
+ * with a message in @p err; never bmc_fatal. Axis values (scheme /
+ * workload names etc.) are validated later by buildSweepRuns()
+ * under ScopedThrowErrors -- this layer checks shape, types,
+ * version and key spelling.
+ */
+bool parseJobSpec(const JsonValue &doc, JobSpec &out,
+                  std::string &err);
+
+/** As above, from raw JSON text. */
+bool parseJobSpec(const std::string &text, JobSpec &out,
+                  std::string &err);
+
+/** Canonical serialization (fixed key order; round-trips). */
+std::string jobSpecToJson(const JobSpec &spec);
+
+/** Whether @p name is a valid job name (also a safe file stem). */
+bool validJobName(const std::string &name);
+
+/**
+ * One fuzz-job result row. Shared by the worker (real rows) and the
+ * daemon (synthesized ok=false rows for a crashed worker) so both
+ * serialize identically.
+ */
+std::string fuzzRowJson(std::uint64_t index, std::uint64_t seed,
+                        std::uint64_t records, bool ok,
+                        const std::string &error);
+
+} // namespace bmc::serve
+
+#endif // BMC_SERVE_JOBSPEC_HH

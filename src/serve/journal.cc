@@ -1,0 +1,219 @@
+#include "serve/journal.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/binio.hh"
+#include "common/logging.hh"
+
+namespace bmc::serve
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'B', 'M', 'C', '1', 'S', 'J', 'N', 'L'};
+constexpr std::uint16_t kEndianMarker = 0x0102;
+/** First byte of every record; catches raw desync immediately. */
+constexpr std::uint8_t kRecordMarker = 0xa7;
+/** marker + cell + offset + length + ok + checksum. */
+constexpr std::size_t kRecordBytes = 1 + 8 + 8 + 4 + 1 + 4;
+
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+recordBytes(const JournalEntry &e)
+{
+    BinWriter w;
+    w.u8(kRecordMarker);
+    w.u64(e.cell);
+    w.u64(e.offset);
+    w.u32(e.length);
+    w.u8(e.ok ? 1 : 0);
+    BinWriter full;
+    full.bytes(w.data().data(), w.data().size());
+    full.u32(static_cast<std::uint32_t>(fnv1a(w.data())));
+    return full.data();
+}
+
+} // anonymous namespace
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+void
+JournalWriter::create(const std::string &path,
+                      const JournalHeader &header)
+{
+    bmc_assert(!f_, "journal already open");
+    bmc_assert(header.cellSeeds.size() == header.totalCells,
+               "journal header needs one seed per cell");
+    BinWriter w;
+    w.bytes(kMagic, sizeof(kMagic));
+    w.u32(kServeJournalVersion);
+    w.u16(kEndianMarker);
+    w.str(header.jobId);
+    w.str(header.specJson);
+    w.u64(header.totalCells);
+    for (const std::uint64_t seed : header.cellSeeds)
+        w.u64(seed);
+    const std::uint64_t sum = fnv1a(w.data());
+    BinWriter footer;
+    footer.u64(sum);
+
+    f_ = std::fopen(path.c_str(), "wb");
+    if (!f_)
+        bmc_fatal("cannot create journal '%s'", path.c_str());
+    const std::string &head = w.data();
+    const std::string &foot = footer.data();
+    if (std::fwrite(head.data(), 1, head.size(), f_) !=
+            head.size() ||
+        std::fwrite(foot.data(), 1, foot.size(), f_) !=
+            foot.size() ||
+        std::fflush(f_) != 0) {
+        bmc_fatal("cannot write journal header '%s'", path.c_str());
+    }
+}
+
+void
+JournalWriter::openAppend(const std::string &path)
+{
+    bmc_assert(!f_, "journal already open");
+    f_ = std::fopen(path.c_str(), "ab");
+    if (!f_)
+        bmc_fatal("cannot reopen journal '%s'", path.c_str());
+}
+
+void
+JournalWriter::append(const JournalEntry &e)
+{
+    bmc_assert(f_, "journal not open");
+    const std::string rec = recordBytes(e);
+    if (std::fwrite(rec.data(), 1, rec.size(), f_) != rec.size() ||
+        std::fflush(f_) != 0) {
+        bmc_fatal("cannot append journal record (cell %llu)",
+                  static_cast<unsigned long long>(e.cell));
+    }
+}
+
+void
+JournalWriter::close()
+{
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+JournalState
+readJournal(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        bmc_fatal("cannot open journal '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string bytes = ss.str();
+
+    JournalState out;
+    BinReader r(bytes);
+    if (bytes.size() < sizeof(kMagic) + 4 + 2 ||
+        bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) !=
+            0) {
+        bmc_fatal("'%s' is not a serve journal (bad magic)",
+                  path.c_str());
+    }
+    for (std::size_t i = 0; i < sizeof(kMagic); ++i)
+        (void)r.u8();
+    const std::uint32_t version = r.u32();
+    if (version != kServeJournalVersion) {
+        bmc_fatal("journal '%s' version %u does not match this "
+                  "build (version %u)",
+                  path.c_str(), version, kServeJournalVersion);
+    }
+    const std::uint16_t endian = r.u16();
+    if (endian != kEndianMarker) {
+        bmc_fatal("journal '%s' endianness marker 0x%04x does not "
+                  "match 0x%04x",
+                  path.c_str(), endian, kEndianMarker);
+    }
+    out.header.jobId = r.str();
+    out.header.specJson = r.str();
+    out.header.totalCells = r.u64();
+    out.header.cellSeeds.reserve(out.header.totalCells);
+    for (std::uint64_t i = 0; i < out.header.totalCells; ++i)
+        out.header.cellSeeds.push_back(r.u64());
+    const std::size_t bodyEnd = r.pos();
+    const std::uint64_t stored = r.u64();
+    const std::uint64_t computed =
+        fnv1a(bytes.substr(0, bodyEnd));
+    if (stored != computed) {
+        bmc_fatal("journal '%s' header checksum mismatch: file is "
+                  "corrupt",
+                  path.c_str());
+    }
+
+    // Records: fixed-size, individually checksummed. The first bad
+    // or short record ends the readable prefix -- a torn tail from
+    // a crash mid-append loses at most that one un-acked record.
+    std::size_t pos = r.pos();
+    while (bytes.size() - pos >= kRecordBytes) {
+        const std::string rec = bytes.substr(pos, kRecordBytes);
+        BinReader rr(rec);
+        JournalEntry e;
+        const std::uint8_t marker = rr.u8();
+        e.cell = rr.u64();
+        e.offset = rr.u64();
+        e.length = rr.u32();
+        e.ok = rr.u8() != 0;
+        const std::uint32_t sum = rr.u32();
+        const std::uint32_t want = static_cast<std::uint32_t>(
+            fnv1a(rec.substr(0, kRecordBytes - 4)));
+        if (marker != kRecordMarker || sum != want) {
+            bmc_warn("journal '%s': dropping torn record at byte "
+                     "%zu",
+                     path.c_str(), pos);
+            break;
+        }
+        if (e.cell != out.entries.size()) {
+            bmc_fatal("journal '%s': record for cell %llu where "
+                      "cell %zu was expected: file is corrupt",
+                      path.c_str(),
+                      static_cast<unsigned long long>(e.cell),
+                      out.entries.size());
+        }
+        if (e.cell >= out.header.totalCells) {
+            bmc_fatal("journal '%s': record for cell %llu beyond "
+                      "the job's %llu cells",
+                      path.c_str(),
+                      static_cast<unsigned long long>(e.cell),
+                      static_cast<unsigned long long>(
+                          out.header.totalCells));
+        }
+        out.entries.push_back(e);
+        pos += kRecordBytes;
+    }
+    if (pos != bytes.size() &&
+        bytes.size() - pos < kRecordBytes) {
+        bmc_warn("journal '%s': dropping %zu torn trailing bytes",
+                 path.c_str(), bytes.size() - pos);
+    }
+    if (!out.entries.empty()) {
+        const JournalEntry &last = out.entries.back();
+        out.coveredBytes = last.offset + last.length + 1;
+    }
+    return out;
+}
+
+} // namespace bmc::serve

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Job journal: crash-safe progress record for one daemon job.
+ *
+ * The journal ("<job>.jnl", beside the results JSONL) is a binio
+ * header -- magic "BMC1SJNL", version, endianness marker, job id,
+ * the canonical job-spec JSON, the cell count, every cell's
+ * effective seed, all under an FNV-1a checksum -- followed by one
+ * fixed-size append-only record per flushed result row
+ * (cell index, JSONL byte offset/length, ok flag, per-record
+ * checksum). Rows flush in cell order and the journal record is
+ * written after its JSONL line, so at every instant:
+ *
+ *   - the journal's records are a contiguous prefix [0, n) of the
+ *     job's cells;
+ *   - the JSONL holds at least the bytes those records cover.
+ *
+ * A daemon killed mid-job therefore resumes by truncating the JSONL
+ * to the covered byte count and re-running cells [n, total) -- the
+ * results are bit-identical to a never-interrupted run because cell
+ * execution is deterministic. A torn trailing record (the crash hit
+ * mid-append) is detected by its checksum and dropped; a corrupt
+ * header is fatal (the journal is regenerable only by re-running
+ * the job).
+ */
+
+#ifndef BMC_SERVE_JOURNAL_HH
+#define BMC_SERVE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bmc::serve
+{
+
+/** Journal file-format version. Listed in EXPERIMENTS.md's
+ *  schema-version registry. */
+constexpr std::uint32_t kServeJournalVersion = 1;
+
+/** Immutable per-job facts written once at job start. */
+struct JournalHeader
+{
+    std::string jobId;
+    /** Canonical jobSpecToJson() of the submitted spec. */
+    std::string specJson;
+    std::uint64_t totalCells = 0;
+    /** Effective seed of every cell (after derive_seeds), for
+     *  reproducing any single cell without the daemon. */
+    std::vector<std::uint64_t> cellSeeds;
+};
+
+/** One flushed-row record. */
+struct JournalEntry
+{
+    std::uint64_t cell = 0;
+    /** Byte offset of the row's line in the results JSONL. */
+    std::uint64_t offset = 0;
+    /** Line length excluding the trailing '\n'. */
+    std::uint32_t length = 0;
+    bool ok = false;
+};
+
+/** Appends header + records with a flush after every write. */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Create/truncate @p path and persist @p header
+     *  (bmc_fatal on I/O error). */
+    void create(const std::string &path,
+                const JournalHeader &header);
+
+    /** Reopen an existing journal for appending (resume path). */
+    void openAppend(const std::string &path);
+
+    /** Append one record and flush it to the OS. */
+    void append(const JournalEntry &e);
+
+    void close();
+    bool isOpen() const { return f_ != nullptr; }
+
+  private:
+    std::FILE *f_ = nullptr;
+};
+
+/** Everything recovered from a journal file. */
+struct JournalState
+{
+    JournalHeader header;
+    /** Validated contiguous prefix: entries[i].cell == i. */
+    std::vector<JournalEntry> entries;
+    /** JSONL bytes the entries cover (offset + length + newline of
+     *  the last entry; 0 when empty). Resume truncates the results
+     *  file to exactly this size. */
+    std::uint64_t coveredBytes = 0;
+};
+
+/**
+ * Read a journal back. A torn trailing record is dropped with a
+ * warning; a corrupt header, out-of-order record, or version /
+ * endianness mismatch is bmc_fatal.
+ */
+JournalState readJournal(const std::string &path);
+
+} // namespace bmc::serve
+
+#endif // BMC_SERVE_JOURNAL_HH

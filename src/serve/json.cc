@@ -1,0 +1,465 @@
+#include "serve/json.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace bmc::serve
+{
+
+namespace
+{
+
+/** Recursive-descent parser over one in-memory document. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        err_ = strfmt("json: %s at byte %zu", what.c_str(), pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kJsonMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.strVal);
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out.type = JsonValue::Type::Bool;
+            out.boolVal = true;
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out.type = JsonValue::Type::Bool;
+            out.boolVal = false;
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out.type = JsonValue::Type::Null;
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.type = JsonValue::Type::Object;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue val;
+            if (!parseValue(val, depth + 1))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(val));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.type = JsonValue::Type::Array;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue val;
+            if (!parseValue(val, depth + 1))
+                return false;
+            out.arr.push_back(std::move(val));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control char in string");
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (!appendUnicodeEscape(out))
+                    return false;
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    appendUnicodeEscape(std::string &out)
+    {
+        if (text_.size() - pos_ < 4)
+            return fail("truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+                cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                return fail("bad hex in \\u escape");
+        }
+        pos_ += 4;
+        if (cp >= 0xd800 && cp <= 0xdfff)
+            return fail("surrogate \\u escape unsupported");
+        // Encode the BMP code point as UTF-8.
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        std::size_t digits = 0;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0)
+            return fail("expected a value");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            std::size_t frac = 0;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+                ++frac;
+            }
+            if (frac == 0)
+                return fail("bad number");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            std::size_t exp = 0;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+                ++exp;
+            }
+            if (exp == 0)
+                return fail("bad exponent");
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        out.type = JsonValue::Type::Number;
+        out.numVal = std::strtod(token.c_str(), nullptr);
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &err_;
+    std::size_t pos_ = 0;
+};
+
+} // anonymous namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[name, value] : obj) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::getString(const std::string &key,
+                     const std::string &def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->strVal : def;
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->boolVal : def;
+}
+
+double
+JsonValue::getNumber(const std::string &key, double def) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->numVal : def;
+}
+
+bool
+JsonValue::getUint(const std::string &key, std::uint64_t &out,
+                   std::uint64_t def) const
+{
+    const JsonValue *v = find(key);
+    if (!v) {
+        out = def;
+        return true;
+    }
+    return jsonToUint(*v, out);
+}
+
+bool
+jsonToUint(const JsonValue &v, std::uint64_t &out)
+{
+    if (!v.isNumber() || v.numVal < 0)
+        return false;
+    // Above 2^53 doubles are no longer exact integers, so a u64
+    // round-tripped through JSON would silently change value.
+    if (v.numVal > 9007199254740992.0)
+        return false;
+    if (v.numVal != std::floor(v.numVal))
+        return false;
+    out = static_cast<std::uint64_t>(v.numVal);
+    return true;
+}
+
+bool
+jsonParse(const std::string &text, JsonValue &out, std::string &err)
+{
+    out = JsonValue{};
+    Parser p(text, err);
+    return p.parseDocument(out);
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonSerialize(const JsonValue &v)
+{
+    switch (v.type) {
+      case JsonValue::Type::Null:
+        return "null";
+      case JsonValue::Type::Bool:
+        return v.boolVal ? "true" : "false";
+      case JsonValue::Type::Number: {
+        // %.17g round-trips every double exactly.
+        std::string s = strfmt("%.17g", v.numVal);
+        return s;
+      }
+      case JsonValue::Type::String:
+        return jsonQuote(v.strVal);
+      case JsonValue::Type::Array: {
+        std::string s = "[";
+        for (std::size_t i = 0; i < v.arr.size(); ++i) {
+            if (i)
+                s += ", ";
+            s += jsonSerialize(v.arr[i]);
+        }
+        s += "]";
+        return s;
+      }
+      case JsonValue::Type::Object: {
+        std::string s = "{";
+        for (std::size_t i = 0; i < v.obj.size(); ++i) {
+            if (i)
+                s += ", ";
+            s += jsonQuote(v.obj[i].first);
+            s += ": ";
+            s += jsonSerialize(v.obj[i].second);
+        }
+        s += "}";
+        return s;
+      }
+    }
+    return "null";
+}
+
+} // namespace bmc::serve

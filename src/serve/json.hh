@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal JSON document model and parser for the serve protocol.
+ *
+ * The daemon's wire format is JSON, so the serve layer needs a real
+ * parser (unlike sim/catalog's "key": value extractor, which only
+ * reads machine-generated rows). This one is deliberately small and
+ * defensive: recursive descent with a hard nesting-depth cap, every
+ * malformed input reported through an error string (never bmc_fatal
+ * -- a hostile frame must not kill the daemon), and objects stored
+ * as insertion-ordered key/value vectors so serialization never
+ * iterates an unordered container (bmclint `no-unordered-iter`).
+ *
+ * Scope: UTF-8 text, numbers via strtod, \uXXXX escapes for the
+ * Basic Multilingual Plane only (surrogate pairs are rejected).
+ * That covers everything the job-spec schema and the protocol
+ * replies produce; the malformed-request corpus in
+ * tests/corpus/serve/ pins the rejection paths.
+ */
+
+#ifndef BMC_SERVE_JSON_HH
+#define BMC_SERVE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bmc::serve
+{
+
+/** Maximum container nesting depth jsonParse accepts. */
+constexpr int kJsonMaxDepth = 64;
+
+/** One parsed JSON value (a tagged tree). */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolVal = false;
+    double numVal = 0.0;
+    std::string strVal;
+    std::vector<JsonValue> arr;
+    /** Object members in document order (duplicates kept; find()
+     *  returns the first). */
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** First member named @p key, or null (objects only). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member @p key as a string; @p def when absent/not a string. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+
+    /** Member @p key as a bool; @p def when absent/not a bool. */
+    bool getBool(const std::string &key, bool def = false) const;
+
+    /** Member @p key as a double; @p def when absent/non-numeric. */
+    double getNumber(const std::string &key, double def = 0.0) const;
+
+    /**
+     * Member @p key as an unsigned integer; @p def when absent.
+     * False (out untouched) when present but not a non-negative
+     * integral number.
+     */
+    bool getUint(const std::string &key, std::uint64_t &out,
+                 std::uint64_t def) const;
+};
+
+/**
+ * Convert a JSON number to an exact unsigned integer. False for
+ * non-numbers, negatives, fractions, and values above 2^53 (where
+ * doubles stop being exact).
+ */
+bool jsonToUint(const JsonValue &v, std::uint64_t &out);
+
+/**
+ * Parse one JSON document. On success fills @p out and returns true;
+ * on any syntax error (including trailing garbage and over-deep
+ * nesting) returns false with a position-stamped message in @p err.
+ * Never bmc_fatal: the daemon parses attacker-shaped bytes.
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string &err);
+
+/** @p s as a quoted JSON string literal (escapes included). */
+std::string jsonQuote(const std::string &s);
+
+/** Serialize @p v back to compact JSON (object order preserved). */
+std::string jsonSerialize(const JsonValue &v);
+
+} // namespace bmc::serve
+
+#endif // BMC_SERVE_JSON_HH

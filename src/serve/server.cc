@@ -1,0 +1,1036 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/wallclock.hh"
+#include "serve/frame.hh"
+#include "serve/worker.hh"
+#include "sim/catalog.hh"
+#include "sim/sweep.hh"
+
+namespace bmc::serve
+{
+
+namespace
+{
+
+std::string
+errorReply(const std::string &msg)
+{
+    return strfmt("{\"ok\": false, \"error\": %s}",
+                  jsonQuote(msg).c_str());
+}
+
+std::string
+rowFrameJson(std::uint64_t index, const std::string &line)
+{
+    return strfmt("{\"ok\": true, \"type\": \"row\", "
+                  "\"index\": %" PRIu64 ", \"line\": %s}",
+                  index, jsonQuote(line).c_str());
+}
+
+/**
+ * The deterministic ok=false row for a cell whose worker died.
+ * Built from the same spec-derived identity a live worker would
+ * have used, so the row text is independent of which worker died
+ * and when.
+ */
+std::string
+deadRowLine(const JobSpec &spec,
+            const std::vector<sim::RunSpec> &runs,
+            std::uint64_t cell)
+{
+    if (spec.kind == "fuzz") {
+        return fuzzRowJson(
+            cell, sim::deriveRunSeed(spec.sweep.seed, cell), 0,
+            false, kWorkerDiedError);
+    }
+    sim::RunSpec rs = runs[cell];
+    if (spec.deriveSeeds)
+        rs.cfg.seed = sim::deriveRunSeed(spec.sweep.seed, cell);
+    return sim::runResultToJsonLine(
+        sim::failedRunResult(rs, cell, kWorkerDiedError));
+}
+
+} // anonymous namespace
+
+const char *
+Server::jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Cancelled:
+        return "cancelled";
+      case JobState::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+Server::Server(const ServerConfig &cfg) : cfg_(cfg)
+{
+    bmc_assert(cfg_.workers > 0, "need at least one worker");
+    bmc_assert(cfg_.subscriberQueueCap > 0,
+               "subscriber queue cap must be positive");
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    bmc_assert(!started_, "server already started");
+    ignoreSigpipe();
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.stateDir, ec);
+
+    resumeJournals();
+
+    std::string err;
+    listenFd_ = listenUnixSocket(cfg_.socketPath, err);
+    if (listenFd_ < 0)
+        bmc_fatal("serve: %s", err.c_str());
+    started_ = true;
+    stopping_ = false;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::stop()
+{
+    if (!started_)
+        return;
+    started_ = false;
+    stopping_ = true;
+
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // Unblock connection threads stuck in read/write, and wake
+    // every job runner and subscriber.
+    {
+        std::lock_guard<std::mutex> lk(connMutex_);
+        for (const int fd : connFds_) {
+            if (fd >= 0)
+                ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    std::vector<std::shared_ptr<Job>> jobs;
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        for (const auto &[id, job] : jobs_) {
+            (void)id;
+            jobs.push_back(job);
+        }
+    }
+    for (const auto &job : jobs) {
+        job->cancel = true;
+        std::lock_guard<std::mutex> jl(job->m);
+        for (const auto &sub : job->subs) {
+            std::lock_guard<std::mutex> sl(sub->m);
+            sub->dead = true;
+            sub->end = true;
+            sub->cv.notify_all();
+        }
+    }
+    {
+        std::vector<std::thread> threads;
+        {
+            std::lock_guard<std::mutex> lk(connMutex_);
+            threads.swap(connThreads_);
+        }
+        for (std::thread &t : threads) {
+            if (t.joinable())
+                t.join();
+        }
+        std::lock_guard<std::mutex> lk(connMutex_);
+        for (int &fd : connFds_) {
+            if (fd >= 0) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+    }
+    for (const auto &job : jobs) {
+        if (job->runner.joinable())
+            job->runner.join();
+    }
+    ::unlink(cfg_.socketPath.c_str());
+}
+
+bool
+Server::waitIdle(double timeout_seconds) const
+{
+    const WallInstant start = wallNow();
+    for (;;) {
+        bool idle = true;
+        {
+            std::lock_guard<std::mutex> lk(jobsMutex_);
+            for (const auto &[id, job] : jobs_) {
+                (void)id;
+                std::lock_guard<std::mutex> jl(job->m);
+                idle = idle && job->state != JobState::Running;
+            }
+        }
+        if (idle)
+            return true;
+        if (wallSecondsSince(start) > timeout_seconds)
+            return false;
+        wallSleep(0.02);
+    }
+}
+
+ServeStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lk(statsMutex_);
+    return stats_;
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_) {
+        const int fd = acceptConnection(listenFd_);
+        if (fd < 0)
+            return; // listener closed by stop()
+        std::lock_guard<std::mutex> lk(connMutex_);
+        const std::size_t slot = connFds_.size();
+        connFds_.push_back(fd);
+        connThreads_.emplace_back([this, fd, slot] {
+            connectionLoop(fd);
+            std::lock_guard<std::mutex> cl(connMutex_);
+            if (slot < connFds_.size() && connFds_[slot] == fd) {
+                ::close(fd);
+                connFds_[slot] = -1;
+            }
+        });
+    }
+}
+
+void
+Server::connectionLoop(int fd)
+{
+    std::string payload;
+    while (!stopping_) {
+        const FrameStatus fs = readFrame(fd, payload);
+        if (fs == FrameStatus::Eof ||
+            fs == FrameStatus::Truncated ||
+            fs == FrameStatus::IoError) {
+            if (fs != FrameStatus::Eof) {
+                std::lock_guard<std::mutex> lk(statsMutex_);
+                ++stats_.framesRejected;
+            }
+            return;
+        }
+        if (fs == FrameStatus::BadMagic ||
+            fs == FrameStatus::Oversized) {
+            // The stream position is unusable; answer once and
+            // drop the connection. The daemon itself lives on.
+            {
+                std::lock_guard<std::mutex> lk(statsMutex_);
+                ++stats_.framesRejected;
+            }
+            writeFrame(fd,
+                       errorReply(strfmt("bad frame (%s)",
+                                         frameStatusName(fs))));
+            return;
+        }
+        JsonValue req;
+        std::string err;
+        if (!jsonParse(payload, req, err)) {
+            {
+                std::lock_guard<std::mutex> lk(statsMutex_);
+                ++stats_.framesRejected;
+            }
+            // Framing is still intact, so the connection can
+            // carry further requests.
+            if (!writeFrame(fd, errorReply(err)))
+                return;
+            continue;
+        }
+        const std::string type = req.getString("type");
+        if (type == "results") {
+            handleResults(fd, req);
+            continue;
+        }
+        std::string reply;
+        if (type == "ping") {
+            reply = strfmt("{\"ok\": true, \"type\": \"pong\", "
+                           "\"protocol_version\": %u}",
+                           kServeProtocolVersion);
+        } else if (type == "submit") {
+            reply = handleSubmit(req);
+        } else if (type == "status") {
+            reply = handleStatus();
+        } else if (type == "cancel") {
+            reply = handleCancel(req);
+        } else if (type == "shutdown") {
+            writeFrame(fd, "{\"ok\": true, \"type\": "
+                           "\"stopping\"}");
+            stopRequested_ = true;
+            return;
+        } else {
+            reply = errorReply(
+                strfmt("unknown request type '%s'", type.c_str()));
+        }
+        if (!writeFrame(fd, reply))
+            return;
+    }
+}
+
+std::string
+Server::handleSubmit(const JsonValue &req)
+{
+    const JsonValue *specDoc = req.find("spec");
+    if (!specDoc)
+        return errorReply("submit needs a 'spec' object");
+    JobSpec spec;
+    std::string err;
+    if (!parseJobSpec(*specDoc, spec, err))
+        return errorReply(err);
+
+    // Enumerate the cells now: a spec with a bad scheme/workload is
+    // rejected at submit time, not inside a worker.
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> seeds;
+    if (spec.kind == "sweep") {
+        ScopedThrowErrors throw_guard;
+        try {
+            const std::vector<sim::RunSpec> runs =
+                sim::buildSweepRuns(spec.sweep);
+            total = runs.size();
+            seeds.reserve(total);
+            for (std::uint64_t i = 0; i < total; ++i) {
+                seeds.push_back(
+                    spec.deriveSeeds
+                        ? sim::deriveRunSeed(spec.sweep.seed, i)
+                        : runs[i].cfg.seed);
+            }
+        } catch (const std::exception &e) {
+            return errorReply(e.what());
+        }
+    } else {
+        total = spec.fuzzSeeds;
+        seeds.reserve(total);
+        for (std::uint64_t i = 0; i < total; ++i)
+            seeds.push_back(
+                sim::deriveRunSeed(spec.sweep.seed, i));
+    }
+    if (total == 0)
+        return errorReply("job has no cells");
+
+    auto job = std::make_shared<Job>();
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        job->id = spec.name.empty()
+                      ? strfmt("job%04u", nextJobSeq_++)
+                      : spec.name;
+        if (jobs_.find(job->id) != jobs_.end()) {
+            return errorReply(strfmt("job '%s' already exists",
+                                     job->id.c_str()));
+        }
+        job->spec = spec;
+        job->totalCells = total;
+        job->resultsPath =
+            cfg_.stateDir + "/" + job->id + ".jsonl";
+        job->journalPath =
+            cfg_.stateDir + "/" + job->id + ".jnl";
+
+        // Persist the journal header before the first worker runs:
+        // from here on a daemon crash leaves a resumable job.
+        JournalHeader header;
+        header.jobId = job->id;
+        header.specJson = jobSpecToJson(spec);
+        header.totalCells = total;
+        header.cellSeeds = std::move(seeds);
+        {
+            JournalWriter journal;
+            journal.create(job->journalPath, header);
+        }
+        std::ofstream results(job->resultsPath,
+                              std::ios::out | std::ios::trunc);
+        if (!results) {
+            return errorReply(
+                strfmt("cannot create results file '%s'",
+                       job->resultsPath.c_str()));
+        }
+        jobs_[job->id] = job;
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        ++stats_.jobsSubmitted;
+    }
+    job->runner = std::thread([this, job] { runJob(job); });
+    return strfmt("{\"ok\": true, \"type\": \"submitted\", "
+                  "\"job\": %s, \"cells\": %" PRIu64 "}",
+                  jsonQuote(job->id).c_str(), total);
+}
+
+std::string
+Server::handleStatus() const
+{
+    std::string out =
+        strfmt("{\"ok\": true, \"type\": \"status\", "
+               "\"protocol_version\": %u, \"jobs\": [",
+               kServeProtocolVersion);
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        bool first = true;
+        for (const auto &[id, job] : jobs_) {
+            std::lock_guard<std::mutex> jl(job->m);
+            if (!first)
+                out += ", ";
+            first = false;
+            out += strfmt(
+                "{\"job\": %s, \"kind\": %s, \"state\": \"%s\", "
+                "\"cells\": %" PRIu64 ", \"flushed\": %" PRIu64
+                ", \"failed\": %" PRIu64,
+                jsonQuote(id).c_str(),
+                jsonQuote(job->spec.kind).c_str(),
+                jobStateName(job->state), job->totalCells,
+                job->flushedCells, job->failedCells);
+            if (!job->error.empty()) {
+                out += ", \"error\": ";
+                out += jsonQuote(job->error);
+            }
+            out += "}";
+        }
+    }
+    out += "], \"stats\": ";
+    const ServeStats st = stats();
+    out += strfmt(
+        "{\"jobs_submitted\": %" PRIu64
+        ", \"jobs_completed\": %" PRIu64
+        ", \"jobs_resumed\": %" PRIu64
+        ", \"frames_rejected\": %" PRIu64
+        ", \"worker_restarts\": %" PRIu64
+        ", \"rows_flushed\": %" PRIu64
+        ", \"max_subscriber_queue\": %zu}}",
+        st.jobsSubmitted, st.jobsCompleted, st.jobsResumed,
+        st.framesRejected, st.workerRestarts, st.rowsFlushed,
+        st.maxSubscriberQueue);
+    return out;
+}
+
+std::string
+Server::handleCancel(const JsonValue &req)
+{
+    const std::string id = req.getString("job");
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        const auto it = jobs_.find(id);
+        if (it != jobs_.end())
+            job = it->second;
+    }
+    if (!job)
+        return errorReply(strfmt("no such job '%s'", id.c_str()));
+    job->cancel = true;
+    std::lock_guard<std::mutex> jl(job->m);
+    return strfmt("{\"ok\": true, \"type\": \"cancelling\", "
+                  "\"job\": %s, \"state\": \"%s\"}",
+                  jsonQuote(id).c_str(),
+                  jobStateName(job->state));
+}
+
+void
+Server::handleResults(int fd, const JsonValue &req)
+{
+    const std::string id = req.getString("job");
+    const bool follow = req.getBool("follow", false);
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lk(jobsMutex_);
+        const auto it = jobs_.find(id);
+        if (it != jobs_.end())
+            job = it->second;
+    }
+    if (!job) {
+        writeFrame(fd, errorReply(strfmt("no such job '%s'",
+                                         id.c_str())));
+        return;
+    }
+
+    // Register the live subscriber *before* snapshotting the
+    // replay range, under the job lock: every row is either inside
+    // [0, covered) in the file or arrives on the queue -- exactly
+    // once, no gap.
+    std::shared_ptr<Subscriber> sub;
+    std::uint64_t covered = 0;
+    std::uint64_t index = 0;
+    {
+        std::lock_guard<std::mutex> jl(job->m);
+        covered = job->coveredBytes;
+        if (follow && job->state == JobState::Running) {
+            sub = std::make_shared<Subscriber>();
+            job->subs.push_back(sub);
+        }
+    }
+
+    bool sendOk = true;
+    {
+        std::ifstream in(job->resultsPath, std::ios::binary);
+        std::string text(covered, '\0');
+        if (covered > 0 &&
+            (!in || !in.read(text.data(),
+                             static_cast<std::streamsize>(
+                                 covered)))) {
+            sendOk = false;
+        }
+        std::size_t pos = 0;
+        while (sendOk && pos < text.size()) {
+            const std::size_t nl = text.find('\n', pos);
+            const std::size_t end =
+                nl == std::string::npos ? text.size() : nl;
+            sendOk = writeFrame(
+                fd, rowFrameJson(index,
+                                 text.substr(pos, end - pos)));
+            ++index;
+            pos = end + 1;
+        }
+    }
+
+    if (sub) {
+        while (sendOk) {
+            std::deque<std::string> batch;
+            {
+                std::unique_lock<std::mutex> sl(sub->m);
+                sub->cv.wait(sl, [&] {
+                    return !sub->q.empty() || sub->end ||
+                           sub->dead;
+                });
+                if (sub->q.empty() && (sub->end || sub->dead))
+                    break;
+                batch.swap(sub->q);
+                sub->cv.notify_all(); // wake a blocked producer
+            }
+            for (const std::string &frame : batch) {
+                sendOk = sendOk && writeFrame(fd, frame);
+            }
+        }
+        {
+            std::lock_guard<std::mutex> sl(sub->m);
+            sub->dead = true;
+            sub->cv.notify_all();
+        }
+        std::lock_guard<std::mutex> jl(job->m);
+        const auto it =
+            std::find(job->subs.begin(), job->subs.end(), sub);
+        if (it != job->subs.end())
+            job->subs.erase(it);
+    }
+
+    std::lock_guard<std::mutex> jl(job->m);
+    writeFrame(fd,
+               strfmt("{\"ok\": true, \"type\": \"end\", "
+                      "\"job\": %s, \"state\": \"%s\", "
+                      "\"flushed\": %" PRIu64
+                      ", \"failed\": %" PRIu64 "}",
+                      jsonQuote(id).c_str(),
+                      jobStateName(job->state),
+                      job->flushedCells, job->failedCells));
+}
+
+void
+Server::resumeJournals()
+{
+    std::vector<std::string> paths;
+    {
+        std::error_code ec;
+        std::filesystem::directory_iterator it(cfg_.stateDir, ec);
+        if (ec)
+            return;
+        for (const auto &entry : it) {
+            if (entry.path().extension() == ".jnl")
+                paths.push_back(entry.path().string());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+
+    for (const std::string &path : paths) {
+        ScopedThrowErrors throw_guard;
+        JournalState js;
+        JobSpec spec;
+        std::string err;
+        try {
+            js = readJournal(path);
+        } catch (const std::exception &e) {
+            bmc_warn("serve: skipping journal '%s': %s",
+                     path.c_str(), e.what());
+            continue;
+        }
+        if (!parseJobSpec(js.header.specJson, spec, err)) {
+            bmc_warn("serve: skipping journal '%s': %s",
+                     path.c_str(), err.c_str());
+            continue;
+        }
+
+        auto job = std::make_shared<Job>();
+        job->id = js.header.jobId;
+        job->spec = spec;
+        job->totalCells = js.header.totalCells;
+        job->startCell = js.entries.size();
+        job->resultsPath =
+            cfg_.stateDir + "/" + job->id + ".jsonl";
+        job->journalPath = path;
+        job->flushedCells = js.entries.size();
+        for (const JournalEntry &e : js.entries)
+            job->failedCells += e.ok ? 0 : 1;
+        job->coveredBytes = js.coveredBytes;
+
+        // Track the auto-id sequence past resumed auto-named jobs.
+        unsigned seq = 0;
+        if (std::sscanf(job->id.c_str(), "job%u", &seq) == 1)
+            nextJobSeq_ = std::max(nextJobSeq_, seq + 1);
+
+        if (job->startCell >= job->totalCells) {
+            job->state = JobState::Done;
+            std::lock_guard<std::mutex> lk(jobsMutex_);
+            jobs_[job->id] = job;
+            continue;
+        }
+
+        // Roll the results file back to exactly the journaled
+        // prefix; anything past it was never acknowledged.
+        std::error_code ec;
+        const auto haveBytes = std::filesystem::file_size(
+            job->resultsPath, ec);
+        if (ec || haveBytes < job->coveredBytes) {
+            bmc_warn("serve: skipping journal '%s': results file "
+                     "shorter than the journaled prefix",
+                     path.c_str());
+            continue;
+        }
+        std::filesystem::resize_file(job->resultsPath,
+                                     job->coveredBytes, ec);
+        if (ec) {
+            bmc_warn("serve: skipping journal '%s': cannot "
+                     "truncate results file",
+                     path.c_str());
+            continue;
+        }
+
+        {
+            std::lock_guard<std::mutex> lk(jobsMutex_);
+            jobs_[job->id] = job;
+        }
+        {
+            std::lock_guard<std::mutex> lk(statsMutex_);
+            ++stats_.jobsResumed;
+        }
+        job->runner = std::thread([this, job] { runJob(job); });
+    }
+}
+
+bool
+Server::spawnWorker(const std::shared_ptr<Job> &job, WorkerProc &w,
+                    unsigned slot)
+{
+    int sp[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0)
+        return false;
+    // Parent end must not leak into the worker; the child end must
+    // survive exec, so only sp[0] is close-on-exec.
+    ::fcntl(sp[0], F_SETFD, FD_CLOEXEC);
+
+    const std::string fdArg = strfmt("--serve-worker=%d", sp[1]);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(sp[0]);
+        ::close(sp[1]);
+        return false;
+    }
+    if (pid == 0) {
+        ::execl(cfg_.workerBinary.c_str(),
+                cfg_.workerBinary.c_str(), fdArg.c_str(),
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    ::close(sp[1]);
+    w.pid = pid;
+    w.fd = sp[0];
+    w.ready = false;
+    w.busy = false;
+
+    const std::string prepare = strfmt(
+        "{\"type\": \"prepare\", \"spec_json\": %s, "
+        "\"tmp_dir\": %s}",
+        jsonQuote(jobSpecToJson(job->spec)).c_str(),
+        jsonQuote(strfmt("%s/tmp.%s.w%u", cfg_.stateDir.c_str(),
+                         job->id.c_str(), slot))
+            .c_str());
+    if (!writeFrame(w.fd, prepare)) {
+        reapWorker(w);
+        return false;
+    }
+    return true;
+}
+
+void
+Server::reapWorker(WorkerProc &w)
+{
+    if (w.fd >= 0) {
+        ::close(w.fd);
+        w.fd = -1;
+    }
+    if (w.pid > 0) {
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.pid = -1;
+    }
+    w.busy = false;
+    w.ready = false;
+}
+
+void
+Server::flushRow(const std::shared_ptr<Job> &job,
+                 JournalWriter &journal, std::ofstream &jsonl,
+                 std::uint64_t cell, bool row_ok,
+                 const std::string &line)
+{
+    // JSONL first, journal second: the journal acknowledges only
+    // bytes that are already in the results file, so resume can
+    // always truncate forward to a journaled state.
+    jsonl << line << '\n';
+    jsonl.flush();
+
+    JournalEntry e;
+    e.cell = cell;
+    e.offset = job->coveredBytes;
+    e.length = static_cast<std::uint32_t>(line.size());
+    e.ok = row_ok;
+    journal.append(e);
+
+    std::vector<std::shared_ptr<Subscriber>> subs;
+    {
+        std::lock_guard<std::mutex> jl(job->m);
+        job->coveredBytes += line.size() + 1;
+        ++job->flushedCells;
+        if (!row_ok)
+            ++job->failedCells;
+        subs = job->subs;
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        ++stats_.rowsFlushed;
+    }
+
+    const std::string frame = rowFrameJson(cell, line);
+    for (const auto &sub : subs) {
+        std::unique_lock<std::mutex> sl(sub->m);
+        // Bounded queue: block (backpressure) until the consumer
+        // drains or goes away. The wait is interruptible so a
+        // daemon shutdown never hangs on a stuck consumer.
+        while (sub->q.size() >= cfg_.subscriberQueueCap &&
+               !sub->dead && !stopping_ && !job->cancel) {
+            sub->cv.wait_for(sl, wallDuration(0.1));
+        }
+        if (sub->dead || sub->q.size() >= cfg_.subscriberQueueCap)
+            continue;
+        sub->q.push_back(frame);
+        {
+            std::lock_guard<std::mutex> lk(statsMutex_);
+            stats_.maxSubscriberQueue = std::max(
+                stats_.maxSubscriberQueue, sub->q.size());
+        }
+        sub->cv.notify_all();
+    }
+}
+
+void
+Server::finishJob(const std::shared_ptr<Job> &job,
+                  JobState final_state)
+{
+    if (final_state == JobState::Done && job->spec.catalog) {
+        // Same sidecar bmcsweep --catalog writes: derived from the
+        // JSONL text, so CLI-written and daemon-written indexes
+        // are bit-identical.
+        try {
+            sim::rebuildCatalogIndex(job->resultsPath);
+        } catch (const std::exception &e) {
+            bmc_warn("serve: catalog index for job '%s' failed: "
+                     "%s",
+                     job->id.c_str(), e.what());
+        }
+    }
+    std::vector<std::shared_ptr<Subscriber>> subs;
+    {
+        std::lock_guard<std::mutex> jl(job->m);
+        job->state = final_state;
+        subs = job->subs;
+    }
+    for (const auto &sub : subs) {
+        std::lock_guard<std::mutex> sl(sub->m);
+        sub->end = true;
+        sub->cv.notify_all();
+    }
+    if (final_state == JobState::Done) {
+        std::lock_guard<std::mutex> lk(statsMutex_);
+        ++stats_.jobsCompleted;
+    }
+}
+
+void
+Server::runJob(const std::shared_ptr<Job> &job)
+{
+    // SimError isolation for spec re-validation and catalog
+    // rebuilds; cell execution itself happens in worker processes.
+    ScopedThrowErrors throw_guard;
+
+    std::vector<sim::RunSpec> runs;
+    if (job->spec.kind == "sweep") {
+        try {
+            runs = sim::buildSweepRuns(job->spec.sweep);
+        } catch (const std::exception &e) {
+            {
+                std::lock_guard<std::mutex> jl(job->m);
+                job->error = e.what();
+            }
+            finishJob(job, JobState::Failed);
+            return;
+        }
+    }
+
+    JournalWriter journal;
+    journal.openAppend(job->journalPath);
+    std::ofstream jsonl(job->resultsPath,
+                        std::ios::out | std::ios::app);
+    if (!jsonl) {
+        {
+            std::lock_guard<std::mutex> jl(job->m);
+            job->error = "cannot open results file";
+        }
+        finishJob(job, JobState::Failed);
+        return;
+    }
+
+    const std::uint64_t total = job->totalCells;
+    std::uint64_t nextCell = job->startCell;
+    std::uint64_t flushedNext = job->startCell;
+    std::map<std::uint64_t, std::pair<bool, std::string>> staged;
+
+    const std::uint64_t remaining = total - job->startCell;
+    const unsigned nworkers = static_cast<unsigned>(std::min<
+        std::uint64_t>(cfg_.workers, remaining));
+    std::vector<WorkerProc> pool(std::max(1u, nworkers));
+    bool poolFailed = false;
+    for (unsigned slot = 0; slot < pool.size(); ++slot) {
+        if (!spawnWorker(job, pool[slot], slot))
+            poolFailed = true;
+    }
+
+    while (!poolFailed && flushedNext < total && !stopping_ &&
+           !job->cancel) {
+        // Hand cells to idle workers in index order. Assignment
+        // order does not matter for the output -- rows flush in
+        // cell order regardless -- only for utilization.
+        for (WorkerProc &w : pool) {
+            if (w.fd < 0 || !w.ready || w.busy)
+                continue;
+            if (nextCell >= total) {
+                writeFrame(w.fd, "{\"type\": \"exit\"}");
+                reapWorker(w);
+                continue;
+            }
+            w.cell = nextCell++;
+            w.busy = true;
+            if (!writeFrame(w.fd,
+                            strfmt("{\"type\": \"cell\", "
+                                   "\"index\": %" PRIu64 "}",
+                                   w.cell))) {
+                // Treated exactly like a death mid-cell below.
+                staged[w.cell] = {false,
+                                  deadRowLine(job->spec, runs,
+                                              w.cell)};
+                {
+                    std::lock_guard<std::mutex> lk(statsMutex_);
+                    ++stats_.workerRestarts;
+                }
+                reapWorker(w);
+            }
+        }
+
+        std::vector<pollfd> pfds;
+        std::vector<WorkerProc *> pfdWorker;
+        for (WorkerProc &w : pool) {
+            if (w.fd < 0)
+                continue;
+            pfds.push_back(pollfd{w.fd, POLLIN, 0});
+            pfdWorker.push_back(&w);
+        }
+        if (pfds.empty()) {
+            if (flushedNext >= total)
+                break;
+            // Every worker is gone with cells outstanding:
+            // respawn one so the job can make progress.
+            bool respawned = false;
+            for (unsigned slot = 0;
+                 slot < pool.size() && !respawned; ++slot) {
+                if (pool[slot].prepareDeaths < 3) {
+                    respawned =
+                        spawnWorker(job, pool[slot], slot);
+                }
+            }
+            if (!respawned) {
+                poolFailed = true;
+                break;
+            }
+            continue;
+        }
+        const int rc =
+            ::poll(pfds.data(),
+                   static_cast<nfds_t>(pfds.size()), 200);
+        if (rc < 0 && errno != EINTR) {
+            poolFailed = true;
+            break;
+        }
+
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            WorkerProc &w = *pfdWorker[i];
+            std::string payload;
+            const FrameStatus fs = readFrame(w.fd, payload);
+            bool healthy = fs == FrameStatus::Ok;
+            JsonValue reply;
+            std::string err;
+            if (healthy && !jsonParse(payload, reply, err))
+                healthy = false;
+            if (healthy) {
+                const std::string type =
+                    reply.getString("type");
+                if (type == "ready" &&
+                    reply.getBool("ok", false)) {
+                    w.ready = true;
+                    continue;
+                }
+                std::uint64_t index = 0;
+                if (type == "row" &&
+                    reply.getBool("ok", false) &&
+                    reply.getUint("index", index, 0) &&
+                    index == w.cell && w.busy) {
+                    const JsonValue *line =
+                        reply.find("line");
+                    if (line && line->isString()) {
+                        staged[index] = {
+                            reply.getBool("row_ok", false),
+                            line->strVal};
+                        w.busy = false;
+                        continue;
+                    }
+                }
+                // A reply we cannot interpret (including a
+                // prepare error): the worker is not trustworthy.
+                healthy = false;
+                if (!w.ready && !w.busy) {
+                    // Deterministic prepare failure -- the spec
+                    // re-validated badly inside the worker. Kill
+                    // the job rather than loop.
+                    std::lock_guard<std::mutex> jl(job->m);
+                    job->error =
+                        reply.getString("error",
+                                        "worker rejected job");
+                    poolFailed = true;
+                }
+            }
+            if (!healthy) {
+                if (w.busy) {
+                    staged[w.cell] = {
+                        false,
+                        deadRowLine(job->spec, runs, w.cell)};
+                    {
+                        std::lock_guard<std::mutex> lk(
+                            statsMutex_);
+                        ++stats_.workerRestarts;
+                    }
+                } else if (!w.ready) {
+                    ++w.prepareDeaths;
+                    if (w.prepareDeaths >= 3) {
+                        std::lock_guard<std::mutex> jl(job->m);
+                        if (job->error.empty())
+                            job->error = "worker pool failed "
+                                         "to start";
+                        poolFailed = true;
+                    }
+                }
+                const unsigned slot = static_cast<unsigned>(
+                    &w - pool.data());
+                const unsigned deaths = w.prepareDeaths;
+                reapWorker(w);
+                w.prepareDeaths = deaths;
+                const bool moreWork =
+                    nextCell < total ||
+                    !staged.empty() || flushedNext < total;
+                if (!poolFailed && moreWork &&
+                    w.prepareDeaths < 3) {
+                    spawnWorker(job, w, slot);
+                }
+            }
+        }
+
+        while (true) {
+            const auto it = staged.find(flushedNext);
+            if (it == staged.end())
+                break;
+            flushRow(job, journal, jsonl, flushedNext,
+                     it->second.first, it->second.second);
+            staged.erase(it);
+            ++flushedNext;
+        }
+    }
+
+    for (WorkerProc &w : pool) {
+        if (w.fd < 0)
+            continue;
+        if (flushedNext >= total && !w.busy) {
+            writeFrame(w.fd, "{\"type\": \"exit\"}");
+            reapWorker(w);
+        } else {
+            // Cancelled / failed / shutting down: the in-flight
+            // cell was never journaled, so a resume re-runs it.
+            if (w.pid > 0)
+                ::kill(w.pid, SIGKILL);
+            reapWorker(w);
+        }
+    }
+    journal.close();
+    jsonl.close();
+
+    JobState final_state = JobState::Done;
+    if (flushedNext < total) {
+        if (job->cancel || stopping_)
+            final_state = JobState::Cancelled;
+        else
+            final_state = JobState::Failed;
+    }
+    finishJob(job, final_state);
+}
+
+} // namespace bmc::serve

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The bmcserved daemon core: accept loop, job scheduler, worker
+ * pool, result streaming and crash-safe resume.
+ *
+ * One Server owns a Unix listening socket and a state directory.
+ * Each submitted job gets a scheduler thread that shards the job's
+ * cells across a pool of forked worker processes (serve/worker.hh),
+ * stages completed rows, and flushes them strictly in cell order to
+ * "<state>/<job>.jsonl" -- journaling every flushed row to
+ * "<state>/<job>.jnl" (serve/journal.hh) before acknowledging it
+ * anywhere. Because cell execution is deterministic and flushing is
+ * in-order, the same job produces bit-identical JSONL for any
+ * worker count, and a daemon killed mid-job resumes on restart by
+ * truncating the JSONL to the journal's covered bytes and running
+ * only the remaining cells.
+ *
+ * A worker that dies mid-cell (crash, injected fault) costs exactly
+ * that cell: the scheduler writes the deterministic ok=false row
+ * for it, reaps and replaces the worker, and the job continues.
+ *
+ * Result streaming ("results" requests with follow) is fan-out with
+ * bounded per-subscriber queues: the scheduler blocks when a
+ * subscriber's queue is full (backpressure bounds daemon memory), a
+ * dead consumer is dropped, and rows already flushed are replayed
+ * from the JSONL so a late subscriber sees every row exactly once.
+ */
+
+#ifndef BMC_SERVE_SERVER_HH
+#define BMC_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "serve/jobspec.hh"
+#include "serve/journal.hh"
+
+namespace bmc::serve
+{
+
+/** Daemon configuration (the bmcserved CLI maps onto this). */
+struct ServerConfig
+{
+    std::string socketPath;
+    /** Results, journals and worker scratch live here. */
+    std::string stateDir;
+    /** Worker processes per running job. */
+    unsigned workers = 2;
+    /** Binary to exec for workers (normally the daemon itself,
+     *  re-entered via --serve-worker). */
+    std::string workerBinary;
+    /** Row frames a slow "results --follow" consumer may queue
+     *  before the scheduler blocks on it. */
+    std::size_t subscriberQueueCap = 64;
+};
+
+/** Monotonic daemon counters (tests assert on these). */
+struct ServeStats
+{
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t jobsCompleted = 0;
+    std::uint64_t jobsResumed = 0;
+    std::uint64_t framesRejected = 0;
+    std::uint64_t workerRestarts = 0;
+    std::uint64_t rowsFlushed = 0;
+    /** High-water mark across all subscriber queues; never exceeds
+     *  subscriberQueueCap. */
+    std::size_t maxSubscriberQueue = 0;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &cfg);
+    ~Server();
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket, resume any half-finished journals found in
+     * the state directory, and start accepting connections.
+     * bmc_fatal if the socket cannot be bound.
+     */
+    void start();
+
+    /** Stop accepting, cancel running jobs (their progress stays
+     *  journaled and resumable), join every thread. Idempotent. */
+    void stop();
+
+    /** Set by a "shutdown" request; the daemon main loop polls it
+     *  and calls stop(). */
+    bool stopRequested() const { return stopRequested_.load(); }
+
+    /**
+     * Test helper: block until no job is running or @p timeout
+     * wall seconds pass. True when idle.
+     */
+    bool waitIdle(double timeout_seconds) const;
+
+    ServeStats stats() const;
+
+  private:
+    /** One streaming results consumer. */
+    struct Subscriber
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::deque<std::string> q; //!< serialized row frames
+        bool end = false;  //!< job finished; drain and stop
+        bool dead = false; //!< consumer gone; stop queueing
+    };
+
+    enum class JobState
+    {
+        Running,
+        Done,
+        Cancelled,
+        Failed,
+    };
+
+    static const char *jobStateName(JobState s);
+
+    /** One submitted (or resumed) job. */
+    struct Job
+    {
+        std::string id;
+        JobSpec spec;
+        std::string resultsPath;
+        std::string journalPath;
+        std::uint64_t totalCells = 0;
+        /** Cells already journaled when the scheduler starts
+         *  (resume offset). */
+        std::uint64_t startCell = 0;
+
+        mutable std::mutex m;
+        JobState state = JobState::Running;
+        std::uint64_t flushedCells = 0;
+        std::uint64_t failedCells = 0;
+        std::uint64_t coveredBytes = 0;
+        std::string error;
+        std::atomic<bool> cancel{false};
+        std::vector<std::shared_ptr<Subscriber>> subs;
+
+        std::thread runner;
+    };
+
+    /** One live worker process of a job's pool. */
+    struct WorkerProc
+    {
+        pid_t pid = -1;
+        int fd = -1;
+        bool ready = false; //!< prepare acknowledged
+        bool busy = false;
+        std::uint64_t cell = 0;
+        unsigned prepareDeaths = 0;
+    };
+
+    void acceptLoop();
+    void connectionLoop(int fd);
+    std::string handleRequest(int fd, const std::string &payload);
+    std::string handleSubmit(const JsonValue &req);
+    std::string handleStatus() const;
+    std::string handleCancel(const JsonValue &req);
+    void handleResults(int fd, const JsonValue &req);
+
+    void resumeJournals();
+    void runJob(const std::shared_ptr<Job> &job);
+    bool spawnWorker(const std::shared_ptr<Job> &job,
+                     WorkerProc &w, unsigned slot);
+    void reapWorker(WorkerProc &w);
+    void flushRow(const std::shared_ptr<Job> &job,
+                  JournalWriter &journal, std::ofstream &jsonl,
+                  std::uint64_t cell, bool row_ok,
+                  const std::string &line);
+    void finishJob(const std::shared_ptr<Job> &job,
+                   JobState final_state);
+
+    ServerConfig cfg_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopRequested_{false};
+    bool started_ = false;
+
+    std::thread acceptThread_;
+    std::mutex connMutex_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+
+    mutable std::mutex jobsMutex_;
+    std::map<std::string, std::shared_ptr<Job>> jobs_;
+    unsigned nextJobSeq_ = 0;
+
+    mutable std::mutex statsMutex_;
+    ServeStats stats_;
+};
+
+} // namespace bmc::serve
+
+#endif // BMC_SERVE_SERVER_HH

@@ -1,0 +1,292 @@
+#include "serve/worker.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "check/fuzz.hh"
+#include "common/logging.hh"
+#include "common/wallclock.hh"
+#include "serve/frame.hh"
+#include "serve/jobspec.hh"
+#include "serve/json.hh"
+#include "sim/sweep.hh"
+#include "sim/system.hh"
+
+namespace bmc::serve
+{
+
+namespace
+{
+
+/** Parsed BMC_SERVE_INJECT value. */
+struct InjectSpec
+{
+    enum class Kind
+    {
+        None,
+        WorkerCrash,
+        SlowCell,
+        ShortWrite,
+    };
+    Kind kind = Kind::None;
+    std::uint64_t cell = 0;
+    double seconds = 0.5;
+};
+
+InjectSpec
+injectFromEnv()
+{
+    InjectSpec out;
+    const char *val = std::getenv("BMC_SERVE_INJECT");
+    if (!val || !*val)
+        return out;
+    std::string s(val);
+    std::string name = s;
+    std::string rest;
+    const std::size_t colon = s.find(':');
+    if (colon != std::string::npos) {
+        name = s.substr(0, colon);
+        rest = s.substr(colon + 1);
+    }
+    if (name == "worker_crash")
+        out.kind = InjectSpec::Kind::WorkerCrash;
+    else if (name == "slow_cell")
+        out.kind = InjectSpec::Kind::SlowCell;
+    else if (name == "short_write")
+        out.kind = InjectSpec::Kind::ShortWrite;
+    else
+        bmc_fatal("BMC_SERVE_INJECT: unknown injection '%s'", val);
+    if (!rest.empty()) {
+        std::string cellStr = rest;
+        const std::size_t colon2 = rest.find(':');
+        if (colon2 != std::string::npos) {
+            cellStr = rest.substr(0, colon2);
+            out.seconds =
+                std::strtod(rest.substr(colon2 + 1).c_str(),
+                            nullptr) /
+                1000.0;
+        }
+        out.cell = std::strtoull(cellStr.c_str(), nullptr, 10);
+    }
+    return out;
+}
+
+/** All per-job state a worker holds between requests. */
+struct WorkerState
+{
+    JobSpec spec;
+    std::vector<sim::RunSpec> runs; // sweep jobs
+    std::uint64_t cells = 0;
+    std::string tmpDir;
+    /** Warm-state blobs keyed by warm identity ("" = that identity
+     *  cannot share; fall back to in-cell warm-up). */
+    std::map<std::string, std::string> warmCache;
+    bool prepared = false;
+};
+
+std::string
+errorReply(const std::string &msg)
+{
+    return strfmt("{\"ok\": false, \"error\": %s}",
+                  jsonQuote(msg).c_str());
+}
+
+/**
+ * Warm-state blob for @p rs, warmed once per identity and cached.
+ * Mirrors runSweep's shared warm-up groups: the serialized state of
+ * a freshly warmed System with the cell's exact identity, so
+ * restoring it is bit-identical to warming in-cell, and a failure
+ * here just falls back to the in-cell path where the real error is
+ * reported per run.
+ */
+const std::string *
+warmBlobFor(WorkerState &st, const sim::RunSpec &rs)
+{
+    if (rs.mode != sim::RunMode::Timing || rs.warmInsts == 0 ||
+        !rs.loadCkptPath.empty()) {
+        return nullptr;
+    }
+    std::string key =
+        sim::warmIdentityBlob(rs.cfg, rs.programs, {});
+    key += strfmt("|warm=%" PRIu64, rs.warmInsts);
+    auto it = st.warmCache.find(key);
+    if (it == st.warmCache.end()) {
+        std::string blob;
+        try {
+            sim::System sys(rs.cfg, rs.programs);
+            if (sys.supportsCheckpoint()) {
+                sys.warmupFunctional(rs.warmInsts);
+                blob = sys.serializeWarmState();
+            }
+        } catch (const std::exception &) {
+            // Leave the blob empty: warm in-cell instead.
+        }
+        it = st.warmCache.emplace(std::move(key), std::move(blob))
+                 .first;
+    }
+    return it->second.empty() ? nullptr : &it->second;
+}
+
+/** Execute sweep cell @p index and serialize its row. */
+std::string
+sweepCellLine(WorkerState &st, std::uint64_t index, bool &row_ok)
+{
+    sim::RunSpec rs = st.runs[index];
+    if (st.spec.deriveSeeds) {
+        rs.cfg.seed =
+            sim::deriveRunSeed(st.spec.sweep.seed, index);
+    }
+    const std::string *blob = warmBlobFor(st, rs);
+    sim::RunResult res;
+    try {
+        res = sim::executeRun(rs, index, blob);
+    } catch (const std::exception &e) {
+        res = sim::failedRunResult(rs, index, e.what());
+    }
+    row_ok = res.ok;
+    return sim::runResultToJsonLine(res);
+}
+
+/** Execute fuzz cell @p index and serialize its row. */
+std::string
+fuzzCellLine(WorkerState &st, std::uint64_t index, bool &row_ok)
+{
+    const std::uint64_t seed =
+        sim::deriveRunSeed(st.spec.sweep.seed, index);
+    check::FuzzOptions fo;
+    fo.scheme = st.spec.fuzzScheme;
+    fo.tmpDir = st.tmpDir;
+    std::uint64_t records = 0;
+    std::string error;
+    try {
+        const check::FuzzCase c = check::sampleCase(seed, fo);
+        records = c.totalRecords();
+        error = check::runCase(c, fo.check, st.tmpDir);
+    } catch (const std::exception &e) {
+        error = e.what();
+    }
+    row_ok = error.empty();
+    return fuzzRowJson(index, seed, records, row_ok, error);
+}
+
+std::string
+handlePrepare(WorkerState &st, const JsonValue &req)
+{
+    const std::string specJson = req.getString("spec_json");
+    st.tmpDir = req.getString("tmp_dir", "/tmp");
+    std::string err;
+    if (!parseJobSpec(specJson, st.spec, err))
+        return errorReply(err);
+    std::error_code ec;
+    std::filesystem::create_directories(st.tmpDir, ec);
+    if (st.spec.kind == "sweep") {
+        try {
+            st.runs = sim::buildSweepRuns(st.spec.sweep);
+        } catch (const std::exception &e) {
+            return errorReply(e.what());
+        }
+        st.cells = st.runs.size();
+    } else {
+        st.cells = st.spec.fuzzSeeds;
+    }
+    st.prepared = true;
+    return strfmt("{\"ok\": true, \"type\": \"ready\", "
+                  "\"cells\": %" PRIu64 "}",
+                  st.cells);
+}
+
+} // anonymous namespace
+
+int
+serveWorkerMain(int fd)
+{
+    // Panics/fatals inside a cell surface as SimError and become
+    // that cell's ok=false row; real crashes kill this process and
+    // the daemon synthesizes the row instead.
+    ScopedThrowErrors throw_guard;
+    ignoreSigpipe();
+    const InjectSpec inject = injectFromEnv();
+
+    WorkerState st;
+    std::string payload;
+    for (;;) {
+        const FrameStatus fs = readFrame(fd, payload);
+        if (fs == FrameStatus::Eof)
+            return 0; // daemon went away; nothing to clean up
+        if (fs != FrameStatus::Ok)
+            return 2;
+        JsonValue req;
+        std::string err;
+        if (!jsonParse(payload, req, err)) {
+            if (!writeFrame(fd, errorReply(err)))
+                return 2;
+            continue;
+        }
+        const std::string type = req.getString("type");
+        if (type == "exit")
+            return 0;
+        std::string reply;
+        if (type == "prepare") {
+            reply = handlePrepare(st, req);
+        } else if (type == "cell") {
+            std::uint64_t index = 0;
+            if (!st.prepared) {
+                reply = errorReply("cell before prepare");
+            } else if (!req.getUint("index", index, 0) ||
+                       index >= st.cells) {
+                reply = errorReply("bad cell index");
+            } else {
+                if (inject.kind ==
+                        InjectSpec::Kind::WorkerCrash &&
+                    index == inject.cell) {
+                    _exit(113);
+                }
+                if (inject.kind == InjectSpec::Kind::SlowCell &&
+                    index == inject.cell) {
+                    wallSleep(inject.seconds);
+                }
+                bool row_ok = false;
+                const std::string line =
+                    st.spec.kind == "sweep"
+                        ? sweepCellLine(st, index, row_ok)
+                        : fuzzCellLine(st, index, row_ok);
+                reply = strfmt(
+                    "{\"ok\": true, \"type\": \"row\", "
+                    "\"index\": %" PRIu64 ", \"row_ok\": %s, "
+                    "\"line\": %s}",
+                    index, row_ok ? "true" : "false",
+                    jsonQuote(line).c_str());
+                if (inject.kind ==
+                        InjectSpec::Kind::ShortWrite &&
+                    index == inject.cell) {
+                    const std::string bytes = frameBytes(reply);
+                    const std::size_t half = bytes.size() / 2;
+                    std::size_t put = 0;
+                    while (put < half) {
+                        const ssize_t w = ::write(
+                            fd, bytes.data() + put, half - put);
+                        if (w <= 0)
+                            break;
+                        put += static_cast<std::size_t>(w);
+                    }
+                    _exit(114);
+                }
+            }
+        } else {
+            reply = errorReply(
+                strfmt("unknown request type '%s'", type.c_str()));
+        }
+        if (!writeFrame(fd, reply))
+            return 2;
+    }
+}
+
+} // namespace bmc::serve

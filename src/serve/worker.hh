@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Worker-process side of the daemon's job execution.
+ *
+ * bmcserved never simulates in-process: every cell runs inside a
+ * forked worker started as `bmcserved --serve-worker=<fd>`, talking
+ * frames over an inherited socketpair. A cell that crashes the
+ * simulator (segfault, abort, runaway assert) therefore kills one
+ * worker, which the daemon observes as EOF, records as a
+ * deterministic ok=false row, and replaces -- the daemon itself and
+ * the job's other cells are untouched.
+ *
+ * Protocol (daemon -> worker, one reply per request):
+ *   {"type": "prepare", "spec_json": <canonical job spec>,
+ *    "tmp_dir": dir}                -> {"ok": true, "type":
+ *                                       "ready", "cells": N}
+ *   {"type": "cell", "index": i}    -> {"ok": true, "type": "row",
+ *                                       "index": i, "row_ok": b,
+ *                                       "line": <JSONL row text>}
+ *   {"type": "exit"}                -> worker exits 0
+ *
+ * Rows are built with the exact serialization the CLI sweep uses
+ * (runResultToJsonLine / fuzzRowJson), and warm-ups are cached per
+ * warm identity inside each worker, restoring the same serialized
+ * warm state runSweep's shared warm-up groups restore -- so the
+ * daemon's JSONL is bit-identical to `bmcsweep` on the same spec,
+ * whatever the worker count or shard layout.
+ *
+ * Fault injection (tests only): BMC_SERVE_INJECT=
+ *   worker_crash:<cell>        _exit before executing the cell
+ *   slow_cell:<cell>[:ms]      sleep before executing the cell
+ *   short_write:<cell>         emit half the row frame, then _exit
+ * Unknown values are fatal, mirroring BMC_CHECK_INJECT.
+ */
+
+#ifndef BMC_SERVE_WORKER_HH
+#define BMC_SERVE_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bmc::serve
+{
+
+/** Error text the daemon stamps on a cell whose worker died; part
+ *  of the deterministic-output contract, so fixed here. */
+inline const char *const kWorkerDiedError =
+    "worker process died while executing this cell";
+
+/**
+ * Entry point for the hidden `--serve-worker=<fd>` mode: serve
+ * frames on @p fd until an exit request or EOF. Returns the
+ * process exit status.
+ */
+int serveWorkerMain(int fd);
+
+} // namespace bmc::serve
+
+#endif // BMC_SERVE_WORKER_HH

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include <unistd.h>
+
 #include "common/binio.hh"
 #include "common/logging.hh"
 #include "common/profiler.hh"
@@ -53,14 +55,26 @@ tryReadFile(const std::string &path, std::string &out)
 void
 writeFile(const std::string &path, const std::string &bytes)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    // Write-then-rename: the sidecar can be rewritten by concurrent
+    // processes (a bmcquery rebuilding a stale index races the
+    // daemon's completion-time rebuild over a live campaign), and a
+    // torn index is a fatal on the next load, not a rebuild. With
+    // the rename each writer publishes a complete image and the
+    // last one wins.
+    const std::string tmp =
+        strfmt("%s.tmp.%ld", path.c_str(),
+               static_cast<long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
-        bmc_fatal("cannot open '%s' for writing", path.c_str());
+        bmc_fatal("cannot open '%s' for writing", tmp.c_str());
     const std::size_t n =
         std::fwrite(bytes.data(), 1, bytes.size(), f);
     const bool ok = n == bytes.size() && std::fclose(f) == 0;
     if (!ok)
-        bmc_fatal("short write to '%s'", path.c_str());
+        bmc_fatal("short write to '%s'", tmp.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        bmc_fatal("cannot rename '%s' over '%s'", tmp.c_str(),
+                  path.c_str());
 }
 
 // ------------------------------------------- JSONL line scanner ---

@@ -54,7 +54,10 @@ constexpr std::uint32_t kCheckpointVersion = 1;
  * kCheckpointVersion if checkpoint files written before the change
  * are now unreadable, and paste the hash the finding reports.
  */
-constexpr std::uint64_t kCheckpointSchemaHash = 0x69bf27bf857bc535ULL;
+// Re-pinned for the serve job journal (src/serve/journal.cc), a new
+// binio-framed format; the checkpoint layout itself is unchanged, so
+// kCheckpointVersion stays at 1.
+constexpr std::uint64_t kCheckpointSchemaHash = 0xe68f6202438c3f41ULL;
 
 /** Decoded checkpoint file: the two framed blobs. */
 struct CheckpointImage

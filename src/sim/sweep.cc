@@ -237,6 +237,181 @@ SweepBuilder::build() const
     return out;
 }
 
+RunMode
+runModeFromName(const std::string &name)
+{
+    if (name == "timing")
+        return RunMode::Timing;
+    if (name == "functional")
+        return RunMode::Functional;
+    if (name == "antt")
+        return RunMode::Antt;
+    bmc_fatal("unknown mode '%s'", name.c_str());
+    return RunMode::Timing;
+}
+
+std::vector<RunSpec>
+buildSweepRuns(const SweepSpec &spec)
+{
+    MachineConfig base = spec.fullScale
+                             ? MachineConfig::fullScale(spec.cores)
+                             : MachineConfig::preset(spec.cores);
+    base.seed = spec.seed;
+    if (spec.instrs > 0) {
+        base.instrPerCore = spec.instrs;
+        base.warmupInstrPerCore = spec.instrs;
+    }
+
+    // Resolve the workload axis: explicit list > program list > the
+    // bench subset (or full table) for the core count.
+    std::vector<std::string> workloads = spec.workloads;
+    if (workloads.empty() && spec.programs.empty()) {
+        if (spec.allWorkloads) {
+            for (const auto &w : trace::workloadTable(spec.cores))
+                workloads.push_back(w.name);
+        } else {
+            switch (spec.cores) {
+              case 4:
+                workloads = {"Q1", "Q3", "Q5", "Q7", "Q9", "Q11"};
+                break;
+              case 8:
+                workloads = {"E1", "E3", "E6"};
+                break;
+              case 16:
+                workloads = {"S1", "S2"};
+                break;
+              default:
+                bmc_fatal("no workload table for %u cores",
+                          spec.cores);
+            }
+        }
+    }
+
+    // Resolve the scheme axis ("all" = the registry catalog).
+    std::vector<Scheme> schemes;
+    if (spec.schemes.size() == 1 && spec.schemes[0] == "all") {
+        schemes = allSchemes();
+    } else if (spec.schemes.empty()) {
+        schemes = {Scheme::BiModal};
+    } else {
+        for (const std::string &s : spec.schemes)
+            schemes.push_back(schemeFromName(s));
+    }
+
+    // Config variants: cross product of capacity x big-block x MLP
+    // lists. Capacity and big-block change the warm identity; MLP is
+    // timing-only, so an MLP axis forms one shared-warm-up group per
+    // (workload, scheme, geometry) cell.
+    std::vector<SweepBuilder::Variant> variants;
+    if (!spec.cacheMib.empty() || !spec.bigBytes.empty() ||
+        !spec.mlp.empty()) {
+        const std::vector<std::uint64_t> size_axis =
+            spec.cacheMib.empty() ? std::vector<std::uint64_t>{0}
+                                  : spec.cacheMib;
+        const std::vector<std::uint64_t> big_axis =
+            spec.bigBytes.empty() ? std::vector<std::uint64_t>{0}
+                                  : spec.bigBytes;
+        const std::vector<std::uint64_t> mlp_axis =
+            spec.mlp.empty() ? std::vector<std::uint64_t>{0}
+                             : spec.mlp;
+        for (const std::uint64_t mib : size_axis) {
+            for (const std::uint64_t big : big_axis) {
+              for (const std::uint64_t mlp : mlp_axis) {
+                std::string label;
+                if (mib)
+                    label += strfmt("%" PRIu64 "MiB", mib);
+                if (big) {
+                    if (!label.empty())
+                        label += "-";
+                    label += strfmt("%" PRIu64 "B", big);
+                }
+                if (mlp) {
+                    if (!label.empty())
+                        label += "-";
+                    label += strfmt("mlp%" PRIu64, mlp);
+                }
+                // Axis coordinates: one named param per axis the
+                // spec carries, so bmcquery can filter/group on them
+                // (e.g. --where mlp=4).
+                std::vector<std::pair<std::string, double>> params;
+                if (!spec.cacheMib.empty())
+                    params.emplace_back("cache_mib",
+                                        static_cast<double>(mib));
+                if (!spec.bigBytes.empty())
+                    params.emplace_back("big_bytes",
+                                        static_cast<double>(big));
+                if (!spec.mlp.empty())
+                    params.emplace_back("mlp",
+                                        static_cast<double>(mlp));
+                variants.push_back(
+                    {label, [mib, big, mlp](MachineConfig &cfg) {
+                         if (mib)
+                             cfg.dramCacheBytes = mib * kMiB;
+                         if (big) {
+                             const unsigned ways =
+                                 cfg.setBytes / cfg.bigBlockBytes;
+                             cfg.bigBlockBytes =
+                                 static_cast<std::uint32_t>(big);
+                             cfg.setBytes =
+                                 static_cast<std::uint32_t>(big *
+                                                            ways);
+                         }
+                         if (mlp)
+                             cfg.mlp = static_cast<unsigned>(mlp);
+                     },
+                     std::move(params)});
+              }
+            }
+        }
+    }
+
+    SweepBuilder builder(base);
+    builder.schemes(schemes)
+        .variants(std::move(variants))
+        .mode(spec.mode)
+        .functionalRecords(spec.records)
+        .replicates(spec.reps ? spec.reps : 1);
+    if (!spec.programs.empty())
+        builder.programs(spec.programs);
+    else
+        builder.workloads(workloads);
+    std::vector<RunSpec> runs = builder.build();
+
+    const CheckConfig check = parseCheckList(spec.check);
+    if (check.any()) {
+        if (spec.mode != RunMode::Timing)
+            bmc_fatal("check needs timing mode");
+        for (RunSpec &run : runs)
+            run.check = check;
+    }
+
+    if (spec.warmInsts > 0) {
+        if (spec.mode != RunMode::Timing)
+            bmc_fatal("warm-insts needs timing mode");
+        for (RunSpec &run : runs) {
+            run.warmInsts = spec.warmInsts;
+            run.cfg.warmupInstrPerCore = 0;
+        }
+    }
+    return runs;
+}
+
+RunResult
+failedRunResult(const RunSpec &spec, std::size_t index,
+                const std::string &error)
+{
+    RunResult res;
+    res.index = index;
+    res.label = spec.label;
+    res.workload = spec.workload;
+    res.scheme = schemeName(spec.cfg.scheme);
+    res.seed = spec.cfg.seed;
+    res.params = spec.axisParams;
+    res.ok = false;
+    res.error = error;
+    return res;
+}
+
 RunResult
 executeRun(const RunSpec &spec, std::size_t index)
 {
@@ -536,15 +711,7 @@ runSweep(const std::vector<RunSpec> &runs, const SweepOptions &opts)
         try {
             res = executeRun(spec, i, warmBlobs[i]);
         } catch (const std::exception &e) {
-            res = RunResult{};
-            res.index = i;
-            res.label = spec.label;
-            res.workload = spec.workload;
-            res.scheme = schemeName(spec.cfg.scheme);
-            res.seed = spec.cfg.seed;
-            res.params = spec.axisParams;
-            res.ok = false;
-            res.error = e.what();
+            res = failedRunResult(spec, i, e.what());
         }
         res.wallSeconds = wallSecondsSince(start);
 

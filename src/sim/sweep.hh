@@ -261,6 +261,72 @@ class SweepBuilder
     unsigned replicates_ = 1;
 };
 
+/**
+ * Declarative, serializable description of a whole sweep matrix --
+ * the single cell-enumeration path shared by every sweep driver (the
+ * bmcsweep CLI flags and the bmcserved job-spec JSON both map onto
+ * this struct 1:1). buildSweepRuns() expands it into the ordered
+ * RunSpec list, so a job submitted to the daemon enumerates exactly
+ * the cells the CLI would and the two produce bit-identical results
+ * JSONL for the same spec.
+ */
+struct SweepSpec
+{
+    unsigned cores = 4;
+    /** Paper-scale preset instead of the fast preset. */
+    bool fullScale = false;
+    std::uint64_t seed = 1;
+    /** Instructions per core (0 = preset default; sets the in-run
+     *  warm-up budget to the same value, as the CLI always has). */
+    std::uint64_t instrs = 0;
+    RunMode mode = RunMode::Timing;
+    /** Trace records per core (RunMode::Functional). */
+    std::uint64_t records = 400'000;
+    /** Every workload in the table for this core count. */
+    bool allWorkloads = false;
+    /** Explicit workload list; empty + !allWorkloads = the bench
+     *  subset for @c cores. */
+    std::vector<std::string> workloads;
+    /** Explicit program list (overrides the workload axis). */
+    std::vector<std::string> programs;
+    /** Scheme names; the single entry "all" = every registered
+     *  scheme. Empty = bimodal. */
+    std::vector<std::string> schemes;
+    /** Geometry / MLP variant axes (cross product; empty = none). */
+    std::vector<std::uint64_t> cacheMib;
+    std::vector<std::uint64_t> bigBytes;
+    std::vector<std::uint64_t> mlp;
+    /** Seed replicates per matrix cell. */
+    unsigned reps = 1;
+    /** Runtime checkers per cell (parseCheckList format; timing
+     *  mode only). */
+    std::string check;
+    /** Checkpointed functional warm-up per core (timing mode only;
+     *  see RunSpec::warmInsts). */
+    std::uint64_t warmInsts = 0;
+};
+
+/** runModeName's inverse; bmc_fatal on an unknown name. */
+RunMode runModeFromName(const std::string &name);
+
+/**
+ * Expand @p spec into the ordered run list (variant-major, workload,
+ * scheme, replicate -- see SweepBuilder). Validation errors (unknown
+ * scheme/workload/mode, --check outside timing mode) are bmc_fatal,
+ * so a driver running under ScopedThrowErrors can reject a bad spec
+ * without dying.
+ */
+std::vector<RunSpec> buildSweepRuns(const SweepSpec &spec);
+
+/**
+ * The canonical ok=false result for a cell that threw: exactly the
+ * record runSweep() emits for an isolated failure. Shared with the
+ * daemon's worker processes so a failing cell serializes to the
+ * identical JSONL row whichever driver ran it.
+ */
+RunResult failedRunResult(const RunSpec &spec, std::size_t index,
+                          const std::string &error);
+
 /** Execute one spec on the calling thread (no isolation). */
 RunResult executeRun(const RunSpec &spec, std::size_t index);
 

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "sim/catalog.hh"
 #include "sim/query.hh"
@@ -188,6 +190,79 @@ TEST(Catalog, AppendedRowsAreIndexedOnReload)
 
     std::remove(path.c_str());
     std::remove(catalogIndexPath(path).c_str());
+}
+
+TEST(Catalog, LiveAppendInProgressQueriesCompleteLinesOnly)
+{
+    // The append-then-query flow a resumed daemon produces: a
+    // sidecar exists from an earlier run, the writer has appended
+    // complete rows AND is mid-way through another line when a
+    // query lands. loadCatalog must rebuild to exactly the
+    // complete-line prefix -- the covered-bytes contract -- and
+    // publish the new sidecar atomically (never a torn image for
+    // the next reader).
+    const std::string path =
+        writeSyntheticJsonl("bmc_cat_live.jsonl", 2);
+    ASSERT_EQ(loadCatalog(path).rows.size(), 2u);
+
+    const std::string row2 = runResultToJsonLine(syntheticResult(2));
+    const std::string row3 = runResultToJsonLine(syntheticResult(3));
+    {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::app);
+        out << row2 << '\n';
+        // ... and half of row 3, no newline: the writer is live.
+        out << row3.substr(0, row3.size() / 2);
+    }
+
+    const Catalog live = loadCatalog(path);
+    EXPECT_EQ(live.rows.size(), 3u);
+    EXPECT_EQ(live.jsonlBytes,
+              live.rows[2].offset + live.rows[2].length + 1);
+    EXPECT_LT(live.jsonlBytes, readFile(path).size());
+    // The fetch path still answers for every indexed row.
+    EXPECT_EQ(catalogFetchLine(live, live.rows[2]), row2);
+    // The rebuild published atomically: a complete, loadable
+    // sidecar and no temp file left beside it.
+    EXPECT_EQ(loadCatalog(path).jsonlBytes, live.jsonlBytes);
+    EXPECT_FALSE(std::ifstream(catalogIndexPath(path) + ".tmp." +
+                               std::to_string(::getpid()))
+                     .good());
+
+    // Multi-catalog query with one live and one settled input:
+    // answered from the two indexes, counting only complete rows.
+    const std::string settled =
+        writeSyntheticJsonl("bmc_cat_live2.jsonl", 4);
+    std::vector<Catalog> catalogs = {loadCatalog(path),
+                                     loadCatalog(settled)};
+    QueryOptions q;
+    q.groupBy = {"scheme"};
+    q.aggs = parseAggs("count");
+    q.sortBy = "scheme";
+    const QueryResult res = runQuery(catalogs, q);
+    ASSERT_EQ(res.rows.size(), 2u); // alloy, bimodal
+    double total = 0.0;
+    for (const auto &row : res.rows) {
+        ASSERT_TRUE(row.back().isNum);
+        total += row.back().num;
+    }
+    EXPECT_EQ(total, 7.0); // 3 live + 4 settled
+
+    // The writer finishes its row: the next load covers it.
+    {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::app);
+        out << row3.substr(row3.size() / 2) << '\n';
+    }
+    const Catalog done = loadCatalog(path);
+    EXPECT_EQ(done.rows.size(), 4u);
+    EXPECT_EQ(done.jsonlBytes, readFile(path).size());
+    EXPECT_EQ(catalogFetchLine(done, done.rows[3]), row3);
+
+    std::remove(path.c_str());
+    std::remove(catalogIndexPath(path).c_str());
+    std::remove(settled.c_str());
+    std::remove(catalogIndexPath(settled).c_str());
 }
 
 TEST(Catalog, CorruptIndexIsFatalWithARebuildHint)

@@ -1,0 +1,1025 @@
+/**
+ * @file
+ * Tests for the serve layer (bmcserved): protocol conformance of
+ * the JSON / frame / job-spec / journal building blocks, the
+ * malformed-request corpus, and the daemon's headline guarantees --
+ * worker-crash isolation, bounded-queue result streaming, and
+ * bit-identical JSONL across the CLI driver, any worker count, and
+ * a daemon killed mid-job and resumed.
+ *
+ * Daemon tests fork real worker processes (and, for the crash-safe
+ * resume test, a real bmcserved daemon) from the binary named by
+ * the BMC_SERVE_BIN compile definition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/wallclock.hh"
+#include "serve/client.hh"
+#include "serve/frame.hh"
+#include "serve/jobspec.hh"
+#include "serve/journal.hh"
+#include "serve/json.hh"
+#include "serve/server.hh"
+#include "serve/worker.hh"
+#include "sim/catalog.hh"
+#include "sim/sweep.hh"
+
+namespace bmc::serve
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::istringstream in(readFile(path));
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Set an environment variable for one scope (workers inherit it
+ *  through fork/exec). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = ::getenv(name);
+        had_ = old != nullptr;
+        if (old)
+            old_ = old;
+        ::setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool had_ = false;
+};
+
+/** Fresh socket path + state dir under the test temp dir. */
+ServerConfig
+makeConfig(const std::string &stem, unsigned workers)
+{
+    ServerConfig cfg;
+    cfg.socketPath = testing::TempDir() + stem + ".sock";
+    cfg.stateDir = testing::TempDir() + stem + ".state";
+    cfg.workers = workers;
+    cfg.workerBinary = BMC_SERVE_BIN;
+    std::filesystem::remove_all(cfg.stateDir);
+    std::filesystem::remove(cfg.socketPath);
+    return cfg;
+}
+
+/** The 3-cell sweep job most daemon tests submit. */
+std::string
+smallSpecJson(const std::string &name)
+{
+    return "{\"schema_version\": 1, \"kind\": \"sweep\", "
+           "\"name\": " +
+           jsonQuote(name) +
+           ", \"mode\": \"functional\", \"records\": 4000, "
+           "\"workloads\": [\"Q1\"], "
+           "\"schemes\": [\"alloy\", \"bimodal\", \"loh_hill\"], "
+           "\"catalog\": true}";
+}
+
+/** The sim::SweepSpec the small job's spec maps onto. */
+sim::SweepSpec
+smallSweepSpec()
+{
+    sim::SweepSpec spec;
+    spec.mode = sim::RunMode::Functional;
+    spec.records = 4000;
+    spec.workloads = {"Q1"};
+    spec.schemes = {"alloy", "bimodal", "loh_hill"};
+    return spec;
+}
+
+/** Submit @p spec_json; returns the job id (fails the test on
+ *  error). */
+std::string
+submitJob(ServeClient &client, const std::string &spec_json)
+{
+    JsonValue reply;
+    std::string err;
+    const std::string req =
+        "{\"type\": \"submit\", \"spec\": " + spec_json + "}";
+    EXPECT_TRUE(client.call(req, reply, err)) << err;
+    return reply.getString("job");
+}
+
+/** The daemon's status entry for @p job, or null in @p out. */
+bool
+jobStatus(ServeClient &client, const std::string &job,
+          JsonValue &status, const JsonValue **out)
+{
+    std::string err;
+    if (!client.call("{\"type\": \"status\"}", status, err)) {
+        ADD_FAILURE() << err;
+        return false;
+    }
+    *out = nullptr;
+    const JsonValue *jobs = status.find("jobs");
+    if (!jobs || !jobs->isArray())
+        return false;
+    for (const JsonValue &e : jobs->arr) {
+        if (e.getString("job") == job) {
+            *out = &e;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Poll the daemon until @p job leaves "running"; its final state
+ *  name ("" on timeout). */
+std::string
+waitJobDone(ServeClient &client, const std::string &job,
+            double timeout_seconds)
+{
+    const WallInstant t0 = wallNow();
+    while (wallSecondsSince(t0) < timeout_seconds) {
+        JsonValue status;
+        const JsonValue *e = nullptr;
+        if (jobStatus(client, job, status, &e) && e) {
+            const std::string state = e->getString("state");
+            if (state != "running")
+                return state;
+        }
+        wallSleep(0.02);
+    }
+    return "";
+}
+
+TEST(ServeJson, ParseAndSerializeRoundTrip)
+{
+    JsonValue v;
+    std::string err;
+    const std::string doc =
+        "{\"a\": [1, 2.5, true, null, \"s\\n\\u0041\"], "
+        "\"b\": {\"c\": -3}, \"a\": 9}";
+    ASSERT_TRUE(jsonParse(doc, v, err)) << err;
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a"); // first of the duplicates
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->arr.size(), 5u);
+    EXPECT_EQ(a->arr[0].numVal, 1.0);
+    EXPECT_EQ(a->arr[1].numVal, 2.5);
+    EXPECT_TRUE(a->arr[2].boolVal);
+    EXPECT_TRUE(a->arr[3].isNull());
+    EXPECT_EQ(a->arr[4].strVal, "s\nA");
+    EXPECT_EQ(v.find("b")->getNumber("c"), -3.0);
+
+    // Serialization is a fixed point after one round trip.
+    const std::string ser = jsonSerialize(v);
+    JsonValue v2;
+    ASSERT_TRUE(jsonParse(ser, v2, err)) << err;
+    EXPECT_EQ(jsonSerialize(v2), ser);
+}
+
+TEST(ServeJson, MalformedDocumentsAreRejectedNotFatal)
+{
+    const char *bad[] = {
+        "",
+        "{",
+        "[1,]",
+        "{\"a\": }",
+        "1 2",            // trailing garbage
+        "{\"a\": 1} x",   // trailing garbage after a document
+        "\"\\ud800\"",    // surrogate escape
+        "\"raw\x01tab\"", // raw control char in a string
+        "nul",
+        "{\"a\" 1}",
+    };
+    for (const char *doc : bad) {
+        JsonValue v;
+        std::string err;
+        EXPECT_FALSE(jsonParse(doc, v, err)) << doc;
+        EXPECT_FALSE(err.empty()) << doc;
+    }
+    // Nesting above the depth cap is rejected; at the cap it parses.
+    const std::string deep(100, '[');
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(jsonParse(deep + std::string(100, ']'), v, err));
+    std::string ok_depth(kJsonMaxDepth - 1, '[');
+    ok_depth += "1";
+    ok_depth += std::string(kJsonMaxDepth - 1, ']');
+    EXPECT_TRUE(jsonParse(ok_depth, v, err)) << err;
+}
+
+TEST(ServeJson, UintConversionIsExact)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse("{\"a\": 42, \"b\": 1.5, \"c\": -1, "
+                          "\"d\": 9007199254740992, \"e\": "
+                          "18446744073709551615}",
+                          v, err))
+        << err;
+    std::uint64_t out = 0;
+    EXPECT_TRUE(v.getUint("a", out, 0));
+    EXPECT_EQ(out, 42u);
+    EXPECT_FALSE(v.getUint("b", out, 0)); // fractional
+    EXPECT_FALSE(v.getUint("c", out, 0)); // negative
+    EXPECT_TRUE(v.getUint("d", out, 0)); // 2^53: still exact
+    EXPECT_EQ(out, 9007199254740992u);
+    EXPECT_FALSE(v.getUint("e", out, 0)); // above 2^53
+    EXPECT_TRUE(v.getUint("missing", out, 7u)); // default applies
+    EXPECT_EQ(out, 7u);
+}
+
+TEST(ServeFrame, RoundTripAndFailureTaxonomy)
+{
+    int sp[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    ignoreSigpipe();
+
+    // Round trip, including an empty payload.
+    ASSERT_TRUE(writeFrame(sp[0], "{\"x\": 1}"));
+    ASSERT_TRUE(writeFrame(sp[0], ""));
+    std::string payload;
+    ASSERT_EQ(readFrame(sp[1], payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "{\"x\": 1}");
+    ASSERT_EQ(readFrame(sp[1], payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "");
+
+    // frameBytes is the exact wire image writeFrame sends.
+    const std::string img = frameBytes("ab");
+    ASSERT_EQ(img.size(), 10u);
+    EXPECT_EQ(img.substr(0, 4), "BMCS");
+    EXPECT_EQ(static_cast<unsigned char>(img[4]), 2u);
+    EXPECT_EQ(img.substr(8), "ab");
+
+    // Clean close: Eof before any header byte.
+    ASSERT_EQ(::close(sp[0]), 0);
+    EXPECT_EQ(readFrame(sp[1], payload), FrameStatus::Eof);
+    ::close(sp[1]);
+
+    // Bad magic.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    const char bad_magic[] = "XXXX\x02\x00\x00\x00{}";
+    ASSERT_EQ(::write(sp[0], bad_magic, 10), 10);
+    EXPECT_EQ(readFrame(sp[1], payload), FrameStatus::BadMagic);
+    ::close(sp[0]);
+    ::close(sp[1]);
+
+    // Oversized declared length.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    const unsigned char oversized[] = {'B', 'M', 'C',  'S',
+                                       0xff, 0xff, 0xff, 0x7f};
+    ASSERT_EQ(::write(sp[0], oversized, 8), 8);
+    EXPECT_EQ(readFrame(sp[1], payload), FrameStatus::Oversized);
+    ::close(sp[0]);
+    ::close(sp[1]);
+
+    // Peer vanishes mid-payload.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    const unsigned char partial[] = {'B', 'M', 'C', 'S',
+                                     10,  0,   0,   0,
+                                     'a', 'b', 'c'};
+    ASSERT_EQ(::write(sp[0], partial, 11), 11);
+    ASSERT_EQ(::close(sp[0]), 0);
+    EXPECT_EQ(readFrame(sp[1], payload), FrameStatus::Truncated);
+    ::close(sp[1]);
+}
+
+TEST(ServeJobSpec, CanonicalSerializationRoundTrips)
+{
+    JobSpec spec;
+    std::string err;
+    ASSERT_TRUE(parseJobSpec(smallSpecJson("rt"), spec, err))
+        << err;
+    EXPECT_EQ(spec.kind, "sweep");
+    EXPECT_EQ(spec.name, "rt");
+    EXPECT_TRUE(spec.catalog);
+    EXPECT_EQ(spec.sweep.mode, sim::RunMode::Functional);
+    EXPECT_EQ(spec.sweep.records, 4000u);
+    ASSERT_EQ(spec.sweep.workloads.size(), 1u);
+    EXPECT_EQ(spec.sweep.workloads[0], "Q1");
+    ASSERT_EQ(spec.sweep.schemes.size(), 3u);
+
+    // jobSpecToJson is canonical: it re-parses to itself.
+    const std::string canon = jobSpecToJson(spec);
+    JobSpec spec2;
+    ASSERT_TRUE(parseJobSpec(canon, spec2, err)) << err;
+    EXPECT_EQ(jobSpecToJson(spec2), canon);
+
+    // Fuzz kind round-trips too and carries only its own keys.
+    JobSpec fuzz;
+    ASSERT_TRUE(parseJobSpec(
+                    "{\"schema_version\": 1, \"kind\": \"fuzz\", "
+                    "\"seed\": 7, \"fuzz_seeds\": 3, "
+                    "\"fuzz_scheme\": \"bimodal\"}",
+                    fuzz, err))
+        << err;
+    EXPECT_EQ(fuzz.fuzzSeeds, 3u);
+    EXPECT_EQ(fuzz.fuzzScheme, "bimodal");
+    const std::string fuzz_canon = jobSpecToJson(fuzz);
+    JobSpec fuzz2;
+    ASSERT_TRUE(parseJobSpec(fuzz_canon, fuzz2, err)) << err;
+    EXPECT_EQ(jobSpecToJson(fuzz2), fuzz_canon);
+    EXPECT_EQ(fuzz_canon.find("workloads"), std::string::npos);
+}
+
+TEST(ServeJobSpec, StrictParserRejectsBadDocuments)
+{
+    const char *bad[] = {
+        // Missing / wrong schema version.
+        "{\"kind\": \"sweep\"}",
+        "{\"schema_version\": 2, \"kind\": \"sweep\"}",
+        // Unknown kind and unknown key.
+        "{\"schema_version\": 1, \"kind\": \"warp\"}",
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"frobnicate\": 3}",
+        // Cross-kind keys.
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"fuzz_seeds\": 4}",
+        "{\"schema_version\": 1, \"kind\": \"fuzz\", "
+        "\"fuzz_seeds\": 4, \"workloads\": [\"Q1\"]}",
+        "{\"schema_version\": 1, \"kind\": \"fuzz\", "
+        "\"fuzz_seeds\": 4, \"catalog\": true}",
+        // Fuzz without cells; zero cells.
+        "{\"schema_version\": 1, \"kind\": \"fuzz\"}",
+        "{\"schema_version\": 1, \"kind\": \"fuzz\", "
+        "\"fuzz_seeds\": 0}",
+        // Type mismatches.
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"records\": \"many\"}",
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"workloads\": \"Q1\"}",
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"workloads\": [1]}",
+        // Bad names.
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"name\": \"a/b\"}",
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"name\": \"..\"}",
+        // Not an object at all.
+        "[1, 2]",
+    };
+    for (const char *doc : bad) {
+        JobSpec spec;
+        std::string err;
+        EXPECT_FALSE(parseJobSpec(std::string(doc), spec, err))
+            << doc;
+        EXPECT_FALSE(err.empty()) << doc;
+    }
+
+    EXPECT_TRUE(validJobName("ok-1.a_B"));
+    EXPECT_FALSE(validJobName(""));
+    EXPECT_FALSE(validJobName("."));
+    EXPECT_FALSE(validJobName(".."));
+    EXPECT_FALSE(validJobName("a b"));
+    EXPECT_FALSE(validJobName(std::string(65, 'x')));
+}
+
+TEST(ServeJobSpec, FuzzRowSerializationIsPinned)
+{
+    EXPECT_EQ(fuzzRowJson(2, 99, 1000, true, ""),
+              "{\"serve_fuzz_schema\": 1, \"run\": 2, "
+              "\"seed\": 99, \"records\": 1000, \"ok\": true}");
+    EXPECT_EQ(fuzzRowJson(0, 1, 0, false, "boom \"quoted\""),
+              "{\"serve_fuzz_schema\": 1, \"run\": 0, "
+              "\"seed\": 1, \"records\": 0, \"ok\": false, "
+              "\"error\": \"boom \\\"quoted\\\"\"}");
+}
+
+TEST(ServeJournal, WriteReadRoundTripAndTornTail)
+{
+    const std::string path =
+        testing::TempDir() + "bmc_serve_journal.jnl";
+
+    JournalHeader h;
+    h.jobId = "j1";
+    h.specJson = "{\"schema_version\": 1}";
+    h.totalCells = 3;
+    h.cellSeeds = {11, 12, 13};
+
+    JournalWriter w;
+    w.create(path, h);
+    w.append({0, 0, 10, true});
+    w.append({1, 11, 20, false});
+    w.close();
+
+    JournalState s = readJournal(path);
+    EXPECT_EQ(s.header.jobId, "j1");
+    EXPECT_EQ(s.header.specJson, h.specJson);
+    EXPECT_EQ(s.header.totalCells, 3u);
+    EXPECT_EQ(s.header.cellSeeds, h.cellSeeds);
+    ASSERT_EQ(s.entries.size(), 2u);
+    EXPECT_EQ(s.entries[0].cell, 0u);
+    EXPECT_TRUE(s.entries[0].ok);
+    EXPECT_EQ(s.entries[1].cell, 1u);
+    EXPECT_EQ(s.entries[1].offset, 11u);
+    EXPECT_EQ(s.entries[1].length, 20u);
+    EXPECT_FALSE(s.entries[1].ok);
+    // offset + length + '\n' of the last entry.
+    EXPECT_EQ(s.coveredBytes, 32u);
+
+    // Append a third record, then tear its tail off (the crash hit
+    // mid-append): it must be dropped, the prefix kept.
+    JournalWriter w2;
+    w2.openAppend(path);
+    w2.append({2, 32, 15, true});
+    w2.close();
+    EXPECT_EQ(readJournal(path).entries.size(), 3u);
+    const std::string full_bytes = readFile(path);
+    std::filesystem::resize_file(path, full_bytes.size() - 5);
+    JournalState torn = readJournal(path);
+    ASSERT_EQ(torn.entries.size(), 2u);
+    EXPECT_EQ(torn.coveredBytes, 32u);
+
+    // Restoring the torn bytes restores the third record.
+    {
+        std::ofstream f(path,
+                        std::ios::binary | std::ios::trunc);
+        f.write(full_bytes.data(),
+                static_cast<std::streamsize>(full_bytes.size()));
+    }
+    JournalState whole = readJournal(path);
+    EXPECT_EQ(whole.entries.size(), 3u);
+    EXPECT_EQ(whole.coveredBytes, 48u);
+
+    std::filesystem::remove(path);
+}
+
+TEST(ServeJournal, CorruptHeaderIsFatalCorruptRecordIsDropped)
+{
+    const std::string path =
+        testing::TempDir() + "bmc_serve_journal_bad.jnl";
+
+    JournalHeader h;
+    h.jobId = "j2";
+    h.specJson = "{}";
+    h.totalCells = 2;
+    h.cellSeeds = {1, 2};
+    JournalWriter w;
+    w.create(path, h);
+    w.append({0, 0, 5, true});
+    w.append({1, 6, 5, true});
+    w.close();
+    const auto header_size = std::filesystem::file_size(path) -
+                             2 * 26; // two fixed-size records
+
+    // Flip a byte inside the first record: it and everything after
+    // it are dropped (entries are only ever a contiguous prefix).
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(header_size) + 3);
+        const char x = 0x5a;
+        f.write(&x, 1);
+    }
+    EXPECT_EQ(readJournal(path).entries.size(), 0u);
+
+    // Flip a byte inside the header: fatal (under the test's throw
+    // guard, a SimError).
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(16);
+        const char x = 0x5a;
+        f.write(&x, 1);
+    }
+    ScopedThrowErrors guard;
+    EXPECT_THROW(readJournal(path), SimError);
+
+    std::filesystem::remove(path);
+}
+
+TEST(ServeDaemon, MalformedRequestCorpusCostsConnectionsNotTheDaemon)
+{
+    const ServerConfig cfg = makeConfig("bmc_serve_corpus", 1);
+    Server server(cfg);
+    server.start();
+
+    const std::string dir =
+        std::string(BMC_CORPUS_DIR) + "/serve";
+    std::vector<std::string> files;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir)) {
+        if (e.path().extension() == ".req")
+            files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    ASSERT_GE(files.size(), 10u) << "corpus missing from " << dir;
+
+    for (const std::string &file : files) {
+        const std::string bytes = readFile(file);
+        ASSERT_FALSE(bytes.empty()) << file;
+        std::string err;
+        const int fd = connectUnixSocket(cfg.socketPath, err);
+        ASSERT_GE(fd, 0) << file << ": " << err;
+        ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+                  static_cast<ssize_t>(bytes.size()))
+            << file;
+        // Half-close so a frame promising more bytes than the file
+        // holds reads as Truncated instead of blocking.
+        ::shutdown(fd, SHUT_WR);
+        // Every reply the daemon sends for these must be an error.
+        std::string payload;
+        while (readFrame(fd, payload) == FrameStatus::Ok) {
+            JsonValue reply;
+            ASSERT_TRUE(jsonParse(payload, reply, err))
+                << file << ": " << payload;
+            EXPECT_FALSE(reply.getBool("ok", true))
+                << file << ": " << payload;
+        }
+        ::close(fd);
+
+        // The daemon must still answer on a fresh connection.
+        ServeClient client;
+        ASSERT_TRUE(client.connect(cfg.socketPath, err))
+            << file << ": " << err;
+        JsonValue reply;
+        ASSERT_TRUE(
+            client.call("{\"type\": \"ping\"}", reply, err))
+            << file << ": " << err;
+        EXPECT_EQ(reply.getNumber("protocol_version"),
+                  kServeProtocolVersion);
+    }
+
+    // The framing/JSON rejects (garbage, bad magic, oversized,
+    // truncated, bad JSON, trailing garbage, over-deep nesting,
+    // empty payload) each bump the counter; spec-level rejects
+    // answer politely without counting.
+    EXPECT_GE(server.stats().framesRejected, 8u);
+    EXPECT_EQ(server.stats().jobsSubmitted, 0u);
+    server.stop();
+}
+
+TEST(ServeDaemon, JsonlIsBitIdenticalToCliForAnyWorkerCount)
+{
+    // Reference: the sweep library run the bmcsweep CLI performs.
+    const sim::SweepSpec sweep = smallSweepSpec();
+    const std::vector<sim::RunSpec> runs =
+        sim::buildSweepRuns(sweep);
+    ASSERT_EQ(runs.size(), 3u);
+    const std::string ref_path =
+        testing::TempDir() + "bmc_serve_ref.jsonl";
+    sim::SweepOptions opts;
+    opts.threads = 2;
+    opts.jsonlPath = ref_path;
+    opts.catalog = true;
+    sim::runSweep(runs, opts);
+    const std::string ref = readFile(ref_path);
+    const std::string ref_idx = readFile(ref_path + ".idx");
+    ASSERT_FALSE(ref.empty());
+    ASSERT_FALSE(ref_idx.empty());
+
+    for (const unsigned workers : {1u, 3u}) {
+        const std::string stem =
+            strfmt("bmc_serve_bits%u", workers);
+        const ServerConfig cfg = makeConfig(stem, workers);
+        Server server(cfg);
+        server.start();
+        ServeClient client;
+        std::string err;
+        ASSERT_TRUE(
+            client.connectRetry(cfg.socketPath, 5.0, err))
+            << err;
+        const std::string job =
+            submitJob(client, smallSpecJson("bits"));
+        ASSERT_EQ(job, "bits");
+        EXPECT_EQ(waitJobDone(client, job, 120.0), "done");
+
+        const std::string daemon_jsonl =
+            readFile(cfg.stateDir + "/bits.jsonl");
+        EXPECT_EQ(daemon_jsonl, ref)
+            << "JSONL differs with " << workers << " worker(s)";
+        // The catalog sidecar the daemon rebuilds from the JSONL is
+        // byte-identical to the sweep-written one.
+        EXPECT_EQ(readFile(cfg.stateDir + "/bits.jsonl.idx"),
+                  ref_idx)
+            << "sidecar differs with " << workers << " worker(s)";
+
+        // Streaming the finished job replays every row in order,
+        // exactly once, byte-for-byte from the file.
+        std::vector<std::string> streamed;
+        JsonValue end;
+        ASSERT_TRUE(client.streamResults(
+            job, false,
+            [&](std::uint64_t index, const std::string &line) {
+                EXPECT_EQ(index, streamed.size());
+                streamed.push_back(line);
+            },
+            end, err))
+            << err;
+        EXPECT_EQ(end.getString("state"), "done");
+        const std::vector<std::string> lines =
+            readLines(cfg.stateDir + "/bits.jsonl");
+        EXPECT_EQ(streamed, lines);
+        server.stop();
+    }
+
+    std::remove(ref_path.c_str());
+    std::remove((ref_path + ".idx").c_str());
+}
+
+TEST(ServeDaemon, WorkerCrashCostsOneCellNotTheDaemon)
+{
+    // Crash the worker right before cell 1 executes. The daemon
+    // must synthesize the deterministic ok=false row for exactly
+    // that cell, replace the worker, and finish the rest.
+    ScopedEnv inject("BMC_SERVE_INJECT", "worker_crash:1");
+    const ServerConfig cfg = makeConfig("bmc_serve_crash", 2);
+    Server server(cfg);
+    server.start();
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectRetry(cfg.socketPath, 5.0, err))
+        << err;
+    const std::string job =
+        submitJob(client, smallSpecJson("crash"));
+    EXPECT_EQ(waitJobDone(client, job, 120.0), "done");
+
+    const std::vector<std::string> lines =
+        readLines(cfg.stateDir + "/crash.jsonl");
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"ok\": true"), std::string::npos);
+    // The dead cell's row is the exact record failedRunResult
+    // produces -- bit-reproducible, not just "some error".
+    const std::vector<sim::RunSpec> runs =
+        sim::buildSweepRuns(smallSweepSpec());
+    EXPECT_EQ(lines[1],
+              sim::runResultToJsonLine(sim::failedRunResult(
+                  runs[1], 1, kWorkerDiedError)));
+
+    JsonValue status;
+    const JsonValue *e = nullptr;
+    ASSERT_TRUE(jobStatus(client, job, status, &e));
+    EXPECT_EQ(e->getNumber("failed"), 1.0);
+    EXPECT_GE(server.stats().workerRestarts, 1u);
+
+    // The daemon survived and can run another (healthy) job: the
+    // injected cell index only matches per-job cell 1, which this
+    // 1-cell job never reaches.
+    const std::string job2 = submitJob(
+        client,
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"name\": \"after\", \"mode\": \"functional\", "
+        "\"records\": 2000, \"workloads\": [\"Q1\"], "
+        "\"schemes\": [\"bimodal\"]}");
+    EXPECT_EQ(waitJobDone(client, job2, 120.0), "done");
+    const std::vector<std::string> after =
+        readLines(cfg.stateDir + "/after.jsonl");
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_NE(after[0].find("\"ok\": true"), std::string::npos);
+    server.stop();
+}
+
+TEST(ServeDaemon, ShortWriteMidRowCostsOneCellNotTheDaemon)
+{
+    // The worker dies after emitting half of cell 0's row frame:
+    // the daemon reads a truncated frame, treats the worker as
+    // dead, and synthesizes cell 0's row.
+    ScopedEnv inject("BMC_SERVE_INJECT", "short_write:0");
+    const ServerConfig cfg = makeConfig("bmc_serve_short", 1);
+    Server server(cfg);
+    server.start();
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectRetry(cfg.socketPath, 5.0, err))
+        << err;
+    const std::string job =
+        submitJob(client, smallSpecJson("short"));
+    EXPECT_EQ(waitJobDone(client, job, 120.0), "done");
+
+    const std::vector<std::string> lines =
+        readLines(cfg.stateDir + "/short.jsonl");
+    ASSERT_EQ(lines.size(), 3u);
+    const std::vector<sim::RunSpec> runs =
+        sim::buildSweepRuns(smallSweepSpec());
+    EXPECT_EQ(lines[0],
+              sim::runResultToJsonLine(sim::failedRunResult(
+                  runs[0], 0, kWorkerDiedError)));
+    EXPECT_NE(lines[1].find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"ok\": true"), std::string::npos);
+    EXPECT_GE(server.stats().workerRestarts, 1u);
+    server.stop();
+}
+
+TEST(ServeDaemon, SlowConsumerIsBoundedAndLosesNoRows)
+{
+    // A deliberately slow "results --follow" consumer: the
+    // scheduler must block on the bounded queue (never buffer more
+    // than the cap) yet the job completes and the consumer sees
+    // every row exactly once, in order.
+    ServerConfig cfg = makeConfig("bmc_serve_backpressure", 2);
+    cfg.subscriberQueueCap = 3;
+    Server server(cfg);
+    server.start();
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectRetry(cfg.socketPath, 5.0, err))
+        << err;
+    // 6 fast cells against a consumer sleeping 100 ms per row.
+    const std::string job = submitJob(
+        client,
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"name\": \"bp\", \"mode\": \"functional\", "
+        "\"records\": 1000, \"workloads\": [\"Q1\", \"Q3\"], "
+        "\"schemes\": [\"alloy\", \"bimodal\", \"loh_hill\"]}");
+
+    ServeClient slow;
+    ASSERT_TRUE(slow.connectRetry(cfg.socketPath, 5.0, err))
+        << err;
+    std::vector<std::uint64_t> seen;
+    JsonValue end;
+    ASSERT_TRUE(slow.streamResults(
+        job, true,
+        [&](std::uint64_t index, const std::string &line) {
+            EXPECT_NE(line.find("\"ok\": true"),
+                      std::string::npos);
+            seen.push_back(index);
+            wallSleep(0.1);
+        },
+        end, err))
+        << err;
+    EXPECT_EQ(end.getString("state"), "done");
+    ASSERT_EQ(seen.size(), 6u);
+    for (std::uint64_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i);
+    EXPECT_LE(server.stats().maxSubscriberQueue,
+              cfg.subscriberQueueCap);
+    EXPECT_EQ(server.stats().rowsFlushed, 6u);
+    server.stop();
+}
+
+TEST(ServeDaemon, FuzzJobsAreDeterministicAcrossSubmissions)
+{
+    const ServerConfig cfg = makeConfig("bmc_serve_fuzz", 2);
+    Server server(cfg);
+    server.start();
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connectRetry(cfg.socketPath, 5.0, err))
+        << err;
+    const std::string spec =
+        "{\"schema_version\": 1, \"kind\": \"fuzz\", "
+        "\"name\": \"%s\", \"seed\": 7, \"fuzz_seeds\": 3}";
+    const std::string job_a =
+        submitJob(client, strfmt(spec.c_str(), "fza"));
+    const std::string job_b =
+        submitJob(client, strfmt(spec.c_str(), "fzb"));
+    EXPECT_EQ(waitJobDone(client, job_a, 300.0), "done");
+    EXPECT_EQ(waitJobDone(client, job_b, 300.0), "done");
+
+    const std::string a = readFile(cfg.stateDir + "/fza.jsonl");
+    const std::string b = readFile(cfg.stateDir + "/fzb.jsonl");
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b); // same seeds, same cells, same bytes
+    const std::vector<std::string> lines =
+        readLines(cfg.stateDir + "/fza.jsonl");
+    ASSERT_EQ(lines.size(), 3u);
+    for (const std::string &line : lines) {
+        EXPECT_EQ(line.rfind("{\"serve_fuzz_schema\": 1, ", 0),
+                  0u)
+            << line;
+    }
+    server.stop();
+}
+
+TEST(ServeDaemon, StoppedMidJobResumesToIdenticalBytes)
+{
+    // Reference: the never-interrupted run of the same spec.
+    sim::SweepSpec sweep = smallSweepSpec();
+    sweep.workloads = {"Q1", "Q3"};
+    const std::string ref_path =
+        testing::TempDir() + "bmc_serve_resume_ref.jsonl";
+    sim::SweepOptions opts;
+    opts.threads = 2;
+    opts.jsonlPath = ref_path;
+    sim::runSweep(sim::buildSweepRuns(sweep), opts);
+    const std::string ref = readFile(ref_path);
+    std::remove(ref_path.c_str());
+
+    const std::string spec_json =
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"name\": \"res\", \"mode\": \"functional\", "
+        "\"records\": 4000, \"workloads\": [\"Q1\", \"Q3\"], "
+        "\"schemes\": [\"alloy\", \"bimodal\", \"loh_hill\"]}";
+
+    // First daemon: stop while the job is mid-flight. Cell 4
+    // sleeps 1 s in its worker, so flushing cannot pass cell 4
+    // while we poll every 10 ms -- the stop lands mid-job.
+    ServerConfig cfg = makeConfig("bmc_serve_resume", 2);
+    {
+        ScopedEnv inject("BMC_SERVE_INJECT", "slow_cell:4:1000");
+        Server server(cfg);
+        server.start();
+        ServeClient client;
+        std::string err;
+        ASSERT_TRUE(
+            client.connectRetry(cfg.socketPath, 5.0, err))
+            << err;
+        const std::string job = submitJob(client, spec_json);
+        ASSERT_EQ(job, "res");
+        const WallInstant t0 = wallNow();
+        for (;;) {
+            ASSERT_LT(wallSecondsSince(t0), 120.0);
+            JsonValue status;
+            const JsonValue *e = nullptr;
+            ASSERT_TRUE(jobStatus(client, job, status, &e));
+            if (e->getNumber("flushed") >= 2)
+                break;
+            wallSleep(0.01);
+        }
+        server.stop(); // cancels the job; progress is journaled
+    }
+
+    // Second daemon on the same state dir: the journal resumes the
+    // job from the flushed prefix and the final bytes match the
+    // uninterrupted reference exactly.
+    {
+        Server server(cfg);
+        server.start();
+        EXPECT_TRUE(server.waitIdle(120.0));
+        EXPECT_EQ(server.stats().jobsResumed, 1u);
+        ServeClient client;
+        std::string err;
+        ASSERT_TRUE(
+            client.connectRetry(cfg.socketPath, 5.0, err))
+            << err;
+        JsonValue status;
+        const JsonValue *e = nullptr;
+        ASSERT_TRUE(jobStatus(client, "res", status, &e));
+        EXPECT_EQ(e->getString("state"), "done");
+        EXPECT_EQ(e->getNumber("flushed"), 6.0);
+        server.stop();
+    }
+    EXPECT_EQ(readFile(cfg.stateDir + "/res.jsonl"), ref);
+
+    // A third start finds the journal complete: the job is listed
+    // as done, nothing re-runs.
+    {
+        Server server(cfg);
+        server.start();
+        ServeClient client;
+        std::string err;
+        ASSERT_TRUE(
+            client.connectRetry(cfg.socketPath, 5.0, err))
+            << err;
+        JsonValue status;
+        const JsonValue *e = nullptr;
+        ASSERT_TRUE(jobStatus(client, "res", status, &e));
+        EXPECT_EQ(e->getString("state"), "done");
+        server.stop();
+    }
+    EXPECT_EQ(readFile(cfg.stateDir + "/res.jsonl"), ref);
+}
+
+TEST(ServeResume, KilledDaemonProcessResumesToIdenticalBytes)
+{
+    // The strongest form of the guarantee: a real bmcserved
+    // process SIGKILLed mid-job (no graceful teardown at all),
+    // restarted on the same state dir, finishes the job with
+    // byte-identical results.
+    sim::SweepSpec sweep = smallSweepSpec();
+    sweep.workloads = {"Q1", "Q3"};
+    const std::string ref_path =
+        testing::TempDir() + "bmc_serve_kill_ref.jsonl";
+    sim::SweepOptions opts;
+    opts.threads = 2;
+    opts.jsonlPath = ref_path;
+    sim::runSweep(sim::buildSweepRuns(sweep), opts);
+    const std::string ref = readFile(ref_path);
+    std::remove(ref_path.c_str());
+
+    const ServerConfig cfg = makeConfig("bmc_serve_kill", 2);
+    const std::string sock_flag = "--socket=" + cfg.socketPath;
+    const std::string state_flag =
+        "--state-dir=" + cfg.stateDir;
+    const auto launch = [&]() -> pid_t {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            ::execl(BMC_SERVE_BIN, BMC_SERVE_BIN,
+                    sock_flag.c_str(), state_flag.c_str(),
+                    "--workers=2", static_cast<char *>(nullptr));
+            ::_exit(127);
+        }
+        return pid;
+    };
+
+    const std::string spec_json =
+        "{\"schema_version\": 1, \"kind\": \"sweep\", "
+        "\"name\": \"kill\", \"mode\": \"functional\", "
+        "\"records\": 4000, \"workloads\": [\"Q1\", \"Q3\"], "
+        "\"schemes\": [\"alloy\", \"bimodal\", \"loh_hill\"], "
+        "\"catalog\": true}";
+
+    pid_t pid = -1;
+    {
+        // Cell 4 sleeps 1 s, guaranteeing the kill lands mid-job.
+        ScopedEnv inject("BMC_SERVE_INJECT", "slow_cell:4:1000");
+        pid = launch();
+        ASSERT_GT(pid, 0);
+        ServeClient client;
+        std::string err;
+        ASSERT_TRUE(
+            client.connectRetry(cfg.socketPath, 10.0, err))
+            << err;
+        const std::string job = submitJob(client, spec_json);
+        ASSERT_EQ(job, "kill");
+        const WallInstant t0 = wallNow();
+        for (;;) {
+            ASSERT_LT(wallSecondsSince(t0), 120.0);
+            JsonValue status;
+            const JsonValue *e = nullptr;
+            ASSERT_TRUE(jobStatus(client, job, status, &e));
+            if (e->getNumber("flushed") >= 2)
+                break;
+            wallSleep(0.01);
+        }
+    }
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+
+    // Restart (no injection this time) and let the resume finish.
+    pid = launch();
+    ASSERT_GT(pid, 0);
+    {
+        ServeClient client;
+        std::string err;
+        ASSERT_TRUE(
+            client.connectRetry(cfg.socketPath, 10.0, err))
+            << err;
+        EXPECT_EQ(waitJobDone(client, "kill", 300.0), "done");
+        JsonValue status;
+        ASSERT_TRUE(client.call("{\"type\": \"status\"}", status,
+                                err))
+            << err;
+        const JsonValue *st = status.find("stats");
+        ASSERT_NE(st, nullptr);
+        EXPECT_EQ(st->getNumber("jobs_resumed"), 1.0);
+
+        EXPECT_EQ(readFile(cfg.stateDir + "/kill.jsonl"), ref);
+        // Completion rebuilt the catalog sidecar from the (merged)
+        // JSONL; it must match a fresh rebuild of the reference.
+        EXPECT_EQ(
+            readFile(cfg.stateDir + "/kill.jsonl.idx").empty(),
+            false);
+
+        JsonValue reply;
+        ASSERT_TRUE(client.call("{\"type\": \"shutdown\"}",
+                                reply, err))
+            << err;
+    }
+    const WallInstant t0 = wallNow();
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &wstatus, WNOHANG);
+        if (r == pid)
+            break;
+        if (wallSecondsSince(t0) > 30.0) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &wstatus, 0);
+            FAIL() << "daemon did not shut down in time";
+        }
+        wallSleep(0.05);
+    }
+    EXPECT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+}
+
+} // anonymous namespace
+} // namespace bmc::serve

@@ -99,6 +99,90 @@ TEST(SweepBuilder, ReplicatesGetDerivedDistinctSeeds)
     EXPECT_EQ(runs[0].cfg.cores, 1u);
 }
 
+TEST(SweepSpecApi, BuildExpandsAxesLikeTheBuilder)
+{
+    SweepSpec spec;
+    spec.cores = 4;
+    spec.seed = 11;
+    spec.mode = RunMode::Functional;
+    spec.workloads = {"Q1", "Q3"};
+    spec.schemes = {"alloy", "bimodal"};
+    spec.cacheMib = {8, 16};
+
+    const std::vector<RunSpec> runs = buildSweepRuns(spec);
+    ASSERT_EQ(runs.size(), 8u); // 2 sizes x 2 workloads x 2 schemes
+    EXPECT_EQ(runs[0].label, "8MiB/Q1/alloy");
+    EXPECT_EQ(runs[7].label, "16MiB/Q3/bimodal");
+    EXPECT_EQ(runs[0].cfg.dramCacheBytes, 8u * kMiB);
+    EXPECT_EQ(runs[7].cfg.dramCacheBytes, 16u * kMiB);
+    // One axis coordinate per axis the spec carries.
+    ASSERT_EQ(runs[0].axisParams.size(), 1u);
+    EXPECT_EQ(runs[0].axisParams[0].first, "cache_mib");
+    EXPECT_EQ(runs[0].axisParams[0].second, 8.0);
+    EXPECT_EQ(runs[0].cfg.seed, 11u);
+}
+
+TEST(SweepSpecApi, DefaultsMatchTheCliDefaults)
+{
+    SweepSpec spec;
+    spec.mode = RunMode::Functional;
+    const std::vector<RunSpec> runs = buildSweepRuns(spec);
+    // Default: the 6-workload bench subset for 4 cores x bimodal.
+    ASSERT_EQ(runs.size(), 6u);
+    EXPECT_EQ(runs[0].label, "Q1/bimodal");
+    EXPECT_EQ(runs[5].label, "Q11/bimodal");
+
+    SweepSpec all = spec;
+    all.schemes = {"all"};
+    EXPECT_EQ(buildSweepRuns(all).size(), 6u * allSchemes().size());
+}
+
+TEST(SweepSpecApi, ValidationSurfacesAsSimError)
+{
+    ScopedThrowErrors guard;
+    SweepSpec bad_mode;
+    bad_mode.mode = RunMode::Functional;
+    bad_mode.check = "all";
+    EXPECT_THROW(buildSweepRuns(bad_mode), SimError);
+
+    SweepSpec bad_scheme;
+    bad_scheme.schemes = {"no_such_scheme"};
+    EXPECT_THROW(buildSweepRuns(bad_scheme), SimError);
+
+    EXPECT_THROW(runModeFromName("warp"), SimError);
+    EXPECT_EQ(runModeFromName("timing"), RunMode::Timing);
+    EXPECT_EQ(runModeFromName("functional"), RunMode::Functional);
+    EXPECT_EQ(runModeFromName("antt"), RunMode::Antt);
+}
+
+TEST(SweepSpecApi, FailedRunResultMatchesTheSweepRow)
+{
+    // failedRunResult is the exact record runSweep emits for an
+    // isolated failure -- the daemon's workers rely on that to keep
+    // failed cells bit-identical across drivers.
+    const std::vector<RunSpec> good =
+        SweepBuilder(baseConfig())
+            .workloads({"Q1"})
+            .schemes({Scheme::BiModal})
+            .mode(RunMode::Functional)
+            .functionalRecords(5'000)
+            .build();
+    RunSpec bad = good[0];
+    bad.label = "bad";
+    bad.mode = RunMode::Timing;
+    bad.cfg.cores = 3; // Q1 has 4 programs: System's assert panics
+
+    SweepOptions opts;
+    const std::vector<RunResult> results = runSweep({bad}, opts);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_FALSE(results[0].ok);
+
+    const RunResult direct =
+        failedRunResult(bad, 0, results[0].error);
+    EXPECT_EQ(runResultToJsonLine(direct),
+              runResultToJsonLine(results[0]));
+}
+
 TEST(Sweep, SameSpecTwiceGivesIdenticalJson)
 {
     const std::vector<RunSpec> runs =

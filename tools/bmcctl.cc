@@ -1,0 +1,263 @@
+/**
+ * @file
+ * bmcctl -- client CLI for the bmcserved daemon.
+ *
+ *   bmcctl ping      [--socket=S]
+ *   bmcctl submit    --spec=job.json [--wait]
+ *   bmcctl status
+ *   bmcctl cancel    --job=ID
+ *   bmcctl results   --job=ID [--follow] [--out=file]
+ *   bmcctl shutdown
+ *
+ * The job spec is a JSON file (schema in EXPERIMENTS.md,
+ * "Simulation as a service"); submit validates it client-side
+ * before sending, so a typo fails with a parse position instead of
+ * a daemon round-trip.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/wallclock.hh"
+#include "serve/client.hh"
+#include "serve/jobspec.hh"
+
+namespace
+{
+
+using namespace bmc;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bmcctl <ping|submit|status|cancel|results|"
+        "shutdown> [options]\n"
+        "       bmcctl <command> --help for the option list\n");
+    return 2;
+}
+
+/** The daemon's status entry for @p job, or null. */
+const serve::JsonValue *
+findJob(const serve::JsonValue &status, const std::string &job)
+{
+    const serve::JsonValue *jobs = status.find("jobs");
+    if (!jobs || !jobs->isArray())
+        return nullptr;
+    for (const serve::JsonValue &e : jobs->arr) {
+        if (e.getString("job") == job)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+printStatus(const serve::JsonValue &reply)
+{
+    const serve::JsonValue *jobs = reply.find("jobs");
+    if (jobs && jobs->isArray()) {
+        for (const serve::JsonValue &e : jobs->arr) {
+            std::string line = strfmt(
+                "%-20s %-6s %-10s %.0f/%.0f cells",
+                e.getString("job").c_str(),
+                e.getString("kind").c_str(),
+                e.getString("state").c_str(),
+                e.getNumber("flushed"), e.getNumber("cells"));
+            if (e.getNumber("failed") > 0) {
+                line += strfmt("  (%.0f failed)",
+                               e.getNumber("failed"));
+            }
+            const std::string err = e.getString("error");
+            if (!err.empty())
+                line += "  error: " + err;
+            std::printf("%s\n", line.c_str());
+        }
+        if (jobs->arr.empty())
+            std::printf("no jobs\n");
+    }
+    const serve::JsonValue *st = reply.find("stats");
+    if (st) {
+        std::printf("daemon: %.0f submitted, %.0f completed, "
+                    "%.0f resumed, %.0f worker restarts, %.0f "
+                    "frames rejected\n",
+                    st->getNumber("jobs_submitted"),
+                    st->getNumber("jobs_completed"),
+                    st->getNumber("jobs_resumed"),
+                    st->getNumber("worker_restarts"),
+                    st->getNumber("frames_rejected"));
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
+    if (cmd != "ping" && cmd != "submit" && cmd != "status" &&
+        cmd != "cancel" && cmd != "results" && cmd != "shutdown") {
+        std::fprintf(stderr, "bmcctl: unknown command '%s'\n",
+                     cmd.c_str());
+        return usage();
+    }
+
+    Options opts("bmcctl -- client for the bmcserved daemon");
+    opts.addString("socket", "bmcserve.sock",
+                   "daemon Unix socket path");
+    opts.addDouble("timeout", 10.0,
+                   "seconds to wait for the daemon socket");
+    opts.addString("spec", "", "job-spec JSON file (submit)");
+    opts.addString("job", "", "job id (cancel/results)");
+    opts.addFlag("follow", false,
+                 "stream rows live until the job completes "
+                 "(results)");
+    opts.addFlag("wait", false,
+                 "block until the submitted job completes "
+                 "(submit)");
+    opts.addString("out", "",
+                   "write rows to this file instead of stdout "
+                   "(results)");
+    // Shift the subcommand out so the option parser sees flags
+    // only.
+    std::vector<char *> shifted;
+    shifted.push_back(argv[0]);
+    for (int i = 2; i < argc; ++i)
+        shifted.push_back(argv[i]);
+    opts.parse(static_cast<int>(shifted.size()), shifted.data());
+
+    serve::ServeClient client;
+    std::string err;
+    if (!client.connectRetry(opts.getString("socket"),
+                             opts.getDouble("timeout"), err)) {
+        bmc_fatal("bmcctl: %s", err.c_str());
+    }
+
+    serve::JsonValue reply;
+    if (cmd == "ping") {
+        if (!client.call("{\"type\": \"ping\"}", reply, err))
+            bmc_fatal("bmcctl: %s", err.c_str());
+        std::printf("pong (protocol version %.0f)\n",
+                    reply.getNumber("protocol_version"));
+        return 0;
+    }
+
+    if (cmd == "submit") {
+        const std::string specPath = opts.getString("spec");
+        if (specPath.empty())
+            bmc_fatal("submit needs --spec=<job.json>");
+        std::ifstream in(specPath);
+        if (!in)
+            bmc_fatal("cannot read '%s'", specPath.c_str());
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        const std::string specText = ss.str();
+        // Validate client-side for a good error message; the raw
+        // (already valid) text is spliced into the request.
+        serve::JobSpec spec;
+        if (!serve::parseJobSpec(specText, spec, err))
+            bmc_fatal("%s: %s", specPath.c_str(), err.c_str());
+        const std::string req =
+            "{\"type\": \"submit\", \"spec\": " + specText + "}";
+        if (!client.call(req, reply, err))
+            bmc_fatal("bmcctl: %s", err.c_str());
+        const std::string job = reply.getString("job");
+        std::printf("submitted %s (%.0f cells)\n", job.c_str(),
+                    reply.getNumber("cells"));
+        if (!opts.flag("wait"))
+            return 0;
+        for (;;) {
+            wallSleep(0.2);
+            if (!client.call("{\"type\": \"status\"}", reply,
+                             err)) {
+                bmc_fatal("bmcctl: %s", err.c_str());
+            }
+            const serve::JsonValue *e = findJob(reply, job);
+            if (!e)
+                bmc_fatal("job '%s' vanished", job.c_str());
+            const std::string state = e->getString("state");
+            if (state == "running")
+                continue;
+            std::printf("%s: %s (%.0f/%.0f cells, %.0f "
+                        "failed)\n",
+                        job.c_str(), state.c_str(),
+                        e->getNumber("flushed"),
+                        e->getNumber("cells"),
+                        e->getNumber("failed"));
+            return state == "done" ? 0 : 1;
+        }
+    }
+
+    if (cmd == "status") {
+        if (!client.call("{\"type\": \"status\"}", reply, err))
+            bmc_fatal("bmcctl: %s", err.c_str());
+        printStatus(reply);
+        return 0;
+    }
+
+    if (cmd == "cancel") {
+        const std::string job = opts.getString("job");
+        if (job.empty())
+            bmc_fatal("cancel needs --job=<id>");
+        const std::string req = strfmt(
+            "{\"type\": \"cancel\", \"job\": %s}",
+            serve::jsonQuote(job).c_str());
+        if (!client.call(req, reply, err))
+            bmc_fatal("bmcctl: %s", err.c_str());
+        std::printf("cancelling %s\n", job.c_str());
+        return 0;
+    }
+
+    if (cmd == "results") {
+        const std::string job = opts.getString("job");
+        if (job.empty())
+            bmc_fatal("results needs --job=<id>");
+        const std::string outPath = opts.getString("out");
+        std::ofstream outFile;
+        if (!outPath.empty()) {
+            outFile.open(outPath,
+                         std::ios::out | std::ios::trunc);
+            if (!outFile)
+                bmc_fatal("cannot write '%s'", outPath.c_str());
+        }
+        std::ostream &out =
+            outPath.empty()
+                ? static_cast<std::ostream &>(std::cout)
+                : outFile;
+        serve::JsonValue end;
+        const bool ok = client.streamResults(
+            job, opts.flag("follow"),
+            [&](std::uint64_t, const std::string &line) {
+                out << line << '\n';
+            },
+            end, err);
+        if (!ok)
+            bmc_fatal("bmcctl: %s", err.c_str());
+        out.flush();
+        std::fprintf(stderr, "%s: %s (%.0f rows, %.0f failed)\n",
+                     job.c_str(),
+                     end.getString("state").c_str(),
+                     end.getNumber("flushed"),
+                     end.getNumber("failed"));
+        return end.getString("state") == "done" ? 0 : 1;
+    }
+
+    // shutdown
+    if (!client.call("{\"type\": \"shutdown\"}", reply, err))
+        bmc_fatal("bmcctl: %s", err.c_str());
+    std::printf("daemon stopping\n");
+    return 0;
+}

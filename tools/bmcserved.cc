@@ -1,0 +1,114 @@
+/**
+ * @file
+ * bmcserved -- the sweep/fuzz job daemon.
+ *
+ * Listens on a Unix socket for frame-wrapped JSON requests
+ * (src/serve), shards each submitted job's cells across a pool of
+ * forked worker processes, streams results, and journals progress
+ * so a killed daemon resumes half-finished campaigns on restart
+ * without re-running completed cells. See EXPERIMENTS.md
+ * ("Simulation as a service") for the protocol and a bmcctl
+ * cookbook.
+ *
+ * The same binary is its own worker: the daemon re-execs itself as
+ * `bmcserved --serve-worker=<fd>` (hidden; checked before option
+ * parsing), so a crashing cell kills one worker process, never the
+ * daemon.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/wallclock.hh"
+#include "serve/server.hh"
+#include "serve/worker.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void
+onSignal(int)
+{
+    g_signalled = 1;
+}
+
+/** Absolute path of this binary, for re-exec'ing workers. */
+std::string
+selfExePath(const char *argv0)
+{
+    std::error_code ec;
+    const auto p =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    return ec ? std::string(argv0) : p.string();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bmc;
+
+    // Hidden worker mode -- must win before option parsing so the
+    // public flag set stays clean.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--serve-worker=", 15) == 0)
+            return serve::serveWorkerMain(
+                std::atoi(argv[i] + 15));
+    }
+
+    Options opts(
+        "bmcserved -- long-running sweep/fuzz job daemon "
+        "(submit jobs with bmcctl)");
+    opts.addString("socket", "bmcserve.sock",
+                   "Unix socket path to listen on");
+    opts.addString("state-dir", "bmcserve-state",
+                   "directory for results, journals and worker "
+                   "scratch");
+    opts.addUint("workers", 2,
+                 "worker processes per running job");
+    opts.addString("pidfile", "",
+                   "write the daemon pid to this file");
+    opts.parse(argc, argv);
+
+    serve::ServerConfig cfg;
+    cfg.socketPath = opts.getString("socket");
+    cfg.stateDir = opts.getString("state-dir");
+    cfg.workers = static_cast<unsigned>(opts.getUint("workers"));
+    cfg.workerBinary = selfExePath(argv[0]);
+
+    const std::string pidfile = opts.getString("pidfile");
+    if (!pidfile.empty()) {
+        std::FILE *f = std::fopen(pidfile.c_str(), "w");
+        if (!f)
+            bmc_fatal("cannot write pidfile '%s'",
+                      pidfile.c_str());
+        std::fprintf(f, "%ld\n", static_cast<long>(::getpid()));
+        std::fclose(f);
+    }
+
+    serve::Server server(cfg);
+    server.start();
+    bmc_inform("bmcserved: listening on %s (state in %s, %u "
+               "workers per job)",
+               cfg.socketPath.c_str(), cfg.stateDir.c_str(),
+               cfg.workers);
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    while (!server.stopRequested() && !g_signalled)
+        wallSleep(0.1);
+    bmc_inform("bmcserved: shutting down");
+    server.stop();
+    return 0;
+}

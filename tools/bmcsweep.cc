@@ -38,7 +38,6 @@
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "sim/sweep.hh"
-#include "trace/workload.hh"
 
 namespace
 {
@@ -178,138 +177,29 @@ main(int argc, char **argv)
 
     using namespace bmc::sim;
 
-    const unsigned cores = static_cast<unsigned>(opts.getUint("cores"));
-    MachineConfig base = opts.flag("full")
-                             ? MachineConfig::fullScale(cores)
-                             : MachineConfig::preset(cores);
-    base.seed = opts.getUint("seed");
-    if (const auto instrs = opts.getUint("instrs"); instrs > 0) {
-        base.instrPerCore = instrs;
-        base.warmupInstrPerCore = instrs;
-    }
-
-    // Resolve the run mode.
-    const std::string &mode_name = opts.getString("mode");
-    RunMode mode = RunMode::Timing;
-    if (mode_name == "functional")
-        mode = RunMode::Functional;
-    else if (mode_name == "antt")
-        mode = RunMode::Antt;
-    else if (mode_name != "timing")
-        bmc_fatal("unknown mode '%s'", mode_name.c_str());
-
-    // Resolve the workload axis.
-    std::vector<std::string> workloads;
-    if (opts.getString("workloads").empty() &&
-        opts.getString("programs").empty()) {
-        if (opts.flag("all")) {
-            for (const auto &w : trace::workloadTable(cores))
-                workloads.push_back(w.name);
-        } else {
-            switch (cores) {
-              case 4:
-                workloads = {"Q1", "Q3", "Q5", "Q7", "Q9", "Q11"};
-                break;
-              case 8:
-                workloads = {"E1", "E3", "E6"};
-                break;
-              case 16:
-                workloads = {"S1", "S2"};
-                break;
-              default:
-                bmc_fatal("no workload table for %u cores", cores);
-            }
-        }
-    } else {
-        workloads = splitList(opts.getString("workloads"));
-    }
-
-    // Resolve the scheme axis.
-    std::vector<Scheme> schemes;
-    if (opts.getString("schemes") == "all") {
-        schemes = allSchemes();
-    } else {
-        for (const std::string &s :
-             splitList(opts.getString("schemes")))
-            schemes.push_back(schemeFromName(s));
-    }
-
-    // Config variants: cross product of capacity x big-block x MLP
-    // lists. Capacity and big-block change the warm identity; MLP is
-    // timing-only, so an --mlp axis forms one shared-warm-up group
-    // per (workload, scheme, geometry) cell.
-    std::vector<SweepBuilder::Variant> variants;
-    const auto sizes = splitUints(opts.getString("cache-mib"));
-    const auto bigs = splitUints(opts.getString("big-bytes"));
-    const auto mlps = splitUints(opts.getString("mlp"));
-    if (!sizes.empty() || !bigs.empty() || !mlps.empty()) {
-        const std::vector<std::uint64_t> size_axis =
-            sizes.empty() ? std::vector<std::uint64_t>{0} : sizes;
-        const std::vector<std::uint64_t> big_axis =
-            bigs.empty() ? std::vector<std::uint64_t>{0} : bigs;
-        const std::vector<std::uint64_t> mlp_axis =
-            mlps.empty() ? std::vector<std::uint64_t>{0} : mlps;
-        for (const std::uint64_t mib : size_axis) {
-            for (const std::uint64_t big : big_axis) {
-              for (const std::uint64_t mlp : mlp_axis) {
-                std::string label;
-                if (mib)
-                    label += strfmt("%" PRIu64 "MiB", mib);
-                if (big) {
-                    if (!label.empty())
-                        label += "-";
-                    label += strfmt("%" PRIu64 "B", big);
-                }
-                if (mlp) {
-                    if (!label.empty())
-                        label += "-";
-                    label += strfmt("mlp%" PRIu64, mlp);
-                }
-                // Axis coordinates: one named param per axis the
-                // user put on the command line, so bmcquery can
-                // filter/group on them (e.g. --where mlp=4).
-                std::vector<std::pair<std::string, double>> params;
-                if (!sizes.empty())
-                    params.emplace_back("cache_mib",
-                                        static_cast<double>(mib));
-                if (!bigs.empty())
-                    params.emplace_back("big_bytes",
-                                        static_cast<double>(big));
-                if (!mlps.empty())
-                    params.emplace_back("mlp",
-                                        static_cast<double>(mlp));
-                variants.push_back(
-                    {label, [mib, big, mlp](MachineConfig &cfg) {
-                         if (mib)
-                             cfg.dramCacheBytes = mib * kMiB;
-                         if (big) {
-                             const unsigned ways =
-                                 cfg.setBytes / cfg.bigBlockBytes;
-                             cfg.bigBlockBytes =
-                                 static_cast<std::uint32_t>(big);
-                             cfg.setBytes = static_cast<std::uint32_t>(
-                                 big * ways);
-                         }
-                         if (mlp)
-                             cfg.mlp = static_cast<unsigned>(mlp);
-                     },
-                     std::move(params)});
-              }
-            }
-        }
-    }
-
-    SweepBuilder builder(base);
-    builder.schemes(schemes)
-        .variants(std::move(variants))
-        .mode(mode)
-        .functionalRecords(opts.getUint("records"))
-        .replicates(static_cast<unsigned>(opts.getUint("reps")));
-    if (!opts.getString("programs").empty())
-        builder.programs(splitList(opts.getString("programs")));
-    else
-        builder.workloads(workloads);
-    std::vector<RunSpec> runs = builder.build();
+    // The whole matrix description lives in the shared SweepSpec:
+    // the daemon's job-spec JSON maps onto the same struct, so a job
+    // submitted over the wire enumerates exactly the cells this CLI
+    // would (and produces bit-identical results JSONL).
+    SweepSpec spec;
+    spec.cores = static_cast<unsigned>(opts.getUint("cores"));
+    spec.fullScale = opts.flag("full");
+    spec.seed = opts.getUint("seed");
+    spec.instrs = opts.getUint("instrs");
+    spec.mode = runModeFromName(opts.getString("mode"));
+    spec.records = opts.getUint("records");
+    spec.allWorkloads = opts.flag("all");
+    spec.workloads = splitList(opts.getString("workloads"));
+    spec.programs = splitList(opts.getString("programs"));
+    spec.schemes = splitList(opts.getString("schemes"));
+    spec.cacheMib = splitUints(opts.getString("cache-mib"));
+    spec.bigBytes = splitUints(opts.getString("big-bytes"));
+    spec.mlp = splitUints(opts.getString("mlp"));
+    spec.reps = static_cast<unsigned>(opts.getUint("reps"));
+    spec.check = opts.getString("check");
+    spec.warmInsts = opts.getUint("warm-insts");
+    const RunMode mode = spec.mode;
+    std::vector<RunSpec> runs = buildSweepRuns(spec);
 
     // Per-run observability outputs: distinct file per run index so
     // parallel runs never share a stream.
@@ -334,27 +224,9 @@ main(int argc, char **argv)
         }
     }
 
-    const CheckConfig check =
-        parseCheckList(opts.getString("check"));
-    if (check.any()) {
-        if (mode != RunMode::Timing)
-            bmc_fatal("--check needs --mode=timing");
-        for (RunSpec &spec : runs)
-            spec.check = check;
-    }
-
-    if (const auto warm = opts.getUint("warm-insts"); warm > 0) {
-        if (mode != RunMode::Timing)
-            bmc_fatal("--warm-insts needs --mode=timing");
-        for (RunSpec &spec : runs) {
-            spec.warmInsts = warm;
-            spec.cfg.warmupInstrPerCore = 0;
-        }
-    }
-
     SweepOptions sopts;
     sopts.threads = static_cast<unsigned>(opts.getUint("threads"));
-    sopts.baseSeed = base.seed;
+    sopts.baseSeed = spec.seed;
     sopts.deriveSeeds = opts.flag("derive-seeds");
     sopts.jsonlPath = opts.getString("out");
     sopts.emitTiming = opts.flag("timing-fields");
