@@ -3,7 +3,12 @@
 #
 #   1. bmclint  -- the project's determinism/invariant linter over
 #      src/ tools/ bench/ (see src/lint/linter.hh for the rules and
-#      the `// bmclint:allow(rule-id)` suppression syntax).
+#      the `// bmclint:allow(rule-id)` suppression syntax). This
+#      includes the semantic pass -- det-taint call-graph analysis,
+#      schema-drift fingerprints, lock-order cycles -- and the run
+#      is repeated per-family with --rule= so a failure names the
+#      family in the log. A SARIF 2.1.0 log is left at
+#      $build_dir/bmclint.sarif for CI/editor upload either way.
 #   2. clang-tidy -- the curated .clang-tidy profile (bugprone-*,
 #      performance-*, concurrency-*, narrowing/slicing) over the
 #      compilation database. Skipped with a notice when clang-tidy
@@ -47,7 +52,19 @@ if [[ -z "$bmclint_bin" ]]; then
     bmclint_bin="$build_dir/tools/bmclint"
 fi
 echo "== bmclint src tools bench =="
+# SARIF artifact first (always written, even when findings fail the
+# gate below -- CI uploads it for inline annotations).
+mkdir -p "$build_dir"
+"$bmclint_bin" --root="$src_dir" --sarif src tools bench \
+    > "$build_dir/bmclint.sarif" || true
 "$bmclint_bin" --root="$src_dir" src tools bench
+
+# The semantic families re-run individually: a clean full pass makes
+# these free, and a regression names the failing family in the log.
+for rule in det-taint schema-drift lock-order; do
+    echo "== bmclint --rule=$rule =="
+    "$bmclint_bin" --root="$src_dir" --rule="$rule" src tools bench
+done
 
 # ------------------------------------------------- leg 2: clang-tidy
 if command -v clang-tidy >/dev/null 2>&1; then

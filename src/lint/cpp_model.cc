@@ -1,0 +1,454 @@
+#include "lint/cpp_model.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace bmc::lint
+{
+
+namespace
+{
+
+struct Token
+{
+    std::string text;
+    int line = 0; //!< 1-based
+    bool ident = false;
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Keywords that precede `(` without being calls or definitions. */
+bool
+isControlKeyword(const std::string &s)
+{
+    static const std::set<std::string> kw = {
+        "if",       "for",        "while",     "switch",
+        "catch",    "return",     "sizeof",    "alignof",
+        "alignas",  "typeid",     "decltype",  "noexcept",
+        "new",      "delete",     "throw",     "operator",
+        "static_assert", "co_await", "co_return", "co_yield",
+        "requires", "static_cast", "dynamic_cast",
+        "const_cast", "reinterpret_cast", "defined", "assert",
+    };
+    return kw.count(s) != 0;
+}
+
+/** Tokenize the code view. Preprocessor lines (and their backslash
+ *  continuations) are skipped whole: macro bodies are not modelled,
+ *  and `#include <x>` must not look like comparisons. */
+std::vector<Token>
+tokenize(const SourceView &v)
+{
+    std::vector<Token> toks;
+    bool inDirective = false;
+    for (std::size_t li = 0; li < v.code.size(); ++li) {
+        const std::string &line = v.code[li];
+        const std::string &raw = v.raw[li];
+
+        if (!inDirective) {
+            const auto first = line.find_first_not_of(" \t");
+            if (first != std::string::npos && line[first] == '#') {
+                inDirective = true;
+            }
+        }
+        if (inDirective) {
+            // continue while lines end in a splice
+            if (raw.empty() || raw.back() != '\\')
+                inDirective = false;
+            continue;
+        }
+
+        const int line1 = static_cast<int>(li) + 1;
+        for (std::size_t i = 0; i < line.size();) {
+            const char c = line[i];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i;
+                continue;
+            }
+            if (isIdentStart(c)) {
+                std::size_t j = i + 1;
+                while (j < line.size() && isIdentChar(line[j]))
+                    ++j;
+                toks.push_back({line.substr(i, j - i), line1, true});
+                i = j;
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                // numbers (incl. 0x..., digit separators) carry no
+                // structure the model needs; swallow them
+                std::size_t j = i + 1;
+                while (j < line.size() &&
+                       (isIdentChar(line[j]) || line[j] == '.'))
+                    ++j;
+                i = j;
+                continue;
+            }
+            const char nx = i + 1 < line.size() ? line[i + 1] : '\0';
+            if ((c == ':' && nx == ':') || (c == '-' && nx == '>')) {
+                toks.push_back(
+                    {std::string{c, nx}, line1, false});
+                i += 2;
+                continue;
+            }
+            toks.push_back({std::string(1, c), line1, false});
+            ++i;
+        }
+    }
+    return toks;
+}
+
+/** Per-line brace depth over the code view (column-exact counting;
+ *  digraphs were canonicalized by preprocess). */
+std::vector<int>
+braceDepths(const SourceView &v)
+{
+    std::vector<int> depth(v.code.size(), 0);
+    int d = 0;
+    for (std::size_t i = 0; i < v.code.size(); ++i) {
+        depth[i] = d;
+        for (const char c : v.code[i]) {
+            if (c == '{')
+                ++d;
+            else if (c == '}')
+                d = std::max(0, d - 1);
+        }
+    }
+    return depth;
+}
+
+/** Index of the token matching the `(` at @p open, or -1. */
+int
+matchParen(const std::vector<Token> &t, int open)
+{
+    int depth = 0;
+    for (int k = open; k < static_cast<int>(t.size()); ++k) {
+        if (t[k].text == "(")
+            ++depth;
+        else if (t[k].text == ")" && --depth == 0)
+            return k;
+    }
+    return -1;
+}
+
+/** Skip a balanced `(...)` or `{...}` starting at @p k; returns the
+ *  index just past the closer (or t.size() when unbalanced). */
+int
+skipBalanced(const std::vector<Token> &t, int k, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (; k < static_cast<int>(t.size()); ++k) {
+        if (t[k].text == open)
+            ++depth;
+        else if (t[k].text == close && --depth == 0)
+            return k + 1;
+    }
+    return k;
+}
+
+/**
+ * Decide whether the identifier at @p nameIdx (followed by `(` at
+ * nameIdx+1) starts a function definition. On success returns the
+ * token index of the body's `{`; otherwise -1.
+ */
+int
+definitionBody(const std::vector<Token> &t, int nameIdx)
+{
+    const int close = matchParen(t, nameIdx + 1);
+    if (close < 0)
+        return -1;
+
+    static const std::set<std::string> qualifiers = {
+        "const", "noexcept", "override", "final",
+        "mutable", "volatile", "throw", "requires",
+    };
+
+    int k = close + 1;
+    const int n = static_cast<int>(t.size());
+    while (k < n) {
+        const Token &tok = t[k];
+        if (tok.ident && qualifiers.count(tok.text)) {
+            ++k;
+            if (k < n && t[k].text == "(")
+                k = skipBalanced(t, k, "(", ")");
+            continue;
+        }
+        if (tok.text == "->") {
+            // trailing return type: scan to the body or terminator
+            ++k;
+            while (k < n && t[k].text != "{" && t[k].text != ";" &&
+                   t[k].text != "=") {
+                if (t[k].text == "(")
+                    k = skipBalanced(t, k, "(", ")");
+                else
+                    ++k;
+            }
+            continue;
+        }
+        if (tok.text == ":") {
+            // ctor-init-list: member(expr) / member{expr} pairs up
+            // to the body brace. A `{` directly after an identifier
+            // or `>` is an initializer; any other `{` is the body.
+            ++k;
+            while (k < n) {
+                if (t[k].text == "(") {
+                    k = skipBalanced(t, k, "(", ")");
+                    continue;
+                }
+                if (t[k].text == "{") {
+                    const Token &prev = t[k - 1];
+                    if (prev.ident || prev.text == ">") {
+                        k = skipBalanced(t, k, "{", "}");
+                        continue;
+                    }
+                    return k; // the body
+                }
+                if (t[k].text == ";")
+                    return -1;
+                ++k;
+            }
+            return -1;
+        }
+        if (tok.text == "{")
+            return k;
+        return -1; // `;`, `=`, `,`, `)` ... a declaration
+    }
+    return -1;
+}
+
+/** Walk the `A::B::` qualifier chain backwards from @p nameIdx;
+ *  returns the last class component ("" when unqualified). */
+std::string
+writtenClass(const std::vector<Token> &t, int nameIdx)
+{
+    if (nameIdx < 2 || t[nameIdx - 1].text != "::")
+        return "";
+    int k = nameIdx - 2;
+    if (t[k].text == ">") {
+        // skip template args backwards: Foo<T>::name
+        int depth = 0;
+        while (k >= 0) {
+            if (t[k].text == ">")
+                ++depth;
+            else if (t[k].text == "<" && --depth == 0) {
+                --k;
+                break;
+            }
+            --k;
+        }
+    }
+    return (k >= 0 && t[k].ident) ? t[k].text : "";
+}
+
+} // anonymous namespace
+
+void
+CppModel::addFile(const std::string &relpath,
+                  const std::string &content)
+{
+    FileModel fm;
+    fm.path = relpath;
+    fm.view = preprocess(content);
+    fm.sup = parseSuppressions(fm.view);
+    fm.depthAtLineStart = braceDepths(fm.view);
+
+    // deferred-callable declarations (std::function / the pooled
+    // InplaceFunction): member or local names lock-order must treat
+    // as opaque when invoked under a lock
+    static const std::regex callableDecl(
+        R"((?:std\s*::\s*function|InplaceFunction)\s*<[^;]*?>\s+([A-Za-z_]\w*)\s*[;={(])");
+    for (const std::string &line : fm.view.code) {
+        std::smatch m;
+        if (std::regex_search(line, m, callableDecl))
+            callables_.insert(m[1].str());
+    }
+
+    const std::vector<Token> toks = tokenize(fm.view);
+    const int n = static_cast<int>(toks.size());
+
+    struct ClassScope
+    {
+        std::string name;
+        int depth; // brace depth inside the class body
+    };
+    struct FuncScope
+    {
+        int defIdx;
+        int bodyDepth; // brace depth inside the body
+    };
+    std::vector<ClassScope> classes;
+    std::vector<FuncScope> funcs;
+    int braceDepth = 0;
+    int parenDepth = 0;
+    std::string pendingClass; // seen `class X`, awaiting `{` or `;`
+
+    for (int i = 0; i < n; ++i) {
+        const Token &tok = toks[i];
+
+        if (!tok.ident) {
+            if (tok.text == "(") {
+                ++parenDepth;
+            } else if (tok.text == ")") {
+                parenDepth = std::max(0, parenDepth - 1);
+            } else if (tok.text == "{") {
+                ++braceDepth;
+                if (!pendingClass.empty() && parenDepth == 0) {
+                    classes.push_back({pendingClass, braceDepth});
+                    pendingClass.clear();
+                }
+            } else if (tok.text == "}") {
+                braceDepth = std::max(0, braceDepth - 1);
+                while (!funcs.empty() &&
+                       funcs.back().bodyDepth > braceDepth) {
+                    funcs_[static_cast<std::size_t>(
+                               funcs.back().defIdx)]
+                        .endLine = tok.line;
+                    funcs.pop_back();
+                }
+                while (!classes.empty() &&
+                       classes.back().depth > braceDepth)
+                    classes.pop_back();
+            } else if (tok.text == ";" && parenDepth == 0) {
+                pendingClass.clear(); // forward declaration
+            }
+            continue;
+        }
+
+        if ((tok.text == "class" || tok.text == "struct" ||
+             tok.text == "union") &&
+            parenDepth == 0) {
+            // skip `template <class T>` parameters
+            const bool inTemplateHead =
+                i > 0 && (toks[i - 1].text == "<" ||
+                          toks[i - 1].text == ",");
+            if (!inTemplateHead && i + 1 < n && toks[i + 1].ident &&
+                !isControlKeyword(toks[i + 1].text))
+                pendingClass = toks[i + 1].text;
+            continue;
+        }
+
+        if (i + 1 >= n || toks[i + 1].text != "(")
+            continue;
+        if (isControlKeyword(tok.text))
+            continue;
+        const Token *prev = i > 0 ? &toks[i - 1] : nullptr;
+        const bool receiverCall =
+            prev && (prev->text == "." || prev->text == "->");
+
+        // --- definition?
+        if (parenDepth == 0 && !receiverCall) {
+            const int body = definitionBody(toks, i);
+            if (body >= 0) {
+                std::string cls = writtenClass(toks, i);
+                if (cls.empty() && !classes.empty())
+                    cls = classes.back().name;
+                FunctionDef def;
+                def.name = tok.text;
+                def.qualified = cls.empty()
+                                    ? tok.text
+                                    : cls + "::" + tok.text;
+                def.file = relpath;
+                def.line = tok.line;
+                def.bodyLine = toks[body].line;
+                def.endLine = toks[body].line; // until `}` is seen
+                const int defIdx = static_cast<int>(funcs_.size());
+                funcs_.push_back(std::move(def));
+                byName_[tok.text].push_back(defIdx);
+                funcs.push_back({defIdx, braceDepth + 1});
+                // jump to the body `{`; the signature's tokens
+                // (params, init-list) are not calls
+                i = body - 1;
+                continue;
+            }
+        }
+
+        // --- call site, attributed to the innermost definition
+        if (funcs.empty())
+            continue;
+        CallSite cs;
+        cs.name = tok.text;
+        cs.line = tok.line;
+        cs.hasReceiver = receiverCall;
+        if (receiverCall && i >= 2 && toks[i - 2].ident)
+            cs.receiver = toks[i - 2].text;
+        if (prev && prev->text == "::") {
+            // collect the a::b::c qualifier chain
+            int k = i - 1;
+            std::vector<std::string> parts;
+            while (k >= 1 && toks[k].text == "::" &&
+                   toks[k - 1].ident) {
+                parts.push_back(toks[k - 1].text);
+                k -= 2;
+            }
+            for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+                if (!cs.qualifier.empty())
+                    cs.qualifier += "::";
+                cs.qualifier += *it;
+            }
+        }
+        for (int k = i + 2;
+             k < std::min(n, i + 8) && toks[k].text != ")"; ++k) {
+            if (!cs.argHead.empty())
+                cs.argHead += ' ';
+            cs.argHead += toks[k].text;
+        }
+        funcs_[static_cast<std::size_t>(funcs.back().defIdx)]
+            .calls.push_back(std::move(cs));
+    }
+
+    // unterminated bodies (truncated files) end at EOF
+    while (!funcs.empty()) {
+        funcs_[static_cast<std::size_t>(funcs.back().defIdx)]
+            .endLine = static_cast<int>(fm.view.code.size());
+        funcs.pop_back();
+    }
+
+    files_[relpath] = std::move(fm);
+}
+
+const FileModel *
+CppModel::file(const std::string &relpath) const
+{
+    const auto it = files_.find(relpath);
+    return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<int>
+CppModel::resolve(const std::string &name) const
+{
+    const auto it = byName_.find(name);
+    return it == byName_.end() ? std::vector<int>{} : it->second;
+}
+
+std::vector<int>
+CppModel::resolveIn(const std::string &relpath,
+                    const std::string &name) const
+{
+    std::vector<int> out;
+    for (const int idx : resolve(name))
+        if (funcs_[static_cast<std::size_t>(idx)].file == relpath)
+            out.push_back(idx);
+    return out;
+}
+
+bool
+CppModel::suppressed(const std::string &relpath, int line,
+                     const std::string &rule) const
+{
+    const FileModel *fm = file(relpath);
+    return fm && fm->sup.covers(line, rule);
+}
+
+} // namespace bmc::lint

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Approximate C++ semantic model for bmclint -- no libclang, same
+ * zero-dependency philosophy as the flat rules.
+ *
+ * The model tokenizes each translation unit's comment/string-blanked
+ * `code` view (source_view.hh), indexes function and method
+ * definitions, records every call site inside them, and links calls
+ * to definitions by bare name across the whole repo. The result is
+ * an approximate call graph: good enough to chase a wall-clock value
+ * through three helpers into a serializer, or a lock acquisition
+ * into a callee -- and honest about what it is not (no overload
+ * resolution, no templates, no virtual dispatch; a call resolves to
+ * EVERY definition sharing its name).
+ *
+ * Heuristics, stated so their failure modes are reviewable:
+ *
+ *  - A definition is an identifier followed by `(` whose balanced
+ *    parameter list is followed (after const/noexcept/override/
+ *    trailing-return/ctor-init-list) by `{`. Declarations end in
+ *    `;`, `= default`, `= delete` and are skipped.
+ *  - Preprocessor lines (and their `\` continuations) are skipped
+ *    entirely; macro bodies are not modelled.
+ *  - Qualified definitions (`Server::flushRow`) take their class
+ *    from the written qualifier; in-class bodies take it from the
+ *    enclosing class/struct.
+ *  - Calls inside a body attribute to the innermost enclosing
+ *    definition; calls at namespace scope are dropped.
+ *
+ * Consumers: det-taint, lock-order and schema-drift in linter.cc.
+ */
+
+#ifndef BMC_LINT_CPP_MODEL_HH
+#define BMC_LINT_CPP_MODEL_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/source_view.hh"
+
+namespace bmc::lint
+{
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string name;      //!< bare callee name
+    int line = 0;          //!< 1-based
+    bool hasReceiver = false; //!< written as x.name(...) / x->name(...)
+    std::string receiver;  //!< receiver identifier ("" when complex)
+    std::string qualifier; //!< `a::b` chain before the name, if any
+    std::string argHead;   //!< first few argument tokens, joined
+};
+
+/** One function or method definition. */
+struct FunctionDef
+{
+    std::string name;      //!< bare name
+    std::string qualified; //!< Class::name when the class is known
+    std::string file;      //!< root-relative path
+    int line = 0;          //!< 1-based, name token
+    int bodyLine = 0;      //!< 1-based, opening `{`
+    int endLine = 0;       //!< 1-based, closing `}`
+    std::vector<CallSite> calls;
+};
+
+/** Per-file artifacts every semantic rule needs. */
+struct FileModel
+{
+    std::string path;
+    SourceView view;
+    Suppressions sup;
+    /** Brace depth at the start of each 0-based line (digraphs were
+     *  canonicalized by preprocess, so counting braces is exact). */
+    std::vector<int> depthAtLineStart;
+};
+
+/**
+ * The repo-wide model: files, definitions, and the name index that
+ * turns call sites into graph edges.
+ */
+class CppModel
+{
+  public:
+    /** Parse @p content and add it to the model. */
+    void addFile(const std::string &relpath,
+                 const std::string &content);
+
+    const std::vector<FunctionDef> &
+    functions() const
+    {
+        return funcs_;
+    }
+
+    /** File lookup; nullptr when the path was never added. */
+    const FileModel *file(const std::string &relpath) const;
+
+    const std::map<std::string, FileModel> &
+    files() const
+    {
+        return files_;
+    }
+
+    /** Indices into functions() of every definition named @p name. */
+    std::vector<int> resolve(const std::string &name) const;
+
+    /** Indices of definitions named @p name inside @p relpath. */
+    std::vector<int> resolveIn(const std::string &relpath,
+                               const std::string &name) const;
+
+    /** Identifiers declared as a deferred callable anywhere in the
+     *  repo (std::function / InplaceFunction members and locals).
+     *  lock-order flags invoking one of these under a held lock. */
+    const std::set<std::string> &
+    callableNames() const
+    {
+        return callables_;
+    }
+
+    /** True when @p sup covers a finding at (file, line). */
+    bool suppressed(const std::string &relpath, int line,
+                    const std::string &rule) const;
+
+  private:
+    std::map<std::string, FileModel> files_;
+    std::vector<FunctionDef> funcs_;
+    std::map<std::string, std::vector<int>> byName_;
+    std::set<std::string> callables_;
+};
+
+} // namespace bmc::lint
+
+#endif // BMC_LINT_CPP_MODEL_HH

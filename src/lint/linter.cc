@@ -6,11 +6,15 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "lint/cpp_model.hh"
+#include "lint/schema_pins.hh"
+#include "lint/source_view.hh"
 
 namespace bmc::lint
 {
@@ -78,193 +82,11 @@ isEventPathFile(const std::string &relpath)
     return false;
 }
 
-// ------------------------------------------- source preprocessing
+// Lexical preprocessing (SourceView), suppressions and the
+// unordered-container name scan live in source_view.{hh,cc}; the
+// token-level model the semantic rules run over is cpp_model.{hh,cc}.
 
-/**
- * A file split into lines, twice: @c raw as written (suppression
- * comments live here) and @c code with comments, string literals and
- * char literals blanked out so rule patterns never fire on prose or
- * quoted text. Blanking preserves column positions.
- */
-struct SourceView
-{
-    std::vector<std::string> raw;
-    std::vector<std::string> code;
-};
-
-bool looksLikeCharLiteral(const SourceView &v);
 std::string relExtension(const std::string &relpath);
-
-SourceView
-preprocess(const std::string &content)
-{
-    SourceView v;
-    v.raw.emplace_back();
-    v.code.emplace_back();
-
-    enum class State
-    {
-        Normal,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-        RawString,
-    };
-    State st = State::Normal;
-    std::string rawDelim; // raw-string closing delimiter ')delim"'
-
-    const std::size_t n = content.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        const char c = content[i];
-        const char nx = i + 1 < n ? content[i + 1] : '\0';
-
-        if (c == '\n') {
-            if (st == State::LineComment)
-                st = State::Normal;
-            v.raw.emplace_back();
-            v.code.emplace_back();
-            continue;
-        }
-        v.raw.back() += c;
-
-        switch (st) {
-          case State::Normal:
-            if (c == '/' && nx == '/') {
-                st = State::LineComment;
-                v.code.back() += ' ';
-            } else if (c == '/' && nx == '*') {
-                st = State::BlockComment;
-                v.code.back() += ' ';
-            } else if (c == 'R' && nx == '"' &&
-                       (v.code.back().empty() ||
-                        !(std::isalnum(static_cast<unsigned char>(
-                              v.code.back().back())) ||
-                          v.code.back().back() == '_'))) {
-                // R"delim( ... )delim"
-                std::size_t j = i + 2;
-                std::string delim;
-                while (j < n && content[j] != '(' &&
-                       content[j] != '\n')
-                    delim += content[j++];
-                rawDelim = ")" + delim + "\"";
-                st = State::RawString;
-                v.code.back() += ' ';
-            } else if (c == '"') {
-                st = State::String;
-                v.code.back() += ' ';
-            } else if (c == '\'' && looksLikeCharLiteral(v)) {
-                st = State::Char;
-                v.code.back() += ' ';
-            } else {
-                v.code.back() += c;
-            }
-            break;
-          case State::LineComment:
-            v.code.back() += ' ';
-            break;
-          case State::BlockComment:
-            if (c == '*' && nx == '/') {
-                v.code.back() += "  ";
-                v.raw.back() += nx;
-                ++i;
-                st = State::Normal;
-            } else {
-                v.code.back() += ' ';
-            }
-            break;
-          case State::String:
-          case State::Char:
-            if (c == '\\' && i + 1 < n && nx != '\n') {
-                v.code.back() += "  ";
-                v.raw.back() += nx;
-                ++i;
-            } else {
-                v.code.back() += ' ';
-                if ((st == State::String && c == '"') ||
-                    (st == State::Char && c == '\''))
-                    st = State::Normal;
-            }
-            break;
-          case State::RawString:
-            v.code.back() += ' ';
-            if (c == ')' &&
-                content.compare(i, rawDelim.size(), rawDelim) == 0) {
-                for (std::size_t k = 1; k < rawDelim.size(); ++k) {
-                    v.raw.back() += content[i + k];
-                    v.code.back() += ' ';
-                }
-                i += rawDelim.size() - 1;
-                st = State::Normal;
-            }
-            break;
-        }
-    }
-    return v;
-}
-
-/**
- * Distinguish a char literal's opening quote from a digit separator
- * (1'000'000). A quote directly after an identifier char or digit is
- * a separator.
- */
-bool
-looksLikeCharLiteral(const SourceView &v)
-{
-    const std::string &line = v.code.back();
-    if (line.empty())
-        return true;
-    const char prev = line.back();
-    return !(std::isalnum(static_cast<unsigned char>(prev)) ||
-             prev == '_');
-}
-
-// ------------------------------------------------- suppressions
-
-/** Rules allowed on each line via `bmclint:allow(...)` comments. A
- *  suppression covers its own line and the line below it. */
-struct Suppressions
-{
-    // one set per 0-based line; "*" allows everything on the line
-    std::vector<std::set<std::string>> allowed;
-
-    bool
-    covers(int line1, const std::string &rule) const
-    {
-        for (int l : {line1 - 1, line1 - 2}) { // own + previous line
-            if (l < 0 || l >= static_cast<int>(allowed.size()))
-                continue;
-            const auto &s = allowed[static_cast<std::size_t>(l)];
-            if (s.count("*") || s.count(rule))
-                return true;
-        }
-        return false;
-    }
-};
-
-Suppressions
-parseSuppressions(const SourceView &v)
-{
-    static const std::regex re(
-        R"(bmclint:allow\(([A-Za-z0-9_*, -]+)\))");
-    Suppressions sup;
-    sup.allowed.resize(v.raw.size());
-    for (std::size_t i = 0; i < v.raw.size(); ++i) {
-        auto begin = std::sregex_iterator(v.raw[i].begin(),
-                                          v.raw[i].end(), re);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-            std::stringstream ss((*it)[1].str());
-            std::string id;
-            while (std::getline(ss, id, ',')) {
-                const auto a = id.find_first_not_of(" \t");
-                const auto b = id.find_last_not_of(" \t");
-                if (a != std::string::npos)
-                    sup.allowed[i].insert(id.substr(a, b - a + 1));
-            }
-        }
-    }
-    return sup;
-}
 
 // ------------------------------------------------------- rules
 
@@ -340,45 +162,6 @@ ruleNoUnseededRand(RuleCtx &ctx)
              "behaviour; use the seeded xoshiro streams"},
         };
     scanPatterns(ctx, "no-unseeded-rand", patterns);
-}
-
-/** Collect identifiers declared as std::unordered_{map,set} in
- *  @p view (member or local declarations). */
-std::set<std::string>
-unorderedNames(const SourceView &view)
-{
-    std::set<std::string> names;
-    const std::regex decl(R"(unordered_(?:map|set)\s*<)");
-    for (const std::string &line : view.code) {
-        for (auto it = std::sregex_iterator(line.begin(), line.end(),
-                                            decl);
-             it != std::sregex_iterator(); ++it) {
-            // Skip the balanced template argument list, then read
-            // the declared identifier. Declarations whose argument
-            // list spans lines are matched when the name appears on
-            // a later line next to the closing '>' -- rare in this
-            // tree, where declarations are single-statement.
-            std::size_t pos = static_cast<std::size_t>(
-                it->position() + it->length());
-            int depth = 1;
-            while (pos < line.size() && depth > 0) {
-                if (line[pos] == '<')
-                    ++depth;
-                else if (line[pos] == '>')
-                    --depth;
-                ++pos;
-            }
-            if (depth != 0)
-                continue;
-            std::smatch m;
-            const std::string rest = line.substr(pos);
-            static const std::regex ident(
-                R"(^\s*&?\s*([A-Za-z_]\w*)\s*[;={(])");
-            if (std::regex_search(rest, m, ident))
-                names.insert(m[1].str());
-        }
-    }
-    return names;
 }
 
 void
@@ -594,6 +377,406 @@ hashHex(std::uint64_t h)
     return buf;
 }
 
+// ------------------------------------------- semantic: shared bits
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** FNV-1a accumulator, same parameters as the checkpoint checksum. */
+struct Fnv
+{
+    std::uint64_t h = 14695981039346656037ULL;
+
+    void
+    feed(const std::string &s)
+    {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ULL;
+        }
+    }
+};
+
+/** The characters of line @p li that live inside string literals:
+ *  text keeps them, code blanks them. Everything else is blanked,
+ *  so patterns like `%p` or `\"key\":` can never match plain code. */
+std::string
+stringOnly(const SourceView &v, std::size_t li)
+{
+    const std::string &code = v.code[li];
+    const std::string &text = v.text[li];
+    std::string out(text.size(), ' ');
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (i >= code.size() || code[i] == ' ')
+            out[i] = text[i];
+    }
+    // comments are blank in both views already; blanks stay blanks
+    for (std::size_t i = 0; i < out.size(); ++i)
+        if (out[i] == '\t')
+            out[i] = ' ';
+    return out;
+}
+
+/** True when the def's own raw line (or the one above) carries the
+ *  given bmclint marker comment. */
+bool
+hasMarker(const FileModel &fm, int line1, const char *marker)
+{
+    for (int l : {line1 - 1, line1 - 2}) {
+        if (l < 0 || l >= static_cast<int>(fm.view.raw.size()))
+            continue;
+        if (fm.view.raw[static_cast<std::size_t>(l)].find(marker) !=
+            std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------- det-taint
+
+/** Audited serializer entry points: definition name + file prefix.
+ *  `// bmclint:sink` on a definition extends the set in place. */
+struct TaintSinkSpec
+{
+    const char *name;
+    const char *filePrefix;
+};
+
+constexpr TaintSinkSpec kTaintSinks[] = {
+    {"statsToJson", "src/sim/metrics.cc"},
+    {"runResultToJsonLine", "src/sim/sweep.cc"},
+    {"writeRow", "src/sim/epoch_sampler.cc"},
+    {"completeEvent", "src/common/chrome_trace"},
+    {"instantEvent", "src/common/chrome_trace"},
+    {"emitPrefix", "src/common/chrome_trace"},
+    {"rowFromScanned", "src/sim/catalog.cc"},
+    {"writeCatalogIndex", "src/sim/catalog.cc"},
+    {"rebuildCatalogIndex", "src/sim/catalog.cc"},
+    {"frameCheckpoint", "src/sim/checkpoint.cc"},
+    {"flushRow", "src/serve/server.cc"},
+    {"append", "src/serve/journal.cc"},
+    {"jobSpecToJson", "src/serve/jobspec.cc"},
+    {"fuzzRowJson", "src/serve/jobspec.cc"},
+    {"toJson", "src/common/profiler.cc"},
+};
+
+/** A reason a definition is taint-carrying by itself. */
+struct TaintMark
+{
+    std::string label; //!< human-readable source description
+    std::string key;   //!< dedupe key per (sink, source kind)
+    int line = 0;      //!< 1-based line of the evidence
+};
+
+/** Direct (intra-body) taint marks of @p def. */
+std::vector<TaintMark>
+directTaintMarks(const CppModel &model, const FunctionDef &def)
+{
+    std::vector<TaintMark> marks;
+    const FileModel *fm = model.file(def.file);
+    if (!fm)
+        return marks;
+
+    // the audited wall-clock entry points
+    if ((def.name == "wallNow" || def.name == "wallSecondsSince") &&
+        endsWith(def.file, "common/wallclock.hh")) {
+        marks.push_back({def.name + " (common/wallclock.hh)",
+                         "wallclock", def.line});
+        return marks; // the source itself; no need to scan its body
+    }
+    if (hasMarker(*fm, def.line, "bmclint:taint-source")) {
+        marks.push_back({"marked source '" + def.qualified + "'",
+                         "marker:" + def.qualified, def.line});
+        return marks;
+    }
+
+    static const std::regex randRe(
+        R"(\b(random_device|default_random_engine)\b)");
+    static const std::regex ptrCastRe(
+        R"(reinterpret_cast\s*<[^;>]*uintptr_t)");
+    static const std::regex rangeFor(
+        R"(for\s*\([^;()]*:\s*\*?\s*(?:this\s*->\s*)?([A-Za-z_]\w*)\s*\))");
+    static const std::regex beginCall(
+        R"(([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()");
+
+    // unordered-container names visible from this file (+ sibling)
+    std::set<std::string> unordered = unorderedNames(fm->view);
+    if (endsWith(def.file, ".cc")) {
+        const std::string hh =
+            def.file.substr(0, def.file.size() - 3) + ".hh";
+        if (const FileModel *sib = model.file(hh)) {
+            const auto more = unorderedNames(sib->view);
+            unordered.insert(more.begin(), more.end());
+        }
+    }
+
+    const int lo = std::max(def.bodyLine, 1);
+    const int hi = std::min(def.endLine,
+                            static_cast<int>(fm->view.code.size()));
+    for (int l = lo; l <= hi; ++l) {
+        const std::size_t i = static_cast<std::size_t>(l - 1);
+        const std::string &code = fm->view.code[i];
+        std::smatch m;
+        if (std::regex_search(code, m, randRe)) {
+            marks.push_back(
+                {m[1].str() + " in " + def.qualified,
+                 "rand", l});
+        }
+        if (std::regex_search(code, ptrCastRe)) {
+            marks.push_back(
+                {"pointer-to-integer cast in " + def.qualified,
+                 "ptr", l});
+        }
+        if (stringOnly(fm->view, i).find("%p") !=
+            std::string::npos) {
+            marks.push_back(
+                {"%p pointer formatting in " + def.qualified,
+                 "ptr", l});
+        }
+        if (!unordered.empty()) {
+            if (std::regex_search(code, m, rangeFor) &&
+                unordered.count(m[1].str())) {
+                marks.push_back(
+                    {"iteration over unordered container '" +
+                         m[1].str() + "' in " + def.qualified,
+                     "unordered:" + m[1].str(), l});
+            }
+            for (auto it = std::sregex_iterator(
+                     code.begin(), code.end(), beginCall);
+                 it != std::sregex_iterator(); ++it) {
+                if (unordered.count((*it)[1].str())) {
+                    marks.push_back(
+                        {"iteration over unordered container '" +
+                             (*it)[1].str() + "' in " +
+                             def.qualified,
+                         "unordered:" + (*it)[1].str(), l});
+                }
+            }
+        }
+    }
+    return marks;
+}
+
+/** Non-deterministic library calls the model cannot resolve to a
+ *  definition. Returns a source label, or "" when benign. */
+std::string
+intrinsicTaintSource(const CallSite &cs)
+{
+    static const std::set<std::string> always = {
+        "rand",       "srand",        "drand48", "random",
+        "gettimeofday", "clock_gettime", "localtime", "gmtime",
+        "timespec_get",
+    };
+    if (always.count(cs.name))
+        return cs.name + "()";
+    if ((cs.name == "time" || cs.name == "clock") &&
+        !cs.hasReceiver &&
+        (cs.qualifier.empty() || cs.qualifier == "std"))
+        return cs.name + "()";
+    if (cs.name == "now" &&
+        (cs.qualifier.find("chrono") != std::string::npos ||
+         cs.qualifier.find("steady_clock") != std::string::npos ||
+         cs.qualifier.find("system_clock") != std::string::npos ||
+         cs.qualifier.find("high_resolution_clock") !=
+             std::string::npos))
+        return cs.qualifier + "::now()";
+    return "";
+}
+
+// ---------------------------------------------------- lock-order
+
+/** One lock event inside a function body, in line order. */
+struct LockEvent
+{
+    enum Kind
+    {
+        GuardDecl, //!< lock_guard/unique_lock/... declaration
+        Manual,    //!< expr.lock() / expr.unlock()
+        Call,      //!< a call site (index into def.calls)
+    };
+    Kind kind = GuardDecl;
+    int line = 0; //!< 1-based
+    // GuardDecl
+    std::string var;
+    std::vector<std::string> mutexes;
+    bool engaged = true; //!< false for std::defer_lock
+    // Manual
+    std::string expr;
+    bool isLock = true;
+    // Call
+    int callIdx = -1;
+};
+
+/** Normalize a mutex expression: drop spaces, `&`, `*`, `this->`;
+ *  qualify a plain identifier with the definition's class so
+ *  `jobsMutex_` means the same mutex in every Server method. */
+std::string
+normalizeMutexId(std::string expr, const FunctionDef &def)
+{
+    expr.erase(std::remove_if(expr.begin(), expr.end(),
+                              [](unsigned char c) {
+                                  return std::isspace(c) ||
+                                         c == '&' || c == '*';
+                              }),
+               expr.end());
+    if (expr.rfind("this->", 0) == 0)
+        expr = expr.substr(6);
+    if (expr.empty())
+        return expr;
+    const bool plain =
+        expr.find('.') == std::string::npos &&
+        expr.find("->") == std::string::npos &&
+        expr.find("::") == std::string::npos;
+    const auto sep = def.qualified.rfind("::");
+    if (plain && sep != std::string::npos)
+        expr = def.qualified.substr(0, sep) + "::" + expr;
+    return expr;
+}
+
+/** std::lock tag types that modulate a guard's initial state. */
+bool
+isLockTag(const std::string &arg, bool &engaged)
+{
+    if (arg.find("defer_lock") != std::string::npos) {
+        engaged = false;
+        return true;
+    }
+    return arg.find("try_to_lock") != std::string::npos ||
+           arg.find("adopt_lock") != std::string::npos;
+}
+
+/** Extract @p def's lock events (guard declarations spanning lines
+ *  are handled by matching over the joined body). */
+std::vector<LockEvent>
+lockEvents(const CppModel &model, const FunctionDef &def)
+{
+    std::vector<LockEvent> events;
+    const FileModel *fm = model.file(def.file);
+    if (!fm)
+        return events;
+
+    const int lo = std::max(def.line, 1);
+    const int hi = std::min(def.endLine,
+                            static_cast<int>(fm->view.code.size()));
+
+    // joined body with offsets -> line numbers
+    std::string body;
+    std::vector<int> lineAt; // per char, 1-based line
+    for (int l = lo; l <= hi; ++l) {
+        const std::string &line =
+            fm->view.code[static_cast<std::size_t>(l - 1)];
+        body += line;
+        body += '\n';
+        lineAt.insert(lineAt.end(), line.size() + 1, l);
+    }
+
+    static const std::regex guardRe(
+        R"((?:std\s*::\s*)?(lock_guard|unique_lock|shared_lock|scoped_lock)\s*(?:<[^<>;]*>)?\s+([A-Za-z_]\w*)\s*([({]))");
+    for (auto it = std::sregex_iterator(body.begin(), body.end(),
+                                        guardRe);
+         it != std::sregex_iterator(); ++it) {
+        LockEvent ev;
+        ev.kind = LockEvent::GuardDecl;
+        ev.var = (*it)[2].str();
+        ev.line = lineAt[static_cast<std::size_t>(it->position())];
+
+        // collect the balanced argument list
+        std::size_t pos = static_cast<std::size_t>(it->position() +
+                                                   it->length());
+        const char open = (*it)[3].str()[0];
+        const char close = open == '(' ? ')' : '}';
+        int depth = 1;
+        std::string args;
+        while (pos < body.size() && depth > 0) {
+            const char c = body[pos];
+            if (c == open)
+                ++depth;
+            else if (c == close)
+                --depth;
+            if (depth > 0)
+                args += c;
+            ++pos;
+        }
+        // split on top-level commas
+        std::vector<std::string> parts;
+        std::string cur;
+        int d = 0;
+        for (const char c : args) {
+            if (c == '(' || c == '<' || c == '{')
+                ++d;
+            else if (c == ')' || c == '>' || c == '}')
+                --d;
+            if (c == ',' && d == 0) {
+                parts.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!cur.empty())
+            parts.push_back(cur);
+        for (const std::string &p : parts) {
+            if (isLockTag(p, ev.engaged))
+                continue;
+            const std::string id = normalizeMutexId(p, def);
+            if (!id.empty() &&
+                id.find('(') == std::string::npos)
+                ev.mutexes.push_back(id);
+        }
+        if (!ev.mutexes.empty())
+            events.push_back(std::move(ev));
+    }
+
+    static const std::regex manualRe(
+        R"(([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*\.\s*(lock|unlock)\s*\(\s*\))");
+    for (auto it = std::sregex_iterator(body.begin(), body.end(),
+                                        manualRe);
+         it != std::sregex_iterator(); ++it) {
+        LockEvent ev;
+        ev.kind = LockEvent::Manual;
+        ev.expr = (*it)[1].str();
+        ev.isLock = (*it)[2].str() == "lock";
+        ev.line = lineAt[static_cast<std::size_t>(it->position())];
+        events.push_back(std::move(ev));
+    }
+
+    for (std::size_t ci = 0; ci < def.calls.size(); ++ci) {
+        LockEvent ev;
+        ev.kind = LockEvent::Call;
+        ev.callIdx = static_cast<int>(ci);
+        ev.line = def.calls[ci].line;
+        events.push_back(std::move(ev));
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const LockEvent &a, const LockEvent &b) {
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return a.kind < b.kind; // decls before calls
+                     });
+    return events;
+}
+
+/** Calls that park the thread; holding a lock across one starves
+ *  every contender (the cv-wait family is exempted by the caller:
+ *  waits release the lock while parked). */
+bool
+isBlockingCall(const std::string &name)
+{
+    static const std::set<std::string> blocking = {
+        "wallSleep", "sleep_for", "sleep_until", "usleep",
+        "nanosleep", "sleep",     "join",        "waitpid",
+        "system",    "popen",     "pause",       "flock",
+        "poll",      "select",    "accept",      "connect",
+    };
+    return blocking.count(name) != 0;
+}
+
 // ------------------------------------------------- tree walking
 
 std::string
@@ -639,6 +822,16 @@ ruleCatalog()
         {"ckpt-versioned",
          "serialized-field changes must re-pin kCheckpointSchemaHash "
          "(and bump kCheckpointVersion)"},
+        {"det-taint",
+         "wall-clock/random/pointer/unordered values must not reach "
+         "a serialization sink through any call path"},
+        {"schema-drift",
+         "emitted JSON keys / binio field sequences must match the "
+         "pinned fingerprint, version constant and EXPERIMENTS.md "
+         "registry row per format"},
+        {"lock-order",
+         "the static lock-acquisition graph must be cycle-free, with "
+         "no blocking or opaque calls under a held lock"},
     };
     return rules;
 }
@@ -650,6 +843,869 @@ knownRule(const std::string &id)
         if (id == r.id)
             return true;
     return false;
+}
+
+// ==================================================== det-taint
+
+std::vector<Finding>
+lintDetTaint(const CppModel &model)
+{
+    const auto &funcs = model.functions();
+
+    // sink set: the audited table plus `// bmclint:sink` markers
+    std::vector<int> sinks;
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        const FunctionDef &def = funcs[i];
+        bool isSink = false;
+        for (const TaintSinkSpec &s : kTaintSinks) {
+            if (def.name == s.name &&
+                def.file.rfind(s.filePrefix, 0) == 0) {
+                isSink = true;
+                break;
+            }
+        }
+        if (!isSink) {
+            const FileModel *fm = model.file(def.file);
+            isSink = fm && hasMarker(*fm, def.line, "bmclint:sink");
+        }
+        if (isSink)
+            sinks.push_back(static_cast<int>(i));
+    }
+
+    // direct-mark cache, filled lazily during the per-sink BFS
+    std::map<int, std::vector<TaintMark>> markCache;
+    const auto marksOf = [&](int d) -> const std::vector<TaintMark> & {
+        auto it = markCache.find(d);
+        if (it == markCache.end())
+            it = markCache
+                     .emplace(d, directTaintMarks(
+                                     model,
+                                     funcs[static_cast<std::size_t>(
+                                         d)]))
+                     .first;
+        return it->second;
+    };
+
+    std::vector<Finding> findings;
+    for (const int sinkIdx : sinks) {
+        const FunctionDef &sink =
+            funcs[static_cast<std::size_t>(sinkIdx)];
+
+        // BFS from the sink along the call graph; shortest path to
+        // each taint source wins, one finding per source kind.
+        struct QEntry
+        {
+            int def;
+            int parent;   //!< index into entries; -1 for the sink
+            int callLine; //!< line of the call edge, in parent's file
+            std::string via; //!< callee name as written
+        };
+        std::vector<QEntry> entries;
+        std::set<int> visited;
+        std::set<std::string> reported; // dedupe keys
+        entries.push_back({sinkIdx, -1, 0, ""});
+        visited.insert(sinkIdx);
+
+        const auto chainOf = [&](int entryIdx,
+                                 const std::string &srcLabel) {
+            std::vector<std::string> chain; // source ... sink
+            chain.push_back(srcLabel);
+            for (int e = entryIdx; e >= 0; e = entries[static_cast<
+                                               std::size_t>(e)]
+                                               .parent)
+                chain.push_back(
+                    funcs[static_cast<std::size_t>(
+                              entries[static_cast<std::size_t>(e)]
+                                  .def)]
+                        .qualified);
+            return chain;
+        };
+        const auto report = [&](int entryIdx,
+                                const std::string &srcLabel,
+                                const std::string &dedupe,
+                                int evidenceLine) {
+            if (!reported.insert(dedupe).second)
+                return;
+            std::vector<std::string> chain =
+                chainOf(entryIdx, srcLabel);
+            int line = evidenceLine;
+            // anchor at the sink's outgoing call when the path
+            // leaves the sink, so a local bmclint:allow works
+            int e = entryIdx;
+            while (e >= 0) {
+                const QEntry &qe =
+                    entries[static_cast<std::size_t>(e)];
+                if (qe.parent == -1)
+                    break;
+                if (entries[static_cast<std::size_t>(qe.parent)]
+                        .parent == -1) {
+                    line = qe.callLine;
+                    break;
+                }
+                e = qe.parent;
+            }
+            if (model.suppressed(sink.file, line, "det-taint"))
+                return;
+            std::string path;
+            for (std::size_t i = 0; i < chain.size(); ++i) {
+                if (i)
+                    path += " -> ";
+                path += chain[i];
+            }
+            Finding f;
+            f.file = sink.file;
+            f.line = line;
+            f.rule = "det-taint";
+            f.message =
+                "non-deterministic value can reach serializer '" +
+                sink.qualified + "': " + path +
+                "; route wall time through the telemetry side "
+                "(common/wallclock.hh values must stop before "
+                "serialization) or suppress with justification";
+            f.path = std::move(chain);
+            findings.push_back(std::move(f));
+        };
+
+        for (std::size_t qi = 0; qi < entries.size(); ++qi) {
+            const QEntry cur = entries[qi];
+            const FunctionDef &def =
+                funcs[static_cast<std::size_t>(cur.def)];
+
+            for (const TaintMark &mark : marksOf(cur.def)) {
+                report(static_cast<int>(qi), mark.label,
+                       mark.key, mark.line);
+            }
+            for (const CallSite &cs : def.calls) {
+                const std::string intrinsic =
+                    intrinsicTaintSource(cs);
+                if (!intrinsic.empty()) {
+                    report(static_cast<int>(qi), intrinsic,
+                           "intrinsic:" + cs.name, cs.line);
+                    continue;
+                }
+                for (const int callee : model.resolve(cs.name)) {
+                    if (visited.insert(callee).second)
+                        entries.push_back({callee,
+                                           static_cast<int>(qi),
+                                           cs.line, cs.name});
+                }
+            }
+        }
+    }
+    return findings;
+}
+
+// ================================================== schema-drift
+
+const std::vector<SchemaFormatSpec> &
+schemaFormats()
+{
+    static const std::vector<SchemaFormatSpec> formats = {
+        {"results-jsonl", false,
+         {"src/sim/metrics.cc#statsToJson",
+          "src/sim/sweep.cc#runResultToJsonLine",
+          "src/common/profiler.cc#toJson"},
+         "src/sim/metrics.hh",
+         R"(kResultsSchemaVersion\s*=\s*(\d+))",
+         "sim::kResultsSchemaVersion"},
+        {"epoch-row", false,
+         {"src/sim/epoch_sampler.cc#writeRow"},
+         "src/sim/epoch_sampler.cc",
+         R"(\\"schema_version\\":\s*(\d+))",
+         "epoch time-series row"},
+        {"trace-json", false,
+         {"src/common/chrome_trace.cc"},
+         "src/common/chrome_trace.cc",
+         R"(\\"schema_version\\":\s*(\d+))",
+         "lifecycle trace"},
+        {"checkpoint", true,
+         {"src/sim/checkpoint.cc"},
+         "src/sim/checkpoint.hh",
+         R"(kCheckpointVersion\s*=\s*(\d+))",
+         "sim::kCheckpointVersion"},
+        {"catalog-index", true,
+         {"src/sim/catalog.cc"},
+         "src/sim/catalog.hh",
+         R"(kCatalogIndexVersion\s*=\s*(\d+))",
+         "sim::kCatalogIndexVersion"},
+        {"serve-protocol", false,
+         {"src/serve/server.cc"},
+         "src/serve/frame.hh",
+         R"(kServeProtocolVersion\s*=\s*(\d+))",
+         "serve::kServeProtocolVersion"},
+        {"serve-jobspec", false,
+         {"src/serve/jobspec.cc#jobSpecToJson"},
+         "src/serve/jobspec.hh",
+         R"(kJobSpecVersion\s*=\s*(\d+))",
+         "serve::kJobSpecVersion"},
+        {"serve-journal", true,
+         {"src/serve/journal.cc"},
+         "src/serve/journal.hh",
+         R"(kServeJournalVersion\s*=\s*(\d+))",
+         "serve::kServeJournalVersion"},
+        {"serve-fuzz-row", false,
+         {"src/serve/jobspec.cc#fuzzRowJson"},
+         "src/serve/jobspec.hh",
+         R"(kServeFuzzRowVersion\s*=\s*(\d+))",
+         "serve::kServeFuzzRowVersion"},
+    };
+    return formats;
+}
+
+std::vector<SchemaPinData>
+defaultSchemaPins()
+{
+    std::vector<SchemaPinData> pins;
+    for (const SchemaPin &p : kSchemaPins)
+        pins.push_back({p.format, p.version, p.fingerprint});
+    return pins;
+}
+
+namespace
+{
+
+/** Append @p spec's extracted key/field sequence for @p sourceIdx
+ *  (lines [lo, hi], 1-based) to @p seq. */
+void
+extractSchemaItems(const FileModel &fm, bool binio, int lo, int hi,
+                   std::vector<std::string> &seq)
+{
+    static const std::regex fieldCall(
+        R"((\.|->)\s*(u8|u16|u32|u64|f64|str|bytes)\s*\()");
+    static const std::regex escKey(
+        R"(\\"([A-Za-z_]\w*)\\"\s*:)");
+    static const std::regex helperKey(
+        R"re(\b(?:field|kv)\s*\(\s*"([A-Za-z_]\w*)")re");
+
+    lo = std::max(lo, 1);
+    hi = std::min(hi, static_cast<int>(fm.view.code.size()));
+    for (int l = lo; l <= hi; ++l) {
+        const std::size_t i = static_cast<std::size_t>(l - 1);
+        if (binio) {
+            const std::string &code = fm.view.code[i];
+            for (auto it = std::sregex_iterator(
+                     code.begin(), code.end(), fieldCall);
+                 it != std::sregex_iterator(); ++it)
+                seq.push_back((*it)[2].str());
+            continue;
+        }
+        // JSON keys: escaped literals and helper-call keys, merged
+        // in column order so the emitted sequence is the pin
+        const std::string &text = fm.view.text[i];
+        std::vector<std::pair<std::size_t, std::string>> found;
+        for (auto it = std::sregex_iterator(text.begin(),
+                                            text.end(), escKey);
+             it != std::sregex_iterator(); ++it)
+            found.emplace_back(
+                static_cast<std::size_t>(it->position()),
+                (*it)[1].str());
+        for (auto it = std::sregex_iterator(text.begin(),
+                                            text.end(), helperKey);
+             it != std::sregex_iterator(); ++it)
+            found.emplace_back(
+                static_cast<std::size_t>(it->position()),
+                (*it)[1].str());
+        std::sort(found.begin(), found.end());
+        for (auto &[pos, key] : found)
+            seq.push_back(key);
+    }
+}
+
+} // anonymous namespace
+
+std::uint64_t
+schemaFormatFingerprint(const CppModel &model,
+                        const SchemaFormatSpec &spec)
+{
+    Fnv fnv;
+    for (std::size_t si = 0; si < spec.sources.size(); ++si) {
+        const std::string &src = spec.sources[si];
+        const auto hash = src.find('#');
+        const std::string path =
+            hash == std::string::npos ? src : src.substr(0, hash);
+        const FileModel *fm = model.file(path);
+        if (!fm)
+            continue; // lintSchemaDrift reports the missing source
+
+        std::vector<std::string> seq;
+        if (hash == std::string::npos) {
+            extractSchemaItems(
+                *fm, spec.binio, 1,
+                static_cast<int>(fm->view.code.size()), seq);
+        } else {
+            const std::string func = src.substr(hash + 1);
+            std::vector<int> defs = model.resolveIn(path, func);
+            std::sort(defs.begin(), defs.end(),
+                      [&](int a, int b) {
+                          return model
+                                     .functions()[static_cast<
+                                         std::size_t>(a)]
+                                     .line <
+                                 model
+                                     .functions()[static_cast<
+                                         std::size_t>(b)]
+                                     .line;
+                      });
+            for (const int d : defs) {
+                const FunctionDef &def =
+                    model.functions()[static_cast<std::size_t>(d)];
+                extractSchemaItems(*fm, spec.binio, def.line,
+                                   def.endLine, seq);
+            }
+        }
+        for (const std::string &item : seq) {
+            fnv.feed(std::to_string(si));
+            fnv.feed(":");
+            fnv.feed(item);
+            fnv.feed("\n");
+        }
+    }
+    return fnv.h;
+}
+
+std::vector<Finding>
+lintSchemaDrift(const CppModel &model,
+                const std::vector<SchemaFormatSpec> &formats,
+                const std::vector<SchemaPinData> &pins,
+                const std::string &experiments_md)
+{
+    std::vector<Finding> findings;
+    const auto emitAt = [&](const std::string &file, int line,
+                            std::string msg,
+                            std::vector<std::string> path = {}) {
+        if (model.suppressed(file, line, "schema-drift"))
+            return;
+        Finding f;
+        f.file = file;
+        f.line = line;
+        f.rule = "schema-drift";
+        f.message = std::move(msg);
+        f.path = std::move(path);
+        findings.push_back(std::move(f));
+    };
+
+    // A tree with none of the audited serializers (fixture trees in
+    // tests, partial checkouts) has nothing to drift: bail before
+    // reporting every format as missing.
+    bool anyPresent = false;
+    for (const SchemaFormatSpec &spec : formats) {
+        if (model.file(spec.versionFile))
+            anyPresent = true;
+        for (const std::string &src : spec.sources)
+            if (model.file(src.substr(0, src.find('#'))))
+                anyPresent = true;
+    }
+    if (!anyPresent)
+        return findings;
+
+    // split the registry doc into lines once
+    std::vector<std::string> docLines;
+    {
+        std::stringstream ss(experiments_md);
+        std::string line;
+        while (std::getline(ss, line))
+            docLines.push_back(line);
+    }
+
+    for (const SchemaFormatSpec &spec : formats) {
+        // --- extraction anchors must exist
+        bool missing = false;
+        for (const std::string &src : spec.sources) {
+            const auto hash = src.find('#');
+            const std::string path = hash == std::string::npos
+                                         ? src
+                                         : src.substr(0, hash);
+            if (!model.file(path)) {
+                emitAt(spec.versionFile, 0,
+                       "schema source '" + path + "' for format '" +
+                           spec.id +
+                           "' is not in the model; update the "
+                           "format table in src/lint/linter.cc");
+                missing = true;
+            } else if (hash != std::string::npos &&
+                       model.resolveIn(path, src.substr(hash + 1))
+                           .empty()) {
+                emitAt(spec.versionFile, 0,
+                       "serializer function '" +
+                           src.substr(hash + 1) + "' for format '" +
+                           spec.id + "' not found in " + path +
+                           "; the extraction anchor went stale");
+                missing = true;
+            }
+        }
+        if (missing)
+            continue;
+
+        // --- in-code version constant
+        const FileModel *vf = model.file(spec.versionFile);
+        unsigned codeVersion = 0;
+        int versionLine = 0;
+        if (vf) {
+            const std::regex re(spec.versionPattern);
+            for (std::size_t i = 0; i < vf->view.text.size(); ++i) {
+                std::smatch m;
+                if (std::regex_search(vf->view.text[i], m, re)) {
+                    codeVersion = static_cast<unsigned>(
+                        std::stoul(m[1].str()));
+                    versionLine = static_cast<int>(i) + 1;
+                    break;
+                }
+            }
+        }
+        if (versionLine == 0) {
+            emitAt(spec.versionFile, 0,
+                   "version constant for format '" + spec.id +
+                       "' not found (pattern " +
+                       spec.versionPattern + ")");
+            continue;
+        }
+
+        const std::uint64_t have =
+            schemaFormatFingerprint(model, spec);
+
+        // --- pin row
+        const SchemaPinData *pin = nullptr;
+        for (const SchemaPinData &p : pins)
+            if (p.format == spec.id)
+                pin = &p;
+        if (!pin) {
+            emitAt(spec.versionFile, versionLine,
+                   "format '" + spec.id +
+                       "' has no pin; add {\"" + spec.id + "\", " +
+                       std::to_string(codeVersion) + ", " +
+                       hashHex(have) +
+                       "} to src/lint/schema_pins.hh");
+            continue;
+        }
+
+        if (pin->fingerprint != have &&
+            pin->version == codeVersion) {
+            emitAt(spec.versionFile, versionLine,
+                   "format '" + spec.id +
+                       "' changed its emitted fields (fingerprint " +
+                       hashHex(have) + ", pinned " +
+                       hashHex(pin->fingerprint) +
+                       ") without a version bump; bump the version "
+                       "constant in " +
+                       spec.versionFile +
+                       ", re-pin src/lint/schema_pins.hh, and "
+                       "update the EXPERIMENTS.md registry row",
+                   {spec.id, hashHex(pin->fingerprint),
+                    hashHex(have)});
+        } else if (pin->fingerprint != have) {
+            emitAt(spec.versionFile, versionLine,
+                   "format '" + spec.id +
+                       "' was re-versioned; re-pin its fingerprint "
+                       "in src/lint/schema_pins.hh to " +
+                       hashHex(have) + " (currently " +
+                       hashHex(pin->fingerprint) + ")",
+                   {spec.id, hashHex(pin->fingerprint),
+                    hashHex(have)});
+        } else if (pin->version != codeVersion) {
+            emitAt(spec.versionFile, versionLine,
+                   "format '" + spec.id + "' pin says version " +
+                       std::to_string(pin->version) +
+                       " but the code constant is " +
+                       std::to_string(codeVersion) +
+                       "; update src/lint/schema_pins.hh");
+        }
+
+        // --- EXPERIMENTS.md registry row
+        if (experiments_md.empty())
+            continue;
+        int docLine = 0;
+        unsigned docVersion = 0;
+        bool parsed = false;
+        for (std::size_t i = 0; i < docLines.size(); ++i) {
+            const std::string &dl = docLines[i];
+            if (dl.find(spec.docKey) == std::string::npos ||
+                dl.find('|') == std::string::npos)
+                continue;
+            docLine = static_cast<int>(i) + 1;
+            // cells: | format | constant | current | where |
+            std::vector<std::string> cells;
+            std::string cell;
+            std::stringstream cs(dl);
+            while (std::getline(cs, cell, '|'))
+                cells.push_back(cell);
+            if (cells.size() > 3) {
+                const std::string &c = cells[3];
+                const auto a = c.find_first_of("0123456789");
+                if (a != std::string::npos) {
+                    docVersion = static_cast<unsigned>(
+                        std::stoul(c.substr(a)));
+                    parsed = true;
+                }
+            }
+            break;
+        }
+        if (docLine == 0) {
+            emitAt("EXPERIMENTS.md", 0,
+                   "schema-version registry has no row for format '" +
+                       spec.id + "' (looked for '" + spec.docKey +
+                       "'); document it next to the other formats");
+        } else if (!parsed || docVersion != codeVersion) {
+            emitAt("EXPERIMENTS.md", docLine,
+                   "registry row for format '" + spec.id +
+                       "' documents version " +
+                       (parsed ? std::to_string(docVersion)
+                               : std::string("<unparsed>")) +
+                       " but the code constant is " +
+                       std::to_string(codeVersion) +
+                       "; update the table");
+        }
+    }
+    return findings;
+}
+
+// ==================================================== lock-order
+
+const std::vector<std::string> &
+lockOrderScope()
+{
+    static const std::vector<std::string> scope = {
+        "src/serve/",
+        "src/common/thread_pool",
+        "src/sim/sweep",
+    };
+    return scope;
+}
+
+std::vector<Finding>
+lintLockOrder(const CppModel &model,
+              const std::vector<std::string> &scope)
+{
+    const auto &funcs = model.functions();
+
+    const auto inScope = [&](const std::string &file) {
+        for (const std::string &p : scope)
+            if (file.rfind(p, 0) == 0)
+                return true;
+        return false;
+    };
+
+    // per-def lock facts for scoped definitions
+    std::map<int, std::vector<LockEvent>> events;
+    for (std::size_t i = 0; i < funcs.size(); ++i)
+        if (inScope(funcs[i].file))
+            events[static_cast<int>(i)] =
+                lockEvents(model, funcs[i]);
+
+    // may-acquire fixpoint over the whole call graph: direct
+    // acquisitions plus everything reachable through callees
+    std::map<int, std::set<std::string>> mayAcq;
+    for (const auto &[d, evs] : events) {
+        auto &s = mayAcq[d];
+        const FunctionDef &def =
+            funcs[static_cast<std::size_t>(d)];
+        for (const LockEvent &ev : evs) {
+            if (ev.kind == LockEvent::GuardDecl)
+                s.insert(ev.mutexes.begin(), ev.mutexes.end());
+            else if (ev.kind == LockEvent::Manual && ev.isLock)
+                s.insert(normalizeMutexId(ev.expr, def));
+        }
+    }
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (std::size_t i = 0; i < funcs.size(); ++i) {
+            const int d = static_cast<int>(i);
+            std::set<std::string> acc = mayAcq.count(d)
+                                            ? mayAcq[d]
+                                            : std::set<std::string>{};
+            const std::size_t before = acc.size();
+            for (const CallSite &cs : funcs[i].calls) {
+                if (cs.hasReceiver &&
+                    (cs.name == "wait" || cs.name == "wait_for" ||
+                     cs.name == "wait_until"))
+                    continue;
+                for (const int t : model.resolve(cs.name)) {
+                    const auto it = mayAcq.find(t);
+                    if (it != mayAcq.end())
+                        acc.insert(it->second.begin(),
+                                   it->second.end());
+                }
+            }
+            if (acc.size() != before) {
+                mayAcq[d] = std::move(acc);
+                changed = true;
+            }
+        }
+    }
+
+    // walk each scoped def, tracking the held set scope-precisely
+    struct Edge
+    {
+        std::string file;
+        int line = 0;
+        std::string note;
+    };
+    std::map<std::string, std::map<std::string, Edge>> graph;
+    std::vector<Finding> findings;
+
+    const auto emitAt = [&](const std::string &file, int line,
+                            std::string msg,
+                            std::vector<std::string> path = {}) {
+        if (model.suppressed(file, line, "lock-order"))
+            return;
+        Finding f;
+        f.file = file;
+        f.line = line;
+        f.rule = "lock-order";
+        f.message = std::move(msg);
+        f.path = std::move(path);
+        findings.push_back(std::move(f));
+    };
+
+    for (const auto &[d, evs] : events) {
+        const FunctionDef &def =
+            funcs[static_cast<std::size_t>(d)];
+        const FileModel *fm = model.file(def.file);
+        if (!fm)
+            continue;
+
+        struct Held
+        {
+            std::string mutex;
+            std::string var; // guard variable ("" for manual)
+            int declDepth = 0;
+            int line = 0;
+            bool engaged = true;
+        };
+        std::vector<Held> held;
+
+        const auto depthAt = [&](int line1) {
+            const std::size_t i = static_cast<std::size_t>(
+                std::max(0, line1 - 1));
+            return i < fm->depthAtLineStart.size()
+                       ? fm->depthAtLineStart[i]
+                       : 0;
+        };
+        // Minimum brace depth reached anywhere within one line --
+        // depthAtLineStart alone misses a scope that closes and a
+        // sibling that reopens to the same depth between two events
+        // (e.g. back-to-back `{ lock_guard ... }` blocks).
+        const auto lineMinDepth = [&](int line1) {
+            int d = depthAt(line1);
+            int mn = d;
+            const std::size_t i = static_cast<std::size_t>(
+                std::max(0, line1 - 1));
+            if (i < fm->view.code.size()) {
+                for (const char c : fm->view.code[i]) {
+                    if (c == '{') {
+                        ++d;
+                    } else if (c == '}') {
+                        --d;
+                        mn = std::min(mn, d);
+                    }
+                }
+            }
+            return mn;
+        };
+        const auto engagedMutexes = [&]() {
+            std::vector<std::string> out;
+            for (const Held &h : held)
+                if (h.engaged)
+                    out.push_back(h.mutex);
+            return out;
+        };
+        const auto addEdges = [&](const std::string &to,
+                                  int line, std::string note) {
+            for (const Held &h : held) {
+                if (!h.engaged || h.mutex == to)
+                    continue;
+                auto &slot = graph[h.mutex];
+                if (!slot.count(to))
+                    slot[to] = {def.file, line,
+                                def.qualified + ": " + note};
+            }
+        };
+
+        int prevLine = 0;
+        for (const LockEvent &ev : evs) {
+            // scope-release guards whose block has closed anywhere
+            // since the previous event -- the depth may have bounced
+            // back up to the declaration depth by the event line
+            int minDepth = depthAt(ev.line);
+            for (int l = prevLine + 1; l < ev.line; ++l)
+                minDepth = std::min(minDepth, lineMinDepth(l));
+            prevLine = std::max(prevLine, ev.line);
+            held.erase(std::remove_if(held.begin(), held.end(),
+                                      [&](const Held &h) {
+                                          return minDepth <
+                                                 h.declDepth;
+                                      }),
+                       held.end());
+
+            if (ev.kind == LockEvent::GuardDecl) {
+                for (const std::string &m : ev.mutexes) {
+                    if (ev.engaged)
+                        addEdges(m, ev.line,
+                                 "acquires " + m + " while held");
+                    held.push_back({m, ev.var, depthAt(ev.line),
+                                    ev.line, ev.engaged});
+                }
+                continue;
+            }
+            if (ev.kind == LockEvent::Manual) {
+                // a guard variable toggles its own mutexes; a bare
+                // expression is treated as the mutex itself
+                bool isGuardVar = false;
+                for (Held &h : held) {
+                    if (h.var == ev.expr) {
+                        isGuardVar = true;
+                        if (ev.isLock && !h.engaged) {
+                            h.engaged = true;
+                            addEdges(h.mutex, ev.line,
+                                     "re-locks " + h.mutex +
+                                         " while held");
+                        } else if (!ev.isLock) {
+                            h.engaged = false;
+                        }
+                    }
+                }
+                if (isGuardVar)
+                    continue;
+                const std::string id =
+                    normalizeMutexId(ev.expr, def);
+                if (ev.isLock) {
+                    addEdges(id, ev.line,
+                             "locks " + id + " while held");
+                    held.push_back(
+                        {id, "", depthAt(ev.line), ev.line, true});
+                } else {
+                    for (auto it = held.rbegin();
+                         it != held.rend(); ++it) {
+                        if (it->mutex == id) {
+                            held.erase(std::next(it).base());
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // --- call under (possibly) held locks
+            const CallSite &cs =
+                def.calls[static_cast<std::size_t>(ev.callIdx)];
+            const auto heldNow = engagedMutexes();
+            if (heldNow.empty())
+                continue;
+            if (cs.hasReceiver &&
+                (cs.name == "wait" || cs.name == "wait_for" ||
+                 cs.name == "wait_until"))
+                continue; // cv waits release the lock while parked
+            if (isBlockingCall(cs.name)) {
+                std::string msg =
+                    "blocking call '" + cs.name +
+                    "' while holding ";
+                for (std::size_t i = 0; i < heldNow.size(); ++i)
+                    msg += (i ? ", " : "") + heldNow[i];
+                msg += " (in " + def.qualified +
+                       "); release the lock before parking the "
+                       "thread";
+                emitAt(def.file, cs.line, std::move(msg), heldNow);
+                continue;
+            }
+            const std::vector<int> targets =
+                model.resolve(cs.name);
+            if (targets.empty()) {
+                if (!cs.hasReceiver &&
+                    model.callableNames().count(cs.name)) {
+                    emitAt(def.file, cs.line,
+                           "opaque callable '" + cs.name +
+                               "' invoked while holding " +
+                               heldNow.front() + " (in " +
+                               def.qualified +
+                               "); callbacks under a lock can "
+                               "re-enter and deadlock -- unlock "
+                               "around the call",
+                           heldNow);
+                }
+                continue;
+            }
+            std::set<std::string> acq;
+            for (const int t : targets) {
+                const auto it = mayAcq.find(t);
+                if (it != mayAcq.end())
+                    acq.insert(it->second.begin(),
+                               it->second.end());
+            }
+            for (const std::string &a : acq) {
+                if (std::find(heldNow.begin(), heldNow.end(), a) !=
+                    heldNow.end())
+                    continue;
+                addEdges(a, cs.line,
+                         "calls " + cs.name +
+                             "() which may acquire " + a);
+            }
+        }
+    }
+
+    // --- cycle detection over the acquisition graph (DFS)
+    std::set<std::string> done;
+    for (const auto &[start, _] : graph) {
+        if (done.count(start))
+            continue;
+        // DFS from `start` looking for a path back to `start`
+        std::vector<std::string> stack = {start};
+        std::map<std::string, std::string> parent;
+        std::set<std::string> seen = {start};
+        bool cycle = false;
+        std::string closer;
+        while (!stack.empty() && !cycle) {
+            const std::string node = stack.back();
+            stack.pop_back();
+            const auto it = graph.find(node);
+            if (it == graph.end())
+                continue;
+            for (const auto &[to, edge] : it->second) {
+                if (to == start) {
+                    cycle = true;
+                    closer = node;
+                    break;
+                }
+                if (seen.insert(to).second) {
+                    parent[to] = node;
+                    stack.push_back(to);
+                }
+            }
+        }
+        if (!cycle)
+            continue;
+        // reconstruct start -> ... -> closer -> start
+        std::vector<std::string> nodes;
+        for (std::string n = closer; n != start; n = parent[n])
+            nodes.push_back(n);
+        nodes.push_back(start);
+        std::reverse(nodes.begin(), nodes.end());
+        nodes.push_back(start); // close the loop for the message
+        for (const std::string &n : nodes)
+            done.insert(n);
+
+        std::string msg = "lock-order cycle: ";
+        for (std::size_t i = 0; i < nodes.size(); ++i)
+            msg += (i ? " -> " : "") + nodes[i];
+        const Edge *anchor = nullptr;
+        for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+            const Edge &e = graph[nodes[i]][nodes[i + 1]];
+            msg += "; " + nodes[i] + " -> " + nodes[i + 1] + " (" +
+                   e.note + " at " + e.file + ":" +
+                   std::to_string(e.line) + ")";
+            if (!anchor)
+                anchor = &e;
+        }
+        msg += "; acquire these mutexes in one global order";
+        nodes.pop_back();
+        emitAt(anchor->file, anchor->line, std::move(msg), nodes);
+    }
+
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         return a.line < b.line;
+                     });
+    return findings;
 }
 
 std::vector<Finding>
@@ -959,32 +2015,71 @@ lintTree(const Options &opts, const std::vector<std::string> &paths,
                             std::make_move_iterator(f.end()));
         }
     }
+
+    // Whole-project rules run over src/ regardless of the path
+    // arguments, like stats-printed: fingerprints and the call
+    // graph are only meaningful over the complete source set.
+    std::vector<std::pair<std::string, std::string>> srcs;
+    {
+        std::error_code ec;
+        for (auto it =
+                 fs::recursive_directory_iterator(root / "src", ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext != ".cc" && ext != ".hh")
+                continue;
+            std::string content;
+            if (readFile(it->path(), content))
+                srcs.emplace_back(
+                    normalizeSlashes(
+                        fs::relative(it->path(), root).string()),
+                    std::move(content));
+        }
+        std::sort(srcs.begin(), srcs.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+    }
+
     if (enabled("ckpt-versioned")) {
-        // Whole-project rule over src/ regardless of the path
-        // arguments, like stats-printed: the fingerprint is only
-        // meaningful over the complete serializer set.
         std::string pin;
         if (readFile(root / kCkptPin, pin)) {
-            std::vector<std::pair<std::string, std::string>> srcs;
-            std::error_code ec;
-            for (auto it = fs::recursive_directory_iterator(
-                     root / "src", ec);
-                 !ec && it != fs::recursive_directory_iterator();
-                 ++it) {
-                if (!it->is_regular_file())
-                    continue;
-                const std::string ext =
-                    it->path().extension().string();
-                if (ext != ".cc" && ext != ".hh")
-                    continue;
-                std::string content;
-                if (readFile(it->path(), content))
-                    srcs.emplace_back(
-                        normalizeSlashes(
-                            fs::relative(it->path(), root).string()),
-                        std::move(content));
-            }
             auto f = lintCkptVersioned(srcs, kCkptPin, pin);
+            findings.insert(findings.end(),
+                            std::make_move_iterator(f.begin()),
+                            std::make_move_iterator(f.end()));
+        }
+    }
+
+    // --- semantic pass: one model, three rule families
+    if (enabled("det-taint") || enabled("schema-drift") ||
+        enabled("lock-order")) {
+        CppModel model;
+        for (const auto &[rel, content] : srcs)
+            model.addFile(rel, content);
+
+        if (enabled("det-taint")) {
+            auto f = lintDetTaint(model);
+            findings.insert(findings.end(),
+                            std::make_move_iterator(f.begin()),
+                            std::make_move_iterator(f.end()));
+        }
+        if (enabled("schema-drift")) {
+            std::string experiments;
+            readFile(root / "EXPERIMENTS.md",
+                     experiments); // best effort: fixture trees
+                                   // have no registry to check
+            auto f = lintSchemaDrift(model, schemaFormats(),
+                                     defaultSchemaPins(),
+                                     experiments);
+            findings.insert(findings.end(),
+                            std::make_move_iterator(f.begin()),
+                            std::make_move_iterator(f.end()));
+        }
+        if (enabled("lock-order")) {
+            auto f = lintLockOrder(model, lockOrderScope());
             findings.insert(findings.end(),
                             std::make_move_iterator(f.begin()),
                             std::make_move_iterator(f.end()));
@@ -993,49 +2088,148 @@ lintTree(const Options &opts, const std::vector<std::string> &paths,
     return findings;
 }
 
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
 std::string
 findingsToJson(const std::vector<Finding> &findings,
                std::size_t files_scanned)
 {
-    auto escape = [](const std::string &s) {
-        std::string out;
-        out.reserve(s.size());
-        for (const char c : s) {
-            switch (c) {
-              case '"':
-                out += "\\\"";
-                break;
-              case '\\':
-                out += "\\\\";
-                break;
-              case '\n':
-                out += "\\n";
-                break;
-              case '\t':
-                out += "\\t";
-                break;
-              default:
-                out += c;
-            }
-        }
-        return out;
-    };
-
-    std::string out = "{\"bmclint_schema\": 1, \"files_scanned\": ";
+    // schema 2: adds per-finding "path" call-chain evidence and the
+    // machine-readable "rules" catalog
+    std::string out = "{\"bmclint_schema\": 2, \"files_scanned\": ";
     out += std::to_string(files_scanned);
-    out += ", \"findings\": [";
+    out += ", \"rules\": [";
+    const auto &rules = ruleCatalog();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "{\"id\": \"" + jsonEscape(rules[i].id) + "\", ";
+        out += "\"summary\": \"" + jsonEscape(rules[i].summary) +
+               "\"}";
+    }
+    out += "], \"findings\": [";
     for (std::size_t i = 0; i < findings.size(); ++i) {
         const Finding &f = findings[i];
         if (i)
             out += ", ";
-        out += "{\"file\": \"" + escape(f.file) + "\", ";
+        out += "{\"file\": \"" + jsonEscape(f.file) + "\", ";
         out += "\"line\": " + std::to_string(f.line) + ", ";
-        out += "\"rule\": \"" + escape(f.rule) + "\", ";
-        out += "\"message\": \"" + escape(f.message) + "\"}";
+        out += "\"rule\": \"" + jsonEscape(f.rule) + "\", ";
+        out += "\"message\": \"" + jsonEscape(f.message) + "\"";
+        if (!f.path.empty()) {
+            out += ", \"path\": [";
+            for (std::size_t p = 0; p < f.path.size(); ++p) {
+                if (p)
+                    out += ", ";
+                out += "\"" + jsonEscape(f.path[p]) + "\"";
+            }
+            out += "]";
+        }
+        out += "}";
     }
     out += "], \"summary\": {\"findings\": ";
     out += std::to_string(findings.size());
     out += "}}";
+    return out;
+}
+
+std::string
+findingsToSarif(const std::vector<Finding> &findings)
+{
+    const auto &rules = ruleCatalog();
+    const auto ruleIndex = [&](const std::string &id) {
+        for (std::size_t i = 0; i < rules.size(); ++i)
+            if (id == rules[i].id)
+                return static_cast<int>(i);
+        return -1;
+    };
+
+    std::string out;
+    out += "{\n";
+    out += "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    out += "  \"version\": \"2.1.0\",\n";
+    out += "  \"runs\": [\n";
+    out += "    {\n";
+    out += "      \"tool\": {\n";
+    out += "        \"driver\": {\n";
+    out += "          \"name\": \"bmclint\",\n";
+    out += "          \"rules\": [\n";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out += "            {\"id\": \"";
+        out += jsonEscape(rules[i].id);
+        out += "\", \"shortDescription\": {\"text\": \"";
+        out += jsonEscape(rules[i].summary);
+        out += "\"}}";
+        out += i + 1 < rules.size() ? ",\n" : "\n";
+    }
+    out += "          ]\n";
+    out += "        }\n";
+    out += "      },\n";
+    out += "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        std::string text = f.message;
+        if (!f.path.empty()) {
+            text += " [path: ";
+            for (std::size_t p = 0; p < f.path.size(); ++p) {
+                if (p)
+                    text += " -> ";
+                text += f.path[p];
+            }
+            text += "]";
+        }
+        out += "        {\n";
+        out += "          \"ruleId\": \"" + jsonEscape(f.rule) +
+               "\",\n";
+        const int ri = ruleIndex(f.rule);
+        if (ri >= 0)
+            out += "          \"ruleIndex\": " +
+                   std::to_string(ri) + ",\n";
+        out += "          \"level\": \"error\",\n";
+        out += "          \"message\": {\"text\": \"" +
+               jsonEscape(text) + "\"},\n";
+        out += "          \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"" +
+               jsonEscape(f.file) +
+               "\"}, \"region\": {\"startLine\": " +
+               std::to_string(std::max(1, f.line)) + "}}}]\n";
+        out += i + 1 < findings.size() ? "        },\n"
+                                       : "        }\n";
+    }
+    out += "      ]\n";
+    out += "    }\n";
+    out += "  ]\n";
+    out += "}\n";
     return out;
 }
 

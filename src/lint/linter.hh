@@ -62,6 +62,41 @@
  *                    so stale checkpoint files fail loudly instead of
  *                    deserializing garbage.
  *
+ * Semantic rules (cpp_model.hh builds an approximate repo-wide call
+ * graph; these three run over it, with call-path evidence attached
+ * to every finding):
+ *
+ *   det-taint        interprocedural determinism taint. Sources --
+ *                    wallNow/wallSecondsSince (common/wallclock.hh,
+ *                    the single audited wall-clock entry), C rand
+ *                    family / random_device / chrono clocks,
+ *                    unordered-container iteration, pointer-identity
+ *                    formatting (%p, reinterpret_cast to uintptr_t)
+ *                    -- must not reach a serialization sink
+ *                    (statsToJson, the sweep/epoch/trace/catalog
+ *                    JSONL emitters, BinWriter framing, serve row
+ *                    streaming) through ANY call path. Findings
+ *                    print the chain: source -> f -> g -> sink.
+ *                    `// bmclint:sink` and `// bmclint:taint-source`
+ *                    markers extend the audited sets in place.
+ *   schema-drift     every versioned on-disk format's emitted JSON
+ *                    keys (or binio field-call sequence) are
+ *                    extracted from its serializer functions and
+ *                    fingerprinted. The fingerprint must match
+ *                    src/lint/schema_pins.hh, the pinned version
+ *                    must match the in-code version constant, and
+ *                    the EXPERIMENTS.md schema-version registry row
+ *                    must agree -- so adding a field without a
+ *                    version bump or doc update fails bmclint_tree.
+ *   lock-order       static lock-acquisition graph over std::mutex
+ *                    guards in src/serve/, the thread pool, and the
+ *                    sweep heartbeat. Cycles in the may-acquire
+ *                    graph (interprocedural, scope-precise), calls
+ *                    to blocking primitives while holding a lock,
+ *                    and invoking an opaque std::function-typed
+ *                    callable under a lock are findings; condition-
+ *                    variable waits are exempt (they release).
+ *
  * Suppressions: a finding is silenced by `// bmclint:allow(rule-id)`
  * (comma-separated ids, or `*`) on the finding's line or on the line
  * directly above it. Suppressions are meant to carry a justification
@@ -80,6 +115,8 @@
 namespace bmc::lint
 {
 
+class CppModel;
+
 /** One rule violation. */
 struct Finding
 {
@@ -87,6 +124,10 @@ struct Finding
     int line = 0;     //!< 1-based; 0 = whole-file finding
     std::string rule;
     std::string message;
+    /** Call-path evidence for semantic findings: source first, sink
+     *  last (det-taint), or the lock cycle's nodes (lock-order).
+     *  Empty for flat per-line rules. */
+    std::vector<std::string> path;
 };
 
 /** Stable rule id plus a one-line summary (--list-rules). */
@@ -152,18 +193,96 @@ std::vector<Finding> lintCkptVersioned(
     const std::vector<std::pair<std::string, std::string>> &files,
     const std::string &pin_path, const std::string &pin_content);
 
+// ------------------------------------------------ semantic rules
+
+/**
+ * det-taint over @p model: no determinism-taint source may reach a
+ * serialization sink through any call path. Sinks are the built-in
+ * audited set (see linter.cc's kTaintSinks) plus any definition
+ * carrying a `// bmclint:sink` marker; sources are the wallclock.hh
+ * entry points, intrinsic non-deterministic calls, unordered-
+ * container iteration, pointer-identity formatting, and
+ * `// bmclint:taint-source` markers. Suppressions from the model's
+ * files are already applied.
+ */
+std::vector<Finding> lintDetTaint(const CppModel &model);
+
+/** One versioned on-disk format for schema-drift. */
+struct SchemaFormatSpec
+{
+    std::string id;    //!< pin/registry key, e.g. "results-jsonl"
+    bool binio = false; //!< binio field calls instead of JSON keys
+    /** Serializer sources: "path" (whole file) or "path#function"
+     *  (that function's body only, all same-name definitions). */
+    std::vector<std::string> sources;
+    std::string versionFile;    //!< where the version constant lives
+    std::string versionPattern; //!< regex, capture 1 = the number
+    std::string docKey; //!< substring locating the registry-table row
+};
+
+/** The repo's real format table (the 9 documented formats). */
+const std::vector<SchemaFormatSpec> &schemaFormats();
+
+/** A schema_pins.hh row in injectable form (tests pin fixtures). */
+struct SchemaPinData
+{
+    std::string format;
+    unsigned version = 0;
+    std::uint64_t fingerprint = 0;
+};
+
+/** The compiled-in schema_pins.hh table. */
+std::vector<SchemaPinData> defaultSchemaPins();
+
+/** FNV-1a over @p spec's extracted key/field sequence in @p model. */
+std::uint64_t schemaFormatFingerprint(const CppModel &model,
+                                      const SchemaFormatSpec &spec);
+
+/**
+ * schema-drift over @p model: each format's fingerprint must match
+ * its pin, the pinned version must match the in-code constant, and
+ * -- when @p experiments_md is non-empty -- the EXPERIMENTS.md
+ * registry row must carry the same version. Pass an empty
+ * @p experiments_md to skip the doc check (fixture trees).
+ */
+std::vector<Finding>
+lintSchemaDrift(const CppModel &model,
+                const std::vector<SchemaFormatSpec> &formats,
+                const std::vector<SchemaPinData> &pins,
+                const std::string &experiments_md);
+
+/** The directories/files lock-order audits on the real tree. */
+const std::vector<std::string> &lockOrderScope();
+
+/**
+ * lock-order over @p model, for definitions in files matching a
+ * @p scope prefix: builds the scope-precise lock-acquisition graph
+ * (interprocedural via a may-acquire fixpoint) and flags cycles,
+ * blocking calls under a lock, and opaque callables invoked under a
+ * lock.
+ */
+std::vector<Finding>
+lintLockOrder(const CppModel &model,
+              const std::vector<std::string> &scope);
+
 /**
  * Walk @p paths (files or directories, relative to opts.root),
- * lint every .cc/.hh, then run the whole-project rules.
+ * lint every .cc/.hh, then run the whole-project rules (including
+ * the semantic pass over src/).
  * @p files_scanned, when non-null, receives the file count.
  */
 std::vector<Finding> lintTree(const Options &opts,
                               const std::vector<std::string> &paths,
                               std::size_t *files_scanned = nullptr);
 
-/** Render findings as the documented JSON object (schema 1). */
+/** Render findings as the documented JSON object (schema 2): adds
+ *  per-finding call-path evidence and the machine-readable rule
+ *  catalog next to the findings array. */
 std::string findingsToJson(const std::vector<Finding> &findings,
                            std::size_t files_scanned);
+
+/** Render findings as a SARIF 2.1.0 log (one run, driver bmclint). */
+std::string findingsToSarif(const std::vector<Finding> &findings);
 
 } // namespace bmc::lint
 

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pinned schema fingerprints for the schema-drift rule.
+ *
+ * One row per versioned on-disk format (the same set EXPERIMENTS.md's
+ * schema-version registry documents). `version` mirrors the in-code
+ * version constant; `fingerprint` is the FNV-1a hash over the
+ * format's emitted JSON keys (or binio field-call sequence) as
+ * extracted from the serializer source by schemaFormatFingerprint().
+ *
+ * Changing what a serializer emits changes the fingerprint and makes
+ * `bmclint` fail until this table is consciously re-pinned -- and the
+ * rule insists the version constant moves whenever the fingerprint
+ * moves, so a field can never be added silently. The failing finding
+ * prints the new fingerprint to paste here.
+ */
+
+#ifndef BMC_LINT_SCHEMA_PINS_HH
+#define BMC_LINT_SCHEMA_PINS_HH
+
+#include <cstdint>
+
+namespace bmc::lint
+{
+
+struct SchemaPin
+{
+    const char *format;
+    unsigned version;
+    std::uint64_t fingerprint;
+};
+
+constexpr SchemaPin kSchemaPins[] = {
+    {"results-jsonl", 4, 0xe13c3714c76db5d1},
+    {"epoch-row", 1, 0x49a71bb75080e373},
+    {"trace-json", 1, 0x42f696dc927bc52f},
+    {"checkpoint", 1, 0x6f6221c1ecdae9cb},
+    {"catalog-index", 1, 0x1e784c4c055466b7},
+    {"serve-protocol", 1, 0x10f45f2b63cb1386},
+    {"serve-jobspec", 1, 0xab2784780704a640},
+    {"serve-journal", 1, 0x282091720f5210b1},
+    {"serve-fuzz-row", 1, 0xfb12163902acc3ce},
+};
+
+} // namespace bmc::lint
+
+#endif // BMC_LINT_SCHEMA_PINS_HH

@@ -1,0 +1,305 @@
+#include "lint/source_view.hh"
+
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace bmc::lint
+{
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Distinguish a char literal's opening quote from a digit separator
+ * (1'000'000). A quote directly after an identifier char or digit is
+ * a separator.
+ */
+bool
+looksLikeCharLiteral(const std::string &codeLine)
+{
+    if (codeLine.empty())
+        return true;
+    return !isIdentChar(codeLine.back());
+}
+
+/** The identifier (if any) ending at the back of @p codeLine. */
+std::string
+trailingIdent(const std::string &codeLine)
+{
+    std::size_t b = codeLine.size();
+    while (b > 0 && isIdentChar(codeLine[b - 1]))
+        --b;
+    return codeLine.substr(b);
+}
+
+/** True when an identifier directly before a `"` makes it open a raw
+ *  string literal. The prefix must be exactly one of the five raw
+ *  forms -- `xR"..."` is an ordinary string named by macro/UDL rules. */
+bool
+isRawStringPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "uR" || ident == "UR" ||
+           ident == "LR" || ident == "u8R";
+}
+
+/** Count trailing backslashes; an odd number splices the next line. */
+bool
+endsWithLineSplice(const std::string &rawLine)
+{
+    std::size_t k = 0;
+    for (auto it = rawLine.rbegin();
+         it != rawLine.rend() && *it == '\\'; ++it)
+        ++k;
+    return (k % 2) == 1;
+}
+
+} // anonymous namespace
+
+SourceView
+preprocess(const std::string &content)
+{
+    SourceView v;
+    v.raw.emplace_back();
+    v.code.emplace_back();
+    v.text.emplace_back();
+
+    enum class State
+    {
+        Normal,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+    State st = State::Normal;
+    std::string rawDelim; // raw-string closing delimiter ')delim"'
+
+    const std::size_t n = content.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = content[i];
+        const char nx = i + 1 < n ? content[i + 1] : '\0';
+
+        if (c == '\n') {
+            // A `//` comment normally dies at end of line -- unless
+            // the line ends in a splice (backslash-newline), which
+            // the phase-2 splice drags the comment across. Macro
+            // bodies continued with `\` inside a comment hit this.
+            if (st == State::LineComment &&
+                !endsWithLineSplice(v.raw.back()))
+                st = State::Normal;
+            v.raw.emplace_back();
+            v.code.emplace_back();
+            v.text.emplace_back();
+            continue;
+        }
+        v.raw.back() += c;
+
+        switch (st) {
+          case State::Normal:
+            if (c == '/' && nx == '/') {
+                st = State::LineComment;
+                v.code.back() += ' ';
+                v.text.back() += ' ';
+            } else if (c == '/' && nx == '*') {
+                st = State::BlockComment;
+                v.code.back() += ' ';
+                v.text.back() += ' ';
+            } else if (c == '"' &&
+                       isRawStringPrefix(
+                           trailingIdent(v.code.back())) &&
+                       !trailingIdent(v.code.back()).empty()) {
+                // R"delim( ... )delim" -- also uR/UR/LR/u8R. The
+                // prefix identifier was already emitted as code.
+                std::size_t j = i + 1;
+                std::string delim;
+                while (j < n && content[j] != '(' &&
+                       content[j] != '\n')
+                    delim += content[j++];
+                rawDelim = ")" + delim + "\"";
+                st = State::RawString;
+                v.code.back() += ' ';
+                v.text.back() += c;
+            } else if (c == '"') {
+                st = State::String;
+                v.code.back() += ' ';
+                v.text.back() += c;
+            } else if (c == '\'' &&
+                       looksLikeCharLiteral(v.code.back())) {
+                st = State::Char;
+                v.code.back() += ' ';
+                v.text.back() += c;
+            } else if (c == '%' && nx == ':') {
+                // %: and %:%: digraphs -> # / ##
+                if (content.compare(i, 4, "%:%:") == 0) {
+                    v.raw.back() += content.substr(i + 1, 3);
+                    v.text.back() += content.substr(i, 4);
+                    v.code.back() += "##  ";
+                    i += 3;
+                } else {
+                    v.raw.back() += nx;
+                    v.text.back() += c;
+                    v.text.back() += nx;
+                    v.code.back() += "# ";
+                    ++i;
+                }
+            } else if (c == '<' && nx == '%') {
+                v.raw.back() += nx;
+                v.text.back() += c;
+                v.text.back() += nx;
+                v.code.back() += "{ ";
+                ++i;
+            } else if (c == '%' && nx == '>') {
+                v.raw.back() += nx;
+                v.text.back() += c;
+                v.text.back() += nx;
+                v.code.back() += "} ";
+                ++i;
+            } else if (c == ':' && nx == '>') {
+                v.raw.back() += nx;
+                v.text.back() += c;
+                v.text.back() += nx;
+                v.code.back() += "] ";
+                ++i;
+            } else if (c == '<' && nx == ':' &&
+                       !(i + 2 < n && content[i + 2] == ':' &&
+                         (i + 3 >= n ||
+                          (content[i + 3] != ':' &&
+                           content[i + 3] != '>')))) {
+                // `<:` digraph -> `[`, except the maximal-munch
+                // carve-out: in `<::` the `<` stands alone (think
+                // `std::vector<::Foo>`) unless a third `:` or a `>`
+                // follows.
+                v.raw.back() += nx;
+                v.text.back() += c;
+                v.text.back() += nx;
+                v.code.back() += "[ ";
+                ++i;
+            } else {
+                v.code.back() += c;
+                v.text.back() += c;
+            }
+            break;
+          case State::LineComment:
+            v.code.back() += ' ';
+            v.text.back() += ' ';
+            break;
+          case State::BlockComment:
+            if (c == '*' && nx == '/') {
+                v.code.back() += "  ";
+                v.text.back() += "  ";
+                v.raw.back() += nx;
+                ++i;
+                st = State::Normal;
+            } else {
+                v.code.back() += ' ';
+                v.text.back() += ' ';
+            }
+            break;
+          case State::String:
+          case State::Char:
+            if (c == '\\' && i + 1 < n && nx != '\n') {
+                v.code.back() += "  ";
+                v.text.back() += c;
+                v.text.back() += nx;
+                v.raw.back() += nx;
+                ++i;
+            } else {
+                v.code.back() += ' ';
+                v.text.back() += c;
+                if ((st == State::String && c == '"') ||
+                    (st == State::Char && c == '\''))
+                    st = State::Normal;
+            }
+            break;
+          case State::RawString:
+            if (c == ')' &&
+                content.compare(i, rawDelim.size(), rawDelim) == 0) {
+                v.code.back() += ' ';
+                v.text.back() += c;
+                for (std::size_t k = 1; k < rawDelim.size(); ++k) {
+                    v.raw.back() += content[i + k];
+                    v.code.back() += ' ';
+                    v.text.back() += content[i + k];
+                }
+                i += rawDelim.size() - 1;
+                st = State::Normal;
+            } else {
+                v.code.back() += ' ';
+                v.text.back() += c;
+            }
+            break;
+        }
+    }
+    return v;
+}
+
+Suppressions
+parseSuppressions(const SourceView &v)
+{
+    static const std::regex re(
+        R"(bmclint:allow\(([A-Za-z0-9_*, -]+)\))");
+    Suppressions sup;
+    sup.allowed.resize(v.raw.size());
+    for (std::size_t i = 0; i < v.raw.size(); ++i) {
+        auto begin = std::sregex_iterator(v.raw[i].begin(),
+                                          v.raw[i].end(), re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            std::stringstream ss((*it)[1].str());
+            std::string id;
+            while (std::getline(ss, id, ',')) {
+                const auto a = id.find_first_not_of(" \t");
+                const auto b = id.find_last_not_of(" \t");
+                if (a != std::string::npos)
+                    sup.allowed[i].insert(id.substr(a, b - a + 1));
+            }
+        }
+    }
+    return sup;
+}
+
+std::set<std::string>
+unorderedNames(const SourceView &view)
+{
+    std::set<std::string> names;
+    const std::regex decl(R"(unordered_(?:map|set)\s*<)");
+    for (const std::string &line : view.code) {
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            decl);
+             it != std::sregex_iterator(); ++it) {
+            // Skip the balanced template argument list, then read
+            // the declared identifier. Declarations whose argument
+            // list spans lines are matched when the name appears on
+            // a later line next to the closing '>' -- rare in this
+            // tree, where declarations are single-statement.
+            std::size_t pos = static_cast<std::size_t>(
+                it->position() + it->length());
+            int depth = 1;
+            while (pos < line.size() && depth > 0) {
+                if (line[pos] == '<')
+                    ++depth;
+                else if (line[pos] == '>')
+                    --depth;
+                ++pos;
+            }
+            if (depth != 0)
+                continue;
+            std::smatch m;
+            const std::string rest = line.substr(pos);
+            static const std::regex ident(
+                R"(^\s*&?\s*([A-Za-z_]\w*)\s*[;={(])");
+            if (std::regex_search(rest, m, ident))
+                names.insert(m[1].str());
+        }
+    }
+    return names;
+}
+
+} // namespace bmc::lint

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared lexical preprocessing for the lint layer.
+ *
+ * Every bmclint pass -- the per-file regex rules in linter.cc and
+ * the semantic cpp_model pass -- starts from the same problem: rule
+ * patterns must never fire on prose in comments or on quoted text,
+ * and the semantic tokenizer must see real code structure only. A
+ * SourceView is one file split into lines three ways:
+ *
+ *   raw   exactly as written. Suppression comments
+ *         (`// bmclint:allow(...)`) and sink/source markers live
+ *         here.
+ *   code  comments, string literals and char literals blanked to
+ *         spaces; alternative-token digraphs (`<%`, `%>`, `<:`,
+ *         `:>`, `%:`) canonicalized to their primary spellings so
+ *         brace/bracket tracking stays correct. Column positions
+ *         are preserved.
+ *   text  comments blanked, string literals kept verbatim. Rules
+ *         that inspect emitted JSON keys or format strings (`%p`,
+ *         `\"key\":`) read this view.
+ *
+ * The lexer handles the full set of edge cases the flat PR-5
+ * stripper tripped over: raw string literals with custom delimiters
+ * and encoding prefixes (R"...", u8R"...", uR/UR/LR), multi-line
+ * raw strings, backslash-newline continuations inside line comments
+ * and macro definitions, digit separators (1'000'000), and the
+ * `<::` maximal-munch exception for the `<:` digraph.
+ */
+
+#ifndef BMC_LINT_SOURCE_VIEW_HH
+#define BMC_LINT_SOURCE_VIEW_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bmc::lint
+{
+
+/** One file, split into lines three ways (see file comment). */
+struct SourceView
+{
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+    std::vector<std::string> text;
+};
+
+/** Lex @p content into a SourceView. Never fails; unterminated
+ *  constructs simply run to end-of-file. */
+SourceView preprocess(const std::string &content);
+
+/** Rules allowed on each line via `bmclint:allow(...)` comments. A
+ *  suppression covers its own line and the line below it. */
+struct Suppressions
+{
+    // one set per 0-based line; "*" allows everything on the line
+    std::vector<std::set<std::string>> allowed;
+
+    bool
+    covers(int line1, const std::string &rule) const
+    {
+        for (int l : {line1 - 1, line1 - 2}) { // own + previous line
+            if (l < 0 || l >= static_cast<int>(allowed.size()))
+                continue;
+            const auto &s = allowed[static_cast<std::size_t>(l)];
+            if (s.count("*") || s.count(rule))
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Parse `bmclint:allow(id, ...)` comments out of @p v's raw lines. */
+Suppressions parseSuppressions(const SourceView &v);
+
+/** Identifiers declared as std::unordered_{map,set} in @p view
+ *  (member or local declarations). */
+std::set<std::string> unorderedNames(const SourceView &view);
+
+} // namespace bmc::lint
+
+#endif // BMC_LINT_SOURCE_VIEW_HH

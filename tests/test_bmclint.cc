@@ -489,7 +489,7 @@ TEST(BmclintSuppression, StarSuppressesEverything)
 TEST(BmclintCatalog, EveryRuleIsListedAndKnown)
 {
     const auto &rules = ruleCatalog();
-    ASSERT_EQ(rules.size(), 8u);
+    ASSERT_EQ(rules.size(), 11u);
     for (const RuleInfo &r : rules) {
         EXPECT_TRUE(knownRule(r.id));
         EXPECT_GT(std::string(r.summary).size(), 10u);
@@ -518,13 +518,16 @@ TEST(BmclintJson, SchemaHasDocumentedKeys)
     f.line = 3;
     f.rule = "no-wallclock";
     f.message = "a \"quoted\" message";
+    f.path = {"wallNow", "helper", "statsToJson"};
     const std::string json = findingsToJson({f}, 42);
 
     for (const char *key :
-         {"\"bmclint_schema\": 1", "\"files_scanned\": 42",
+         {"\"bmclint_schema\": 2", "\"files_scanned\": 42",
+          "\"rules\": [", "\"id\": \"det-taint\"",
           "\"findings\": [", "\"file\": \"src/a.cc\"",
           "\"line\": 3", "\"rule\": \"no-wallclock\"",
           "\"message\": \"a \\\"quoted\\\" message\"",
+          "\"path\": [\"wallNow\", \"helper\", \"statsToJson\"]",
           "\"summary\": {\"findings\": 1}"}) {
         EXPECT_NE(json.find(key), std::string::npos)
             << "missing fragment: " << key << "\nin: " << json;
@@ -533,6 +536,10 @@ TEST(BmclintJson, SchemaHasDocumentedKeys)
     const std::string empty = findingsToJson({}, 7);
     EXPECT_NE(empty.find("\"findings\": []"), std::string::npos);
     EXPECT_NE(empty.find("\"summary\": {\"findings\": 0}"),
+              std::string::npos);
+    // A path-less finding omits the path key entirely.
+    f.path.clear();
+    EXPECT_EQ(findingsToJson({f}, 1).find("\"path\""),
               std::string::npos);
 }
 

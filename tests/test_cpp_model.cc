@@ -1,0 +1,788 @@
+/**
+ * @file
+ * The semantic lint layer: cpp_model's tokenizer/definition index,
+ * the source_view lexer's edge cases (raw strings, line splices,
+ * digraphs), and the three call-graph rules -- det-taint,
+ * schema-drift, lock-order -- driven on in-memory fixture trees.
+ *
+ * Each rule family carries the acceptance probes from the issue: a
+ * seeded fault (wall-clock reachable from a sink, a field added
+ * without a version bump, an inverted lock pair) must produce a
+ * finding, and the matching near-miss must stay clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/cpp_model.hh"
+#include "lint/linter.hh"
+#include "lint/source_view.hh"
+
+#ifndef BMC_GOLDEN_DIR
+#define BMC_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace bmc::lint
+{
+namespace
+{
+
+const FunctionDef *
+defNamed(const CppModel &m, const std::string &name)
+{
+    for (const FunctionDef &d : m.functions())
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+bool
+callsName(const FunctionDef &d, const std::string &callee)
+{
+    for (const CallSite &cs : d.calls)
+        if (cs.name == callee)
+            return true;
+    return false;
+}
+
+bool
+hasRule(const std::vector<Finding> &fs, const std::string &id)
+{
+    for (const Finding &f : fs)
+        if (f.rule == id)
+            return true;
+    return false;
+}
+
+// ==================================================== cpp model
+
+TEST(CppModel, IndexesFreeFunctionsAndMethods)
+{
+    CppModel m;
+    m.addFile("src/x/a.cc",
+              "int helper(int v) { return v + 1; }\n"
+              "void Server::flushRow(const Row &r)\n"
+              "{\n"
+              "    helper(3);\n"
+              "}\n"
+              "class Worker\n"
+              "{\n"
+              "    void run() { flushRow(); }\n"
+              "};\n");
+
+    const FunctionDef *h = defNamed(m, "helper");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->qualified, "helper");
+    EXPECT_EQ(h->line, 1);
+
+    const FunctionDef *f = defNamed(m, "flushRow");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->qualified, "Server::flushRow");
+    EXPECT_EQ(f->bodyLine, 3);
+    EXPECT_EQ(f->endLine, 5);
+    EXPECT_TRUE(callsName(*f, "helper"));
+
+    const FunctionDef *r = defNamed(m, "run");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->qualified, "Worker::run");
+    EXPECT_TRUE(callsName(*r, "flushRow"));
+}
+
+TEST(CppModel, DeclarationsAndControlFlowAreNotDefinitions)
+{
+    CppModel m;
+    m.addFile("src/x/a.cc",
+              "int declared(int v);\n"
+              "int defaulted(const T &) = delete;\n"
+              "void real()\n"
+              "{\n"
+              "    if (cond()) { act(); }\n"
+              "    while (spin()) {}\n"
+              "    for (int i = 0; i < 3; ++i) {}\n"
+              "}\n");
+    EXPECT_EQ(defNamed(m, "declared"), nullptr);
+    EXPECT_EQ(defNamed(m, "defaulted"), nullptr);
+    EXPECT_EQ(defNamed(m, "if"), nullptr);
+    EXPECT_EQ(defNamed(m, "while"), nullptr);
+    EXPECT_EQ(defNamed(m, "for"), nullptr);
+    const FunctionDef *r = defNamed(m, "real");
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(callsName(*r, "cond"));
+    EXPECT_TRUE(callsName(*r, "act"));
+}
+
+TEST(CppModel, QualifiersTrailingReturnsAndCtorInitLists)
+{
+    CppModel m;
+    m.addFile("src/x/a.cc",
+              "auto Pool::take() -> Node * { return grab(); }\n"
+              "Frame::Frame(int n) : size_(n), data_(alloc(n))\n"
+              "{\n"
+              "    check();\n"
+              "}\n"
+              "int compute() const noexcept { return 7; }\n");
+    const FunctionDef *t = defNamed(m, "take");
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->qualified, "Pool::take");
+    const FunctionDef *c = defNamed(m, "Frame");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->qualified, "Frame::Frame");
+    EXPECT_EQ(c->bodyLine, 3);
+    EXPECT_TRUE(callsName(*c, "check"));
+    EXPECT_NE(defNamed(m, "compute"), nullptr);
+}
+
+TEST(CppModel, CallSitesCarryReceiverAndQualifier)
+{
+    CppModel m;
+    m.addFile("src/x/a.cc",
+              "void f()\n"
+              "{\n"
+              "    obj.method(1);\n"
+              "    std::chrono::steady_clock::now();\n"
+              "    plain();\n"
+              "}\n");
+    const FunctionDef *f = defNamed(m, "f");
+    ASSERT_NE(f, nullptr);
+    bool sawMethod = false, sawNow = false, sawPlain = false;
+    for (const CallSite &cs : f->calls) {
+        if (cs.name == "method") {
+            sawMethod = true;
+            EXPECT_TRUE(cs.hasReceiver);
+            EXPECT_EQ(cs.receiver, "obj");
+        } else if (cs.name == "now") {
+            sawNow = true;
+            EXPECT_NE(cs.qualifier.find("steady_clock"),
+                      std::string::npos);
+        } else if (cs.name == "plain") {
+            sawPlain = true;
+            EXPECT_FALSE(cs.hasReceiver);
+            EXPECT_TRUE(cs.qualifier.empty());
+        }
+    }
+    EXPECT_TRUE(sawMethod && sawNow && sawPlain);
+}
+
+TEST(CppModel, ResolveLinksCallsAcrossFiles)
+{
+    CppModel m;
+    m.addFile("src/x/a.cc", "int shared() { return 1; }\n");
+    m.addFile("src/y/b.cc", "int shared() { return 2; }\n"
+                            "void user() { shared(); }\n");
+    EXPECT_EQ(m.resolve("shared").size(), 2u);
+    EXPECT_EQ(m.resolve("nothing").size(), 0u);
+    EXPECT_EQ(m.resolveIn("src/y/b.cc", "shared").size(), 1u);
+}
+
+TEST(CppModel, CallableNamesFromDeferredCallableDecls)
+{
+    CppModel m;
+    m.addFile("src/x/a.hh",
+              "struct Hooks\n"
+              "{\n"
+              "    std::function<void(int)> onRow;\n"
+              "    InplaceFunction<void()> tick;\n"
+              "    int notACallable = 0;\n"
+              "};\n");
+    EXPECT_TRUE(m.callableNames().count("onRow"));
+    EXPECT_TRUE(m.callableNames().count("tick"));
+    EXPECT_FALSE(m.callableNames().count("notACallable"));
+}
+
+TEST(CppModel, PreprocessorBodiesAreNotModelled)
+{
+    CppModel m;
+    m.addFile("src/x/a.cc",
+              "#define EMIT(x) emitRaw(x)\n"
+              "#define LONG_MACRO(a) \\\n"
+              "    helper(a); \\\n"
+              "    helper2(a)\n"
+              "void f() { EMIT(3); }\n");
+    // The macro body's helper()/helper2() never become call sites.
+    const FunctionDef *f = defNamed(m, "f");
+    ASSERT_NE(f, nullptr);
+    EXPECT_FALSE(callsName(*f, "helper"));
+    EXPECT_FALSE(callsName(*f, "helper2"));
+    EXPECT_FALSE(callsName(*f, "emitRaw"));
+}
+
+// ========================================= lexer edge cases
+
+TEST(SourceView, RawStringLiteralsAreBlankedInCodeView)
+{
+    // Braces, quotes and comment markers inside a raw string must
+    // not leak into the code view -- with and without a custom
+    // delimiter, and with encoding prefixes.
+    const SourceView v = preprocess(
+        "const char *a = R\"(no { braces \" or // here)\";\n"
+        "const char *b = u8R\"x(delim )\" trap)x\";\n"
+        "int live = 1;\n");
+    EXPECT_EQ(v.code[0].find('{'), std::string::npos);
+    EXPECT_EQ(v.code[0].find("//"), std::string::npos);
+    EXPECT_EQ(v.code[1].find("trap"), std::string::npos);
+    EXPECT_NE(v.code[2].find("live"), std::string::npos);
+    // ...but the text view keeps the string content for key rules.
+    EXPECT_NE(v.text[0].find("braces"), std::string::npos);
+}
+
+TEST(SourceView, MultiLineRawStringBlanksEveryLine)
+{
+    const SourceView v = preprocess("auto s = R\"(first {\n"
+                                    "second } \" //\n"
+                                    ")\"; int after = 2;\n");
+    EXPECT_EQ(v.code[0].find('{'), std::string::npos);
+    EXPECT_EQ(v.code[1].find('}'), std::string::npos);
+    EXPECT_NE(v.code[2].find("after"), std::string::npos);
+}
+
+TEST(SourceView, IdentifierEndingInRIsNotARawStringPrefix)
+{
+    // MACRO_R"..." is a macro token next to a normal string, not a
+    // raw literal; the string still blanks, the code after lives.
+    const SourceView v =
+        preprocess("auto x = WRAP_R\"plain\"; int keep = 1;\n");
+    EXPECT_EQ(v.code[0].find("plain"), std::string::npos);
+    EXPECT_NE(v.code[0].find("keep"), std::string::npos);
+}
+
+TEST(SourceView, LineSpliceContinuesALineComment)
+{
+    // A backslash-newline splices the next line INTO the comment;
+    // srand() there is prose, not code.
+    const SourceView v = preprocess("// banned: \\\n"
+                                    "srand(42);\n"
+                                    "int live = 1;\n");
+    EXPECT_EQ(v.code[1].find("srand"), std::string::npos);
+    EXPECT_NE(v.code[2].find("live"), std::string::npos);
+    // An ESCAPED backslash at end of comment does not splice.
+    const SourceView w = preprocess("// path ends c:\\\\\n"
+                                    "int code = 1;\n");
+    EXPECT_NE(w.code[1].find("code"), std::string::npos);
+}
+
+TEST(SourceView, DigraphsCanonicalizeToPrimaryTokens)
+{
+    const SourceView v = preprocess("void f() <% g(); %>\n");
+    EXPECT_NE(v.code[0].find('{'), std::string::npos);
+    EXPECT_NE(v.code[0].find('}'), std::string::npos);
+    // ...and brace tracking over them yields a real definition.
+    CppModel m;
+    m.addFile("src/x/d.cc", "void f() <% g(); %>\n");
+    const FunctionDef *f = defNamed(m, "f");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(callsName(*f, "g"));
+}
+
+TEST(SourceView, DigraphMaximalMunchException)
+{
+    // `<::` is `<` followed by `::` (template of a global-qualified
+    // name), NOT the `<:` digraph -- unless followed by `:` or `>`.
+    const SourceView v = preprocess("A<::B> x;\n"
+                                    "arr<:3:> = 1;\n");
+    EXPECT_EQ(v.code[0].find('['), std::string::npos);
+    EXPECT_NE(v.code[0].find("<::"), std::string::npos);
+    EXPECT_NE(v.code[1].find('['), std::string::npos);
+    EXPECT_NE(v.code[1].find(']'), std::string::npos);
+}
+
+TEST(SourceView, DigitSeparatorsAreNotCharLiterals)
+{
+    const SourceView v =
+        preprocess("long n = 1'000'000; call(n);\n");
+    EXPECT_NE(v.code[0].find("call"), std::string::npos);
+}
+
+// ===================================================== det-taint
+
+CppModel
+taintFixture(const std::string &sinkBody,
+             const std::string &extra = "")
+{
+    CppModel m;
+    m.addFile("src/common/wallclock.hh",
+              "inline double wallNow() { return 0.0; }\n"
+              "inline double wallSecondsSince(double t)\n"
+              "{ return t; }\n");
+    m.addFile("src/x/emit.cc",
+              "// bmclint:sink\n"
+              "void emitRow()\n"
+              "{\n" +
+                  sinkBody + "}\n" + extra);
+    return m;
+}
+
+TEST(DetTaint, WallclockReachingASinkIsFlaggedWithPath)
+{
+    // The seeded fault: an injected wallNow() call reachable from a
+    // serializer. emitRow -> stamp -> wallNow.
+    const CppModel m = taintFixture(
+        "    stamp();\n",
+        "double stamp() { return wallNow(); }\n");
+    const auto fs = lintDetTaint(m);
+    ASSERT_TRUE(hasRule(fs, "det-taint"));
+    const Finding &f = fs.front();
+    EXPECT_EQ(f.file, "src/x/emit.cc");
+    // Anchored at the sink's outgoing call so a local allow works.
+    EXPECT_EQ(f.line, 4);
+    ASSERT_GE(f.path.size(), 3u);
+    EXPECT_NE(f.path.front().find("wallNow"), std::string::npos);
+    EXPECT_EQ(f.path.back(), "emitRow");
+    EXPECT_NE(f.message.find("wallNow"), std::string::npos);
+    EXPECT_NE(f.message.find("->"), std::string::npos);
+}
+
+TEST(DetTaint, MultiHopChainIsTracedThroughThreeHelpers)
+{
+    const CppModel m = taintFixture(
+        "    hop1();\n",
+        "void hop1() { hop2(); }\n"
+        "void hop2() { hop3(); }\n"
+        "double hop3() { return wallNow(); }\n");
+    const auto fs = lintDetTaint(m);
+    ASSERT_TRUE(hasRule(fs, "det-taint"));
+    // source label, wallNow, hop3, hop2, hop1, emitRow
+    ASSERT_EQ(fs.front().path.size(), 6u);
+    EXPECT_EQ(fs.front().path[1], "wallNow");
+    EXPECT_EQ(fs.front().path[2], "hop3");
+    EXPECT_EQ(fs.front().path[4], "hop1");
+}
+
+TEST(DetTaint, SuppressionAtTheSinkCallIsHonored)
+{
+    const CppModel m = taintFixture(
+        "    // wall time is quantized upstream: fine to emit\n"
+        "    // bmclint:allow(det-taint)\n"
+        "    stamp();\n",
+        "double stamp() { return wallNow(); }\n");
+    EXPECT_TRUE(lintDetTaint(m).empty());
+}
+
+TEST(DetTaint, CleanHelperChainStaysClean)
+{
+    // The false-positive guard: wallNow exists in the model and is
+    // CALLED, but never on a path into the sink.
+    const CppModel m = taintFixture(
+        "    format();\n",
+        "void format() { pad(); }\n"
+        "int pad() { return 3; }\n"
+        "double offline() { return wallNow(); }\n");
+    EXPECT_TRUE(lintDetTaint(m).empty());
+}
+
+TEST(DetTaint, IntrinsicSourcesInsideTheSinkAreCaught)
+{
+    const CppModel direct = taintFixture("    rand();\n");
+    EXPECT_TRUE(hasRule(lintDetTaint(direct), "det-taint"));
+    // t.time(3) is a member call, not libc time().
+    const CppModel member = taintFixture("    t.time(3);\n");
+    EXPECT_TRUE(lintDetTaint(member).empty());
+}
+
+TEST(DetTaint, MarkedTaintSourceExtendsTheAuditedSet)
+{
+    const CppModel m = taintFixture(
+        "    readHostName();\n",
+        "// host names differ per machine\n"
+        "// bmclint:taint-source\n"
+        "std::string readHostName() { return lookup(); }\n");
+    const auto fs = lintDetTaint(m);
+    ASSERT_TRUE(hasRule(fs, "det-taint"));
+    EXPECT_NE(fs.front().path.front().find("readHostName"),
+              std::string::npos);
+}
+
+TEST(DetTaint, UnorderedIterationInAHelperTaints)
+{
+    CppModel m;
+    m.addFile("src/x/emit.cc",
+              "std::unordered_map<int, int> counts_;\n"
+              "// bmclint:sink\n"
+              "void emitRow() { dump(); }\n"
+              "void dump()\n"
+              "{\n"
+              "    for (const auto &kv : counts_) { use(kv); }\n"
+              "}\n");
+    const auto fs = lintDetTaint(m);
+    ASSERT_TRUE(hasRule(fs, "det-taint"));
+    EXPECT_NE(fs.front().path.front().find("counts_"),
+              std::string::npos);
+}
+
+// ================================================== schema-drift
+
+SchemaFormatSpec
+jsonSpec()
+{
+    SchemaFormatSpec spec;
+    spec.id = "fixture-rows";
+    spec.binio = false;
+    spec.sources = {"src/x/rows.cc#rowToJson"};
+    spec.versionFile = "src/x/rows.hh";
+    spec.versionPattern = R"(kRowVersion\s*=\s*(\d+))";
+    return spec;
+}
+
+const char *kRowsHeader = "constexpr unsigned kRowVersion = 3;\n";
+
+CppModel
+rowsModel(const std::string &serializer)
+{
+    CppModel m;
+    m.addFile("src/x/rows.hh", kRowsHeader);
+    m.addFile("src/x/rows.cc", serializer);
+    return m;
+}
+
+TEST(SchemaDrift, FingerprintTracksKeysNotFormatting)
+{
+    const CppModel base = rowsModel(
+        "std::string rowToJson()\n"
+        "{\n"
+        "    out += \"\\\"cells\\\": \" + n;\n"
+        "    out += field(\"hits\", h);\n"
+        "}\n");
+    const CppModel reformatted = rowsModel(
+        "std::string rowToJson() {\n"
+        "    out += \"\\\"cells\\\": \"   + n;\n"
+        "    out += field( \"hits\" , h);\n"
+        "}\n");
+    const CppModel extraKey = rowsModel(
+        "std::string rowToJson()\n"
+        "{\n"
+        "    out += \"\\\"cells\\\": \" + n;\n"
+        "    out += field(\"hits\", h);\n"
+        "    out += field(\"misses\", ms);\n"
+        "}\n");
+    const SchemaFormatSpec spec = jsonSpec();
+    const std::uint64_t fp = schemaFormatFingerprint(base, spec);
+    EXPECT_EQ(fp, schemaFormatFingerprint(reformatted, spec));
+    EXPECT_NE(fp, schemaFormatFingerprint(extraKey, spec));
+}
+
+TEST(SchemaDrift, FieldAddedWithoutVersionBumpIsCaught)
+{
+    // The seeded fault: pin the base shape, then a key appears
+    // while kRowVersion stays 3.
+    const SchemaFormatSpec spec = jsonSpec();
+    const CppModel base = rowsModel(
+        "std::string rowToJson() { out += field(\"hits\", h); }\n");
+    const std::uint64_t fp = schemaFormatFingerprint(base, spec);
+    const std::vector<SchemaPinData> pins = {
+        {"fixture-rows", 3, fp}};
+
+    EXPECT_TRUE(lintSchemaDrift(base, {spec}, pins, "").empty());
+
+    const CppModel drifted = rowsModel(
+        "std::string rowToJson()\n"
+        "{\n"
+        "    out += field(\"hits\", h);\n"
+        "    out += field(\"wall_seconds\", w);\n"
+        "}\n");
+    const auto fs = lintSchemaDrift(drifted, {spec}, pins, "");
+    ASSERT_TRUE(hasRule(fs, "schema-drift"));
+    EXPECT_NE(fs.front().message.find("without a version bump"),
+              std::string::npos);
+    EXPECT_EQ(fs.front().file, "src/x/rows.hh");
+}
+
+TEST(SchemaDrift, BinioFieldAddedWithoutBumpIsCaught)
+{
+    SchemaFormatSpec spec = jsonSpec();
+    spec.binio = true;
+    spec.sources = {"src/x/rows.cc"};
+    const CppModel base = rowsModel(
+        "void save(BinWriter &w) { w.u32(a_); w.u64(b_); }\n");
+    const std::vector<SchemaPinData> pins = {
+        {"fixture-rows", 3, schemaFormatFingerprint(base, spec)}};
+    EXPECT_TRUE(lintSchemaDrift(base, {spec}, pins, "").empty());
+
+    const CppModel drifted = rowsModel(
+        "void save(BinWriter &w) { w.u32(a_); w.u64(b_); "
+        "w.u8(c_); }\n");
+    EXPECT_TRUE(hasRule(lintSchemaDrift(drifted, {spec}, pins, ""),
+                        "schema-drift"));
+}
+
+TEST(SchemaDrift, ReVersionedFormatAsksForARePinOnly)
+{
+    // Version bumped AND fields changed: the right move, just
+    // re-pin. Message must not claim a missing bump.
+    SchemaFormatSpec spec = jsonSpec();
+    const CppModel drifted = rowsModel(
+        "std::string rowToJson() { out += field(\"v2key\", x); }\n");
+    const std::vector<SchemaPinData> pins = {
+        {"fixture-rows", 2, 0xdeadbeefULL}};
+    const auto fs = lintSchemaDrift(drifted, {spec}, pins, "");
+    ASSERT_TRUE(hasRule(fs, "schema-drift"));
+    EXPECT_NE(fs.front().message.find("re-pin"), std::string::npos);
+    EXPECT_EQ(fs.front().message.find("without a version bump"),
+              std::string::npos);
+}
+
+TEST(SchemaDrift, DocRegistryRowMustMatchTheCodeConstant)
+{
+    const SchemaFormatSpec spec = [] {
+        SchemaFormatSpec s = jsonSpec();
+        s.docKey = "fixture row format";
+        return s;
+    }();
+    const CppModel m = rowsModel(
+        "std::string rowToJson() { out += field(\"hits\", h); }\n");
+    const std::vector<SchemaPinData> pins = {
+        {"fixture-rows", 3, schemaFormatFingerprint(m, spec)}};
+
+    const std::string goodDoc =
+        "| fixture row format | `kRowVersion` | 3 | here |\n";
+    EXPECT_TRUE(lintSchemaDrift(m, {spec}, pins, goodDoc).empty());
+
+    const std::string staleDoc =
+        "| fixture row format | `kRowVersion` | 2 | here |\n";
+    const auto fs = lintSchemaDrift(m, {spec}, pins, staleDoc);
+    ASSERT_TRUE(hasRule(fs, "schema-drift"));
+    EXPECT_EQ(fs.front().file, "EXPERIMENTS.md");
+
+    const auto missing =
+        lintSchemaDrift(m, {spec}, pins, "no table here\n");
+    ASSERT_TRUE(hasRule(missing, "schema-drift"));
+    EXPECT_NE(missing.front().message.find("no row"),
+              std::string::npos);
+}
+
+TEST(SchemaDrift, LiveTreePinsMatchTheTree)
+{
+    // Every format in the real table has a pin row; defaults line
+    // up by construction (the clean-tree gate re-checks on disk).
+    const auto pins = defaultSchemaPins();
+    EXPECT_EQ(pins.size(), schemaFormats().size());
+    for (const SchemaFormatSpec &spec : schemaFormats()) {
+        bool found = false;
+        for (const SchemaPinData &p : pins)
+            found = found || p.format == spec.id;
+        EXPECT_TRUE(found) << "no pin for " << spec.id;
+    }
+}
+
+// ==================================================== lock-order
+
+const std::vector<std::string> kFixtureScope = {"src/x/"};
+
+TEST(LockOrder, InvertedLockPairIsACycle)
+{
+    // The seeded fault: two call paths acquire (a_, b_) in opposite
+    // orders.
+    CppModel m;
+    m.addFile("src/x/locks.cc",
+              "void W::fwd()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> la(a_);\n"
+              "    std::lock_guard<std::mutex> lb(b_);\n"
+              "}\n"
+              "void W::rev()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> lb(b_);\n"
+              "    std::lock_guard<std::mutex> la(a_);\n"
+              "}\n");
+    const auto fs = lintLockOrder(m, kFixtureScope);
+    ASSERT_TRUE(hasRule(fs, "lock-order"));
+    EXPECT_NE(fs.front().message.find("cycle"), std::string::npos);
+    EXPECT_NE(fs.front().message.find("W::a_"), std::string::npos);
+    EXPECT_NE(fs.front().message.find("W::b_"), std::string::npos);
+    EXPECT_FALSE(fs.front().path.empty());
+}
+
+TEST(LockOrder, ConsistentOrderAcrossFunctionsIsClean)
+{
+    CppModel m;
+    m.addFile("src/x/locks.cc",
+              "void W::one()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> la(a_);\n"
+              "    std::lock_guard<std::mutex> lb(b_);\n"
+              "}\n"
+              "void W::two()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> la(a_);\n"
+              "    std::lock_guard<std::mutex> lb(b_);\n"
+              "}\n");
+    EXPECT_TRUE(lintLockOrder(m, kFixtureScope).empty());
+}
+
+TEST(LockOrder, SequentialScopedGuardsDoNotStackFalseEdges)
+{
+    // The Server::stop shape that regressed: back-to-back `{ guard }`
+    // blocks close before the next acquisition and before the join;
+    // the depth at the next event equals the declaration depth, so
+    // only a between-events scan sees the release.
+    CppModel m;
+    m.addFile("src/x/stop.cc",
+              "void W::stop()\n"
+              "{\n"
+              "    {\n"
+              "        std::lock_guard<std::mutex> lk(a_);\n"
+              "        grab();\n"
+              "    }\n"
+              "    {\n"
+              "        std::lock_guard<std::mutex> lk(b_);\n"
+              "        grab();\n"
+              "    }\n"
+              "    worker_.join();\n"
+              "}\n"
+              "void W::other()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> lk(b_);\n"
+              "    std::lock_guard<std::mutex> lk2(a_);\n"
+              "}\n");
+    // No b_ -> a_ ... a_ -> b_ cycle and no blocking-under-lock:
+    // every guard died in its block.
+    EXPECT_TRUE(lintLockOrder(m, kFixtureScope).empty());
+}
+
+TEST(LockOrder, InterproceduralEdgeThroughACalleeIsSeen)
+{
+    CppModel m;
+    m.addFile("src/x/locks.cc",
+              "void W::outer()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> la(a_);\n"
+              "    inner();\n"
+              "}\n"
+              "void W::inner()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> lb(b_);\n"
+              "}\n"
+              "void W::inverted()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> lb(b_);\n"
+              "    std::lock_guard<std::mutex> la(a_);\n"
+              "}\n");
+    // outer holds a_ and calls inner (may acquire b_): a_ -> b_;
+    // inverted gives b_ -> a_ directly. Cycle through the call.
+    EXPECT_TRUE(
+        hasRule(lintLockOrder(m, kFixtureScope), "lock-order"));
+}
+
+TEST(LockOrder, BlockingCallUnderALockIsFlagged)
+{
+    CppModel m;
+    m.addFile("src/x/locks.cc",
+              "void W::bad()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> lk(m_);\n"
+              "    worker_.join();\n"
+              "}\n");
+    const auto fs = lintLockOrder(m, kFixtureScope);
+    ASSERT_TRUE(hasRule(fs, "lock-order"));
+    EXPECT_NE(fs.front().message.find("join"), std::string::npos);
+    EXPECT_EQ(fs.front().line, 4);
+}
+
+TEST(LockOrder, CvWaitAndManualUnlockAreExempt)
+{
+    CppModel m;
+    m.addFile("src/x/locks.cc",
+              "void W::parked()\n"
+              "{\n"
+              "    std::unique_lock<std::mutex> lk(m_);\n"
+              "    cv_.wait(lk);\n"
+              "}\n"
+              "void W::handoff()\n"
+              "{\n"
+              "    std::unique_lock<std::mutex> lk(m_);\n"
+              "    lk.unlock();\n"
+              "    worker_.join();\n"
+              "}\n");
+    EXPECT_TRUE(lintLockOrder(m, kFixtureScope).empty());
+}
+
+TEST(LockOrder, OpaqueCallableInvokedUnderALockIsFlagged)
+{
+    CppModel m;
+    m.addFile("src/x/locks.hh",
+              "struct W { std::function<void()> onRow; };\n");
+    m.addFile("src/x/locks.cc",
+              "void W::notify()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> lk(m_);\n"
+              "    onRow();\n"
+              "}\n");
+    const auto fs = lintLockOrder(m, kFixtureScope);
+    ASSERT_TRUE(hasRule(fs, "lock-order"));
+    EXPECT_NE(fs.front().message.find("opaque"), std::string::npos);
+}
+
+TEST(LockOrder, OutOfScopeFilesAreIgnored)
+{
+    CppModel m;
+    m.addFile("src/other/locks.cc",
+              "void W::bad()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> lk(m_);\n"
+              "    worker_.join();\n"
+              "}\n");
+    EXPECT_TRUE(lintLockOrder(m, kFixtureScope).empty());
+    EXPECT_FALSE(
+        lintLockOrder(m, {"src/other/"}).empty());
+}
+
+TEST(LockOrder, SuppressionOnTheAnchorLineIsHonored)
+{
+    CppModel m;
+    m.addFile("src/x/locks.cc",
+              "void W::bad()\n"
+              "{\n"
+              "    std::lock_guard<std::mutex> lk(m_);\n"
+              "    // short-lived startup thread, held < 1ms\n"
+              "    // bmclint:allow(lock-order)\n"
+              "    worker_.join();\n"
+              "}\n");
+    EXPECT_TRUE(lintLockOrder(m, kFixtureScope).empty());
+}
+
+// ======================================================== SARIF
+
+TEST(Sarif, OutputMatchesTheGoldenLog)
+{
+    Finding cycle;
+    cycle.file = "src/serve/server.cc";
+    cycle.line = 42;
+    cycle.rule = "lock-order";
+    cycle.message = "lock-order cycle: A -> B -> A";
+    cycle.path = {"A", "B"};
+    Finding flat;
+    flat.file = "src/dram/channel.cc";
+    flat.line = 7;
+    flat.rule = "no-wallclock";
+    flat.message = "std::chrono in timing code";
+    const std::string got = findingsToSarif({cycle, flat});
+
+    const std::string goldenPath =
+        std::string(BMC_GOLDEN_DIR) + "/bmclint_sarif.json";
+    std::ifstream in(goldenPath, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden: " << goldenPath;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(got, ss.str())
+        << "SARIF output drifted; regenerate the golden if the "
+           "change is intentional";
+}
+
+TEST(Sarif, EveryRuleAppearsInTheDriverCatalog)
+{
+    const std::string sarif = findingsToSarif({});
+    for (const RuleInfo &r : ruleCatalog())
+        EXPECT_NE(sarif.find("\"id\": \"" + std::string(r.id) +
+                             "\""),
+                  std::string::npos)
+            << r.id;
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""),
+              std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace bmc::lint

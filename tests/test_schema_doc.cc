@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The EXPERIMENTS.md schema-version registry must track the code.
+ *
+ * The table is the single human-facing enumeration of every
+ * serialized format's version; this test compiles the real version
+ * constants in and asserts each registry row's "current" cell
+ * matches -- so a version bump that skips the doc (or a doc edit
+ * that invents a version) fails ctest, not code review. The
+ * schema-drift lint rule re-checks the same rows from the linter
+ * side; this test is the compiled-constant cross-check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hh"
+#include "serve/jobspec.hh"
+#include "serve/journal.hh"
+#include "sim/catalog.hh"
+#include "sim/checkpoint.hh"
+#include "sim/metrics.hh"
+
+#ifndef BMC_SOURCE_ROOT
+#define BMC_SOURCE_ROOT "."
+#endif
+
+namespace
+{
+
+std::string
+slurp(const std::string &relpath)
+{
+    const std::string path =
+        std::string(BMC_SOURCE_ROOT) + "/" + relpath;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** The "current" cell of the registry row containing @p key, or -1
+ *  when no table row matches. */
+long
+registryVersion(const std::string &doc, const std::string &key)
+{
+    std::stringstream ss(doc);
+    std::string line;
+    while (std::getline(ss, line)) {
+        if (line.find(key) == std::string::npos ||
+            line.find('|') == std::string::npos)
+            continue;
+        // | format | constant | current | where documented |
+        std::vector<std::string> cells;
+        std::string cell;
+        std::stringstream cs(line);
+        while (std::getline(cs, cell, '|'))
+            cells.push_back(cell);
+        if (cells.size() <= 3)
+            return -1;
+        const auto digit = cells[3].find_first_of("0123456789");
+        if (digit == std::string::npos)
+            return -1;
+        return std::stol(cells[3].substr(digit));
+    }
+    return -1;
+}
+
+/** First `"schema_version": N` literal in @p relpath's source. */
+long
+emittedVersion(const std::string &relpath)
+{
+    // matches both `"schema_version": 1` and the C-escaped
+    // `\"schema_version\": 1` spelling inside a string literal
+    const std::string src = slurp(relpath);
+    const std::string needle = "schema_version";
+    const auto at = src.find(needle);
+    if (at == std::string::npos)
+        return -1;
+    const auto digit =
+        src.find_first_of("0123456789", at + needle.size());
+    if (digit == std::string::npos)
+        return -1;
+    return std::stol(src.substr(digit));
+}
+
+TEST(SchemaDocRegistry, EveryRowMatchesTheCompiledConstant)
+{
+    const std::string doc = slurp("EXPERIMENTS.md");
+    ASSERT_FALSE(doc.empty()) << "EXPERIMENTS.md unreadable";
+
+    const struct
+    {
+        const char *key; // locates the registry row
+        long code;       // the in-code version
+    } rows[] = {
+        {"kResultsSchemaVersion", bmc::sim::kResultsSchemaVersion},
+        {"kCheckpointVersion",
+         static_cast<long>(bmc::sim::kCheckpointVersion)},
+        {"kCatalogIndexVersion",
+         static_cast<long>(bmc::sim::kCatalogIndexVersion)},
+        {"kServeProtocolVersion",
+         static_cast<long>(bmc::serve::kServeProtocolVersion)},
+        {"kJobSpecVersion",
+         static_cast<long>(bmc::serve::kJobSpecVersion)},
+        {"kServeJournalVersion",
+         static_cast<long>(bmc::serve::kServeJournalVersion)},
+        {"kServeFuzzRowVersion",
+         static_cast<long>(bmc::serve::kServeFuzzRowVersion)},
+    };
+    for (const auto &row : rows) {
+        EXPECT_EQ(registryVersion(doc, row.key), row.code)
+            << "registry row for " << row.key
+            << " disagrees with the compiled constant";
+    }
+}
+
+TEST(SchemaDocRegistry, LiteralSchemaVersionRowsMatchTheSource)
+{
+    // epoch rows and the trace prefix carry their version as a JSON
+    // literal in the emitter, not a named constant; cross-check the
+    // registry against the source text.
+    const std::string doc = slurp("EXPERIMENTS.md");
+    ASSERT_FALSE(doc.empty());
+
+    const long epoch = emittedVersion("src/sim/epoch_sampler.cc");
+    ASSERT_GT(epoch, 0) << "epoch emitter literal not found";
+    EXPECT_EQ(registryVersion(doc, "epoch time-series row"), epoch);
+
+    const long trace = emittedVersion("src/common/chrome_trace.cc");
+    ASSERT_GT(trace, 0) << "trace emitter literal not found";
+    EXPECT_EQ(registryVersion(doc, "lifecycle trace"), trace);
+}
+
+} // anonymous namespace

@@ -3,14 +3,15 @@
  * bmclint -- the project's determinism/invariant linter CLI.
  *
  * Usage:
- *   bmclint [--root=DIR] [--rule=ID ...] [--json] [paths...]
+ *   bmclint [--root=DIR] [--rule=ID ...] [--json|--sarif] [paths...]
  *   bmclint --list-rules [--json]
  *
  * Paths (files or directories, default: src tools bench) are
- * relative to --root (default: the current directory). Exit status:
- * 0 clean, 1 findings, 2 usage error. See src/lint/linter.hh for the
- * rule catalog and the `// bmclint:allow(rule-id)` suppression
- * syntax.
+ * relative to --root (default: the current directory). --json emits
+ * the documented bmclint_schema object; --sarif emits a SARIF 2.1.0
+ * log for CI/editor integration. Exit status: 0 clean, 1 findings,
+ * 2 usage error. See src/lint/linter.hh for the rule catalog and
+ * the `// bmclint:allow(rule-id)` suppression syntax.
  */
 
 #include <cstdio>
@@ -56,12 +57,15 @@ main(int argc, char **argv)
     bmc::lint::Options opts;
     std::vector<std::string> paths;
     bool json = false;
+    bool sarif = false;
     bool list_rules = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--sarif") {
+            sarif = true;
         } else if (arg == "--list-rules") {
             list_rules = true;
         } else if (arg.rfind("--root=", 0) == 0) {
@@ -79,7 +83,7 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: bmclint [--root=DIR] [--rule=ID ...] "
-                "[--json] [paths...]\n"
+                "[--json|--sarif] [paths...]\n"
                 "       bmclint --list-rules [--json]\n");
             return 0;
         } else if (arg.rfind("--", 0) == 0) {
@@ -91,6 +95,11 @@ main(int argc, char **argv)
         }
     }
 
+    if (json && sarif) {
+        std::fprintf(stderr,
+                     "bmclint: --json and --sarif are exclusive\n");
+        return 2;
+    }
     if (list_rules)
         return listRules(json);
 
@@ -101,7 +110,10 @@ main(int argc, char **argv)
     const std::vector<bmc::lint::Finding> findings =
         bmc::lint::lintTree(opts, paths, &files_scanned);
 
-    if (json) {
+    if (sarif) {
+        std::printf("%s",
+                    bmc::lint::findingsToSarif(findings).c_str());
+    } else if (json) {
         std::printf("%s\n",
                     bmc::lint::findingsToJson(findings, files_scanned)
                         .c_str());
